@@ -1,0 +1,282 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (EXPERIMENTS.md maps each benchmark to its artifact) plus the §4.5
+// complexity micro-benchmarks. Experiment benchmarks run on a reduced
+// two-dataset slice of the suite so `go test -bench=.` completes quickly;
+// `cmd/mvgbench` prints the full tables.
+package mvg
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"mvg/internal/core"
+	"mvg/internal/experiments"
+	"mvg/internal/graph"
+	"mvg/internal/motif"
+	"mvg/internal/timeseries"
+	"mvg/internal/visibility"
+)
+
+// benchConfig is the reduced experiment configuration used by the
+// per-table benchmarks.
+func benchConfig() experiments.Config {
+	return experiments.Config{
+		Out:      io.Discard,
+		Seed:     1,
+		Quick:    true,
+		Datasets: []string{"SynthECG", "EngineNoise"},
+	}
+}
+
+func runExperiment(b *testing.B, name string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(benchConfig())
+		if err := r.Run(name); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure1_VGConstruction regenerates the Figure 1 artifact: the
+// VG and HVG of a small series.
+func BenchmarkFigure1_VGConstruction(b *testing.B) {
+	series := []float64{0.87, 0.49, 0.36, 0.83, 0.87, 0.49, 0.36, 0.83,
+		0.87, 0.49, 0.36, 0.83, 0.32, 0.56, 0.25, 0.35, 0.2, 0.96, 0.15, 0.34, 0.7}
+	for i := 0; i < b.N; i++ {
+		if _, err := SummarizeVG(series); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := SummarizeHVG(series); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure2_MotifDistributions regenerates the per-class motif
+// probability boxplot statistics.
+func BenchmarkFigure2_MotifDistributions(b *testing.B) { runExperiment(b, "fig2") }
+
+// BenchmarkTable2_HeuristicAblation regenerates the representation
+// ablation (columns A–G plus 1NN references and Wilcoxon rows).
+func BenchmarkTable2_HeuristicAblation(b *testing.B) { runExperiment(b, "table2") }
+
+// BenchmarkFigure3_MPDvsAll regenerates the MPDs-vs-all-features scatter.
+func BenchmarkFigure3_MPDvsAll(b *testing.B) { runExperiment(b, "fig3") }
+
+// BenchmarkFigure4_GraphTypes regenerates the HVG/VG/UVG scatter.
+func BenchmarkFigure4_GraphTypes(b *testing.B) { runExperiment(b, "fig4") }
+
+// BenchmarkFigure5_Scales regenerates the UVG/AMVG/MVG scatter.
+func BenchmarkFigure5_Scales(b *testing.B) { runExperiment(b, "fig5") }
+
+// BenchmarkFigure6_ClassifierFamilies regenerates the RF/SVM/XGBoost
+// critical-difference diagram.
+func BenchmarkFigure6_ClassifierFamilies(b *testing.B) { runExperiment(b, "fig6") }
+
+// BenchmarkFigure7_Stacking regenerates the stacking CD diagram.
+func BenchmarkFigure7_Stacking(b *testing.B) { runExperiment(b, "fig7") }
+
+// BenchmarkTable3_StateOfTheArt regenerates the five-baseline accuracy and
+// runtime comparison.
+func BenchmarkTable3_StateOfTheArt(b *testing.B) { runExperiment(b, "table3") }
+
+// BenchmarkFigure8_BaselineScatter regenerates the per-baseline scatter.
+func BenchmarkFigure8_BaselineScatter(b *testing.B) { runExperiment(b, "fig8") }
+
+// BenchmarkFigure9_RuntimeComparison regenerates the FS-vs-MVG runtime
+// comparison.
+func BenchmarkFigure9_RuntimeComparison(b *testing.B) { runExperiment(b, "fig9") }
+
+// BenchmarkFigure10_FeatureImportance regenerates the case-study feature
+// ranking.
+func BenchmarkFigure10_FeatureImportance(b *testing.B) { runExperiment(b, "fig10") }
+
+// ---- §4.5 complexity micro-benchmarks ----
+
+func randomSeries(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	t := make([]float64, n)
+	for i := range t {
+		t[i] = rng.NormFloat64()
+	}
+	return t
+}
+
+func benchSizes(b *testing.B, f func(b *testing.B, series []float64)) {
+	for _, n := range []int{128, 512, 2048} {
+		series := randomSeries(n, int64(n))
+		b.Run(sizeName(n), func(b *testing.B) { f(b, series) })
+	}
+}
+
+func sizeName(n int) string {
+	switch n {
+	case 128:
+		return "n=128"
+	case 512:
+		return "n=512"
+	default:
+		return "n=2048"
+	}
+}
+
+// BenchmarkVG_DivideConquer measures the default sub-quadratic VG builder.
+func BenchmarkVG_DivideConquer(b *testing.B) {
+	benchSizes(b, func(b *testing.B, series []float64) {
+		for i := 0; i < b.N; i++ {
+			if _, err := visibility.VG(series); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkVG_Naive measures the O(n²) reference builder (the ablation the
+// paper's efficiency claims rest on).
+func BenchmarkVG_Naive(b *testing.B) {
+	benchSizes(b, func(b *testing.B, series []float64) {
+		for i := 0; i < b.N; i++ {
+			if _, err := visibility.VGNaive(series); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkHVG measures the O(n) stack builder.
+func BenchmarkHVG(b *testing.B) {
+	benchSizes(b, func(b *testing.B, series []float64) {
+		for i := 0; i < b.N; i++ {
+			if _, err := visibility.HVG(series); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func benchGraph(b *testing.B, n int) *graph.Graph {
+	b.Helper()
+	g, err := visibility.VG(randomSeries(n, int64(n)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkMotifCount measures exact graphlet counting (the PGD stand-in).
+func BenchmarkMotifCount(b *testing.B) {
+	for _, n := range []int{128, 512, 2048} {
+		g := benchGraph(b, n)
+		b.Run(sizeName(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				motif.Count(g)
+			}
+		})
+	}
+}
+
+// BenchmarkKCore measures the O(m) core decomposition.
+func BenchmarkKCore(b *testing.B) {
+	g := benchGraph(b, 2048)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.CoreNumbers()
+	}
+}
+
+// BenchmarkAssortativity measures the O(m) assortativity coefficient.
+func BenchmarkAssortativity(b *testing.B) {
+	g := benchGraph(b, 2048)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Assortativity()
+	}
+}
+
+// BenchmarkExtractFeatures measures the full Algorithm 1 per series.
+func BenchmarkExtractFeatures(b *testing.B) {
+	e, err := core.NewExtractor(core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchSizes(b, func(b *testing.B, series []float64) {
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Extract(series); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkDTW measures the distance kernel of the 1NN baselines.
+func BenchmarkDTW(b *testing.B) {
+	a := randomSeries(512, 1)
+	c := randomSeries(512, 2)
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := timeseries.DTW(a, c, -1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("window=51", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := timeseries.DTW(a, c, 51); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkTauAblation measures how the τ threshold (Definition 3.1)
+// trades scale count against extraction cost — a design-choice ablation
+// from DESIGN.md.
+func BenchmarkTauAblation(b *testing.B) {
+	series := randomSeries(1024, 3)
+	for _, tau := range []int{-1, 15, 63} {
+		e, err := core.NewExtractor(core.Options{Tau: tau})
+		if err != nil {
+			b.Fatal(err)
+		}
+		name := "tau=default15"
+		switch tau {
+		case -1:
+			name = "tau=min"
+		case 63:
+			name = "tau=63"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Extract(series); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExtendedFeaturesAblation measures the cost of the future-work
+// feature set (degree entropy + transitivity) on top of the paper's
+// evaluated configuration.
+func BenchmarkExtendedFeaturesAblation(b *testing.B) {
+	series := randomSeries(512, 7)
+	for _, ext := range []bool{false, true} {
+		e, err := core.NewExtractor(core.Options{Extended: ext})
+		if err != nil {
+			b.Fatal(err)
+		}
+		name := "paper-featureset"
+		if ext {
+			name = "with-futurework-features"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Extract(series); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

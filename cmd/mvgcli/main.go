@@ -1,0 +1,127 @@
+// Command mvgcli trains and evaluates an MVG classifier on UCR-format
+// dataset files (label,v1,...,vn per line).
+//
+// Usage:
+//
+//	mvgcli -train Coffee_TRAIN -test Coffee_TEST
+//	mvgcli -train X_TRAIN -test X_TEST -classifier stack -oversample
+//	mvgcli -train X_TRAIN -test X_TEST -importance 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mvg"
+	"mvg/internal/ucr"
+)
+
+func main() {
+	var (
+		trainPath  = flag.String("train", "", "UCR-format training file (required)")
+		testPath   = flag.String("test", "", "UCR-format test file (required)")
+		classifier = flag.String("classifier", "xgb", "classifier: xgb, rf, svm or stack")
+		scale      = flag.String("scale", "mvg", "representation: mvg, uvg or amvg")
+		graphs     = flag.String("graphs", "both", "graphs per scale: both, vg or hvg")
+		features   = flag.String("features", "all", "per-graph features: all or mpds")
+		fullGrid   = flag.Bool("fullgrid", false, "use the paper's full hyper-parameter grid")
+		oversample = flag.Bool("oversample", false, "randomly oversample minority classes")
+		seed       = flag.Int64("seed", 1, "training seed")
+		importance = flag.Int("importance", 0, "print the top-N most important features (xgb only)")
+		savePath   = flag.String("save", "", "write the trained model to this file (xgb only)")
+		loadPath   = flag.String("load", "", "load a saved model instead of training")
+	)
+	flag.Parse()
+	if (*trainPath == "" && *loadPath == "") || *testPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var model *mvg.Model
+	var trainSec float64
+	cfg := mvg.Config{
+		Scale:      *scale,
+		Graphs:     *graphs,
+		Features:   *features,
+		Classifier: *classifier,
+		FullGrid:   *fullGrid,
+		Oversample: *oversample,
+		Seed:       *seed,
+	}
+
+	var train *ucr.Dataset
+	test, err := ucr.ReadFile(*testPath)
+	if err != nil {
+		fatal(err)
+	}
+	if *loadPath != "" {
+		f, err := os.Open(*loadPath)
+		if err != nil {
+			fatal(err)
+		}
+		model, err = mvg.LoadModel(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("loaded model from %s; test: %d samples\n", *loadPath, test.Len())
+	} else {
+		train, test, err = ucr.ReadPair(*trainPath, *testPath)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("train: %d samples, test: %d samples, %d classes, length %d\n",
+			train.Len(), test.Len(), train.Classes(), train.SeriesLength())
+		t0 := time.Now()
+		model, err = mvg.Train(train.Series, train.Labels, train.Classes(), cfg)
+		if err != nil {
+			fatal(err)
+		}
+		trainSec = time.Since(t0).Seconds()
+	}
+
+	t1 := time.Now()
+	errRate, err := model.ErrorRate(test.Series, test.Labels)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("error rate: %.4f (accuracy %.4f)\n", errRate, 1-errRate)
+	fmt.Printf("train %.2fs, test %.2fs\n", trainSec, time.Since(t1).Seconds())
+
+	if *savePath != "" {
+		f, err := os.Create(*savePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := model.Save(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("model saved to %s\n", *savePath)
+	}
+
+	if *importance > 0 {
+		weights, err := model.FeatureImportance()
+		if err != nil {
+			fatal(err)
+		}
+		n := *importance
+		if n > len(weights) {
+			n = len(weights)
+		}
+		fmt.Println("top features by gain:")
+		for _, fw := range weights[:n] {
+			fmt.Printf("  %-24s %.4f\n", fw.Name, fw.Weight)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mvgcli:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,63 @@
+// Example hurst demonstrates the property visibility graphs were invented
+// for (Lacasa et al. 2009): the structure of a VG reflects the Hurst
+// exponent of a fractional-Brownian-motion-like process. Power-law series
+// with H ∈ {0.25, 0.5, 0.75} produce measurably different graph densities
+// and degree statistics, which the MVG pipeline turns into an accurate
+// classifier — a task with no local patterns at all.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mvg"
+	"mvg/internal/synth"
+)
+
+func main() {
+	fam, err := synth.ByName("HurstWalks")
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, test := fam.Generate(23)
+	fmt.Printf("HurstWalks: %d train / %d test series, length %d\n",
+		train.Len(), test.Len(), train.SeriesLength())
+	fmt.Println("classes: H=0.25 (anti-persistent), H=0.5 (Brownian), H=0.75 (persistent)")
+
+	// Mean VG statistics per class: density and degree spread shift with H.
+	type agg struct {
+		density, meanDeg, maxDeg float64
+		n                        int
+	}
+	aggs := make([]agg, train.Classes())
+	for i, series := range train.Series {
+		s, err := mvg.SummarizeVG(series)
+		if err != nil {
+			log.Fatal(err)
+		}
+		a := &aggs[train.Labels[i]]
+		a.density += s.Density
+		a.meanDeg += s.MeanDegree
+		a.maxDeg += float64(s.MaxDegree)
+		a.n++
+	}
+	fmt.Println("\nmean VG statistics per Hurst class:")
+	fmt.Printf("  %-8s %10s %10s %10s\n", "class", "density", "meanDeg", "maxDeg")
+	hNames := []string{"H=0.25", "H=0.50", "H=0.75"}
+	for c, a := range aggs {
+		fmt.Printf("  %-8s %10.4f %10.2f %10.1f\n",
+			hNames[c], a.density/float64(a.n), a.meanDeg/float64(a.n), a.maxDeg/float64(a.n))
+	}
+
+	model, err := mvg.Train(train.Series, train.Labels, train.Classes(), mvg.Config{Seed: 9})
+	if err != nil {
+		log.Fatal(err)
+	}
+	errRate, err := model.ErrorRate(test.Series, test.Labels)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nMVG test error rate: %.3f\n", errRate)
+	fmt.Println("(distance- and shapelet-based methods have nothing to match here:")
+	fmt.Println(" every series is a different random path — only its fractal texture differs)")
+}

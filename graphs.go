@@ -1,0 +1,98 @@
+package mvg
+
+import (
+	"fmt"
+
+	"mvg/internal/graph"
+	"mvg/internal/motif"
+	"mvg/internal/timeseries"
+	"mvg/internal/visibility"
+)
+
+// GraphSummary exposes one visibility graph and its statistical features
+// for exploration, visualization and the examples.
+type GraphSummary struct {
+	// Kind is "VG" or "HVG".
+	Kind string
+	// N and M are the vertex and edge counts.
+	N, M int
+	// Edges lists undirected edges as (i, j) with i < j.
+	Edges [][2]int
+	// Density is 2M / N(N-1).
+	Density float64
+	// Assortativity is Newman's degree assortativity (0 when undefined).
+	Assortativity float64
+	// KCore is the graph's degeneracy (the paper's K-core feature).
+	KCore int
+	// MaxDegree, MinDegree, MeanDegree summarize the degree sequence.
+	MaxDegree, MinDegree int
+	MeanDegree           float64
+	// MotifProbabilities maps motif names (M21..M411) to their grouped
+	// probabilities.
+	MotifProbabilities map[string]float64
+}
+
+func summarize(kind string, g *graph.Graph) GraphSummary {
+	r, _ := g.Assortativity()
+	maxD, minD, meanD := g.DegreeStats()
+	probs := motif.Count(g).Probabilities()
+	mp := make(map[string]float64, len(motif.Names))
+	for i, name := range motif.Names {
+		mp[name] = probs[i]
+	}
+	return GraphSummary{
+		Kind:               kind,
+		N:                  g.N(),
+		M:                  g.M(),
+		Edges:              g.Edges(),
+		Density:            g.Density(),
+		Assortativity:      r,
+		KCore:              g.Degeneracy(),
+		MaxDegree:          maxD,
+		MinDegree:          minD,
+		MeanDegree:         meanD,
+		MotifProbabilities: mp,
+	}
+}
+
+// SummarizeVG builds the natural visibility graph of the series and
+// returns its summary. The series is used as-is (no detrending or
+// normalization — visibility graphs are affine invariant).
+func SummarizeVG(series []float64) (GraphSummary, error) {
+	g, err := visibility.VG(series)
+	if err != nil {
+		return GraphSummary{}, err
+	}
+	return summarize("VG", g), nil
+}
+
+// SummarizeHVG builds the horizontal visibility graph of the series and
+// returns its summary.
+func SummarizeHVG(series []float64) (GraphSummary, error) {
+	g, err := visibility.HVG(series)
+	if err != nil {
+		return GraphSummary{}, err
+	}
+	return summarize("HVG", g), nil
+}
+
+// MultiscaleLengths returns the lengths of the multiscale approximations
+// (T0, T1, ..., Tm) the default pipeline would build for a series of
+// length n with threshold tau (0 = the paper's default of 15).
+func MultiscaleLengths(n, tau int) ([]int, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("mvg: series too short: %d", n)
+	}
+	if tau == 0 {
+		tau = timeseries.DefaultTau
+	}
+	if tau < 2 {
+		tau = 2
+	}
+	lengths := []int{n}
+	for n/2 > tau {
+		n /= 2
+		lengths = append(lengths, n)
+	}
+	return lengths, nil
+}

@@ -1,0 +1,80 @@
+package mvg
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mvg/internal/synth"
+	"mvg/internal/ucr"
+)
+
+// TestDiskPipelineRoundTrip exercises the full on-disk workflow the CLI
+// tools expose: generate a dataset, write it in UCR format, read it back,
+// train, save the model, reload it, and score — everything a downstream
+// user would chain together.
+func TestDiskPipelineRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	fam, err := synth.ByName("WarpedShapes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := fam.Generate(5)
+	trainPath := filepath.Join(dir, fam.Name+"_TRAIN")
+	testPath := filepath.Join(dir, fam.Name+"_TEST")
+	if err := train.WriteFile(trainPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := test.WriteFile(testPath); err != nil {
+		t.Fatal(err)
+	}
+
+	trainBack, testBack, err := ucr.ReadPair(trainPath, testPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trainBack.Len() != train.Len() || testBack.Len() != test.Len() {
+		t.Fatalf("round trip lost samples: %d/%d", trainBack.Len(), testBack.Len())
+	}
+
+	model, err := Train(trainBack.Series, trainBack.Labels, trainBack.Classes(), Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errRate, err := model.ErrorRate(testBack.Series, testBack.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errRate > 0.3 {
+		t.Errorf("disk round-trip error rate = %v", errRate)
+	}
+
+	// Model persistence through the filesystem.
+	modelPath := filepath.Join(dir, "model.bin")
+	f, err := os.Create(modelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := model.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	g, err := os.Open(modelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	loaded, err := LoadModel(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errRate2, err := loaded.ErrorRate(testBack.Series, testBack.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errRate2 != errRate {
+		t.Errorf("reloaded model scores %v, original %v", errRate2, errRate)
+	}
+}

@@ -1,0 +1,183 @@
+// Package bop implements the Bag-of-Patterns classifier (Lin, Khade & Li
+// 2012), the rotation-invariant bag-of-words approach the paper's related
+// work builds on: every series becomes a histogram of sliding-window SAX
+// words, and test series are classified by nearest neighbour over the
+// histograms.
+package bop
+
+import (
+	"fmt"
+	"math"
+
+	"mvg/internal/ml"
+	"mvg/internal/sax"
+)
+
+// Params configures the symbolic transform.
+type Params struct {
+	// Window is the sliding-window length; 0 means a quarter of the series
+	// length at fit time.
+	Window int
+	// Segments is the PAA word length (default 6).
+	Segments int
+	// Alphabet is the SAX cardinality (default 4).
+	Alphabet int
+	// K is the neighbourhood size (default 1, as in the original).
+	K int
+}
+
+func (p Params) withDefaults() Params {
+	if p.Segments <= 0 {
+		p.Segments = 6
+	}
+	if p.Alphabet <= 0 {
+		p.Alphabet = 4
+	}
+	if p.K <= 0 {
+		p.K = 1
+	}
+	return p
+}
+
+// Model is a fitted Bag-of-Patterns classifier implementing ml.Classifier.
+type Model struct {
+	P       Params
+	classes int
+	window  int
+	enc     *sax.Encoder
+	// vocab maps words to histogram columns; train holds histograms.
+	vocab  map[string]int
+	train  [][]float64
+	labels []int
+}
+
+// New returns an untrained model.
+func New(p Params) *Model { return &Model{P: p} }
+
+// Clone returns a fresh untrained model with identical parameters.
+func (m *Model) Clone() ml.Classifier { return &Model{P: m.P} }
+
+// Name implements ml.Named.
+func (m *Model) Name() string {
+	p := m.P.withDefaults()
+	return fmt.Sprintf("bop(w=%d,paa=%d,a=%d,k=%d)", p.Window, p.Segments, p.Alphabet, p.K)
+}
+
+// histogram converts one series into its word histogram over the fitted
+// vocabulary. Unknown words are ignored (grow=false) or added (grow=true).
+func (m *Model) histogram(series []float64, grow bool) ([]float64, error) {
+	words, err := m.enc.SlidingWords(series, m.window, true)
+	if err != nil {
+		return nil, err
+	}
+	counts := map[int]float64{}
+	for _, w := range words {
+		col, ok := m.vocab[w]
+		if !ok {
+			if !grow {
+				continue
+			}
+			col = len(m.vocab)
+			m.vocab[w] = col
+		}
+		counts[col]++
+	}
+	h := make([]float64, len(m.vocab))
+	for col, c := range counts {
+		h[col] = c
+	}
+	return h, nil
+}
+
+// Fit builds histograms for every training series.
+func (m *Model) Fit(X [][]float64, y []int, classes int) error {
+	if err := ml.CheckTrainingSet(X, y, classes); err != nil {
+		return err
+	}
+	p := m.P.withDefaults()
+	m.P = p
+	m.classes = classes
+	m.window = p.Window
+	if m.window <= 0 {
+		m.window = len(X[0]) / 4
+	}
+	if m.window < p.Segments {
+		m.window = p.Segments
+	}
+	if m.window > len(X[0]) {
+		m.window = len(X[0])
+	}
+	enc, err := sax.NewEncoder(p.Segments, p.Alphabet)
+	if err != nil {
+		return err
+	}
+	m.enc = enc
+	m.vocab = map[string]int{}
+	m.labels = y
+	m.train = make([][]float64, len(X))
+	for i, series := range X {
+		h, err := m.histogram(series, true)
+		if err != nil {
+			return fmt.Errorf("bop: series %d: %w", i, err)
+		}
+		m.train[i] = h
+	}
+	// Pad earlier histograms to the final vocabulary width.
+	width := len(m.vocab)
+	for i, h := range m.train {
+		if len(h) < width {
+			padded := make([]float64, width)
+			copy(padded, h)
+			m.train[i] = padded
+		}
+	}
+	return nil
+}
+
+// PredictProba votes among the K nearest training histograms (Euclidean
+// distance over word counts).
+func (m *Model) PredictProba(X [][]float64) ([][]float64, error) {
+	if m.enc == nil {
+		return nil, ml.ErrNotFitted
+	}
+	out := make([][]float64, len(X))
+	for i, series := range X {
+		h, err := m.histogram(series, false)
+		if err != nil {
+			return nil, err
+		}
+		type cand struct {
+			d float64
+			y int
+		}
+		best := make([]cand, 0, m.P.K)
+		for j, th := range m.train {
+			d := 0.0
+			for c := range th {
+				diff := th[c] - h[c]
+				d += diff * diff
+			}
+			d = math.Sqrt(d)
+			if len(best) < m.P.K {
+				best = append(best, cand{d, m.labels[j]})
+			} else {
+				worst := 0
+				for b := 1; b < len(best); b++ {
+					if best[b].d > best[worst].d {
+						worst = b
+					}
+				}
+				if d < best[worst].d {
+					best[worst] = cand{d, m.labels[j]}
+				}
+			}
+		}
+		p := make([]float64, m.classes)
+		for _, c := range best {
+			p[c.y]++
+		}
+		ml.Normalize(p)
+		out[i] = p
+	}
+	return out, nil
+}

@@ -1,0 +1,88 @@
+package bop
+
+import (
+	"testing"
+
+	"mvg/internal/ml"
+	"mvg/internal/synth"
+)
+
+func TestLearnsFreqSines(t *testing.T) {
+	fam, err := synth.ByName("FreqSines")
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := fam.Generate(5)
+	m := New(Params{Window: 32})
+	if err := m.Fit(train.Series, train.Labels, train.Classes()); err != nil {
+		t.Fatal(err)
+	}
+	proba, err := m.PredictProba(test.Series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := ml.Accuracy(ml.Predict(proba), test.Labels); acc < 0.7 {
+		t.Errorf("FreqSines accuracy = %v", acc)
+	}
+}
+
+func TestRotationInvariance(t *testing.T) {
+	// Bag-of-Patterns' selling point: a circularly shifted copy keeps
+	// (almost) the same histogram, so shifted test data still classifies.
+	fam, _ := synth.ByName("FreqSines")
+	train, test := fam.Generate(9)
+	shifted := make([][]float64, len(test.Series))
+	for i, s := range test.Series {
+		r := make([]float64, len(s))
+		k := len(s) / 3
+		copy(r, s[k:])
+		copy(r[len(s)-k:], s[:k])
+		shifted[i] = r
+	}
+	m := New(Params{Window: 32})
+	if err := m.Fit(train.Series, train.Labels, train.Classes()); err != nil {
+		t.Fatal(err)
+	}
+	proba, err := m.PredictProba(shifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := ml.Accuracy(ml.Predict(proba), test.Labels); acc < 0.65 {
+		t.Errorf("shifted accuracy = %v, BOP should be rotation invariant", acc)
+	}
+}
+
+func TestProbabilitySimplexAndErrors(t *testing.T) {
+	fam, _ := synth.ByName("WarpedShapes")
+	train, test := fam.Generate(3)
+	m := New(Params{K: 3})
+	if err := m.Fit(train.Series, train.Labels, train.Classes()); err != nil {
+		t.Fatal(err)
+	}
+	proba, err := m.PredictProba(test.Series[:10])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range proba {
+		sum := 0.0
+		for _, v := range p {
+			if v < 0 || v > 1 {
+				t.Fatalf("invalid probability %v", p)
+			}
+			sum += v
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("sums to %v", sum)
+		}
+	}
+	fresh := New(Params{})
+	if err := fresh.Fit(nil, nil, 2); err == nil {
+		t.Error("empty fit should fail")
+	}
+	if _, err := fresh.PredictProba(test.Series[:1]); err == nil {
+		t.Error("predict before fit should fail")
+	}
+	if fresh.Name() == "" || fresh.Clone() == nil {
+		t.Error("name/clone")
+	}
+}

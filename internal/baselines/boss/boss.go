@@ -1,0 +1,296 @@
+// Package boss implements the BOSS classifier (Bag-of-SFA-Symbols,
+// Schäfer 2015), the noise-robust bag-of-words method the paper's related
+// work highlights. Sliding windows are transformed with Symbolic Fourier
+// Approximation (SFA): the first word-length Fourier coefficients of each
+// z-normalized window are quantized with Multiple Coefficient Binning
+// (equi-depth bins learned per coefficient on the training windows), the
+// resulting words are counted per series with numerosity reduction, and
+// test series are classified by 1NN under the asymmetric BOSS distance.
+// An ensemble over several window lengths votes on the final label.
+package boss
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mvg/internal/ml"
+	"mvg/internal/timeseries"
+)
+
+// Params configures the ensemble.
+type Params struct {
+	// WordLength is the number of Fourier values per word (default 4;
+	// must be even — pairs of real/imaginary parts).
+	WordLength int
+	// Alphabet is the per-coefficient cardinality (default 4).
+	Alphabet int
+	// Windows lists window lengths; empty means an automatic sweep of
+	// roughly {n/8, n/4, n/2} clamped to valid sizes.
+	Windows []int
+	// EnsembleFactor keeps every window model whose training (leave-one-
+	// out) accuracy is within this factor of the best (default 0.92, as
+	// in the original).
+	EnsembleFactor float64
+}
+
+func (p Params) withDefaults() Params {
+	if p.WordLength <= 0 {
+		p.WordLength = 4
+	}
+	if p.WordLength%2 == 1 {
+		p.WordLength++
+	}
+	if p.Alphabet <= 1 {
+		p.Alphabet = 4
+	}
+	if p.EnsembleFactor <= 0 || p.EnsembleFactor > 1 {
+		p.EnsembleFactor = 0.92
+	}
+	return p
+}
+
+// windowModel is one fitted window-length member of the ensemble.
+type windowModel struct {
+	window int
+	// bins[k] holds the Alphabet-1 split points of coefficient k.
+	bins [][]float64
+	// histograms[i] is the word bag of training series i.
+	histograms []map[string]float64
+	looAcc     float64
+}
+
+// Model is a fitted BOSS ensemble implementing ml.Classifier.
+type Model struct {
+	P       Params
+	classes int
+	labels  []int
+	members []windowModel
+}
+
+// New returns an untrained model.
+func New(p Params) *Model { return &Model{P: p} }
+
+// Clone returns a fresh untrained model with identical parameters.
+func (m *Model) Clone() ml.Classifier { return &Model{P: m.P} }
+
+// Name implements ml.Named.
+func (m *Model) Name() string {
+	p := m.P.withDefaults()
+	return fmt.Sprintf("boss(l=%d,a=%d)", p.WordLength, p.Alphabet)
+}
+
+// dftCoefficients returns the first l real values of the window's DFT
+// (alternating real/imaginary parts of coefficients 1..l/2; coefficient 0
+// is skipped because windows are z-normalized, making it zero).
+func dftCoefficients(window []float64, l int) []float64 {
+	n := len(window)
+	out := make([]float64, l)
+	for k := 1; k <= l/2; k++ {
+		var re, im float64
+		w := -2 * math.Pi * float64(k) / float64(n)
+		for t, v := range window {
+			a := w * float64(t)
+			re += v * math.Cos(a)
+			im += v * math.Sin(a)
+		}
+		out[2*(k-1)] = re / float64(n)
+		out[2*(k-1)+1] = im / float64(n)
+	}
+	return out
+}
+
+// windowsOf yields the z-normalized sliding windows of a series.
+func windowsOf(series []float64, window int) [][]float64 {
+	var out [][]float64
+	for start := 0; start+window <= len(series); start++ {
+		out = append(out, timeseries.ZNormalize(series[start:start+window]))
+	}
+	return out
+}
+
+// learnBins computes equi-depth split points per coefficient (MCB).
+func learnBins(coeffs [][]float64, wordLength, alphabet int) [][]float64 {
+	bins := make([][]float64, wordLength)
+	column := make([]float64, len(coeffs))
+	for k := 0; k < wordLength; k++ {
+		for i, c := range coeffs {
+			column[i] = c[k]
+		}
+		sort.Float64s(column)
+		splits := make([]float64, alphabet-1)
+		for b := 1; b < alphabet; b++ {
+			idx := b * len(column) / alphabet
+			if idx >= len(column) {
+				idx = len(column) - 1
+			}
+			splits[b-1] = column[idx]
+		}
+		bins[k] = splits
+	}
+	return bins
+}
+
+// wordOf quantizes one coefficient vector against the bins.
+func wordOf(coeffs []float64, bins [][]float64) string {
+	buf := make([]byte, len(coeffs))
+	for k, v := range coeffs {
+		s := 0
+		for s < len(bins[k]) && v > bins[k][s] {
+			s++
+		}
+		buf[k] = byte('a' + s)
+	}
+	return string(buf)
+}
+
+// bagOf converts a series into its SFA word histogram with numerosity
+// reduction.
+func (wm *windowModel) bagOf(series []float64, wordLength int) map[string]float64 {
+	bag := map[string]float64{}
+	prev := ""
+	for _, win := range windowsOf(series, wm.window) {
+		w := wordOf(dftCoefficients(win, wordLength), wm.bins)
+		if w == prev {
+			continue
+		}
+		bag[w]++
+		prev = w
+	}
+	return bag
+}
+
+// bossDistance is the asymmetric BOSS distance: squared differences over
+// the words present in the query bag only.
+func bossDistance(query, ref map[string]float64) float64 {
+	d := 0.0
+	for w, q := range query {
+		diff := q - ref[w]
+		d += diff * diff
+	}
+	return d
+}
+
+// Fit trains one window model per candidate length and keeps those within
+// EnsembleFactor of the best leave-one-out training accuracy.
+func (m *Model) Fit(X [][]float64, y []int, classes int) error {
+	if err := ml.CheckTrainingSet(X, y, classes); err != nil {
+		return err
+	}
+	p := m.P.withDefaults()
+	m.P = p
+	m.classes = classes
+	m.labels = y
+	n := len(X[0])
+
+	windows := p.Windows
+	if len(windows) == 0 {
+		for _, w := range []int{n / 8, n / 4, n / 2} {
+			if w >= p.WordLength+2 && w <= n {
+				windows = append(windows, w)
+			}
+		}
+		if len(windows) == 0 {
+			w := p.WordLength + 2
+			if w > n {
+				w = n
+			}
+			windows = []int{w}
+		}
+	}
+
+	var members []windowModel
+	for _, window := range windows {
+		if window < p.WordLength || window > n {
+			continue
+		}
+		wm := windowModel{window: window}
+		// Learn MCB bins from every training window.
+		var all [][]float64
+		for _, series := range X {
+			for _, win := range windowsOf(series, window) {
+				all = append(all, dftCoefficients(win, p.WordLength))
+			}
+		}
+		if len(all) == 0 {
+			continue
+		}
+		wm.bins = learnBins(all, p.WordLength, p.Alphabet)
+		wm.histograms = make([]map[string]float64, len(X))
+		for i, series := range X {
+			wm.histograms[i] = wm.bagOf(series, p.WordLength)
+		}
+		// Leave-one-out 1NN accuracy on the training set.
+		hits := 0
+		for i := range X {
+			best, bestD := -1, math.Inf(1)
+			for j := range X {
+				if i == j {
+					continue
+				}
+				d := bossDistance(wm.histograms[i], wm.histograms[j])
+				if d < bestD {
+					best, bestD = j, d
+				}
+			}
+			if best >= 0 && y[best] == y[i] {
+				hits++
+			}
+		}
+		wm.looAcc = float64(hits) / float64(len(X))
+		members = append(members, wm)
+	}
+	if len(members) == 0 {
+		return fmt.Errorf("boss: no usable window length for series of %d points", n)
+	}
+	bestAcc := 0.0
+	for _, wm := range members {
+		if wm.looAcc > bestAcc {
+			bestAcc = wm.looAcc
+		}
+	}
+	m.members = m.members[:0]
+	for _, wm := range members {
+		if wm.looAcc >= p.EnsembleFactor*bestAcc {
+			m.members = append(m.members, wm)
+		}
+	}
+	return nil
+}
+
+// PredictProba votes across ensemble members: each member casts a 1NN
+// vote for its nearest training series' label.
+func (m *Model) PredictProba(X [][]float64) ([][]float64, error) {
+	if len(m.members) == 0 {
+		return nil, ml.ErrNotFitted
+	}
+	out := make([][]float64, len(X))
+	for i, series := range X {
+		p := make([]float64, m.classes)
+		for _, wm := range m.members {
+			bag := wm.bagOf(series, m.P.WordLength)
+			best, bestD := -1, math.Inf(1)
+			for j, ref := range wm.histograms {
+				d := bossDistance(bag, ref)
+				if d < bestD {
+					best, bestD = j, d
+				}
+			}
+			if best >= 0 {
+				p[m.labels[best]]++
+			}
+		}
+		ml.Normalize(p)
+		out[i] = p
+	}
+	return out, nil
+}
+
+// Members reports the retained window lengths (for inspection).
+func (m *Model) Members() []int {
+	out := make([]int, len(m.members))
+	for i, wm := range m.members {
+		out[i] = wm.window
+	}
+	return out
+}

@@ -1,0 +1,146 @@
+package boss
+
+import (
+	"math"
+	"testing"
+
+	"mvg/internal/ml"
+	"mvg/internal/synth"
+	"mvg/internal/timeseries"
+)
+
+func TestDFTMatchesDirectDefinition(t *testing.T) {
+	// Cross-check against the textbook DFT on a known window.
+	window := timeseries.ZNormalize([]float64{1, 3, 2, 5, 4, 6, 2, 1})
+	l := 4
+	got := dftCoefficients(window, l)
+	n := len(window)
+	for k := 1; k <= l/2; k++ {
+		var re, im float64
+		for tt, v := range window {
+			a := -2 * math.Pi * float64(k) * float64(tt) / float64(n)
+			re += v * math.Cos(a)
+			im += v * math.Sin(a)
+		}
+		re /= float64(n)
+		im /= float64(n)
+		if math.Abs(got[2*(k-1)]-re) > 1e-9 || math.Abs(got[2*(k-1)+1]-im) > 1e-9 {
+			t.Fatalf("coefficient %d = (%v,%v), want (%v,%v)",
+				k, got[2*(k-1)], got[2*(k-1)+1], re, im)
+		}
+	}
+}
+
+func TestLearnBinsEquiDepth(t *testing.T) {
+	// 100 coefficient vectors with a single uniform dimension: splits at
+	// roughly the quartiles.
+	coeffs := make([][]float64, 100)
+	for i := range coeffs {
+		coeffs[i] = []float64{float64(i)}
+	}
+	bins := learnBins(coeffs, 1, 4)
+	if len(bins) != 1 || len(bins[0]) != 3 {
+		t.Fatalf("bins shape: %v", bins)
+	}
+	for b, want := range []float64{25, 50, 75} {
+		if math.Abs(bins[0][b]-want) > 1.5 {
+			t.Errorf("split %d = %v, want ≈%v", b, bins[0][b], want)
+		}
+	}
+	// Words use the splits monotonically.
+	if wordOf([]float64{-5}, bins) != "a" || wordOf([]float64{99}, bins) != "d" {
+		t.Error("word quantization wrong at the extremes")
+	}
+}
+
+func TestBossDistanceAsymmetric(t *testing.T) {
+	q := map[string]float64{"ab": 2, "cd": 1}
+	r := map[string]float64{"ab": 1, "zz": 5}
+	// Only words in q count: (2-1)² + (1-0)² = 2.
+	if d := bossDistance(q, r); d != 2 {
+		t.Errorf("boss distance = %v, want 2", d)
+	}
+	// Asymmetry: from r's perspective zz counts.
+	if d := bossDistance(r, q); d != 1+25 {
+		t.Errorf("reverse distance = %v, want 26", d)
+	}
+}
+
+func TestLearnsFreqSines(t *testing.T) {
+	fam, err := synth.ByName("FreqSines")
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := fam.Generate(5)
+	m := New(Params{})
+	if err := m.Fit(train.Series, train.Labels, train.Classes()); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Members()) == 0 {
+		t.Fatal("empty ensemble")
+	}
+	proba, err := m.PredictProba(test.Series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := ml.Accuracy(ml.Predict(proba), test.Labels); acc < 0.8 {
+		t.Errorf("FreqSines accuracy = %v (BOSS is frequency-based, this is its home turf)", acc)
+	}
+}
+
+func TestLearnsAMSignals(t *testing.T) {
+	fam, _ := synth.ByName("AMSignals")
+	train, test := fam.Generate(7)
+	m := New(Params{})
+	if err := m.Fit(train.Series, train.Labels, train.Classes()); err != nil {
+		t.Fatal(err)
+	}
+	proba, err := m.PredictProba(test.Series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := ml.Accuracy(ml.Predict(proba), test.Labels); acc < 0.7 {
+		t.Errorf("AMSignals accuracy = %v", acc)
+	}
+}
+
+func TestErrorsAndSimplex(t *testing.T) {
+	m := New(Params{})
+	if err := m.Fit(nil, nil, 2); err == nil {
+		t.Error("empty fit should fail")
+	}
+	if _, err := m.PredictProba([][]float64{{1}}); err == nil {
+		t.Error("predict before fit should fail")
+	}
+	if m.Name() == "" || m.Clone() == nil {
+		t.Error("name/clone")
+	}
+	fam, _ := synth.ByName("WarpedShapes")
+	train, test := fam.Generate(3)
+	if err := m.Fit(train.Series, train.Labels, train.Classes()); err != nil {
+		t.Fatal(err)
+	}
+	proba, err := m.PredictProba(test.Series[:10])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range proba {
+		sum := 0.0
+		for _, v := range p {
+			if v < 0 || v > 1 {
+				t.Fatalf("invalid probability %v", p)
+			}
+			sum += v
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("sums to %v", sum)
+		}
+	}
+}
+
+func TestOddWordLengthRoundsUp(t *testing.T) {
+	p := Params{WordLength: 5}.withDefaults()
+	if p.WordLength != 6 {
+		t.Errorf("odd word length should round up, got %d", p.WordLength)
+	}
+}

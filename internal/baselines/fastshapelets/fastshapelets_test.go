@@ -1,0 +1,131 @@
+package fastshapelets
+
+import (
+	"testing"
+
+	"mvg/internal/ml"
+	"mvg/internal/synth"
+)
+
+func TestLearnsPlantedShapelets(t *testing.T) {
+	fam, err := synth.ByName("EngineNoise")
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := fam.Generate(3)
+	m := New(Params{Seed: 1})
+	if err := m.Fit(train.Series, train.Labels, train.Classes()); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumNodes() < 3 {
+		t.Errorf("tree has only %d nodes; no split found", m.NumNodes())
+	}
+	proba, err := m.PredictProba(test.Series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := ml.Accuracy(ml.Predict(proba), test.Labels)
+	if acc < 0.6 {
+		t.Errorf("EngineNoise accuracy = %v, want ≥0.6 (planted patterns are FS home turf)", acc)
+	}
+}
+
+func TestBinaryShapes(t *testing.T) {
+	fam, err := synth.ByName("WarpedShapes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := fam.Generate(7)
+	m := New(Params{Seed: 2})
+	if err := m.Fit(train.Series, train.Labels, train.Classes()); err != nil {
+		t.Fatal(err)
+	}
+	proba, err := m.PredictProba(test.Series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := ml.Accuracy(ml.Predict(proba), test.Labels)
+	if acc < 0.6 {
+		t.Errorf("WarpedShapes accuracy = %v", acc)
+	}
+}
+
+func TestProbabilitySimplex(t *testing.T) {
+	fam, _ := synth.ByName("EngineNoise")
+	train, test := fam.Generate(5)
+	m := New(Params{Seed: 3})
+	if err := m.Fit(train.Series, train.Labels, train.Classes()); err != nil {
+		t.Fatal(err)
+	}
+	proba, err := m.PredictProba(test.Series[:20])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range proba {
+		sum := 0.0
+		for _, v := range p {
+			if v < 0 || v > 1 {
+				t.Fatalf("row %d: invalid probability %v", i, p)
+			}
+			sum += v
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("row %d sums to %v", i, sum)
+		}
+	}
+}
+
+func TestErrorsAndAccessors(t *testing.T) {
+	m := New(Params{})
+	if err := m.Fit(nil, nil, 2); err == nil {
+		t.Error("empty fit should fail")
+	}
+	if _, err := m.PredictProba([][]float64{{1}}); err == nil {
+		t.Error("predict before fit should fail")
+	}
+	if m.Name() != "fastshapelets" {
+		t.Error("name")
+	}
+	clone := m.Clone()
+	if _, ok := clone.(*Model); !ok {
+		t.Error("clone type")
+	}
+}
+
+func TestPureTrainingData(t *testing.T) {
+	// Single-class node: must produce a one-leaf tree, not loop.
+	X := [][]float64{
+		{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16},
+		{2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17},
+	}
+	y := []int{0, 0}
+	m := New(Params{Seed: 4})
+	if err := m.Fit(X, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumNodes() != 1 {
+		t.Errorf("pure data should give a single leaf, got %d", m.NumNodes())
+	}
+}
+
+func TestDeterministicUnderSeed(t *testing.T) {
+	fam, _ := synth.ByName("EngineNoise")
+	train, test := fam.Generate(11)
+	run := func() []int {
+		m := New(Params{Seed: 9})
+		if err := m.Fit(train.Series, train.Labels, train.Classes()); err != nil {
+			t.Fatal(err)
+		}
+		proba, err := m.PredictProba(test.Series[:25])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ml.Predict(proba)
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("predictions differ at %d under a fixed seed", i)
+		}
+	}
+}

@@ -1,0 +1,362 @@
+// Package learnshapelets implements the Learning Shapelets classifier
+// (Grabocka et al., KDD 2014), the strongest accuracy baseline in the
+// paper's Table 3. Instead of searching for shapelets, K shapelets at R
+// length scales are *learned* jointly with a linear classifier: the model
+// computes a differentiable soft-minimum distance from every shapelet to
+// every series, feeds those distances into a softmax classifier, and
+// back-propagates the cross-entropy loss into both the classifier weights
+// and the shapelet shapes themselves.
+package learnshapelets
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mvg/internal/ml"
+	"mvg/internal/timeseries"
+)
+
+// Params configures learning.
+type Params struct {
+	// K is the number of shapelets per scale (default 4).
+	K int
+	// LengthFrac is the base shapelet length as a fraction of the series
+	// length (default 0.125).
+	LengthFrac float64
+	// Scales is the number of length multiples learned: L, 2L, …, R·L
+	// (default 3).
+	Scales int
+	// Alpha is the soft-minimum precision; more negative = closer to hard
+	// minimum (default -30).
+	Alpha float64
+	// LearningRate for SGD (default 0.1).
+	LearningRate float64
+	// Epochs of SGD over the training set (default 200).
+	Epochs int
+	// LambdaW is the L2 penalty on classifier weights (default 0.01).
+	LambdaW float64
+	// Seed drives initialization and sample order.
+	Seed int64
+}
+
+func (p Params) withDefaults() Params {
+	if p.K <= 0 {
+		p.K = 4
+	}
+	if p.LengthFrac <= 0 || p.LengthFrac >= 1 {
+		p.LengthFrac = 0.125
+	}
+	if p.Scales <= 0 {
+		p.Scales = 3
+	}
+	if p.Alpha >= 0 {
+		p.Alpha = -30
+	}
+	if p.LearningRate <= 0 {
+		p.LearningRate = 0.1
+	}
+	if p.Epochs <= 0 {
+		p.Epochs = 200
+	}
+	if p.LambdaW < 0 {
+		p.LambdaW = 0
+	} else if p.LambdaW == 0 {
+		p.LambdaW = 0.01
+	}
+	return p
+}
+
+// Model is a fitted Learning Shapelets classifier implementing
+// ml.Classifier.
+type Model struct {
+	P         Params
+	classes   int
+	shapelets [][]float64 // all scales concatenated
+	// W[c] has len(shapelets)+1 entries; the last is the bias.
+	W [][]float64
+}
+
+// New returns an untrained model.
+func New(p Params) *Model { return &Model{P: p} }
+
+// Clone returns a fresh untrained model with identical parameters.
+func (m *Model) Clone() ml.Classifier { return &Model{P: m.P} }
+
+// Name implements ml.Named.
+func (m *Model) Name() string {
+	p := m.P.withDefaults()
+	return fmt.Sprintf("ls(K=%d,R=%d,frac=%.3g)", p.K, p.Scales, p.LengthFrac)
+}
+
+// initShapelets seeds shapelets with k-means centroids of all training
+// segments at each scale (the initialization recommended by the paper).
+func initShapelets(X [][]float64, k, length int, rng *rand.Rand) [][]float64 {
+	var segments [][]float64
+	for _, series := range X {
+		for start := 0; start+length <= len(series); start += length / 2 {
+			segments = append(segments, timeseries.ZNormalize(series[start:start+length]))
+		}
+		if len(segments) > 2000 {
+			break
+		}
+	}
+	if len(segments) == 0 {
+		return nil
+	}
+	if k > len(segments) {
+		k = len(segments)
+	}
+	// k-means with a few Lloyd iterations.
+	centroids := make([][]float64, k)
+	perm := rng.Perm(len(segments))
+	for i := 0; i < k; i++ {
+		centroids[i] = append([]float64(nil), segments[perm[i]]...)
+	}
+	assign := make([]int, len(segments))
+	for iter := 0; iter < 10; iter++ {
+		for si, seg := range segments {
+			best, bestD := 0, math.Inf(1)
+			for ci, c := range centroids {
+				d := 0.0
+				for j := range seg {
+					dd := seg[j] - c[j]
+					d += dd * dd
+				}
+				if d < bestD {
+					best, bestD = ci, d
+				}
+			}
+			assign[si] = best
+		}
+		counts := make([]int, k)
+		sums := make([][]float64, k)
+		for i := range sums {
+			sums[i] = make([]float64, length)
+		}
+		for si, seg := range segments {
+			counts[assign[si]]++
+			s := sums[assign[si]]
+			for j, v := range seg {
+				s[j] += v
+			}
+		}
+		for ci := range centroids {
+			if counts[ci] == 0 {
+				continue
+			}
+			for j := range centroids[ci] {
+				centroids[ci][j] = sums[ci][j] / float64(counts[ci])
+			}
+		}
+	}
+	return centroids
+}
+
+// Fit learns shapelets and classifier weights jointly by SGD.
+func (m *Model) Fit(X [][]float64, y []int, classes int) error {
+	if err := ml.CheckTrainingSet(X, y, classes); err != nil {
+		return err
+	}
+	p := m.P.withDefaults()
+	m.P = p
+	m.classes = classes
+	rng := rand.New(rand.NewSource(p.Seed))
+
+	// z-normalize inputs once.
+	Z := make([][]float64, len(X))
+	for i, s := range X {
+		Z[i] = timeseries.ZNormalize(s)
+	}
+	n := len(Z)
+	seriesLen := len(Z[0])
+
+	baseLen := int(p.LengthFrac * float64(seriesLen))
+	if baseLen < 3 {
+		baseLen = 3
+	}
+	m.shapelets = m.shapelets[:0]
+	for r := 1; r <= p.Scales; r++ {
+		length := baseLen * r
+		if length >= seriesLen {
+			break
+		}
+		m.shapelets = append(m.shapelets, initShapelets(Z, p.K, length, rng)...)
+	}
+	if len(m.shapelets) == 0 {
+		return fmt.Errorf("learnshapelets: series of %d points too short for shapelets", seriesLen)
+	}
+	K := len(m.shapelets)
+
+	m.W = make([][]float64, classes)
+	for c := range m.W {
+		m.W[c] = make([]float64, K+1)
+		for j := range m.W[c] {
+			m.W[c][j] = rng.NormFloat64() * 0.01
+		}
+	}
+
+	Mfeat := make([]float64, K)
+	probs := make([]float64, classes)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	lr := p.LearningRate
+	for epoch := 0; epoch < p.Epochs; epoch++ {
+		rng.Shuffle(n, func(a, b int) { order[a], order[b] = order[b], order[a] })
+		for _, i := range order {
+			series := Z[i]
+			// Forward: soft-min distances and their soft weights.
+			xis := make([][]float64, K)   // ξ per window
+			dists := make([][]float64, K) // D per window
+			for k, s := range m.shapelets {
+				Mfeat[k], xis[k], dists[k] = softMin(series, s, p.Alpha)
+			}
+			// Softmax classifier.
+			maxScore := math.Inf(-1)
+			for c := 0; c < classes; c++ {
+				score := m.W[c][K]
+				for k := 0; k < K; k++ {
+					score += m.W[c][k] * Mfeat[k]
+				}
+				probs[c] = score
+				if score > maxScore {
+					maxScore = score
+				}
+			}
+			sum := 0.0
+			for c := range probs {
+				probs[c] = math.Exp(probs[c] - maxScore)
+				sum += probs[c]
+			}
+			for c := range probs {
+				probs[c] /= sum
+			}
+			// Backward.
+			for c := 0; c < classes; c++ {
+				delta := probs[c]
+				if y[i] == c {
+					delta -= 1
+				}
+				for k := 0; k < K; k++ {
+					m.W[c][k] -= lr * (delta*Mfeat[k] + p.LambdaW*m.W[c][k])
+				}
+				m.W[c][K] -= lr * delta
+			}
+			for k, s := range m.shapelets {
+				// ∂L/∂M_k = Σ_c δ_c W_ck (with post-update W, an acceptable
+				// SGD approximation).
+				dM := 0.0
+				for c := 0; c < classes; c++ {
+					delta := probs[c]
+					if y[i] == c {
+						delta -= 1
+					}
+					dM += delta * m.W[c][k]
+				}
+				if dM == 0 {
+					continue
+				}
+				L := len(s)
+				for j, xi := range xis[k] {
+					// ∂M/∂D_j = ξ_j (1 + α (D_j − M)).
+					dMdD := xi * (1 + p.Alpha*(dists[k][j]-Mfeat[k]))
+					coeff := lr * dM * dMdD * 2 / float64(L)
+					if coeff == 0 {
+						continue
+					}
+					seg := series[j : j+L]
+					for l := 0; l < L; l++ {
+						s[l] -= coeff * (s[l] - seg[l])
+					}
+				}
+			}
+		}
+		// Gentle learning-rate decay.
+		lr = p.LearningRate / (1 + 3*float64(epoch)/float64(p.Epochs))
+	}
+	return nil
+}
+
+// softMin returns the soft-minimum distance M between the shapelet and all
+// series windows, the soft weights ξ_j, and the per-window distances D_j.
+func softMin(series, shapelet []float64, alpha float64) (float64, []float64, []float64) {
+	L := len(shapelet)
+	nw := len(series) - L + 1
+	if nw < 1 {
+		nw = 1
+	}
+	dists := make([]float64, nw)
+	minD := math.Inf(1)
+	for j := 0; j < nw; j++ {
+		end := j + L
+		if end > len(series) {
+			end = len(series)
+		}
+		seg := series[j:end]
+		sum := 0.0
+		for l := range seg {
+			d := seg[l] - shapelet[l]
+			sum += d * d
+		}
+		dists[j] = sum / float64(L)
+		if dists[j] < minD {
+			minD = dists[j]
+		}
+	}
+	// Numerically stable soft-min weights.
+	xis := make([]float64, nw)
+	den := 0.0
+	for j, d := range dists {
+		xis[j] = math.Exp(alpha * (d - minD))
+		den += xis[j]
+	}
+	M := 0.0
+	for j := range xis {
+		xis[j] /= den
+		M += xis[j] * dists[j]
+	}
+	return M, xis, dists
+}
+
+// PredictProba computes soft-min features and applies the softmax layer.
+func (m *Model) PredictProba(X [][]float64) ([][]float64, error) {
+	if m.W == nil {
+		return nil, ml.ErrNotFitted
+	}
+	K := len(m.shapelets)
+	out := make([][]float64, len(X))
+	for i, series := range X {
+		z := timeseries.ZNormalize(series)
+		p := make([]float64, m.classes)
+		feats := make([]float64, K)
+		for k, s := range m.shapelets {
+			feats[k], _, _ = softMin(z, s, m.P.Alpha)
+		}
+		maxScore := math.Inf(-1)
+		for c := 0; c < m.classes; c++ {
+			score := m.W[c][K]
+			for k := 0; k < K; k++ {
+				score += m.W[c][k] * feats[k]
+			}
+			p[c] = score
+			if score > maxScore {
+				maxScore = score
+			}
+		}
+		sum := 0.0
+		for c := range p {
+			p[c] = math.Exp(p[c] - maxScore)
+			sum += p[c]
+		}
+		for c := range p {
+			p[c] /= sum
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// Shapelets exposes the learned shapelets (for inspection and examples).
+func (m *Model) Shapelets() [][]float64 { return m.shapelets }

@@ -1,0 +1,118 @@
+package learnshapelets
+
+import (
+	"math"
+	"testing"
+
+	"mvg/internal/ml"
+	"mvg/internal/synth"
+)
+
+func TestLearnsPlantedShapelets(t *testing.T) {
+	fam, err := synth.ByName("EngineNoise")
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := fam.Generate(3)
+	m := New(Params{K: 4, Epochs: 120, Seed: 1})
+	if err := m.Fit(train.Series, train.Labels, train.Classes()); err != nil {
+		t.Fatal(err)
+	}
+	proba, err := m.PredictProba(test.Series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := ml.Accuracy(ml.Predict(proba), test.Labels)
+	if acc < 0.6 {
+		t.Errorf("EngineNoise accuracy = %v, want ≥0.6", acc)
+	}
+}
+
+func TestFreqSines(t *testing.T) {
+	fam, _ := synth.ByName("FreqSines")
+	train, test := fam.Generate(5)
+	m := New(Params{K: 4, Epochs: 120, Seed: 2})
+	if err := m.Fit(train.Series, train.Labels, train.Classes()); err != nil {
+		t.Fatal(err)
+	}
+	proba, err := m.PredictProba(test.Series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := ml.Accuracy(ml.Predict(proba), test.Labels)
+	if acc < 0.7 {
+		t.Errorf("FreqSines accuracy = %v, want ≥0.7", acc)
+	}
+}
+
+func TestSoftMinApproximatesHardMin(t *testing.T) {
+	series := []float64{0, 0, 5, 5, 0, 0, 0, 0}
+	shapelet := []float64{5, 5}
+	M, xis, dists := softMin(series, shapelet, -100)
+	hard := math.Inf(1)
+	for _, d := range dists {
+		hard = math.Min(hard, d)
+	}
+	if math.Abs(M-hard) > 1e-6 {
+		t.Errorf("softmin %v far from hard min %v", M, hard)
+	}
+	sum := 0.0
+	for _, x := range xis {
+		sum += x
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("soft weights sum to %v", sum)
+	}
+}
+
+func TestShapeletShapesAndErrors(t *testing.T) {
+	m := New(Params{})
+	if err := m.Fit(nil, nil, 2); err == nil {
+		t.Error("empty fit should fail")
+	}
+	if _, err := m.PredictProba([][]float64{{1}}); err == nil {
+		t.Error("predict before fit should fail")
+	}
+	if m.Name() == "" {
+		t.Error("name")
+	}
+	fam, _ := synth.ByName("WarpedShapes")
+	train, _ := fam.Generate(1)
+	m2 := New(Params{K: 2, Scales: 2, Epochs: 10, Seed: 3})
+	if err := m2.Fit(train.Series, train.Labels, train.Classes()); err != nil {
+		t.Fatal(err)
+	}
+	shp := m2.Shapelets()
+	if len(shp) == 0 {
+		t.Fatal("no shapelets learned")
+	}
+	base := int(0.125 * float64(train.SeriesLength()))
+	for _, s := range shp {
+		if len(s) != base && len(s) != 2*base {
+			t.Errorf("unexpected shapelet length %d (base %d)", len(s), base)
+		}
+	}
+	clone := m2.Clone()
+	if _, err := clone.PredictProba(train.Series[:1]); err == nil {
+		t.Error("clone should be untrained")
+	}
+}
+
+func TestTrainingReducesLoss(t *testing.T) {
+	fam, _ := synth.ByName("EngineNoise")
+	train, _ := fam.Generate(13)
+	short := New(Params{K: 3, Epochs: 3, Seed: 5})
+	long := New(Params{K: 3, Epochs: 100, Seed: 5})
+	if err := short.Fit(train.Series, train.Labels, train.Classes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := long.Fit(train.Series, train.Labels, train.Classes()); err != nil {
+		t.Fatal(err)
+	}
+	ps, _ := short.PredictProba(train.Series)
+	pl, _ := long.PredictProba(train.Series)
+	if ml.LogLoss(pl, train.Labels) >= ml.LogLoss(ps, train.Labels) {
+		t.Errorf("more epochs should reduce training loss: %v → %v",
+			ml.LogLoss(ps, train.Labels), ml.LogLoss(pl, train.Labels))
+	}
+}

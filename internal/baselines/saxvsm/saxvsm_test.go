@@ -1,0 +1,97 @@
+package saxvsm
+
+import (
+	"testing"
+
+	"mvg/internal/ml"
+	"mvg/internal/synth"
+)
+
+func TestConformsOnSeriesData(t *testing.T) {
+	// SAX-VSM consumes raw series, so the generic blob fixtures don't
+	// apply; use a synthetic series dataset instead.
+	fam, err := synth.ByName("FreqSines")
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := fam.Generate(5)
+	m := New(Params{Window: 32, Segments: 8, Alphabet: 4})
+	if err := m.Fit(train.Series, train.Labels, train.Classes()); err != nil {
+		t.Fatal(err)
+	}
+	proba, err := m.PredictProba(test.Series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := ml.Accuracy(ml.Predict(proba), test.Labels)
+	if acc < 0.7 {
+		t.Errorf("FreqSines accuracy = %v, want ≥0.7", acc)
+	}
+	for _, p := range proba {
+		sum := 0.0
+		for _, v := range p {
+			if v < 0 || v > 1 {
+				t.Fatalf("invalid probability %v", p)
+			}
+			sum += v
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("probabilities sum to %v", sum)
+		}
+	}
+}
+
+func TestShapeletDataset(t *testing.T) {
+	// Planted local patterns are SAX-VSM home turf.
+	fam, err := synth.ByName("EngineNoise")
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := fam.Generate(9)
+	m := New(Params{Window: 24, Segments: 6, Alphabet: 4})
+	if err := m.Fit(train.Series, train.Labels, train.Classes()); err != nil {
+		t.Fatal(err)
+	}
+	proba, err := m.PredictProba(test.Series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := ml.Accuracy(ml.Predict(proba), test.Labels)
+	if acc < 0.6 {
+		t.Errorf("EngineNoise accuracy = %v, want ≥0.6", acc)
+	}
+}
+
+func TestErrorsAndClone(t *testing.T) {
+	m := New(Params{})
+	if err := m.Fit(nil, nil, 2); err == nil {
+		t.Error("empty fit should fail")
+	}
+	if _, err := m.PredictProba([][]float64{{1, 2, 3}}); err == nil {
+		t.Error("predict before fit should fail")
+	}
+	clone := m.Clone()
+	if _, ok := clone.(*Model); !ok {
+		t.Error("clone has wrong type")
+	}
+	if m.Name() == "" {
+		t.Error("name should be non-empty")
+	}
+}
+
+func TestDefaultWindowClamped(t *testing.T) {
+	// Very short series: the default window (len/3) must clamp to at least
+	// Segments and fit without error.
+	X := [][]float64{
+		{1, 2, 3, 1, 2, 3, 1, 2, 3, 4, 5, 6},
+		{6, 5, 4, 3, 2, 1, 6, 5, 4, 3, 2, 1},
+	}
+	y := []int{0, 1}
+	m := New(Params{Segments: 4, Alphabet: 3})
+	if err := m.Fit(X, y, 2); err != nil {
+		t.Fatalf("short series fit: %v", err)
+	}
+	if _, err := m.PredictProba(X); err != nil {
+		t.Fatalf("short series predict: %v", err)
+	}
+}

@@ -1,0 +1,264 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"mvg/internal/graph"
+	"mvg/internal/motif"
+	"mvg/internal/timeseries"
+	"mvg/internal/visibility"
+)
+
+// Per-graph feature block widths.
+const (
+	mpdWidth      = 17 // motif probabilities, motif.Names order
+	otherWidth    = 6  // density, assortativity, kcore, max/min/mean degree
+	extendedWidth = 2  // degree entropy, transitivity (§6 future work)
+)
+
+// otherFeatureNames lists the non-MPD per-graph statistics in block order.
+var otherFeatureNames = []string{
+	"Density", "Assortativity", "KCore", "MaxDegree", "MinDegree", "MeanDegree",
+}
+
+// extendedFeatureNames lists the optional future-work statistics.
+var extendedFeatureNames = []string{"DegreeEntropy", "Transitivity"}
+
+// Extractor converts time series into MVG feature vectors (Algorithm 1).
+// It is safe for concurrent use.
+type Extractor struct {
+	opts Options
+	tau  int
+}
+
+// NewExtractor validates opts and returns an Extractor. The zero Options
+// value is the paper's recommended MVG configuration.
+func NewExtractor(opts Options) (*Extractor, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	tau := opts.Tau
+	switch {
+	case tau == 0:
+		tau = timeseries.DefaultTau
+	case tau < 0:
+		tau = 2
+	}
+	return &Extractor{opts: opts, tau: tau}, nil
+}
+
+// Options returns the configuration the extractor was built with.
+func (e *Extractor) Options() Options { return e.opts }
+
+// perGraphWidth returns the number of features contributed by one graph.
+func (e *Extractor) perGraphWidth() int {
+	w := mpdWidth
+	if e.opts.Features == AllFeatures {
+		w += otherWidth
+	}
+	if e.opts.Extended {
+		w += extendedWidth
+	}
+	return w
+}
+
+// graphsPerScale returns how many graphs each scale contributes.
+func (e *Extractor) graphsPerScale() int {
+	if e.opts.Graphs == VGAndHVG {
+		return 2
+	}
+	return 1
+}
+
+// scales materializes the configured subset of the multiscale pyramid.
+func (e *Extractor) scales(series []float64) ([][]float64, error) {
+	t := series
+	if !e.opts.NoZNormalize {
+		t = timeseries.ZNormalize(t)
+	}
+	if !e.opts.NoDetrend {
+		t = timeseries.Detrend(t)
+	}
+	switch e.opts.Scales {
+	case Uniscale:
+		return [][]float64{t}, nil
+	case ApproxMultiscale:
+		return timeseries.Multiscale(t, e.tau)
+	default:
+		return timeseries.MultiscaleFull(t, e.tau)
+	}
+}
+
+// NumScales returns the number of scales a series of length n produces
+// under the extractor's configuration. Labels in FeatureNames use the
+// convention T0 = original series, Ti = i-th halving, so AMVG starts at T1.
+func (e *Extractor) NumScales(n int) int {
+	count := 0
+	switch e.opts.Scales {
+	case Uniscale:
+		return 1
+	case ApproxMultiscale:
+		for n/2 > e.tau {
+			n /= 2
+			count++
+		}
+		return count
+	default:
+		count = 1
+		for n/2 > e.tau {
+			n /= 2
+			count++
+		}
+		return count
+	}
+}
+
+// NumFeatures returns the feature-vector length for series of length n.
+func (e *Extractor) NumFeatures(n int) int {
+	return e.NumScales(n) * e.graphsPerScale() * e.perGraphWidth()
+}
+
+// FeatureNames returns human-readable names aligned with the output of
+// Extract for series of length n, e.g. "T0.HVG.P(M44)" or
+// "T2.VG.Assortativity" (the names used in the paper's Figure 10).
+func (e *Extractor) FeatureNames(n int) []string {
+	numScales := e.NumScales(n)
+	firstScale := 0
+	if e.opts.Scales == ApproxMultiscale {
+		firstScale = 1
+	}
+	var kinds []string
+	switch e.opts.Graphs {
+	case VGAndHVG:
+		kinds = []string{"VG", "HVG"}
+	case VGOnly:
+		kinds = []string{"VG"}
+	default:
+		kinds = []string{"HVG"}
+	}
+	names := make([]string, 0, e.NumFeatures(n))
+	for s := 0; s < numScales; s++ {
+		for _, kind := range kinds {
+			prefix := fmt.Sprintf("T%d.%s", firstScale+s, kind)
+			for _, m := range motif.Names {
+				names = append(names, fmt.Sprintf("%s.P(%s)", prefix, m))
+			}
+			if e.opts.Features == AllFeatures {
+				for _, o := range otherFeatureNames {
+					names = append(names, prefix+"."+o)
+				}
+			}
+			if e.opts.Extended {
+				for _, o := range extendedFeatureNames {
+					names = append(names, prefix+"."+o)
+				}
+			}
+		}
+	}
+	return names
+}
+
+// graphBlock appends the feature block of one graph to dst.
+func (e *Extractor) graphBlock(dst []float64, g *graph.Graph) []float64 {
+	dst = append(dst, motif.Count(g).Probabilities()...)
+	if e.opts.Features == AllFeatures {
+		r, _ := g.Assortativity() // undefined → 0, a neutral value
+		maxDeg, minDeg, meanDeg := g.DegreeStats()
+		dst = append(dst,
+			g.Density(),
+			r,
+			float64(g.Degeneracy()),
+			float64(maxDeg),
+			float64(minDeg),
+			meanDeg,
+		)
+	}
+	if e.opts.Extended {
+		dst = append(dst, g.DegreeEntropy(), g.Transitivity())
+	}
+	return dst
+}
+
+// Extract implements Algorithm 1 for a single series: build the configured
+// multiscale visibility graphs and concatenate per-graph feature blocks.
+func (e *Extractor) Extract(series []float64) ([]float64, error) {
+	if err := timeseries.Validate(series); err != nil {
+		return nil, err
+	}
+	scales, err := e.scales(series)
+	if err != nil {
+		return nil, err
+	}
+	if len(scales) == 0 {
+		return nil, fmt.Errorf("%w: n=%d tau=%d mode=%s",
+			ErrSeriesTooShort, len(series), e.tau, e.opts.Scales)
+	}
+	out := make([]float64, 0, len(scales)*e.graphsPerScale()*e.perGraphWidth())
+	for _, t := range scales {
+		if len(t) < 2 {
+			return nil, fmt.Errorf("%w: scale of %d points", ErrSeriesTooShort, len(t))
+		}
+		if e.opts.Graphs == VGAndHVG || e.opts.Graphs == VGOnly {
+			vg, err := visibility.VG(t)
+			if err != nil {
+				return nil, err
+			}
+			out = e.graphBlock(out, vg)
+		}
+		if e.opts.Graphs == VGAndHVG || e.opts.Graphs == HVGOnly {
+			hvg, err := visibility.HVG(t)
+			if err != nil {
+				return nil, err
+			}
+			out = e.graphBlock(out, hvg)
+		}
+	}
+	return out, nil
+}
+
+// ExtractDataset extracts features for every series in parallel across
+// runtime.NumCPU() workers (the pipeline is embarrassingly parallel, which
+// the paper lists as a design goal). All series must yield equally long
+// feature vectors, which holds when they share a common length.
+func (e *Extractor) ExtractDataset(series [][]float64) ([][]float64, error) {
+	n := len(series)
+	if n == 0 {
+		return nil, fmt.Errorf("core: empty dataset")
+	}
+	out := make([][]float64, n)
+	errs := make([]error, n)
+	workers := runtime.NumCPU()
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i], errs[i] = e.Extract(series[i])
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: series %d: %w", i, err)
+		}
+	}
+	width := len(out[0])
+	for i, v := range out {
+		if len(v) != width {
+			return nil, fmt.Errorf("core: inconsistent feature width: series %d has %d, series 0 has %d (unequal series lengths?)", i, len(v), width)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,142 @@
+// Package core implements the paper's primary contribution: the multiscale
+// visibility graph (MVG) representation of time series and the statistical
+// feature extraction of Algorithm 1.
+//
+// A series is expanded into a multiscale pyramid (Definitions 3.1–3.3),
+// every scale is transformed into a natural visibility graph and/or a
+// horizontal visibility graph, and each graph contributes an unordered
+// block of statistical features: the grouped motif probability
+// distribution (MPD) over all graphlets of size ≤ 4, plus density,
+// assortativity, the k-core number and degree statistics. Concatenating
+// the blocks yields a fixed-length feature vector suitable for any generic
+// classifier — the sequential nature of the series is gone.
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ScaleMode selects which scales of the multiscale representation
+// contribute graphs (Section 3 / Table 2 of the paper).
+type ScaleMode int
+
+const (
+	// FullMultiscale uses T0..Tm (MVG) — the paper's recommended setting
+	// and the zero value.
+	FullMultiscale ScaleMode = iota
+	// Uniscale uses only the original series T0 (UVG).
+	Uniscale
+	// ApproxMultiscale uses only the downscaled approximations T1..Tm (AMVG).
+	ApproxMultiscale
+)
+
+func (s ScaleMode) String() string {
+	switch s {
+	case Uniscale:
+		return "UVG"
+	case ApproxMultiscale:
+		return "AMVG"
+	case FullMultiscale:
+		return "MVG"
+	default:
+		return fmt.Sprintf("ScaleMode(%d)", int(s))
+	}
+}
+
+// GraphMode selects which visibility transforms are applied per scale.
+type GraphMode int
+
+const (
+	// VGAndHVG builds both graphs per scale — the paper's recommended
+	// setting (heuristic 2: VGs capture global, HVGs local structure).
+	VGAndHVG GraphMode = iota
+	// VGOnly builds only natural visibility graphs.
+	VGOnly
+	// HVGOnly builds only horizontal visibility graphs.
+	HVGOnly
+)
+
+func (g GraphMode) String() string {
+	switch g {
+	case VGAndHVG:
+		return "VG+HVG"
+	case VGOnly:
+		return "VG"
+	case HVGOnly:
+		return "HVG"
+	default:
+		return fmt.Sprintf("GraphMode(%d)", int(g))
+	}
+}
+
+// FeatureMode selects which statistics are extracted per graph.
+type FeatureMode int
+
+const (
+	// AllFeatures extracts MPDs plus density, assortativity, k-core and
+	// degree statistics — the paper's recommended setting (heuristic 1).
+	AllFeatures FeatureMode = iota
+	// MPDsOnly extracts only the motif probability distribution.
+	MPDsOnly
+)
+
+func (f FeatureMode) String() string {
+	switch f {
+	case AllFeatures:
+		return "All"
+	case MPDsOnly:
+		return "MPDs"
+	default:
+		return fmt.Sprintf("FeatureMode(%d)", int(f))
+	}
+}
+
+// Options configures an Extractor. The zero value is the paper's
+// recommended configuration: full multiscale, VG+HVG, all features,
+// τ = DefaultTau, with detrending and z-normalization enabled.
+type Options struct {
+	Scales   ScaleMode
+	Graphs   GraphMode
+	Features FeatureMode
+
+	// Tau is the minimum length of a multiscale approximation
+	// (Definition 3.1); scales of Tau points or fewer are not generated.
+	// Zero means timeseries.DefaultTau; negative means no threshold
+	// (clamped to the 2-point minimum a graph needs).
+	Tau int
+
+	// NoDetrend disables removal of the least-squares linear trend before
+	// graph construction. The paper notes VGs cannot represent monotone
+	// trends, so detrending is on by default.
+	NoDetrend bool
+
+	// NoZNormalize disables z-normalization. Visibility graphs are affine
+	// invariant, so this only matters for numerical conditioning; it is on
+	// by default to match UCR conventions.
+	NoZNormalize bool
+
+	// Extended adds the graph features the paper's conclusion lists as
+	// future work — degree-distribution entropy and global transitivity —
+	// to every per-graph block. Off by default to match the evaluated
+	// configuration.
+	Extended bool
+}
+
+// Validate reports whether the option combination is usable.
+func (o Options) Validate() error {
+	if o.Scales < FullMultiscale || o.Scales > ApproxMultiscale {
+		return fmt.Errorf("core: invalid ScaleMode %d", o.Scales)
+	}
+	if o.Graphs < VGAndHVG || o.Graphs > HVGOnly {
+		return fmt.Errorf("core: invalid GraphMode %d", o.Graphs)
+	}
+	if o.Features < AllFeatures || o.Features > MPDsOnly {
+		return fmt.Errorf("core: invalid FeatureMode %d", o.Features)
+	}
+	return nil
+}
+
+// ErrSeriesTooShort is returned when a series cannot produce a single
+// non-trivial graph under the configured options.
+var ErrSeriesTooShort = errors.New("core: series too short for configured scales")

@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mvg/internal/core"
+	"mvg/internal/grids"
+	"mvg/internal/ml"
+	"mvg/internal/ml/modelsel"
+	"mvg/internal/ml/stack"
+)
+
+// mvgFeatures extracts the recommended MVG feature matrices for one
+// dataset, min-max scaled (required by the SVM family; harmless for
+// trees — Section 4.3).
+func (c Config) mvgFeatures(run DatasetRun) (trainX, testX [][]float64, err error) {
+	e, err := core.NewExtractor(core.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	trainX, err = e.ExtractDataset(run.Train.Series)
+	if err != nil {
+		return nil, nil, err
+	}
+	testX, err = e.ExtractDataset(run.Test.Series)
+	if err != nil {
+		return nil, nil, err
+	}
+	var scaler ml.MinMaxScaler
+	trainX, err = scaler.FitTransform(trainX)
+	if err != nil {
+		return nil, nil, err
+	}
+	testX, err = scaler.Transform(testX)
+	if err != nil {
+		return nil, nil, err
+	}
+	return trainX, testX, nil
+}
+
+// RunFigure6 compares the three tuned classifier families on MVG features
+// with a Nemenyi critical-difference diagram (paper Figure 6).
+func (r *Runner) RunFigure6() error {
+	runs, err := r.Cfg.LoadSuite()
+	if err != nil {
+		return err
+	}
+	names := []string{"MVG (XGBoost)", "MVG (RF)", "MVG (SVM)"}
+	var scores [][]float64
+	for _, run := range runs {
+		trainX, testX, err := r.Cfg.mvgFeatures(run)
+		if err != nil {
+			return err
+		}
+		classes := run.Train.Classes()
+		row := make([]float64, 3)
+		families := [][]ml.Classifier{
+			grids.XGB(r.Cfg.gridSize(), r.Cfg.Seed),
+			grids.RF(r.Cfg.gridSize(), r.Cfg.Seed),
+			grids.SVM(r.Cfg.gridSize(), r.Cfg.Seed),
+		}
+		for j, candidates := range families {
+			model, _, err := modelsel.Best(candidates, trainX, run.Train.Labels,
+				classes, 3, run.Family.Imbalanced, r.Cfg.Seed)
+			if err != nil {
+				return fmt.Errorf("%s family %d: %w", run.Family.Name, j, err)
+			}
+			proba, err := model.PredictProba(testX)
+			if err != nil {
+				return err
+			}
+			row[j] = ml.ErrorRate(ml.Predict(proba), run.Test.Labels)
+		}
+		scores = append(scores, row)
+		fmt.Fprintf(r.Cfg.Out, "  %-16s xgb=%.3f rf=%.3f svm=%.3f\n",
+			run.Family.Name, row[0], row[1], row[2])
+	}
+	fmt.Fprintln(r.Cfg.Out, "== Figure 6: critical difference diagram of classifier families on MVG features ==")
+	if err := renderCD(r.Cfg.Out, names, scores, 0.05); err != nil {
+		return err
+	}
+	fmt.Fprintln(r.Cfg.Out)
+	return nil
+}
+
+// stackFamilies builds the single-family and all-family stacking
+// configurations of Section 4.3.
+func (c Config) stackFamilies() map[string][]stack.Family {
+	size := c.gridSize()
+	xgbFam := stack.Family{Name: "xgb", Candidates: grids.XGB(size, c.Seed)}
+	rfFam := stack.Family{Name: "rf", Candidates: grids.RF(size, c.Seed)}
+	svmFam := stack.Family{Name: "svm", Candidates: grids.SVM(size, c.Seed)}
+	return map[string][]stack.Family{
+		"XGBoost": {xgbFam},
+		"RF":      {rfFam},
+		"SVM":     {svmFam},
+		"All":     {xgbFam, rfFam, svmFam},
+	}
+}
+
+// RunFigure7 compares stacking a single classifier family against stacking
+// all families (paper Figure 7).
+func (r *Runner) RunFigure7() error {
+	runs, err := r.Cfg.LoadSuite()
+	if err != nil {
+		return err
+	}
+	order := []string{"All", "XGBoost", "SVM", "RF"}
+	topK := 5
+	if r.Cfg.Quick {
+		topK = 2
+	}
+	var scores [][]float64
+	for _, run := range runs {
+		trainX, testX, err := r.Cfg.mvgFeatures(run)
+		if err != nil {
+			return err
+		}
+		classes := run.Train.Classes()
+		famSets := r.Cfg.stackFamilies()
+		row := make([]float64, len(order))
+		for j, name := range order {
+			ens := stack.New(stack.Params{
+				TopK:       topK,
+				Folds:      3,
+				Oversample: run.Family.Imbalanced,
+				Seed:       r.Cfg.Seed,
+			}, famSets[name]...)
+			if err := ens.Fit(trainX, run.Train.Labels, classes); err != nil {
+				return fmt.Errorf("%s stack %s: %w", run.Family.Name, name, err)
+			}
+			proba, err := ens.PredictProba(testX)
+			if err != nil {
+				return err
+			}
+			row[j] = ml.ErrorRate(ml.Predict(proba), run.Test.Labels)
+		}
+		scores = append(scores, row)
+		fmt.Fprintf(r.Cfg.Out, "  %-16s all=%.3f xgb=%.3f svm=%.3f rf=%.3f\n",
+			run.Family.Name, row[0], row[1], row[2], row[3])
+	}
+	fmt.Fprintln(r.Cfg.Out, "== Figure 7: critical difference diagram of stacked generalization ==")
+	if err := renderCD(r.Cfg.Out, order, scores, 0.05); err != nil {
+		return err
+	}
+	fmt.Fprintln(r.Cfg.Out)
+	return nil
+}

@@ -1,0 +1,241 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyConfig runs experiments on two small datasets only.
+func tinyConfig(buf *bytes.Buffer) Config {
+	return Config{
+		Out:      buf,
+		Seed:     1,
+		Quick:    true,
+		Datasets: []string{"FreqSines", "EngineNoise"},
+	}
+}
+
+func TestLoadSuiteAllAndFiltered(t *testing.T) {
+	all, err := Config{Seed: 1}.LoadSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 13 {
+		t.Fatalf("full suite has %d datasets", len(all))
+	}
+	some, err := Config{Seed: 1, Datasets: []string{"ChaosMaps"}}.LoadSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(some) != 1 || some[0].Family.Name != "ChaosMaps" {
+		t.Fatalf("filter failed: %+v", some)
+	}
+	if _, err := (Config{Datasets: []string{"Nope"}}).LoadSuite(); err == nil {
+		t.Error("unknown dataset should fail")
+	}
+}
+
+func TestQuickModeTruncates(t *testing.T) {
+	runs, err := Config{Seed: 1, Quick: true, Datasets: []string{"ApplianceLoad"}}.LoadSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := runs[0]
+	if run.Train.Len() > 40 || run.Test.Len() > 60 {
+		t.Errorf("quick mode kept %d/%d samples", run.Train.Len(), run.Test.Len())
+	}
+	// All classes survive truncation.
+	seen := map[int]bool{}
+	for _, label := range run.Train.Labels {
+		seen[label] = true
+	}
+	if len(seen) != run.Train.Classes() {
+		t.Errorf("truncation lost classes: %d of %d", len(seen), run.Train.Classes())
+	}
+	if err := run.Train.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTable2ProducesReport(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRunner(tinyConfig(&buf))
+	if err := r.RunTable2(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table 2", "FreqSines", "EngineNoise", "Wilcoxon", "1NN-DTW"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestTable2Cached(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRunner(tinyConfig(&buf))
+	d1, err := r.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := r.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Error("Table2 should be cached per runner")
+	}
+	if d1.Column("G") == nil || d1.Column("1NN-ED") == nil {
+		t.Error("column lookup failed")
+	}
+	if d1.Column("Z") != nil {
+		t.Error("unknown column should be nil")
+	}
+}
+
+func TestRunScatterFigures(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRunner(tinyConfig(&buf))
+	for _, id := range []string{"fig3", "fig4", "fig5"} {
+		if err := r.Run(id); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 3", "Figure 4", "Figure 5", "wins"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestRunTable3AndRuntimeFigures(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRunner(tinyConfig(&buf))
+	if err := r.Run("table3"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Run("fig8"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Run("fig9"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table 3", "SAX-VSM", "Figure 8", "Figure 9", "log10"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	data, err := r.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range data.Rows {
+		if row.MVGTotalSec <= 0 || row.FSSec <= 0 {
+			t.Errorf("%s: non-positive runtimes %+v", row.Dataset, row)
+		}
+		for _, e := range []float64{row.NNED, row.NNDTW, row.LS, row.FS, row.SAXVSM, row.MVG} {
+			if e < 0 || e > 1 {
+				t.Errorf("%s: error rate out of range: %+v", row.Dataset, row)
+			}
+		}
+	}
+}
+
+func TestRunCaseStudies(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRunner(tinyConfig(&buf))
+	if err := r.Run("fig2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Run("fig10"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 2", "M41", "Figure 10", "Gain"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRunner(tinyConfig(&buf))
+	if err := r.Run("table9"); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}
+
+func TestQuartiles(t *testing.T) {
+	q := quartiles([]float64{4, 1, 3, 2})
+	want := [5]float64{1, 1.75, 2.5, 3.25, 4}
+	if q != want {
+		t.Errorf("quartiles = %v, want %v", q, want)
+	}
+	if quartiles(nil) != [5]float64{} {
+		t.Error("empty quartiles should be zero")
+	}
+}
+
+func TestRunCDExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("classifier-family comparison is slow")
+	}
+	var buf bytes.Buffer
+	r := NewRunner(tinyConfig(&buf))
+	if err := r.Run("fig6"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Run("fig7"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 6", "Figure 7", "Friedman", "Nemenyi CD", "Average ranks"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestRenderCD(t *testing.T) {
+	var buf bytes.Buffer
+	scores := [][]float64{
+		{0.1, 0.2, 0.3}, {0.1, 0.25, 0.3}, {0.15, 0.2, 0.35},
+		{0.1, 0.2, 0.3}, {0.12, 0.22, 0.31}, {0.1, 0.2, 0.3},
+	}
+	if err := renderCD(&buf, []string{"a", "b", "c"}, scores, 0.05); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Friedman", "a", "b", "c", "#"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("CD render missing %q:\n%s", want, out)
+		}
+	}
+	// The diagram must be valid UTF-8 with no replacement runes (the axis
+	// marker overwrites a multi-byte rune).
+	if strings.ContainsRune(out, '�') {
+		t.Error("CD render produced a replacement character")
+	}
+	// Degenerate input errors instead of panicking.
+	if err := renderCD(&buf, []string{"a"}, [][]float64{{1}}, 0.05); err == nil {
+		t.Error("single algorithm should fail")
+	}
+}
+
+func TestRunExtras(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRunner(tinyConfig(&buf))
+	if err := r.Run("extras"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Extras", "BOP", "BOSS", "MVG+ext"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}

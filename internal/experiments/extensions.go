@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mvg/internal/baselines/bop"
+	"mvg/internal/baselines/boss"
+	"mvg/internal/core"
+	"mvg/internal/stats"
+)
+
+// Extension experiments beyond the paper's tables and figures: the
+// related-work baselines the paper cites but does not benchmark
+// (Bag-of-Patterns, BOSS) and the §6 future-work feature ablation.
+
+// RunExtras compares MVG against the two related-work baselines and
+// measures the effect of the future-work feature block (degree entropy +
+// transitivity) across the suite.
+func (r *Runner) RunExtras() error {
+	runs, err := r.Cfg.LoadSuite()
+	if err != nil {
+		return err
+	}
+	w := r.Cfg.Out
+	fmt.Fprintln(w, "== Extras: related-work baselines (BOP, BOSS) and §6 feature ablation ==")
+	tbl := newTable(w)
+	tbl.header("Dataset", "BOP", "BOSS", "MVG", "MVG+ext")
+
+	var bopErrs, bossErrs, mvgErrs, extErrs []float64
+	for _, run := range runs {
+		be, _, _, err := evalSeriesClassifier(bop.New(bop.Params{}), run)
+		if err != nil {
+			return fmt.Errorf("%s bop: %w", run.Family.Name, err)
+		}
+		se, _, _, err := evalSeriesClassifier(boss.New(boss.Params{}), run)
+		if err != nil {
+			return fmt.Errorf("%s boss: %w", run.Family.Name, err)
+		}
+		me, err := r.Cfg.evalRepresentation(run, core.Options{})
+		if err != nil {
+			return err
+		}
+		xe, err := r.Cfg.evalRepresentation(run, core.Options{Extended: true})
+		if err != nil {
+			return err
+		}
+		bopErrs = append(bopErrs, be)
+		bossErrs = append(bossErrs, se)
+		mvgErrs = append(mvgErrs, me)
+		extErrs = append(extErrs, xe)
+		tbl.row(run.Family.Name,
+			fmt.Sprintf("%.3f", be), fmt.Sprintf("%.3f", se),
+			fmt.Sprintf("%.3f", me), fmt.Sprintf("%.3f", xe))
+	}
+	tbl.flush()
+
+	for _, cmp := range []struct {
+		name string
+		base []float64
+	}{{"BOP", bopErrs}, {"BOSS", bossErrs}} {
+		res, err := stats.Wilcoxon(cmp.base, mvgErrs)
+		if err != nil {
+			fmt.Fprintf(w, "%s vs MVG: not testable (%v)\n", cmp.name, err)
+			continue
+		}
+		fmt.Fprintf(w, "%s vs MVG: MVG wins %d / %s wins %d, p = %.4g\n",
+			cmp.name, res.BWins, cmp.name, res.AWins, res.P)
+	}
+	if res, err := stats.Wilcoxon(mvgErrs, extErrs); err == nil {
+		fmt.Fprintf(w, "MVG vs MVG+extended: extended wins %d / base wins %d, p = %.4g\n",
+			res.BWins, res.AWins, res.P)
+	} else {
+		fmt.Fprintf(w, "MVG vs MVG+extended: not testable (%v)\n", err)
+	}
+	fmt.Fprintln(w)
+	return nil
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"mvg/internal/stats"
+)
+
+// table is a small tabwriter wrapper for aligned report tables.
+type table struct{ tw *tabwriter.Writer }
+
+func newTable(w io.Writer) *table {
+	return &table{tw: tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)}
+}
+
+func (t *table) header(cells ...string) {
+	t.row(cells...)
+	rule := make([]string, len(cells))
+	for i, c := range cells {
+		rule[i] = strings.Repeat("-", len(c))
+	}
+	t.row(rule...)
+}
+
+func (t *table) row(cells ...string) {
+	fmt.Fprintln(t.tw, strings.Join(cells, "\t"))
+}
+
+func (t *table) flush() { t.tw.Flush() }
+
+// renderCD prints a textual critical-difference diagram: average ranks on
+// a rank axis plus the groups joined by insignificance bars, mirroring the
+// paper's Figures 6 and 7.
+func renderCD(w io.Writer, names []string, scores [][]float64, alpha float64) error {
+	fr, err := stats.Friedman(scores)
+	if err != nil {
+		return err
+	}
+	cd, err := stats.NemenyiCD(fr.K, fr.N, alpha)
+	if err != nil {
+		return err
+	}
+	type entry struct {
+		name string
+		rank float64
+	}
+	entries := make([]entry, len(names))
+	for i, n := range names {
+		entries[i] = entry{n, fr.AvgRanks[i]}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].rank < entries[j].rank })
+
+	fmt.Fprintf(w, "Friedman χ² = %.3f (df=%d), p = %.4g;  Nemenyi CD = %.4f at α = %.2f, N = %d\n",
+		fr.ChiSq, fr.K-1, fr.P, cd, alpha, fr.N)
+	fmt.Fprintln(w, "Average ranks (lower = more accurate):")
+	for _, e := range entries {
+		// Rank axis from 1..K rendered as a dotted line with a marker.
+		const width = 40
+		pos := int((e.rank - 1) / float64(len(names)-1) * float64(width-1))
+		if pos < 0 {
+			pos = 0
+		}
+		if pos >= width {
+			pos = width - 1
+		}
+		axis := []rune(strings.Repeat("·", width))
+		axis[pos] = '#'
+		fmt.Fprintf(w, "  %-14s %5.3f  |%s|\n", e.name, e.rank, string(axis))
+	}
+	// Insignificance groups: maximal runs of sorted entries whose rank
+	// spread is below the critical difference (subset runs are skipped).
+	fmt.Fprintln(w, "Groups not significantly different (within one CD):")
+	printed := false
+	maxEnd := -1
+	for i := 0; i < len(entries); i++ {
+		j := i
+		for j+1 < len(entries) && entries[j+1].rank-entries[i].rank < cd {
+			j++
+		}
+		if j > i && j > maxEnd {
+			maxEnd = j
+			names := make([]string, 0, j-i+1)
+			for k := i; k <= j; k++ {
+				names = append(names, entries[k].name)
+			}
+			fmt.Fprintf(w, "  { %s }\n", strings.Join(names, " ~ "))
+			printed = true
+		}
+	}
+	if !printed {
+		fmt.Fprintln(w, "  (all pairs significantly different)")
+	}
+	return nil
+}

@@ -1,0 +1,232 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mvg/internal/core"
+	"mvg/internal/stats"
+)
+
+// repSpec is one representation column of Table 2.
+type repSpec struct {
+	Label string
+	Desc  string
+	Opts  core.Options
+}
+
+// table2Columns are the paper's columns A–G: UVG×HVG×{MPDs,All},
+// UVG×VG×{MPDs,All}, UVG×(VG+HVG), AMVG, MVG.
+func table2Columns() []repSpec {
+	return []repSpec{
+		{"A", "UVG HVG MPDs", core.Options{Scales: core.Uniscale, Graphs: core.HVGOnly, Features: core.MPDsOnly}},
+		{"B", "UVG HVG All", core.Options{Scales: core.Uniscale, Graphs: core.HVGOnly, Features: core.AllFeatures}},
+		{"C", "UVG VG MPDs", core.Options{Scales: core.Uniscale, Graphs: core.VGOnly, Features: core.MPDsOnly}},
+		{"D", "UVG VG All", core.Options{Scales: core.Uniscale, Graphs: core.VGOnly, Features: core.AllFeatures}},
+		{"E", "UVG VG+HVG All", core.Options{Scales: core.Uniscale, Graphs: core.VGAndHVG, Features: core.AllFeatures}},
+		{"F", "AMVG VG+HVG All", core.Options{Scales: core.ApproxMultiscale, Graphs: core.VGAndHVG, Features: core.AllFeatures}},
+		{"G", "MVG VG+HVG All", core.Options{Scales: core.FullMultiscale, Graphs: core.VGAndHVG, Features: core.AllFeatures}},
+	}
+}
+
+// Table2Data holds every per-dataset error rate of the ablation.
+type Table2Data struct {
+	Datasets []DatasetRun
+	Columns  []repSpec
+	// Err[i][j] is dataset i's error under column j.
+	Err [][]float64
+	// NNED and NNDTW are the 1NN reference columns.
+	NNED, NNDTW []float64
+}
+
+// Column returns the error-rate vector of a labelled column ("A".."G",
+// "1NN-ED", "1NN-DTW").
+func (t *Table2Data) Column(label string) []float64 {
+	switch label {
+	case "1NN-ED":
+		return t.NNED
+	case "1NN-DTW":
+		return t.NNDTW
+	}
+	for j, c := range t.Columns {
+		if c.Label == label {
+			out := make([]float64, len(t.Err))
+			for i := range t.Err {
+				out[i] = t.Err[i][j]
+			}
+			return out
+		}
+	}
+	return nil
+}
+
+// Table2 computes (and caches) the heuristic-ablation data.
+func (r *Runner) Table2() (*Table2Data, error) {
+	if r.table2 != nil {
+		return r.table2, nil
+	}
+	runs, err := r.Cfg.LoadSuite()
+	if err != nil {
+		return nil, err
+	}
+	cols := table2Columns()
+	data := &Table2Data{Datasets: runs, Columns: cols}
+	for _, run := range runs {
+		row := make([]float64, len(cols))
+		for j, col := range cols {
+			opts := col.Opts
+			// Short series cannot produce AMVG scales with the default τ;
+			// match the paper's τ guidance by relaxing it for tiny inputs.
+			if opts.Scales == core.ApproxMultiscale && run.Train.SeriesLength()/2 <= 15 {
+				opts.Tau = -1
+			}
+			e, err := r.Cfg.evalRepresentation(run, opts)
+			if err != nil {
+				return nil, fmt.Errorf("column %s: %w", col.Label, err)
+			}
+			row[j] = e
+		}
+		data.Err = append(data.Err, row)
+
+		ed, _, _, err := evalSeriesClassifier(nn1ED(), run)
+		if err != nil {
+			return nil, err
+		}
+		dtw, _, _, err := evalSeriesClassifier(r.Cfg.nn1DTW(run.Train.SeriesLength()), run)
+		if err != nil {
+			return nil, err
+		}
+		data.NNED = append(data.NNED, ed)
+		data.NNDTW = append(data.NNDTW, dtw)
+	}
+	r.table2 = data
+	return data, nil
+}
+
+// table2Pairings are the paper's bottom-of-table comparisons: each column
+// versus its reference, in the order printed in Table 2.
+var table2Pairings = [][2]string{
+	{"1NN-ED", "G"}, {"1NN-DTW", "G"},
+	{"A", "B"}, {"B", "D"}, {"C", "D"}, {"D", "E"},
+	{"E", "F"}, {"F", "G"}, {"E", "G"},
+}
+
+// RunTable2 renders the full ablation table with Wilcoxon rows.
+func (r *Runner) RunTable2() error {
+	data, err := r.Table2()
+	if err != nil {
+		return err
+	}
+	w := r.Cfg.Out
+	fmt.Fprintln(w, "== Table 2: error rates across representations (XGBoost, 3-fold CV grid search) ==")
+	fmt.Fprintln(w, "Columns: A=HVG/MPDs B=HVG/All C=VG/MPDs D=VG/All (all UVG), E=UVG F=AMVG G=MVG (VG+HVG, all features)")
+	tbl := newTable(w)
+	tbl.header("Dataset", "#Cls", "#Train", "#Test", "Dim",
+		"1NN-ED", "1NN-DTW", "A", "B", "C", "D", "E", "F", "G")
+	for i, run := range data.Datasets {
+		best := minOf(append([]float64{data.NNED[i], data.NNDTW[i]}, data.Err[i]...))
+		mark := func(v float64) string {
+			cell := fmt.Sprintf("%.3f", v)
+			if v == best {
+				cell += "*"
+			}
+			return cell
+		}
+		row := []string{
+			run.Family.Name,
+			fmt.Sprint(run.Train.Classes()),
+			fmt.Sprint(run.Train.Len()),
+			fmt.Sprint(run.Test.Len()),
+			fmt.Sprint(run.Train.SeriesLength()),
+			mark(data.NNED[i]),
+			mark(data.NNDTW[i]),
+		}
+		for _, v := range data.Err[i] {
+			row = append(row, mark(v))
+		}
+		tbl.row(row...)
+	}
+	tbl.flush()
+
+	fmt.Fprintln(w, "\nWilcoxon signed-rank comparisons (paper's bottom rows; lower error wins):")
+	for _, pair := range table2Pairings {
+		a, b := data.Column(pair[0]), data.Column(pair[1])
+		res, err := stats.Wilcoxon(a, b)
+		if err != nil {
+			fmt.Fprintf(w, "  %-8s vs %-8s  not testable: %v\n", pair[0], pair[1], err)
+			continue
+		}
+		fmt.Fprintf(w, "  %-8s vs %-8s  %s wins %d / %s wins %d (ties %d), p = %.4g\n",
+			pair[0], pair[1], pair[1], res.BWins, pair[0], res.AWins,
+			len(a)-res.AWins-res.BWins, res.P)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// scatterPairs renders one paper scatter plot as a win/loss listing (each
+// point of the figure is a dataset's pair of error rates).
+func (r *Runner) scatterPairs(title string, pairs [][2]string) error {
+	data, err := r.Table2()
+	if err != nil {
+		return err
+	}
+	w := r.Cfg.Out
+	fmt.Fprintf(w, "== %s ==\n", title)
+	for _, pair := range pairs {
+		a, b := data.Column(pair[0]), data.Column(pair[1])
+		fmt.Fprintf(w, "-- %s vs %s (x=%s error, y=%s error; below diagonal = %s wins)\n",
+			pair[0], pair[1], pair[0], pair[1], pair[1])
+		wins := 0
+		for i, run := range data.Datasets {
+			marker := " "
+			switch {
+			case b[i] < a[i]:
+				marker = "+" // second column wins
+				wins++
+			case a[i] < b[i]:
+				marker = "-"
+			}
+			fmt.Fprintf(w, "   %-16s (%.3f, %.3f) %s\n", run.Family.Name, a[i], b[i], marker)
+		}
+		res, err := stats.Wilcoxon(a, b)
+		if err == nil {
+			fmt.Fprintf(w, "   %s wins %d/%d datasets, Wilcoxon p = %.4g\n",
+				pair[1], wins, len(a), res.P)
+		} else {
+			fmt.Fprintf(w, "   %s wins %d/%d datasets\n", pair[1], wins, len(a))
+		}
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// RunFigure3 renders the MPDs-vs-all-features scatter comparisons.
+func (r *Runner) RunFigure3() error {
+	return r.scatterPairs("Figure 3: MPDs only vs MPDs+other graph features", [][2]string{
+		{"A", "B"}, {"C", "D"},
+	})
+}
+
+// RunFigure4 renders the HVG/VG/UVG scatter comparisons.
+func (r *Runner) RunFigure4() error {
+	return r.scatterPairs("Figure 4: HVG vs VG vs combined (UVG)", [][2]string{
+		{"B", "D"}, {"B", "E"}, {"D", "E"},
+	})
+}
+
+// RunFigure5 renders the UVG/AMVG/MVG scatter comparisons.
+func (r *Runner) RunFigure5() error {
+	return r.scatterPairs("Figure 5: UVG vs AMVG vs MVG", [][2]string{
+		{"E", "F"}, {"F", "G"}, {"E", "G"},
+	})
+}
+
+func minOf(values []float64) float64 {
+	best := values[0]
+	for _, v := range values[1:] {
+		if v < best {
+			best = v
+		}
+	}
+	return best
+}

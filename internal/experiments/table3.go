@@ -1,0 +1,271 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"mvg/internal/baselines/fastshapelets"
+	"mvg/internal/baselines/learnshapelets"
+	"mvg/internal/baselines/saxvsm"
+	"mvg/internal/core"
+	"mvg/internal/grids"
+	"mvg/internal/ml"
+	"mvg/internal/ml/modelsel"
+	"mvg/internal/stats"
+)
+
+// Table3Row is one dataset's accuracy/runtime record.
+type Table3Row struct {
+	Dataset string
+	Classes int
+	Train   int
+	Test    int
+	Dim     int
+	// Error rates, paper column order.
+	NNED, NNDTW, LS, FS, SAXVSM, MVG float64
+	// Runtime split for MVG: feature extraction vs classification
+	// (train+test), and their sum, in seconds.
+	MVGFeatSec, MVGClfSec, MVGTotalSec float64
+	// FS runtime (train+test) in seconds.
+	FSSec float64
+}
+
+// Table3Data holds the full baseline comparison.
+type Table3Data struct {
+	Rows []Table3Row
+}
+
+// Column extracts one named error-rate vector.
+func (t *Table3Data) Column(name string) []float64 {
+	out := make([]float64, len(t.Rows))
+	for i, r := range t.Rows {
+		switch name {
+		case "1NN-ED":
+			out[i] = r.NNED
+		case "1NN-DTW":
+			out[i] = r.NNDTW
+		case "LS":
+			out[i] = r.LS
+		case "FS":
+			out[i] = r.FS
+		case "SAX-VSM":
+			out[i] = r.SAXVSM
+		case "MVG":
+			out[i] = r.MVG
+		}
+	}
+	return out
+}
+
+// mvgPipeline runs the paper's full MVG pipeline (extraction + tuned
+// XGBoost) with the runtime split the Table 3 columns report.
+func (c Config) mvgPipeline(run DatasetRun) (errRate, featSec, clfSec float64, err error) {
+	e, err := core.NewExtractor(core.Options{})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	t0 := time.Now()
+	trainX, err := e.ExtractDataset(run.Train.Series)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	testX, err := e.ExtractDataset(run.Test.Series)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	featSec = time.Since(t0).Seconds()
+
+	t1 := time.Now()
+	classes := run.Train.Classes()
+	model, _, err := modelsel.Best(grids.XGB(c.gridSize(), c.Seed),
+		trainX, run.Train.Labels, classes, 3, run.Family.Imbalanced, c.Seed)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	proba, err := model.PredictProba(testX)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	clfSec = time.Since(t1).Seconds()
+	return ml.ErrorRate(ml.Predict(proba), run.Test.Labels), featSec, clfSec, nil
+}
+
+// Table3 computes (and caches) the state-of-the-art comparison.
+func (r *Runner) Table3() (*Table3Data, error) {
+	if r.table3 != nil {
+		return r.table3, nil
+	}
+	runs, err := r.Cfg.LoadSuite()
+	if err != nil {
+		return nil, err
+	}
+	lsEpochs := 200
+	if r.Cfg.Quick {
+		lsEpochs = 60
+	}
+	data := &Table3Data{}
+	for _, run := range runs {
+		row := Table3Row{
+			Dataset: run.Family.Name,
+			Classes: run.Train.Classes(),
+			Train:   run.Train.Len(),
+			Test:    run.Test.Len(),
+			Dim:     run.Train.SeriesLength(),
+		}
+		if row.NNED, _, _, err = evalSeriesClassifier(nn1ED(), run); err != nil {
+			return nil, fmt.Errorf("%s 1nn-ed: %w", run.Family.Name, err)
+		}
+		if row.NNDTW, _, _, err = evalSeriesClassifier(r.Cfg.nn1DTW(row.Dim), run); err != nil {
+			return nil, fmt.Errorf("%s 1nn-dtw: %w", run.Family.Name, err)
+		}
+		ls := learnshapelets.New(learnshapelets.Params{Epochs: lsEpochs, Seed: r.Cfg.Seed})
+		if row.LS, _, _, err = evalSeriesClassifier(ls, run); err != nil {
+			return nil, fmt.Errorf("%s ls: %w", run.Family.Name, err)
+		}
+		fs := fastshapelets.New(fastshapelets.Params{Seed: r.Cfg.Seed})
+		var fsTrain, fsTest float64
+		if row.FS, fsTrain, fsTest, err = evalSeriesClassifier(fs, run); err != nil {
+			return nil, fmt.Errorf("%s fs: %w", run.Family.Name, err)
+		}
+		row.FSSec = fsTrain + fsTest
+		sv := saxvsm.New(saxvsm.Params{})
+		if row.SAXVSM, _, _, err = evalSeriesClassifier(sv, run); err != nil {
+			return nil, fmt.Errorf("%s sax-vsm: %w", run.Family.Name, err)
+		}
+		if row.MVG, row.MVGFeatSec, row.MVGClfSec, err = r.Cfg.mvgPipeline(run); err != nil {
+			return nil, fmt.Errorf("%s mvg: %w", run.Family.Name, err)
+		}
+		row.MVGTotalSec = row.MVGFeatSec + row.MVGClfSec
+		data.Rows = append(data.Rows, row)
+	}
+	r.table3 = data
+	return data, nil
+}
+
+// RunTable3 renders the paper's accuracy + runtime comparison table.
+func (r *Runner) RunTable3() error {
+	data, err := r.Table3()
+	if err != nil {
+		return err
+	}
+	w := r.Cfg.Out
+	fmt.Fprintln(w, "== Table 3: error rates vs five baselines, and runtime (seconds) ==")
+	tbl := newTable(w)
+	tbl.header("Dataset", "#Cls", "#Train", "#Test", "Dim",
+		"1NN-ED", "1NN-DTW", "LS", "FS", "SAX-VSM", "MVG",
+		"FE(s)", "Clf(s)", "Σ(s)", "FS(s)")
+	bests := make([]int, 6)
+	var mvgTotal, fsTotal float64
+	for _, row := range data.Rows {
+		errs := []float64{row.NNED, row.NNDTW, row.LS, row.FS, row.SAXVSM, row.MVG}
+		best := minOf(errs)
+		cells := []string{
+			row.Dataset,
+			fmt.Sprint(row.Classes), fmt.Sprint(row.Train),
+			fmt.Sprint(row.Test), fmt.Sprint(row.Dim),
+		}
+		for j, e := range errs {
+			cell := fmt.Sprintf("%.3f", e)
+			if e == best {
+				cell += "*"
+				bests[j]++
+			}
+			cells = append(cells, cell)
+		}
+		cells = append(cells,
+			fmt.Sprintf("%.2f", row.MVGFeatSec),
+			fmt.Sprintf("%.2f", row.MVGClfSec),
+			fmt.Sprintf("%.2f", row.MVGTotalSec),
+			fmt.Sprintf("%.2f", row.FSSec))
+		tbl.row(cells...)
+		mvgTotal += row.MVGTotalSec
+		fsTotal += row.FSSec
+	}
+	tbl.flush()
+	fmt.Fprintf(w, "\nBest (incl. ties): 1NN-ED=%d 1NN-DTW=%d LS=%d FS=%d SAX-VSM=%d MVG=%d\n",
+		bests[0], bests[1], bests[2], bests[3], bests[4], bests[5])
+	fmt.Fprintf(w, "Total runtime: MVG %.1fs vs FS %.1fs (FS/MVG = %.1fx)\n",
+		mvgTotal, fsTotal, ratioOrInf(fsTotal, mvgTotal))
+
+	fmt.Fprintln(w, "\nWilcoxon signed-rank vs MVG (lower error wins):")
+	for _, name := range []string{"1NN-ED", "1NN-DTW", "LS", "FS", "SAX-VSM"} {
+		res, err := stats.Wilcoxon(data.Column(name), data.Column("MVG"))
+		if err != nil {
+			fmt.Fprintf(w, "  %-8s vs MVG  not testable: %v\n", name, err)
+			continue
+		}
+		fmt.Fprintf(w, "  %-8s vs MVG  MVG wins %d / %s wins %d (ties %d), p = %.4g\n",
+			name, res.BWins, name, res.AWins,
+			len(data.Rows)-res.AWins-res.BWins, res.P)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// RunFigure8 renders the five baseline-vs-MVG scatter plots.
+func (r *Runner) RunFigure8() error {
+	data, err := r.Table3()
+	if err != nil {
+		return err
+	}
+	w := r.Cfg.Out
+	fmt.Fprintln(w, "== Figure 8: per-dataset error scatter, each baseline vs MVG ==")
+	mvg := data.Column("MVG")
+	for _, name := range []string{"1NN-ED", "1NN-DTW", "LS", "FS", "SAX-VSM"} {
+		base := data.Column(name)
+		wins := 0
+		fmt.Fprintf(w, "-- %s vs MVG (x=%s error, y=MVG error)\n", name, name)
+		for i, row := range data.Rows {
+			marker := " "
+			switch {
+			case mvg[i] < base[i]:
+				marker = "+"
+				wins++
+			case base[i] < mvg[i]:
+				marker = "-"
+			}
+			fmt.Fprintf(w, "   %-16s (%.3f, %.3f) %s\n", row.Dataset, base[i], mvg[i], marker)
+		}
+		fmt.Fprintf(w, "   MVG wins %d/%d datasets\n", wins, len(data.Rows))
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// RunFigure9 renders the FS-vs-MVG log runtime comparison.
+func (r *Runner) RunFigure9() error {
+	data, err := r.Table3()
+	if err != nil {
+		return err
+	}
+	w := r.Cfg.Out
+	fmt.Fprintln(w, "== Figure 9: runtime comparison FS vs MVG (log10 seconds) ==")
+	faster := 0
+	for _, row := range data.Rows {
+		marker := " "
+		if row.MVGTotalSec < row.FSSec {
+			marker = "+"
+			faster++
+		}
+		fmt.Fprintf(w, "   %-16s log10(FS)=%6.2f  log10(MVG)=%6.2f  FS/MVG=%6.1fx %s\n",
+			row.Dataset, log10Safe(row.FSSec), log10Safe(row.MVGTotalSec),
+			ratioOrInf(row.FSSec, row.MVGTotalSec), marker)
+	}
+	fmt.Fprintf(w, "   MVG faster on %d/%d datasets\n\n", faster, len(data.Rows))
+	return nil
+}
+
+func log10Safe(v float64) float64 {
+	if v <= 0 {
+		return math.Inf(-1)
+	}
+	return math.Log10(v)
+}
+
+func ratioOrInf(num, den float64) float64 {
+	if den <= 0 {
+		return math.Inf(1)
+	}
+	return num / den
+}

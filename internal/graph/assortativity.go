@@ -1,0 +1,41 @@
+package graph
+
+import "math"
+
+// Assortativity returns the degree assortativity coefficient — the Pearson
+// correlation of remaining degrees across edges (Newman 2003, equation 4 of
+// the paper). It runs in O(|E|) time.
+//
+// The second return value reports whether the coefficient is defined: it is
+// false when the graph has no edges or when all edge-endpoint degrees are
+// equal (zero variance), in which case the coefficient is conventionally 0.
+func (g *Graph) Assortativity() (float64, bool) {
+	m := float64(g.m)
+	if g.m == 0 {
+		return 0, false
+	}
+	// Accumulate over each edge in both directions (the standard symmetric
+	// formulation): r = [M^-1 Σ j_i k_i - (M^-1 Σ (j_i+k_i)/2)^2] /
+	//                   [M^-1 Σ (j_i^2+k_i^2)/2 - (M^-1 Σ (j_i+k_i)/2)^2]
+	var sumJK, sumHalf, sumHalfSq float64
+	for u, nbrs := range g.adj {
+		du := float64(len(g.adj[u]))
+		for _, vi := range nbrs {
+			v := int(vi)
+			if v <= u {
+				continue
+			}
+			dv := float64(len(g.adj[v]))
+			sumJK += du * dv
+			sumHalf += (du + dv) / 2
+			sumHalfSq += (du*du + dv*dv) / 2
+		}
+	}
+	mean := sumHalf / m
+	num := sumJK/m - mean*mean
+	den := sumHalfSq/m - mean*mean
+	if den <= 0 || math.IsNaN(den) {
+		return 0, false
+	}
+	return num / den, true
+}

@@ -1,0 +1,216 @@
+// Package graph provides the undirected-graph substrate used by the MVG
+// pipeline: a compact adjacency representation plus the statistical graph
+// features the paper extracts — density, degree statistics, k-core number
+// (degeneracy) via the Batagelj–Zaversnik O(m) algorithm, and the degree
+// assortativity coefficient (Newman's r).
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Graph is a simple undirected graph on vertices 0..N-1 with sorted
+// adjacency lists and no self-loops or parallel edges.
+type Graph struct {
+	adj    [][]int32
+	m      int  // number of edges
+	sorted bool // adjacency lists sorted (maintained by Build/AddEdge+Finalize)
+}
+
+// ErrVertexRange is returned when an edge endpoint is out of range.
+var ErrVertexRange = errors.New("graph: vertex out of range")
+
+// New returns an empty graph with n vertices.
+func New(n int) *Graph {
+	if n < 0 {
+		n = 0
+	}
+	return &Graph{adj: make([][]int32, n), sorted: true}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.adj) }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.m }
+
+// Degree returns the degree of vertex v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// Neighbors returns the sorted adjacency list of v. The returned slice is
+// owned by the graph and must not be modified.
+func (g *Graph) Neighbors(v int) []int32 {
+	g.ensureSorted()
+	return g.adj[v]
+}
+
+// AddEdge inserts the undirected edge (u,v). Self-loops and duplicate edges
+// are rejected with an error. Adjacency order is restored lazily.
+func (g *Graph) AddEdge(u, v int) error {
+	n := len(g.adj)
+	if u < 0 || u >= n || v < 0 || v >= n {
+		return fmt.Errorf("%w: (%d,%d) with n=%d", ErrVertexRange, u, v, n)
+	}
+	if u == v {
+		return fmt.Errorf("graph: self-loop at %d", u)
+	}
+	if g.HasEdge(u, v) {
+		return fmt.Errorf("graph: duplicate edge (%d,%d)", u, v)
+	}
+	g.adj[u] = append(g.adj[u], int32(v))
+	g.adj[v] = append(g.adj[v], int32(u))
+	g.m++
+	g.sorted = false
+	return nil
+}
+
+// addEdgeUnchecked appends an edge assuming the caller guarantees validity
+// and uniqueness; used by bulk constructors.
+func (g *Graph) addEdgeUnchecked(u, v int) {
+	g.adj[u] = append(g.adj[u], int32(v))
+	g.adj[v] = append(g.adj[v], int32(u))
+	g.m++
+	g.sorted = false
+}
+
+// FromEdges builds a graph on n vertices from an edge list. Duplicate edges
+// and self-loops are rejected.
+func FromEdges(n int, edges [][2]int) (*Graph, error) {
+	g := New(n)
+	for _, e := range edges {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			return nil, err
+		}
+	}
+	g.ensureSorted()
+	return g, nil
+}
+
+// FromEdgesUnchecked builds a graph from a known-valid, duplicate-free edge
+// list (as produced by the visibility-graph constructors) without the
+// per-edge membership checks of FromEdges.
+func FromEdgesUnchecked(n int, edges [][2]int) *Graph {
+	g := New(n)
+	for _, e := range edges {
+		g.addEdgeUnchecked(e[0], e[1])
+	}
+	g.ensureSorted()
+	return g
+}
+
+func (g *Graph) ensureSorted() {
+	if g.sorted {
+		return
+	}
+	for _, nbrs := range g.adj {
+		sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+	}
+	g.sorted = true
+}
+
+// HasEdge reports whether the undirected edge (u,v) exists.
+func (g *Graph) HasEdge(u, v int) bool {
+	n := len(g.adj)
+	if u < 0 || u >= n || v < 0 || v >= n || u == v {
+		return false
+	}
+	// Search the shorter list.
+	a := g.adj[u]
+	if len(g.adj[v]) < len(a) {
+		a = g.adj[v]
+		v = u
+	}
+	if g.sorted {
+		i := sort.Search(len(a), func(i int) bool { return a[i] >= int32(v) })
+		return i < len(a) && a[i] == int32(v)
+	}
+	for _, w := range a {
+		if w == int32(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// Edges returns all edges as (u,v) pairs with u < v, in vertex order.
+func (g *Graph) Edges() [][2]int {
+	g.ensureSorted()
+	out := make([][2]int, 0, g.m)
+	for u, nbrs := range g.adj {
+		for _, v := range nbrs {
+			if int(v) > u {
+				out = append(out, [2]int{u, int(v)})
+			}
+		}
+	}
+	return out
+}
+
+// Degrees returns the degree sequence.
+func (g *Graph) Degrees() []int {
+	out := make([]int, len(g.adj))
+	for v := range g.adj {
+		out[v] = len(g.adj[v])
+	}
+	return out
+}
+
+// Density returns 2|E| / (|V| (|V|-1)) (equation 2 of the paper).
+// Graphs with fewer than two vertices have density 0.
+func (g *Graph) Density() float64 {
+	n := float64(g.N())
+	if g.N() < 2 {
+		return 0
+	}
+	return 2 * float64(g.m) / (n * (n - 1))
+}
+
+// DegreeStats returns the maximum, minimum and mean vertex degree.
+// All are 0 for the empty graph.
+func (g *Graph) DegreeStats() (maxDeg, minDeg int, meanDeg float64) {
+	n := g.N()
+	if n == 0 {
+		return 0, 0, 0
+	}
+	maxDeg = len(g.adj[0])
+	minDeg = maxDeg
+	total := 0
+	for _, nbrs := range g.adj {
+		d := len(nbrs)
+		total += d
+		if d > maxDeg {
+			maxDeg = d
+		}
+		if d < minDeg {
+			minDeg = d
+		}
+	}
+	return maxDeg, minDeg, float64(total) / float64(n)
+}
+
+// IsConnected reports whether the graph is connected (the empty graph and
+// single-vertex graph count as connected).
+func (g *Graph) IsConnected() bool {
+	n := g.N()
+	if n <= 1 {
+		return true
+	}
+	seen := make([]bool, n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range g.adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				count++
+				stack = append(stack, int(w))
+			}
+		}
+	}
+	return count == n
+}

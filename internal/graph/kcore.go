@@ -1,0 +1,86 @@
+package graph
+
+// CoreNumbers computes the core number of every vertex with the
+// Batagelj–Zaversnik bucket algorithm, which runs in O(|V| + |E|) time.
+// The core number of v is the largest k such that v belongs to the k-core
+// (the maximal subgraph in which every vertex has degree >= k, equation 3
+// of the paper).
+func (g *Graph) CoreNumbers() []int {
+	n := g.N()
+	core := make([]int, n)
+	if n == 0 {
+		return core
+	}
+	deg := g.Degrees()
+	maxDeg := 0
+	for _, d := range deg {
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	// Bucket sort vertices by degree.
+	bin := make([]int, maxDeg+2) // bin[d] = start index of degree-d block in vert
+	for _, d := range deg {
+		bin[d+1]++
+	}
+	for d := 1; d <= maxDeg+1; d++ {
+		bin[d] += bin[d-1]
+	}
+	start := make([]int, maxDeg+1)
+	copy(start, bin[:maxDeg+1])
+	vert := make([]int, n) // vertices ordered by current degree
+	pos := make([]int, n)  // position of each vertex in vert
+	fill := make([]int, maxDeg+1)
+	copy(fill, start)
+	for v := 0; v < n; v++ {
+		pos[v] = fill[deg[v]]
+		vert[pos[v]] = v
+		fill[deg[v]]++
+	}
+	// Peel vertices in nondecreasing degree order.
+	for i := 0; i < n; i++ {
+		v := vert[i]
+		core[v] = deg[v]
+		for _, wi := range g.adj[v] {
+			w := int(wi)
+			if deg[w] > deg[v] {
+				dw := deg[w]
+				pw := pos[w]
+				ps := start[dw]
+				u := vert[ps]
+				if u != w {
+					// Swap w with the first vertex of its degree block.
+					vert[ps], vert[pw] = w, u
+					pos[w], pos[u] = ps, pw
+				}
+				start[dw]++
+				deg[w]--
+			}
+		}
+	}
+	return core
+}
+
+// Degeneracy returns the maximum core number over all vertices — the K of
+// equation 3 in the paper ("K-core" feature). It is 0 for edgeless graphs.
+func (g *Graph) Degeneracy() int {
+	maxCore := 0
+	for _, c := range g.CoreNumbers() {
+		if c > maxCore {
+			maxCore = c
+		}
+	}
+	return maxCore
+}
+
+// KCore returns the vertex set of the k-core: every vertex whose core
+// number is at least k.
+func (g *Graph) KCore(k int) []int {
+	var out []int
+	for v, c := range g.CoreNumbers() {
+		if c >= k {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+// Package grids defines the hyper-parameter search grids for the three
+// generic classifier families of Section 4.2/4.3. The paper's grid
+// (learning rate ∈ 3 values, estimators ∈ 10 values, depth ∈ {10, 20},
+// subsample = colsample = 0.5) is provided in full and in a reduced
+// "quick" form used by tests and the scaled-down benchmark harness.
+package grids
+
+import (
+	"mvg/internal/ml"
+	"mvg/internal/ml/forest"
+	"mvg/internal/ml/svm"
+	"mvg/internal/ml/xgb"
+)
+
+// Size selects the grid resolution.
+type Size int
+
+const (
+	// Quick is a small grid for tests and fast experiment runs.
+	Quick Size = iota
+	// Full mirrors the paper's grid-search dimensions.
+	Full
+)
+
+// XGB returns the XGBoost candidate grid. The paper: learning rate has
+// "three choices from 0.01 to 0.3", estimators "10 choices from 10 to
+// 100", depth "10 or 20", subsample and colsample fixed at 0.5.
+func XGB(size Size, seed int64) []ml.Classifier {
+	var lrs []float64
+	var rounds, depths []int
+	switch size {
+	case Full:
+		lrs = []float64{0.01, 0.1, 0.3}
+		rounds = []int{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+		depths = []int{10, 20}
+	default:
+		lrs = []float64{0.1, 0.3}
+		rounds = []int{25, 50}
+		depths = []int{3, 6}
+	}
+	var out []ml.Classifier
+	for _, lr := range lrs {
+		for _, r := range rounds {
+			for _, d := range depths {
+				out = append(out, xgb.New(xgb.Params{
+					NumRounds:       r,
+					LearningRate:    lr,
+					MaxDepth:        d,
+					Subsample:       0.5,
+					ColsampleByTree: 0.5,
+					Seed:            seed,
+				}))
+			}
+		}
+	}
+	return out
+}
+
+// RF returns the random-forest candidate grid.
+func RF(size Size, seed int64) []ml.Classifier {
+	var trees, depths []int
+	switch size {
+	case Full:
+		trees = []int{50, 100, 200, 400}
+		depths = []int{0, 10, 20}
+	default:
+		trees = []int{50, 100}
+		depths = []int{0, 10}
+	}
+	var out []ml.Classifier
+	for _, n := range trees {
+		for _, d := range depths {
+			out = append(out, forest.New(forest.Params{
+				NumTrees: n,
+				MaxDepth: d,
+				Seed:     seed,
+			}))
+		}
+	}
+	return out
+}
+
+// SVM returns the SVM candidate grid (inputs must be min-max scaled).
+func SVM(size Size, seed int64) []ml.Classifier {
+	var cs, gammas []float64
+	switch size {
+	case Full:
+		cs = []float64{0.1, 1, 10, 100}
+		gammas = []float64{0, 0.01, 0.1, 1} // 0 = 1/numFeatures
+	default:
+		cs = []float64{1, 10}
+		gammas = []float64{0, 0.1}
+	}
+	var out []ml.Classifier
+	for _, c := range cs {
+		for _, g := range gammas {
+			out = append(out, svm.New(svm.Params{C: c, Kernel: svm.RBF, Gamma: g, Seed: seed}))
+		}
+	}
+	// One linear machine per C completes the family.
+	for _, c := range cs {
+		out = append(out, svm.New(svm.Params{C: c, Kernel: svm.Linear, Seed: seed}))
+	}
+	return out
+}

@@ -1,0 +1,46 @@
+package grids
+
+import (
+	"testing"
+
+	"mvg/internal/ml"
+)
+
+func TestGridSizes(t *testing.T) {
+	if n := len(XGB(Full, 1)); n != 3*10*2 {
+		t.Errorf("full XGB grid has %d candidates, want 60 (paper: 3 lrs × 10 estimator counts × 2 depths)", n)
+	}
+	if n := len(XGB(Quick, 1)); n != 8 {
+		t.Errorf("quick XGB grid has %d candidates, want 8", n)
+	}
+	if n := len(RF(Full, 1)); n != 12 {
+		t.Errorf("full RF grid has %d", n)
+	}
+	if n := len(SVM(Full, 1)); n != 20 {
+		t.Errorf("full SVM grid has %d", n)
+	}
+}
+
+func TestCandidatesAreDistinctAndNamed(t *testing.T) {
+	for _, grid := range [][]ml.Classifier{XGB(Quick, 1), RF(Quick, 1), SVM(Quick, 1)} {
+		names := map[string]bool{}
+		for _, c := range grid {
+			n, ok := c.(ml.Named)
+			if !ok {
+				t.Fatalf("candidate %T is not Named", c)
+			}
+			if names[n.Name()] {
+				t.Errorf("duplicate candidate %q", n.Name())
+			}
+			names[n.Name()] = true
+		}
+	}
+}
+
+func TestCandidatesAreUntrained(t *testing.T) {
+	for _, c := range XGB(Quick, 1) {
+		if _, err := c.PredictProba([][]float64{{1}}); err == nil {
+			t.Fatal("grid candidate is already trained")
+		}
+	}
+}

@@ -1,0 +1,339 @@
+// Package cart implements CART-style binary classification trees with gini
+// impurity and exact greedy splits. It is the base learner of the random
+// forest (internal/ml/forest); the boosting package grows its own
+// second-order regression trees.
+package cart
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"mvg/internal/ml"
+)
+
+// Params configures tree induction.
+type Params struct {
+	// MaxDepth limits tree depth; 0 means unlimited.
+	MaxDepth int
+	// MinSamplesLeaf is the minimum number of training samples per leaf
+	// (default 1).
+	MinSamplesLeaf int
+	// MinSamplesSplit is the minimum number of samples required to attempt
+	// a split (default 2).
+	MinSamplesSplit int
+	// MaxFeatures is the number of features examined per node; 0 means all
+	// (set to √p by the random forest).
+	MaxFeatures int
+	// Seed drives feature subsampling.
+	Seed int64
+}
+
+func (p Params) withDefaults() Params {
+	if p.MinSamplesLeaf <= 0 {
+		p.MinSamplesLeaf = 1
+	}
+	if p.MinSamplesSplit < 2 {
+		p.MinSamplesSplit = 2
+	}
+	return p
+}
+
+// node is one tree node; leaves carry class probabilities.
+type node struct {
+	feature   int32 // -1 for leaves
+	threshold float64
+	left      int32
+	right     int32
+	probs     []float64
+}
+
+// Tree is a fitted classification tree implementing ml.Classifier.
+type Tree struct {
+	P       Params
+	nodes   []node
+	classes int
+}
+
+// New returns an untrained tree with the given parameters.
+func New(p Params) *Tree { return &Tree{P: p} }
+
+// Clone returns a fresh untrained tree with identical parameters.
+func (t *Tree) Clone() ml.Classifier { return &Tree{P: t.P} }
+
+// Name implements ml.Named.
+func (t *Tree) Name() string { return "cart" }
+
+// builder carries shared state during induction.
+type builder struct {
+	X        [][]float64
+	y        []int
+	classes  int
+	p        Params
+	rng      *rand.Rand
+	nodes    []node
+	sampleW  []float64 // optional sample weights (nil = unweighted)
+	features []int     // scratch for feature subsampling
+}
+
+// Fit grows the tree on (X, y).
+func (t *Tree) Fit(X [][]float64, y []int, classes int) error {
+	if err := ml.CheckTrainingSet(X, y, classes); err != nil {
+		return err
+	}
+	t.classes = classes
+	t.P = t.P.withDefaults()
+	b := &builder{
+		X:       X,
+		y:       y,
+		classes: classes,
+		p:       t.P,
+		rng:     rand.New(rand.NewSource(t.P.Seed)),
+	}
+	idx := make([]int, len(X))
+	for i := range idx {
+		idx[i] = i
+	}
+	b.grow(idx, 0)
+	t.nodes = b.nodes
+	return nil
+}
+
+// FitWeighted grows the tree with per-sample weights (used by boosting-like
+// callers and oversampling-free class weighting).
+func (t *Tree) FitWeighted(X [][]float64, y []int, classes int, w []float64) error {
+	if err := ml.CheckTrainingSet(X, y, classes); err != nil {
+		return err
+	}
+	if len(w) != len(X) {
+		return ml.ErrShapeMismatch
+	}
+	t.classes = classes
+	t.P = t.P.withDefaults()
+	b := &builder{
+		X:       X,
+		y:       y,
+		classes: classes,
+		p:       t.P,
+		rng:     rand.New(rand.NewSource(t.P.Seed)),
+		sampleW: w,
+	}
+	idx := make([]int, len(X))
+	for i := range idx {
+		idx[i] = i
+	}
+	b.grow(idx, 0)
+	t.nodes = b.nodes
+	return nil
+}
+
+func (b *builder) weight(i int) float64 {
+	if b.sampleW == nil {
+		return 1
+	}
+	return b.sampleW[i]
+}
+
+// leaf creates a leaf node from the samples' class distribution.
+func (b *builder) leaf(idx []int) int32 {
+	probs := make([]float64, b.classes)
+	for _, i := range idx {
+		probs[b.y[i]] += b.weight(i)
+	}
+	ml.Normalize(probs)
+	b.nodes = append(b.nodes, node{feature: -1, probs: probs})
+	return int32(len(b.nodes) - 1)
+}
+
+// gini returns the gini impurity of a weighted class histogram.
+func gini(counts []float64, total float64) float64 {
+	if total <= 0 {
+		return 0
+	}
+	sumSq := 0.0
+	for _, c := range counts {
+		sumSq += c * c
+	}
+	return 1 - sumSq/(total*total)
+}
+
+// candidateFeatures returns the feature indices examined at one node.
+func (b *builder) candidateFeatures(width int) []int {
+	if b.p.MaxFeatures <= 0 || b.p.MaxFeatures >= width {
+		if b.features == nil {
+			b.features = make([]int, width)
+			for i := range b.features {
+				b.features[i] = i
+			}
+		}
+		return b.features
+	}
+	// Partial Fisher-Yates over a reusable index slice.
+	if b.features == nil {
+		b.features = make([]int, width)
+		for i := range b.features {
+			b.features[i] = i
+		}
+	}
+	for i := 0; i < b.p.MaxFeatures; i++ {
+		j := i + b.rng.Intn(width-i)
+		b.features[i], b.features[j] = b.features[j], b.features[i]
+	}
+	return b.features[:b.p.MaxFeatures]
+}
+
+// grow recursively builds the subtree over idx and returns its node index.
+func (b *builder) grow(idx []int, depth int) int32 {
+	pure := true
+	first := b.y[idx[0]]
+	for _, i := range idx[1:] {
+		if b.y[i] != first {
+			pure = false
+			break
+		}
+	}
+	if pure || len(idx) < b.p.MinSamplesSplit ||
+		(b.p.MaxDepth > 0 && depth >= b.p.MaxDepth) {
+		return b.leaf(idx)
+	}
+
+	bestFeature := -1
+	bestThreshold := 0.0
+	bestScore := math.Inf(1)
+
+	total := 0.0
+	parentCounts := make([]float64, b.classes)
+	for _, i := range idx {
+		w := b.weight(i)
+		parentCounts[b.y[i]] += w
+		total += w
+	}
+	parentGini := gini(parentCounts, total)
+
+	order := make([]int, len(idx))
+	left := make([]float64, b.classes)
+	for _, f := range b.candidateFeatures(len(b.X[0])) {
+		copy(order, idx)
+		sort.Slice(order, func(a, c int) bool { return b.X[order[a]][f] < b.X[order[c]][f] })
+		for i := range left {
+			left[i] = 0
+		}
+		leftTotal := 0.0
+		leftCount := 0
+		for k := 0; k+1 < len(order); k++ {
+			i := order[k]
+			w := b.weight(i)
+			left[b.y[i]] += w
+			leftTotal += w
+			leftCount++
+			v, next := b.X[i][f], b.X[order[k+1]][f]
+			if v == next {
+				continue // cannot split between equal values
+			}
+			if leftCount < b.p.MinSamplesLeaf || len(order)-leftCount < b.p.MinSamplesLeaf {
+				continue
+			}
+			rightTotal := total - leftTotal
+			score := 0.0
+			// Weighted child gini.
+			{
+				sumSq := 0.0
+				for _, c := range left {
+					sumSq += c * c
+				}
+				if leftTotal > 0 {
+					score += leftTotal * (1 - sumSq/(leftTotal*leftTotal))
+				}
+				sumSq = 0
+				for ci, c := range parentCounts {
+					r := c - left[ci]
+					sumSq += r * r
+				}
+				if rightTotal > 0 {
+					score += rightTotal * (1 - sumSq/(rightTotal*rightTotal))
+				}
+			}
+			score /= total
+			if score < bestScore {
+				bestScore = score
+				bestFeature = f
+				bestThreshold = (v + next) / 2
+			}
+		}
+	}
+
+	if bestFeature < 0 || bestScore >= parentGini-1e-12 {
+		return b.leaf(idx)
+	}
+
+	var leftIdx, rightIdx []int
+	for _, i := range idx {
+		if b.X[i][bestFeature] <= bestThreshold {
+			leftIdx = append(leftIdx, i)
+		} else {
+			rightIdx = append(rightIdx, i)
+		}
+	}
+	if len(leftIdx) == 0 || len(rightIdx) == 0 {
+		return b.leaf(idx)
+	}
+
+	self := int32(len(b.nodes))
+	b.nodes = append(b.nodes, node{feature: int32(bestFeature), threshold: bestThreshold})
+	l := b.grow(leftIdx, depth+1)
+	r := b.grow(rightIdx, depth+1)
+	b.nodes[self].left = l
+	b.nodes[self].right = r
+	return self
+}
+
+// PredictProba returns leaf class distributions for each row.
+func (t *Tree) PredictProba(X [][]float64) ([][]float64, error) {
+	if t.nodes == nil {
+		return nil, ml.ErrNotFitted
+	}
+	out := make([][]float64, len(X))
+	for i, row := range X {
+		p := t.predictRow(row)
+		cp := make([]float64, len(p))
+		copy(cp, p)
+		out[i] = cp
+	}
+	return out, nil
+}
+
+func (t *Tree) predictRow(row []float64) []float64 {
+	n := &t.nodes[0]
+	for n.feature >= 0 {
+		if row[n.feature] <= n.threshold {
+			n = &t.nodes[n.left]
+		} else {
+			n = &t.nodes[n.right]
+		}
+	}
+	return n.probs
+}
+
+// Depth returns the maximum depth of the fitted tree (root = 0).
+func (t *Tree) Depth() int {
+	if len(t.nodes) == 0 {
+		return 0
+	}
+	var walk func(i int32, d int) int
+	walk = func(i int32, d int) int {
+		n := t.nodes[i]
+		if n.feature < 0 {
+			return d
+		}
+		l := walk(n.left, d+1)
+		r := walk(n.right, d+1)
+		if l > r {
+			return l
+		}
+		return r
+	}
+	return walk(0, 0)
+}
+
+// NumNodes returns the number of nodes in the fitted tree.
+func (t *Tree) NumNodes() int { return len(t.nodes) }

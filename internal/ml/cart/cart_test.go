@@ -1,0 +1,110 @@
+package cart
+
+import (
+	"testing"
+
+	"mvg/internal/ml"
+	"mvg/internal/ml/mltest"
+)
+
+func TestConformance(t *testing.T) {
+	mltest.Conformance(t, "cart", func() ml.Classifier {
+		return New(Params{MaxDepth: 8})
+	})
+}
+
+func TestLearnsXOR(t *testing.T) {
+	X, y := mltest.XOR(200, 3)
+	tree := New(Params{MaxDepth: 6})
+	if err := tree.Fit(X, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	proba, err := tree.PredictProba(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := ml.Accuracy(ml.Predict(proba), y); acc < 0.95 {
+		t.Errorf("XOR training accuracy = %v, want ≥0.95 (trees are non-linear)", acc)
+	}
+}
+
+func TestMaxDepthRespected(t *testing.T) {
+	X, y := mltest.Blobs(200, 2, 4, 1.5, 5)
+	for _, depth := range []int{1, 2, 4} {
+		tree := New(Params{MaxDepth: depth})
+		if err := tree.Fit(X, y, 2); err != nil {
+			t.Fatal(err)
+		}
+		if d := tree.Depth(); d > depth {
+			t.Errorf("tree depth %d exceeds limit %d", d, depth)
+		}
+	}
+}
+
+func TestMinSamplesLeaf(t *testing.T) {
+	X, y := mltest.Blobs(100, 2, 3, 1.5, 9)
+	big := New(Params{MinSamplesLeaf: 1})
+	small := New(Params{MinSamplesLeaf: 20})
+	if err := big.Fit(X, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := small.Fit(X, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	if small.NumNodes() >= big.NumNodes() {
+		t.Errorf("larger MinSamplesLeaf should prune: %d vs %d nodes",
+			small.NumNodes(), big.NumNodes())
+	}
+}
+
+func TestPureNodeBecomesLeaf(t *testing.T) {
+	// All samples the same class: a single leaf predicting it.
+	X := [][]float64{{1}, {2}, {3}}
+	y := []int{1, 1, 1}
+	tree := New(Params{})
+	if err := tree.Fit(X, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	if tree.NumNodes() != 1 {
+		t.Errorf("pure data should give a single leaf, got %d nodes", tree.NumNodes())
+	}
+	proba, _ := tree.PredictProba([][]float64{{9}})
+	if proba[0][1] != 1 {
+		t.Errorf("pure leaf probs = %v", proba[0])
+	}
+}
+
+func TestConstantFeaturesGiveLeaf(t *testing.T) {
+	// No split possible: identical rows with mixed labels.
+	X := [][]float64{{1, 1}, {1, 1}, {1, 1}, {1, 1}}
+	y := []int{0, 1, 0, 1}
+	tree := New(Params{})
+	if err := tree.Fit(X, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	if tree.NumNodes() != 1 {
+		t.Errorf("unsplittable data should give a leaf, got %d nodes", tree.NumNodes())
+	}
+	proba, _ := tree.PredictProba(X[:1])
+	if proba[0][0] != 0.5 || proba[0][1] != 0.5 {
+		t.Errorf("leaf probs = %v, want [0.5 0.5]", proba[0])
+	}
+}
+
+func TestFitWeighted(t *testing.T) {
+	// With overwhelming weight on class-1 samples, the root majority
+	// should flip even though class 0 has more rows.
+	X := [][]float64{{1, 1}, {1, 1}, {1, 1}, {1, 1}}
+	y := []int{0, 0, 0, 1}
+	tree := New(Params{})
+	if err := tree.FitWeighted(X, y, 2, []float64{1, 1, 1, 100}); err != nil {
+		t.Fatal(err)
+	}
+	proba, _ := tree.PredictProba(X[:1])
+	if proba[0][1] < 0.9 {
+		t.Errorf("weighted leaf probs = %v, want class 1 dominant", proba[0])
+	}
+	if err := tree.FitWeighted(X, y, 2, []float64{1}); err == nil {
+		t.Error("weight length mismatch should fail")
+	}
+}

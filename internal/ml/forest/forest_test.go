@@ -1,0 +1,72 @@
+package forest
+
+import (
+	"testing"
+
+	"mvg/internal/ml"
+	"mvg/internal/ml/mltest"
+)
+
+func TestConformance(t *testing.T) {
+	mltest.Conformance(t, "forest", func() ml.Classifier {
+		return New(Params{NumTrees: 30, Seed: 1})
+	})
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	X, y := mltest.Blobs(100, 3, 4, 1.2, 21)
+	run := func() [][]float64 {
+		f := New(Params{NumTrees: 20, Seed: 42})
+		if err := f.Fit(X, y, 3); err != nil {
+			t.Fatal(err)
+		}
+		proba, err := f.PredictProba(X[:10])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return proba
+	}
+	a, b := run(), run()
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("forest predictions differ across identical runs at [%d][%d]", i, j)
+			}
+		}
+	}
+}
+
+func TestLearnsXOR(t *testing.T) {
+	X, y := mltest.XOR(300, 5)
+	f := New(Params{NumTrees: 40, Seed: 2})
+	if err := f.Fit(X, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	testX, testY := mltest.XOR(200, 77)
+	proba, err := f.PredictProba(testX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := ml.Accuracy(ml.Predict(proba), testY); acc < 0.85 {
+		t.Errorf("XOR test accuracy = %v, want ≥0.85", acc)
+	}
+}
+
+func TestMoreTreesSmoothProbabilities(t *testing.T) {
+	X, y := mltest.Blobs(80, 2, 3, 1.8, 3)
+	small := New(Params{NumTrees: 1, Seed: 9})
+	big := New(Params{NumTrees: 200, Seed: 9})
+	if err := small.Fit(X, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := big.Fit(X, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	testX, testY := mltest.Blobs(100, 2, 3, 1.8, 31)
+	ps, _ := small.PredictProba(testX)
+	pb, _ := big.PredictProba(testX)
+	if ml.LogLoss(pb, testY) >= ml.LogLoss(ps, testY) {
+		t.Errorf("bagging should reduce log loss: 1 tree %v vs 200 trees %v",
+			ml.LogLoss(ps, testY), ml.LogLoss(pb, testY))
+	}
+}

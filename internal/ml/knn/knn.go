@@ -1,0 +1,171 @@
+// Package knn implements k-nearest-neighbour classification over arbitrary
+// distance functions. It powers both feature-space kNN and the paper's two
+// distance-based baselines: 1NN with Euclidean distance and 1NN with DTW
+// (Table 2/3), the latter accelerated with LB_Keogh lower-bound pruning.
+package knn
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mvg/internal/ml"
+	"mvg/internal/timeseries"
+)
+
+// Distance computes the dissimilarity between two vectors.
+type Distance func(a, b []float64) (float64, error)
+
+// Model is a fitted kNN classifier implementing ml.Classifier.
+type Model struct {
+	// K is the neighbourhood size (default 1).
+	K int
+	// Metric is the distance function (default Euclidean).
+	Metric Distance
+	// name for reports.
+	name string
+
+	train   [][]float64
+	labels  []int
+	classes int
+
+	// DTW acceleration state (set by NewSeriesDTW).
+	dtwWindow    int
+	useLB        bool
+	upper, lower [][]float64
+}
+
+// New returns a kNN model over the given metric.
+func New(k int, metric Distance) *Model {
+	if k <= 0 {
+		k = 1
+	}
+	if metric == nil {
+		metric = timeseries.Euclidean
+	}
+	return &Model{K: k, Metric: metric, name: fmt.Sprintf("%dnn", k)}
+}
+
+// NewSeriesED returns the paper's 1NN-ED baseline (raw series input).
+func NewSeriesED() *Model {
+	m := New(1, timeseries.Euclidean)
+	m.name = "1nn-ed"
+	return m
+}
+
+// NewSeriesDTW returns the paper's 1NN-DTW baseline with a Sakoe-Chiba
+// window (negative = unconstrained). Neighbour search uses LB_Keogh
+// lower-bound pruning when the window is non-negative and series lengths
+// are uniform.
+func NewSeriesDTW(window int) *Model {
+	m := &Model{K: 1, dtwWindow: window, name: fmt.Sprintf("1nn-dtw(w=%d)", window)}
+	m.Metric = func(a, b []float64) (float64, error) {
+		return timeseries.DTW(a, b, window)
+	}
+	m.useLB = window >= 0
+	return m
+}
+
+// Clone returns a fresh untrained copy.
+func (m *Model) Clone() ml.Classifier {
+	return &Model{K: m.K, Metric: m.Metric, name: m.name,
+		dtwWindow: m.dtwWindow, useLB: m.useLB}
+}
+
+// Name implements ml.Named.
+func (m *Model) Name() string { return m.name }
+
+// Fit memorizes the training set (and precomputes DTW envelopes when
+// lower-bound pruning is enabled).
+func (m *Model) Fit(X [][]float64, y []int, classes int) error {
+	if err := ml.CheckTrainingSet(X, y, classes); err != nil {
+		return err
+	}
+	m.train = X
+	m.labels = y
+	m.classes = classes
+	if m.useLB {
+		uniform := true
+		for _, row := range X {
+			if len(row) != len(X[0]) {
+				uniform = false
+				break
+			}
+		}
+		if uniform {
+			m.upper = make([][]float64, len(X))
+			m.lower = make([][]float64, len(X))
+			for i, row := range X {
+				m.upper[i], m.lower[i] = timeseries.Envelope(row, m.dtwWindow)
+			}
+		} else {
+			m.upper, m.lower = nil, nil
+		}
+	}
+	return nil
+}
+
+type scored struct {
+	dist  float64
+	label int
+}
+
+// neighbours returns the k nearest training points to x.
+func (m *Model) neighbours(x []float64) ([]scored, error) {
+	k := m.K
+	if k > len(m.train) {
+		k = len(m.train)
+	}
+	best := make([]scored, 0, k)
+	worst := math.Inf(1)
+	for i, row := range m.train {
+		if m.upper != nil && len(best) == k && len(x) == len(row) {
+			lb, err := timeseries.LBKeogh(x, m.upper[i], m.lower[i])
+			if err == nil && lb >= worst {
+				continue // cannot beat the current kth neighbour
+			}
+		}
+		d, err := m.Metric(x, row)
+		if err != nil {
+			return nil, err
+		}
+		if len(best) < k {
+			best = append(best, scored{d, m.labels[i]})
+			if len(best) == k {
+				sort.Slice(best, func(a, b int) bool { return best[a].dist < best[b].dist })
+				worst = best[k-1].dist
+			}
+			continue
+		}
+		if d < worst {
+			best[k-1] = scored{d, m.labels[i]}
+			sort.Slice(best, func(a, b int) bool { return best[a].dist < best[b].dist })
+			worst = best[k-1].dist
+		}
+	}
+	if len(best) < k {
+		sort.Slice(best, func(a, b int) bool { return best[a].dist < best[b].dist })
+	}
+	return best, nil
+}
+
+// PredictProba votes uniformly among the k nearest neighbours.
+func (m *Model) PredictProba(X [][]float64) ([][]float64, error) {
+	if m.train == nil {
+		return nil, ml.ErrNotFitted
+	}
+	out := make([][]float64, len(X))
+	for i, x := range X {
+		nb, err := m.neighbours(x)
+		if err != nil {
+			return nil, err
+		}
+		p := make([]float64, m.classes)
+		for _, s := range nb {
+			p[s.label]++
+		}
+		ml.Normalize(p)
+		out[i] = p
+	}
+	return out, nil
+}

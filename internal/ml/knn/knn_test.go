@@ -1,0 +1,130 @@
+package knn
+
+import (
+	"math"
+	"testing"
+
+	"mvg/internal/ml"
+	"mvg/internal/ml/mltest"
+	"mvg/internal/timeseries"
+)
+
+func TestConformance(t *testing.T) {
+	mltest.Conformance(t, "5nn", func() ml.Classifier {
+		return New(5, nil)
+	})
+}
+
+func TestOneNNExactRecall(t *testing.T) {
+	// 1NN must perfectly recall its own training set.
+	X, y := mltest.Blobs(50, 3, 4, 2.0, 3)
+	m := New(1, nil)
+	if err := m.Fit(X, y, 3); err != nil {
+		t.Fatal(err)
+	}
+	proba, err := m.PredictProba(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := ml.Accuracy(ml.Predict(proba), y); acc != 1 {
+		t.Errorf("1NN training recall = %v, want 1", acc)
+	}
+}
+
+func TestKNNVoteFractions(t *testing.T) {
+	X := [][]float64{{0}, {0.1}, {0.2}, {10}}
+	y := []int{0, 0, 1, 1}
+	m := New(3, nil)
+	if err := m.Fit(X, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	proba, err := m.PredictProba([][]float64{{0.05}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Neighbours: 0, 0.1, 0.2 → votes 2:1.
+	if math.Abs(proba[0][0]-2.0/3) > 1e-9 {
+		t.Errorf("vote fractions = %v", proba[0])
+	}
+}
+
+func TestDTW1NNBeatsED1NNOnWarpedData(t *testing.T) {
+	// Same shape, shifted phase: DTW should dominate Euclidean.
+	mk := func(shift int, n int) []float64 {
+		s := make([]float64, n)
+		for i := range s {
+			s[i] = math.Sin(2 * math.Pi * float64(i+shift) / 16)
+		}
+		return s
+	}
+	var X [][]float64
+	var y []int
+	for shift := 0; shift < 6; shift++ {
+		X = append(X, mk(shift, 64))
+		y = append(y, 0)
+		sq := make([]float64, 64)
+		for i := range sq {
+			if math.Sin(2*math.Pi*float64(i+shift)/16) > 0 {
+				sq[i] = 1
+			} else {
+				sq[i] = -1
+			}
+		}
+		X = append(X, sq)
+		y = append(y, 1)
+	}
+	trainX, trainY := X[:8], y[:8]
+	testX, testY := X[8:], y[8:]
+
+	dtw := NewSeriesDTW(8)
+	if err := dtw.Fit(trainX, trainY, 2); err != nil {
+		t.Fatal(err)
+	}
+	proba, err := dtw.PredictProba(testX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := ml.Accuracy(ml.Predict(proba), testY); acc < 0.99 {
+		t.Errorf("1NN-DTW accuracy on warped data = %v", acc)
+	}
+}
+
+func TestLBKeoghPruningMatchesExhaustive(t *testing.T) {
+	// Predictions with pruning must equal brute-force DTW 1NN.
+	X, y := mltest.Blobs(40, 2, 32, 1.0, 9)
+	pruned := NewSeriesDTW(4)
+	if err := pruned.Fit(X, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	brute := New(1, func(a, b []float64) (float64, error) { return timeseries.DTW(a, b, 4) })
+	brute.name = "brute"
+	if err := brute.Fit(X, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	testX, _ := mltest.Blobs(30, 2, 32, 1.0, 77)
+	p1, err := pruned.PredictProba(testX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := brute.PredictProba(testX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p1 {
+		for j := range p1[i] {
+			if p1[i][j] != p2[i][j] {
+				t.Fatalf("pruned vs exhaustive mismatch at [%d][%d]: %v vs %v",
+					i, j, p1[i], p2[i])
+			}
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	if NewSeriesED().Name() != "1nn-ed" {
+		t.Error("1nn-ed name")
+	}
+	if NewSeriesDTW(-1).Name() != "1nn-dtw(w=-1)" {
+		t.Error("dtw name")
+	}
+}

@@ -1,0 +1,229 @@
+// Package linear implements multinomial logistic regression with L2
+// regularization, trained by full-batch gradient descent with backtracking
+// step control. It is the meta-learner of the stacking ensemble
+// (Algorithm 2 computes estimator weights "with logistic regression") and
+// doubles as a simple calibrated base classifier.
+package linear
+
+import (
+	"fmt"
+	"math"
+
+	"mvg/internal/ml"
+)
+
+// Params configures training.
+type Params struct {
+	// L2 is the ridge penalty on weights (default 1e-4; the bias is not
+	// penalized).
+	L2 float64
+	// MaxIter bounds gradient-descent iterations (default 200).
+	MaxIter int
+	// Tol stops training when the loss improvement falls below it
+	// (default 1e-7).
+	Tol float64
+	// LearningRate is the initial step size (default 1; backtracking
+	// shrinks it per iteration as needed).
+	LearningRate float64
+}
+
+func (p Params) withDefaults() Params {
+	if p.L2 < 0 {
+		p.L2 = 0
+	} else if p.L2 == 0 {
+		p.L2 = 1e-4
+	}
+	if p.MaxIter <= 0 {
+		p.MaxIter = 200
+	}
+	if p.Tol <= 0 {
+		p.Tol = 1e-7
+	}
+	if p.LearningRate <= 0 {
+		p.LearningRate = 1
+	}
+	return p
+}
+
+// Model is a fitted multinomial logistic regression implementing
+// ml.Classifier.
+type Model struct {
+	P       Params
+	classes int
+	// W[c] is the weight row for class c; the last entry is the bias.
+	W [][]float64
+}
+
+// New returns an untrained model.
+func New(p Params) *Model { return &Model{P: p} }
+
+// Clone returns a fresh untrained model with identical parameters.
+func (m *Model) Clone() ml.Classifier { return &Model{P: m.P} }
+
+// Name implements ml.Named.
+func (m *Model) Name() string {
+	p := m.P.withDefaults()
+	return fmt.Sprintf("logreg(l2=%.2g)", p.L2)
+}
+
+// scores computes raw class scores for one (unaugmented) row.
+func (m *Model) scores(row []float64, out []float64) {
+	d := len(row)
+	for c := range m.W {
+		s := m.W[c][d] // bias
+		w := m.W[c]
+		for j, v := range row {
+			s += w[j] * v
+		}
+		out[c] = s
+	}
+}
+
+func softmaxInPlace(v []float64) {
+	maxV := v[0]
+	for _, x := range v[1:] {
+		if x > maxV {
+			maxV = x
+		}
+	}
+	sum := 0.0
+	for i, x := range v {
+		e := math.Exp(x - maxV)
+		v[i] = e
+		sum += e
+	}
+	for i := range v {
+		v[i] /= sum
+	}
+}
+
+// loss returns the L2-regularized mean cross entropy under weights W.
+func (m *Model) loss(X [][]float64, y []int) float64 {
+	n := len(X)
+	k := m.classes
+	buf := make([]float64, k)
+	total := 0.0
+	for i, row := range X {
+		m.scores(row, buf)
+		softmaxInPlace(buf)
+		p := buf[y[i]]
+		if p < 1e-15 {
+			p = 1e-15
+		}
+		total += -math.Log(p)
+	}
+	total /= float64(n)
+	p := m.P.withDefaults()
+	reg := 0.0
+	d := len(X[0])
+	for c := range m.W {
+		for j := 0; j < d; j++ {
+			reg += m.W[c][j] * m.W[c][j]
+		}
+	}
+	return total + 0.5*p.L2*reg
+}
+
+// Fit trains by full-batch gradient descent with backtracking line search.
+func (m *Model) Fit(X [][]float64, y []int, classes int) error {
+	if err := ml.CheckTrainingSet(X, y, classes); err != nil {
+		return err
+	}
+	p := m.P.withDefaults()
+	m.P = p
+	m.classes = classes
+	n := len(X)
+	d := len(X[0])
+	m.W = make([][]float64, classes)
+	for c := range m.W {
+		m.W[c] = make([]float64, d+1)
+	}
+
+	grad := make([][]float64, classes)
+	for c := range grad {
+		grad[c] = make([]float64, d+1)
+	}
+	buf := make([]float64, classes)
+	step := p.LearningRate
+	prevLoss := m.loss(X, y)
+
+	for iter := 0; iter < p.MaxIter; iter++ {
+		for c := range grad {
+			for j := range grad[c] {
+				grad[c][j] = 0
+			}
+		}
+		for i, row := range X {
+			m.scores(row, buf)
+			softmaxInPlace(buf)
+			for c := 0; c < classes; c++ {
+				delta := buf[c]
+				if y[i] == c {
+					delta -= 1
+				}
+				g := grad[c]
+				for j, v := range row {
+					g[j] += delta * v
+				}
+				g[d] += delta
+			}
+		}
+		inv := 1 / float64(n)
+		for c := 0; c < classes; c++ {
+			for j := 0; j < d; j++ {
+				grad[c][j] = grad[c][j]*inv + p.L2*m.W[c][j]
+			}
+			grad[c][d] *= inv
+		}
+
+		// Backtracking: shrink the step until the loss decreases.
+		improved := false
+		for try := 0; try < 30; try++ {
+			for c := range m.W {
+				for j := range m.W[c] {
+					m.W[c][j] -= step * grad[c][j]
+				}
+			}
+			l := m.loss(X, y)
+			if l < prevLoss {
+				if prevLoss-l < p.Tol {
+					prevLoss = l
+					return nil
+				}
+				prevLoss = l
+				improved = true
+				step *= 1.1
+				break
+			}
+			// Undo and halve.
+			for c := range m.W {
+				for j := range m.W[c] {
+					m.W[c][j] += step * grad[c][j]
+				}
+			}
+			step /= 2
+		}
+		if !improved {
+			break
+		}
+	}
+	return nil
+}
+
+// PredictProba returns softmax probabilities.
+func (m *Model) PredictProba(X [][]float64) ([][]float64, error) {
+	if m.W == nil {
+		return nil, ml.ErrNotFitted
+	}
+	out := make([][]float64, len(X))
+	for i, row := range X {
+		if len(row)+1 != len(m.W[0]) {
+			return nil, ml.ErrShapeMismatch
+		}
+		p := make([]float64, m.classes)
+		m.scores(row, p)
+		softmaxInPlace(p)
+		out[i] = p
+	}
+	return out, nil
+}

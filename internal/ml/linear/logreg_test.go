@@ -1,0 +1,65 @@
+package linear
+
+import (
+	"testing"
+
+	"mvg/internal/ml"
+	"mvg/internal/ml/mltest"
+)
+
+func TestConformance(t *testing.T) {
+	mltest.Conformance(t, "logreg", func() ml.Classifier {
+		return New(Params{})
+	})
+}
+
+func TestCannotLearnXOR(t *testing.T) {
+	// Logistic regression is linear; XOR stays near chance.
+	X, y := mltest.XOR(300, 7)
+	m := New(Params{MaxIter: 300})
+	if err := m.Fit(X, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	proba, err := m.PredictProba(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := ml.Accuracy(ml.Predict(proba), y); acc > 0.72 {
+		t.Errorf("linear model should not solve XOR, accuracy = %v", acc)
+	}
+}
+
+func TestRegularizationShrinksWeights(t *testing.T) {
+	X, y := mltest.Blobs(100, 2, 3, 0.8, 5)
+	weak := New(Params{L2: 1e-6, MaxIter: 300})
+	strong := New(Params{L2: 10, MaxIter: 300})
+	if err := weak.Fit(X, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := strong.Fit(X, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	norm := func(m *Model) float64 {
+		s := 0.0
+		for _, row := range m.W {
+			for _, v := range row[:len(row)-1] {
+				s += v * v
+			}
+		}
+		return s
+	}
+	if norm(strong) >= norm(weak) {
+		t.Errorf("stronger L2 should shrink weights: %v vs %v", norm(strong), norm(weak))
+	}
+}
+
+func TestPredictWidthMismatch(t *testing.T) {
+	X, y := mltest.Blobs(50, 2, 3, 1.0, 3)
+	m := New(Params{})
+	if err := m.Fit(X, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.PredictProba([][]float64{{1, 2}}); err == nil {
+		t.Error("feature width mismatch should fail")
+	}
+}

@@ -1,0 +1,147 @@
+package ml
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCheckTrainingSet(t *testing.T) {
+	X := [][]float64{{1, 2}, {3, 4}}
+	y := []int{0, 1}
+	if err := CheckTrainingSet(X, y, 2); err != nil {
+		t.Errorf("valid set rejected: %v", err)
+	}
+	if err := CheckTrainingSet(nil, nil, 2); err == nil {
+		t.Error("empty set accepted")
+	}
+	if err := CheckTrainingSet(X, []int{0}, 2); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if err := CheckTrainingSet(X, y, 1); err == nil {
+		t.Error("single class accepted")
+	}
+	if err := CheckTrainingSet(X, []int{0, 2}, 2); err == nil {
+		t.Error("out-of-range label accepted")
+	}
+	if err := CheckTrainingSet([][]float64{{1}, {1, 2}}, y, 2); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+	if err := CheckTrainingSet([][]float64{{math.NaN()}, {1}}, y, 2); err == nil {
+		t.Error("NaN feature accepted")
+	}
+}
+
+func TestPredictAndArgMax(t *testing.T) {
+	proba := [][]float64{{0.2, 0.8}, {0.9, 0.1}, {0.5, 0.5}}
+	pred := Predict(proba)
+	want := []int{1, 0, 0} // ties go to the first index
+	for i := range want {
+		if pred[i] != want[i] {
+			t.Errorf("pred[%d] = %d, want %d", i, pred[i], want[i])
+		}
+	}
+}
+
+func TestAccuracyErrorRate(t *testing.T) {
+	pred := []int{0, 1, 1, 0}
+	truth := []int{0, 1, 0, 0}
+	if got := Accuracy(pred, truth); got != 0.75 {
+		t.Errorf("accuracy = %v", got)
+	}
+	if got := ErrorRate(pred, truth); got != 0.25 {
+		t.Errorf("error rate = %v", got)
+	}
+	if Accuracy(nil, nil) != 0 {
+		t.Error("empty accuracy should be 0")
+	}
+	if Accuracy([]int{1}, []int{1, 2}) != 0 {
+		t.Error("mismatched lengths should give 0")
+	}
+}
+
+func TestLogLoss(t *testing.T) {
+	perfect := [][]float64{{1, 0}, {0, 1}}
+	if got := LogLoss(perfect, []int{0, 1}); got > 1e-10 {
+		t.Errorf("perfect log loss = %v", got)
+	}
+	uniform := [][]float64{{0.5, 0.5}}
+	if got := LogLoss(uniform, []int{0}); math.Abs(got-math.Ln2) > 1e-12 {
+		t.Errorf("uniform log loss = %v, want ln2", got)
+	}
+	// Confident wrong answers are clipped, not infinite.
+	wrong := [][]float64{{0, 1}}
+	if got := LogLoss(wrong, []int{0}); math.IsInf(got, 1) || got < 10 {
+		t.Errorf("clipped wrong log loss = %v", got)
+	}
+	if !math.IsInf(LogLoss(nil, nil), 1) {
+		t.Error("empty log loss should be +Inf")
+	}
+	if !math.IsInf(LogLoss([][]float64{{1}}, []int{5}), 1) {
+		t.Error("label out of range should be +Inf")
+	}
+}
+
+func TestNumClassesAndCounts(t *testing.T) {
+	y := []int{0, 2, 1, 2}
+	if got := NumClasses(y); got != 3 {
+		t.Errorf("NumClasses = %d", got)
+	}
+	counts := ClassCounts(y, 3)
+	if counts[0] != 1 || counts[1] != 1 || counts[2] != 2 {
+		t.Errorf("ClassCounts = %v", counts)
+	}
+}
+
+func TestUniformNormalize(t *testing.T) {
+	u := Uniform(4)
+	for _, v := range u {
+		if v != 0.25 {
+			t.Errorf("Uniform(4) = %v", u)
+		}
+	}
+	p := Normalize([]float64{2, 6})
+	if p[0] != 0.25 || p[1] != 0.75 {
+		t.Errorf("Normalize = %v", p)
+	}
+	z := Normalize([]float64{0, 0})
+	if z[0] != 0.5 || z[1] != 0.5 {
+		t.Errorf("zero-vector Normalize = %v, want uniform", z)
+	}
+}
+
+func TestMinMaxScaler(t *testing.T) {
+	X := [][]float64{{0, 10, 5}, {10, 20, 5}}
+	var s MinMaxScaler
+	out, err := s.FitTransform(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0][0] != 0 || out[1][0] != 1 {
+		t.Errorf("column 0 scaled wrong: %v", out)
+	}
+	if out[0][1] != 0 || out[1][1] != 1 {
+		t.Errorf("column 1 scaled wrong: %v", out)
+	}
+	// Constant column maps to 0.
+	if out[0][2] != 0 || out[1][2] != 0 {
+		t.Errorf("constant column: %v", out)
+	}
+	// Transform of unseen data extrapolates.
+	ext, err := s.Transform([][]float64{{20, 15, 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext[0][0] != 2 || ext[0][1] != 0.5 {
+		t.Errorf("extrapolation: %v", ext)
+	}
+	var unfit MinMaxScaler
+	if _, err := unfit.Transform(X); err == nil {
+		t.Error("transform before fit should fail")
+	}
+	if err := (&MinMaxScaler{}).Fit(nil); err == nil {
+		t.Error("fit on empty should fail")
+	}
+	if _, err := s.Transform([][]float64{{1}}); err == nil {
+		t.Error("width mismatch should fail")
+	}
+}

@@ -1,0 +1,146 @@
+// Package mltest provides shared fixtures and a conformance suite for
+// ml.Classifier implementations, so every model family is held to the same
+// behavioural contract.
+package mltest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mvg/internal/ml"
+)
+
+// Blobs draws n points from `classes` Gaussian blobs in `dims` dimensions.
+// Blob centers sit on coordinate axes at distance 4; spread is the
+// within-blob standard deviation.
+func Blobs(n, classes, dims int, spread float64, seed int64) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := i % classes
+		row := make([]float64, dims)
+		for j := range row {
+			row[j] = spread * rng.NormFloat64()
+		}
+		row[c%dims] += 4
+		X[i] = row
+		y[i] = c
+	}
+	rng.Shuffle(n, func(a, b int) {
+		X[a], X[b] = X[b], X[a]
+		y[a], y[b] = y[b], y[a]
+	})
+	return X, y
+}
+
+// XOR draws a 2-class XOR problem that defeats linear models.
+func XOR(n int, seed int64) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		a := rng.Float64()*2 - 1
+		b := rng.Float64()*2 - 1
+		X[i] = []float64{a, b}
+		if (a > 0) != (b > 0) {
+			y[i] = 1
+		}
+	}
+	return X, y
+}
+
+// Conformance runs the shared behavioural contract against a classifier
+// constructor (called fresh for each sub-test).
+func Conformance(t *testing.T, name string, fresh func() ml.Classifier) {
+	t.Helper()
+
+	t.Run(name+"/rejects_bad_input", func(t *testing.T) {
+		c := fresh()
+		if err := c.Fit(nil, nil, 2); err == nil {
+			t.Error("Fit(empty) should fail")
+		}
+		if err := c.Fit([][]float64{{1}, {2}}, []int{0, 5}, 2); err == nil {
+			t.Error("Fit with out-of-range label should fail")
+		}
+		if _, err := c.PredictProba([][]float64{{1}}); err == nil {
+			t.Error("PredictProba before Fit should fail")
+		}
+	})
+
+	t.Run(name+"/learns_blobs_binary", func(t *testing.T) {
+		X, y := Blobs(120, 2, 4, 0.6, 7)
+		c := fresh()
+		if err := c.Fit(X, y, 2); err != nil {
+			t.Fatal(err)
+		}
+		testX, testY := Blobs(80, 2, 4, 0.6, 99)
+		proba, err := c.PredictProba(testX)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if acc := ml.Accuracy(ml.Predict(proba), testY); acc < 0.9 {
+			t.Errorf("binary blob accuracy = %v, want ≥0.9", acc)
+		}
+	})
+
+	t.Run(name+"/learns_blobs_multiclass", func(t *testing.T) {
+		X, y := Blobs(150, 3, 4, 0.6, 11)
+		c := fresh()
+		if err := c.Fit(X, y, 3); err != nil {
+			t.Fatal(err)
+		}
+		testX, testY := Blobs(90, 3, 4, 0.6, 101)
+		proba, err := c.PredictProba(testX)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if acc := ml.Accuracy(ml.Predict(proba), testY); acc < 0.85 {
+			t.Errorf("3-class blob accuracy = %v, want ≥0.85", acc)
+		}
+	})
+
+	t.Run(name+"/probability_simplex", func(t *testing.T) {
+		X, y := Blobs(90, 3, 3, 1.0, 13)
+		c := fresh()
+		if err := c.Fit(X, y, 3); err != nil {
+			t.Fatal(err)
+		}
+		proba, err := c.PredictProba(X[:20])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, p := range proba {
+			if len(p) != 3 {
+				t.Fatalf("row %d has %d probabilities", i, len(p))
+			}
+			sum := 0.0
+			for _, v := range p {
+				if v < -1e-12 || v > 1+1e-12 || math.IsNaN(v) {
+					t.Fatalf("row %d has invalid probability %v", i, v)
+				}
+				sum += v
+			}
+			if math.Abs(sum-1) > 1e-6 {
+				t.Fatalf("row %d sums to %v", i, sum)
+			}
+		}
+	})
+
+	t.Run(name+"/clone_is_untrained", func(t *testing.T) {
+		X, y := Blobs(60, 2, 3, 1.0, 17)
+		c := fresh()
+		if err := c.Fit(X, y, 2); err != nil {
+			t.Fatal(err)
+		}
+		clone := c.Clone()
+		if _, err := clone.PredictProba(X[:2]); err == nil {
+			t.Error("clone should be untrained")
+		}
+		// And the clone must be independently trainable.
+		if err := clone.Fit(X, y, 2); err != nil {
+			t.Errorf("clone failed to train: %v", err)
+		}
+	})
+}

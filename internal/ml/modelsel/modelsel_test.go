@@ -1,0 +1,139 @@
+package modelsel
+
+import (
+	"testing"
+
+	"mvg/internal/ml"
+	"mvg/internal/ml/cart"
+	"mvg/internal/ml/mltest"
+)
+
+func TestStratifiedKFolds(t *testing.T) {
+	y := []int{0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1}
+	folds, err := StratifiedKFolds(y, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(folds) != 3 {
+		t.Fatalf("got %d folds", len(folds))
+	}
+	seen := map[int]int{}
+	for _, fold := range folds {
+		class0 := 0
+		for _, i := range fold {
+			seen[i]++
+			if y[i] == 0 {
+				class0++
+			}
+		}
+		// Perfectly balanced labels must stratify 2/2 per fold.
+		if class0 != 2 {
+			t.Errorf("fold has %d class-0 samples, want 2", class0)
+		}
+	}
+	if len(seen) != len(y) {
+		t.Errorf("folds cover %d of %d indices", len(seen), len(y))
+	}
+	for i, c := range seen {
+		if c != 1 {
+			t.Errorf("index %d appears %d times", i, c)
+		}
+	}
+}
+
+func TestStratifiedKFoldsErrors(t *testing.T) {
+	if _, err := StratifiedKFolds([]int{0, 1}, 1, 1); err == nil {
+		t.Error("k=1 should fail")
+	}
+	if _, err := StratifiedKFolds([]int{0}, 2, 1); err == nil {
+		t.Error("fewer samples than folds should fail")
+	}
+}
+
+func TestSplit(t *testing.T) {
+	X := [][]float64{{0}, {1}, {2}, {3}}
+	y := []int{0, 0, 1, 1}
+	folds := [][]int{{0, 2}, {1, 3}}
+	trX, trY, vaX, vaY := Split(X, y, folds, 0)
+	if len(trX) != 2 || len(vaX) != 2 {
+		t.Fatalf("split sizes: %d/%d", len(trX), len(vaX))
+	}
+	if vaX[0][0] != 0 || vaX[1][0] != 2 {
+		t.Errorf("validation rows wrong: %v", vaX)
+	}
+	if trY[0] != 0 || trY[1] != 1 {
+		t.Errorf("train labels wrong: %v", trY)
+	}
+	_ = vaY
+}
+
+func TestOversampleBalances(t *testing.T) {
+	X := [][]float64{{0}, {1}, {2}, {3}, {4}, {5}, {6}, {7}, {8}, {9}}
+	y := []int{0, 0, 0, 0, 0, 0, 0, 0, 1, 1}
+	ox, oy := Oversample(X, y, 2, 3)
+	counts := ml.ClassCounts(oy, 2)
+	if counts[0] != counts[1] {
+		t.Errorf("oversampled counts = %v, want balanced", counts)
+	}
+	if len(ox) != len(oy) {
+		t.Error("row/label mismatch after oversampling")
+	}
+	// Every oversampled minority row must be one of the originals.
+	valid := map[float64]bool{8: true, 9: true}
+	for i, label := range oy {
+		if label == 1 && !valid[ox[i][0]] {
+			t.Errorf("unknown minority row %v", ox[i])
+		}
+	}
+}
+
+func TestCrossValidateAndGridSearch(t *testing.T) {
+	X, y := mltest.Blobs(90, 2, 4, 0.8, 5)
+	good := cart.New(cart.Params{MaxDepth: 6})
+	bad := cart.New(cart.Params{MaxDepth: 1, MinSamplesLeaf: 40})
+	res, err := CrossValidate(good, X, y, 2, 3, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ErrorRate > 0.15 {
+		t.Errorf("CV error rate = %v for separable blobs", res.ErrorRate)
+	}
+	results, err := GridSearch([]ml.Classifier{bad, good}, X, y, 2, 3, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results", len(results))
+	}
+	if results[0].LogLoss > results[1].LogLoss {
+		t.Error("grid search results not sorted by log loss")
+	}
+	if results[0].Candidate != ml.Classifier(good) {
+		t.Error("deeper tree should win on separable blobs")
+	}
+	if _, err := GridSearch(nil, X, y, 2, 3, false, 1); err == nil {
+		t.Error("empty grid should fail")
+	}
+}
+
+func TestBestRefitsOnFullData(t *testing.T) {
+	X, y := mltest.Blobs(90, 3, 4, 0.8, 9)
+	cands := []ml.Classifier{
+		cart.New(cart.Params{MaxDepth: 2}),
+		cart.New(cart.Params{MaxDepth: 8}),
+	}
+	model, results, err := Best(cands, X, y, 3, 3, true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 {
+		t.Fatal("no results")
+	}
+	proba, err := model.PredictProba(X)
+	if err != nil {
+		t.Fatalf("winner is not fitted: %v", err)
+	}
+	if acc := ml.Accuracy(ml.Predict(proba), y); acc < 0.9 {
+		t.Errorf("refit winner training accuracy = %v", acc)
+	}
+}

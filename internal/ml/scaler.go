@@ -1,0 +1,70 @@
+package ml
+
+// MinMaxScaler rescales each feature to [0, 1] based on training-set
+// minima and maxima — required by the SVM family (Section 4.3 of the
+// paper: kernel methods are sensitive to feature magnitudes, tree
+// ensembles are not). Constant features map to 0.
+type MinMaxScaler struct {
+	Min   []float64
+	Range []float64 // max - min; 0 marks constant features
+}
+
+// Fit learns per-feature minima and ranges.
+func (s *MinMaxScaler) Fit(X [][]float64) error {
+	if len(X) == 0 {
+		return ErrNoData
+	}
+	w := len(X[0])
+	s.Min = make([]float64, w)
+	maxs := make([]float64, w)
+	copy(s.Min, X[0])
+	copy(maxs, X[0])
+	for _, row := range X[1:] {
+		if len(row) != w {
+			return ErrShapeMismatch
+		}
+		for j, v := range row {
+			if v < s.Min[j] {
+				s.Min[j] = v
+			}
+			if v > maxs[j] {
+				maxs[j] = v
+			}
+		}
+	}
+	s.Range = make([]float64, w)
+	for j := range s.Range {
+		s.Range[j] = maxs[j] - s.Min[j]
+	}
+	return nil
+}
+
+// Transform returns scaled copies of the rows. Values outside the training
+// range extrapolate beyond [0, 1], which downstream models tolerate.
+func (s *MinMaxScaler) Transform(X [][]float64) ([][]float64, error) {
+	if s.Min == nil {
+		return nil, ErrNotFitted
+	}
+	out := make([][]float64, len(X))
+	for i, row := range X {
+		if len(row) != len(s.Min) {
+			return nil, ErrShapeMismatch
+		}
+		r := make([]float64, len(row))
+		for j, v := range row {
+			if s.Range[j] > 0 {
+				r[j] = (v - s.Min[j]) / s.Range[j]
+			}
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// FitTransform fits on X and returns its scaled rows.
+func (s *MinMaxScaler) FitTransform(X [][]float64) ([][]float64, error) {
+	if err := s.Fit(X); err != nil {
+		return nil, err
+	}
+	return s.Transform(X)
+}

@@ -1,0 +1,122 @@
+package stack
+
+import (
+	"testing"
+
+	"mvg/internal/ml"
+	"mvg/internal/ml/cart"
+	"mvg/internal/ml/linear"
+	"mvg/internal/ml/mltest"
+	"mvg/internal/ml/xgb"
+)
+
+func families() []Family {
+	return []Family{
+		{Name: "cart", Candidates: []ml.Classifier{
+			cart.New(cart.Params{MaxDepth: 3}),
+			cart.New(cart.Params{MaxDepth: 8}),
+		}},
+		{Name: "xgb", Candidates: []ml.Classifier{
+			xgb.New(xgb.Params{NumRounds: 15, MaxDepth: 3, Seed: 1}),
+		}},
+		{Name: "logreg", Candidates: []ml.Classifier{
+			linear.New(linear.Params{}),
+		}},
+	}
+}
+
+func TestConformance(t *testing.T) {
+	mltest.Conformance(t, "stack", func() ml.Classifier {
+		return New(Params{TopK: 1, Folds: 3, Seed: 1}, families()...)
+	})
+}
+
+func TestMembersSelected(t *testing.T) {
+	X, y := mltest.Blobs(90, 2, 4, 0.8, 3)
+	e := New(Params{TopK: 2, Folds: 3, Seed: 1}, families()...)
+	if err := e.Fit(X, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	members := e.Members()
+	// cart contributes 2, xgb 1, logreg 1 → 4 members.
+	if len(members) != 4 {
+		t.Fatalf("got %d members, want 4", len(members))
+	}
+	counts := map[string]int{}
+	for _, m := range members {
+		counts[m.Family]++
+		if m.CVScore < 0 {
+			t.Errorf("member %s has negative CV score", m.Family)
+		}
+	}
+	if counts["cart"] != 2 || counts["xgb"] != 1 || counts["logreg"] != 1 {
+		t.Errorf("family counts = %v", counts)
+	}
+}
+
+func TestStackingBeatsWorstBase(t *testing.T) {
+	X, y := mltest.Blobs(120, 3, 4, 1.2, 7)
+	testX, testY := mltest.Blobs(90, 3, 4, 1.2, 71)
+
+	weak := cart.New(cart.Params{MaxDepth: 1})
+	if err := weak.Fit(X, y, 3); err != nil {
+		t.Fatal(err)
+	}
+	weakProba, _ := weak.PredictProba(testX)
+
+	e := New(Params{TopK: 1, Folds: 3, Seed: 2},
+		Family{Name: "weak", Candidates: []ml.Classifier{cart.New(cart.Params{MaxDepth: 1})}},
+		Family{Name: "strong", Candidates: []ml.Classifier{xgb.New(xgb.Params{NumRounds: 20, MaxDepth: 3, Seed: 1})}},
+	)
+	if err := e.Fit(X, y, 3); err != nil {
+		t.Fatal(err)
+	}
+	proba, err := e.PredictProba(testX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ml.ErrorRate(ml.Predict(proba), testY) > ml.ErrorRate(ml.Predict(weakProba), testY) {
+		t.Errorf("stack error %v worse than weakest base %v",
+			ml.ErrorRate(ml.Predict(proba), testY),
+			ml.ErrorRate(ml.Predict(weakProba), testY))
+	}
+}
+
+func TestNoFamiliesFails(t *testing.T) {
+	X, y := mltest.Blobs(30, 2, 2, 1.0, 1)
+	e := New(Params{})
+	if err := e.Fit(X, y, 2); err == nil {
+		t.Error("fit with no families should fail")
+	}
+}
+
+func TestOversampledStack(t *testing.T) {
+	// Imbalanced blobs: stacking with oversampling must stay usable.
+	X, y := mltest.Blobs(100, 2, 3, 0.9, 13)
+	// Drop most of class 1 to create imbalance.
+	var ix [][]float64
+	var iy []int
+	kept1 := 0
+	for i := range X {
+		if y[i] == 1 {
+			if kept1 >= 12 {
+				continue
+			}
+			kept1++
+		}
+		ix = append(ix, X[i])
+		iy = append(iy, y[i])
+	}
+	e := New(Params{TopK: 1, Folds: 3, Oversample: true, Seed: 5}, families()...)
+	if err := e.Fit(ix, iy, 2); err != nil {
+		t.Fatal(err)
+	}
+	testX, testY := mltest.Blobs(80, 2, 3, 0.9, 131)
+	proba, err := e.PredictProba(testX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := ml.Accuracy(ml.Predict(proba), testY); acc < 0.85 {
+		t.Errorf("imbalanced stack accuracy = %v", acc)
+	}
+}

@@ -1,0 +1,402 @@
+// Package svm implements support vector machine classification with the
+// SMO solver (Platt 1998), linear and RBF kernels, one-vs-rest multi-class
+// decomposition, and Platt sigmoid calibration for probability outputs —
+// the third generic classifier family used in the paper (Section 4.3).
+//
+// Inputs should be min-max scaled (ml.MinMaxScaler); the paper notes kernel
+// machines are sensitive to feature magnitudes.
+package svm
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mvg/internal/ml"
+)
+
+// KernelKind selects the kernel function.
+type KernelKind int
+
+const (
+	// RBF is exp(-γ‖a-b‖²) (default).
+	RBF KernelKind = iota
+	// Linear is ⟨a,b⟩.
+	Linear
+)
+
+func (k KernelKind) String() string {
+	if k == Linear {
+		return "linear"
+	}
+	return "rbf"
+}
+
+// Params configures the machine.
+type Params struct {
+	// C is the soft-margin penalty (default 1).
+	C float64
+	// Kernel selects RBF (default) or Linear.
+	Kernel KernelKind
+	// Gamma is the RBF width; 0 means 1/numFeatures.
+	Gamma float64
+	// Tol is the KKT violation tolerance (default 1e-3).
+	Tol float64
+	// MaxPasses is the number of consecutive full passes without updates
+	// before the SMO loop stops (default 5).
+	MaxPasses int
+	// MaxIter bounds total SMO iterations (default 300 passes).
+	MaxIter int
+	// Seed drives the SMO partner selection.
+	Seed int64
+}
+
+func (p Params) withDefaults() Params {
+	if p.C <= 0 {
+		p.C = 1
+	}
+	if p.Tol <= 0 {
+		p.Tol = 1e-3
+	}
+	if p.MaxPasses <= 0 {
+		p.MaxPasses = 5
+	}
+	if p.MaxIter <= 0 {
+		p.MaxIter = 300
+	}
+	return p
+}
+
+// binarySVM is one trained machine for a single ±1 problem.
+type binarySVM struct {
+	alphaY []float64 // αᵢ·yᵢ for support vectors
+	sv     [][]float64
+	b      float64
+	// Platt sigmoid parameters: P(y=1|f) = 1/(1+exp(A·f+B)).
+	plattA, plattB float64
+}
+
+// Model is a fitted one-vs-rest SVM implementing ml.Classifier.
+type Model struct {
+	P        Params
+	classes  int
+	machines []binarySVM
+	gamma    float64
+}
+
+// New returns an untrained model.
+func New(p Params) *Model { return &Model{P: p} }
+
+// Clone returns a fresh untrained model with identical parameters.
+func (m *Model) Clone() ml.Classifier { return &Model{P: m.P} }
+
+// Name implements ml.Named.
+func (m *Model) Name() string {
+	p := m.P.withDefaults()
+	return fmt.Sprintf("svm(%s,C=%.3g,gamma=%.3g)", p.Kernel, p.C, p.Gamma)
+}
+
+func (m *Model) kernel(a, b []float64) float64 {
+	switch m.P.Kernel {
+	case Linear:
+		dot := 0.0
+		for i := range a {
+			dot += a[i] * b[i]
+		}
+		return dot
+	default:
+		ss := 0.0
+		for i := range a {
+			d := a[i] - b[i]
+			ss += d * d
+		}
+		return math.Exp(-m.gamma * ss)
+	}
+}
+
+// Fit trains one binary machine per class (one vs rest). For two classes a
+// single machine is trained and mirrored.
+func (m *Model) Fit(X [][]float64, y []int, classes int) error {
+	if err := ml.CheckTrainingSet(X, y, classes); err != nil {
+		return err
+	}
+	p := m.P.withDefaults()
+	m.P = p
+	m.classes = classes
+	m.gamma = p.Gamma
+	if m.gamma <= 0 {
+		m.gamma = 1 / float64(len(X[0]))
+	}
+	nMachines := classes
+	if classes == 2 {
+		nMachines = 1
+	}
+	m.machines = make([]binarySVM, nMachines)
+	for c := 0; c < nMachines; c++ {
+		yy := make([]float64, len(y))
+		pos := 0
+		for i, label := range y {
+			if label == c {
+				yy[i] = 1
+				pos++
+			} else {
+				yy[i] = -1
+			}
+		}
+		if pos == 0 || pos == len(y) {
+			// Degenerate one-vs-rest problem; a constant machine.
+			sign := -1.0
+			if pos == len(y) {
+				sign = 1
+			}
+			m.machines[c] = binarySVM{b: sign, plattA: -1, plattB: 0}
+			continue
+		}
+		mach, err := m.trainBinary(X, yy, p, int64(c)*7919+p.Seed)
+		if err != nil {
+			return err
+		}
+		m.machines[c] = mach
+	}
+	return nil
+}
+
+// trainBinary runs simplified SMO on a ±1 problem and calibrates Platt's
+// sigmoid on the resulting decision values.
+func (m *Model) trainBinary(X [][]float64, y []float64, p Params, seed int64) (binarySVM, error) {
+	n := len(X)
+	rng := rand.New(rand.NewSource(seed))
+	alpha := make([]float64, n)
+	b := 0.0
+
+	// Cache the kernel matrix; the paper's training sets are small enough
+	// (≤ a few thousand rows) for the O(n²) cache to pay off.
+	K := make([][]float64, n)
+	for i := range K {
+		K[i] = make([]float64, n)
+		for j := 0; j <= i; j++ {
+			v := m.kernel(X[i], X[j])
+			K[i][j] = v
+			K[j][i] = v
+		}
+	}
+
+	f := func(i int) float64 {
+		sum := b
+		for j := 0; j < n; j++ {
+			if alpha[j] > 0 {
+				sum += alpha[j] * y[j] * K[i][j]
+			}
+		}
+		return sum
+	}
+
+	passes := 0
+	iter := 0
+	for passes < p.MaxPasses && iter < p.MaxIter {
+		changed := 0
+		for i := 0; i < n; i++ {
+			Ei := f(i) - y[i]
+			if (y[i]*Ei < -p.Tol && alpha[i] < p.C) || (y[i]*Ei > p.Tol && alpha[i] > 0) {
+				j := rng.Intn(n - 1)
+				if j >= i {
+					j++
+				}
+				Ej := f(j) - y[j]
+				ai, aj := alpha[i], alpha[j]
+				var L, H float64
+				if y[i] != y[j] {
+					L = math.Max(0, aj-ai)
+					H = math.Min(p.C, p.C+aj-ai)
+				} else {
+					L = math.Max(0, ai+aj-p.C)
+					H = math.Min(p.C, ai+aj)
+				}
+				if L == H {
+					continue
+				}
+				eta := 2*K[i][j] - K[i][i] - K[j][j]
+				if eta >= 0 {
+					continue
+				}
+				ajNew := aj - y[j]*(Ei-Ej)/eta
+				if ajNew > H {
+					ajNew = H
+				} else if ajNew < L {
+					ajNew = L
+				}
+				if math.Abs(ajNew-aj) < 1e-5 {
+					continue
+				}
+				aiNew := ai + y[i]*y[j]*(aj-ajNew)
+				b1 := b - Ei - y[i]*(aiNew-ai)*K[i][i] - y[j]*(ajNew-aj)*K[i][j]
+				b2 := b - Ej - y[i]*(aiNew-ai)*K[i][j] - y[j]*(ajNew-aj)*K[j][j]
+				switch {
+				case aiNew > 0 && aiNew < p.C:
+					b = b1
+				case ajNew > 0 && ajNew < p.C:
+					b = b2
+				default:
+					b = (b1 + b2) / 2
+				}
+				alpha[i], alpha[j] = aiNew, ajNew
+				changed++
+			}
+		}
+		if changed == 0 {
+			passes++
+		} else {
+			passes = 0
+		}
+		iter++
+	}
+
+	// Compact to support vectors.
+	var mach binarySVM
+	mach.b = b
+	for i := 0; i < n; i++ {
+		if alpha[i] > 1e-12 {
+			mach.alphaY = append(mach.alphaY, alpha[i]*y[i])
+			mach.sv = append(mach.sv, X[i])
+		}
+	}
+	// Decision values on the training set for Platt calibration.
+	dec := make([]float64, n)
+	labels := make([]bool, n)
+	for i := 0; i < n; i++ {
+		dec[i] = mach.decision(m, X[i])
+		labels[i] = y[i] > 0
+	}
+	mach.plattA, mach.plattB = plattFit(dec, labels)
+	return mach, nil
+}
+
+func (s *binarySVM) decision(m *Model, x []float64) float64 {
+	sum := s.b
+	for i, sv := range s.sv {
+		sum += s.alphaY[i] * m.kernel(sv, x)
+	}
+	return sum
+}
+
+func (s *binarySVM) proba(m *Model, x []float64) float64 {
+	f := s.decision(m, x)
+	return 1 / (1 + math.Exp(s.plattA*f+s.plattB))
+}
+
+// PredictProba returns normalized one-vs-rest Platt probabilities.
+func (m *Model) PredictProba(X [][]float64) ([][]float64, error) {
+	if m.machines == nil {
+		return nil, ml.ErrNotFitted
+	}
+	out := make([][]float64, len(X))
+	for i, row := range X {
+		p := make([]float64, m.classes)
+		if m.classes == 2 {
+			p1 := m.machines[0].proba(m, row)
+			p[0], p[1] = p1, 1-p1
+			// Machine 0 separates class 0 (+1) from class 1 (-1).
+		} else {
+			for c := range m.machines {
+				p[c] = m.machines[c].proba(m, row)
+			}
+			ml.Normalize(p)
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// plattFit fits sigmoid parameters (A, B) minimizing the calibration NLL
+// via the robust Newton iteration of Lin, Lin & Weng (2007).
+func plattFit(dec []float64, pos []bool) (a, b float64) {
+	n := len(dec)
+	var np, nn float64
+	for _, isPos := range pos {
+		if isPos {
+			np++
+		} else {
+			nn++
+		}
+	}
+	hi := (np + 1) / (np + 2)
+	lo := 1 / (nn + 2)
+	t := make([]float64, n)
+	for i, isPos := range pos {
+		if isPos {
+			t[i] = hi
+		} else {
+			t[i] = lo
+		}
+	}
+	a = 0
+	b = math.Log((nn + 1) / (np + 1))
+	const (
+		maxIter = 100
+		minStep = 1e-10
+		sigma   = 1e-12
+	)
+	fval := 0.0
+	for i := 0; i < n; i++ {
+		fApB := dec[i]*a + b
+		if fApB >= 0 {
+			fval += t[i]*fApB + math.Log1p(math.Exp(-fApB))
+		} else {
+			fval += (t[i]-1)*fApB + math.Log1p(math.Exp(fApB))
+		}
+	}
+	for it := 0; it < maxIter; it++ {
+		var h11, h22, h21, g1, g2 float64
+		h11, h22 = sigma, sigma
+		for i := 0; i < n; i++ {
+			fApB := dec[i]*a + b
+			var p, q float64
+			if fApB >= 0 {
+				e := math.Exp(-fApB)
+				p = e / (1 + e)
+				q = 1 / (1 + e)
+			} else {
+				e := math.Exp(fApB)
+				p = 1 / (1 + e)
+				q = e / (1 + e)
+			}
+			d2 := p * q
+			h11 += dec[i] * dec[i] * d2
+			h22 += d2
+			h21 += dec[i] * d2
+			d1 := t[i] - p
+			g1 += dec[i] * d1
+			g2 += d1
+		}
+		if math.Abs(g1) < 1e-5 && math.Abs(g2) < 1e-5 {
+			break
+		}
+		det := h11*h22 - h21*h21
+		dA := -(h22*g1 - h21*g2) / det
+		dB := -(-h21*g1 + h11*g2) / det
+		gd := g1*dA + g2*dB
+		step := 1.0
+		for step >= minStep {
+			newA := a + step*dA
+			newB := b + step*dB
+			newF := 0.0
+			for i := 0; i < n; i++ {
+				fApB := dec[i]*newA + newB
+				if fApB >= 0 {
+					newF += t[i]*fApB + math.Log1p(math.Exp(-fApB))
+				} else {
+					newF += (t[i]-1)*fApB + math.Log1p(math.Exp(fApB))
+				}
+			}
+			if newF < fval+1e-4*step*gd {
+				a, b, fval = newA, newB, newF
+				break
+			}
+			step /= 2
+		}
+		if step < minStep {
+			break
+		}
+	}
+	return a, b
+}

@@ -1,0 +1,95 @@
+package svm
+
+import (
+	"math"
+	"testing"
+
+	"mvg/internal/ml"
+	"mvg/internal/ml/mltest"
+)
+
+func TestConformanceRBF(t *testing.T) {
+	mltest.Conformance(t, "svm-rbf", func() ml.Classifier {
+		return New(Params{C: 10, Kernel: RBF, Gamma: 0.5, Seed: 1})
+	})
+}
+
+func TestConformanceLinear(t *testing.T) {
+	mltest.Conformance(t, "svm-linear", func() ml.Classifier {
+		return New(Params{C: 10, Kernel: Linear, Seed: 1})
+	})
+}
+
+func TestRBFLearnsXOR(t *testing.T) {
+	X, y := mltest.XOR(200, 5)
+	m := New(Params{C: 10, Kernel: RBF, Gamma: 2, Seed: 2})
+	if err := m.Fit(X, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	testX, testY := mltest.XOR(150, 88)
+	proba, err := m.PredictProba(testX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := ml.Accuracy(ml.Predict(proba), testY); acc < 0.9 {
+		t.Errorf("RBF XOR accuracy = %v, want ≥0.9", acc)
+	}
+}
+
+func TestLinearCannotLearnXOR(t *testing.T) {
+	// Sanity check that the linear kernel is genuinely linear.
+	X, y := mltest.XOR(200, 5)
+	m := New(Params{C: 10, Kernel: Linear, Seed: 2})
+	if err := m.Fit(X, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	proba, err := m.PredictProba(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := ml.Accuracy(ml.Predict(proba), y); acc > 0.75 {
+		t.Errorf("linear SVM should not solve XOR, accuracy = %v", acc)
+	}
+}
+
+func TestDegenerateSingleClassVsRest(t *testing.T) {
+	// Three classes but one is missing from training: the OvR machine for
+	// it degenerates; predictions must still be a valid simplex.
+	X := [][]float64{{0, 0}, {0, 1}, {4, 4}, {4, 5}, {0.2, 0.1}, {4.2, 4.4}}
+	y := []int{0, 0, 1, 1, 0, 1}
+	m := New(Params{C: 1, Seed: 3})
+	if err := m.Fit(X, y, 3); err != nil {
+		t.Fatal(err)
+	}
+	proba, err := m.PredictProba(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range proba {
+		sum := 0.0
+		for _, v := range p {
+			if math.IsNaN(v) || v < 0 {
+				t.Fatalf("invalid probability %v", p)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("probabilities sum to %v", sum)
+		}
+	}
+}
+
+func TestPlattFit(t *testing.T) {
+	// Well-separated decision values: the sigmoid must be monotone in f
+	// and cross 0.5 between the groups.
+	dec := []float64{-3, -2.5, -2, 2, 2.5, 3}
+	pos := []bool{false, false, false, true, true, true}
+	a, b := plattFit(dec, pos)
+	sigmoid := func(f float64) float64 { return 1 / (1 + math.Exp(a*f+b)) }
+	if sigmoid(-3) > 0.3 || sigmoid(3) < 0.7 {
+		t.Errorf("Platt sigmoid miscalibrated: p(-3)=%v p(3)=%v", sigmoid(-3), sigmoid(3))
+	}
+	if sigmoid(-1) >= sigmoid(1) {
+		t.Error("Platt sigmoid should increase with the decision value")
+	}
+}

@@ -1,0 +1,91 @@
+package xgb
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"mvg/internal/ml"
+)
+
+// Serialization uses encoding/gob over an exported snapshot of the fitted
+// ensemble so trained models can be stored and reloaded without
+// retraining (model persistence is table stakes for a production
+// pipeline; the facade's Model.Save/Load builds on this).
+
+type nodeSnapshot struct {
+	Feature   int32
+	Threshold float64
+	Left      int32
+	Right     int32
+	Weight    float64
+}
+
+type modelSnapshot struct {
+	Params  Params
+	Classes int
+	Trees   [][][]nodeSnapshot
+	Gain    []float64
+}
+
+// MarshalBinary encodes a fitted model.
+func (m *Model) MarshalBinary() ([]byte, error) {
+	if m.trees == nil {
+		return nil, ml.ErrNotFitted
+	}
+	snap := modelSnapshot{
+		Params:  m.P,
+		Classes: m.classes,
+		Gain:    m.gain,
+	}
+	snap.Trees = make([][][]nodeSnapshot, len(m.trees))
+	for r, round := range m.trees {
+		snap.Trees[r] = make([][]nodeSnapshot, len(round))
+		for c, tree := range round {
+			nodes := make([]nodeSnapshot, len(tree.nodes))
+			for i, n := range tree.nodes {
+				nodes[i] = nodeSnapshot{n.feature, n.threshold, n.left, n.right, n.weight}
+			}
+			snap.Trees[r][c] = nodes
+		}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		return nil, fmt.Errorf("xgb: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary restores a model encoded by MarshalBinary.
+func (m *Model) UnmarshalBinary(data []byte) error {
+	var snap modelSnapshot
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
+		return fmt.Errorf("xgb: decode: %w", err)
+	}
+	if snap.Classes < 2 || len(snap.Trees) == 0 {
+		return fmt.Errorf("xgb: decoded model is malformed (%d classes, %d rounds)",
+			snap.Classes, len(snap.Trees))
+	}
+	m.P = snap.Params
+	m.classes = snap.Classes
+	m.gain = snap.Gain
+	m.trees = make([][]regTree, len(snap.Trees))
+	for r, round := range snap.Trees {
+		if len(round) != snap.Classes {
+			return fmt.Errorf("xgb: round %d has %d trees, want %d", r, len(round), snap.Classes)
+		}
+		m.trees[r] = make([]regTree, len(round))
+		for c, nodes := range round {
+			tree := make([]regNode, len(nodes))
+			for i, n := range nodes {
+				if n.Feature >= 0 && (n.Left < 0 || n.Right < 0 ||
+					int(n.Left) >= len(nodes) || int(n.Right) >= len(nodes)) {
+					return fmt.Errorf("xgb: node %d of tree (%d,%d) has invalid children", i, r, c)
+				}
+				tree[i] = regNode{n.Feature, n.Threshold, n.Left, n.Right, n.Weight}
+			}
+			m.trees[r][c] = regTree{nodes: tree}
+		}
+	}
+	return nil
+}

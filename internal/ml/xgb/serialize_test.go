@@ -1,0 +1,78 @@
+package xgb
+
+import (
+	"testing"
+
+	"mvg/internal/ml/mltest"
+)
+
+func TestMarshalRoundTrip(t *testing.T) {
+	X, y := mltest.Blobs(100, 3, 4, 1.0, 7)
+	m := New(Params{NumRounds: 10, MaxDepth: 3, Seed: 1})
+	if err := m.Fit(X, y, 3); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := &Model{}
+	if err := restored.UnmarshalBinary(raw); err != nil {
+		t.Fatal(err)
+	}
+	p1, _ := m.PredictProba(X)
+	p2, err := restored.PredictProba(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p1 {
+		for j := range p1[i] {
+			if p1[i][j] != p2[i][j] {
+				t.Fatalf("prediction drift at [%d][%d]", i, j)
+			}
+		}
+	}
+	imp1, imp2 := m.FeatureImportance(), restored.FeatureImportance()
+	for i := range imp1 {
+		if imp1[i] != imp2[i] {
+			t.Fatal("importance drift")
+		}
+	}
+}
+
+func TestMarshalUnfitted(t *testing.T) {
+	if _, err := New(Params{}).MarshalBinary(); err == nil {
+		t.Error("marshal of unfitted model should fail")
+	}
+}
+
+func TestUnmarshalGarbage(t *testing.T) {
+	m := &Model{}
+	if err := m.UnmarshalBinary([]byte("garbage")); err == nil {
+		t.Error("garbage should fail")
+	}
+	if err := m.UnmarshalBinary(nil); err == nil {
+		t.Error("empty should fail")
+	}
+}
+
+func TestUnmarshalRejectsMalformed(t *testing.T) {
+	// Craft a valid-gob but semantically broken snapshot: node children
+	// out of range.
+	X, y := mltest.Blobs(60, 2, 3, 1.0, 3)
+	m := New(Params{NumRounds: 2, MaxDepth: 2, Seed: 1})
+	if err := m.Fit(X, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt by truncating: decoder must error, not panic.
+	for _, cut := range []int{1, len(raw) / 2, len(raw) - 1} {
+		bad := &Model{}
+		if err := bad.UnmarshalBinary(raw[:cut]); err == nil {
+			t.Errorf("truncated payload (%d bytes) should fail", cut)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package motif
+
+import "mvg/internal/graph"
+
+// CountBrute computes induced motif counts by explicit enumeration of all
+// vertex triples and quadruples, classifying each induced subgraph by its
+// edge count and degree sequence. It is O(n⁴) and exists as the reference
+// oracle for testing Count; do not use it on graphs beyond a few dozen
+// vertices.
+func CountBrute(g *graph.Graph) Counts {
+	n := g.N()
+	var c Counts
+
+	c.M21 = int64(g.M())
+	c.M22 = choose2(int64(n)) - c.M21
+
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			eij := b2i(g.HasEdge(i, j))
+			for k := j + 1; k < n; k++ {
+				e3 := eij + b2i(g.HasEdge(i, k)) + b2i(g.HasEdge(j, k))
+				switch e3 {
+				case 3:
+					c.M31++
+				case 2:
+					c.M32++
+				case 1:
+					c.M33++
+				default:
+					c.M34++
+				}
+			}
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			for k := j + 1; k < n; k++ {
+				for l := k + 1; l < n; l++ {
+					classify4(g, i, j, k, l, &c)
+				}
+			}
+		}
+	}
+	return c
+}
+
+func classify4(g *graph.Graph, a, b, x, y int, c *Counts) {
+	vs := [4]int{a, b, x, y}
+	var deg [4]int
+	edges := 0
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			if g.HasEdge(vs[i], vs[j]) {
+				edges++
+				deg[i]++
+				deg[j]++
+			}
+		}
+	}
+	maxDeg, minDeg := 0, 4
+	for _, d := range deg {
+		if d > maxDeg {
+			maxDeg = d
+		}
+		if d < minDeg {
+			minDeg = d
+		}
+	}
+	switch edges {
+	case 6:
+		c.M41++
+	case 5:
+		c.M42++
+	case 4:
+		if maxDeg == 3 {
+			c.M43++ // tailed triangle: degrees 3,2,2,1
+		} else {
+			c.M44++ // cycle: degrees 2,2,2,2
+		}
+	case 3:
+		switch {
+		case maxDeg == 3:
+			c.M45++ // star: 3,1,1,1
+		case minDeg == 0:
+			c.M47++ // triangle + isolate: 2,2,2,0
+		default:
+			c.M46++ // path: 2,2,1,1
+		}
+	case 2:
+		if maxDeg == 2 {
+			c.M48++ // wedge + isolate: 2,1,1,0
+		} else {
+			c.M49++ // two edges: 1,1,1,1
+		}
+	case 1:
+		c.M410++
+	default:
+		c.M411++
+	}
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,158 @@
+// Package sax implements Symbolic Aggregate approXimation (Lin et al.
+// 2007): z-normalization, PAA, and discretization against N(0,1)
+// equiprobable breakpoints. It is the symbolic substrate shared by the
+// SAX-VSM and Fast Shapelets baselines the paper compares against.
+package sax
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"mvg/internal/timeseries"
+)
+
+// MinAlphabet and MaxAlphabet bound supported cardinalities.
+const (
+	MinAlphabet = 2
+	MaxAlphabet = 26
+)
+
+var errAlphabet = errors.New("sax: alphabet size out of range")
+
+// Breakpoints returns the a-1 breakpoints that cut the standard normal
+// distribution into a equiprobable regions: β_i = Φ⁻¹((i+1)/a).
+func Breakpoints(a int) ([]float64, error) {
+	if a < MinAlphabet || a > MaxAlphabet {
+		return nil, fmt.Errorf("%w: %d", errAlphabet, a)
+	}
+	out := make([]float64, a-1)
+	for i := range out {
+		out[i] = NormalQuantile(float64(i+1) / float64(a))
+	}
+	return out, nil
+}
+
+// Symbolize maps one PAA value to its alphabet symbol given breakpoints.
+func Symbolize(v float64, breakpoints []float64) byte {
+	i := 0
+	for i < len(breakpoints) && v > breakpoints[i] {
+		i++
+	}
+	return byte('a' + i)
+}
+
+// Encoder converts series (or subsequences) into SAX words with fixed
+// parameters. It is safe for concurrent use.
+type Encoder struct {
+	Segments    int // PAA word length (cardinality of the word)
+	Alphabet    int
+	breakpoints []float64
+}
+
+// NewEncoder validates parameters and precomputes breakpoints.
+func NewEncoder(segments, alphabet int) (*Encoder, error) {
+	if segments < 1 {
+		return nil, fmt.Errorf("sax: need at least 1 segment, got %d", segments)
+	}
+	bp, err := Breakpoints(alphabet)
+	if err != nil {
+		return nil, err
+	}
+	return &Encoder{Segments: segments, Alphabet: alphabet, breakpoints: bp}, nil
+}
+
+// Word converts a series into one SAX word: z-normalize, PAA to Segments
+// values, symbolize. Series shorter than Segments are rejected.
+func (e *Encoder) Word(series []float64) (string, error) {
+	if len(series) < e.Segments {
+		return "", fmt.Errorf("sax: series of %d points shorter than %d segments", len(series), e.Segments)
+	}
+	z := timeseries.ZNormalize(series)
+	paa, err := timeseries.PAA(z, e.Segments)
+	if err != nil {
+		return "", err
+	}
+	buf := make([]byte, e.Segments)
+	for i, v := range paa {
+		buf[i] = Symbolize(v, e.breakpoints)
+	}
+	return string(buf), nil
+}
+
+// SlidingWords converts every length-window subsequence of the series into
+// a SAX word. With numerosity reduction, consecutive identical words
+// collapse to one occurrence (the standard bag-of-patterns convention that
+// prevents long flat stretches from dominating the bag).
+func (e *Encoder) SlidingWords(series []float64, window int, numerosityReduction bool) ([]string, error) {
+	if window < e.Segments {
+		return nil, fmt.Errorf("sax: window %d shorter than %d segments", window, e.Segments)
+	}
+	if len(series) < window {
+		return nil, fmt.Errorf("sax: series of %d points shorter than window %d", len(series), window)
+	}
+	var words []string
+	prev := ""
+	for start := 0; start+window <= len(series); start++ {
+		w, err := e.Word(series[start : start+window])
+		if err != nil {
+			return nil, err
+		}
+		if numerosityReduction && w == prev {
+			continue
+		}
+		words = append(words, w)
+		prev = w
+	}
+	return words, nil
+}
+
+// NormalQuantile returns Φ⁻¹(p) for the standard normal distribution using
+// Acklam's rational approximation (relative error < 1.15e-9), refined with
+// one Halley step against math.Erfc.
+func NormalQuantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	const (
+		pLow  = 0.02425
+		pHigh = 1 - pLow
+	)
+	var (
+		a = [6]float64{-3.969683028665376e+01, 2.209460984245205e+02,
+			-2.759285104469687e+02, 1.383577518672690e+02,
+			-3.066479806614716e+01, 2.506628277459239e+00}
+		b = [5]float64{-5.447609879822406e+01, 1.615858368580409e+02,
+			-1.556989798598866e+02, 6.680131188771972e+01,
+			-1.328068155288572e+01}
+		c = [6]float64{-7.784894002430293e-03, -3.223964580411365e-01,
+			-2.400758277161838e+00, -2.549732539343734e+00,
+			4.374664141464968e+00, 2.938163982698783e+00}
+		d = [4]float64{7.784695709041462e-03, 3.224671290700398e-01,
+			2.445134137142996e+00, 3.754408661907416e+00}
+	)
+	var x float64
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		x = (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= pHigh:
+		q := p - 0.5
+		r := q * q
+		x = (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		x = -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+	// One Halley refinement step.
+	e := 0.5*math.Erfc(-x/math.Sqrt2) - p
+	u := e * math.Sqrt(2*math.Pi) * math.Exp(x*x/2)
+	x -= u / (1 + x*u/2)
+	return x
+}

@@ -1,0 +1,169 @@
+package sax
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestNormalQuantile(t *testing.T) {
+	cases := map[float64]float64{
+		0.5:   0,
+		0.975: 1.959964,
+		0.025: -1.959964,
+		0.84:  0.994458,
+	}
+	for p, want := range cases {
+		if got := NormalQuantile(p); math.Abs(got-want) > 1e-5 {
+			t.Errorf("Quantile(%v) = %v, want %v", p, got, want)
+		}
+	}
+	if !math.IsInf(NormalQuantile(0), -1) || !math.IsInf(NormalQuantile(1), 1) {
+		t.Error("boundary quantiles should be infinite")
+	}
+	// Round trip through the CDF.
+	for _, p := range []float64{0.01, 0.2, 0.5, 0.77, 0.99} {
+		z := NormalQuantile(p)
+		back := 0.5 * math.Erfc(-z/math.Sqrt2)
+		if math.Abs(back-p) > 1e-9 {
+			t.Errorf("CDF(Quantile(%v)) = %v", p, back)
+		}
+	}
+}
+
+func TestBreakpoints(t *testing.T) {
+	bp, err := Breakpoints(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Classic SAX table for a=4: -0.67, 0, 0.67.
+	want := []float64{-0.6745, 0, 0.6745}
+	for i := range want {
+		if math.Abs(bp[i]-want[i]) > 1e-3 {
+			t.Errorf("bp[%d] = %v, want %v", i, bp[i], want[i])
+		}
+	}
+	// Monotonicity for all alphabet sizes.
+	for a := MinAlphabet; a <= MaxAlphabet; a++ {
+		bp, err := Breakpoints(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(bp); i++ {
+			if bp[i] <= bp[i-1] {
+				t.Fatalf("breakpoints not increasing for a=%d", a)
+			}
+		}
+	}
+	if _, err := Breakpoints(1); err == nil {
+		t.Error("a=1 should fail")
+	}
+	if _, err := Breakpoints(27); err == nil {
+		t.Error("a=27 should fail")
+	}
+}
+
+func TestSymbolize(t *testing.T) {
+	bp, _ := Breakpoints(4)
+	cases := map[float64]byte{-2: 'a', -0.3: 'b', 0.3: 'c', 2: 'd'}
+	for v, want := range cases {
+		if got := Symbolize(v, bp); got != want {
+			t.Errorf("Symbolize(%v) = %c, want %c", v, got, want)
+		}
+	}
+}
+
+func TestWord(t *testing.T) {
+	enc, err := NewEncoder(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A ramp maps to a monotone word.
+	w, err := enc.Word([]float64{1, 2, 3, 4, 5, 6, 7, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != "abcd" {
+		t.Errorf("ramp word = %q, want abcd", w)
+	}
+	if _, err := enc.Word([]float64{1, 2}); err == nil {
+		t.Error("series shorter than segments should fail")
+	}
+	if _, err := NewEncoder(0, 4); err == nil {
+		t.Error("0 segments should fail")
+	}
+	if _, err := NewEncoder(4, 1); err == nil {
+		t.Error("tiny alphabet should fail")
+	}
+}
+
+func TestWordSymbolsEquiprobableOnGaussianData(t *testing.T) {
+	// For N(0,1) samples, symbols should be roughly uniform.
+	rng := rand.New(rand.NewSource(5))
+	enc, _ := NewEncoder(1, 4)
+	counts := map[string]int{}
+	n := 20000
+	for i := 0; i < n; i++ {
+		w, err := enc.Word([]float64{rng.NormFloat64()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[w]++
+	}
+	_ = counts
+	// Note: single-point series z-normalize to zero → constant symbol.
+	// Use raw symbolization against breakpoints instead.
+	bp, _ := Breakpoints(4)
+	sym := map[byte]int{}
+	for i := 0; i < n; i++ {
+		sym[Symbolize(rng.NormFloat64(), bp)]++
+	}
+	for s, c := range sym {
+		frac := float64(c) / float64(n)
+		if frac < 0.22 || frac > 0.28 {
+			t.Errorf("symbol %c frequency %v, want ≈0.25", s, frac)
+		}
+	}
+}
+
+func TestSlidingWords(t *testing.T) {
+	series := []float64{0, 1, 2, 3, 2, 1, 0, 1, 2, 3, 2, 1}
+	enc, _ := NewEncoder(4, 3)
+	words, err := enc.SlidingWords(series, 8, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(words) != len(series)-8+1 {
+		t.Errorf("got %d words, want %d", len(words), len(series)-8+1)
+	}
+	for _, w := range words {
+		if len(w) != 4 {
+			t.Errorf("word %q has wrong length", w)
+		}
+		for _, ch := range w {
+			if !strings.ContainsRune("abc", ch) {
+				t.Errorf("word %q has invalid symbol", w)
+			}
+		}
+	}
+	// Numerosity reduction collapses runs.
+	reduced, err := enc.SlidingWords(series, 8, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reduced) > len(words) {
+		t.Error("numerosity reduction should not grow the bag")
+	}
+	for i := 1; i < len(reduced); i++ {
+		if reduced[i] == reduced[i-1] {
+			t.Error("consecutive duplicate survived numerosity reduction")
+		}
+	}
+	if _, err := enc.SlidingWords(series, 2, false); err == nil {
+		t.Error("window < segments should fail")
+	}
+	if _, err := enc.SlidingWords([]float64{1, 2}, 8, false); err == nil {
+		t.Error("series shorter than window should fail")
+	}
+}

@@ -1,0 +1,310 @@
+// Package stats implements the statistical tests the paper's evaluation
+// relies on: the Wilcoxon signed-rank test (pairwise accuracy comparisons,
+// Tables 2–3), the Friedman test and the Nemenyi post-hoc critical
+// difference (the CD diagrams of Figures 6–7), plus the supporting
+// distribution functions (normal CDF, regularized incomplete gamma).
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrTooFewSamples is returned when a test has no usable observations.
+var ErrTooFewSamples = errors.New("stats: too few samples")
+
+// NormalCDF returns Φ(z) for the standard normal distribution.
+func NormalCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}
+
+// rankAbs assigns average ranks (1-based) to values by ascending magnitude.
+func rankAbs(values []float64) []float64 {
+	n := len(values)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		return math.Abs(values[idx[a]]) < math.Abs(values[idx[b]])
+	})
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && math.Abs(values[idx[j+1]]) == math.Abs(values[idx[i]]) {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// WilcoxonResult reports a signed-rank test outcome.
+type WilcoxonResult struct {
+	// N is the number of non-zero differences used.
+	N int
+	// WPlus and WMinus are the positive/negative rank sums; W = min.
+	WPlus, WMinus, W float64
+	// Z is the normal-approximation statistic.
+	Z float64
+	// P is the two-sided p-value.
+	P float64
+	// AWins / BWins count datasets where a (resp. b) is strictly smaller
+	// (the paper reports error rates, so smaller = more accurate).
+	AWins, BWins int
+}
+
+// Wilcoxon runs the two-sided Wilcoxon signed-rank test on paired samples,
+// dropping zero differences and using the normal approximation with tie
+// correction — the procedure behind every "Wilcoxon test p-value" row in
+// the paper's tables.
+func Wilcoxon(a, b []float64) (WilcoxonResult, error) {
+	if len(a) != len(b) {
+		return WilcoxonResult{}, fmt.Errorf("stats: paired samples differ in length: %d vs %d", len(a), len(b))
+	}
+	var diffs []float64
+	res := WilcoxonResult{}
+	for i := range a {
+		d := a[i] - b[i]
+		if d != 0 {
+			diffs = append(diffs, d)
+		}
+		if a[i] < b[i] {
+			res.AWins++
+		} else if b[i] < a[i] {
+			res.BWins++
+		}
+	}
+	n := len(diffs)
+	if n < 3 {
+		return res, fmt.Errorf("%w: %d non-zero differences", ErrTooFewSamples, n)
+	}
+	res.N = n
+	ranks := rankAbs(diffs)
+	for i, d := range diffs {
+		if d > 0 {
+			res.WPlus += ranks[i]
+		} else {
+			res.WMinus += ranks[i]
+		}
+	}
+	res.W = math.Min(res.WPlus, res.WMinus)
+
+	fn := float64(n)
+	mu := fn * (fn + 1) / 4
+	variance := fn * (fn + 1) * (2*fn + 1) / 24
+	// Tie correction: subtract Σ(t³−t)/48 per tie group of size t.
+	sorted := make([]float64, n)
+	for i, d := range diffs {
+		sorted[i] = math.Abs(d)
+	}
+	sort.Float64s(sorted)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && sorted[j+1] == sorted[i] {
+			j++
+		}
+		t := float64(j - i + 1)
+		if t > 1 {
+			variance -= (t*t*t - t) / 48
+		}
+		i = j + 1
+	}
+	if variance <= 0 {
+		return res, fmt.Errorf("%w: all differences tied", ErrTooFewSamples)
+	}
+	res.Z = (res.W - mu) / math.Sqrt(variance)
+	p := 2 * NormalCDF(res.Z)
+	if p > 1 {
+		p = 1
+	}
+	res.P = p
+	return res, nil
+}
+
+// AverageRanks ranks algorithms per dataset (rows of scores) and returns
+// each algorithm's mean rank. Lower scores receive better (lower) ranks —
+// appropriate for error rates. Ties share average ranks.
+func AverageRanks(scores [][]float64) ([]float64, error) {
+	if len(scores) == 0 {
+		return nil, ErrTooFewSamples
+	}
+	k := len(scores[0])
+	if k < 2 {
+		return nil, fmt.Errorf("stats: need at least 2 algorithms")
+	}
+	sums := make([]float64, k)
+	for _, row := range scores {
+		if len(row) != k {
+			return nil, fmt.Errorf("stats: ragged score matrix")
+		}
+		idx := make([]int, k)
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return row[idx[a]] < row[idx[b]] })
+		for i := 0; i < k; {
+			j := i
+			for j+1 < k && row[idx[j+1]] == row[idx[i]] {
+				j++
+			}
+			avg := float64(i+j)/2 + 1
+			for t := i; t <= j; t++ {
+				sums[idx[t]] += avg
+			}
+			i = j + 1
+		}
+	}
+	n := float64(len(scores))
+	for i := range sums {
+		sums[i] /= n
+	}
+	return sums, nil
+}
+
+// FriedmanResult reports the Friedman omnibus test.
+type FriedmanResult struct {
+	// AvgRanks holds the mean rank per algorithm (lower = better).
+	AvgRanks []float64
+	// ChiSq is the Friedman χ² statistic with K-1 degrees of freedom.
+	ChiSq float64
+	// P is its p-value.
+	P float64
+	// N and K are the dataset and algorithm counts.
+	N, K int
+}
+
+// Friedman runs the Friedman rank test over a score matrix with one row
+// per dataset and one column per algorithm (lower scores = better).
+func Friedman(scores [][]float64) (FriedmanResult, error) {
+	ranks, err := AverageRanks(scores)
+	if err != nil {
+		return FriedmanResult{}, err
+	}
+	n := float64(len(scores))
+	k := float64(len(ranks))
+	if len(scores) < 2 {
+		return FriedmanResult{}, fmt.Errorf("%w: need ≥2 datasets", ErrTooFewSamples)
+	}
+	sum := 0.0
+	for _, r := range ranks {
+		sum += r * r
+	}
+	chi := 12 * n / (k * (k + 1)) * (sum - k*(k+1)*(k+1)/4)
+	p := ChiSquareSurvival(chi, int(k)-1)
+	return FriedmanResult{AvgRanks: ranks, ChiSq: chi, P: p, N: len(scores), K: len(ranks)}, nil
+}
+
+// nemenyiQ05 and nemenyiQ10 hold the critical values q_α of the studentized
+// range statistic divided by √2 for infinite degrees of freedom (Demšar
+// 2006, Table 5), indexed by number of algorithms k starting at k=2.
+var nemenyiQ05 = []float64{
+	1.960, 2.343, 2.569, 2.728, 2.850, 2.949, 3.031, 3.102, 3.164,
+	3.219, 3.268, 3.313, 3.354, 3.391, 3.426, 3.458, 3.489, 3.517, 3.544,
+}
+
+var nemenyiQ10 = []float64{
+	1.645, 2.052, 2.291, 2.459, 2.589, 2.693, 2.780, 2.855, 2.920,
+	2.978, 3.030, 3.077, 3.120, 3.159, 3.196, 3.230, 3.261, 3.291, 3.319,
+}
+
+// NemenyiCD returns the critical difference CD = q_α √(k(k+1)/(6N)) for k
+// algorithms over N datasets at significance alpha (0.05 or 0.10). Two
+// algorithms whose average ranks differ by at least CD are significantly
+// different (Figures 6–7 of the paper).
+func NemenyiCD(k, n int, alpha float64) (float64, error) {
+	if k < 2 || k > 20 {
+		return 0, fmt.Errorf("stats: Nemenyi table covers 2..20 algorithms, got %d", k)
+	}
+	if n < 2 {
+		return 0, fmt.Errorf("%w: need ≥2 datasets", ErrTooFewSamples)
+	}
+	var q float64
+	switch alpha {
+	case 0.05:
+		q = nemenyiQ05[k-2]
+	case 0.10:
+		q = nemenyiQ10[k-2]
+	default:
+		return 0, fmt.Errorf("stats: Nemenyi critical values tabulated for α=0.05 and α=0.10 only")
+	}
+	return q * math.Sqrt(float64(k)*float64(k+1)/(6*float64(n))), nil
+}
+
+// ChiSquareSurvival returns P(X ≥ x) for a χ² distribution with df degrees
+// of freedom, via the regularized upper incomplete gamma function.
+func ChiSquareSurvival(x float64, df int) float64 {
+	if x <= 0 {
+		return 1
+	}
+	if df <= 0 {
+		return math.NaN()
+	}
+	return regularizedGammaQ(float64(df)/2, x/2)
+}
+
+// regularizedGammaQ computes Q(a,x) = Γ(a,x)/Γ(a) using the series
+// expansion for x < a+1 and the continued fraction otherwise
+// (Numerical Recipes §6.2).
+func regularizedGammaQ(a, x float64) float64 {
+	if x < 0 || a <= 0 {
+		return math.NaN()
+	}
+	if x == 0 {
+		return 1
+	}
+	if x < a+1 {
+		return 1 - gammaPSeries(a, x)
+	}
+	return gammaQContinuedFraction(a, x)
+}
+
+func gammaPSeries(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1 / a
+	del := sum
+	for n := 0; n < 500; n++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*1e-15 {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+func gammaQContinuedFraction(a, x float64) float64 {
+	const tiny = 1e-300
+	lg, _ := math.Lgamma(a)
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i < 500; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-15 {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}

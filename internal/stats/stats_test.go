@@ -1,0 +1,187 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNormalCDF(t *testing.T) {
+	cases := map[float64]float64{
+		0:     0.5,
+		1.96:  0.9750021,
+		-1.96: 0.0249979,
+		3:     0.9986501,
+	}
+	for z, want := range cases {
+		if got := NormalCDF(z); math.Abs(got-want) > 1e-6 {
+			t.Errorf("NormalCDF(%v) = %v, want %v", z, got, want)
+		}
+	}
+}
+
+func TestWilcoxonKnownExample(t *testing.T) {
+	// Classic textbook example (Conover): differences with known W.
+	a := []float64{125, 115, 130, 140, 140, 115, 140, 125, 140, 135}
+	b := []float64{110, 122, 125, 120, 140, 124, 123, 137, 135, 145}
+	res, err := Wilcoxon(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One zero difference dropped → n = 9.
+	if res.N != 9 {
+		t.Errorf("N = %d, want 9", res.N)
+	}
+	if res.W != math.Min(res.WPlus, res.WMinus) {
+		t.Error("W is not the min rank sum")
+	}
+	if res.WPlus+res.WMinus != 45 { // 9·10/2
+		t.Errorf("rank sums total %v, want 45", res.WPlus+res.WMinus)
+	}
+	if res.P <= 0 || res.P > 1 {
+		t.Errorf("p = %v", res.P)
+	}
+}
+
+func TestWilcoxonDetectsShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 40
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = a[i] + 1.0 + 0.1*rng.NormFloat64() // strong shift
+	}
+	res, err := Wilcoxon(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P > 1e-4 {
+		t.Errorf("shifted pairs p = %v, want tiny", res.P)
+	}
+	if res.BWins != 0 && res.AWins < res.BWins {
+		t.Errorf("a should win everywhere: %d vs %d", res.AWins, res.BWins)
+	}
+}
+
+func TestWilcoxonNullIsUniformish(t *testing.T) {
+	// Under H0 the p-value should frequently exceed 0.05.
+	rng := rand.New(rand.NewSource(7))
+	rejections := 0
+	trials := 100
+	for trial := 0; trial < trials; trial++ {
+		n := 30
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+		}
+		res, err := Wilcoxon(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.P < 0.05 {
+			rejections++
+		}
+	}
+	if rejections > 15 {
+		t.Errorf("null rejected %d/%d times at α=0.05", rejections, trials)
+	}
+}
+
+func TestWilcoxonErrors(t *testing.T) {
+	if _, err := Wilcoxon([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := Wilcoxon([]float64{1, 2}, []float64{1, 2}); err == nil {
+		t.Error("all-zero differences should fail")
+	}
+}
+
+func TestAverageRanks(t *testing.T) {
+	scores := [][]float64{
+		{0.1, 0.2, 0.3},
+		{0.1, 0.3, 0.2},
+		{0.3, 0.2, 0.1},
+	}
+	ranks, err := AverageRanks(scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{(1.0 + 1 + 3) / 3, (2.0 + 3 + 2) / 3, (3.0 + 2 + 1) / 3}
+	for i := range want {
+		if math.Abs(ranks[i]-want[i]) > 1e-12 {
+			t.Errorf("rank[%d] = %v, want %v", i, ranks[i], want[i])
+		}
+	}
+	// Ties share average rank.
+	tied, err := AverageRanks([][]float64{{0.5, 0.5, 0.1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tied[0] != 2.5 || tied[1] != 2.5 || tied[2] != 1 {
+		t.Errorf("tied ranks = %v", tied)
+	}
+}
+
+func TestFriedmanSeparatesClearWinner(t *testing.T) {
+	// Algorithm 0 always best, 2 always worst across 20 datasets.
+	var scores [][]float64
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 20; i++ {
+		base := rng.Float64()
+		scores = append(scores, []float64{base, base + 0.1, base + 0.2})
+	}
+	res, err := Friedman(scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P > 1e-6 {
+		t.Errorf("Friedman p = %v, want tiny", res.P)
+	}
+	if res.AvgRanks[0] != 1 || res.AvgRanks[2] != 3 {
+		t.Errorf("ranks = %v", res.AvgRanks)
+	}
+}
+
+func TestNemenyiCD(t *testing.T) {
+	// Paper values: CD=0.5307 for k=3, N=39 at α=0.05 (Figure 6) and
+	// CD=0.7511 for k=4, N=39 (Figure 7).
+	cd3, err := NemenyiCD(3, 39, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cd3-0.5307) > 0.002 {
+		t.Errorf("CD(3,39) = %v, want ≈0.5307 (paper Figure 6)", cd3)
+	}
+	cd4, err := NemenyiCD(4, 39, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cd4-0.7511) > 0.002 {
+		t.Errorf("CD(4,39) = %v, want ≈0.7511 (paper Figure 7)", cd4)
+	}
+	if _, err := NemenyiCD(1, 10, 0.05); err == nil {
+		t.Error("k=1 should fail")
+	}
+	if _, err := NemenyiCD(3, 10, 0.2); err == nil {
+		t.Error("untabulated alpha should fail")
+	}
+}
+
+func TestChiSquareSurvival(t *testing.T) {
+	// Known values: P(χ²₂ ≥ 5.991) = 0.05, P(χ²₁ ≥ 3.841) = 0.05.
+	if got := ChiSquareSurvival(5.991, 2); math.Abs(got-0.05) > 1e-3 {
+		t.Errorf("chi2 survival(5.991,2) = %v", got)
+	}
+	if got := ChiSquareSurvival(3.841, 1); math.Abs(got-0.05) > 1e-3 {
+		t.Errorf("chi2 survival(3.841,1) = %v", got)
+	}
+	if got := ChiSquareSurvival(0, 3); got != 1 {
+		t.Errorf("chi2 survival(0) = %v", got)
+	}
+	if !math.IsNaN(ChiSquareSurvival(1, 0)) {
+		t.Error("df=0 should be NaN")
+	}
+}

@@ -1,0 +1,152 @@
+package synth
+
+import (
+	"testing"
+
+	"mvg/internal/ml"
+	"mvg/internal/timeseries"
+)
+
+func TestSuiteShapes(t *testing.T) {
+	suite := Suite()
+	if len(suite) != 13 {
+		t.Fatalf("suite has %d families, want 13", len(suite))
+	}
+	seen := map[string]bool{}
+	for _, f := range suite {
+		if seen[f.Name] {
+			t.Errorf("duplicate family %q", f.Name)
+		}
+		seen[f.Name] = true
+		if f.Classes < 2 || f.Length < 32 || f.TrainSize < 10 || f.TestSize < 10 {
+			t.Errorf("%s has degenerate shape: %+v", f.Name, f)
+		}
+		if f.Motivation == "" {
+			t.Errorf("%s lacks a motivation note", f.Name)
+		}
+	}
+}
+
+func TestGenerateValidDatasets(t *testing.T) {
+	for _, f := range Suite() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			train, test := f.Generate(42)
+			if err := train.Validate(); err != nil {
+				t.Fatalf("train: %v", err)
+			}
+			if err := test.Validate(); err != nil {
+				t.Fatalf("test: %v", err)
+			}
+			if train.Len() != f.TrainSize || test.Len() != f.TestSize {
+				t.Errorf("sizes %d/%d, want %d/%d", train.Len(), test.Len(), f.TrainSize, f.TestSize)
+			}
+			if train.SeriesLength() != f.Length {
+				t.Errorf("length %d, want %d", train.SeriesLength(), f.Length)
+			}
+			if train.Classes() != f.Classes {
+				t.Errorf("classes %d, want %d", train.Classes(), f.Classes)
+			}
+			// Every class present in both splits (generators are balanced
+			// for tests, imbalanced families may skew but not vanish).
+			for _, d := range []*struct {
+				name   string
+				labels []int
+			}{{"train", train.Labels}, {"test", test.Labels}} {
+				counts := ml.ClassCounts(d.labels, f.Classes)
+				for c, n := range counts {
+					if n == 0 {
+						t.Errorf("%s split lacks class %d", d.name, c)
+					}
+				}
+			}
+			// All values finite.
+			for i, s := range train.Series {
+				if err := timeseries.Validate(s); err != nil {
+					t.Fatalf("train series %d: %v", i, err)
+				}
+			}
+		})
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	f, err := ByName("SynthECG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, b1 := f.Generate(7)
+	a2, b2 := f.Generate(7)
+	for i := range a1.Series {
+		for j := range a1.Series[i] {
+			if a1.Series[i][j] != a2.Series[i][j] {
+				t.Fatal("train split not deterministic")
+			}
+		}
+	}
+	for i := range b1.Series {
+		for j := range b1.Series[i] {
+			if b1.Series[i][j] != b2.Series[i][j] {
+				t.Fatal("test split not deterministic")
+			}
+		}
+	}
+	// Different seeds differ.
+	a3, _ := f.Generate(8)
+	same := true
+	for i := range a1.Series[0] {
+		if a1.Series[0][i] != a3.Series[0][i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestTrainTestDisjointStreams(t *testing.T) {
+	// Train and test must not share identical series (leakage).
+	for _, f := range Suite() {
+		train, test := f.Generate(3)
+		for _, ts := range test.Series[:5] {
+			for _, tr := range train.Series {
+				same := true
+				for j := range tr {
+					if tr[j] != ts[j] {
+						same = false
+						break
+					}
+				}
+				if same {
+					t.Fatalf("%s: test series duplicated in train split", f.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("NoSuchDataset"); err == nil {
+		t.Error("unknown dataset should fail")
+	}
+	names := Names()
+	if len(names) != len(Suite()) {
+		t.Error("Names() length mismatch")
+	}
+}
+
+func TestImbalancedFamilySkews(t *testing.T) {
+	f, err := ByName("BurstNoise")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Imbalanced {
+		t.Fatal("BurstNoise should be imbalanced")
+	}
+	train, _ := f.Generate(11)
+	counts := ml.ClassCounts(train.Labels, f.Classes)
+	if counts[0] <= counts[1] {
+		t.Errorf("class 0 should dominate: %v", counts)
+	}
+}

@@ -1,0 +1,166 @@
+package timeseries
+
+import (
+	"fmt"
+	"math"
+)
+
+// Euclidean returns the Euclidean distance between two equal-length series.
+func Euclidean(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("timeseries: length mismatch %d != %d", len(a), len(b))
+	}
+	sum := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum), nil
+}
+
+// SquaredEuclidean is Euclidean without the final square root; it preserves
+// ordering and is cheaper inside nearest-neighbour searches.
+func SquaredEuclidean(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("timeseries: length mismatch %d != %d", len(a), len(b))
+	}
+	sum := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return sum, nil
+}
+
+// DTW computes the Dynamic Time Warping distance between a and b with a
+// Sakoe-Chiba band of half-width window. window < 0 means an unconstrained
+// (full) warp; window == 0 degenerates to Euclidean alignment. The series
+// may have different lengths. The returned value is the square root of the
+// accumulated squared point costs, matching the usual UCR convention.
+func DTW(a, b []float64, window int) (float64, error) {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return 0, ErrEmpty
+	}
+	if window < 0 {
+		window = max(n, m)
+	}
+	// The band must be at least |n-m| wide for any alignment to exist.
+	w := max(window, abs(n-m))
+
+	// Rolling two-row DP over the cost matrix.
+	inf := math.Inf(1)
+	prev := make([]float64, m+1)
+	cur := make([]float64, m+1)
+	for j := 0; j <= m; j++ {
+		prev[j] = inf
+	}
+	prev[0] = 0
+	for i := 1; i <= n; i++ {
+		for j := 0; j <= m; j++ {
+			cur[j] = inf
+		}
+		lo := max(1, i-w)
+		hi := min(m, i+w)
+		for j := lo; j <= hi; j++ {
+			d := a[i-1] - b[j-1]
+			best := prev[j] // insertion
+			if prev[j-1] < best {
+				best = prev[j-1] // match
+			}
+			if cur[j-1] < best {
+				best = cur[j-1] // deletion
+			}
+			cur[j] = d*d + best
+		}
+		prev, cur = cur, prev
+	}
+	if math.IsInf(prev[m], 1) {
+		return 0, fmt.Errorf("timeseries: DTW band w=%d admits no alignment for lengths %d,%d", window, n, m)
+	}
+	return math.Sqrt(prev[m]), nil
+}
+
+// Envelope computes the upper and lower LB_Keogh envelopes of t for a
+// Sakoe-Chiba band of half-width window: upper[i] = max(t[i-w..i+w]),
+// lower[i] = min(t[i-w..i+w]). It is O(n) using monotonic deques.
+func Envelope(t []float64, window int) (upper, lower []float64) {
+	n := len(t)
+	upper = make([]float64, n)
+	lower = make([]float64, n)
+	if n == 0 {
+		return upper, lower
+	}
+	if window < 0 {
+		window = n
+	}
+	// Monotonic deques holding candidate indices.
+	maxDQ := make([]int, 0, n)
+	minDQ := make([]int, 0, n)
+	// Window for position i is [i-window, i+window].
+	for i := 0; i < n+window; i++ {
+		if i < n {
+			for len(maxDQ) > 0 && t[maxDQ[len(maxDQ)-1]] <= t[i] {
+				maxDQ = maxDQ[:len(maxDQ)-1]
+			}
+			maxDQ = append(maxDQ, i)
+			for len(minDQ) > 0 && t[minDQ[len(minDQ)-1]] >= t[i] {
+				minDQ = minDQ[:len(minDQ)-1]
+			}
+			minDQ = append(minDQ, i)
+		}
+		out := i - window
+		if out >= 0 && out < n {
+			for maxDQ[0] < out-window {
+				maxDQ = maxDQ[1:]
+			}
+			for minDQ[0] < out-window {
+				minDQ = minDQ[1:]
+			}
+			upper[out] = t[maxDQ[0]]
+			lower[out] = t[minDQ[0]]
+		}
+	}
+	return upper, lower
+}
+
+// LBKeogh returns the LB_Keogh lower bound of DTW(q, c) for equal-length
+// series given the precomputed envelope of c. It lower-bounds the DTW value
+// returned by DTW (i.e. sqrt of accumulated squared costs).
+func LBKeogh(q, upper, lower []float64) (float64, error) {
+	if len(q) != len(upper) || len(q) != len(lower) {
+		return 0, fmt.Errorf("timeseries: envelope length mismatch")
+	}
+	sum := 0.0
+	for i, v := range q {
+		if v > upper[i] {
+			d := v - upper[i]
+			sum += d * d
+		} else if v < lower[i] {
+			d := lower[i] - v
+			sum += d * d
+		}
+	}
+	return math.Sqrt(sum), nil
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,240 @@
+// Package timeseries provides the numeric time-series substrate used by the
+// MVG pipeline: validation, normalization, detrending, piecewise aggregate
+// approximation (PAA), the multiscale pyramid of Definition 3.1/3.2 of the
+// paper, and summary statistics.
+//
+// A time series is a plain []float64 (Definition 2.1 in the paper); the
+// package works on slices directly so callers can reuse buffers.
+package timeseries
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Common errors returned by validation helpers.
+var (
+	ErrEmpty      = errors.New("timeseries: empty series")
+	ErrTooShort   = errors.New("timeseries: series too short")
+	ErrNonFinite  = errors.New("timeseries: series contains NaN or Inf")
+	ErrBadSegment = errors.New("timeseries: invalid segment count")
+)
+
+// Validate checks that t is non-empty and contains only finite values.
+func Validate(t []float64) error {
+	if len(t) == 0 {
+		return ErrEmpty
+	}
+	for i, v := range t {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: index %d is %v", ErrNonFinite, i, v)
+		}
+	}
+	return nil
+}
+
+// Clone returns an independent copy of t.
+func Clone(t []float64) []float64 {
+	out := make([]float64, len(t))
+	copy(out, t)
+	return out
+}
+
+// Mean returns the arithmetic mean of t, or 0 for an empty series.
+func Mean(t []float64) float64 {
+	if len(t) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range t {
+		sum += v
+	}
+	return sum / float64(len(t))
+}
+
+// Std returns the population standard deviation of t.
+func Std(t []float64) float64 {
+	if len(t) == 0 {
+		return 0
+	}
+	mu := Mean(t)
+	ss := 0.0
+	for _, v := range t {
+		d := v - mu
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(t)))
+}
+
+// MinMax returns the minimum and maximum values of t.
+// It returns (0, 0) for an empty series.
+func MinMax(t []float64) (min, max float64) {
+	if len(t) == 0 {
+		return 0, 0
+	}
+	min, max = t[0], t[0]
+	for _, v := range t[1:] {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return min, max
+}
+
+// ZNormalize returns a z-normalized copy of t: zero mean, unit variance.
+// Near-constant series (σ below eps) are returned as all zeros rather than
+// amplifying numeric noise, matching common UCR preprocessing.
+func ZNormalize(t []float64) []float64 {
+	const eps = 1e-12
+	out := make([]float64, len(t))
+	mu := Mean(t)
+	sigma := Std(t)
+	if sigma < eps {
+		return out
+	}
+	for i, v := range t {
+		out[i] = (v - mu) / sigma
+	}
+	return out
+}
+
+// Detrend returns a copy of t with the least-squares linear trend removed.
+// The paper notes VGs are unsuitable for series with monotonic trends; this
+// is the recommended pre-processing step before VG construction.
+func Detrend(t []float64) []float64 {
+	n := len(t)
+	out := make([]float64, n)
+	if n < 2 {
+		copy(out, t)
+		return out
+	}
+	// Least squares fit of v = a + b*i.
+	var sx, sy, sxx, sxy float64
+	for i, v := range t {
+		x := float64(i)
+		sx += x
+		sy += v
+		sxx += x * x
+		sxy += x * v
+	}
+	fn := float64(n)
+	den := fn*sxx - sx*sx
+	var a, b float64
+	if den != 0 {
+		b = (fn*sxy - sx*sy) / den
+		a = (sy - b*sx) / fn
+	} else {
+		a = sy / fn
+	}
+	for i, v := range t {
+		out[i] = v - (a + b*float64(i))
+	}
+	return out
+}
+
+// PAA computes the Piecewise Aggregate Approximation of t with s segments
+// (equation 1 of the paper). Segment boundaries follow the fractional
+// scheme of Keogh & Pazzani so that n need not be divisible by s: sample k
+// contributes to segment floor(k*s/n) with proportional weighting at
+// boundaries handled by exact fractional assignment.
+func PAA(t []float64, s int) ([]float64, error) {
+	n := len(t)
+	if n == 0 {
+		return nil, ErrEmpty
+	}
+	if s <= 0 || s > n {
+		return nil, fmt.Errorf("%w: s=%d for n=%d", ErrBadSegment, s, n)
+	}
+	if s == n {
+		return Clone(t), nil
+	}
+	out := make([]float64, s)
+	if n%s == 0 {
+		// Fast path: equal-size integer segments.
+		w := n / s
+		for i := 0; i < s; i++ {
+			sum := 0.0
+			for k := i * w; k < (i+1)*w; k++ {
+				sum += t[k]
+			}
+			out[i] = sum / float64(w)
+		}
+		return out, nil
+	}
+	// General fractional segmentation: segment i covers the real interval
+	// [i*n/s, (i+1)*n/s); each sample contributes the overlapping fraction.
+	ratio := float64(n) / float64(s)
+	for i := 0; i < s; i++ {
+		lo := float64(i) * ratio
+		hi := float64(i+1) * ratio
+		sum := 0.0
+		for k := int(lo); k < n && float64(k) < hi; k++ {
+			l := math.Max(lo, float64(k))
+			r := math.Min(hi, float64(k+1))
+			if r > l {
+				sum += t[k] * (r - l)
+			}
+		}
+		out[i] = sum / ratio
+	}
+	return out, nil
+}
+
+// Halve is PAA downscaling by a factor of exactly two (the multiscale step).
+// An odd trailing sample is averaged into the final segment.
+func Halve(t []float64) ([]float64, error) {
+	n := len(t)
+	if n < 2 {
+		return nil, ErrTooShort
+	}
+	return PAA(t, n/2)
+}
+
+// DefaultTau is the default minimum length for multiscale approximations
+// (Definition 3.1): scales shorter than this are considered trivial graphs
+// and are not generated. The paper suggests τ = 15 as an optimization; τ=0
+// is also valid since feature selection happens during classification.
+const DefaultTau = 15
+
+// Multiscale returns the approximated multiscale representation
+// (T1, T2, ..., Tm) of Definition 3.1: successive PAA halvings of t with
+// every scale longer than tau. The original series is NOT included; see
+// MultiscaleFull for Definition 3.2. tau < 2 is treated as 2 because a
+// visibility graph needs at least two vertices.
+func Multiscale(t []float64, tau int) ([][]float64, error) {
+	if err := Validate(t); err != nil {
+		return nil, err
+	}
+	if tau < 2 {
+		tau = 2
+	}
+	var scales [][]float64
+	cur := t
+	for len(cur)/2 > tau {
+		next, err := Halve(cur)
+		if err != nil {
+			return nil, err
+		}
+		scales = append(scales, next)
+		cur = next
+	}
+	return scales, nil
+}
+
+// MultiscaleFull returns the full multiscale representation
+// (T0, T1, ..., Tm) of Definition 3.2: the original series followed by its
+// approximated multiscale representation.
+func MultiscaleFull(t []float64, tau int) ([][]float64, error) {
+	scales, err := Multiscale(t, tau)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]float64, 0, len(scales)+1)
+	out = append(out, Clone(t))
+	out = append(out, scales...)
+	return out, nil
+}

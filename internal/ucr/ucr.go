@@ -1,0 +1,263 @@
+// Package ucr reads and writes the UCR Time Series Classification Archive
+// text format: one sample per line, the class label first, then the
+// observations, comma separated. Labels are arbitrary tokens (the archive
+// uses -1/1, 1..K, 0..K-1 inconsistently); this package maps them to dense
+// class ids 0..K-1 and keeps the original names for round-tripping.
+package ucr
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Dataset is one split (train or test) of a UCR-format dataset.
+type Dataset struct {
+	// Name is a human-readable identifier (file stem or generator name).
+	Name string
+	// Series holds one row per sample.
+	Series [][]float64
+	// Labels holds dense class ids aligned with Series.
+	Labels []int
+	// ClassNames maps dense ids back to the original label tokens.
+	ClassNames []string
+}
+
+// Classes returns the number of distinct classes.
+func (d *Dataset) Classes() int { return len(d.ClassNames) }
+
+// Len returns the number of samples.
+func (d *Dataset) Len() int { return len(d.Series) }
+
+// SeriesLength returns the length of the first series (UCR datasets are
+// uniform) or 0 when empty.
+func (d *Dataset) SeriesLength() int {
+	if len(d.Series) == 0 {
+		return 0
+	}
+	return len(d.Series[0])
+}
+
+// Validate checks internal consistency: aligned slices, uniform lengths,
+// labels in range.
+func (d *Dataset) Validate() error {
+	if len(d.Series) == 0 {
+		return errors.New("ucr: empty dataset")
+	}
+	if len(d.Series) != len(d.Labels) {
+		return fmt.Errorf("ucr: %d series, %d labels", len(d.Series), len(d.Labels))
+	}
+	width := len(d.Series[0])
+	for i, s := range d.Series {
+		if len(s) != width {
+			return fmt.Errorf("ucr: series %d has %d points, series 0 has %d", i, len(s), width)
+		}
+	}
+	for i, label := range d.Labels {
+		if label < 0 || label >= len(d.ClassNames) {
+			return fmt.Errorf("ucr: label %d of sample %d out of range [0,%d)", label, i, len(d.ClassNames))
+		}
+	}
+	return nil
+}
+
+// Read parses UCR-format lines. Label tokens are assigned dense ids in
+// sorted token order so the mapping is deterministic.
+func Read(r io.Reader, name string) (*Dataset, error) {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 1<<20), 1<<24)
+	type row struct {
+		label  string
+		values []float64
+	}
+	var rows []row
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		fields := splitFlexible(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("ucr: %s line %d: need a label and at least one value", name, lineNo)
+		}
+		values := make([]float64, len(fields)-1)
+		for i, f := range fields[1:] {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("ucr: %s line %d field %d: %w", name, lineNo, i+2, err)
+			}
+			values[i] = v
+		}
+		rows = append(rows, row{label: fields[0], values: values})
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("ucr: reading %s: %w", name, err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("ucr: %s contains no samples", name)
+	}
+	tokens := map[string]bool{}
+	for _, r := range rows {
+		tokens[r.label] = true
+	}
+	classNames := make([]string, 0, len(tokens))
+	for t := range tokens {
+		classNames = append(classNames, t)
+	}
+	sortLabels(classNames)
+	id := map[string]int{}
+	for i, t := range classNames {
+		id[t] = i
+	}
+	d := &Dataset{Name: name, ClassNames: classNames}
+	for _, r := range rows {
+		d.Series = append(d.Series, r.values)
+		d.Labels = append(d.Labels, id[r.label])
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// splitFlexible splits on commas or arbitrary whitespace (both appear in
+// the wild for UCR files).
+func splitFlexible(line string) []string {
+	if strings.Contains(line, ",") {
+		parts := strings.Split(line, ",")
+		out := parts[:0]
+		for _, p := range parts {
+			p = strings.TrimSpace(p)
+			if p != "" {
+				out = append(out, p)
+			}
+		}
+		return out
+	}
+	return strings.Fields(line)
+}
+
+// sortLabels orders numerically when all tokens parse as numbers,
+// lexically otherwise.
+func sortLabels(tokens []string) {
+	numeric := true
+	vals := make([]float64, len(tokens))
+	for i, t := range tokens {
+		v, err := strconv.ParseFloat(t, 64)
+		if err != nil {
+			numeric = false
+			break
+		}
+		vals[i] = v
+	}
+	if numeric {
+		sort.Slice(tokens, func(a, b int) bool {
+			va, _ := strconv.ParseFloat(tokens[a], 64)
+			vb, _ := strconv.ParseFloat(tokens[b], 64)
+			return va < vb
+		})
+		return
+	}
+	sort.Strings(tokens)
+}
+
+// ReadFile reads one UCR split from disk, using the file stem as the name.
+func ReadFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	name := path
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	return Read(f, name)
+}
+
+// ReadPair reads train and test splits and reconciles their label
+// mappings: the union of label tokens defines the dense ids, so a class
+// present only in the test split still gets a consistent id.
+func ReadPair(trainPath, testPath string) (train, test *Dataset, err error) {
+	train, err = ReadFile(trainPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	test, err = ReadFile(testPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := Reconcile(train, test); err != nil {
+		return nil, nil, err
+	}
+	return train, test, nil
+}
+
+// Reconcile remaps both datasets onto the union of their class names.
+func Reconcile(a, b *Dataset) error {
+	tokens := map[string]bool{}
+	for _, t := range a.ClassNames {
+		tokens[t] = true
+	}
+	for _, t := range b.ClassNames {
+		tokens[t] = true
+	}
+	union := make([]string, 0, len(tokens))
+	for t := range tokens {
+		union = append(union, t)
+	}
+	sortLabels(union)
+	id := map[string]int{}
+	for i, t := range union {
+		id[t] = i
+	}
+	for _, d := range []*Dataset{a, b} {
+		for i, label := range d.Labels {
+			d.Labels[i] = id[d.ClassNames[label]]
+		}
+		d.ClassNames = union
+	}
+	return nil
+}
+
+// Write emits the dataset in UCR comma-separated format.
+func (d *Dataset) Write(w io.Writer) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	for i, s := range d.Series {
+		if _, err := bw.WriteString(d.ClassNames[d.Labels[i]]); err != nil {
+			return err
+		}
+		for _, v := range s {
+			if _, err := fmt.Fprintf(bw, ",%g", v); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteFile writes the dataset to path in UCR format.
+func (d *Dataset) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := d.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,152 @@
+package ucr
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadCommaFormat(t *testing.T) {
+	in := "1,0.5,1.5,2.5\n-1,3.0,2.0,1.0\n1,0.1,0.2,0.3\n"
+	d, err := Read(strings.NewReader(in), "toy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 3 || d.Classes() != 2 || d.SeriesLength() != 3 {
+		t.Fatalf("parsed %d samples, %d classes, len %d", d.Len(), d.Classes(), d.SeriesLength())
+	}
+	// Numeric label order: -1 before 1.
+	if d.ClassNames[0] != "-1" || d.ClassNames[1] != "1" {
+		t.Errorf("class names = %v", d.ClassNames)
+	}
+	if d.Labels[0] != 1 || d.Labels[1] != 0 {
+		t.Errorf("labels = %v", d.Labels)
+	}
+	if d.Series[1][0] != 3.0 {
+		t.Errorf("series[1] = %v", d.Series[1])
+	}
+}
+
+func TestReadWhitespaceFormat(t *testing.T) {
+	in := "2 0.5 1.5\n10 3.0 2.0\n"
+	d, err := Read(strings.NewReader(in), "ws")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Numeric ordering: 2 before 10 (not lexicographic).
+	if d.ClassNames[0] != "2" || d.ClassNames[1] != "10" {
+		t.Errorf("class names = %v", d.ClassNames)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, err := Read(strings.NewReader(""), "empty"); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := Read(strings.NewReader("1\n"), "short"); err == nil {
+		t.Error("label-only line should fail")
+	}
+	if _, err := Read(strings.NewReader("1,abc\n"), "bad"); err == nil {
+		t.Error("non-numeric value should fail")
+	}
+	if _, err := Read(strings.NewReader("1,1,2\n2,1\n"), "ragged"); err == nil {
+		t.Error("ragged rows should fail validation")
+	}
+}
+
+func TestWriteRoundTrip(t *testing.T) {
+	d := &Dataset{
+		Name:       "rt",
+		Series:     [][]float64{{1.5, -2.25}, {0, 3}},
+		Labels:     []int{1, 0},
+		ClassNames: []string{"a", "b"},
+	}
+	var buf bytes.Buffer
+	if err := d.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf, "rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 || back.Classes() != 2 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	for i := range d.Series {
+		for j := range d.Series[i] {
+			if back.Series[i][j] != d.Series[i][j] {
+				t.Errorf("value [%d][%d] = %v, want %v", i, j, back.Series[i][j], d.Series[i][j])
+			}
+		}
+	}
+	if back.ClassNames[back.Labels[0]] != "b" {
+		t.Error("labels scrambled in round trip")
+	}
+}
+
+func TestFileRoundTripAndPair(t *testing.T) {
+	dir := t.TempDir()
+	train := &Dataset{
+		Series:     [][]float64{{1, 2}, {3, 4}},
+		Labels:     []int{0, 1},
+		ClassNames: []string{"1", "2"},
+	}
+	// Test split mentions a third class unseen in training.
+	test := &Dataset{
+		Series:     [][]float64{{5, 6}, {7, 8}},
+		Labels:     []int{0, 1},
+		ClassNames: []string{"2", "3"},
+	}
+	trainPath := filepath.Join(dir, "TOY_TRAIN")
+	testPath := filepath.Join(dir, "TOY_TEST")
+	if err := train.WriteFile(trainPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := test.WriteFile(testPath); err != nil {
+		t.Fatal(err)
+	}
+	tr, te, err := ReadPair(trainPath, testPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Classes() != 3 || te.Classes() != 3 {
+		t.Fatalf("reconciled classes = %d/%d, want 3", tr.Classes(), te.Classes())
+	}
+	// Token "2" must map to the same id in both splits.
+	id2 := -1
+	for i, n := range tr.ClassNames {
+		if n == "2" {
+			id2 = i
+		}
+	}
+	if tr.Labels[1] != id2 || te.Labels[0] != id2 {
+		t.Errorf("label \"2\" inconsistent: train %v test %v id %d", tr.Labels, te.Labels, id2)
+	}
+	if _, err := ReadFile(filepath.Join(dir, "missing")); err == nil {
+		t.Error("missing file should fail")
+	}
+	if !os.IsNotExist(func() error { _, err := ReadFile(filepath.Join(dir, "missing")); return err }()) {
+		// The error should wrap the fs error; just assert non-nil above.
+		_ = err
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := &Dataset{
+		Series:     [][]float64{{1}},
+		Labels:     []int{5},
+		ClassNames: []string{"a"},
+	}
+	if err := bad.Validate(); err == nil {
+		t.Error("out-of-range label should fail validation")
+	}
+	empty := &Dataset{}
+	if err := empty.Validate(); err == nil {
+		t.Error("empty dataset should fail validation")
+	}
+	if empty.SeriesLength() != 0 {
+		t.Error("empty SeriesLength should be 0")
+	}
+}

@@ -1,0 +1,137 @@
+package visibility
+
+import (
+	"math"
+
+	"mvg/internal/graph"
+)
+
+// The paper (§2.1) notes that visibility graphs can be made directed "by
+// limiting the direction of viewpoints" and weighted (Supriya et al. 2016
+// use edge weights for EEG epilepsy detection). This file provides both
+// variants; the evaluated pipeline uses the undirected builders, but the
+// variants are part of the library surface for downstream experimentation.
+
+// Digraph is a minimal directed graph: edges point forward in time, from
+// earlier to later vertices (the "left-to-right viewpoint" convention).
+type Digraph struct {
+	// Out[i] lists j > i visible from i; In[j] lists i < j seeing j.
+	Out [][]int32
+	In  [][]int32
+	m   int
+}
+
+// N returns the vertex count.
+func (d *Digraph) N() int { return len(d.Out) }
+
+// M returns the edge count.
+func (d *Digraph) M() int { return d.m }
+
+// OutDegree and InDegree report per-vertex degrees.
+func (d *Digraph) OutDegree(v int) int { return len(d.Out[v]) }
+func (d *Digraph) InDegree(v int) int  { return len(d.In[v]) }
+
+// DegreeStats returns max/mean of the in- and out-degree sequences, the
+// natural directed analogues of the paper's degree statistics.
+func (d *Digraph) DegreeStats() (maxIn, maxOut int, meanIn, meanOut float64) {
+	n := d.N()
+	if n == 0 {
+		return
+	}
+	var sumIn, sumOut int
+	for v := 0; v < n; v++ {
+		in, out := len(d.In[v]), len(d.Out[v])
+		sumIn += in
+		sumOut += out
+		if in > maxIn {
+			maxIn = in
+		}
+		if out > maxOut {
+			maxOut = out
+		}
+	}
+	return maxIn, maxOut, float64(sumIn) / float64(n), float64(sumOut) / float64(n)
+}
+
+func newDigraph(n int) *Digraph {
+	return &Digraph{Out: make([][]int32, n), In: make([][]int32, n)}
+}
+
+func (d *Digraph) addEdge(i, j int) {
+	d.Out[i] = append(d.Out[i], int32(j))
+	d.In[j] = append(d.In[j], int32(i))
+	d.m++
+}
+
+// DirectedVG builds the time-directed natural visibility graph: the same
+// edge set as VG, with every edge oriented from the earlier to the later
+// time step.
+func DirectedVG(t []float64) (*Digraph, error) {
+	g, err := VG(t)
+	if err != nil {
+		return nil, err
+	}
+	return orient(g), nil
+}
+
+// DirectedHVG builds the time-directed horizontal visibility graph.
+func DirectedHVG(t []float64) (*Digraph, error) {
+	g, err := HVG(t)
+	if err != nil {
+		return nil, err
+	}
+	return orient(g), nil
+}
+
+func orient(g *graph.Graph) *Digraph {
+	d := newDigraph(g.N())
+	for _, e := range g.Edges() {
+		d.addEdge(e[0], e[1])
+	}
+	return d
+}
+
+// WeightedEdge is a visibility edge annotated with the view angle between
+// the two bar tops: w = arctan((v_j - v_i) / (j - i)), the weighting of
+// Supriya et al. (2016). Weights are signed: descending sight lines are
+// negative.
+type WeightedEdge struct {
+	I, J   int
+	Weight float64
+}
+
+// WeightedVG returns the natural visibility graph as a weighted edge list.
+func WeightedVG(t []float64) ([]WeightedEdge, error) {
+	g, err := VG(t)
+	if err != nil {
+		return nil, err
+	}
+	return weight(t, g), nil
+}
+
+// WeightedHVG returns the horizontal visibility graph as a weighted edge
+// list.
+func WeightedHVG(t []float64) ([]WeightedEdge, error) {
+	g, err := HVG(t)
+	if err != nil {
+		return nil, err
+	}
+	return weight(t, g), nil
+}
+
+func weight(t []float64, g *graph.Graph) []WeightedEdge {
+	edges := g.Edges()
+	out := make([]WeightedEdge, len(edges))
+	for k, e := range edges {
+		out[k] = WeightedEdge{
+			I:      e[0],
+			J:      e[1],
+			Weight: angle(t, e[0], e[1]),
+		}
+	}
+	return out
+}
+
+func angle(t []float64, i, j int) float64 {
+	return math.Atan((t[j] - t[i]) / float64(j-i))
+}

@@ -1,0 +1,143 @@
+package visibility
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDirectedVGMatchesUndirected(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		series := randomSeries(2+rng.Intn(80), rng)
+		g, err1 := VG(series)
+		d, err2 := DirectedVG(series)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if d.M() != g.M() || d.N() != g.N() {
+			return false
+		}
+		// Every directed edge goes forward in time and exists undirected.
+		for i := 0; i < d.N(); i++ {
+			for _, j := range d.Out[i] {
+				if int(j) <= i || !g.HasEdge(i, int(j)) {
+					return false
+				}
+			}
+		}
+		// In/out degrees are consistent with the undirected degrees.
+		for v := 0; v < d.N(); v++ {
+			if d.InDegree(v)+d.OutDegree(v) != g.Degree(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDirectedDegreeStats(t *testing.T) {
+	// Series [3,1,2]: edges (0,1),(1,2),(0,2) all forward.
+	d, err := DirectedVG([]float64{3, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxIn, maxOut, meanIn, meanOut := d.DegreeStats()
+	if maxOut != 2 || maxIn != 2 {
+		t.Errorf("max degrees = in %d out %d", maxIn, maxOut)
+	}
+	if math.Abs(meanIn-1) > 1e-12 || math.Abs(meanOut-1) > 1e-12 {
+		t.Errorf("mean degrees = in %v out %v, want 1", meanIn, meanOut)
+	}
+	// First vertex sees only forward; last only backward.
+	if d.InDegree(0) != 0 || d.OutDegree(2) != 0 {
+		t.Error("boundary degrees wrong")
+	}
+	empty := newDigraph(0)
+	if a, b, c, e := empty.DegreeStats(); a != 0 || b != 0 || c != 0 || e != 0 {
+		t.Error("empty digraph stats should be zero")
+	}
+}
+
+func TestDirectedHVG(t *testing.T) {
+	d, err := DirectedHVG([]float64{3, 1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.M() != 5 {
+		t.Errorf("directed HVG edges = %d, want 5", d.M())
+	}
+	if _, err := DirectedHVG([]float64{1}); err == nil {
+		t.Error("short series should fail")
+	}
+	if _, err := DirectedVG(nil); err == nil {
+		t.Error("empty series should fail")
+	}
+}
+
+func TestWeightedVGAngles(t *testing.T) {
+	// Peak at index 1 blocks (0,2): only the two adjacent edges remain,
+	// plus (1,2) falling and (0,1) rising.
+	series := []float64{0, 1, 0.5}
+	edges, err := WeightedVG(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edges) != 2 {
+		t.Fatalf("weighted edges = %d, want 2", len(edges))
+	}
+	for _, e := range edges {
+		want := math.Atan((series[e.J] - series[e.I]) / float64(e.J-e.I))
+		if math.Abs(e.Weight-want) > 1e-12 {
+			t.Errorf("edge (%d,%d) weight %v, want %v", e.I, e.J, e.Weight, want)
+		}
+		if e.Weight < -math.Pi/2 || e.Weight > math.Pi/2 {
+			t.Errorf("weight %v outside (-π/2, π/2)", e.Weight)
+		}
+	}
+	// Rising edge positive, falling edge negative.
+	for _, e := range edges {
+		if series[e.J] > series[e.I] && e.Weight <= 0 {
+			t.Errorf("rising edge (%d,%d) has weight %v", e.I, e.J, e.Weight)
+		}
+		if series[e.J] < series[e.I] && e.Weight >= 0 {
+			t.Errorf("falling edge (%d,%d) has weight %v", e.I, e.J, e.Weight)
+		}
+	}
+}
+
+func TestWeightedHVGSubsetOfWeightedVG(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	series := randomSeries(60, rng)
+	vgEdges, err := WeightedVG(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hvgEdges, err := WeightedHVG(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vgSet := map[[2]int]float64{}
+	for _, e := range vgEdges {
+		vgSet[[2]int{e.I, e.J}] = e.Weight
+	}
+	for _, e := range hvgEdges {
+		w, ok := vgSet[[2]int{e.I, e.J}]
+		if !ok {
+			t.Fatalf("HVG edge (%d,%d) missing from VG", e.I, e.J)
+		}
+		if w != e.Weight {
+			t.Fatalf("weight mismatch on (%d,%d)", e.I, e.J)
+		}
+	}
+	if _, err := WeightedVG(nil); err == nil {
+		t.Error("empty series should fail")
+	}
+	if _, err := WeightedHVG([]float64{1}); err == nil {
+		t.Error("short series should fail")
+	}
+}

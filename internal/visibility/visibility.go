@@ -1,0 +1,172 @@
+// Package visibility converts time series into (horizontal) visibility
+// graphs following Lacasa et al. (Definition 2.3 of the paper) and Luque et
+// al. (Definition 2.4).
+//
+// Vertex i of the resulting graph corresponds to time step i. Two vertices
+// are connected in the natural visibility graph (VG) when the straight line
+// between the tops of their value bars clears every intermediate bar, and
+// in the horizontal visibility graph (HVG) when a horizontal line does.
+// HVGs are always subgraphs of VGs, both are connected, and both are
+// invariant under affine transformations of the series.
+//
+// Three constructors are provided:
+//
+//   - VGNaive: the O(n²) definition-driven scan (reference implementation),
+//   - VG: a divide-and-conquer builder that pivots on window maxima, giving
+//     O(n log n) expected work on non-degenerate series (the practical
+//     counterpart of the sub-quadratic algorithm of Afshani et al. cited in
+//     the paper),
+//   - HVG: the stack-based O(n) builder.
+package visibility
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"mvg/internal/graph"
+)
+
+// ErrTooShort is returned for series with fewer than two points.
+var ErrTooShort = errors.New("visibility: series needs at least 2 points")
+
+func validate(t []float64) error {
+	if len(t) < 2 {
+		return ErrTooShort
+	}
+	for i, v := range t {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("visibility: non-finite value %v at index %d", v, i)
+		}
+	}
+	return nil
+}
+
+// VGNaive builds the natural visibility graph by the O(n²) left-to-right
+// slope scan. Each pair (i,j) is linked iff the slope from i to j strictly
+// exceeds the slope from i to every intermediate point, which is equivalent
+// to the bar-visibility criterion of Definition 2.3.
+func VGNaive(t []float64) (*graph.Graph, error) {
+	if err := validate(t); err != nil {
+		return nil, err
+	}
+	n := len(t)
+	edges := make([][2]int, 0, 2*n)
+	for i := 0; i < n-1; i++ {
+		maxSlope := math.Inf(-1)
+		for j := i + 1; j < n; j++ {
+			slope := (t[j] - t[i]) / float64(j-i)
+			if slope > maxSlope {
+				edges = append(edges, [2]int{i, j})
+				maxSlope = slope
+			}
+		}
+	}
+	return graph.FromEdgesUnchecked(n, edges), nil
+}
+
+// VG builds the natural visibility graph with a divide-and-conquer
+// strategy: the maximum of the current window is the pivot; every
+// visibility line crossing the pivot's position must terminate at the pivot
+// (nothing can be seen "over" a strictly larger bar), so it suffices to
+// scan the pivot's visibility left and right and recurse on the two halves.
+// Expected O(n log n) on series whose maxima split windows evenly; worst
+// case O(n²) on monotone series (which the paper excludes by detrending).
+func VG(t []float64) (*graph.Graph, error) {
+	if err := validate(t); err != nil {
+		return nil, err
+	}
+	n := len(t)
+	edges := make([][2]int, 0, 2*n)
+
+	// Explicit stack avoids deep recursion on adversarial (monotone) input.
+	type window struct{ lo, hi int }
+	stack := []window{{0, n - 1}}
+	for len(stack) > 0 {
+		w := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if w.hi <= w.lo {
+			continue
+		}
+		// Pivot: leftmost maximum of the window.
+		p := w.lo
+		for k := w.lo + 1; k <= w.hi; k++ {
+			if t[k] > t[p] {
+				p = k
+			}
+		}
+		// Rightward visibility scan from the pivot.
+		maxSlope := math.Inf(-1)
+		for j := p + 1; j <= w.hi; j++ {
+			slope := (t[j] - t[p]) / float64(j-p)
+			if slope > maxSlope {
+				edges = append(edges, [2]int{p, j})
+				maxSlope = slope
+			}
+		}
+		// Leftward visibility scan from the pivot.
+		maxSlope = math.Inf(-1)
+		for j := p - 1; j >= w.lo; j-- {
+			slope := (t[j] - t[p]) / float64(p-j)
+			if slope > maxSlope {
+				edges = append(edges, [2]int{j, p})
+				maxSlope = slope
+			}
+		}
+		stack = append(stack, window{w.lo, p - 1}, window{p + 1, w.hi})
+	}
+	return graph.FromEdgesUnchecked(n, edges), nil
+}
+
+// HVG builds the horizontal visibility graph with the O(n) stack algorithm:
+// each new point links to every smaller bar popped from the stack and to
+// the first bar at least as tall as itself; equal-height bars block further
+// visibility and are popped.
+func HVG(t []float64) (*graph.Graph, error) {
+	if err := validate(t); err != nil {
+		return nil, err
+	}
+	n := len(t)
+	edges := make([][2]int, 0, 2*n)
+	stack := make([]int, 0, n)
+	for j := 0; j < n; j++ {
+		for len(stack) > 0 && t[stack[len(stack)-1]] < t[j] {
+			edges = append(edges, [2]int{stack[len(stack)-1], j})
+			stack = stack[:len(stack)-1]
+		}
+		if len(stack) > 0 {
+			top := stack[len(stack)-1]
+			edges = append(edges, [2]int{top, j})
+			if t[top] == t[j] {
+				stack = stack[:len(stack)-1]
+			}
+		}
+		stack = append(stack, j)
+	}
+	return graph.FromEdgesUnchecked(n, edges), nil
+}
+
+// HVGNaive is the O(n²) definition-driven horizontal visibility builder
+// kept as a reference implementation for testing.
+func HVGNaive(t []float64) (*graph.Graph, error) {
+	if err := validate(t); err != nil {
+		return nil, err
+	}
+	n := len(t)
+	edges := make([][2]int, 0, 2*n)
+	for i := 0; i < n-1; i++ {
+		blocker := math.Inf(-1)
+		for j := i + 1; j < n; j++ {
+			if t[i] > blocker && t[j] > blocker {
+				edges = append(edges, [2]int{i, j})
+			}
+			if t[j] >= t[i] {
+				break
+			}
+			if t[j] > blocker {
+				blocker = t[j]
+			}
+		}
+	}
+	return graph.FromEdgesUnchecked(n, edges), nil
+}

@@ -1,0 +1,192 @@
+package mvg
+
+import (
+	"fmt"
+	"sort"
+
+	"mvg/internal/core"
+	"mvg/internal/grids"
+	"mvg/internal/ml"
+	"mvg/internal/ml/modelsel"
+	"mvg/internal/ml/stack"
+	"mvg/internal/ml/xgb"
+)
+
+// Model is a trained MVG classifier: a feature extractor plus a tuned
+// generic classifier (and, for SVM-based configurations, the feature
+// scaler learned on the training set).
+type Model struct {
+	cfg       Config
+	extractor *core.Extractor
+	scaler    *ml.MinMaxScaler // non-nil when the classifier needs scaling
+	clf       ml.Classifier
+	classes   int
+	names     []string
+	seriesLen int
+}
+
+// Train extracts MVG features from the labelled series, tunes the selected
+// classifier family with stratified cross validation (Section 3.2), refits
+// the winner on the full training set, and returns the ready-to-use model.
+// Labels must be dense ids in [0, classes).
+func Train(series [][]float64, labels []int, classes int, cfg Config) (*Model, error) {
+	if len(series) == 0 {
+		return nil, fmt.Errorf("mvg: no training series")
+	}
+	if len(series) != len(labels) {
+		return nil, fmt.Errorf("mvg: %d series but %d labels", len(series), len(labels))
+	}
+	e, err := cfg.extractor()
+	if err != nil {
+		return nil, err
+	}
+	X, err := e.ExtractDataset(series)
+	if err != nil {
+		return nil, err
+	}
+	clf, scaler, err := fitClassifier(X, labels, classes, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{
+		cfg:       cfg,
+		extractor: e,
+		scaler:    scaler,
+		clf:       clf,
+		classes:   classes,
+		names:     e.FeatureNames(len(series[0])),
+		seriesLen: len(series[0]),
+	}, nil
+}
+
+// fitClassifier tunes and fits the configured classifier family on a
+// feature matrix, returning the trained model and, for scale-sensitive
+// configurations, the fitted scaler.
+func fitClassifier(X [][]float64, labels []int, classes int, cfg Config) (ml.Classifier, *ml.MinMaxScaler, error) {
+	size := grids.Quick
+	if cfg.FullGrid {
+		size = grids.Full
+	}
+	folds := cfg.Folds
+	if folds < 2 {
+		folds = 3
+	}
+	switch cfg.Classifier {
+	case "", "xgb":
+		clf, _, err := modelsel.Best(grids.XGB(size, cfg.Seed), X, labels, classes, folds, cfg.Oversample, cfg.Seed)
+		return clf, nil, err
+	case "rf":
+		clf, _, err := modelsel.Best(grids.RF(size, cfg.Seed), X, labels, classes, folds, cfg.Oversample, cfg.Seed)
+		return clf, nil, err
+	case "svm":
+		scaler := &ml.MinMaxScaler{}
+		scaled, err := scaler.FitTransform(X)
+		if err != nil {
+			return nil, nil, err
+		}
+		clf, _, err := modelsel.Best(grids.SVM(size, cfg.Seed), scaled, labels, classes, folds, cfg.Oversample, cfg.Seed)
+		return clf, scaler, err
+	case "stack":
+		// Stacking scales features once for everyone; tree models are
+		// insensitive to monotone scaling (Section 4.3), so a shared
+		// min-max transform is safe and keeps the SVM family happy.
+		scaler := &ml.MinMaxScaler{}
+		scaled, err := scaler.FitTransform(X)
+		if err != nil {
+			return nil, nil, err
+		}
+		ens := stack.New(stack.Params{
+			TopK:       5,
+			Folds:      folds,
+			Oversample: cfg.Oversample,
+			Seed:       cfg.Seed,
+		},
+			stack.Family{Name: "xgb", Candidates: grids.XGB(size, cfg.Seed)},
+			stack.Family{Name: "rf", Candidates: grids.RF(size, cfg.Seed)},
+			stack.Family{Name: "svm", Candidates: grids.SVM(size, cfg.Seed)},
+		)
+		if err := ens.Fit(scaled, labels, classes); err != nil {
+			return nil, nil, err
+		}
+		return ens, scaler, nil
+	}
+	return nil, nil, fmt.Errorf("mvg: unknown classifier %q (want xgb, rf, svm or stack)", cfg.Classifier)
+}
+
+// features extracts (and scales, if configured) inference features.
+func (m *Model) features(series [][]float64) ([][]float64, error) {
+	X, err := m.extractor.ExtractDataset(series)
+	if err != nil {
+		return nil, err
+	}
+	if m.scaler != nil {
+		return m.scaler.Transform(X)
+	}
+	return X, nil
+}
+
+// PredictProba returns one class-probability vector per series.
+func (m *Model) PredictProba(series [][]float64) ([][]float64, error) {
+	X, err := m.features(series)
+	if err != nil {
+		return nil, err
+	}
+	return m.clf.PredictProba(X)
+}
+
+// Predict returns the most probable class per series.
+func (m *Model) Predict(series [][]float64) ([]int, error) {
+	proba, err := m.PredictProba(series)
+	if err != nil {
+		return nil, err
+	}
+	return ml.Predict(proba), nil
+}
+
+// ErrorRate scores the model on a labelled test set (the paper's metric).
+func (m *Model) ErrorRate(series [][]float64, labels []int) (float64, error) {
+	pred, err := m.Predict(series)
+	if err != nil {
+		return 0, err
+	}
+	if len(pred) != len(labels) {
+		return 0, fmt.Errorf("mvg: %d predictions but %d labels", len(pred), len(labels))
+	}
+	return ml.ErrorRate(pred, labels), nil
+}
+
+// Classes returns the number of classes the model was trained with.
+func (m *Model) Classes() int { return m.classes }
+
+// FeatureNames returns the names of the extracted features in order.
+func (m *Model) FeatureNames() []string {
+	out := make([]string, len(m.names))
+	copy(out, m.names)
+	return out
+}
+
+// FeatureWeight pairs a feature name with its importance.
+type FeatureWeight struct {
+	Name   string
+	Weight float64
+}
+
+// FeatureImportance returns gain-based feature importances sorted by
+// descending weight (the paper's Figure 10 case study). It is only
+// available for the "xgb" classifier.
+func (m *Model) FeatureImportance() ([]FeatureWeight, error) {
+	booster, ok := m.clf.(*xgb.Model)
+	if !ok {
+		return nil, fmt.Errorf("mvg: feature importance requires the xgb classifier (have %T)", m.clf)
+	}
+	imp := booster.FeatureImportance()
+	if len(imp) != len(m.names) {
+		return nil, fmt.Errorf("mvg: importance width %d != %d features", len(imp), len(m.names))
+	}
+	out := make([]FeatureWeight, len(imp))
+	for i, w := range imp {
+		out[i] = FeatureWeight{Name: m.names[i], Weight: w}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Weight > out[j].Weight })
+	return out, nil
+}

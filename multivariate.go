@@ -1,0 +1,164 @@
+package mvg
+
+import (
+	"fmt"
+
+	"mvg/internal/core"
+	"mvg/internal/ml"
+)
+
+// The paper's conclusion (§6) names multivariate time series as future
+// work. This file provides the natural extension: every channel is
+// transformed into its own multiscale visibility graphs, the per-channel
+// feature blocks are concatenated, and the combined unordered vector is
+// classified exactly like the univariate one.
+
+// MultivariateModel is a trained multichannel MVG classifier.
+type MultivariateModel struct {
+	cfg       Config
+	extractor *core.Extractor
+	scaler    *ml.MinMaxScaler
+	clf       ml.Classifier
+	classes   int
+	channels  int
+	names     []string
+}
+
+// validateMultivariate checks the sample tensor: samples[i][c] is channel
+// c of sample i; channels must agree across samples, and each channel has
+// one length shared by all samples.
+func validateMultivariate(samples [][][]float64) (channels int, err error) {
+	if len(samples) == 0 {
+		return 0, fmt.Errorf("mvg: no samples")
+	}
+	channels = len(samples[0])
+	if channels == 0 {
+		return 0, fmt.Errorf("mvg: sample 0 has no channels")
+	}
+	for i, s := range samples {
+		if len(s) != channels {
+			return 0, fmt.Errorf("mvg: sample %d has %d channels, sample 0 has %d", i, len(s), channels)
+		}
+		for c := range s {
+			if len(s[c]) != len(samples[0][c]) {
+				return 0, fmt.Errorf("mvg: sample %d channel %d has %d points, sample 0 has %d",
+					i, c, len(s[c]), len(samples[0][c]))
+			}
+		}
+	}
+	return channels, nil
+}
+
+// extractMultivariate concatenates per-channel feature vectors.
+func extractMultivariate(e *core.Extractor, samples [][][]float64, channels int) ([][]float64, error) {
+	n := len(samples)
+	out := make([][]float64, n)
+	for c := 0; c < channels; c++ {
+		channelSeries := make([][]float64, n)
+		for i := range samples {
+			channelSeries[i] = samples[i][c]
+		}
+		X, err := e.ExtractDataset(channelSeries)
+		if err != nil {
+			return nil, fmt.Errorf("mvg: channel %d: %w", c, err)
+		}
+		for i := range out {
+			out[i] = append(out[i], X[i]...)
+		}
+	}
+	return out, nil
+}
+
+// TrainMultivariate trains an MVG classifier on multichannel series:
+// samples[i][c] is channel c of sample i. Channels may have different
+// lengths from each other, but each channel's length must be uniform
+// across samples.
+func TrainMultivariate(samples [][][]float64, labels []int, classes int, cfg Config) (*MultivariateModel, error) {
+	channels, err := validateMultivariate(samples)
+	if err != nil {
+		return nil, err
+	}
+	if len(samples) != len(labels) {
+		return nil, fmt.Errorf("mvg: %d samples but %d labels", len(samples), len(labels))
+	}
+	e, err := cfg.extractor()
+	if err != nil {
+		return nil, err
+	}
+	X, err := extractMultivariate(e, samples, channels)
+	if err != nil {
+		return nil, err
+	}
+	clf, scaler, err := fitClassifier(X, labels, classes, cfg)
+	if err != nil {
+		return nil, err
+	}
+	m := &MultivariateModel{
+		cfg:       cfg,
+		extractor: e,
+		scaler:    scaler,
+		clf:       clf,
+		classes:   classes,
+		channels:  channels,
+	}
+	for c := 0; c < channels; c++ {
+		for _, name := range e.FeatureNames(len(samples[0][c])) {
+			m.names = append(m.names, fmt.Sprintf("C%d.%s", c, name))
+		}
+	}
+	return m, nil
+}
+
+// PredictProba returns class probabilities per multichannel sample.
+func (m *MultivariateModel) PredictProba(samples [][][]float64) ([][]float64, error) {
+	channels, err := validateMultivariate(samples)
+	if err != nil {
+		return nil, err
+	}
+	if channels != m.channels {
+		return nil, fmt.Errorf("mvg: model trained with %d channels, got %d", m.channels, channels)
+	}
+	X, err := extractMultivariate(m.extractor, samples, channels)
+	if err != nil {
+		return nil, err
+	}
+	if m.scaler != nil {
+		X, err = m.scaler.Transform(X)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return m.clf.PredictProba(X)
+}
+
+// Predict returns the most probable class per sample.
+func (m *MultivariateModel) Predict(samples [][][]float64) ([]int, error) {
+	proba, err := m.PredictProba(samples)
+	if err != nil {
+		return nil, err
+	}
+	return ml.Predict(proba), nil
+}
+
+// ErrorRate scores the model on a labelled multichannel test set.
+func (m *MultivariateModel) ErrorRate(samples [][][]float64, labels []int) (float64, error) {
+	pred, err := m.Predict(samples)
+	if err != nil {
+		return 0, err
+	}
+	if len(pred) != len(labels) {
+		return 0, fmt.Errorf("mvg: %d predictions but %d labels", len(pred), len(labels))
+	}
+	return ml.ErrorRate(pred, labels), nil
+}
+
+// Channels returns the channel count the model was trained with.
+func (m *MultivariateModel) Channels() int { return m.channels }
+
+// FeatureNames returns the concatenated per-channel feature names
+// ("C0.T0.VG.P(M21)", ...).
+func (m *MultivariateModel) FeatureNames() []string {
+	out := make([]string, len(m.names))
+	copy(out, m.names)
+	return out
+}

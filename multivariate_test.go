@@ -1,0 +1,118 @@
+package mvg
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// makeMultichannel builds a 2-class, 2-channel problem: class decides the
+// frequency on channel 0 and the noise correlation on channel 1.
+func makeMultichannel(n int, seed int64) ([][][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	samples := make([][][]float64, n)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		class := i % 2
+		ch0 := make([]float64, 128)
+		freq := 3.0
+		if class == 1 {
+			freq = 7
+		}
+		phase := rng.Float64() * 2 * math.Pi
+		for j := range ch0 {
+			ch0[j] = math.Sin(2*math.Pi*freq*float64(j)/128+phase) + 0.2*rng.NormFloat64()
+		}
+		ch1 := make([]float64, 96) // different channel length on purpose
+		x := 0.0
+		for j := range ch1 {
+			phi := 0.1
+			if class == 1 {
+				phi = 0.9
+			}
+			x = phi*x + rng.NormFloat64()
+			ch1[j] = x
+		}
+		samples[i] = [][]float64{ch0, ch1}
+		labels[i] = class
+	}
+	return samples, labels
+}
+
+func TestTrainMultivariate(t *testing.T) {
+	trainS, trainY := makeMultichannel(40, 1)
+	testS, testY := makeMultichannel(30, 2)
+	model, err := TrainMultivariate(trainS, trainY, 2, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.Channels() != 2 {
+		t.Errorf("Channels() = %d", model.Channels())
+	}
+	errRate, err := model.ErrorRate(testS, testY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errRate > 0.25 {
+		t.Errorf("multivariate error rate = %v", errRate)
+	}
+	names := model.FeatureNames()
+	if !strings.HasPrefix(names[0], "C0.") {
+		t.Errorf("first name = %q", names[0])
+	}
+	foundC1 := false
+	for _, n := range names {
+		if strings.HasPrefix(n, "C1.") {
+			foundC1 = true
+			break
+		}
+	}
+	if !foundC1 {
+		t.Error("channel 1 names missing")
+	}
+	proba, err := model.PredictProba(testS[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range proba {
+		sum := 0.0
+		for _, v := range p {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			t.Errorf("probabilities sum to %v", sum)
+		}
+	}
+}
+
+func TestMultivariateValidation(t *testing.T) {
+	trainS, trainY := makeMultichannel(20, 3)
+	if _, err := TrainMultivariate(nil, nil, 2, Config{}); err == nil {
+		t.Error("empty samples should fail")
+	}
+	if _, err := TrainMultivariate(trainS, trainY[:5], 2, Config{}); err == nil {
+		t.Error("label mismatch should fail")
+	}
+	// Ragged channel counts.
+	bad := [][][]float64{trainS[0], {trainS[1][0]}}
+	if _, err := TrainMultivariate(bad, []int{0, 1}, 2, Config{}); err == nil {
+		t.Error("ragged channels should fail")
+	}
+	// Ragged per-channel lengths.
+	bad2 := [][][]float64{
+		{make([]float64, 64), make([]float64, 64)},
+		{make([]float64, 64), make([]float64, 32)},
+	}
+	if _, err := TrainMultivariate(bad2, []int{0, 1}, 2, Config{}); err == nil {
+		t.Error("ragged lengths should fail")
+	}
+	// Channel-count mismatch at prediction time.
+	model, err := TrainMultivariate(trainS, trainY, 2, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := model.Predict([][][]float64{{trainS[0][0]}}); err == nil {
+		t.Error("channel mismatch at predict should fail")
+	}
+}

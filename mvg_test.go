@@ -1,0 +1,206 @@
+package mvg
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mvg/internal/synth"
+)
+
+func loadFamily(t *testing.T, name string) ([][]float64, []int, [][]float64, []int, int) {
+	t.Helper()
+	fam, err := synth.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := fam.Generate(1)
+	return train.Series, train.Labels, test.Series, test.Labels, train.Classes()
+}
+
+func TestTrainPredictDefault(t *testing.T) {
+	trX, trY, teX, teY, classes := loadFamily(t, "FreqSines")
+	model, err := Train(trX, trY, classes, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errRate, err := model.ErrorRate(teX, teY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errRate > 0.25 {
+		t.Errorf("FreqSines error rate = %v, want ≤0.25", errRate)
+	}
+	if model.Classes() != classes {
+		t.Errorf("Classes() = %d", model.Classes())
+	}
+	proba, err := model.PredictProba(teX[:5])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range proba {
+		sum := 0.0
+		for _, v := range p {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			t.Errorf("probabilities sum to %v", sum)
+		}
+	}
+}
+
+func TestTrainAllClassifiers(t *testing.T) {
+	trX, trY, teX, teY, classes := loadFamily(t, "WarpedShapes")
+	for _, clf := range []string{"xgb", "rf", "svm"} {
+		clf := clf
+		t.Run(clf, func(t *testing.T) {
+			model, err := Train(trX, trY, classes, Config{Classifier: clf, Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			errRate, err := model.ErrorRate(teX, teY)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if errRate > 0.4 {
+				t.Errorf("%s error rate = %v", clf, errRate)
+			}
+		})
+	}
+}
+
+func TestTrainStack(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stacking is slow")
+	}
+	trX, trY, teX, teY, classes := loadFamily(t, "WarpedShapes")
+	model, err := Train(trX, trY, classes, Config{Classifier: "stack", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errRate, err := model.ErrorRate(teX, teY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errRate > 0.4 {
+		t.Errorf("stack error rate = %v", errRate)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	trX, trY, _, _, classes := loadFamily(t, "FreqSines")
+	bad := []Config{
+		{Scale: "nope"},
+		{Graphs: "nope"},
+		{Features: "nope"},
+		{Classifier: "nope"},
+	}
+	for _, cfg := range bad {
+		if _, err := Train(trX[:10], trY[:10], classes, cfg); err == nil {
+			t.Errorf("config %+v should fail", cfg)
+		}
+	}
+	if _, err := Train(nil, nil, 2, Config{}); err == nil {
+		t.Error("empty training set should fail")
+	}
+	if _, err := Train(trX, trY[:3], classes, Config{}); err == nil {
+		t.Error("label length mismatch should fail")
+	}
+}
+
+func TestExtractFeaturesFacade(t *testing.T) {
+	trX, _, _, _, _ := loadFamily(t, "FreqSines")
+	X, names, err := ExtractFeatures(trX[:10], Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(X) != 10 || len(X[0]) != len(names) {
+		t.Fatalf("shape mismatch: %d rows, %d vs %d names", len(X), len(X[0]), len(names))
+	}
+	// Names follow the documented scheme.
+	if !strings.HasPrefix(names[0], "T0.VG.P(") {
+		t.Errorf("first name = %q", names[0])
+	}
+	// Alternate configurations change widths.
+	Xu, _, err := ExtractFeatures(trX[:2], Config{Scale: "uvg", Graphs: "hvg", Features: "mpds"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(Xu[0]) != 17 {
+		t.Errorf("UVG/HVG/MPDs width = %d, want 17", len(Xu[0]))
+	}
+}
+
+func TestFeatureImportance(t *testing.T) {
+	trX, trY, _, _, classes := loadFamily(t, "EngineNoise")
+	model, err := Train(trX, trY, classes, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	weights, err := model.FeatureImportance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(weights) != len(model.FeatureNames()) {
+		t.Fatalf("weights %d vs names %d", len(weights), len(model.FeatureNames()))
+	}
+	for i := 1; i < len(weights); i++ {
+		if weights[i].Weight > weights[i-1].Weight {
+			t.Fatal("importance not sorted descending")
+		}
+	}
+	// RF model has no importance.
+	rf, err := Train(trX[:20], trY[:20], classes, Config{Classifier: "rf", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rf.FeatureImportance(); err == nil {
+		t.Error("RF importance should fail")
+	}
+}
+
+func TestSummarizeGraphs(t *testing.T) {
+	series := []float64{3, 1, 2, 4}
+	vg, err := SummarizeVG(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hvg, err := SummarizeHVG(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vg.Kind != "VG" || hvg.Kind != "HVG" {
+		t.Error("kinds wrong")
+	}
+	if vg.N != 4 || hvg.N != 4 {
+		t.Error("vertex counts wrong")
+	}
+	if hvg.M > vg.M {
+		t.Error("HVG cannot have more edges than VG")
+	}
+	if len(vg.MotifProbabilities) != 17 {
+		t.Errorf("motif map has %d entries", len(vg.MotifProbabilities))
+	}
+	if _, err := SummarizeVG(nil); err == nil {
+		t.Error("empty series should fail")
+	}
+}
+
+func TestMultiscaleLengths(t *testing.T) {
+	lens, err := MultiscaleLengths(256, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{256, 128, 64, 32, 16}
+	if len(lens) != len(want) {
+		t.Fatalf("lengths = %v", lens)
+	}
+	for i := range want {
+		if lens[i] != want[i] {
+			t.Errorf("lengths = %v, want %v", lens, want)
+		}
+	}
+	if _, err := MultiscaleLengths(1, 0); err == nil {
+		t.Error("n=1 should fail")
+	}
+}

@@ -1,0 +1,89 @@
+package mvg
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"mvg/internal/ml"
+	"mvg/internal/ml/xgb"
+)
+
+// Model persistence: a trained xgb-backed pipeline (the default
+// configuration) can be written to any io.Writer and restored without
+// retraining. The snapshot carries the extraction Config, the fitted
+// booster, the optional scaler, and the metadata needed to validate
+// inputs at load time.
+
+type modelSnapshot struct {
+	Version     int
+	Cfg         Config
+	Classes     int
+	SeriesLen   int
+	Names       []string
+	ScalerMin   []float64
+	ScalerRange []float64
+	Booster     []byte
+}
+
+const snapshotVersion = 1
+
+// Save serializes the model. Only the "xgb" classifier back end supports
+// persistence; rf/svm/stack models return an error.
+func (m *Model) Save(w io.Writer) error {
+	booster, ok := m.clf.(*xgb.Model)
+	if !ok {
+		return fmt.Errorf("mvg: persistence requires the xgb classifier (have %T)", m.clf)
+	}
+	raw, err := booster.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	snap := modelSnapshot{
+		Version:   snapshotVersion,
+		Cfg:       m.cfg,
+		Classes:   m.classes,
+		SeriesLen: m.seriesLen,
+		Names:     m.names,
+		Booster:   raw,
+	}
+	if m.scaler != nil {
+		snap.ScalerMin = m.scaler.Min
+		snap.ScalerRange = m.scaler.Range
+	}
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("mvg: encode model: %w", err)
+	}
+	return nil
+}
+
+// LoadModel restores a model written by Save.
+func LoadModel(r io.Reader) (*Model, error) {
+	var snap modelSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("mvg: decode model: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("mvg: unsupported model version %d", snap.Version)
+	}
+	e, err := snap.Cfg.extractor()
+	if err != nil {
+		return nil, err
+	}
+	booster := &xgb.Model{}
+	if err := booster.UnmarshalBinary(snap.Booster); err != nil {
+		return nil, err
+	}
+	m := &Model{
+		cfg:       snap.Cfg,
+		extractor: e,
+		clf:       booster,
+		classes:   snap.Classes,
+		names:     snap.Names,
+		seriesLen: snap.SeriesLen,
+	}
+	if snap.ScalerMin != nil {
+		m.scaler = &ml.MinMaxScaler{Min: snap.ScalerMin, Range: snap.ScalerRange}
+	}
+	return m, nil
+}

@@ -1,0 +1,76 @@
+package mvg
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	trX, trY, teX, _, classes := loadFamily(t, "FreqSines")
+	model, err := Train(trX, trY, classes, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := model.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Predictions must match exactly.
+	p1, err := model.PredictProba(teX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := loaded.PredictProba(teX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p1 {
+		for j := range p1[i] {
+			if p1[i][j] != p2[i][j] {
+				t.Fatalf("prediction drift after reload at [%d][%d]: %v vs %v",
+					i, j, p1[i][j], p2[i][j])
+			}
+		}
+	}
+	if loaded.Classes() != model.Classes() {
+		t.Error("classes lost")
+	}
+	n1, n2 := model.FeatureNames(), loaded.FeatureNames()
+	if len(n1) != len(n2) {
+		t.Fatal("feature names lost")
+	}
+	for i := range n1 {
+		if n1[i] != n2[i] {
+			t.Fatal("feature names changed")
+		}
+	}
+	// Importance still available on the reloaded model.
+	if _, err := loaded.FeatureImportance(); err != nil {
+		t.Errorf("importance after reload: %v", err)
+	}
+}
+
+func TestSaveUnsupportedClassifier(t *testing.T) {
+	trX, trY, _, _, classes := loadFamily(t, "FreqSines")
+	model, err := Train(trX[:20], trY[:20], classes, Config{Classifier: "rf", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := model.Save(&buf); err == nil {
+		t.Error("saving an rf model should fail")
+	}
+}
+
+func TestLoadModelGarbage(t *testing.T) {
+	if _, err := LoadModel(bytes.NewReader([]byte("not a model"))); err == nil {
+		t.Error("garbage input should fail")
+	}
+	if _, err := LoadModel(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input should fail")
+	}
+}
