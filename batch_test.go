@@ -1,0 +1,187 @@
+package mvg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// batchSeries draws a deterministic batch of random-walk series.
+func batchSeries(n, length int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float64, n)
+	for i := range out {
+		t := make([]float64, length)
+		v := 0.0
+		for k := range t {
+			v += rng.NormFloat64()
+			t[k] = v
+		}
+		out[i] = t
+	}
+	return out
+}
+
+// requireBitIdentical fails unless a and b are bit-for-bit identical
+// feature matrices (math.Float64bits equality, stricter than ==).
+func requireBitIdentical(t *testing.T, a, b [][]float64) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("row counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatalf("row %d widths differ: %d vs %d", i, len(a[i]), len(b[i]))
+		}
+		for j := range a[i] {
+			if math.Float64bits(a[i][j]) != math.Float64bits(b[i][j]) {
+				t.Fatalf("row %d col %d differ: %v vs %v", i, j, a[i][j], b[i][j])
+			}
+		}
+	}
+}
+
+// TestExtractFeaturesBatchDeterministic verifies the engine's central
+// guarantee: the feature matrix is byte-identical for every worker count,
+// so Config.Workers is purely a throughput knob.
+func TestExtractFeaturesBatchDeterministic(t *testing.T) {
+	series := batchSeries(40, 192, 1)
+	ref, names, err := ExtractFeaturesBatch(series, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref) != len(series) || len(names) != len(ref[0]) {
+		t.Fatalf("shape: %d rows, %d names, width %d", len(ref), len(names), len(ref[0]))
+	}
+	for _, workers := range []int{2, 3, 8} {
+		X, _, err := ExtractFeaturesBatch(series, Config{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		requireBitIdentical(t, ref, X)
+	}
+	// The engine must also agree with one-at-a-time extraction.
+	for i, s := range series[:5] {
+		row, _, err := ExtractFeatures([][]float64{s}, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireBitIdentical(t, [][]float64{ref[i]}, row)
+	}
+}
+
+// TestExtractFeaturesBatchDeterministicExtended covers the non-default
+// representation modes, which exercise different scratch-buffer shapes.
+func TestExtractFeaturesBatchDeterministicExtended(t *testing.T) {
+	series := batchSeries(24, 160, 2)
+	for _, cfg := range []Config{
+		{Scale: "uvg"},
+		{Scale: "amvg"},
+		{Graphs: "vg"},
+		{Graphs: "hvg", Features: "mpds"},
+		{Extended: true},
+	} {
+		cfg1 := cfg
+		cfg1.Workers = 1
+		ref, _, err := ExtractFeaturesBatch(series, cfg1)
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg1, err)
+		}
+		cfg8 := cfg
+		cfg8.Workers = 8
+		X, _, err := ExtractFeaturesBatch(series, cfg8)
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg8, err)
+		}
+		requireBitIdentical(t, ref, X)
+	}
+}
+
+// TestPredictBatch trains a small model and checks that PredictBatch,
+// Predict and per-series prediction all agree, across worker counts.
+func TestPredictBatch(t *testing.T) {
+	train, labels := predictableDataset(t, 1)
+	model, err := Train(train, labels, 2, Config{Folds: 2, Seed: 1, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	test, _ := predictableDataset(t, 2)
+	want, err := model.PredictBatch(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(test) {
+		t.Fatalf("%d predictions for %d series", len(want), len(test))
+	}
+	got, err := model.Predict(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Predict vs PredictBatch disagree at %d: %d vs %d", i, got[i], want[i])
+		}
+	}
+	for i, s := range test[:4] {
+		one, err := model.PredictBatch([][]float64{s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if one[0] != want[i] {
+			t.Fatalf("single-series PredictBatch disagrees at %d: %d vs %d", i, one[0], want[i])
+		}
+	}
+}
+
+// TestPredictBatchRace exercises the worker pool under the race detector:
+// a wide PredictBatch fan-out plus concurrent batch extractions. Run with
+// `go test -race` (CI always does).
+func TestPredictBatchRace(t *testing.T) {
+	train, labels := predictableDataset(t, 3)
+	model, err := Train(train, labels, 2, Config{Folds: 2, Seed: 1, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	test, _ := predictableDataset(t, 4)
+	done := make(chan error, 3)
+	for g := 0; g < 3; g++ {
+		go func() {
+			// Each goroutine drives its own batch through the shared model;
+			// extraction scratch is per-worker inside each call.
+			_, err := model.PredictBatch(test)
+			done <- err
+		}()
+	}
+	for g := 0; g < 3; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// predictableDataset generates a two-class problem (smooth sine vs noise
+// burst) small enough for fast training in tests.
+func predictableDataset(t *testing.T, seed int64) ([][]float64, []int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	const perClass, length = 10, 128
+	series := make([][]float64, 0, 2*perClass)
+	labels := make([]int, 0, 2*perClass)
+	for i := 0; i < perClass; i++ {
+		smooth := make([]float64, length)
+		phase := rng.Float64()
+		for k := range smooth {
+			smooth[k] = math.Sin(2*math.Pi*(float64(k)/16+phase)) + 0.05*rng.NormFloat64()
+		}
+		series = append(series, smooth)
+		labels = append(labels, 0)
+
+		noisy := make([]float64, length)
+		for k := range noisy {
+			noisy[k] = rng.NormFloat64()
+		}
+		series = append(series, noisy)
+		labels = append(labels, 1)
+	}
+	return series, labels
+}

@@ -6,8 +6,10 @@
 package mvg
 
 import (
+	"fmt"
 	"io"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"mvg/internal/core"
@@ -204,6 +206,65 @@ func BenchmarkExtractFeatures(b *testing.B) {
 	benchSizes(b, func(b *testing.B, series []float64) {
 		for i := 0; i < b.N; i++ {
 			if _, err := e.Extract(series); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkExtractBatch measures the parallel batch engine (Algorithm 1
+// fanned across the internal/parallel worker pool with per-worker scratch
+// reuse) on a synthetic dataset, at 1, 2, 4 and GOMAXPROCS workers. The
+// series/sec metric is the headline throughput of the extraction stage;
+// speedup is read off by comparing sub-benchmarks.
+func BenchmarkExtractBatch(b *testing.B) {
+	const batch, length = 64, 512
+	series := make([][]float64, batch)
+	for i := range series {
+		series[i] = randomSeries(length, int64(i+1))
+	}
+	e, err := core.NewExtractor(core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	workerCounts := []int{1, 2, 4}
+	if p := runtime.GOMAXPROCS(0); p != 1 && p != 2 && p != 4 {
+		workerCounts = append(workerCounts, p)
+	}
+	for _, workers := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := e.ExtractDatasetWorkers(series, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "series/sec")
+		})
+	}
+}
+
+// BenchmarkExtractScratchReuse isolates the allocation win of per-worker
+// scratch reuse: the same series extracted with a persistent Scratch versus
+// the throwaway scratch Extract allocates per call.
+func BenchmarkExtractScratchReuse(b *testing.B) {
+	series := randomSeries(512, 11)
+	e, err := core.NewExtractor(core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("fresh-scratch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Extract(series); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("reused-scratch", func(b *testing.B) {
+		b.ReportAllocs()
+		sc := core.NewScratch()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.ExtractWith(sc, series); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -1,0 +1,3 @@
+module mvg
+
+go 1.24

@@ -10,7 +10,9 @@ import (
 )
 
 // GraphSummary exposes one visibility graph and its statistical features
-// for exploration, visualization and the examples.
+// for exploration, visualization and the examples. The fields mirror one
+// per-graph block of the classification feature vector (docs/features.md):
+// the grouped motif probabilities plus the non-MPD statistics.
 type GraphSummary struct {
 	// Kind is "VG" or "HVG".
 	Kind string
@@ -27,8 +29,8 @@ type GraphSummary struct {
 	// MaxDegree, MinDegree, MeanDegree summarize the degree sequence.
 	MaxDegree, MinDegree int
 	MeanDegree           float64
-	// MotifProbabilities maps motif names (M21..M411) to their grouped
-	// probabilities.
+	// MotifProbabilities maps motif names (M21..M411, see docs/features.md
+	// for the shape each name denotes) to their grouped probabilities.
 	MotifProbabilities map[string]float64
 }
 
@@ -78,7 +80,9 @@ func SummarizeHVG(series []float64) (GraphSummary, error) {
 
 // MultiscaleLengths returns the lengths of the multiscale approximations
 // (T0, T1, ..., Tm) the default pipeline would build for a series of
-// length n with threshold tau (0 = the paper's default of 15).
+// length n with threshold tau (0 = the paper's default of 15). These are
+// the scales whose per-graph blocks make up the feature vector, in the
+// order documented in docs/features.md.
 func MultiscaleLengths(n, tau int) ([]int, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("mvg: series too short: %d", n)

@@ -1,0 +1,26 @@
+// Package buf provides the grow-or-allocate slice-reuse helpers shared by
+// the extraction hot path (internal/graph, internal/motif, internal/core,
+// internal/timeseries). Centralizing the idiom keeps its semantics — when
+// a buffer is recycled versus reallocated, and whether contents are
+// cleared — consistent everywhere scratch buffers are reused.
+package buf
+
+// Grow returns a slice of length n, reusing s's storage when its capacity
+// suffices. Contents are unspecified; callers must overwrite every element
+// they read.
+func Grow[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
+}
+
+// GrowZero is Grow with every element of the returned slice zeroed.
+func GrowZero[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}

@@ -1,0 +1,37 @@
+package buf
+
+import "testing"
+
+func TestGrowReusesStorage(t *testing.T) {
+	s := make([]int, 0, 8)
+	g := Grow(s, 5)
+	if len(g) != 5 {
+		t.Fatalf("len = %d, want 5", len(g))
+	}
+	if &g[0] != &s[:1][0] {
+		t.Error("Grow did not reuse backing storage within capacity")
+	}
+	big := Grow(g, 16)
+	if len(big) != 16 {
+		t.Fatalf("len = %d, want 16", len(big))
+	}
+}
+
+func TestGrowZero(t *testing.T) {
+	s := []int64{1, 2, 3, 4}
+	z := GrowZero(s, 3)
+	for i, v := range z {
+		if v != 0 {
+			t.Fatalf("z[%d] = %d, want 0", i, v)
+		}
+	}
+	if &z[0] != &s[0] {
+		t.Error("GrowZero did not reuse backing storage within capacity")
+	}
+	big := GrowZero(z, 100)
+	for i, v := range big {
+		if v != 0 {
+			t.Fatalf("big[%d] = %d, want 0", i, v)
+		}
+	}
+}

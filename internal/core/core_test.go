@@ -308,3 +308,97 @@ func TestExtendedFeatures(t *testing.T) {
 		t.Errorf("MPDs+extended width = %d, want 38", len(vm))
 	}
 }
+
+// TestScratchReusePurity verifies that reusing one Scratch across many
+// series of varying lengths and configurations yields bit-identical
+// results to fresh-scratch extraction — the property the parallel batch
+// engine's determinism guarantee rests on.
+func TestScratchReusePurity(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, opts := range []Options{
+		{},
+		{Scales: Uniscale},
+		{Scales: ApproxMultiscale},
+		{Graphs: VGOnly},
+		{Graphs: HVGOnly, Features: MPDsOnly},
+		{Extended: true},
+		{NoDetrend: true, NoZNormalize: true},
+	} {
+		e, err := NewExtractor(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := NewScratch()
+		// Alternate lengths so buffers shrink and grow between series.
+		for _, n := range []int{96, 200, 64, 256, 100, 64} {
+			series := randSeries(n, rng)
+			want, err := e.Extract(series)
+			if err != nil {
+				t.Fatalf("%+v n=%d: %v", opts, n, err)
+			}
+			got, err := e.ExtractWith(sc, series)
+			if err != nil {
+				t.Fatalf("%+v n=%d: %v", opts, n, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%+v n=%d: width %d vs %d", opts, n, len(got), len(want))
+			}
+			for j := range want {
+				if math.Float64bits(got[j]) != math.Float64bits(want[j]) {
+					t.Fatalf("%+v n=%d: feature %d differs: %v vs %v",
+						opts, n, j, got[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+// TestExtractDatasetWorkersDeterministic pins the worker-count invariance
+// of the batch engine at the core layer.
+func TestExtractDatasetWorkersDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	series := make([][]float64, 30)
+	for i := range series {
+		series[i] = randSeries(128, rng)
+	}
+	e, _ := NewExtractor(Options{})
+	ref, err := e.ExtractDatasetWorkers(series, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 5, 16} {
+		X, err := e.ExtractDatasetWorkers(series, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range ref {
+			for j := range ref[i] {
+				if math.Float64bits(X[i][j]) != math.Float64bits(ref[i][j]) {
+					t.Fatalf("workers=%d: [%d][%d] differs", workers, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestTauClampConsistency pins the agreement between NumFeatures and the
+// actual extracted width across tau values, including tau=1, which used to
+// slip past the constructor unclamped and desynchronize NumScales from the
+// pyramid the extraction actually built.
+func TestTauClampConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	series := randSeries(96, rng)
+	for _, tau := range []int{-3, -1, 0, 1, 2, 3, 15, 40, 63} {
+		e, err := NewExtractor(Options{Tau: tau})
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := e.Extract(series)
+		if err != nil {
+			t.Fatalf("tau=%d: %v", tau, err)
+		}
+		if want := e.NumFeatures(len(series)); len(v) != want {
+			t.Fatalf("tau=%d: extracted width %d, NumFeatures says %d", tau, len(v), want)
+		}
+	}
+}

@@ -2,13 +2,12 @@ package core
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
+	"mvg/internal/buf"
 	"mvg/internal/graph"
 	"mvg/internal/motif"
+	"mvg/internal/parallel"
 	"mvg/internal/timeseries"
-	"mvg/internal/visibility"
 )
 
 // Per-graph feature block widths.
@@ -40,10 +39,13 @@ func NewExtractor(opts Options) (*Extractor, error) {
 		return nil, err
 	}
 	tau := opts.Tau
-	switch {
-	case tau == 0:
+	if tau == 0 {
 		tau = timeseries.DefaultTau
-	case tau < 0:
+	}
+	// Clamp once here so every consumer of e.tau — scalesInto, NumScales,
+	// NumFeatures, FeatureNames — agrees on the pyramid's stop condition
+	// (a visibility graph needs at least two vertices).
+	if tau < 2 {
 		tau = 2
 	}
 	return &Extractor{opts: opts, tau: tau}, nil
@@ -72,23 +74,43 @@ func (e *Extractor) graphsPerScale() int {
 	return 1
 }
 
-// scales materializes the configured subset of the multiscale pyramid.
-func (e *Extractor) scales(series []float64) ([][]float64, error) {
-	t := series
-	if !e.opts.NoZNormalize {
-		t = timeseries.ZNormalize(t)
+// scalesInto materializes the configured subset of the multiscale pyramid
+// in sc's reusable buffers. The returned slices alias sc and are valid
+// until its next use.
+func (e *Extractor) scalesInto(sc *Scratch, series []float64) ([][]float64, error) {
+	sc.pre = buf.Grow(sc.pre, len(series))
+	t := sc.pre
+	if e.opts.NoZNormalize {
+		copy(t, series)
+	} else {
+		timeseries.ZNormalizeInto(t, series)
 	}
 	if !e.opts.NoDetrend {
-		t = timeseries.Detrend(t)
+		timeseries.DetrendInto(t, t)
 	}
-	switch e.opts.Scales {
-	case Uniscale:
-		return [][]float64{t}, nil
-	case ApproxMultiscale:
-		return timeseries.Multiscale(t, e.tau)
-	default:
-		return timeseries.MultiscaleFull(t, e.tau)
+	set := sc.scaleSet[:0]
+	if e.opts.Scales != ApproxMultiscale {
+		set = append(set, t)
 	}
+	if e.opts.Scales != Uniscale {
+		// This loop is the in-buffer counterpart of timeseries.Multiscale;
+		// its stop condition must stay in lockstep with NumScales.
+		cur := t
+		for level := 0; len(cur)/2 > e.tau; level++ {
+			if level == len(sc.pyramid) {
+				sc.pyramid = append(sc.pyramid, nil)
+			}
+			next, err := timeseries.HalveInto(sc.pyramid[level], cur)
+			if err != nil {
+				return nil, err
+			}
+			sc.pyramid[level] = next
+			set = append(set, next)
+			cur = next
+		}
+	}
+	sc.scaleSet = set
+	return set, nil
 }
 
 // NumScales returns the number of scales a series of length n produces
@@ -160,34 +182,49 @@ func (e *Extractor) FeatureNames(n int) []string {
 	return names
 }
 
-// graphBlock appends the feature block of one graph to dst.
-func (e *Extractor) graphBlock(dst []float64, g *graph.Graph) []float64 {
-	dst = append(dst, motif.Count(g).Probabilities()...)
+// graphBlock appends the feature block of one graph to dst, computing the
+// statistics in sc's reusable buffers.
+func (e *Extractor) graphBlock(dst []float64, g *graph.Graph, sc *Scratch) []float64 {
+	dst = sc.motifs.Count(g).AppendProbabilities(dst)
 	if e.opts.Features == AllFeatures {
 		r, _ := g.Assortativity() // undefined → 0, a neutral value
 		maxDeg, minDeg, meanDeg := g.DegreeStats()
 		dst = append(dst,
 			g.Density(),
 			r,
-			float64(g.Degeneracy()),
+			float64(g.DegeneracyScratch(&sc.cores)),
 			float64(maxDeg),
 			float64(minDeg),
 			meanDeg,
 		)
 	}
 	if e.opts.Extended {
-		dst = append(dst, g.DegreeEntropy(), g.Transitivity())
+		dst = append(dst, g.DegreeEntropyScratch(&sc.cores), g.Transitivity())
 	}
 	return dst
 }
 
 // Extract implements Algorithm 1 for a single series: build the configured
 // multiscale visibility graphs and concatenate per-graph feature blocks.
+// It allocates fresh scratch per call; batch extraction goes through
+// ExtractWith / ExtractDataset, which reuse scratch across series.
 func (e *Extractor) Extract(series []float64) ([]float64, error) {
+	return e.ExtractWith(nil, series)
+}
+
+// ExtractWith is Extract computing all intermediates (scale pyramid,
+// visibility graphs, motif counters) in sc's reusable buffers; only the
+// returned feature vector is freshly allocated. A nil sc uses throwaway
+// scratch. The output is byte-identical to Extract's regardless of scratch
+// reuse — extraction is a pure function of the series.
+func (e *Extractor) ExtractWith(sc *Scratch, series []float64) ([]float64, error) {
+	if sc == nil {
+		sc = NewScratch()
+	}
 	if err := timeseries.Validate(series); err != nil {
 		return nil, err
 	}
-	scales, err := e.scales(series)
+	scales, err := e.scalesInto(sc, series)
 	if err != nil {
 		return nil, err
 	}
@@ -201,58 +238,54 @@ func (e *Extractor) Extract(series []float64) ([]float64, error) {
 			return nil, fmt.Errorf("%w: scale of %d points", ErrSeriesTooShort, len(t))
 		}
 		if e.opts.Graphs == VGAndHVG || e.opts.Graphs == VGOnly {
-			vg, err := visibility.VG(t)
+			edges, err := sc.vis.VGEdges(t)
 			if err != nil {
 				return nil, err
 			}
-			out = e.graphBlock(out, vg)
+			sc.g.BuildUnchecked(len(t), edges)
+			out = e.graphBlock(out, &sc.g, sc)
 		}
 		if e.opts.Graphs == VGAndHVG || e.opts.Graphs == HVGOnly {
-			hvg, err := visibility.HVG(t)
+			edges, err := sc.vis.HVGEdges(t)
 			if err != nil {
 				return nil, err
 			}
-			out = e.graphBlock(out, hvg)
+			sc.g.BuildUnchecked(len(t), edges)
+			out = e.graphBlock(out, &sc.g, sc)
 		}
 	}
 	return out, nil
 }
 
 // ExtractDataset extracts features for every series in parallel across
-// runtime.NumCPU() workers (the pipeline is embarrassingly parallel, which
-// the paper lists as a design goal). All series must yield equally long
-// feature vectors, which holds when they share a common length.
+// GOMAXPROCS workers (the pipeline is embarrassingly parallel, which the
+// paper lists as a design goal). All series must yield equally long feature
+// vectors, which holds when they share a common length.
 func (e *Extractor) ExtractDataset(series [][]float64) ([][]float64, error) {
+	return e.ExtractDatasetWorkers(series, 0)
+}
+
+// ExtractDatasetWorkers is ExtractDataset with an explicit worker count
+// (<= 0 selects GOMAXPROCS). Rows of the result are ordered like the input
+// and are byte-identical for every worker count: jobs are index-addressed
+// and each worker runs the pure per-series extraction with its own private
+// scratch (see internal/parallel and docs/concurrency.md).
+func (e *Extractor) ExtractDatasetWorkers(series [][]float64, workers int) ([][]float64, error) {
 	n := len(series)
 	if n == 0 {
 		return nil, fmt.Errorf("core: empty dataset")
 	}
 	out := make([][]float64, n)
-	errs := make([]error, n)
-	workers := runtime.NumCPU()
-	if workers > n {
-		workers = n
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				out[i], errs[i] = e.Extract(series[i])
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	for i, err := range errs {
+	err := parallel.ForEachScratch(workers, n, NewScratch, func(sc *Scratch, i int) error {
+		v, err := e.ExtractWith(sc, series[i])
 		if err != nil {
-			return nil, fmt.Errorf("core: series %d: %w", i, err)
+			return fmt.Errorf("core: series %d: %w", i, err)
 		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	width := len(out[0])
 	for i, v := range out {

@@ -1,0 +1,31 @@
+package core
+
+import (
+	"mvg/internal/graph"
+	"mvg/internal/motif"
+	"mvg/internal/visibility"
+)
+
+// Scratch holds every reusable buffer one extraction worker needs: the
+// preprocessing buffer, the PAA pyramid levels, the visibility-graph
+// builder (edge list and stacks), the graph's adjacency storage, the motif
+// counter's work arrays and the core-decomposition arrays. After warm-up,
+// extracting a series with a Scratch allocates only the returned feature
+// vector.
+//
+// A Scratch must not be shared between goroutines; the batch executor
+// (internal/parallel) creates one per worker. See docs/concurrency.md.
+type Scratch struct {
+	pre      []float64   // preprocessed T0 (z-normalize + detrend)
+	pyramid  [][]float64 // PAA halving buffers, one per scale below T0
+	scaleSet [][]float64 // slice headers of the scales handed to extraction
+	vis      visibility.Builder
+	g        graph.Graph
+	motifs   motif.Counter
+	cores    graph.CoreScratch
+}
+
+// NewScratch returns an empty Scratch ready for use with
+// Extractor.ExtractWith. Buffers grow on first use and are retained across
+// calls.
+func NewScratch() *Scratch { return &Scratch{} }

@@ -61,7 +61,7 @@ func (r *Runner) RunFigure6() error {
 		}
 		for j, candidates := range families {
 			model, _, err := modelsel.Best(candidates, trainX, run.Train.Labels,
-				classes, 3, run.Family.Imbalanced, r.Cfg.Seed)
+				classes, 3, run.Family.Imbalanced, r.Cfg.Seed, 0)
 			if err != nil {
 				return fmt.Errorf("%s family %d: %w", run.Family.Name, j, err)
 			}

@@ -142,7 +142,7 @@ func (c Config) evalRepresentation(run DatasetRun, opts core.Options) (float64, 
 	for rep := 0; rep < c.repeats(); rep++ {
 		seed := c.Seed + int64(rep)*101
 		model, _, err := modelsel.Best(grids.XGB(c.gridSize(), seed),
-			trainX, run.Train.Labels, classes, 3, run.Family.Imbalanced, seed)
+			trainX, run.Train.Labels, classes, 3, run.Family.Imbalanced, seed, 0)
 		if err != nil {
 			return 0, err
 		}
@@ -199,10 +199,12 @@ type Runner struct {
 // NewRunner returns a Runner over the given configuration.
 func NewRunner(cfg Config) *Runner { return &Runner{Cfg: cfg} }
 
-// Experiments lists the runnable experiment ids in paper order.
+// Experiments lists the runnable experiment ids in paper order, followed by
+// the engine experiments this reproduction adds ("throughput" extends the
+// paper's §4.5 efficiency study to the parallel batch executor).
 var Experiments = []string{
 	"fig2", "table2", "fig3", "fig4", "fig5", "fig6", "fig7",
-	"table3", "fig8", "fig9", "fig10",
+	"table3", "fig8", "fig9", "fig10", "throughput",
 }
 
 // Run dispatches one experiment by id and writes its report to cfg.Out.
@@ -230,6 +232,8 @@ func (r *Runner) Run(name string) error {
 		return r.RunFigure9()
 	case "fig10":
 		return r.RunFigure10()
+	case "throughput":
+		return r.RunThroughput()
 	case "extras":
 		return r.RunExtras()
 	case "all":

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"mvg/internal/core"
+)
+
+// RunThroughput measures the batch feature-extraction engine at several
+// worker counts — the scaling companion to the paper's §4.5 complexity
+// benchmarks. It extracts a synthetic batch with 1, 2, 4 and GOMAXPROCS
+// workers, reports series/sec and the speedup over the single-worker
+// baseline, and verifies that every worker count produced the identical
+// feature matrix (the engine's determinism guarantee).
+func (r *Runner) RunThroughput() error {
+	w := r.Cfg.Out
+	batch, length := 96, 512
+	if !r.Cfg.Quick {
+		batch, length = 512, 1024
+	}
+	rng := rand.New(rand.NewSource(r.Cfg.Seed))
+	series := make([][]float64, batch)
+	for i := range series {
+		t := make([]float64, length)
+		for k := range t {
+			t[k] = rng.NormFloat64()
+		}
+		series[i] = t
+	}
+
+	e, err := core.NewExtractor(core.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "== Throughput: batch extraction, %d series × %d points ==\n", batch, length)
+	tbl := newTable(w)
+	tbl.header("Workers", "Series/sec", "Speedup", "Identical")
+
+	workerCounts := []int{1, 2, 4}
+	if p := runtime.GOMAXPROCS(0); p > 4 {
+		workerCounts = append(workerCounts, p)
+	}
+	var baseline float64
+	var reference [][]float64
+	for _, workers := range workerCounts {
+		// Warm once so timing excludes scratch growth, then measure enough
+		// repetitions to smooth scheduler noise.
+		if _, err := e.ExtractDatasetWorkers(series, workers); err != nil {
+			return err
+		}
+		const reps = 3
+		start := time.Now()
+		var X [][]float64
+		for rep := 0; rep < reps; rep++ {
+			X, err = e.ExtractDatasetWorkers(series, workers)
+			if err != nil {
+				return err
+			}
+		}
+		elapsed := time.Since(start).Seconds()
+		rate := float64(reps*batch) / elapsed
+		if workers == 1 {
+			baseline = rate
+			reference = X
+		}
+		identical := matricesEqual(reference, X)
+		tbl.row(fmt.Sprintf("%d", workers),
+			fmt.Sprintf("%.0f", rate),
+			fmt.Sprintf("%.2fx", rate/baseline),
+			fmt.Sprintf("%v", identical))
+		if !identical {
+			return fmt.Errorf("throughput: workers=%d produced a different feature matrix than workers=1", workers)
+		}
+	}
+	tbl.flush()
+	fmt.Fprintln(w)
+	return nil
+}
+
+// matricesEqual reports bit-for-bit equality of two feature matrices
+// (math.Float64bits comparison: NaNs with equal payloads match, -0 and +0
+// do not — the same strictness as the determinism tests).
+func matricesEqual(a, b [][]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if math.Float64bits(a[i][j]) != math.Float64bits(b[i][j]) {
+				return false
+			}
+		}
+	}
+	return true
+}

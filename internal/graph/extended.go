@@ -1,6 +1,10 @@
 package graph
 
-import "math"
+import (
+	"math"
+
+	"mvg/internal/buf"
+)
 
 // The features in this file go beyond the paper's evaluated set; its
 // conclusion (§6) names degree-distribution entropy and further structural
@@ -10,17 +14,39 @@ import "math"
 // DegreeEntropy returns the Shannon entropy (in bits) of the degree
 // distribution — a scale-free-ness indicator the VG literature associates
 // with fractality. O(|V|) time.
+//
+// Counts are accumulated in a degree-indexed array and summed in ascending
+// degree order, so the floating-point result is bit-for-bit reproducible
+// (a map here would randomize summation order and flip the last ulp
+// between runs, breaking the pipeline's determinism guarantee).
 func (g *Graph) DegreeEntropy() float64 {
+	return g.DegreeEntropyScratch(&CoreScratch{})
+}
+
+// DegreeEntropyScratch is DegreeEntropy computed in s's reusable buffers
+// (the degree histogram reuses the same storage as the core-decomposition
+// bucket array, so one CoreScratch serves both per-graph statistics).
+func (g *Graph) DegreeEntropyScratch(s *CoreScratch) float64 {
 	n := g.N()
 	if n == 0 {
 		return 0
 	}
-	counts := map[int]int{}
+	maxDeg := 0
+	for _, nbrs := range g.adj {
+		if len(nbrs) > maxDeg {
+			maxDeg = len(nbrs)
+		}
+	}
+	s.bin = buf.GrowZero(s.bin, maxDeg+1)
+	counts := s.bin
 	for _, nbrs := range g.adj {
 		counts[len(nbrs)]++
 	}
 	h := 0.0
 	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
 		p := float64(c) / float64(n)
 		h -= p * math.Log2(p)
 	}

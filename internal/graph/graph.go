@@ -8,7 +8,10 @@ package graph
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
+
+	"mvg/internal/buf"
 )
 
 // Graph is a simple undirected graph on vertices 0..N-1 with sorted
@@ -93,11 +96,40 @@ func FromEdges(n int, edges [][2]int) (*Graph, error) {
 // per-edge membership checks of FromEdges.
 func FromEdgesUnchecked(n int, edges [][2]int) *Graph {
 	g := New(n)
+	g.BuildUnchecked(n, edges)
+	return g
+}
+
+// Reset reinitializes g in place to an edgeless graph on n vertices,
+// retaining previously allocated adjacency storage so that rebuilding a
+// graph of similar size performs no allocations. The zero Graph value is
+// ready for Reset.
+func (g *Graph) Reset(n int) {
+	if n < 0 {
+		n = 0
+	}
+	if cap(g.adj) >= n {
+		g.adj = g.adj[:n]
+	} else {
+		g.adj = append(g.adj[:cap(g.adj)], make([][]int32, n-cap(g.adj))...)
+	}
+	for v := range g.adj {
+		g.adj[v] = g.adj[v][:0]
+	}
+	g.m = 0
+	g.sorted = true
+}
+
+// BuildUnchecked resets g to n vertices and bulk-loads a known-valid,
+// duplicate-free edge list, reusing g's backing storage. It is the in-place
+// counterpart of FromEdgesUnchecked, used by hot loops (core.Scratch) that
+// build one visibility graph per scale and discard it immediately.
+func (g *Graph) BuildUnchecked(n int, edges [][2]int) {
+	g.Reset(n)
 	for _, e := range edges {
 		g.addEdgeUnchecked(e[0], e[1])
 	}
 	g.ensureSorted()
-	return g
 }
 
 func (g *Graph) ensureSorted() {
@@ -105,7 +137,7 @@ func (g *Graph) ensureSorted() {
 		return
 	}
 	for _, nbrs := range g.adj {
-		sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+		slices.Sort(nbrs)
 	}
 	g.sorted = true
 }
@@ -150,11 +182,18 @@ func (g *Graph) Edges() [][2]int {
 
 // Degrees returns the degree sequence.
 func (g *Graph) Degrees() []int {
-	out := make([]int, len(g.adj))
+	return g.DegreesInto(nil)
+}
+
+// DegreesInto writes the degree sequence into dst, growing it as needed,
+// and returns the filled slice. Passing a reused buffer avoids the
+// allocation of Degrees.
+func (g *Graph) DegreesInto(dst []int) []int {
+	dst = buf.Grow(dst, len(g.adj))
 	for v := range g.adj {
-		out[v] = len(g.adj[v])
+		dst[v] = len(g.adj[v])
 	}
-	return out
+	return dst
 }
 
 // Density returns 2|E| / (|V| (|V|-1)) (equation 2 of the paper).

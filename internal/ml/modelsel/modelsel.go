@@ -6,11 +6,10 @@ package modelsel
 import (
 	"fmt"
 	"math/rand"
-	"runtime"
 	"sort"
-	"sync"
 
 	"mvg/internal/ml"
+	"mvg/internal/parallel"
 )
 
 // StratifiedKFolds partitions sample indices into k folds preserving class
@@ -146,11 +145,13 @@ func CrossValidate(c ml.Classifier, X [][]float64, y []int, classes, folds int, 
 	return CVResult{Candidate: c, LogLoss: totalLL / n, ErrorRate: totalER / n}, nil
 }
 
-// GridSearch cross-validates every candidate in parallel and returns the
-// results sorted by ascending log loss (best first, original grid order
-// breaking ties so the outcome is deterministic). Candidates that fail to
-// train are skipped; an error is returned only if all fail.
-func GridSearch(candidates []ml.Classifier, X [][]float64, y []int, classes, folds int, oversample bool, seed int64) ([]CVResult, error) {
+// GridSearch cross-validates every candidate on the shared worker-pool
+// executor (internal/parallel; workers <= 0 selects GOMAXPROCS) and returns
+// the results sorted by ascending log loss (best first, original grid order
+// breaking ties so the outcome is deterministic regardless of the worker
+// count). Candidates that fail to train are skipped; an error is returned
+// only if all fail.
+func GridSearch(candidates []ml.Classifier, X [][]float64, y []int, classes, folds int, oversample bool, seed int64, workers int) ([]CVResult, error) {
 	if len(candidates) == 0 {
 		return nil, fmt.Errorf("modelsel: no candidates")
 	}
@@ -159,26 +160,10 @@ func GridSearch(candidates []ml.Classifier, X [][]float64, y []int, classes, fol
 		err error
 	}
 	slots := make([]slot, len(candidates))
-	workers := runtime.NumCPU()
-	if workers > len(candidates) {
-		workers = len(candidates)
-	}
-	var wg sync.WaitGroup
-	jobs := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				slots[i].res, slots[i].err = CrossValidate(candidates[i], X, y, classes, folds, oversample, seed)
-			}
-		}()
-	}
-	for i := range candidates {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
+	parallel.ForEach(workers, len(candidates), func(i int) error {
+		slots[i].res, slots[i].err = CrossValidate(candidates[i], X, y, classes, folds, oversample, seed)
+		return nil // per-candidate failures are tolerated below
+	})
 
 	var results []CVResult
 	var lastErr error
@@ -197,9 +182,10 @@ func GridSearch(candidates []ml.Classifier, X [][]float64, y []int, classes, fol
 }
 
 // Best runs GridSearch and returns the winning configuration refitted on
-// the full (optionally oversampled) training set.
-func Best(candidates []ml.Classifier, X [][]float64, y []int, classes, folds int, oversample bool, seed int64) (ml.Classifier, []CVResult, error) {
-	results, err := GridSearch(candidates, X, y, classes, folds, oversample, seed)
+// the full (optionally oversampled) training set. workers <= 0 selects
+// GOMAXPROCS.
+func Best(candidates []ml.Classifier, X [][]float64, y []int, classes, folds int, oversample bool, seed int64, workers int) (ml.Classifier, []CVResult, error) {
+	results, err := GridSearch(candidates, X, y, classes, folds, oversample, seed, workers)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -98,7 +98,7 @@ func TestCrossValidateAndGridSearch(t *testing.T) {
 	if res.ErrorRate > 0.15 {
 		t.Errorf("CV error rate = %v for separable blobs", res.ErrorRate)
 	}
-	results, err := GridSearch([]ml.Classifier{bad, good}, X, y, 2, 3, false, 1)
+	results, err := GridSearch([]ml.Classifier{bad, good}, X, y, 2, 3, false, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +111,7 @@ func TestCrossValidateAndGridSearch(t *testing.T) {
 	if results[0].Candidate != ml.Classifier(good) {
 		t.Error("deeper tree should win on separable blobs")
 	}
-	if _, err := GridSearch(nil, X, y, 2, 3, false, 1); err == nil {
+	if _, err := GridSearch(nil, X, y, 2, 3, false, 1, 0); err == nil {
 		t.Error("empty grid should fail")
 	}
 }
@@ -122,7 +122,7 @@ func TestBestRefitsOnFullData(t *testing.T) {
 		cart.New(cart.Params{MaxDepth: 2}),
 		cart.New(cart.Params{MaxDepth: 8}),
 	}
-	model, results, err := Best(cands, X, y, 3, 3, true, 1)
+	model, results, err := Best(cands, X, y, 3, 3, true, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

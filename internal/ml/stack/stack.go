@@ -35,6 +35,9 @@ type Params struct {
 	Seed int64
 	// MetaL2 is the meta-learner's ridge penalty (default 1e-3).
 	MetaL2 float64
+	// Workers caps the worker goroutines used for candidate grid search
+	// (<= 0 selects GOMAXPROCS; see internal/parallel).
+	Workers int
 }
 
 func (p Params) withDefaults() Params {
@@ -118,7 +121,7 @@ func (e *Ensemble) Fit(X [][]float64, y []int, classes int) error {
 
 	// 1–2: select top-k candidates per family by CV log loss.
 	for _, fam := range e.families {
-		results, err := modelsel.GridSearch(fam.Candidates, X, y, classes, p.Folds, p.Oversample, p.Seed)
+		results, err := modelsel.GridSearch(fam.Candidates, X, y, classes, p.Folds, p.Oversample, p.Seed, p.Workers)
 		if err != nil {
 			return fmt.Errorf("stack: family %s: %w", fam.Name, err)
 		}

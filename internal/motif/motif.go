@@ -12,6 +12,7 @@
 package motif
 
 import (
+	"mvg/internal/buf"
 	"mvg/internal/graph"
 )
 
@@ -54,14 +55,21 @@ var Names = []string{
 	"M47", "M48", "M49", "M410", "M411",
 }
 
-// Vector returns the 17 counts in canonical Names order.
-func (c Counts) Vector() []int64 {
-	return []int64{
+// array returns the 17 counts in canonical Names order — the single
+// definition of that order, shared by Vector and AppendProbabilities.
+func (c Counts) array() [17]int64 {
+	return [17]int64{
 		c.M21, c.M22,
 		c.M31, c.M32, c.M33, c.M34,
 		c.M41, c.M42, c.M43, c.M44, c.M45, c.M46,
 		c.M47, c.M48, c.M49, c.M410, c.M411,
 	}
+}
+
+// Vector returns the 17 counts in canonical Names order.
+func (c Counts) Vector() []int64 {
+	v := c.array()
+	return v[:]
 }
 
 // Groups defines the paper's five normalization groups over Names indices:
@@ -79,8 +87,19 @@ var Groups = [][]int{
 // distribution: each group of Vector entries is normalized to sum to one.
 // Groups with a zero total yield zero probabilities.
 func (c Counts) Probabilities() []float64 {
-	v := c.Vector()
-	out := make([]float64, len(v))
+	return c.AppendProbabilities(make([]float64, 0, len(Names)))
+}
+
+// AppendProbabilities appends the grouped motif probability distribution to
+// dst and returns it — the allocation-free form of Probabilities used by
+// the feature-extraction hot loop.
+func (c Counts) AppendProbabilities(dst []float64) []float64 {
+	v := c.array()
+	base := len(dst)
+	for range v {
+		dst = append(dst, 0)
+	}
+	out := dst[base:]
 	for _, grp := range Groups {
 		var total int64
 		for _, i := range grp {
@@ -93,7 +112,7 @@ func (c Counts) Probabilities() []float64 {
 			out[i] = float64(v[i]) / float64(total)
 		}
 	}
-	return out
+	return dst
 }
 
 func choose2(n int64) int64 {
@@ -117,7 +136,20 @@ func choose4(n int64) int64 {
 	return n * (n - 1) * (n - 2) * (n - 3) / 24
 }
 
+// Counter computes motif counts with reusable scratch arrays (degree
+// sequence, triangle incidence sums, intersection and co-degree buffers),
+// so per-graph counting performs no allocations after warm-up. The zero
+// value is ready for use; a Counter must not be shared between goroutines.
+type Counter struct {
+	deg        []int
+	vertTriSum []int64
+	common     []int32
+	codeg      []int32
+	touched    []int32
+}
+
 // Count computes exact induced counts of all 11 motifs of size ≤ 4 of g.
+// It is the convenience form of Counter.Count with throwaway scratch.
 //
 // Strategy: one pass over edges intersecting sorted adjacency lists yields
 // per-edge triangle counts and 4-clique enumeration; a wedge pass yields
@@ -127,6 +159,12 @@ func choose4(n int64) int64 {
 // subgraph counts, and the disconnected motifs from complement identities
 // against C(n,3)/C(n,4) totals.
 func Count(g *graph.Graph) Counts {
+	var ctr Counter
+	return ctr.Count(g)
+}
+
+// Count computes the motif counts of g in the counter's reusable buffers.
+func (ctr *Counter) Count(g *graph.Graph) Counts {
 	n64 := int64(g.N())
 	m64 := int64(g.M())
 	var c Counts
@@ -139,7 +177,8 @@ func Count(g *graph.Graph) Counts {
 		return c
 	}
 
-	deg := g.Degrees()
+	ctr.deg = g.DegreesInto(ctr.deg)
+	deg := ctr.deg
 
 	// Wedges: Σ_v C(d_v, 2).
 	var wedges int64
@@ -155,8 +194,9 @@ func Count(g *graph.Graph) Counts {
 		p4Non       int64 // Σ_e [(d_u-1)(d_v-1) - tri_e]
 		k4Six       int64 // 6 × #K4
 	)
-	vertTriSum := make([]int64, g.N()) // Σ over incident edges of tri_e (= 2·tri_v)
-	common := make([]int32, 0, 64)
+	ctr.vertTriSum = buf.GrowZero(ctr.vertTriSum, g.N())
+	vertTriSum := ctr.vertTriSum // Σ over incident edges of tri_e (= 2·tri_v)
+	common := ctr.common[:0]
 	for u := 0; u < g.N(); u++ {
 		nu := g.Neighbors(u)
 		for _, vi := range nu {
@@ -194,8 +234,10 @@ func Count(g *graph.Graph) Counts {
 		clawNon += choose3(int64(d))
 	}
 
+	ctr.common = common // retain the grown intersection buffer for reuse
+
 	// Non-induced 4-cycles via co-degrees: each cycle has two diagonals.
-	c4Doubled := codegreePairSum(g)
+	c4Doubled := ctr.codegreePairSum(g)
 	c4Non := c4Doubled / 2
 
 	// ---- Size 3 induced ----
@@ -277,10 +319,12 @@ func countIntersect(a, b []int32) int {
 // C(codeg(a,c), 2), where codeg is the number of common neighbours. Each
 // non-induced 4-cycle is counted exactly twice (once per diagonal). The
 // computation iterates wedges per low endpoint with an O(n) scratch array.
-func codegreePairSum(g *graph.Graph) int64 {
+func (ctr *Counter) codegreePairSum(g *graph.Graph) int64 {
 	n := g.N()
-	codeg := make([]int32, n)
-	touched := make([]int32, 0, 64)
+	ctr.codeg = buf.GrowZero(ctr.codeg, n)
+	codeg := ctr.codeg
+	touched := ctr.touched[:0]
+	defer func() { ctr.touched = touched }()
 	var sum int64
 	for a := 0; a < n; a++ {
 		touched = touched[:0]

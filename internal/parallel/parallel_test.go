@@ -1,0 +1,134 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	procs := runtime.GOMAXPROCS(0)
+	auto := procs
+	if auto > 2 {
+		auto = 2 // Workers(<=0, 2) clamps GOMAXPROCS to the job count
+	}
+	cases := []struct {
+		requested, jobs, want int
+	}{
+		{1, 100, 1},
+		{8, 3, 3},
+		{4, 0, 4},
+		{0, 1000, procs},
+		{-5, 2, auto},
+	}
+	for _, c := range cases {
+		got := Workers(c.requested, c.jobs)
+		if got != c.want {
+			t.Errorf("Workers(%d, %d) = %d, want %d", c.requested, c.jobs, got, c.want)
+		}
+	}
+}
+
+func TestForEachRunsEveryJobOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		const n = 1000
+		counts := make([]atomic.Int32, n)
+		err := ForEach(workers, n, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: job %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachZeroJobs(t *testing.T) {
+	called := false
+	if err := ForEach(4, 0, func(int) error { called = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Fatal("fn called for n=0")
+	}
+}
+
+func TestForEachLowestIndexError(t *testing.T) {
+	// Several jobs fail; the reported error must always be the lowest
+	// failing index, independent of worker count and scheduling.
+	for _, workers := range []int{1, 2, 8} {
+		err := ForEach(workers, 100, func(i int) error {
+			if i%7 == 3 { // fails at 3, 10, 17, ...
+				return fmt.Errorf("job %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "job 3" {
+			t.Fatalf("workers=%d: err = %v, want job 3", workers, err)
+		}
+	}
+}
+
+func TestForEachScratchPerWorkerIsolation(t *testing.T) {
+	// Each worker gets its own scratch; with deterministic job results the
+	// output must not depend on which worker ran which job.
+	type scratch struct{ buf []int }
+	const n = 500
+	for _, workers := range []int{1, 3, 16} {
+		out := make([]int, n)
+		var created atomic.Int32
+		err := ForEachScratch(workers, n,
+			func() *scratch {
+				created.Add(1)
+				return &scratch{buf: make([]int, 0, 8)}
+			},
+			func(s *scratch, i int) error {
+				s.buf = s.buf[:0] // reuse across jobs
+				for k := 0; k <= i%5; k++ {
+					s.buf = append(s.buf, i)
+				}
+				out[i] = len(s.buf) // copy result out of scratch
+				return nil
+			})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		want := Workers(workers, n)
+		if int(created.Load()) != want {
+			t.Errorf("workers=%d: newScratch called %d times, want %d", workers, created.Load(), want)
+		}
+		for i, got := range out {
+			if got != i%5+1 {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, got, i%5+1)
+			}
+		}
+	}
+}
+
+func TestForEachScratchErrorsDoNotSkipJobs(t *testing.T) {
+	const n = 64
+	var ran atomic.Int32
+	sentinel := errors.New("boom")
+	err := ForEachScratch(4, n,
+		func() int { return 0 },
+		func(_ int, i int) error {
+			ran.Add(1)
+			if i == 0 {
+				return sentinel
+			}
+			return nil
+		})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	if got := ran.Load(); got != n {
+		t.Fatalf("ran %d jobs, want all %d despite the error", got, n)
+	}
+}

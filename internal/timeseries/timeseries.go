@@ -11,6 +11,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"mvg/internal/buf"
 )
 
 // Common errors returned by validation helpers.
@@ -89,25 +91,39 @@ func MinMax(t []float64) (min, max float64) {
 // Near-constant series (σ below eps) are returned as all zeros rather than
 // amplifying numeric noise, matching common UCR preprocessing.
 func ZNormalize(t []float64) []float64 {
+	return ZNormalizeInto(make([]float64, len(t)), t)
+}
+
+// ZNormalizeInto is ZNormalize writing into dst, which must have len(t).
+// dst may alias t for in-place normalization. It returns dst.
+func ZNormalizeInto(dst, t []float64) []float64 {
 	const eps = 1e-12
-	out := make([]float64, len(t))
 	mu := Mean(t)
 	sigma := Std(t)
 	if sigma < eps {
-		return out
+		for i := range dst {
+			dst[i] = 0
+		}
+		return dst
 	}
 	for i, v := range t {
-		out[i] = (v - mu) / sigma
+		dst[i] = (v - mu) / sigma
 	}
-	return out
+	return dst
 }
 
 // Detrend returns a copy of t with the least-squares linear trend removed.
 // The paper notes VGs are unsuitable for series with monotonic trends; this
 // is the recommended pre-processing step before VG construction.
 func Detrend(t []float64) []float64 {
+	return DetrendInto(make([]float64, len(t)), t)
+}
+
+// DetrendInto is Detrend writing into dst, which must have len(t). dst may
+// alias t for in-place detrending. It returns dst.
+func DetrendInto(dst, t []float64) []float64 {
 	n := len(t)
-	out := make([]float64, n)
+	out := dst
 	if n < 2 {
 		copy(out, t)
 		return out
@@ -142,6 +158,13 @@ func Detrend(t []float64) []float64 {
 // contributes to segment floor(k*s/n) with proportional weighting at
 // boundaries handled by exact fractional assignment.
 func PAA(t []float64, s int) ([]float64, error) {
+	return PAAInto(nil, t, s)
+}
+
+// PAAInto is PAA writing into dst's storage (grown as needed, so a reused
+// buffer makes repeated downscaling allocation-free). dst must not alias t.
+// It returns the filled slice of length s.
+func PAAInto(dst []float64, t []float64, s int) ([]float64, error) {
 	n := len(t)
 	if n == 0 {
 		return nil, ErrEmpty
@@ -149,10 +172,11 @@ func PAA(t []float64, s int) ([]float64, error) {
 	if s <= 0 || s > n {
 		return nil, fmt.Errorf("%w: s=%d for n=%d", ErrBadSegment, s, n)
 	}
+	out := buf.Grow(dst, s)
 	if s == n {
-		return Clone(t), nil
+		copy(out, t)
+		return out, nil
 	}
-	out := make([]float64, s)
 	if n%s == 0 {
 		// Fast path: equal-size integer segments.
 		w := n / s
@@ -187,11 +211,17 @@ func PAA(t []float64, s int) ([]float64, error) {
 // Halve is PAA downscaling by a factor of exactly two (the multiscale step).
 // An odd trailing sample is averaged into the final segment.
 func Halve(t []float64) ([]float64, error) {
+	return HalveInto(nil, t)
+}
+
+// HalveInto is Halve writing into dst's storage (grown as needed). dst must
+// not alias t.
+func HalveInto(dst, t []float64) ([]float64, error) {
 	n := len(t)
 	if n < 2 {
 		return nil, ErrTooShort
 	}
-	return PAA(t, n/2)
+	return PAAInto(dst, t, n/2)
 }
 
 // DefaultTau is the default minimum length for multiscale approximations

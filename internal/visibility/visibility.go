@@ -65,6 +65,21 @@ func VGNaive(t []float64) (*graph.Graph, error) {
 	return graph.FromEdgesUnchecked(n, edges), nil
 }
 
+// window is one divide-and-conquer interval of the VG builder.
+type window struct{ lo, hi int }
+
+// Builder constructs visibility graphs with reusable internal buffers (the
+// edge list, the divide-and-conquer window stack and the HVG bar stack), so
+// batch extraction can transform one scale after another without per-graph
+// allocations. The zero value is ready for use; a Builder must not be
+// shared between goroutines. Edge slices returned by VGEdges/HVGEdges alias
+// the builder and are valid only until its next call.
+type Builder struct {
+	edges [][2]int
+	win   []window
+	stack []int
+}
+
 // VG builds the natural visibility graph with a divide-and-conquer
 // strategy: the maximum of the current window is the pivot; every
 // visibility line crossing the pivot's position must terminate at the pivot
@@ -73,15 +88,25 @@ func VGNaive(t []float64) (*graph.Graph, error) {
 // Expected O(n log n) on series whose maxima split windows evenly; worst
 // case O(n²) on monotone series (which the paper excludes by detrending).
 func VG(t []float64) (*graph.Graph, error) {
+	var b Builder
+	edges, err := b.VGEdges(t)
+	if err != nil {
+		return nil, err
+	}
+	return graph.FromEdgesUnchecked(len(t), edges), nil
+}
+
+// VGEdges computes the natural visibility edge list of t into the builder's
+// reusable buffer (see VG for the algorithm).
+func (b *Builder) VGEdges(t []float64) ([][2]int, error) {
 	if err := validate(t); err != nil {
 		return nil, err
 	}
 	n := len(t)
-	edges := make([][2]int, 0, 2*n)
+	edges := b.edges[:0]
 
 	// Explicit stack avoids deep recursion on adversarial (monotone) input.
-	type window struct{ lo, hi int }
-	stack := []window{{0, n - 1}}
+	stack := append(b.win[:0], window{0, n - 1})
 	for len(stack) > 0 {
 		w := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -115,7 +140,8 @@ func VG(t []float64) (*graph.Graph, error) {
 		}
 		stack = append(stack, window{w.lo, p - 1}, window{p + 1, w.hi})
 	}
-	return graph.FromEdgesUnchecked(n, edges), nil
+	b.edges, b.win = edges, stack
+	return edges, nil
 }
 
 // HVG builds the horizontal visibility graph with the O(n) stack algorithm:
@@ -123,12 +149,23 @@ func VG(t []float64) (*graph.Graph, error) {
 // the first bar at least as tall as itself; equal-height bars block further
 // visibility and are popped.
 func HVG(t []float64) (*graph.Graph, error) {
+	var b Builder
+	edges, err := b.HVGEdges(t)
+	if err != nil {
+		return nil, err
+	}
+	return graph.FromEdgesUnchecked(len(t), edges), nil
+}
+
+// HVGEdges computes the horizontal visibility edge list of t into the
+// builder's reusable buffer (see HVG for the algorithm).
+func (b *Builder) HVGEdges(t []float64) ([][2]int, error) {
 	if err := validate(t); err != nil {
 		return nil, err
 	}
 	n := len(t)
-	edges := make([][2]int, 0, 2*n)
-	stack := make([]int, 0, n)
+	edges := b.edges[:0]
+	stack := b.stack[:0]
 	for j := 0; j < n; j++ {
 		for len(stack) > 0 && t[stack[len(stack)-1]] < t[j] {
 			edges = append(edges, [2]int{stack[len(stack)-1], j})
@@ -143,7 +180,8 @@ func HVG(t []float64) (*graph.Graph, error) {
 		}
 		stack = append(stack, j)
 	}
-	return graph.FromEdgesUnchecked(n, edges), nil
+	b.edges, b.stack = edges, stack
+	return edges, nil
 }
 
 // HVGNaive is the O(n²) definition-driven horizontal visibility builder

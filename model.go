@@ -29,6 +29,11 @@ type Model struct {
 // classifier family with stratified cross validation (Section 3.2), refits
 // the winner on the full training set, and returns the ready-to-use model.
 // Labels must be dense ids in [0, classes).
+//
+// Both stages run on the parallel batch engine: feature extraction fans the
+// training series across cfg.Workers goroutines, and grid search
+// cross-validates candidate configurations on the same executor. The
+// trained model is identical for every worker count (docs/concurrency.md).
 func Train(series [][]float64, labels []int, classes int, cfg Config) (*Model, error) {
 	if len(series) == 0 {
 		return nil, fmt.Errorf("mvg: no training series")
@@ -40,7 +45,7 @@ func Train(series [][]float64, labels []int, classes int, cfg Config) (*Model, e
 	if err != nil {
 		return nil, err
 	}
-	X, err := e.ExtractDataset(series)
+	X, err := e.ExtractDatasetWorkers(series, cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -73,10 +78,10 @@ func fitClassifier(X [][]float64, labels []int, classes int, cfg Config) (ml.Cla
 	}
 	switch cfg.Classifier {
 	case "", "xgb":
-		clf, _, err := modelsel.Best(grids.XGB(size, cfg.Seed), X, labels, classes, folds, cfg.Oversample, cfg.Seed)
+		clf, _, err := modelsel.Best(grids.XGB(size, cfg.Seed), X, labels, classes, folds, cfg.Oversample, cfg.Seed, cfg.Workers)
 		return clf, nil, err
 	case "rf":
-		clf, _, err := modelsel.Best(grids.RF(size, cfg.Seed), X, labels, classes, folds, cfg.Oversample, cfg.Seed)
+		clf, _, err := modelsel.Best(grids.RF(size, cfg.Seed), X, labels, classes, folds, cfg.Oversample, cfg.Seed, cfg.Workers)
 		return clf, nil, err
 	case "svm":
 		scaler := &ml.MinMaxScaler{}
@@ -84,7 +89,7 @@ func fitClassifier(X [][]float64, labels []int, classes int, cfg Config) (ml.Cla
 		if err != nil {
 			return nil, nil, err
 		}
-		clf, _, err := modelsel.Best(grids.SVM(size, cfg.Seed), scaled, labels, classes, folds, cfg.Oversample, cfg.Seed)
+		clf, _, err := modelsel.Best(grids.SVM(size, cfg.Seed), scaled, labels, classes, folds, cfg.Oversample, cfg.Seed, cfg.Workers)
 		return clf, scaler, err
 	case "stack":
 		// Stacking scales features once for everyone; tree models are
@@ -100,6 +105,7 @@ func fitClassifier(X [][]float64, labels []int, classes int, cfg Config) (ml.Cla
 			Folds:      folds,
 			Oversample: cfg.Oversample,
 			Seed:       cfg.Seed,
+			Workers:    cfg.Workers,
 		},
 			stack.Family{Name: "xgb", Candidates: grids.XGB(size, cfg.Seed)},
 			stack.Family{Name: "rf", Candidates: grids.RF(size, cfg.Seed)},
@@ -113,9 +119,10 @@ func fitClassifier(X [][]float64, labels []int, classes int, cfg Config) (ml.Cla
 	return nil, nil, fmt.Errorf("mvg: unknown classifier %q (want xgb, rf, svm or stack)", cfg.Classifier)
 }
 
-// features extracts (and scales, if configured) inference features.
+// features extracts (and scales, if configured) inference features on the
+// parallel batch engine, honouring the model's Config.Workers.
 func (m *Model) features(series [][]float64) ([][]float64, error) {
-	X, err := m.extractor.ExtractDataset(series)
+	X, err := m.extractor.ExtractDatasetWorkers(series, m.cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -125,7 +132,11 @@ func (m *Model) features(series [][]float64) ([][]float64, error) {
 	return X, nil
 }
 
-// PredictProba returns one class-probability vector per series.
+// PredictProba returns one class-probability vector per series, fanning
+// feature extraction across the model's worker pool (Config.Workers;
+// 0 = GOMAXPROCS) with per-worker scratch reuse. Row i always corresponds
+// to series[i] and the probabilities are byte-identical for every worker
+// count (docs/concurrency.md).
 func (m *Model) PredictProba(series [][]float64) ([][]float64, error) {
 	X, err := m.features(series)
 	if err != nil {
@@ -134,13 +145,21 @@ func (m *Model) PredictProba(series [][]float64) ([][]float64, error) {
 	return m.clf.PredictProba(X)
 }
 
-// Predict returns the most probable class per series.
-func (m *Model) Predict(series [][]float64) ([]int, error) {
+// PredictBatch classifies a batch of series on the parallel extraction
+// engine and returns the most probable class per series, in input order.
+// See PredictProba for the concurrency and determinism guarantees.
+func (m *Model) PredictBatch(series [][]float64) ([]int, error) {
 	proba, err := m.PredictProba(series)
 	if err != nil {
 		return nil, err
 	}
 	return ml.Predict(proba), nil
+}
+
+// Predict returns the most probable class per series. It is an alias for
+// PredictBatch kept for single-call readability.
+func (m *Model) Predict(series [][]float64) ([]int, error) {
+	return m.PredictBatch(series)
 }
 
 // ErrorRate scores the model on a labelled test set (the paper's metric).
@@ -158,7 +177,15 @@ func (m *Model) ErrorRate(series [][]float64, labels []int) (float64, error) {
 // Classes returns the number of classes the model was trained with.
 func (m *Model) Classes() int { return m.classes }
 
-// FeatureNames returns the names of the extracted features in order.
+// SetWorkers retunes the worker-goroutine cap used by PredictBatch and
+// PredictProba (0 = GOMAXPROCS). Predictions are byte-identical for every
+// worker count, so this only affects throughput — the knob exists so a
+// model trained (or loaded) on one machine can match the parallelism of
+// the machine it serves on.
+func (m *Model) SetWorkers(workers int) { m.cfg.Workers = workers }
+
+// FeatureNames returns the names of the extracted features in order
+// (e.g. "T0.HVG.P(M44)"; the layout is specified in docs/features.md).
 func (m *Model) FeatureNames() []string {
 	out := make([]string, len(m.names))
 	copy(out, m.names)

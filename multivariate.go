@@ -49,16 +49,20 @@ func validateMultivariate(samples [][][]float64) (channels int, err error) {
 	return channels, nil
 }
 
-// extractMultivariate concatenates per-channel feature vectors.
-func extractMultivariate(e *core.Extractor, samples [][][]float64, channels int) ([][]float64, error) {
+// extractMultivariate concatenates per-channel feature vectors. Each
+// channel's batch runs on the parallel extraction engine with the given
+// worker count (0 = GOMAXPROCS); channels are processed sequentially so
+// the per-sample concatenation order — and therefore the matrix — is
+// deterministic.
+func extractMultivariate(e *core.Extractor, samples [][][]float64, channels, workers int) ([][]float64, error) {
 	n := len(samples)
 	out := make([][]float64, n)
+	channelSeries := make([][]float64, n)
 	for c := 0; c < channels; c++ {
-		channelSeries := make([][]float64, n)
 		for i := range samples {
 			channelSeries[i] = samples[i][c]
 		}
-		X, err := e.ExtractDataset(channelSeries)
+		X, err := e.ExtractDatasetWorkers(channelSeries, workers)
 		if err != nil {
 			return nil, fmt.Errorf("mvg: channel %d: %w", c, err)
 		}
@@ -85,7 +89,7 @@ func TrainMultivariate(samples [][][]float64, labels []int, classes int, cfg Con
 	if err != nil {
 		return nil, err
 	}
-	X, err := extractMultivariate(e, samples, channels)
+	X, err := extractMultivariate(e, samples, channels, cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -118,7 +122,7 @@ func (m *MultivariateModel) PredictProba(samples [][][]float64) ([][]float64, er
 	if channels != m.channels {
 		return nil, fmt.Errorf("mvg: model trained with %d channels, got %d", m.channels, channels)
 	}
-	X, err := extractMultivariate(m.extractor, samples, channels)
+	X, err := extractMultivariate(m.extractor, samples, channels, m.cfg.Workers)
 	if err != nil {
 		return nil, err
 	}

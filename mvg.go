@@ -16,7 +16,13 @@
 //
 //	model, err := mvg.Train(trainSeries, trainLabels, classes, mvg.Config{})
 //	if err != nil { ... }
-//	pred, err := model.Predict(testSeries)
+//	pred, err := model.PredictBatch(testSeries)
+//
+// Batch operations (Train, PredictBatch, ExtractFeaturesBatch) run on a
+// parallel worker-pool engine controlled by Config.Workers; results are
+// byte-identical for every worker count. The concurrency model is
+// documented in docs/concurrency.md and the feature-vector layout in
+// docs/features.md.
 //
 // Lower-level building blocks (graph construction, motif counting, feature
 // extraction) are exposed through ExtractFeatures and SummarizeGraph for
@@ -60,6 +66,13 @@ type Config struct {
 	Oversample bool
 	// Seed makes training deterministic (default 0 is a valid seed).
 	Seed int64
+
+	// Workers caps the worker goroutines the batch engine fans feature
+	// extraction and model-selection grid search across. Zero or negative
+	// selects GOMAXPROCS (one worker per available CPU). Results are
+	// byte-identical for every worker count — see docs/concurrency.md for
+	// the determinism guarantee.
+	Workers int
 }
 
 func (c Config) scaleMode() (core.ScaleMode, error) {
@@ -116,13 +129,25 @@ func (c Config) extractor() (*core.Extractor, error) {
 
 // ExtractFeatures converts time series into MVG feature matrices without
 // training a classifier. It returns one row per series and the matching
-// feature names (e.g. "T0.HVG.P(M44)", "T2.VG.Assortativity").
+// feature names (e.g. "T0.HVG.P(M44)", "T2.VG.Assortativity"); see
+// docs/features.md for the full feature-vector layout. It is shorthand for
+// ExtractFeaturesBatch, which documents the parallel execution model.
 func ExtractFeatures(series [][]float64, cfg Config) ([][]float64, []string, error) {
+	return ExtractFeaturesBatch(series, cfg)
+}
+
+// ExtractFeaturesBatch is the batch entry point of the parallel extraction
+// engine: it fans per-series feature extraction across cfg.Workers worker
+// goroutines (0 = GOMAXPROCS), each reusing its own scratch buffers (PAA
+// pyramid, visibility edge lists, motif counters) across the series it
+// processes. Row i of the result always corresponds to series[i], and the
+// matrix is byte-identical for every worker count (docs/concurrency.md).
+func ExtractFeaturesBatch(series [][]float64, cfg Config) ([][]float64, []string, error) {
 	e, err := cfg.extractor()
 	if err != nil {
 		return nil, nil, err
 	}
-	X, err := e.ExtractDataset(series)
+	X, err := e.ExtractDatasetWorkers(series, cfg.Workers)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -47,6 +47,12 @@ func (m *Model) Save(w io.Writer) error {
 		Names:     m.names,
 		Booster:   raw,
 	}
+	// Workers is a deployment-time concurrency knob, not part of the
+	// learned model: pinning the training machine's setting would force
+	// e.g. a single-threaded CI-trained model to predict single-threaded
+	// on a 64-core server forever. Saved models default to GOMAXPROCS;
+	// use SetWorkers after LoadModel to tune.
+	snap.Cfg.Workers = 0
 	if m.scaler != nil {
 		snap.ScalerMin = m.scaler.Min
 		snap.ScalerRange = m.scaler.Range
