@@ -1,0 +1,252 @@
+// Command benchcheck gates CI on benchmark regressions. It parses the
+// text output of `go test -bench -benchmem`, writes the parsed results as
+// JSON (the build artifact), and compares allocs/op — the metric the
+// parallel engine's scratch-reuse design pins — against a checked-in
+// baseline, failing when any benchmark regresses beyond the tolerance.
+//
+// allocs/op is the gate (rather than ns/op) because it is deterministic
+// across runner hardware: a scratch-reuse regression shows up as extra
+// allocations on every machine, while wall-clock noise on shared CI
+// runners would make a time gate flap.
+//
+// Usage:
+//
+//	go test -bench=ExtractBatch -benchtime=1x -benchmem -run='^$' . | tee bench.txt
+//	go run ./.github/benchcheck -in bench.txt -baseline .github/BENCH_baseline.json -json-out bench.json
+//	go run ./.github/benchcheck -in bench.txt -baseline .github/BENCH_baseline.json -update   # re-pin
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op,omitempty"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Baseline is the checked-in regression gate.
+type Baseline struct {
+	Note       string                   `json:"note,omitempty"`
+	Tolerance  float64                  `json:"tolerance"`
+	Benchmarks map[string]BaselineEntry `json:"benchmarks"`
+}
+
+// BaselineEntry pins exactly what compare() gates — allocs/op only, so
+// the baseline file never implies a check that does not run. Bytes/op and
+// ns/op still travel in the JSON artifact for humans to eyeball.
+type BaselineEntry struct {
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// procSuffix strips the trailing -GOMAXPROCS from a benchmark name so
+// baselines pinned on one machine match runners with different core
+// counts ("BenchmarkExtractBatch/workers=1-8" -> ".../workers=1").
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "benchmark text output to parse (default stdin)")
+		baseline = flag.String("baseline", "", "baseline JSON to compare against")
+		jsonOut  = flag.String("json-out", "", "write parsed results as JSON to this file")
+		update   = flag.Bool("update", false, "rewrite the baseline from the parsed results instead of comparing")
+		tol      = flag.Float64("tolerance", -1, "allowed fractional allocs/op regression (overrides the baseline's own tolerance)")
+	)
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	results, err := parse(r)
+	if err != nil {
+		fatal(err)
+	}
+	if len(results) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found (did the bench run with -benchmem?)"))
+	}
+
+	if *jsonOut != "" {
+		raw, err := json.MarshalIndent(sorted(results), "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*jsonOut, append(raw, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchcheck: wrote %d results to %s\n", len(results), *jsonOut)
+	}
+	if *baseline == "" {
+		return
+	}
+
+	if *update {
+		if err := writeBaseline(*baseline, results, *tol); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchcheck: pinned %d benchmarks in %s\n", len(results), *baseline)
+		return
+	}
+
+	base, err := readBaseline(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	tolerance := base.Tolerance
+	if *tol >= 0 {
+		tolerance = *tol
+	}
+	if err := compare(results, base, tolerance); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchcheck:", err)
+	os.Exit(1)
+}
+
+// parse extracts benchmark results from `go test -bench` text output.
+// Lines look like:
+//
+//	BenchmarkExtractBatch/workers=1-8  1  56405794 ns/op  37456 B/op  212 allocs/op  1134 series/sec
+func parse(r io.Reader) (map[string]Result, error) {
+	results := make(map[string]Result)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := Result{
+			Name:        procSuffix.ReplaceAllString(fields[0], ""),
+			Iterations:  iters,
+			AllocsPerOp: -1,
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsPerOp = v
+			case "B/op":
+				res.BytesPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+			}
+		}
+		results[res.Name] = res
+	}
+	return results, sc.Err()
+}
+
+func sorted(results map[string]Result) []Result {
+	out := make([]Result, 0, len(results))
+	for _, res := range results {
+		out = append(out, res)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func readBaseline(path string) (*Baseline, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var base Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if len(base.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s pins no benchmarks", path)
+	}
+	return &base, nil
+}
+
+func writeBaseline(path string, results map[string]Result, tol float64) error {
+	if tol < 0 {
+		tol = 0.10
+	}
+	base := Baseline{
+		Note:       "allocs/op gate for the parallel batch engine; re-pin with the -update command in .github/benchcheck/main.go",
+		Tolerance:  tol,
+		Benchmarks: make(map[string]BaselineEntry, len(results)),
+	}
+	for name, res := range results {
+		if res.AllocsPerOp < 0 {
+			return fmt.Errorf("%s has no allocs/op (run the bench with -benchmem)", name)
+		}
+		base.Benchmarks[name] = BaselineEntry{AllocsPerOp: res.AllocsPerOp}
+	}
+	raw, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// compare fails when any pinned benchmark is missing from the run or its
+// allocs/op exceeds baseline*(1+tolerance). Extra benchmarks in the run
+// are reported but never gate, so adding benchmarks doesn't break CI.
+func compare(results map[string]Result, base *Baseline, tolerance float64) error {
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var failures []string
+	fmt.Printf("benchcheck: gating %d benchmarks at +%.0f%% allocs/op tolerance\n", len(names), tolerance*100)
+	for _, name := range names {
+		pin := base.Benchmarks[name]
+		got, ok := results[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: pinned in baseline but missing from this run", name))
+			continue
+		}
+		if got.AllocsPerOp < 0 {
+			failures = append(failures, fmt.Sprintf("%s: no allocs/op in output (run with -benchmem)", name))
+			continue
+		}
+		allowed := pin.AllocsPerOp * (1 + tolerance)
+		status := "ok"
+		if got.AllocsPerOp > allowed {
+			status = "FAIL"
+			failures = append(failures, fmt.Sprintf("%s: %.0f allocs/op exceeds baseline %.0f (+%.0f%% allowed)",
+				name, got.AllocsPerOp, pin.AllocsPerOp, tolerance*100))
+		}
+		fmt.Printf("  %-48s %8.0f allocs/op (baseline %8.0f, allowed %8.0f)  %s\n",
+			name, got.AllocsPerOp, pin.AllocsPerOp, allowed, status)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("allocation regression:\n  %s", strings.Join(failures, "\n  "))
+	}
+	fmt.Println("benchcheck: no allocation regressions")
+	return nil
+}

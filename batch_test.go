@@ -1,8 +1,10 @@
 package mvg
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 )
 
@@ -156,6 +158,58 @@ func TestPredictBatchRace(t *testing.T) {
 		if err := <-done; err != nil {
 			t.Fatal(err)
 		}
+	}
+}
+
+// TestSetWorkersRace pins the concurrency contract the serving registry
+// relies on: SetWorkers may retune the worker cap while PredictBatch
+// callers are in flight, with no data race (run with -race; CI always
+// does) and no effect on results — every prediction is byte-identical to
+// the sequential reference regardless of when the cap changes.
+func TestSetWorkersRace(t *testing.T) {
+	train, labels := predictableDataset(t, 5)
+	model, err := Train(train, labels, 2, Config{Folds: 2, Seed: 1, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	test, _ := predictableDataset(t, 6)
+	want, err := model.PredictBatch(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 3; k++ {
+				got, err := model.PredictBatch(test)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						errs <- fmt.Errorf("prediction %d changed under SetWorkers: %d vs %d", i, got[i], want[i])
+						return
+					}
+				}
+			}
+		}()
+	}
+	for w := 0; w < 200; w++ {
+		model.SetWorkers(w % 5)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent PredictBatch under SetWorkers: %v", err)
+	}
+	model.SetWorkers(8)
+	if model.Workers() != 8 {
+		t.Errorf("Workers() = %d, want 8", model.Workers())
 	}
 }
 

@@ -1,0 +1,111 @@
+// Command mvgserve serves saved MVG models over HTTP with request
+// coalescing: concurrent single-series predictions are merged into
+// batches for the parallel extraction engine. See docs/serving.md for the
+// endpoint contract and tuning guidance.
+//
+// Usage:
+//
+//	mvgserve -models ./models                     # serve every ./models/*.mvg on :8080
+//	mvgserve -models ./models -addr :9000 -window 5ms -max-batch 128
+//	mvgserve -models ./models -workers 4 -shutdown-timeout 30s
+//
+// Endpoints:
+//
+//	POST /v1/models/{name}/predict        {"series": [...]} or {"batch": [[...], ...]}
+//	POST /v1/models/{name}/predict_proba  same bodies, probability vectors back
+//	POST /v1/models/{name}/reload         atomically reload the model file
+//	GET  /v1/models                       registry listing with feature metadata
+//	GET  /healthz                         liveness
+//	GET  /metrics                         Prometheus text metrics
+//
+// On SIGTERM/SIGINT the server stops accepting connections, drains
+// in-flight requests and coalesced batches, then exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mvg/internal/serve"
+)
+
+func main() {
+	var (
+		addr            = flag.String("addr", ":8080", "listen address")
+		modelDir        = flag.String("models", "", "directory of saved *.mvg models (required)")
+		window          = flag.Duration("window", serve.DefaultWindow, "coalescing window: how long the first request of a batch waits for company")
+		maxBatch        = flag.Int("max-batch", serve.DefaultMaxBatch, "flush a coalesced batch at this many pending requests")
+		workers         = flag.Int("workers", 0, "worker goroutines per prediction batch (0 = GOMAXPROCS)")
+		shutdownTimeout = flag.Duration("shutdown-timeout", 15*time.Second, "maximum time to drain in-flight requests on SIGTERM")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "mvgserve: ", log.LstdFlags)
+	if *modelDir == "" {
+		fmt.Fprintln(os.Stderr, "mvgserve: -models is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	registry := serve.NewRegistry()
+	names, err := registry.LoadDir(*modelDir)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	registry.SetWorkers(*workers)
+	logger.Printf("loaded %d model(s) from %s: %v", len(names), *modelDir, names)
+
+	srv, err := serve.NewServer(serve.Config{
+		Registry: registry,
+		Window:   *window,
+		MaxBatch: *maxBatch,
+		Logger:   logger,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	errc := make(chan error, 1)
+	go func() {
+		logger.Printf("listening on %s (window=%v max-batch=%d workers=%d)", *addr, *window, *maxBatch, *workers)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errc:
+		logger.Fatal(err)
+	case sig := <-sigc:
+		logger.Printf("received %v, draining (timeout %v)", sig, *shutdownTimeout)
+	}
+
+	// Drain order matters: first stop accepting connections and let active
+	// handlers finish (they may be blocked on coalesced batches, which stay
+	// open), then close the coalescers, which flushes any pending batch.
+	// The coalescer drain gets its own budget: if the HTTP drain consumed
+	// the whole timeout (handlers parked in a long coalescing window), an
+	// already-expired context here would abandon accepted requests.
+	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), *shutdownTimeout)
+	if err := httpSrv.Shutdown(httpCtx); err != nil {
+		logger.Printf("http shutdown: %v", err)
+	}
+	cancelHTTP()
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), *shutdownTimeout)
+	defer cancelDrain()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		logger.Printf("%v", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Fatal(err)
+	}
+	logger.Printf("drained, bye")
+}

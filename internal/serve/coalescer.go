@@ -1,0 +1,254 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"sync"
+	"time"
+
+	"mvg"
+)
+
+// ErrCoalescerClosed is returned by Coalescer.Predict after Close: the
+// server is draining and no longer accepts work.
+var ErrCoalescerClosed = errors.New("serve: coalescer closed")
+
+// DefaultWindow and DefaultMaxBatch are the coalescing defaults used when
+// CoalescerConfig leaves them zero. The 2ms window is small against the
+// per-series extraction cost it amortizes; 64 matches the batch size
+// BenchmarkExtractBatch pins the engine's throughput on.
+const (
+	DefaultWindow   = 2 * time.Millisecond
+	DefaultMaxBatch = 64
+)
+
+// Coalescer merges concurrent single-series prediction requests into
+// batches for one model, so the parallel engine's per-batch scratch reuse
+// is amortized across HTTP clients. A batch is flushed when the first
+// request in it has waited Window, or when MaxBatch requests are pending,
+// whichever comes first. Each caller gets back exactly the
+// class-probability row for its own series.
+//
+// Determinism contract: feature extraction and classification are pure
+// per-series functions (docs/concurrency.md), so the row a request
+// receives from a coalesced PredictProba call is byte-identical to the
+// row a standalone single-series call would return. Coalescing is
+// therefore invisible to clients except through latency; the stress test
+// in coalescer_test.go pins this.
+type Coalescer struct {
+	window   time.Duration
+	maxBatch int
+	source   func() (*mvg.Model, error)
+	observe  func(batchSize int)
+
+	reqs chan coalRequest
+
+	mu     sync.RWMutex // guards closed and the reqs channel close
+	closed bool
+
+	inFlight sync.WaitGroup // running batch predictions
+	done     chan struct{}  // run loop exited
+}
+
+type coalRequest struct {
+	series []float64
+	out    chan coalResult
+}
+
+type coalResult struct {
+	proba []float64
+	err   error
+}
+
+// CoalescerConfig configures NewCoalescer.
+type CoalescerConfig struct {
+	// Window is the maximum time the first request of a batch waits for
+	// company before the batch is flushed (default DefaultWindow).
+	Window time.Duration
+	// MaxBatch flushes a batch as soon as this many requests are pending
+	// (default DefaultMaxBatch).
+	MaxBatch int
+	// Observe, if set, is called with the size of every flushed batch
+	// (wired to Metrics.ObserveBatch by the server).
+	Observe func(batchSize int)
+}
+
+// NewCoalescer starts a coalescer whose batches predict on the model
+// returned by source. source is consulted at flush time, not submit time,
+// so a registry Reload between enqueue and flush serves the batch on the
+// freshest model.
+func NewCoalescer(source func() (*mvg.Model, error), cfg CoalescerConfig) *Coalescer {
+	if cfg.Window <= 0 {
+		cfg.Window = DefaultWindow
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = DefaultMaxBatch
+	}
+	c := &Coalescer{
+		window:   cfg.Window,
+		maxBatch: cfg.MaxBatch,
+		source:   source,
+		observe:  cfg.Observe,
+		reqs:     make(chan coalRequest, 4*cfg.MaxBatch),
+		done:     make(chan struct{}),
+	}
+	go c.run()
+	return c
+}
+
+// Predict submits one series and blocks until its probability row is
+// available, the context is cancelled, or the coalescer is closed. On
+// cancellation the series stays in its batch (the batch is already being
+// assembled); only the caller stops waiting.
+func (c *Coalescer) Predict(ctx context.Context, series []float64) ([]float64, error) {
+	req := coalRequest{series: series, out: make(chan coalResult, 1)}
+
+	// Holding the read lock across the send pairs with Close's write lock:
+	// once Close observes the lock free and sets closed, no sender can be
+	// mid-enqueue, so closing c.reqs below never races a send.
+	c.mu.RLock()
+	if c.closed {
+		c.mu.RUnlock()
+		return nil, ErrCoalescerClosed
+	}
+	select {
+	case c.reqs <- req:
+		c.mu.RUnlock()
+	case <-ctx.Done():
+		c.mu.RUnlock()
+		return nil, ctx.Err()
+	}
+
+	select {
+	case res := <-req.out:
+		return res.proba, res.err
+	case <-ctx.Done():
+		// The batch still computes; the buffered out channel lets the
+		// flush goroutine deliver without blocking on the departed caller.
+		return nil, ctx.Err()
+	}
+}
+
+// Close stops accepting requests, flushes the pending batch, waits for
+// every in-flight batch prediction to deliver its results, and returns.
+// Requests accepted before Close always receive a result — this is the
+// drain mvgserve runs on SIGTERM. Close is idempotent.
+func (c *Coalescer) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		<-c.done
+		return
+	}
+	c.closed = true
+	close(c.reqs)
+	c.mu.Unlock()
+	<-c.done
+}
+
+// run is the dispatch loop: it owns the pending slice and decides when to
+// flush. Batches predict on their own goroutines so a slow prediction
+// never blocks the assembly of the next batch.
+func (c *Coalescer) run() {
+	defer close(c.done)
+	var (
+		pending []coalRequest
+		timer   *time.Timer
+		timeout <-chan time.Time
+	)
+	flush := func() {
+		if len(pending) == 0 {
+			return
+		}
+		batch := pending
+		pending = nil
+		timeout = nil
+		c.inFlight.Add(1)
+		go func() {
+			defer c.inFlight.Done()
+			c.predictBatch(batch)
+		}()
+	}
+	// disarm stops the timer and drains a concurrently-delivered fire, so
+	// a reused timer channel never holds a stale tick that would flush the
+	// next batch prematurely.
+	disarm := func() {
+		if timer != nil && !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+	}
+	for {
+		select {
+		case req, ok := <-c.reqs:
+			if !ok {
+				disarm()
+				flush()
+				c.inFlight.Wait()
+				return
+			}
+			pending = append(pending, req)
+			if len(pending) >= c.maxBatch {
+				disarm()
+				flush()
+			} else if len(pending) == 1 {
+				if timer == nil {
+					timer = time.NewTimer(c.window)
+				} else {
+					timer.Reset(c.window)
+				}
+				timeout = timer.C
+			}
+		case <-timeout:
+			flush()
+		}
+	}
+}
+
+// predictBatch runs one coalesced batch and fans results (or errors) back
+// to each caller.
+func (c *Coalescer) predictBatch(batch []coalRequest) {
+	if c.observe != nil {
+		c.observe(len(batch))
+	}
+	model, err := c.source()
+	if err != nil {
+		for _, req := range batch {
+			req.out <- coalResult{err: err}
+		}
+		return
+	}
+	// Re-validate lengths against the flush-time model: handlers validated
+	// against a submit-time snapshot, and a reload in between may have
+	// changed SeriesLen. Only the mismatching requests fail; the rest of
+	// the batch predicts normally.
+	want := model.SeriesLen()
+	series := make([][]float64, 0, len(batch))
+	idx := make([]int, 0, len(batch))
+	for i, req := range batch {
+		if len(req.series) != want {
+			req.out <- coalResult{err: httpErrorf(http.StatusBadRequest,
+				"series has %d points, model expects %d (model reloaded?)", len(req.series), want)}
+			continue
+		}
+		series = append(series, req.series)
+		idx = append(idx, i)
+	}
+	if len(series) == 0 {
+		return
+	}
+	proba, err := model.PredictProba(series)
+	if err == nil && len(proba) != len(series) {
+		err = errors.New("serve: model returned wrong row count")
+	}
+	for k, i := range idx {
+		if err != nil {
+			batch[i].out <- coalResult{err: err}
+			continue
+		}
+		batch[i].out <- coalResult{proba: proba[k]}
+	}
+}

@@ -1,0 +1,234 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mvg"
+)
+
+func modelSource(m *mvg.Model) func() (*mvg.Model, error) {
+	return func() (*mvg.Model, error) { return m, nil }
+}
+
+// TestCoalescerStress is the acceptance stress test: many goroutines
+// hammer the coalescer with single-series requests, and every returned
+// probability row must be byte-identical to a sequential single-series
+// PredictProba call on the same model. Run under -race (CI always does).
+func TestCoalescerStress(t *testing.T) {
+	model := testModel(t)
+	const distinct, goroutines, perG = 12, 8, 25
+	inputs := testInputs(distinct, 4)
+
+	// Sequential reference, one series at a time.
+	ref := make([][]float64, distinct)
+	for i, s := range inputs {
+		rows, err := model.PredictProba([][]float64{s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref[i] = rows[0]
+	}
+
+	var batches, coalesced atomic.Int64
+	c := NewCoalescer(modelSource(model), CoalescerConfig{
+		Window:   500 * time.Microsecond,
+		MaxBatch: 8,
+		Observe: func(size int) {
+			batches.Add(1)
+			coalesced.Add(int64(size))
+		},
+	})
+	defer c.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < perG; k++ {
+				idx := (g*perG + k) % distinct
+				proba, err := c.Predict(context.Background(), inputs[idx])
+				if err != nil {
+					errs <- err
+					return
+				}
+				for j := range proba {
+					if proba[j] != ref[idx][j] {
+						errs <- errors.New("coalesced row differs from sequential prediction")
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	total := int64(goroutines * perG)
+	if coalesced.Load() != total {
+		t.Errorf("observed %d coalesced requests, want %d", coalesced.Load(), total)
+	}
+	if b := batches.Load(); b == 0 || b > total {
+		t.Errorf("batches = %d out of %d requests", b, total)
+	} else if b == total {
+		t.Logf("warning: no coalescing happened (%d batches for %d requests)", b, total)
+	} else {
+		t.Logf("%d requests coalesced into %d batches", total, b)
+	}
+}
+
+// TestCoalescerMaxBatchFlush pins the "max-batch, whichever first" rule:
+// with an hour-long window, a full batch must still flush immediately.
+func TestCoalescerMaxBatchFlush(t *testing.T) {
+	model := testModel(t)
+	const maxBatch = 4
+	c := NewCoalescer(modelSource(model), CoalescerConfig{Window: time.Hour, MaxBatch: maxBatch})
+	defer c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	inputs := testInputs(maxBatch, 5)
+	var wg sync.WaitGroup
+	errs := make(chan error, maxBatch)
+	for i := 0; i < maxBatch; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := c.Predict(ctx, inputs[i]); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("full batch did not flush before the window: %v", err)
+	}
+}
+
+// TestCoalescerWindowFlush pins the other side: a lone request must not
+// wait for a full batch.
+func TestCoalescerWindowFlush(t *testing.T) {
+	model := testModel(t)
+	c := NewCoalescer(modelSource(model), CoalescerConfig{Window: time.Millisecond, MaxBatch: 64})
+	defer c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := c.Predict(ctx, testInputs(1, 6)[0]); err != nil {
+		t.Fatalf("lone request did not flush on the window: %v", err)
+	}
+}
+
+// TestCoalescerCloseDrains verifies the SIGTERM drain contract: requests
+// accepted before Close get real results, requests after get ErrCoalescerClosed.
+func TestCoalescerCloseDrains(t *testing.T) {
+	model := testModel(t)
+	c := NewCoalescer(modelSource(model), CoalescerConfig{Window: time.Hour, MaxBatch: 64})
+
+	const n = 5
+	inputs := testInputs(n, 7)
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := c.Predict(context.Background(), inputs[i]); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	// Give the requests time to enqueue; the hour-long window guarantees
+	// they are still pending when Close runs.
+	time.Sleep(100 * time.Millisecond)
+	c.Close()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("request accepted before Close got: %v", err)
+	}
+
+	if _, err := c.Predict(context.Background(), inputs[0]); !errors.Is(err, ErrCoalescerClosed) {
+		t.Fatalf("Predict after Close = %v, want ErrCoalescerClosed", err)
+	}
+	c.Close() // idempotent
+}
+
+// TestCoalescerSourceError fans the model-resolution error back to every
+// waiter in the batch.
+func TestCoalescerSourceError(t *testing.T) {
+	boom := errors.New("model gone")
+	c := NewCoalescer(func() (*mvg.Model, error) { return nil, boom }, CoalescerConfig{
+		Window: time.Millisecond, MaxBatch: 2,
+	})
+	defer c.Close()
+	series := make([]float64, testSeriesLen)
+	if _, err := c.Predict(context.Background(), series); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+}
+
+// TestCoalescerRevalidatesAtFlush: the coalescer predicts on the model
+// resolved at flush time, which may differ from the one the handler
+// validated against (hot reload mid-window). A length mismatch must fail
+// only the mismatching request — the rest of the batch still predicts.
+func TestCoalescerRevalidatesAtFlush(t *testing.T) {
+	model := testModel(t)
+	c := NewCoalescer(modelSource(model), CoalescerConfig{Window: 50 * time.Millisecond, MaxBatch: 64})
+	defer c.Close()
+
+	good := testInputs(1, 9)[0]
+	bad := make([]float64, testSeriesLen/2)
+	var wg sync.WaitGroup
+	var goodErr, badErr error
+	var goodProba []float64
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		goodProba, goodErr = c.Predict(context.Background(), good)
+	}()
+	go func() {
+		defer wg.Done()
+		_, badErr = c.Predict(context.Background(), bad)
+	}()
+	wg.Wait()
+
+	if goodErr != nil {
+		t.Fatalf("valid request in a mixed batch failed: %v", goodErr)
+	}
+	if len(goodProba) == 0 {
+		t.Fatal("valid request got no probabilities")
+	}
+	var he *httpError
+	if !errors.As(badErr, &he) || he.code != 400 {
+		t.Fatalf("mismatched request got %v, want a 400 httpError", badErr)
+	}
+}
+
+// TestCoalescerContextCancel: a caller that gives up stops waiting, but
+// the coalescer keeps running and serves later requests.
+func TestCoalescerContextCancel(t *testing.T) {
+	model := testModel(t)
+	c := NewCoalescer(modelSource(model), CoalescerConfig{Window: time.Hour, MaxBatch: 64})
+	defer c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	input := testInputs(1, 8)[0]
+	if _, err := c.Predict(ctx, input); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}

@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Metrics aggregates the server's operational counters and exposes them in
+// the Prometheus text format on GET /metrics. It has no external
+// dependencies: counters are plain atomics, histograms are fixed-bucket
+// arrays behind a mutex. A zero-value-like Metrics from NewMetrics is safe
+// for concurrent use by every handler and coalescer.
+type Metrics struct {
+	inFlight atomic.Int64
+
+	mu       sync.Mutex
+	requests map[requestKey]uint64
+	latency  histogram
+	batch    histogram
+
+	coalescedBatches  atomic.Uint64
+	coalescedRequests atomic.Uint64
+}
+
+type requestKey struct {
+	route string
+	code  int
+}
+
+// histogram is a fixed-bucket cumulative histogram (Prometheus semantics:
+// bucket i counts observations ≤ bounds[i], plus an implicit +Inf bucket).
+type histogram struct {
+	bounds []float64
+	counts []uint64 // len(bounds)+1; last is +Inf
+	sum    float64
+	total  uint64
+}
+
+func newHistogram(bounds []float64) histogram {
+	return histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+func (h *histogram) observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.total++
+}
+
+// NewMetrics returns a Metrics with latency buckets spanning 100µs–10s and
+// batch-size buckets aligned with typical coalescing windows.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		requests: make(map[requestKey]uint64),
+		latency: newHistogram([]float64{
+			0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+			0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+		}),
+		batch: newHistogram([]float64{1, 2, 4, 8, 16, 32, 64, 128, 256}),
+	}
+}
+
+// RequestStarted increments the in-flight gauge and returns a completion
+// callback recording the request's route, status code and latency.
+func (m *Metrics) RequestStarted() func(route string, code int, seconds float64) {
+	m.inFlight.Add(1)
+	return func(route string, code int, seconds float64) {
+		m.inFlight.Add(-1)
+		m.mu.Lock()
+		m.requests[requestKey{route, code}]++
+		m.latency.observe(seconds)
+		m.mu.Unlock()
+	}
+}
+
+// ObserveBatch records one coalesced batch of the given size.
+func (m *Metrics) ObserveBatch(size int) {
+	m.coalescedBatches.Add(1)
+	m.coalescedRequests.Add(uint64(size))
+	m.mu.Lock()
+	m.batch.observe(float64(size))
+	m.mu.Unlock()
+}
+
+// InFlight reports the number of HTTP requests currently being served.
+func (m *Metrics) InFlight() int64 { return m.inFlight.Load() }
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format (version 0.0.4), the format scraped by GET /metrics.
+func (m *Metrics) WritePrometheus(w io.Writer) {
+	fmt.Fprintf(w, "# HELP mvgserve_in_flight_requests HTTP requests currently being served.\n")
+	fmt.Fprintf(w, "# TYPE mvgserve_in_flight_requests gauge\n")
+	fmt.Fprintf(w, "mvgserve_in_flight_requests %d\n", m.inFlight.Load())
+
+	fmt.Fprintf(w, "# HELP mvgserve_coalesced_batches_total Prediction batches flushed by the coalescer.\n")
+	fmt.Fprintf(w, "# TYPE mvgserve_coalesced_batches_total counter\n")
+	fmt.Fprintf(w, "mvgserve_coalesced_batches_total %d\n", m.coalescedBatches.Load())
+
+	fmt.Fprintf(w, "# HELP mvgserve_coalesced_requests_total Single-series requests served through coalesced batches.\n")
+	fmt.Fprintf(w, "# TYPE mvgserve_coalesced_requests_total counter\n")
+	fmt.Fprintf(w, "mvgserve_coalesced_requests_total %d\n", m.coalescedRequests.Load())
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP mvgserve_requests_total HTTP requests by route and status code.\n")
+	fmt.Fprintf(w, "# TYPE mvgserve_requests_total counter\n")
+	keys := make([]requestKey, 0, len(m.requests))
+	for k := range m.requests {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].route != keys[j].route {
+			return keys[i].route < keys[j].route
+		}
+		return keys[i].code < keys[j].code
+	})
+	for _, k := range keys {
+		fmt.Fprintf(w, "mvgserve_requests_total{route=%q,code=\"%d\"} %d\n", k.route, k.code, m.requests[k])
+	}
+
+	writeHistogram(w, "mvgserve_request_duration_seconds", "HTTP request latency.", &m.latency)
+	writeHistogram(w, "mvgserve_batch_size", "Coalesced batch size distribution.", &m.batch)
+}
+
+func writeHistogram(w io.Writer, name, help string, h *histogram) {
+	fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	cum := uint64(0)
+	for i, bound := range h.bounds {
+		cum += h.counts[i]
+		fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, bound, cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.total)
+	fmt.Fprintf(w, "%s_sum %g\n", name, h.sum)
+	fmt.Fprintf(w, "%s_count %d\n", name, h.total)
+}

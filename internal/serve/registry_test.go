@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRegistryRoundTrip is the persistence round-trip required by the
+// serving layer: a model saved to disk and reloaded through the registry
+// must produce bit-identical PredictProba output to the in-memory model.
+func TestRegistryRoundTrip(t *testing.T) {
+	model := testModel(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "demo"+ModelExt)
+	if err := model.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := NewRegistry()
+	names, err := reg.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "demo" {
+		t.Fatalf("LoadDir names = %v, want [demo]", names)
+	}
+	loaded, ok := reg.Get("demo")
+	if !ok || loaded == nil {
+		t.Fatal("demo not registered")
+	}
+
+	inputs := testInputs(8, 2)
+	want, err := model.PredictProba(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.PredictProba(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		requireSameRow(t, want[i], got[i])
+	}
+}
+
+func TestRegistryList(t *testing.T) {
+	model := testModel(t)
+	reg := NewRegistry()
+	reg.Register("b", model, "")
+	reg.Register("a", model, "/tmp/a.mvg")
+
+	infos := reg.List()
+	if len(infos) != 2 || infos[0].Name != "a" || infos[1].Name != "b" {
+		t.Fatalf("List order = %+v, want a then b", infos)
+	}
+	a := infos[0]
+	if a.Classes != 2 || a.SeriesLen != testSeriesLen || a.Source != "/tmp/a.mvg" {
+		t.Errorf("metadata wrong: %+v", a)
+	}
+	if a.Features == 0 || a.Features != len(a.FeatureNames) {
+		t.Errorf("feature metadata wrong: %d features, %d names", a.Features, len(a.FeatureNames))
+	}
+	if !strings.HasPrefix(a.FeatureNames[0], "T0.") {
+		t.Errorf("first feature name = %q", a.FeatureNames[0])
+	}
+}
+
+func TestRegistryLoadDirErrors(t *testing.T) {
+	reg := NewRegistry()
+	if _, err := reg.LoadDir(t.TempDir()); err == nil {
+		t.Error("empty dir should fail")
+	}
+	if _, err := reg.LoadDir(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing dir should fail")
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "bad"+ModelExt), []byte("not a model"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.LoadDir(dir); err == nil {
+		t.Error("corrupt model file should fail")
+	}
+}
+
+func TestRegistryReload(t *testing.T) {
+	model := testModel(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "demo"+ModelExt)
+	if err := model.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	if _, err := reg.LoadDir(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	before, _ := reg.Get("demo")
+	before.SetWorkers(3)
+	if err := reg.Reload("demo"); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := reg.Get("demo")
+	if after == before {
+		t.Error("Reload did not swap the model pointer")
+	}
+	// The worker setting survives the swap.
+	if after.Workers() != 3 {
+		t.Errorf("Workers after reload = %d, want 3", after.Workers())
+	}
+	// The old snapshot keeps serving callers that hold it.
+	inputs := testInputs(2, 3)
+	want, err := before.PredictProba(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := after.PredictProba(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		requireSameRow(t, want[i], got[i])
+	}
+
+	if err := reg.Reload("ghost"); err == nil {
+		t.Error("reloading an unknown model should fail")
+	}
+	reg.Register("inmem", model, "")
+	if err := reg.Reload("inmem"); err == nil {
+		t.Error("reloading a file-less model should fail")
+	}
+	// A corrupted file fails the reload but keeps the old model serving.
+	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Reload("demo"); err == nil {
+		t.Error("reloading a corrupt file should fail")
+	}
+	still, ok := reg.Get("demo")
+	if !ok || still != after {
+		t.Error("failed reload must leave the previous model in place")
+	}
+}

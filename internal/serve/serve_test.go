@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"mvg"
+)
+
+// Shared test fixture: training even a small model dominates test time, so
+// every test in the package shares one model trained once.
+var (
+	testModelOnce sync.Once
+	testModelVal  *mvg.Model
+	testModelErr  error
+)
+
+const testSeriesLen = 128
+
+// testDataset generates a two-class problem (smooth sine vs noise burst)
+// small enough for fast training.
+func testDataset(seed int64) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	const perClass = 10
+	series := make([][]float64, 0, 2*perClass)
+	labels := make([]int, 0, 2*perClass)
+	for i := 0; i < perClass; i++ {
+		smooth := make([]float64, testSeriesLen)
+		phase := rng.Float64()
+		for k := range smooth {
+			smooth[k] = math.Sin(2*math.Pi*(float64(k)/16+phase)) + 0.05*rng.NormFloat64()
+		}
+		series = append(series, smooth)
+		labels = append(labels, 0)
+
+		noisy := make([]float64, testSeriesLen)
+		for k := range noisy {
+			noisy[k] = rng.NormFloat64()
+		}
+		series = append(series, noisy)
+		labels = append(labels, 1)
+	}
+	return series, labels
+}
+
+func testModel(t *testing.T) *mvg.Model {
+	t.Helper()
+	testModelOnce.Do(func() {
+		series, labels := testDataset(1)
+		testModelVal, testModelErr = mvg.Train(series, labels, 2, mvg.Config{Folds: 2, Seed: 1, Workers: 2})
+	})
+	if testModelErr != nil {
+		t.Fatalf("training shared test model: %v", testModelErr)
+	}
+	return testModelVal
+}
+
+// testInputs returns n prediction inputs drawn from the same two shapes
+// the model was trained on.
+func testInputs(n int, seed int64) [][]float64 {
+	series, _ := testDataset(seed)
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = series[i%len(series)]
+	}
+	return out
+}
+
+func requireSameRow(t *testing.T, want, got []float64) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("row widths differ: %d vs %d", len(want), len(got))
+	}
+	for j := range want {
+		if math.Float64bits(want[j]) != math.Float64bits(got[j]) {
+			t.Fatalf("col %d differs: %v vs %v", j, want[j], got[j])
+		}
+	}
+}

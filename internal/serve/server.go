@@ -1,0 +1,404 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"mvg"
+	"mvg/internal/ml"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Registry holds the models to serve (required).
+	Registry *Registry
+	// Window and MaxBatch tune the per-model request coalescer (zero
+	// values select DefaultWindow / DefaultMaxBatch).
+	Window   time.Duration
+	MaxBatch int
+	// Metrics receives request and batch observations; nil allocates a
+	// fresh Metrics.
+	Metrics *Metrics
+	// Logger receives one line per failed request; nil disables logging.
+	Logger *log.Logger
+}
+
+// Server is the HTTP serving layer: it routes the /v1 prediction API onto
+// a registry of models, funnelling single-series predictions through one
+// request coalescer per model. It implements http.Handler.
+type Server struct {
+	registry *Registry
+	metrics  *Metrics
+	window   time.Duration
+	maxBatch int
+	logger   *log.Logger
+	handler  http.Handler
+
+	mu         sync.Mutex
+	coalescers map[string]*Coalescer
+	draining   bool
+}
+
+// NewServer builds a Server from cfg. The returned server is live: its
+// coalescers start on first use and run until Shutdown.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Registry == nil {
+		return nil, errors.New("serve: Config.Registry is required")
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = NewMetrics()
+	}
+	s := &Server{
+		registry:   cfg.Registry,
+		metrics:    cfg.Metrics,
+		window:     cfg.Window,
+		maxBatch:   cfg.MaxBatch,
+		logger:     cfg.Logger,
+		coalescers: make(map[string]*Coalescer),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/models", s.handleModels)
+	mux.HandleFunc("POST /v1/models/{name}/predict", s.handlePredict)
+	mux.HandleFunc("POST /v1/models/{name}/predict_proba", s.handlePredictProba)
+	mux.HandleFunc("POST /v1/models/{name}/reload", s.handleReload)
+	s.handler = s.instrument(mux)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.handler.ServeHTTP(w, r)
+}
+
+// Metrics returns the server's metrics sink (useful for tests and for
+// sharing one sink across servers).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Shutdown drains the server: new predictions are rejected with 503 and
+// every coalescer is closed, which blocks until all accepted requests
+// have received results. Call it after http.Server.Shutdown has stopped
+// accepting connections, with ctx bounding the drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	coalescers := make([]*Coalescer, 0, len(s.coalescers))
+	for _, c := range s.coalescers {
+		coalescers = append(coalescers, c)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		for _, c := range coalescers {
+			c.Close()
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: shutdown: %w", ctx.Err())
+	}
+}
+
+// coalescer returns (starting if needed) the coalescer for a model name.
+// It returns nil when the server is draining.
+func (s *Server) coalescer(name string) *Coalescer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil
+	}
+	c, ok := s.coalescers[name]
+	if !ok {
+		c = NewCoalescer(func() (*mvg.Model, error) {
+			m, ok := s.registry.Get(name)
+			if !ok || m == nil {
+				return nil, fmt.Errorf("serve: unknown model %q", name)
+			}
+			return m, nil
+		}, CoalescerConfig{
+			Window:   s.window,
+			MaxBatch: s.maxBatch,
+			Observe:  s.metrics.ObserveBatch,
+		})
+		s.coalescers[name] = c
+	}
+	return c
+}
+
+// ---- request/response schema ----
+
+// predictRequest is the body of POST /v1/models/{name}/predict and
+// /predict_proba. Exactly one of Series (single) or Batch must be set.
+type predictRequest struct {
+	Series []float64   `json:"series,omitempty"`
+	Batch  [][]float64 `json:"batch,omitempty"`
+}
+
+type predictResponse struct {
+	Model     string `json:"model"`
+	Class     *int   `json:"class,omitempty"`
+	Classes   []int  `json:"classes,omitempty"`
+	Coalesced bool   `json:"coalesced,omitempty"`
+}
+
+type probaResponse struct {
+	Model     string      `json:"model"`
+	Proba     []float64   `json:"proba,omitempty"`
+	Probas    [][]float64 `json:"probas,omitempty"`
+	Coalesced bool        `json:"coalesced,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// httpError is an error with an HTTP status code attached.
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func httpErrorf(code int, format string, args ...any) *httpError {
+	return &httpError{code: code, msg: fmt.Sprintf(format, args...)}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	var he *httpError
+	if errors.As(err, &he) {
+		code = he.code
+	} else if errors.Is(err, ErrCoalescerClosed) {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, errorResponse{Error: err.Error()})
+}
+
+// parsePredictRequest decodes and validates a prediction body against the
+// model, returning the series to predict and whether the request was the
+// single-series form.
+func parsePredictRequest(r *http.Request, m *mvg.Model) (series [][]float64, single bool, err error) {
+	var req predictRequest
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 64<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return nil, false, httpErrorf(http.StatusBadRequest, "invalid JSON body: %v", err)
+	}
+	switch {
+	case req.Series != nil && req.Batch != nil:
+		return nil, false, httpErrorf(http.StatusBadRequest, `body must set exactly one of "series" or "batch"`)
+	case req.Series != nil:
+		series, single = [][]float64{req.Series}, true
+	case req.Batch != nil:
+		if len(req.Batch) == 0 {
+			return nil, false, httpErrorf(http.StatusBadRequest, `"batch" must contain at least one series`)
+		}
+		series = req.Batch
+	default:
+		return nil, false, httpErrorf(http.StatusBadRequest, `body must set "series" or "batch"`)
+	}
+	want := m.SeriesLen()
+	for i, s := range series {
+		if len(s) != want {
+			return nil, false, httpErrorf(http.StatusBadRequest,
+				"series %d has %d points, model expects %d", i, len(s), want)
+		}
+	}
+	return series, single, nil
+}
+
+// model resolves the {name} path value against the registry.
+func (s *Server) model(r *http.Request) (string, *mvg.Model, error) {
+	name := r.PathValue("name")
+	m, ok := s.registry.Get(name)
+	if !ok || m == nil {
+		return name, nil, httpErrorf(http.StatusNotFound, "unknown model %q", name)
+	}
+	return name, m, nil
+}
+
+// ---- handlers ----
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	name, m, err := s.model(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	series, single, err := parsePredictRequest(r, m)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if single {
+		proba, coalesced, err := s.predictSingle(r, name, m, series[0])
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		class := argmax(proba)
+		writeJSON(w, http.StatusOK, predictResponse{Model: name, Class: &class, Coalesced: coalesced})
+		return
+	}
+	classes, err := m.PredictBatch(series)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, predictResponse{Model: name, Classes: classes})
+}
+
+func (s *Server) handlePredictProba(w http.ResponseWriter, r *http.Request) {
+	name, m, err := s.model(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	series, single, err := parsePredictRequest(r, m)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if single {
+		proba, coalesced, err := s.predictSingle(r, name, m, series[0])
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, probaResponse{Model: name, Proba: proba, Coalesced: coalesced})
+		return
+	}
+	probas, err := m.PredictProba(series)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, probaResponse{Model: name, Probas: probas})
+}
+
+// predictSingle routes one series through the model's coalescer, falling
+// back to a direct call only when the server is draining (in which case
+// the caller gets 503 via ErrCoalescerClosed).
+func (s *Server) predictSingle(r *http.Request, name string, m *mvg.Model, series []float64) ([]float64, bool, error) {
+	c := s.coalescer(name)
+	if c == nil {
+		return nil, false, ErrCoalescerClosed
+	}
+	proba, err := c.Predict(r.Context(), series)
+	if err != nil {
+		return nil, false, err
+	}
+	return proba, true, nil
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := s.registry.Reload(name); err != nil {
+		code := http.StatusInternalServerError
+		if _, ok := s.registry.Get(name); !ok {
+			code = http.StatusNotFound
+		}
+		writeError(w, httpErrorf(code, "%v", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"model": name, "status": "reloaded"})
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"models": s.registry.List()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"models": len(s.registry.Names()),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WritePrometheus(w)
+}
+
+// argmax returns the index of the largest probability — the same
+// tie-breaking (first maximum wins) as ml.Predict, so coalesced single
+// predictions agree with Model.PredictBatch.
+func argmax(proba []float64) int {
+	return ml.Predict([][]float64{proba})[0]
+}
+
+// ---- middleware ----
+
+// statusRecorder captures the response status for metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.code = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps the mux with panic recovery and metrics: the in-flight
+// gauge, per-route/status counters and the latency histogram.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		finish := s.metrics.RequestStarted()
+		start := time.Now()
+		sr := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		route := routeLabel(r)
+		defer func() {
+			if rec := recover(); rec != nil {
+				if s.logger != nil {
+					s.logger.Printf("panic serving %s %s: %v", r.Method, r.URL.Path, rec)
+				}
+				writeJSON(sr, http.StatusInternalServerError, errorResponse{Error: "internal error"})
+			}
+			finish(route, sr.code, time.Since(start).Seconds())
+			if s.logger != nil && sr.code >= 400 {
+				s.logger.Printf("%s %s -> %d (%.1fms)", r.Method, r.URL.Path, sr.code, float64(time.Since(start).Microseconds())/1000)
+			}
+		}()
+		next.ServeHTTP(sr, r)
+	})
+}
+
+// routeLabel collapses request paths onto low-cardinality metric labels so
+// model names don't explode the per-route counter space.
+func routeLabel(r *http.Request) string {
+	switch {
+	case r.URL.Path == "/healthz":
+		return "healthz"
+	case r.URL.Path == "/metrics":
+		return "metrics"
+	case r.URL.Path == "/v1/models":
+		return "models"
+	case strings.HasSuffix(r.URL.Path, "/predict"):
+		return "predict"
+	case strings.HasSuffix(r.URL.Path, "/predict_proba"):
+		return "predict_proba"
+	case strings.HasSuffix(r.URL.Path, "/reload"):
+		return "reload"
+	}
+	return "other"
+}

@@ -1,0 +1,356 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// newTestServer stands up a Server over a registry with one file-backed
+// model named "demo", wrapped in an httptest.Server.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	model := testModel(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "demo"+ModelExt)
+	if err := model.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	reg.Register("demo", model, path)
+	cfg.Registry = reg
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func get(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// TestHandlers drives every endpoint through its status-code matrix.
+func TestHandlers(t *testing.T) {
+	_, ts := newTestServer(t, Config{Window: time.Millisecond})
+	single := testInputs(1, 10)[0]
+	batch := testInputs(3, 11)
+	short := make([]float64, 7)
+
+	cases := []struct {
+		name     string
+		method   string
+		path     string
+		body     any // nil = no body; string = raw body
+		wantCode int
+		contains string
+	}{
+		{"healthz", "GET", "/healthz", nil, 200, `"status":"ok"`},
+		{"models listing", "GET", "/v1/models", nil, 200, `"name":"demo"`},
+		{"predict single", "POST", "/v1/models/demo/predict", map[string]any{"series": single}, 200, `"class":`},
+		{"predict batch", "POST", "/v1/models/demo/predict", map[string]any{"batch": batch}, 200, `"classes":`},
+		{"proba single", "POST", "/v1/models/demo/predict_proba", map[string]any{"series": single}, 200, `"proba":`},
+		{"proba batch", "POST", "/v1/models/demo/predict_proba", map[string]any{"batch": batch}, 200, `"probas":`},
+		{"unknown model", "POST", "/v1/models/ghost/predict", map[string]any{"series": single}, 404, "unknown model"},
+		{"wrong length", "POST", "/v1/models/demo/predict", map[string]any{"series": short}, 400, "model expects"},
+		{"both series and batch", "POST", "/v1/models/demo/predict", map[string]any{"series": single, "batch": batch}, 400, "exactly one"},
+		{"neither", "POST", "/v1/models/demo/predict", map[string]any{}, 400, "must set"},
+		{"empty batch", "POST", "/v1/models/demo/predict", map[string]any{"batch": [][]float64{}}, 400, "at least one"},
+		{"unknown field", "POST", "/v1/models/demo/predict", map[string]any{"serie": single}, 400, "invalid JSON"},
+		{"invalid JSON", "POST", "/v1/models/demo/predict", "{not json", 400, "invalid JSON"},
+		{"GET predict", "GET", "/v1/models/demo/predict", nil, 405, ""},
+		{"reload", "POST", "/v1/models/demo/reload", nil, 200, "reloaded"},
+		{"reload unknown", "POST", "/v1/models/ghost/reload", nil, 404, "unknown model"},
+		{"unrouted path", "GET", "/v2/nope", nil, 404, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var body io.Reader
+			switch b := tc.body.(type) {
+			case nil:
+			case string:
+				body = strings.NewReader(b)
+			default:
+				raw, err := json.Marshal(b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				body = bytes.NewReader(raw)
+			}
+			req, err := http.NewRequest(tc.method, ts.URL+tc.path, body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != tc.wantCode {
+				t.Fatalf("status = %d, want %d; body: %s", resp.StatusCode, tc.wantCode, data)
+			}
+			if tc.contains != "" && !strings.Contains(string(data), tc.contains) {
+				t.Fatalf("body %q does not contain %q", data, tc.contains)
+			}
+		})
+	}
+}
+
+// TestPredictMatchesModel: the HTTP path (including coalescing) returns
+// exactly what the in-process model returns. Go's JSON encoder emits the
+// shortest round-tripping float representation, so bit-identity survives
+// the wire.
+func TestPredictMatchesModel(t *testing.T) {
+	model := testModel(t)
+	_, ts := newTestServer(t, Config{Window: time.Millisecond})
+	inputs := testInputs(4, 12)
+
+	wantProba, err := model.PredictProba(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantClass, err := model.PredictBatch(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i, s := range inputs {
+		resp, data := postJSON(t, ts.URL+"/v1/models/demo/predict_proba", map[string]any{"series": s})
+		if resp.StatusCode != 200 {
+			t.Fatalf("status %d: %s", resp.StatusCode, data)
+		}
+		var pr probaResponse
+		if err := json.Unmarshal(data, &pr); err != nil {
+			t.Fatal(err)
+		}
+		if !pr.Coalesced {
+			t.Error("single predict_proba should report coalesced=true")
+		}
+		requireSameRow(t, wantProba[i], pr.Proba)
+		sum := 0.0
+		for _, v := range pr.Proba {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			t.Errorf("probabilities sum to %v", sum)
+		}
+
+		resp, data = postJSON(t, ts.URL+"/v1/models/demo/predict", map[string]any{"series": s})
+		if resp.StatusCode != 200 {
+			t.Fatalf("status %d: %s", resp.StatusCode, data)
+		}
+		var cr predictResponse
+		if err := json.Unmarshal(data, &cr); err != nil {
+			t.Fatal(err)
+		}
+		if cr.Class == nil || *cr.Class != wantClass[i] {
+			t.Fatalf("class = %v, want %d", cr.Class, wantClass[i])
+		}
+	}
+
+	// The batch form agrees too.
+	resp, data := postJSON(t, ts.URL+"/v1/models/demo/predict", map[string]any{"batch": inputs})
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var br predictResponse
+	if err := json.Unmarshal(data, &br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Classes) != len(inputs) {
+		t.Fatalf("%d classes for %d series", len(br.Classes), len(inputs))
+	}
+	for i := range br.Classes {
+		if br.Classes[i] != wantClass[i] {
+			t.Fatalf("batch class %d = %d, want %d", i, br.Classes[i], wantClass[i])
+		}
+	}
+}
+
+// TestConcurrentPredicts hammers the HTTP path from many clients; combined
+// with -race this exercises handler + coalescer + registry concurrency.
+func TestConcurrentPredicts(t *testing.T) {
+	_, ts := newTestServer(t, Config{Window: 500 * time.Microsecond, MaxBatch: 8})
+	inputs := testInputs(6, 13)
+	var wg sync.WaitGroup
+	errs := make(chan error, 12)
+	for g := 0; g < 12; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := inputs[g%len(inputs)]
+			resp, data := postJSONQuiet(ts.URL+"/v1/models/demo/predict", map[string]any{"series": s})
+			if resp == nil {
+				errs <- fmt.Errorf("request failed")
+				return
+			}
+			if resp.StatusCode != 200 {
+				errs <- fmt.Errorf("status %d: %s", resp.StatusCode, data)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func postJSONQuiet(url string, body any) (*http.Response, []byte) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return nil, nil
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return nil, nil
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	return resp, data
+}
+
+// TestMetricsEndpoint checks the Prometheus exposition after real traffic.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Window: time.Millisecond})
+	single := testInputs(1, 14)[0]
+	postJSON(t, ts.URL+"/v1/models/demo/predict", map[string]any{"series": single})
+	get(t, ts.URL+"/healthz")
+
+	resp, data := get(t, ts.URL+"/metrics")
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	for _, want := range []string{
+		`mvgserve_requests_total{route="predict",code="200"}`,
+		`mvgserve_requests_total{route="healthz",code="200"}`,
+		"mvgserve_in_flight_requests",
+		"mvgserve_request_duration_seconds_bucket",
+		"mvgserve_batch_size_count",
+		"mvgserve_coalesced_batches_total",
+	} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("metrics output missing %q:\n%s", want, data)
+		}
+	}
+}
+
+// TestGracefulShutdown is the SIGTERM drain integration test: requests in
+// flight when shutdown starts are answered, requests after are rejected.
+func TestGracefulShutdown(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Window: 50 * time.Millisecond, MaxBatch: 64})
+	inputs := testInputs(4, 15)
+
+	// Park requests inside the coalescing window so they are mid-flight
+	// when shutdown begins.
+	var wg sync.WaitGroup
+	errs := make(chan error, len(inputs))
+	for i := range inputs {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, data := postJSONQuiet(ts.URL+"/v1/models/demo/predict", map[string]any{"series": inputs[i]})
+			if resp == nil {
+				errs <- fmt.Errorf("in-flight request dropped during drain")
+				return
+			}
+			if resp.StatusCode != 200 {
+				errs <- fmt.Errorf("in-flight request got %d: %s", resp.StatusCode, data)
+			}
+		}()
+	}
+	time.Sleep(10 * time.Millisecond) // let the requests enter the window
+
+	// Mirror cmd/mvgserve's drain order: stop the listener first (waits
+	// for active handlers, which are blocked on the coalescer), then close
+	// the coalescers.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := ts.Config.Shutdown(ctx); err != nil {
+		t.Fatalf("http shutdown: %v", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("server shutdown: %v", err)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// The coalescer is gone: direct predictions now report draining.
+	rec := httptest.NewRecorder()
+	raw, _ := json.Marshal(map[string]any{"series": inputs[0]})
+	req := httptest.NewRequest("POST", "/v1/models/demo/predict", bytes.NewReader(raw))
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("predict after shutdown = %d, want 503", rec.Code)
+	}
+}
+
+// TestShutdownContextCancelled: a cancelled drain context surfaces as an
+// error instead of hanging.
+func TestShutdownContextCancelled(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Window: time.Hour, MaxBatch: 64})
+	// Park one request behind the hour-long window so the drain has work
+	// to do, then cancel immediately.
+	go postJSONQuiet(ts.URL+"/v1/models/demo/predict", map[string]any{"series": testInputs(1, 16)[0]})
+	time.Sleep(20 * time.Millisecond)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := srv.Shutdown(ctx)
+	// The flush itself is fast, so this may legitimately win the race and
+	// return nil; both outcomes are correct, hanging is the failure mode.
+	if err != nil && !strings.Contains(err.Error(), "context canceled") {
+		t.Fatalf("unexpected shutdown error: %v", err)
+	}
+	// Complete the drain so the parked request is answered.
+	srv.Shutdown(context.Background())
+}

@@ -3,6 +3,7 @@ package mvg
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"mvg/internal/core"
 	"mvg/internal/grids"
@@ -15,8 +16,13 @@ import (
 // Model is a trained MVG classifier: a feature extractor plus a tuned
 // generic classifier (and, for SVM-based configurations, the feature
 // scaler learned on the training set).
+//
+// All trained state is immutable, so a Model is safe for concurrent use;
+// the only mutable field is the worker cap, which SetWorkers may retune
+// while PredictBatch calls are in flight (it is read atomically per call).
 type Model struct {
 	cfg       Config
+	workers   atomic.Int64 // worker cap; cfg.Workers is only the initial value
 	extractor *core.Extractor
 	scaler    *ml.MinMaxScaler // non-nil when the classifier needs scaling
 	clf       ml.Classifier
@@ -53,7 +59,7 @@ func Train(series [][]float64, labels []int, classes int, cfg Config) (*Model, e
 	if err != nil {
 		return nil, err
 	}
-	return &Model{
+	m := &Model{
 		cfg:       cfg,
 		extractor: e,
 		scaler:    scaler,
@@ -61,7 +67,9 @@ func Train(series [][]float64, labels []int, classes int, cfg Config) (*Model, e
 		classes:   classes,
 		names:     e.FeatureNames(len(series[0])),
 		seriesLen: len(series[0]),
-	}, nil
+	}
+	m.workers.Store(int64(cfg.Workers))
+	return m, nil
 }
 
 // fitClassifier tunes and fits the configured classifier family on a
@@ -122,7 +130,7 @@ func fitClassifier(X [][]float64, labels []int, classes int, cfg Config) (ml.Cla
 // features extracts (and scales, if configured) inference features on the
 // parallel batch engine, honouring the model's Config.Workers.
 func (m *Model) features(series [][]float64) ([][]float64, error) {
-	X, err := m.extractor.ExtractDatasetWorkers(series, m.cfg.Workers)
+	X, err := m.extractor.ExtractDatasetWorkers(series, m.Workers())
 	if err != nil {
 		return nil, err
 	}
@@ -177,12 +185,21 @@ func (m *Model) ErrorRate(series [][]float64, labels []int) (float64, error) {
 // Classes returns the number of classes the model was trained with.
 func (m *Model) Classes() int { return m.classes }
 
+// SeriesLen returns the series length the model was trained on. Inputs to
+// PredictBatch and PredictProba must have this length.
+func (m *Model) SeriesLen() int { return m.seriesLen }
+
 // SetWorkers retunes the worker-goroutine cap used by PredictBatch and
 // PredictProba (0 = GOMAXPROCS). Predictions are byte-identical for every
 // worker count, so this only affects throughput — the knob exists so a
 // model trained (or loaded) on one machine can match the parallelism of
-// the machine it serves on.
-func (m *Model) SetWorkers(workers int) { m.cfg.Workers = workers }
+// the machine it serves on. It is safe to call while predictions are in
+// flight: in-flight batches keep the count they started with, later
+// batches pick up the new value.
+func (m *Model) SetWorkers(workers int) { m.workers.Store(int64(workers)) }
+
+// Workers reports the current worker-goroutine cap (0 = GOMAXPROCS).
+func (m *Model) Workers() int { return int(m.workers.Load()) }
 
 // FeatureNames returns the names of the extracted features in order
 // (e.g. "T0.HVG.P(M44)"; the layout is specified in docs/features.md).

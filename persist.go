@@ -4,6 +4,8 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 
 	"mvg/internal/ml"
 	"mvg/internal/ml/xgb"
@@ -88,8 +90,49 @@ func LoadModel(r io.Reader) (*Model, error) {
 		names:     snap.Names,
 		seriesLen: snap.SeriesLen,
 	}
+	m.workers.Store(int64(snap.Cfg.Workers))
 	if snap.ScalerMin != nil {
 		m.scaler = &ml.MinMaxScaler{Min: snap.ScalerMin, Range: snap.ScalerRange}
 	}
 	return m, nil
+}
+
+// SaveFile writes the model to path (see Save for the persistence
+// contract). The file is written atomically: a temporary sibling is
+// created first and renamed over path only after a successful encode, so
+// a concurrent LoadModelFile — e.g. a serving registry reload — never
+// observes a half-written snapshot.
+func (m *Model) SaveFile(path string) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("mvg: save model: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := m.Save(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	// CreateTemp opens 0600; restore normal file permissions so a service
+	// running as a different user than the trainer can read the model.
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		return fmt.Errorf("mvg: save model: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("mvg: save model: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("mvg: save model: %w", err)
+	}
+	return nil
+}
+
+// LoadModelFile restores a model from a file written by SaveFile (or Save).
+func LoadModelFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("mvg: load model: %w", err)
+	}
+	defer f.Close()
+	return LoadModel(f)
 }

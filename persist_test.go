@@ -2,6 +2,7 @@ package mvg
 
 import (
 	"bytes"
+	"path/filepath"
 	"testing"
 )
 
@@ -51,6 +52,35 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	// Importance still available on the reloaded model.
 	if _, err := loaded.FeatureImportance(); err != nil {
 		t.Errorf("importance after reload: %v", err)
+	}
+
+	// The file-based helpers round-trip the same way (the serving
+	// registry's load path).
+	path := filepath.Join(t.TempDir(), "model.mvg")
+	if err := model.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	fromFile, err := LoadModelFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p3, err := fromFile.PredictProba(teX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p1 {
+		for j := range p1[i] {
+			if p1[i][j] != p3[i][j] {
+				t.Fatalf("prediction drift after file reload at [%d][%d]: %v vs %v",
+					i, j, p1[i][j], p3[i][j])
+			}
+		}
+	}
+	if fromFile.Workers() != 0 {
+		t.Errorf("loaded model Workers() = %d, want 0 (GOMAXPROCS)", fromFile.Workers())
+	}
+	if _, err := LoadModelFile(filepath.Join(t.TempDir(), "missing.mvg")); err == nil {
+		t.Error("loading a missing file should fail")
 	}
 }
 
