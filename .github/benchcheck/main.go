@@ -45,11 +45,13 @@ type Baseline struct {
 	Benchmarks map[string]BaselineEntry `json:"benchmarks"`
 }
 
-// BaselineEntry pins exactly what compare() gates — allocs/op only, so
-// the baseline file never implies a check that does not run. Bytes/op and
-// ns/op still travel in the JSON artifact for humans to eyeball.
+// BaselineEntry pins what compare() gates — allocs/op only — plus the
+// baseline's ns/op, which is never gated (wall-clock noise on shared CI
+// runners would make a time gate flap) but is reported as a delta in the
+// job summary so reviewers see speedups and slowdowns at a glance.
 type BaselineEntry struct {
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	NsPerOp     float64 `json:"ns_per_op,omitempty"`
 }
 
 // procSuffix strips the trailing -GOMAXPROCS from a benchmark name so
@@ -64,6 +66,7 @@ func main() {
 		jsonOut  = flag.String("json-out", "", "write parsed results as JSON to this file")
 		update   = flag.Bool("update", false, "rewrite the baseline from the parsed results instead of comparing")
 		tol      = flag.Float64("tolerance", -1, "allowed fractional allocs/op regression (overrides the baseline's own tolerance)")
+		summary  = flag.String("summary-out", "", "write a markdown summary (ns/op deltas vs baseline, allocs gate) to this file")
 	)
 	flag.Parse()
 
@@ -113,6 +116,11 @@ func main() {
 	tolerance := base.Tolerance
 	if *tol >= 0 {
 		tolerance = *tol
+	}
+	if *summary != "" {
+		if err := os.WriteFile(*summary, []byte(markdownSummary(results, base, tolerance)), 0o644); err != nil {
+			fatal(err)
+		}
 	}
 	if err := compare(results, base, tolerance); err != nil {
 		fatal(err)
@@ -202,13 +210,58 @@ func writeBaseline(path string, results map[string]Result, tol float64) error {
 		if res.AllocsPerOp < 0 {
 			return fmt.Errorf("%s has no allocs/op (run the bench with -benchmem)", name)
 		}
-		base.Benchmarks[name] = BaselineEntry{AllocsPerOp: res.AllocsPerOp}
+		base.Benchmarks[name] = BaselineEntry{AllocsPerOp: res.AllocsPerOp, NsPerOp: res.NsPerOp}
 	}
 	raw, err := json.MarshalIndent(base, "", "  ")
 	if err != nil {
 		return err
 	}
 	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// markdownSummary renders the run as a GitHub job-summary table: ns/op
+// with its delta against the pinned baseline (informational — wall time is
+// never gated) and the allocs/op gate verdict.
+func markdownSummary(results map[string]Result, base *Baseline, tolerance float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## Benchmark gate\n\n")
+	fmt.Fprintf(&b, "allocs/op gated at +%.0f%%; ns/op deltas are informational.\n\n", tolerance*100)
+	b.WriteString("| benchmark | ns/op | Δ ns/op vs baseline | B/op | allocs/op | baseline allocs/op | gate |\n")
+	b.WriteString("|---|---:|---:|---:|---:|---:|---|\n")
+	for _, res := range sorted(results) {
+		pin, pinned := base.Benchmarks[res.Name]
+		delta := "n/a"
+		if pinned && pin.NsPerOp > 0 && res.NsPerOp > 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*(res.NsPerOp-pin.NsPerOp)/pin.NsPerOp)
+		}
+		gate := "not pinned"
+		baseAllocs := "—"
+		if pinned {
+			baseAllocs = fmt.Sprintf("%.0f", pin.AllocsPerOp)
+			if res.AllocsPerOp <= pin.AllocsPerOp*(1+tolerance) {
+				gate = "ok"
+			} else {
+				gate = "**FAIL**"
+			}
+		}
+		fmt.Fprintf(&b, "| %s | %.0f | %s | %.0f | %.0f | %s | %s |\n",
+			res.Name, res.NsPerOp, delta, res.BytesPerOp, res.AllocsPerOp, baseAllocs, gate)
+	}
+	// Pinned benchmarks absent from the run fail compare(); surface them in
+	// the table too so the summary never reads green while the job is red.
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		if _, ok := results[name]; !ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pin := base.Benchmarks[name]
+		fmt.Fprintf(&b, "| %s | — | — | — | — | %.0f | **FAIL** (missing from run) |\n",
+			name, pin.AllocsPerOp)
+	}
+	return b.String()
 }
 
 // compare fails when any pinned benchmark is missing from the run or its

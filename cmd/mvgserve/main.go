@@ -8,6 +8,7 @@
 //	mvgserve -models ./models                     # serve every ./models/*.mvg on :8080
 //	mvgserve -models ./models -addr :9000 -window 5ms -max-batch 128
 //	mvgserve -models ./models -workers 4 -shutdown-timeout 30s
+//	mvgserve -models ./models -pprof 127.0.0.1:6060   # opt-in debug listener
 //
 // Endpoints:
 //
@@ -28,7 +29,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -45,6 +48,7 @@ func main() {
 		maxBatch        = flag.Int("max-batch", serve.DefaultMaxBatch, "flush a coalesced batch at this many pending requests")
 		workers         = flag.Int("workers", 0, "worker goroutines per prediction batch (0 = GOMAXPROCS)")
 		shutdownTimeout = flag.Duration("shutdown-timeout", 15*time.Second, "maximum time to drain in-flight requests on SIGTERM")
+		pprofAddr       = flag.String("pprof", "", "serve net/http/pprof on this separate debug address (e.g. 127.0.0.1:6060); empty disables")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "mvgserve: ", log.LstdFlags)
@@ -70,6 +74,35 @@ func main() {
 	})
 	if err != nil {
 		logger.Fatal(err)
+	}
+
+	// The profiling endpoints live on their own listener so they are never
+	// reachable through the serving address: exposing pprof on the traffic
+	// port would leak heap contents and allow trivial CPU-profile DoS. Bind
+	// it to loopback (or a firewalled interface) and keep it off in
+	// production unless actively debugging; see docs/serving.md.
+	if *pprofAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		// Bind synchronously: -pprof is explicit opt-in, so a taken port or
+		// mistyped address must fail startup, not scroll by in a log line
+		// and surface as an unreachable profiler mid-incident.
+		ln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			logger.Fatalf("pprof listener: %v", err)
+		}
+		debugSrv := &http.Server{Handler: mux}
+		go func() {
+			logger.Printf("pprof debug listener on %s", ln.Addr())
+			if err := debugSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Printf("pprof listener: %v", err)
+			}
+		}()
+		defer debugSrv.Close()
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}

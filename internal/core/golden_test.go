@@ -1,0 +1,158 @@
+package core
+
+import (
+	"encoding/json"
+	"flag"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// The golden feature-vector test pins extraction output bit-for-bit across
+// substrate rewrites (the golden file was generated on the pre-CSR
+// slice-of-slices graph core, so any CSR-induced drift — reordered float
+// summation, changed neighbour order — fails here). Regenerate only when a
+// change is *supposed* to alter the features:
+//
+//	go test ./internal/core -run TestGoldenFeatureVectors -update-golden
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden_features.json from current output")
+
+// goldenCase is one (series, options) pair of the pinned corpus.
+type goldenCase struct {
+	Name string `json:"name"`
+	// Bits holds the feature vector as hexadecimal IEEE-754 bit patterns,
+	// so the comparison is exact and the file is diff-stable.
+	Bits []string `json:"bits"`
+}
+
+func goldenSeries() map[string][]float64 {
+	rng := rand.New(rand.NewSource(42))
+	random := make([]float64, 512)
+	for i := range random {
+		random[i] = rng.NormFloat64()
+	}
+	walk := make([]float64, 300)
+	for i := 1; i < len(walk); i++ {
+		walk[i] = walk[i-1] + rng.NormFloat64()
+	}
+	sine := make([]float64, 256)
+	for i := range sine {
+		sine[i] = math.Sin(float64(i)/7) + 0.25*math.Sin(float64(i)/2)
+	}
+	spike := make([]float64, 128)
+	spike[64] = 100
+	alternating := make([]float64, 200)
+	for i := range alternating {
+		alternating[i] = float64(i % 2)
+	}
+	return map[string][]float64{
+		"random512":      random,
+		"walk300":        walk,
+		"sine256":        sine,
+		"spike128":       spike,
+		"alternating200": alternating,
+	}
+}
+
+func goldenOptions() map[string]Options {
+	return map[string]Options{
+		"default":  {},
+		"extended": {Extended: true},
+		"hvg-mpd":  {Graphs: HVGOnly, Features: MPDsOnly},
+		"uvg":      {Scales: Uniscale},
+		"amvg-raw": {Scales: ApproxMultiscale, NoDetrend: true, NoZNormalize: true},
+	}
+}
+
+func bitsOf(v []float64) []string {
+	out := make([]string, len(v))
+	for i, x := range v {
+		out[i] = strconv.FormatUint(math.Float64bits(x), 16)
+	}
+	return out
+}
+
+func TestGoldenFeatureVectors(t *testing.T) {
+	path := filepath.Join("testdata", "golden_features.json")
+	series := goldenSeries()
+	opts := goldenOptions()
+
+	current := map[string][]string{}
+	for on, o := range opts {
+		e, err := NewExtractor(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := NewScratch() // shared scratch: reuse must not perturb output
+		for sn, s := range series {
+			v, err := e.ExtractWith(sc, s)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", on, sn, err)
+			}
+			current[on+"/"+sn] = bitsOf(v)
+		}
+	}
+
+	if *updateGolden {
+		cases := make([]goldenCase, 0, len(current))
+		for name, bits := range current {
+			cases = append(cases, goldenCase{Name: name, Bits: bits})
+		}
+		// Deterministic file order for stable diffs.
+		for i := range cases {
+			for j := i + 1; j < len(cases); j++ {
+				if cases[j].Name < cases[i].Name {
+					cases[i], cases[j] = cases[j], cases[i]
+				}
+			}
+		}
+		raw, err := json.MarshalIndent(cases, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d golden vectors to %s", len(cases), path)
+		return
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-golden to create): %v", err)
+	}
+	var cases []goldenCase
+	if err := json.Unmarshal(raw, &cases); err != nil {
+		t.Fatal(err)
+	}
+	if len(cases) != len(current) {
+		t.Fatalf("golden file has %d cases, current corpus has %d", len(cases), len(current))
+	}
+	for _, c := range cases {
+		got, ok := current[c.Name]
+		if !ok {
+			t.Errorf("golden case %q not produced by current corpus", c.Name)
+			continue
+		}
+		if len(got) != len(c.Bits) {
+			t.Errorf("%s: feature width %d, golden %d", c.Name, len(got), len(c.Bits))
+			continue
+		}
+		for i := range got {
+			if got[i] != c.Bits[i] {
+				gb, _ := strconv.ParseUint(got[i], 16, 64)
+				wb, _ := strconv.ParseUint(c.Bits[i], 16, 64)
+				t.Errorf("%s: feature %d = %v (bits %s), golden %v (bits %s)",
+					c.Name, i, math.Float64frombits(gb), got[i], math.Float64frombits(wb), c.Bits[i])
+				break
+			}
+		}
+	}
+}

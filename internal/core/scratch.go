@@ -8,10 +8,12 @@ import (
 
 // Scratch holds every reusable buffer one extraction worker needs: the
 // preprocessing buffer, the PAA pyramid levels, the visibility-graph
-// builder (edge list and stacks), the graph's adjacency storage, the motif
-// counter's work arrays and the core-decomposition arrays. After warm-up,
-// extracting a series with a Scratch allocates only the returned feature
-// vector.
+// builder (edge list and stacks), the graph's flat CSR arrays (offsets,
+// neighbors, forward splits and the counting-sort work arrays — see
+// docs/perf.md), the motif counter's work arrays and the core-decomposition
+// arrays. After warm-up, extracting a series with a Scratch allocates only
+// the returned feature vector: rebuilding one visibility graph per scale
+// reuses the embedded graph's flat storage in place.
 //
 // A Scratch must not be shared between goroutines; the batch executor
 // (internal/parallel) creates one per worker. See docs/concurrency.md.

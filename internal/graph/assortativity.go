@@ -17,15 +17,18 @@ func (g *Graph) Assortativity() (float64, bool) {
 	// Accumulate over each edge in both directions (the standard symmetric
 	// formulation): r = [M^-1 Σ j_i k_i - (M^-1 Σ (j_i+k_i)/2)^2] /
 	//                   [M^-1 Σ (j_i^2+k_i^2)/2 - (M^-1 Σ (j_i+k_i)/2)^2]
+	g.ensureBuilt()
+	offs, nbrs := g.offsets, g.neighbors
 	var sumJK, sumHalf, sumHalfSq float64
-	for u, nbrs := range g.adj {
-		du := float64(len(g.adj[u]))
-		for _, vi := range nbrs {
+	for u := 0; u < g.N(); u++ {
+		row := nbrs[offs[u]:offs[u+1]]
+		du := float64(len(row))
+		for _, vi := range row {
 			v := int(vi)
 			if v <= u {
 				continue
 			}
-			dv := float64(len(g.adj[v]))
+			dv := float64(offs[v+1] - offs[v])
 			sumJK += du * dv
 			sumHalf += (du + dv) / 2
 			sumHalfSq += (du*du + dv*dv) / 2

@@ -31,16 +31,17 @@ func (g *Graph) DegreeEntropyScratch(s *CoreScratch) float64 {
 	if n == 0 {
 		return 0
 	}
+	g.ensureBuilt()
 	maxDeg := 0
-	for _, nbrs := range g.adj {
-		if len(nbrs) > maxDeg {
-			maxDeg = len(nbrs)
+	for v := 0; v < n; v++ {
+		if d := int(g.offsets[v+1] - g.offsets[v]); d > maxDeg {
+			maxDeg = d
 		}
 	}
 	s.bin = buf.GrowZero(s.bin, maxDeg+1)
 	counts := s.bin
-	for _, nbrs := range g.adj {
-		counts[len(nbrs)]++
+	for v := 0; v < n; v++ {
+		counts[g.offsets[v+1]-g.offsets[v]]++
 	}
 	h := 0.0
 	for _, c := range counts {
@@ -57,19 +58,20 @@ func (g *Graph) DegreeEntropyScratch(s *CoreScratch) float64 {
 // 3·triangles / wedges (0 when the graph has no wedges). It measures how
 // often visibility neighbourhoods close into triangles, complementing the
 // motif probability distribution with a single scale-free summary.
-// O(Σ_v d_v · d̄) time via sorted adjacency intersection.
+// O(Σ_v d_v · d̄) time via merge-scan intersection of contiguous CSR rows,
+// visiting each edge once through the forward ranges.
 func (g *Graph) Transitivity() float64 {
-	g.ensureSorted()
+	g.ensureBuilt()
+	offs, nbrs := g.offsets, g.neighbors
+	fwd := g.forward
 	var wedges, triangles3 int64 // triangles3 = 3 × #triangles = Σ_e tri_e
 	for u := 0; u < g.N(); u++ {
-		du := int64(len(g.adj[u]))
+		ru := nbrs[offs[u]:offs[u+1]]
+		du := int64(len(ru))
 		wedges += du * (du - 1) / 2
-		for _, vi := range g.adj[u] {
-			v := int(vi)
-			if v <= u {
-				continue
-			}
-			triangles3 += int64(sortedIntersectionSize(g.adj[u], g.adj[v]))
+		for p := fwd[u]; p < offs[u+1]; p++ {
+			v := nbrs[p]
+			triangles3 += int64(sortedIntersectionSize(ru, nbrs[offs[v]:offs[v+1]]))
 		}
 	}
 	if wedges == 0 {

@@ -1,25 +1,53 @@
 // Package graph provides the undirected-graph substrate used by the MVG
-// pipeline: a compact adjacency representation plus the statistical graph
-// features the paper extracts — density, degree statistics, k-core number
-// (degeneracy) via the Batagelj–Zaversnik O(m) algorithm, and the degree
-// assortativity coefficient (Newman's r).
+// pipeline: a flat compressed-sparse-row (CSR) representation plus the
+// statistical graph features the paper extracts — density, degree
+// statistics, k-core number (degeneracy) via the Batagelj–Zaversnik O(m)
+// algorithm, and the degree assortativity coefficient (Newman's r).
+//
+// # Memory layout
+//
+// A built graph is two flat arrays: offsets (length N+1) and neighbors
+// (length 2M). The adjacency row of vertex v is the contiguous slice
+// neighbors[offsets[v]:offsets[v+1]], always sorted ascending. The layout
+// is produced from an edge stream by a two-pass counting scatter (degree
+// count → prefix sum → destination-grouped scatter → source-row scatter)
+// that emits every row already sorted, so no comparison sort ever runs —
+// see docs/perf.md for the construction in detail. All per-feature walks
+// (motif counting, core decomposition, transitivity, assortativity)
+// traverse these contiguous rows, which is what keeps their constants low
+// on the sparse graphs visibility transforms produce.
 package graph
 
 import (
 	"errors"
 	"fmt"
-	"slices"
 	"sort"
 
 	"mvg/internal/buf"
 )
 
 // Graph is a simple undirected graph on vertices 0..N-1 with sorted
-// adjacency lists and no self-loops or parallel edges.
+// adjacency rows stored in compressed-sparse-row form and no self-loops or
+// parallel edges.
+//
+// The flat edge list (elist) is the construction-time source of truth;
+// the CSR arrays are (re)built from it lazily after mutation. Bulk
+// constructors (BuildUnchecked, FromEdges*) build eagerly, so the hot
+// extraction path never takes the lazy branch. All backing arrays are
+// retained across Reset/BuildUnchecked, so rebuilding a graph of similar
+// size performs no allocations.
 type Graph struct {
-	adj    [][]int32
-	m      int  // number of edges
-	sorted bool // adjacency lists sorted (maintained by Build/AddEdge+Finalize)
+	n         int
+	m         int     // number of edges
+	offsets   []int32 // len n+1 when built; row v is neighbors[offsets[v]:offsets[v+1]]
+	neighbors []int32 // len 2m when built; each row sorted ascending
+	forward   []int32 // len n when built; index in neighbors of the first entry of row v that is > v
+
+	elist []int32 // flat (u,v) edge pairs, len 2m
+	dirty bool    // elist has edges not yet folded into the CSR arrays
+
+	scatter []int32 // counting-sort work array: arc sources grouped by destination
+	cursor  []int32 // counting-sort work array: per-vertex write cursors
 }
 
 // ErrVertexRange is returned when an edge endpoint is out of range.
@@ -30,52 +58,67 @@ func New(n int) *Graph {
 	if n < 0 {
 		n = 0
 	}
-	return &Graph{adj: make([][]int32, n), sorted: true}
+	g := &Graph{}
+	g.Reset(n)
+	return g
 }
 
 // N returns the number of vertices.
-func (g *Graph) N() int { return len(g.adj) }
+func (g *Graph) N() int { return g.n }
 
 // M returns the number of edges.
 func (g *Graph) M() int { return g.m }
 
-// Degree returns the degree of vertex v.
-func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+// ensureBuilt folds pending edges into the CSR arrays. Bulk-built graphs
+// are always built; only the incremental AddEdge path goes lazy.
+func (g *Graph) ensureBuilt() {
+	if g.dirty {
+		g.build()
+	}
+}
 
-// Neighbors returns the sorted adjacency list of v. The returned slice is
-// owned by the graph and must not be modified.
+// row returns the sorted adjacency row of v. Internal consumers call it
+// after ensureBuilt; the public accessor is Neighbors.
+func (g *Graph) row(v int) []int32 {
+	return g.neighbors[g.offsets[v]:g.offsets[v+1]]
+}
+
+// Degree returns the degree of vertex v.
+func (g *Graph) Degree(v int) int {
+	g.ensureBuilt()
+	return int(g.offsets[v+1] - g.offsets[v])
+}
+
+// Neighbors returns the sorted adjacency row of v. The returned slice is a
+// view into the graph's flat neighbor array and must not be modified; it is
+// valid until the graph is next mutated or rebuilt.
 func (g *Graph) Neighbors(v int) []int32 {
-	g.ensureSorted()
-	return g.adj[v]
+	g.ensureBuilt()
+	return g.row(v)
 }
 
 // AddEdge inserts the undirected edge (u,v). Self-loops and duplicate edges
-// are rejected with an error. Adjacency order is restored lazily.
+// are rejected with an error. The CSR arrays are rebuilt lazily on the next
+// read; incremental insertion is intended for small test graphs, while bulk
+// construction goes through BuildUnchecked/FromEdges.
 func (g *Graph) AddEdge(u, v int) error {
-	n := len(g.adj)
-	if u < 0 || u >= n || v < 0 || v >= n {
-		return fmt.Errorf("%w: (%d,%d) with n=%d", ErrVertexRange, u, v, n)
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return fmt.Errorf("%w: (%d,%d) with n=%d", ErrVertexRange, u, v, g.n)
 	}
 	if u == v {
 		return fmt.Errorf("graph: self-loop at %d", u)
 	}
-	if g.HasEdge(u, v) {
-		return fmt.Errorf("graph: duplicate edge (%d,%d)", u, v)
+	u32, v32 := int32(u), int32(v)
+	for i := 0; i < len(g.elist); i += 2 {
+		a, b := g.elist[i], g.elist[i+1]
+		if (a == u32 && b == v32) || (a == v32 && b == u32) {
+			return fmt.Errorf("graph: duplicate edge (%d,%d)", u, v)
+		}
 	}
-	g.adj[u] = append(g.adj[u], int32(v))
-	g.adj[v] = append(g.adj[v], int32(u))
+	g.elist = append(g.elist, u32, v32)
 	g.m++
-	g.sorted = false
+	g.dirty = true
 	return nil
-}
-
-// addEdgeUnchecked appends an edge assuming the caller guarantees validity
-// and uniqueness; used by bulk constructors.
-func (g *Graph) addEdgeUnchecked(u, v int) {
-	g.adj[u] = append(g.adj[u], int32(v))
-	g.adj[v] = append(g.adj[v], int32(u))
-	g.m++
-	g.sorted = false
 }
 
 // FromEdges builds a graph on n vertices from an edge list. Duplicate edges
@@ -87,7 +130,7 @@ func FromEdges(n int, edges [][2]int) (*Graph, error) {
 			return nil, err
 		}
 	}
-	g.ensureSorted()
+	g.ensureBuilt()
 	return g, nil
 }
 
@@ -95,83 +138,155 @@ func FromEdges(n int, edges [][2]int) (*Graph, error) {
 // list (as produced by the visibility-graph constructors) without the
 // per-edge membership checks of FromEdges.
 func FromEdgesUnchecked(n int, edges [][2]int) *Graph {
-	g := New(n)
+	g := &Graph{}
 	g.BuildUnchecked(n, edges)
 	return g
 }
 
 // Reset reinitializes g in place to an edgeless graph on n vertices,
-// retaining previously allocated adjacency storage so that rebuilding a
-// graph of similar size performs no allocations. The zero Graph value is
-// ready for Reset.
+// retaining previously allocated storage so that rebuilding a graph of
+// similar size performs no allocations. The zero Graph value is ready for
+// Reset.
 func (g *Graph) Reset(n int) {
 	if n < 0 {
 		n = 0
 	}
-	if cap(g.adj) >= n {
-		g.adj = g.adj[:n]
-	} else {
-		g.adj = append(g.adj[:cap(g.adj)], make([][]int32, n-cap(g.adj))...)
-	}
-	for v := range g.adj {
-		g.adj[v] = g.adj[v][:0]
-	}
+	g.n = n
 	g.m = 0
-	g.sorted = true
+	g.elist = g.elist[:0]
+	g.offsets = buf.GrowZero(g.offsets, n+1)
+	g.forward = buf.GrowZero(g.forward, n)
+	g.neighbors = g.neighbors[:0]
+	g.dirty = false
 }
 
 // BuildUnchecked resets g to n vertices and bulk-loads a known-valid,
 // duplicate-free edge list, reusing g's backing storage. It is the in-place
 // counterpart of FromEdgesUnchecked, used by hot loops (core.Scratch) that
-// build one visibility graph per scale and discard it immediately.
+// build one visibility graph per scale and discard it immediately. The edge
+// stream is consumed directly by the counting-sort CSR build; edges may
+// alias a reusable builder buffer (it is copied, not retained).
 func (g *Graph) BuildUnchecked(n int, edges [][2]int) {
-	g.Reset(n)
-	for _, e := range edges {
-		g.addEdgeUnchecked(e[0], e[1])
+	if n < 0 {
+		n = 0
 	}
-	g.ensureSorted()
+	g.n = n
+	g.m = len(edges)
+	el := buf.Grow(g.elist, 2*len(edges))
+	for i, e := range edges {
+		el[2*i] = int32(e[0])
+		el[2*i+1] = int32(e[1])
+	}
+	g.elist = el
+	g.build()
 }
 
-func (g *Graph) ensureSorted() {
-	if g.sorted {
-		return
+// build constructs the CSR arrays from the flat edge list with a counting
+// sort that leaves every row sorted, in O(n + m) with no comparisons:
+//
+//  1. count degrees into offsets and prefix-sum them,
+//  2. scatter arc *sources* into buckets grouped by arc *destination*
+//     (bucket boundaries are the same offsets array — for undirected arcs
+//     the in-degree equals the degree),
+//  3. walk destinations in ascending order, appending each destination to
+//     its sources' rows; since destinations ascend and each row cursor only
+//     moves forward, every row comes out sorted.
+func (g *Graph) build() {
+	n, arcs := g.n, 2*g.m
+	g.offsets = buf.GrowZero(g.offsets, n+1)
+	g.forward = buf.GrowZero(g.forward, n)
+	offsets, forward := g.offsets, g.forward
+	el := g.elist
+	for i := 0; i < len(el); i += 2 {
+		u, v := el[i], el[i+1]
+		offsets[u+1]++
+		offsets[v+1]++
+		// Count forward degrees (neighbors greater than the vertex): the
+		// smaller endpoint of each edge gains one forward neighbor.
+		if u < v {
+			forward[u]++
+		} else {
+			forward[v]++
+		}
 	}
-	for _, nbrs := range g.adj {
-		slices.Sort(nbrs)
+	for v := 0; v < n; v++ {
+		offsets[v+1] += offsets[v]
 	}
-	g.sorted = true
+	// Forward count → absolute index of the first forward entry of each row.
+	for v := 0; v < n; v++ {
+		forward[v] = offsets[v+1] - forward[v]
+	}
+	g.scatter = buf.Grow(g.scatter, arcs)
+	g.cursor = buf.Grow(g.cursor, n)
+	scatter, cursor := g.scatter, g.cursor
+	copy(cursor, offsets[:n])
+	for i := 0; i < len(el); i += 2 {
+		u, v := el[i], el[i+1]
+		scatter[cursor[v]] = u
+		cursor[v]++
+		scatter[cursor[u]] = v
+		cursor[u]++
+	}
+	g.neighbors = buf.Grow(g.neighbors, arcs)
+	neighbors := g.neighbors
+	copy(cursor, offsets[:n])
+	for d := 0; d < n; d++ {
+		d32 := int32(d)
+		for p := offsets[d]; p < offsets[d+1]; p++ {
+			s := scatter[p]
+			neighbors[cursor[s]] = d32
+			cursor[s]++
+		}
+	}
+	g.dirty = false
+}
+
+// CSR returns the graph's flat compressed-sparse-row arrays: offsets has
+// length N()+1 and neighbors concatenates the sorted adjacency rows (length
+// 2·M()), with row v at neighbors[offsets[v]:offsets[v+1]]. Feature kernels
+// (motif counting, core decomposition) hoist these once and index directly,
+// avoiding a method call and dirty-check per inner-loop row access. The
+// returned slices are owned by the graph, must not be modified, and are
+// valid until the graph is next mutated or rebuilt.
+func (g *Graph) CSR() (offsets, neighbors []int32) {
+	g.ensureBuilt()
+	return g.offsets, g.neighbors
+}
+
+// Forward returns the per-vertex forward-split array: forward[v] is the
+// index in the CSR neighbor array of the first entry of row v greater than
+// v, so neighbors[forward[v]:offsets[v+1]] lists v's higher-numbered
+// neighbors and neighbors[offsets[v]:forward[v]] its lower-numbered ones
+// (each edge appears exactly once across all forward ranges). Kernels that
+// enumerate each edge or triangle once iterate forward ranges instead of
+// filtering full rows. Ownership and validity follow CSR.
+func (g *Graph) Forward() []int32 {
+	g.ensureBuilt()
+	return g.forward
 }
 
 // HasEdge reports whether the undirected edge (u,v) exists.
 func (g *Graph) HasEdge(u, v int) bool {
-	n := len(g.adj)
-	if u < 0 || u >= n || v < 0 || v >= n || u == v {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n || u == v {
 		return false
 	}
-	// Search the shorter list.
-	a := g.adj[u]
-	if len(g.adj[v]) < len(a) {
-		a = g.adj[v]
+	g.ensureBuilt()
+	// Search the shorter row.
+	a := g.row(u)
+	if b := g.row(v); len(b) < len(a) {
+		a = b
 		v = u
 	}
-	if g.sorted {
-		i := sort.Search(len(a), func(i int) bool { return a[i] >= int32(v) })
-		return i < len(a) && a[i] == int32(v)
-	}
-	for _, w := range a {
-		if w == int32(v) {
-			return true
-		}
-	}
-	return false
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= int32(v) })
+	return i < len(a) && a[i] == int32(v)
 }
 
 // Edges returns all edges as (u,v) pairs with u < v, in vertex order.
 func (g *Graph) Edges() [][2]int {
-	g.ensureSorted()
+	g.ensureBuilt()
 	out := make([][2]int, 0, g.m)
-	for u, nbrs := range g.adj {
-		for _, v := range nbrs {
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.row(u) {
 			if int(v) > u {
 				out = append(out, [2]int{u, int(v)})
 			}
@@ -189,9 +304,10 @@ func (g *Graph) Degrees() []int {
 // and returns the filled slice. Passing a reused buffer avoids the
 // allocation of Degrees.
 func (g *Graph) DegreesInto(dst []int) []int {
-	dst = buf.Grow(dst, len(g.adj))
-	for v := range g.adj {
-		dst[v] = len(g.adj[v])
+	g.ensureBuilt()
+	dst = buf.Grow(dst, g.n)
+	for v := 0; v < g.n; v++ {
+		dst[v] = int(g.offsets[v+1] - g.offsets[v])
 	}
 	return dst
 }
@@ -199,8 +315,8 @@ func (g *Graph) DegreesInto(dst []int) []int {
 // Density returns 2|E| / (|V| (|V|-1)) (equation 2 of the paper).
 // Graphs with fewer than two vertices have density 0.
 func (g *Graph) Density() float64 {
-	n := float64(g.N())
-	if g.N() < 2 {
+	n := float64(g.n)
+	if g.n < 2 {
 		return 0
 	}
 	return 2 * float64(g.m) / (n * (n - 1))
@@ -209,16 +325,14 @@ func (g *Graph) Density() float64 {
 // DegreeStats returns the maximum, minimum and mean vertex degree.
 // All are 0 for the empty graph.
 func (g *Graph) DegreeStats() (maxDeg, minDeg int, meanDeg float64) {
-	n := g.N()
-	if n == 0 {
+	if g.n == 0 {
 		return 0, 0, 0
 	}
-	maxDeg = len(g.adj[0])
+	g.ensureBuilt()
+	maxDeg = int(g.offsets[1])
 	minDeg = maxDeg
-	total := 0
-	for _, nbrs := range g.adj {
-		d := len(nbrs)
-		total += d
+	for v := 1; v < g.n; v++ {
+		d := int(g.offsets[v+1] - g.offsets[v])
 		if d > maxDeg {
 			maxDeg = d
 		}
@@ -226,16 +340,17 @@ func (g *Graph) DegreeStats() (maxDeg, minDeg int, meanDeg float64) {
 			minDeg = d
 		}
 	}
-	return maxDeg, minDeg, float64(total) / float64(n)
+	return maxDeg, minDeg, 2 * float64(g.m) / float64(g.n)
 }
 
 // IsConnected reports whether the graph is connected (the empty graph and
 // single-vertex graph count as connected).
 func (g *Graph) IsConnected() bool {
-	n := g.N()
+	n := g.n
 	if n <= 1 {
 		return true
 	}
+	g.ensureBuilt()
 	seen := make([]bool, n)
 	stack := []int{0}
 	seen[0] = true
@@ -243,7 +358,7 @@ func (g *Graph) IsConnected() bool {
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, w := range g.adj[v] {
+		for _, w := range g.row(v) {
 			if !seen[w] {
 				seen[w] = true
 				count++

@@ -23,6 +23,7 @@ func (g *Graph) CoreNumbers() []int {
 // returned slice aliases s and is valid until the next call with the same
 // scratch.
 func (g *Graph) CoreNumbersScratch(s *CoreScratch) []int {
+	g.ensureBuilt()
 	n := g.N()
 	// No zero-fill needed: the peel loop assigns core[v] for every vertex.
 	s.core = buf.Grow(s.core, n)
@@ -63,10 +64,11 @@ func (g *Graph) CoreNumbersScratch(s *CoreScratch) []int {
 		fill[deg[v]]++
 	}
 	// Peel vertices in nondecreasing degree order.
+	offs, nbrs := g.offsets, g.neighbors
 	for i := 0; i < n; i++ {
 		v := vert[i]
 		core[v] = deg[v]
-		for _, wi := range g.adj[v] {
+		for _, wi := range nbrs[offs[v]:offs[v+1]] {
 			w := int(wi)
 			if deg[w] > deg[v] {
 				dw := deg[w]

@@ -4,11 +4,12 @@
 // probability distributions (MPDs) the MVG feature extractor consumes.
 //
 // It plays the role PGD (Ahmed et al., ICDM 2015) plays in the paper: exact
-// counts obtained from edge-centric triangle/clique enumeration combined
-// with combinatorial identities, rather than explicit subgraph enumeration.
-// The per-graph cost is O(Σ_v d_v²) for the wedge/co-degree passes plus the
-// 4-clique enumeration, which is fast on the sparse graphs visibility
-// transforms produce.
+// counts obtained from triangle/clique enumeration over the graph's
+// compressed-sparse-row forward ranges combined with combinatorial
+// identities, rather than explicit subgraph enumeration. The per-graph cost
+// is O(Σ_v d_v²) for the triangle/co-degree passes plus the 4-clique
+// enumeration, with small constants on the sparse graphs visibility
+// transforms produce because every scan walks contiguous sorted rows.
 package motif
 
 import (
@@ -137,13 +138,14 @@ func choose4(n int64) int64 {
 }
 
 // Counter computes motif counts with reusable scratch arrays (degree
-// sequence, triangle incidence sums, intersection and co-degree buffers),
-// so per-graph counting performs no allocations after warm-up. The zero
-// value is ready for use; a Counter must not be shared between goroutines.
+// sequence, per-arc triangle counts, triangle incidence sums and co-degree
+// buffers), so per-graph counting performs no allocations after warm-up.
+// The zero value is ready for use; a Counter must not be shared between
+// goroutines.
 type Counter struct {
 	deg        []int
 	vertTriSum []int64
-	common     []int32
+	arcTri     []int32
 	codeg      []int32
 	touched    []int32
 }
@@ -151,9 +153,9 @@ type Counter struct {
 // Count computes exact induced counts of all 11 motifs of size ≤ 4 of g.
 // It is the convenience form of Counter.Count with throwaway scratch.
 //
-// Strategy: one pass over edges intersecting sorted adjacency lists yields
-// per-edge triangle counts and 4-clique enumeration; a wedge pass yields
-// co-degree pair statistics (non-induced 4-cycles); degree aggregates give
+// Strategy: a single forward-range triangle enumeration yields per-edge
+// triangle counts and direct 4-clique counts; a wedge pass yields co-degree
+// pair statistics (non-induced 4-cycles); degree aggregates give
 // non-induced stars, paths and paws. Induced counts then follow from the
 // standard inclusion–exclusion identities between non-induced and induced
 // subgraph counts, and the disconnected motifs from complement identities
@@ -186,36 +188,64 @@ func (ctr *Counter) Count(g *graph.Graph) Counts {
 		wedges += choose2(int64(d))
 	}
 
-	// Edge pass: triangles per edge, Σ C(tri_e,2), per-vertex triangle
-	// incidence sums, non-induced P4s, and 4-clique enumeration.
+	// Triangle pass over the CSR forward ranges: every triangle u<v<w is
+	// enumerated exactly once by merge-scanning the two sorted suffixes of
+	// rows u and v that lie beyond v. Each match w is found at its absolute
+	// positions in both rows, so the per-edge triangle counts tri_e
+	// accumulate into a flat arc-indexed array with no intersection-list
+	// materialization. 4-cliques are counted directly from each triangle: x
+	// completes {u,v,w,x} with x>w iff x appears in all three row suffixes
+	// beyond w, a 3-way merge over contiguous memory.
+	offs, nbrs := g.CSR() // hoisted flat rows: no per-access method call
+	fwd := g.Forward()
+	ctr.arcTri = buf.GrowZero(ctr.arcTri, len(nbrs))
+	arcTri := ctr.arcTri // tri_e at the forward-arc position of each edge
+	var k4 int64
+	for u := 0; u < g.N(); u++ {
+		end := int(offs[u+1])
+		for p := int(fwd[u]); p < end; p++ {
+			v := nbrs[p]
+			su := nbrs[p+1 : end]    // row-u entries > v
+			pv := int(fwd[v])        // row-v forward start
+			sv := nbrs[pv:offs[v+1]] // row-v entries > v
+			i, j := 0, 0
+			for i < len(su) && j < len(sv) {
+				switch a, b := su[i], sv[j]; {
+				case a < b:
+					i++
+				case a > b:
+					j++
+				default: // triangle (u, v, w) with w = a
+					w := a
+					arcTri[p]++
+					arcTri[p+1+i]++
+					arcTri[pv+j]++
+					k4 += int64(count3(su[i+1:], sv[j+1:], nbrs[fwd[w]:offs[w+1]]))
+					i++
+					j++
+				}
+			}
+		}
+	}
+
+	// Per-edge aggregation: Σ tri_e, Σ C(tri_e,2), per-vertex triangle
+	// incidence sums and non-induced P4s, all from the arc-indexed counts.
 	var (
 		triTotal3   int64 // Σ_e tri_e = 3 × #triangles
 		triPairsSum int64 // Σ_e C(tri_e, 2)
 		p4Non       int64 // Σ_e [(d_u-1)(d_v-1) - tri_e]
-		k4Six       int64 // 6 × #K4
 	)
 	ctr.vertTriSum = buf.GrowZero(ctr.vertTriSum, g.N())
 	vertTriSum := ctr.vertTriSum // Σ over incident edges of tri_e (= 2·tri_v)
-	common := ctr.common[:0]
 	for u := 0; u < g.N(); u++ {
-		nu := g.Neighbors(u)
-		for _, vi := range nu {
-			v := int(vi)
-			if v <= u {
-				continue
-			}
-			nv := g.Neighbors(v)
-			common = intersect(common[:0], nu, nv)
-			te := int64(len(common))
+		for p := fwd[u]; p < offs[u+1]; p++ {
+			v := nbrs[p]
+			te := int64(arcTri[p])
 			triTotal3 += te
 			triPairsSum += choose2(te)
 			vertTriSum[u] += te
 			vertTriSum[v] += te
 			p4Non += int64(deg[u]-1)*int64(deg[v]-1) - te
-			// 4-cliques: adjacent pairs inside the common neighbourhood.
-			for wi, w := range common {
-				k4Six += int64(countIntersect(g.Neighbors(int(w)), common[wi+1:]))
-			}
 		}
 	}
 	tri := triTotal3 / 3
@@ -234,8 +264,6 @@ func (ctr *Counter) Count(g *graph.Graph) Counts {
 		clawNon += choose3(int64(d))
 	}
 
-	ctr.common = common // retain the grown intersection buffer for reuse
-
 	// Non-induced 4-cycles via co-degrees: each cycle has two diagonals.
 	c4Doubled := ctr.codegreePairSum(g)
 	c4Non := c4Doubled / 2
@@ -247,7 +275,6 @@ func (ctr *Counter) Count(g *graph.Graph) Counts {
 	c.M34 = choose3(n64) - c.M31 - c.M32 - c.M33
 
 	// ---- Size 4 connected induced ----
-	k4 := k4Six / 6
 	diamond := triPairsSum - 6*k4
 	cycle4 := c4Non - diamond - 3*k4
 	paw := pawNon - 4*diamond - 12*k4
@@ -278,60 +305,57 @@ func (ctr *Counter) Count(g *graph.Graph) Counts {
 	return c
 }
 
-// intersect appends the sorted intersection of two sorted int32 slices to
-// dst and returns it.
-func intersect(dst, a, b []int32) []int32 {
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] < b[j]:
+// count3 returns the size of the 3-way intersection of sorted int32 slices
+// by advancing the pointer(s) at the current minimum.
+func count3(a, b, c []int32) int {
+	i, j, k, cnt := 0, 0, 0, 0
+	for i < len(a) && j < len(b) && k < len(c) {
+		x, y, z := a[i], b[j], c[k]
+		if x == y && y == z {
+			cnt++
 			i++
-		case a[i] > b[j]:
 			j++
-		default:
-			dst = append(dst, a[i])
+			k++
+			continue
+		}
+		m := min(x, min(y, z))
+		if x == m {
 			i++
+		}
+		if y == m {
 			j++
 		}
-	}
-	return dst
-}
-
-// countIntersect returns |a ∩ b| for sorted slices.
-func countIntersect(a, b []int32) int {
-	i, j, c := 0, 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] < b[j]:
-			i++
-		case a[i] > b[j]:
-			j++
-		default:
-			c++
-			i++
-			j++
+		if z == m {
+			k++
 		}
 	}
-	return c
+	return cnt
 }
 
 // codegreePairSum returns Σ over unordered vertex pairs {a,c} of
 // C(codeg(a,c), 2), where codeg is the number of common neighbours. Each
 // non-induced 4-cycle is counted exactly twice (once per diagonal). The
 // computation iterates wedges per low endpoint with an O(n) scratch array.
+// Because CSR rows are sorted ascending, the wedge tips c > a form a suffix
+// of each row, so the inner scan walks backwards and stops at the first
+// tip ≤ a instead of filtering the whole row.
 func (ctr *Counter) codegreePairSum(g *graph.Graph) int64 {
 	n := g.N()
+	offs, nbrs := g.CSR()
 	ctr.codeg = buf.GrowZero(ctr.codeg, n)
 	codeg := ctr.codeg
 	touched := ctr.touched[:0]
 	defer func() { ctr.touched = touched }()
 	var sum int64
 	for a := 0; a < n; a++ {
+		a32 := int32(a)
 		touched = touched[:0]
-		for _, vi := range g.Neighbors(a) {
-			for _, ci := range g.Neighbors(int(vi)) {
-				if int(ci) <= a {
-					continue
+		for _, vi := range nbrs[offs[a]:offs[a+1]] {
+			rv := nbrs[offs[vi]:offs[vi+1]]
+			for j := len(rv) - 1; j >= 0; j-- {
+				ci := rv[j]
+				if ci <= a32 {
+					break
 				}
 				if codeg[ci] == 0 {
 					touched = append(touched, ci)

@@ -1,0 +1,191 @@
+package visibility
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+
+	"mvg/internal/graph"
+)
+
+// Differential coverage for the CSR substrate under the visibility
+// builders: the fast VG/HVG constructors (divide-and-conquer and stack
+// builders feeding the counting-sort CSR build) are pinned against the
+// naive O(n²) definition-driven references on adversarial and fuzzed
+// series. Adversarial shapes matter because they exercise the degenerate
+// graph layouts: monotone series produce a near-clique at the maximum
+// (worst-case row lengths), constant series produce a path (HVG) and
+// clique-free chains, spikes produce stars, and alternating series produce
+// maximal-degree combs.
+
+func adversarialSeries() map[string][]float64 {
+	monotoneUp := make([]float64, 64)
+	monotoneDown := make([]float64, 64)
+	constant := make([]float64, 64)
+	alternating := make([]float64, 64)
+	spike := make([]float64, 64)
+	staircase := make([]float64, 64)
+	for i := range monotoneUp {
+		monotoneUp[i] = float64(i)
+		monotoneDown[i] = float64(-i)
+		constant[i] = 3.5
+		alternating[i] = float64(i % 2)
+		staircase[i] = float64(i / 8)
+	}
+	spike[32] = 1e9
+	return map[string][]float64{
+		"monotone-up":   monotoneUp,
+		"monotone-down": monotoneDown,
+		"constant":      constant,
+		"alternating":   alternating,
+		"single-spike":  spike,
+		"staircase":     staircase,
+		"two-points":    {1, 2},
+		"equal-pair":    {1, 1},
+	}
+}
+
+// identicalGraphs asserts g and ref agree exactly: vertex and edge counts,
+// every sorted CSR row, and the forward split invariant.
+func identicalGraphs(t *testing.T, name string, g, ref *graph.Graph) {
+	t.Helper()
+	if g.N() != ref.N() || g.M() != ref.M() {
+		t.Fatalf("%s: N/M = %d/%d, reference %d/%d", name, g.N(), g.M(), ref.N(), ref.M())
+	}
+	offs, nbrs := g.CSR()
+	fwd := g.Forward()
+	for v := 0; v < g.N(); v++ {
+		got, want := g.Neighbors(v), ref.Neighbors(v)
+		if len(got) != len(want) {
+			t.Fatalf("%s: degree(%d) = %d, reference %d", name, v, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s: row %d = %v, reference %v", name, v, got, want)
+			}
+			if i > 0 && got[i-1] >= got[i] {
+				t.Fatalf("%s: row %d not strictly sorted: %v", name, v, got)
+			}
+		}
+		for p := offs[v]; p < offs[v+1]; p++ {
+			if (p < fwd[v]) != (nbrs[p] < int32(v)) {
+				t.Fatalf("%s: forward split of vertex %d broken", name, v)
+			}
+		}
+	}
+}
+
+func buildCSR(t *testing.T, b *Builder, series []float64, hvg bool) *graph.Graph {
+	t.Helper()
+	var (
+		edges [][2]int
+		err   error
+	)
+	if hvg {
+		edges, err = b.HVGEdges(series)
+	} else {
+		edges, err = b.VGEdges(series)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g graph.Graph
+	g.BuildUnchecked(len(series), edges)
+	return &g
+}
+
+func TestCSRBuildersAgainstNaiveAdversarial(t *testing.T) {
+	var b Builder
+	for name, series := range adversarialSeries() {
+		vgRef, err := VGNaive(series)
+		if err != nil {
+			t.Fatal(err)
+		}
+		identicalGraphs(t, name+"/vg", buildCSR(t, &b, series, false), vgRef)
+		hvgRef, err := HVGNaive(series)
+		if err != nil {
+			t.Fatal(err)
+		}
+		identicalGraphs(t, name+"/hvg", buildCSR(t, &b, series, true), hvgRef)
+	}
+}
+
+func TestCSRBuildersAgainstNaiveRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	var b Builder // shared across iterations: reuse must not perturb output
+	for iter := 0; iter < 60; iter++ {
+		series := randomSeries(2+rng.Intn(120), rng)
+		// Random plateaus exercise the equal-height blocking rules.
+		if iter%3 == 0 {
+			for i := range series {
+				series[i] = math.Round(series[i] * 2)
+			}
+		}
+		vgRef, err := VGNaive(series)
+		if err != nil {
+			t.Fatal(err)
+		}
+		identicalGraphs(t, "vg", buildCSR(t, &b, series, false), vgRef)
+		hvgRef, err := HVGNaive(series)
+		if err != nil {
+			t.Fatal(err)
+		}
+		identicalGraphs(t, "hvg", buildCSR(t, &b, series, true), hvgRef)
+	}
+}
+
+// seriesFromBytes decodes fuzz bytes into a bounded finite series, one
+// point per byte, spanning positive, negative and repeated values.
+func seriesFromBytes(data []byte) []float64 {
+	if len(data) > 256 {
+		data = data[:256]
+	}
+	series := make([]float64, len(data))
+	for i, b := range data {
+		series[i] = float64(int(b)-128) / 8
+	}
+	return series
+}
+
+// FuzzCSRBuildersAgainstNaive differentially fuzzes the production path
+// (fast builders + counting-sort CSR build) against both O(n²) references.
+func FuzzCSRBuildersAgainstNaive(f *testing.F) {
+	for _, series := range adversarialSeries() {
+		buf := make([]byte, len(series))
+		for i, v := range series {
+			buf[i] = byte(int(math.Min(math.Max(v, -16), 15)*8) + 128)
+		}
+		f.Add(buf)
+	}
+	var lenBuf [8]byte
+	binary.LittleEndian.PutUint64(lenBuf[:], 42)
+	f.Add(lenBuf[:])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		series := seriesFromBytes(data)
+		if len(series) < 2 {
+			t.Skip()
+		}
+		var b Builder
+		vgRef, err := VGNaive(series)
+		if err != nil {
+			t.Fatal(err)
+		}
+		identicalGraphs(t, "vg", buildCSR(t, &b, series, false), vgRef)
+		hvgRef, err := HVGNaive(series)
+		if err != nil {
+			t.Fatal(err)
+		}
+		identicalGraphs(t, "hvg", buildCSR(t, &b, series, true), hvgRef)
+
+		// The HVG is a subgraph of the VG on any series (Lacasa et al.).
+		hvg := buildCSR(t, &b, series, true)
+		vg := buildCSR(t, &b, series, false)
+		for _, e := range hvg.Edges() {
+			if !vg.HasEdge(e[0], e[1]) {
+				t.Fatalf("HVG edge %v missing from VG", e)
+			}
+		}
+	})
+}

@@ -16,6 +16,8 @@ import (
 // earlier to later vertices (the "left-to-right viewpoint" convention).
 type Digraph struct {
 	// Out[i] lists j > i visible from i; In[j] lists i < j seeing j.
+	// Both are sorted ascending. The rows are views into one flat
+	// compressed-sparse-row array shared with the graph build.
 	Out [][]int32
 	In  [][]int32
 	m   int
@@ -57,38 +59,59 @@ func newDigraph(n int) *Digraph {
 	return &Digraph{Out: make([][]int32, n), In: make([][]int32, n)}
 }
 
-func (d *Digraph) addEdge(i, j int) {
-	d.Out[i] = append(d.Out[i], int32(j))
-	d.In[j] = append(d.In[j], int32(i))
-	d.m++
+// orient converts an undirected visibility graph into its time-directed
+// form. In a visibility graph every edge connects an earlier to a later
+// time step, so vertex v's in-neighbors are exactly its lower-numbered CSR
+// row entries and its out-neighbors the higher-numbered ones: the Digraph
+// is two subslice views per row over the graph's flat neighbor array, with
+// no per-edge work and no edge-list materialization (the former
+// implementation round-tripped through the allocating Edges()).
+func orient(g *graph.Graph) *Digraph {
+	offs, nbrs := g.CSR()
+	fwd := g.Forward()
+	d := newDigraph(g.N())
+	d.m = g.M()
+	for v := 0; v < g.N(); v++ {
+		d.In[v] = nbrs[offs[v]:fwd[v]]
+		d.Out[v] = nbrs[fwd[v]:offs[v+1]]
+	}
+	return d
 }
 
 // DirectedVG builds the time-directed natural visibility graph: the same
 // edge set as VG, with every edge oriented from the earlier to the later
 // time step.
 func DirectedVG(t []float64) (*Digraph, error) {
-	g, err := VG(t)
-	if err != nil {
-		return nil, err
-	}
-	return orient(g), nil
+	var b Builder
+	return b.DirectedVG(t)
 }
 
 // DirectedHVG builds the time-directed horizontal visibility graph.
 func DirectedHVG(t []float64) (*Digraph, error) {
-	g, err := HVG(t)
+	var b Builder
+	return b.DirectedHVG(t)
+}
+
+// DirectedVG is the builder variant of the package-level DirectedVG: the
+// edge scan reuses the builder's buffers, so batch conversion allocates
+// only the returned Digraph. The result does not alias the builder and
+// stays valid across further builder calls.
+func (b *Builder) DirectedVG(t []float64) (*Digraph, error) {
+	edges, err := b.VGEdges(t)
 	if err != nil {
 		return nil, err
 	}
-	return orient(g), nil
+	return orient(graph.FromEdgesUnchecked(len(t), edges)), nil
 }
 
-func orient(g *graph.Graph) *Digraph {
-	d := newDigraph(g.N())
-	for _, e := range g.Edges() {
-		d.addEdge(e[0], e[1])
+// DirectedHVG is the builder variant of the package-level DirectedHVG; see
+// (*Builder).DirectedVG for the reuse contract.
+func (b *Builder) DirectedHVG(t []float64) (*Digraph, error) {
+	edges, err := b.HVGEdges(t)
+	if err != nil {
+		return nil, err
 	}
-	return d
+	return orient(graph.FromEdgesUnchecked(len(t), edges)), nil
 }
 
 // WeightedEdge is a visibility edge annotated with the view angle between
@@ -102,25 +125,28 @@ type WeightedEdge struct {
 
 // WeightedVG returns the natural visibility graph as a weighted edge list.
 func WeightedVG(t []float64) ([]WeightedEdge, error) {
-	g, err := VG(t)
+	var b Builder
+	edges, err := b.VGEdges(t)
 	if err != nil {
 		return nil, err
 	}
-	return weight(t, g), nil
+	return weight(t, edges), nil
 }
 
 // WeightedHVG returns the horizontal visibility graph as a weighted edge
 // list.
 func WeightedHVG(t []float64) ([]WeightedEdge, error) {
-	g, err := HVG(t)
+	var b Builder
+	edges, err := b.HVGEdges(t)
 	if err != nil {
 		return nil, err
 	}
-	return weight(t, g), nil
+	return weight(t, edges), nil
 }
 
-func weight(t []float64, g *graph.Graph) []WeightedEdge {
-	edges := g.Edges()
+// weight annotates the builder's edge list directly (every visibility edge
+// is emitted as (earlier, later), so no orientation pass is needed).
+func weight(t []float64, edges [][2]int) []WeightedEdge {
 	out := make([]WeightedEdge, len(edges))
 	for k, e := range edges {
 		out[k] = WeightedEdge{
