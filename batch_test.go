@@ -1,6 +1,7 @@
 package mvg
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -108,14 +109,14 @@ func TestPredictBatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	test, _ := predictableDataset(t, 2)
-	want, err := model.PredictBatch(test)
+	want, err := model.PredictBatch(context.Background(), test)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(want) != len(test) {
 		t.Fatalf("%d predictions for %d series", len(want), len(test))
 	}
-	got, err := model.Predict(test)
+	got, err := model.Predict(context.Background(), test)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +126,7 @@ func TestPredictBatch(t *testing.T) {
 		}
 	}
 	for i, s := range test[:4] {
-		one, err := model.PredictBatch([][]float64{s})
+		one, err := model.PredictBatch(context.Background(), [][]float64{s})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -150,7 +151,7 @@ func TestPredictBatchRace(t *testing.T) {
 		go func() {
 			// Each goroutine drives its own batch through the shared model;
 			// extraction scratch is per-worker inside each call.
-			_, err := model.PredictBatch(test)
+			_, err := model.PredictBatch(context.Background(), test)
 			done <- err
 		}()
 	}
@@ -173,7 +174,7 @@ func TestSetWorkersRace(t *testing.T) {
 		t.Fatal(err)
 	}
 	test, _ := predictableDataset(t, 6)
-	want, err := model.PredictBatch(test)
+	want, err := model.PredictBatch(context.Background(), test)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +186,7 @@ func TestSetWorkersRace(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for k := 0; k < 3; k++ {
-				got, err := model.PredictBatch(test)
+				got, err := model.PredictBatch(context.Background(), test)
 				if err != nil {
 					errs <- err
 					return

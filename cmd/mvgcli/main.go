@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -75,7 +76,11 @@ func main() {
 		fmt.Printf("train: %d samples, test: %d samples, %d classes, length %d\n",
 			train.Len(), test.Len(), train.Classes(), train.SeriesLength())
 		t0 := time.Now()
-		model, err = mvg.Train(train.Series, train.Labels, train.Classes(), cfg)
+		pipe, err := mvg.NewPipeline(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		model, err = pipe.Train(context.Background(), train.Series, train.Labels, train.Classes())
 		if err != nil {
 			fatal(err)
 		}
@@ -83,7 +88,7 @@ func main() {
 	}
 
 	t1 := time.Now()
-	errRate, err := model.ErrorRate(test.Series, test.Labels)
+	errRate, err := model.ErrorRate(context.Background(), test.Series, test.Labels)
 	if err != nil {
 		fatal(err)
 	}

@@ -1,0 +1,76 @@
+package mvg
+
+import (
+	"errors"
+	"fmt"
+
+	"mvg/internal/core"
+)
+
+// The public error taxonomy. Every sentinel is matchable with errors.Is
+// through any level of wrapping, and the structured kinds (ConfigError,
+// ShapeError) are additionally extractable with errors.As to recover the
+// offending field or dimensions. The serving layer maps these onto HTTP
+// statuses: ErrBadConfig, ErrShapeMismatch and ErrSeriesTooShort are
+// caller mistakes (400), everything else is a server fault (500). See
+// docs/api.md for the full taxonomy.
+var (
+	// ErrBadConfig reports an invalid Config. NewPipeline validates
+	// eagerly, so the error surfaces at pipeline construction rather than
+	// on the first batch. Wrapped by *ConfigError, which names the field.
+	ErrBadConfig = errors.New("mvg: invalid configuration")
+
+	// ErrSeriesTooShort reports a series that cannot produce a single
+	// visibility graph under the configured scales (Definition 3.1: every
+	// scale at or below τ points is discarded, and a graph needs at least
+	// two vertices).
+	ErrSeriesTooShort = core.ErrSeriesTooShort
+
+	// ErrShapeMismatch reports inputs whose dimensions do not line up: an
+	// empty batch, a labels slice of a different length than the series
+	// batch, a prediction series whose length differs from the training
+	// length, or a multivariate sample with the wrong channel count.
+	// Wrapped by *ShapeError, which carries the observed and expected
+	// dimensions.
+	ErrShapeMismatch = errors.New("mvg: input shape mismatch")
+
+	// ErrPipelineClosed is returned by every Pipeline method (and by the
+	// methods of a Model bound to that Pipeline) after Close: the worker
+	// pool has been released and the pipeline no longer accepts work.
+	ErrPipelineClosed = errors.New("mvg: pipeline closed")
+)
+
+// ConfigError reports which Config field made a Pipeline unbuildable. It
+// matches errors.Is(err, ErrBadConfig) and is the errors.As target for
+// recovering the field programmatically.
+type ConfigError struct {
+	Field string // the Config field name, e.g. "Scale"
+	Value string // the rejected value
+	Want  string // human-readable description of the accepted values
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("mvg: invalid Config.%s %q (want %s)", e.Field, e.Value, e.Want)
+}
+
+// Unwrap makes errors.Is(err, ErrBadConfig) hold.
+func (e *ConfigError) Unwrap() error { return ErrBadConfig }
+
+// ShapeError reports an input whose dimensions do not match what the
+// pipeline or model expects. It matches errors.Is(err, ErrShapeMismatch)
+// and is the errors.As target for recovering the dimensions.
+type ShapeError struct {
+	What string // what was mis-shaped, e.g. "series batch" or "labels"
+	Got  int    // the observed count or length
+	Want int    // the expected value; negative when any non-zero value would do
+}
+
+func (e *ShapeError) Error() string {
+	if e.Want < 0 {
+		return fmt.Sprintf("mvg: %s mismatch: got %d, want at least 1", e.What, e.Got)
+	}
+	return fmt.Sprintf("mvg: %s mismatch: got %d, want %d", e.What, e.Got, e.Want)
+}
+
+// Unwrap makes errors.Is(err, ErrShapeMismatch) hold.
+func (e *ShapeError) Unwrap() error { return ErrShapeMismatch }

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -56,11 +57,16 @@ func main() {
 		fmt.Println()
 	}
 
-	model, err := mvg.Train(train.Series, train.Labels, train.Classes(), mvg.Config{Seed: 5})
+	pipe, err := mvg.NewPipeline(mvg.Config{Seed: 5})
 	if err != nil {
 		log.Fatal(err)
 	}
-	errRate, err := model.ErrorRate(test.Series, test.Labels)
+	defer pipe.Close()
+	model, err := pipe.Train(context.Background(), train.Series, train.Labels, train.Classes())
+	if err != nil {
+		log.Fatal(err)
+	}
+	errRate, err := model.ErrorRate(context.Background(), test.Series, test.Labels)
 	if err != nil {
 		log.Fatal(err)
 	}

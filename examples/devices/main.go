@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -25,24 +26,33 @@ func main() {
 	fmt.Println("classes: 1=fridge (short duty cycles), 2=oven (long plateau), 3=washer (agitation bursts)")
 	fmt.Println()
 
+	ctx := context.Background()
 	for _, clf := range []string{"xgb", "rf", "svm", "stack"} {
-		cfg := mvg.Config{Classifier: clf, Seed: 3}
-		t0 := time.Now()
-		model, err := mvg.Train(train.Series, train.Labels, train.Classes(), cfg)
+		pipe, err := mvg.NewPipeline(mvg.Config{Classifier: clf, Seed: 3})
 		if err != nil {
 			log.Fatal(err)
 		}
-		errRate, err := model.ErrorRate(test.Series, test.Labels)
+		t0 := time.Now()
+		model, err := pipe.Train(ctx, train.Series, train.Labels, train.Classes())
+		if err != nil {
+			log.Fatal(err)
+		}
+		errRate, err := model.ErrorRate(ctx, test.Series, test.Labels)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("  %-6s error rate = %.3f  (train+test %.1fs)\n",
 			clf, errRate, time.Since(t0).Seconds())
+		pipe.Close()
 	}
 
 	// The xgb back end can explain which graph features matter.
-	model, err := mvg.Train(train.Series, train.Labels, train.Classes(),
-		mvg.Config{Classifier: "xgb", Seed: 3})
+	pipe, err := mvg.NewPipeline(mvg.Config{Classifier: "xgb", Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer pipe.Close()
+	model, err := pipe.Train(ctx, train.Series, train.Labels, train.Classes())
 	if err != nil {
 		log.Fatal(err)
 	}

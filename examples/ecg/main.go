@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,11 +26,16 @@ func main() {
 	fmt.Println("classes: 1=normal beat, 2=inverted T wave, 3=ST elevation")
 
 	// MVG pipeline.
-	model, err := mvg.Train(train.Series, train.Labels, train.Classes(), mvg.Config{Seed: 7})
+	pipe, err := mvg.NewPipeline(mvg.Config{Seed: 7})
 	if err != nil {
 		log.Fatal(err)
 	}
-	mvgErr, err := model.ErrorRate(test.Series, test.Labels)
+	defer pipe.Close()
+	model, err := pipe.Train(context.Background(), train.Series, train.Labels, train.Classes())
+	if err != nil {
+		log.Fatal(err)
+	}
+	mvgErr, err := model.ErrorRate(context.Background(), test.Series, test.Labels)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -48,7 +54,7 @@ func main() {
 	fmt.Printf("\nerror rates:  MVG = %.3f   1NN-DTW = %.3f\n", mvgErr, dtwErr)
 
 	// Per-class recall for the MVG model.
-	pred, err := model.Predict(test.Series)
+	pred, err := model.Predict(context.Background(), test.Series)
 	if err != nil {
 		log.Fatal(err)
 	}

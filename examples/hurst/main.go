@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -49,11 +50,16 @@ func main() {
 			hNames[c], a.density/float64(a.n), a.meanDeg/float64(a.n), a.maxDeg/float64(a.n))
 	}
 
-	model, err := mvg.Train(train.Series, train.Labels, train.Classes(), mvg.Config{Seed: 9})
+	pipe, err := mvg.NewPipeline(mvg.Config{Seed: 9})
 	if err != nil {
 		log.Fatal(err)
 	}
-	errRate, err := model.ErrorRate(test.Series, test.Labels)
+	defer pipe.Close()
+	model, err := pipe.Train(context.Background(), train.Series, train.Labels, train.Classes())
+	if err != nil {
+		log.Fatal(err)
+	}
+	errRate, err := model.ErrorRate(context.Background(), test.Series, test.Labels)
 	if err != nil {
 		log.Fatal(err)
 	}

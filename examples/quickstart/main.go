@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -54,17 +55,26 @@ func main() {
 	fmt.Println()
 
 	// --- Part 3: train, predict, score ---------------------------------
-	model, err := mvg.Train(trainX, trainY, 2, mvg.Config{Seed: 1})
+	// A Pipeline is built once (Config validated eagerly, worker pool
+	// spawned) and reused for every batch; all methods take a context for
+	// cooperative cancellation.
+	ctx := context.Background()
+	pipe, err := mvg.NewPipeline(mvg.Config{Seed: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
-	errRate, err := model.ErrorRate(testX, testY)
+	defer pipe.Close()
+	model, err := pipe.Train(ctx, trainX, trainY, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	errRate, err := model.ErrorRate(ctx, testX, testY)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("-- classification: sine vs sawtooth, error rate = %.3f --\n", errRate)
 
-	pred, err := model.Predict(testX[:5])
+	pred, err := model.Predict(ctx, testX[:5])
 	if err != nil {
 		log.Fatal(err)
 	}

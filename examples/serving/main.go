@@ -30,7 +30,10 @@ func main() {
 	// ---- 1. Train and save a model (normally done offline; mvgcli -save) ----
 	series, labels := dataset(1)
 	fmt.Println("training a small sine-vs-noise classifier...")
-	model, err := mvg.Train(series, labels, 2, mvg.Config{Folds: 2, Seed: 1})
+	pipe, err := mvg.NewPipeline(mvg.Config{Folds: 2, Seed: 1})
+	check(err)
+	defer pipe.Close()
+	model, err := pipe.Train(context.Background(), series, labels, 2)
 	check(err)
 
 	dir, err := os.MkdirTemp("", "mvgserve-demo")

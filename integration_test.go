@@ -1,6 +1,7 @@
 package mvg
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -41,7 +42,7 @@ func TestDiskPipelineRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	errRate, err := model.ErrorRate(testBack.Series, testBack.Labels)
+	errRate, err := model.ErrorRate(context.Background(), testBack.Series, testBack.Labels)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func TestDiskPipelineRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	errRate2, err := loaded.ErrorRate(testBack.Series, testBack.Labels)
+	errRate2, err := loaded.ErrorRate(context.Background(), testBack.Series, testBack.Labels)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"mvg/internal/buf"
@@ -270,6 +271,11 @@ func (e *Extractor) ExtractDataset(series [][]float64) ([][]float64, error) {
 // and are byte-identical for every worker count: jobs are index-addressed
 // and each worker runs the pure per-series extraction with its own private
 // scratch (see internal/parallel and docs/concurrency.md).
+//
+// Scratch is created per call; long-lived callers that extract many
+// (often small) batches should hold a persistent pool and use
+// ExtractDatasetPool instead, which keeps the warm scratch buffers alive
+// across calls.
 func (e *Extractor) ExtractDatasetWorkers(series [][]float64, workers int) ([][]float64, error) {
 	n := len(series)
 	if n == 0 {
@@ -277,21 +283,62 @@ func (e *Extractor) ExtractDatasetWorkers(series [][]float64, workers int) ([][]
 	}
 	out := make([][]float64, n)
 	err := parallel.ForEachScratch(workers, n, NewScratch, func(sc *Scratch, i int) error {
-		v, err := e.ExtractWith(sc, series[i])
-		if err != nil {
-			return fmt.Errorf("core: series %d: %w", i, err)
-		}
-		out[i] = v
-		return nil
+		return e.extractRow(sc, series, out, i)
 	})
 	if err != nil {
 		return nil, err
 	}
+	if err := checkWidths(out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ExtractDatasetPool is ExtractDatasetWorkers running on a caller-owned
+// persistent worker pool: per-worker Scratch buffers survive across calls
+// instead of being rebuilt per batch, and the context is checked between
+// per-series jobs so a cancelled batch stops burning CPU promptly
+// (returning ctx.Err()). This is the engine behind mvg.Pipeline. The
+// output is byte-identical to ExtractDatasetWorkers for every worker
+// count — extraction is a pure function of each series.
+func (e *Extractor) ExtractDatasetPool(ctx context.Context, pool *parallel.Pool[*Scratch], workers int, series [][]float64) ([][]float64, error) {
+	n := len(series)
+	if n == 0 {
+		return nil, fmt.Errorf("core: empty dataset")
+	}
+	out := make([][]float64, n)
+	err := pool.ForEach(ctx, workers, n, func(sc *Scratch, i int) error {
+		return e.extractRow(sc, series, out, i)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := checkWidths(out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// extractRow is the shared per-series job body of the two batch entry
+// points: extract series[i] into out[i] with the worker's scratch.
+func (e *Extractor) extractRow(sc *Scratch, series [][]float64, out [][]float64, i int) error {
+	v, err := e.ExtractWith(sc, series[i])
+	if err != nil {
+		return fmt.Errorf("core: series %d: %w", i, err)
+	}
+	out[i] = v
+	return nil
+}
+
+// checkWidths verifies every row of a completed batch has the width of
+// row 0 — the invariant classifiers rely on, broken only by datasets
+// mixing series lengths.
+func checkWidths(out [][]float64) error {
 	width := len(out[0])
 	for i, v := range out {
 		if len(v) != width {
-			return nil, fmt.Errorf("core: inconsistent feature width: series %d has %d, series 0 has %d (unequal series lengths?)", i, len(v), width)
+			return fmt.Errorf("core: inconsistent feature width: series %d has %d, series 0 has %d (unequal series lengths?)", i, len(v), width)
 		}
 	}
-	return out, nil
+	return nil
 }

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mvg/internal/parallel"
+)
+
+// TestGoldenFeatureVectorsPool pins the persistent-pool batch path
+// (ExtractDatasetPool, the engine behind mvg.Pipeline) against the same
+// golden corpus as TestGoldenFeatureVectors, at several worker counts and
+// with the scratch deliberately warmed by earlier batches: pool reuse and
+// parallelism must not perturb a single bit of the feature output.
+func TestGoldenFeatureVectorsPool(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("testdata", "golden_features.json"))
+	if err != nil {
+		t.Fatalf("missing golden file: %v", err)
+	}
+	var cases []goldenCase
+	if err := json.Unmarshal(raw, &cases); err != nil {
+		t.Fatal(err)
+	}
+	golden := make(map[string][]string, len(cases))
+	for _, c := range cases {
+		golden[c.Name] = c.Bits
+	}
+
+	series := goldenSeries()
+	pool := parallel.NewPool(NewScratch)
+	defer pool.Close()
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		for on, o := range goldenOptions() {
+			e, err := NewExtractor(o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for sn, s := range series {
+				name := on + "/" + sn
+				want, ok := golden[name]
+				if !ok {
+					t.Fatalf("golden case %q missing from file", name)
+				}
+				// A batch of copies of the same series spreads across the
+				// workers; the pool's goroutines keep their scratch from
+				// every earlier (option, workers) round, which is exactly
+				// the reuse being pinned. Every row must match the golden
+				// bits.
+				batch := make([][]float64, 8)
+				for k := range batch {
+					batch[k] = s
+				}
+				X, err := e.ExtractDatasetPool(context.Background(), pool, workers, batch)
+				if err != nil {
+					t.Fatalf("workers=%d %s: %v", workers, name, err)
+				}
+				for k := range X {
+					got := bitsOf(X[k])
+					if len(got) != len(want) {
+						t.Fatalf("workers=%d %s row %d: width %d, golden %d", workers, name, k, len(got), len(want))
+					}
+					for i := range got {
+						if got[i] != want[i] {
+							t.Errorf("workers=%d %s row %d: feature %d bits %s, golden %s",
+								workers, name, k, i, got[i], want[i])
+							break
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"mvg/internal/core"
@@ -60,8 +61,8 @@ func (r *Runner) RunFigure6() error {
 			grids.SVM(r.Cfg.gridSize(), r.Cfg.Seed),
 		}
 		for j, candidates := range families {
-			model, _, err := modelsel.Best(candidates, trainX, run.Train.Labels,
-				classes, 3, run.Family.Imbalanced, r.Cfg.Seed, 0)
+			model, _, err := modelsel.Best(context.Background(), nil, candidates, trainX,
+				run.Train.Labels, classes, 3, run.Family.Imbalanced, r.Cfg.Seed)
 			if err != nil {
 				return fmt.Errorf("%s family %d: %w", run.Family.Name, j, err)
 			}

@@ -10,6 +10,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -141,8 +142,8 @@ func (c Config) evalRepresentation(run DatasetRun, opts core.Options) (float64, 
 	total := 0.0
 	for rep := 0; rep < c.repeats(); rep++ {
 		seed := c.Seed + int64(rep)*101
-		model, _, err := modelsel.Best(grids.XGB(c.gridSize(), seed),
-			trainX, run.Train.Labels, classes, 3, run.Family.Imbalanced, seed, 0)
+		model, _, err := modelsel.Best(context.Background(), nil, grids.XGB(c.gridSize(), seed),
+			trainX, run.Train.Labels, classes, 3, run.Family.Imbalanced, seed)
 		if err != nil {
 			return 0, err
 		}

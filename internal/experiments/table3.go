@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -78,8 +79,8 @@ func (c Config) mvgPipeline(run DatasetRun) (errRate, featSec, clfSec float64, e
 
 	t1 := time.Now()
 	classes := run.Train.Classes()
-	model, _, err := modelsel.Best(grids.XGB(c.gridSize(), c.Seed),
-		trainX, run.Train.Labels, classes, 3, run.Family.Imbalanced, c.Seed, 0)
+	model, _, err := modelsel.Best(context.Background(), nil, grids.XGB(c.gridSize(), c.Seed),
+		trainX, run.Train.Labels, classes, 3, run.Family.Imbalanced, c.Seed)
 	if err != nil {
 		return 0, 0, 0, err
 	}

@@ -4,6 +4,7 @@
 package modelsel
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -118,14 +119,22 @@ type CVResult struct {
 }
 
 // CrossValidate scores one candidate configuration with stratified k-fold
-// CV, optionally oversampling each training split.
-func CrossValidate(c ml.Classifier, X [][]float64, y []int, classes, folds int, oversample bool, seed int64) (CVResult, error) {
+// CV, optionally oversampling each training split. The context is checked
+// between folds, so a cancelled grid search stops mid-candidate rather
+// than finishing every remaining fold.
+func CrossValidate(ctx context.Context, c ml.Classifier, X [][]float64, y []int, classes, folds int, oversample bool, seed int64) (CVResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	fs, err := StratifiedKFolds(y, folds, seed)
 	if err != nil {
 		return CVResult{}, err
 	}
 	var totalLL, totalER float64
 	for hold := range fs {
+		if err := ctx.Err(); err != nil {
+			return CVResult{}, err
+		}
 		trX, trY, vaX, vaY := Split(X, y, fs, hold)
 		if oversample {
 			trX, trY = Oversample(trX, trY, classes, seed+int64(hold))
@@ -145,25 +154,36 @@ func CrossValidate(c ml.Classifier, X [][]float64, y []int, classes, folds int, 
 	return CVResult{Candidate: c, LogLoss: totalLL / n, ErrorRate: totalER / n}, nil
 }
 
-// GridSearch cross-validates every candidate on the shared worker-pool
-// executor (internal/parallel; workers <= 0 selects GOMAXPROCS) and returns
-// the results sorted by ascending log loss (best first, original grid order
-// breaking ties so the outcome is deterministic regardless of the worker
-// count). Candidates that fail to train are skipped; an error is returned
-// only if all fail.
-func GridSearch(candidates []ml.Classifier, X [][]float64, y []int, classes, folds int, oversample bool, seed int64, workers int) ([]CVResult, error) {
+// GridSearch cross-validates every candidate on the given executor — the
+// persistent pool of an mvg.Pipeline, or parallel.Limit(workers) for
+// one-shot searches (run == nil defaults to Limit(0), i.e. GOMAXPROCS
+// per-call goroutines) — and returns the results sorted by ascending log
+// loss (best first, original grid order breaking ties so the outcome is
+// deterministic regardless of the worker count). The context cancels the
+// search between cross-validation jobs, returning ctx.Err(). Candidates
+// that fail to train are skipped; an error is returned only if all fail.
+func GridSearch(ctx context.Context, run parallel.Runner, candidates []ml.Classifier, X [][]float64, y []int, classes, folds int, oversample bool, seed int64) ([]CVResult, error) {
 	if len(candidates) == 0 {
 		return nil, fmt.Errorf("modelsel: no candidates")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if run == nil {
+		run = parallel.Limit(0)
 	}
 	type slot struct {
 		res CVResult
 		err error
 	}
 	slots := make([]slot, len(candidates))
-	parallel.ForEach(workers, len(candidates), func(i int) error {
-		slots[i].res, slots[i].err = CrossValidate(candidates[i], X, y, classes, folds, oversample, seed)
+	err := run.Run(ctx, len(candidates), func(i int) error {
+		slots[i].res, slots[i].err = CrossValidate(ctx, candidates[i], X, y, classes, folds, oversample, seed)
 		return nil // per-candidate failures are tolerated below
 	})
+	if err != nil {
+		return nil, err // cancellation (or executor shutdown), not a candidate failure
+	}
 
 	var results []CVResult
 	var lastErr error
@@ -182,10 +202,10 @@ func GridSearch(candidates []ml.Classifier, X [][]float64, y []int, classes, fol
 }
 
 // Best runs GridSearch and returns the winning configuration refitted on
-// the full (optionally oversampled) training set. workers <= 0 selects
-// GOMAXPROCS.
-func Best(candidates []ml.Classifier, X [][]float64, y []int, classes, folds int, oversample bool, seed int64, workers int) (ml.Classifier, []CVResult, error) {
-	results, err := GridSearch(candidates, X, y, classes, folds, oversample, seed, workers)
+// the full (optionally oversampled) training set. See GridSearch for the
+// executor and cancellation semantics.
+func Best(ctx context.Context, run parallel.Runner, candidates []ml.Classifier, X [][]float64, y []int, classes, folds int, oversample bool, seed int64) (ml.Classifier, []CVResult, error) {
+	results, err := GridSearch(ctx, run, candidates, X, y, classes, folds, oversample, seed)
 	if err != nil {
 		return nil, nil, err
 	}

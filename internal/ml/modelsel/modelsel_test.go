@@ -1,6 +1,7 @@
 package modelsel
 
 import (
+	"context"
 	"testing"
 
 	"mvg/internal/ml"
@@ -91,14 +92,14 @@ func TestCrossValidateAndGridSearch(t *testing.T) {
 	X, y := mltest.Blobs(90, 2, 4, 0.8, 5)
 	good := cart.New(cart.Params{MaxDepth: 6})
 	bad := cart.New(cart.Params{MaxDepth: 1, MinSamplesLeaf: 40})
-	res, err := CrossValidate(good, X, y, 2, 3, false, 1)
+	res, err := CrossValidate(context.Background(), good, X, y, 2, 3, false, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.ErrorRate > 0.15 {
 		t.Errorf("CV error rate = %v for separable blobs", res.ErrorRate)
 	}
-	results, err := GridSearch([]ml.Classifier{bad, good}, X, y, 2, 3, false, 1, 0)
+	results, err := GridSearch(context.Background(), nil, []ml.Classifier{bad, good}, X, y, 2, 3, false, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +112,7 @@ func TestCrossValidateAndGridSearch(t *testing.T) {
 	if results[0].Candidate != ml.Classifier(good) {
 		t.Error("deeper tree should win on separable blobs")
 	}
-	if _, err := GridSearch(nil, X, y, 2, 3, false, 1, 0); err == nil {
+	if _, err := GridSearch(context.Background(), nil, nil, X, y, 2, 3, false, 1); err == nil {
 		t.Error("empty grid should fail")
 	}
 }
@@ -122,7 +123,7 @@ func TestBestRefitsOnFullData(t *testing.T) {
 		cart.New(cart.Params{MaxDepth: 2}),
 		cart.New(cart.Params{MaxDepth: 8}),
 	}
-	model, results, err := Best(cands, X, y, 3, 3, true, 1, 0)
+	model, results, err := Best(context.Background(), nil, cands, X, y, 3, 3, true, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,12 +6,14 @@
 package stack
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"mvg/internal/ml"
 	"mvg/internal/ml/linear"
 	"mvg/internal/ml/modelsel"
+	"mvg/internal/parallel"
 )
 
 // Family is a named pool of candidate configurations (e.g. every XGBoost
@@ -107,12 +109,26 @@ func (e *Ensemble) Members() []Member { return e.members }
 //  3. compute combination weights with a logistic-regression meta-learner
 //     trained on out-of-fold base predictions (line 13),
 //  4. refit every selected base estimator on the full training set.
+//
+// Fit satisfies ml.Classifier by running FitContext with a background
+// context on a per-call executor capped at Params.Workers.
 func (e *Ensemble) Fit(X [][]float64, y []int, classes int) error {
+	return e.FitContext(context.Background(), parallel.Limit(e.P.Workers), X, y, classes)
+}
+
+// FitContext is Fit with cooperative cancellation and an explicit
+// grid-search executor — mvg.Pipeline hands in its persistent pool here.
+// The context is checked between grid-search jobs, folds and member
+// refits; a cancelled fit returns ctx.Err().
+func (e *Ensemble) FitContext(ctx context.Context, run parallel.Runner, X [][]float64, y []int, classes int) error {
 	if err := ml.CheckTrainingSet(X, y, classes); err != nil {
 		return err
 	}
 	if len(e.families) == 0 {
 		return fmt.Errorf("stack: no families configured")
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	p := e.P.withDefaults()
 	e.P = p
@@ -121,7 +137,7 @@ func (e *Ensemble) Fit(X [][]float64, y []int, classes int) error {
 
 	// 1–2: select top-k candidates per family by CV log loss.
 	for _, fam := range e.families {
-		results, err := modelsel.GridSearch(fam.Candidates, X, y, classes, p.Folds, p.Oversample, p.Seed, p.Workers)
+		results, err := modelsel.GridSearch(ctx, run, fam.Candidates, X, y, classes, p.Folds, p.Oversample, p.Seed)
 		if err != nil {
 			return fmt.Errorf("stack: family %s: %w", fam.Name, err)
 		}
@@ -150,6 +166,9 @@ func (e *Ensemble) Fit(X [][]float64, y []int, classes int) error {
 		metaX[i] = make([]float64, len(e.members)*classes)
 	}
 	for hold := range folds {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		trX, trY, _, _ := modelsel.Split(X, y, folds, hold)
 		if p.Oversample {
 			trX, trY = modelsel.Oversample(trX, trY, classes, p.Seed+int64(hold))
@@ -184,6 +203,9 @@ func (e *Ensemble) Fit(X [][]float64, y []int, classes int) error {
 		trX, trY = modelsel.Oversample(X, y, classes, p.Seed)
 	}
 	for mi := range e.members {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		model := e.members[mi].model.Clone()
 		if err := model.Fit(trX, trY, classes); err != nil {
 			return fmt.Errorf("stack: refit member %d: %w", mi, err)

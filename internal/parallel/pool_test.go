@@ -1,0 +1,242 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPoolForEachRunsEveryJob verifies completeness and scratch identity:
+// every index runs exactly once, and the scratch a job sees is one of the
+// per-worker values (never shared between concurrently-running jobs).
+func TestPoolForEachRunsEveryJob(t *testing.T) {
+	var scratchID atomic.Int64
+	p := NewPool(func() *int64 {
+		id := scratchID.Add(1)
+		return &id
+	})
+	defer p.Close()
+
+	const n = 100
+	ran := make([]int64, n) // scratch id per job, also proves single execution
+	err := p.ForEach(context.Background(), 4, n, func(s *int64, i int) error {
+		if ran[i] != 0 {
+			t.Errorf("job %d ran twice", i)
+		}
+		ran[i] = *s
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ran {
+		if id == 0 {
+			t.Fatalf("job %d never ran", i)
+		}
+	}
+	if ids := scratchID.Load(); ids > 4 {
+		t.Errorf("%d scratch values created for 4 workers", ids)
+	}
+}
+
+// TestPoolScratchPersistsAcrossBatches is the pool's reason to exist: the
+// same per-worker scratch values serve batch after batch, instead of being
+// rebuilt per call like ForEachScratch's.
+func TestPoolScratchPersistsAcrossBatches(t *testing.T) {
+	var created atomic.Int64
+	p := NewPool(func() *struct{} {
+		created.Add(1)
+		return &struct{}{}
+	})
+	defer p.Close()
+
+	for batch := 0; batch < 10; batch++ {
+		if err := p.ForEach(context.Background(), 2, 8, func(_ *struct{}, i int) error {
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c := created.Load(); c > 2 {
+		t.Errorf("newScratch called %d times across 10 batches, want <= 2 (one per worker)", c)
+	}
+}
+
+// TestPoolErrorDeterminism: like ForEachScratch, the error of the
+// lowest-numbered failing job wins regardless of scheduling.
+func TestPoolErrorDeterminism(t *testing.T) {
+	p := NewPool(func() struct{} { return struct{}{} })
+	defer p.Close()
+	for trial := 0; trial < 20; trial++ {
+		err := p.ForEach(context.Background(), 8, 50, func(_ struct{}, i int) error {
+			if i%7 == 3 { // fails at 3, 10, 17, ...
+				return fmt.Errorf("job %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "job 3" {
+			t.Fatalf("trial %d: err = %v, want job 3", trial, err)
+		}
+	}
+}
+
+// TestPoolCancellation: cancelling mid-batch returns ctx.Err() promptly
+// and stops claiming new jobs; the pool stays usable afterwards.
+func TestPoolCancellation(t *testing.T) {
+	p := NewPool(func() struct{} { return struct{}{} })
+	defer p.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	release := make(chan struct{})
+	var cancelOnce sync.Once
+
+	const n = 1000
+	err := p.ForEach(ctx, 2, n, func(_ struct{}, i int) error {
+		if started.Add(1) == 2 {
+			cancelOnce.Do(func() {
+				cancel()
+				close(release)
+			})
+		} else {
+			<-release // park the other worker until the cancel happened
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if s := started.Load(); s > 4 {
+		t.Errorf("%d jobs started after cancellation point, want prompt stop", s)
+	}
+
+	// The pool still serves fresh batches.
+	if err := p.ForEach(context.Background(), 2, 10, func(_ struct{}, i int) error {
+		return nil
+	}); err != nil {
+		t.Fatalf("pool unusable after a cancelled batch: %v", err)
+	}
+}
+
+// TestPoolPreCancelled: an already-cancelled context runs nothing.
+func TestPoolPreCancelled(t *testing.T) {
+	p := NewPool(func() struct{} { return struct{}{} })
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err := p.ForEach(ctx, 2, 5, func(_ struct{}, i int) error {
+		ran = true
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if ran {
+		t.Error("job ran despite pre-cancelled context")
+	}
+}
+
+// TestPoolCloseReleasesGoroutines: Close stops the workers; the goroutine
+// count returns to the pre-pool baseline (the no-leak assertion the
+// cancellation satellite requires).
+func TestPoolCloseReleasesGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	p := NewPool(func() struct{} { return struct{}{} })
+	if err := p.ForEach(context.Background(), 8, 64, func(_ struct{}, i int) error {
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if during := runtime.NumGoroutine(); during < before+1 {
+		t.Fatalf("expected persistent workers while open: %d goroutines vs %d before", during, before)
+	}
+	p.Close()
+	waitForGoroutines(t, before)
+
+	if err := p.ForEach(context.Background(), 1, 1, func(_ struct{}, i int) error { return nil }); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("ForEach after Close = %v, want ErrPoolClosed", err)
+	}
+	p.Close() // idempotent
+}
+
+// waitForGoroutines retries until the goroutine count drops back to the
+// baseline (scheduler exits are asynchronous), failing after 5s.
+func waitForGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d alive, baseline %d", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestPoolConcurrentBatches: many goroutines share one pool; every batch
+// completes correctly even when batches outnumber workers.
+func TestPoolConcurrentBatches(t *testing.T) {
+	p := NewPool(func() struct{} { return struct{}{} })
+	defer p.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var count atomic.Int64
+			if err := p.ForEach(context.Background(), 3, 40, func(_ struct{}, i int) error {
+				count.Add(1)
+				return nil
+			}); err != nil {
+				errs <- err
+				return
+			}
+			if c := count.Load(); c != 40 {
+				errs <- fmt.Errorf("batch ran %d of 40 jobs", c)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestLimitRunner covers the per-call Runner fallback: completeness,
+// cancellation, and nil-context tolerance.
+func TestLimitRunner(t *testing.T) {
+	run := Limit(4)
+	var count atomic.Int64
+	if err := run.Run(nil, 25, func(i int) error { count.Add(1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if count.Load() != 25 {
+		t.Fatalf("ran %d of 25", count.Load())
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := run.Run(ctx, 5, func(i int) error { return nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	boom := errors.New("boom")
+	err := run.Run(context.Background(), 10, func(i int) error {
+		if i >= 4 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -52,6 +52,7 @@ type Coalescer struct {
 }
 
 type coalRequest struct {
+	ctx    context.Context // the submitting request's context
 	series []float64
 	out    chan coalResult
 }
@@ -98,11 +99,13 @@ func NewCoalescer(source func() (*mvg.Model, error), cfg CoalescerConfig) *Coale
 }
 
 // Predict submits one series and blocks until its probability row is
-// available, the context is cancelled, or the coalescer is closed. On
-// cancellation the series stays in its batch (the batch is already being
-// assembled); only the caller stops waiting.
+// available, the context is cancelled, or the coalescer is closed. The
+// context travels with the request: a caller that cancels before its
+// batch flushes (a client disconnecting inside the coalescing window) has
+// its slot dropped at flush time, so abandoned requests never cost a
+// prediction.
 func (c *Coalescer) Predict(ctx context.Context, series []float64) ([]float64, error) {
-	req := coalRequest{series: series, out: make(chan coalResult, 1)}
+	req := coalRequest{ctx: ctx, series: series, out: make(chan coalResult, 1)}
 
 	// Holding the read lock across the send pairs with Close's write lock:
 	// once Close observes the lock free and sets closed, no sender can be
@@ -124,8 +127,10 @@ func (c *Coalescer) Predict(ctx context.Context, series []float64) ([]float64, e
 	case res := <-req.out:
 		return res.proba, res.err
 	case <-ctx.Done():
-		// The batch still computes; the buffered out channel lets the
-		// flush goroutine deliver without blocking on the departed caller.
+		// The slot is dropped when its batch flushes (predictBatch checks
+		// req.ctx); the buffered out channel lets the flush goroutine
+		// deliver the cancellation notice without blocking on the departed
+		// caller.
 		return nil, ctx.Err()
 	}
 }
@@ -209,8 +214,24 @@ func (c *Coalescer) run() {
 }
 
 // predictBatch runs one coalesced batch and fans results (or errors) back
-// to each caller.
+// to each caller. Requests whose context was cancelled while the batch
+// was assembling are dropped here, before any model work: the caller has
+// already stopped waiting (its Predict returned ctx.Err()), so computing
+// its row would only burn CPU. A batch whose every slot was abandoned
+// skips the model entirely.
 func (c *Coalescer) predictBatch(batch []coalRequest) {
+	live := batch[:0]
+	for _, req := range batch {
+		if err := req.ctx.Err(); err != nil {
+			req.out <- coalResult{err: err}
+			continue
+		}
+		live = append(live, req)
+	}
+	batch = live
+	if len(batch) == 0 {
+		return
+	}
 	if c.observe != nil {
 		c.observe(len(batch))
 	}
@@ -240,7 +261,11 @@ func (c *Coalescer) predictBatch(batch []coalRequest) {
 	if len(series) == 0 {
 		return
 	}
-	proba, err := model.PredictProba(series)
+	// The batch predicts under its own background context: the work is
+	// shared by every surviving caller, so one caller's cancellation must
+	// not abort the others' rows. Individual departures were already
+	// handled above.
+	proba, err := model.PredictProba(context.Background(), series)
 	if err == nil && len(proba) != len(series) {
 		err = errors.New("serve: model returned wrong row count")
 	}

@@ -27,7 +27,7 @@ func TestCoalescerStress(t *testing.T) {
 	// Sequential reference, one series at a time.
 	ref := make([][]float64, distinct)
 	for i, s := range inputs {
-		rows, err := model.PredictProba([][]float64{s})
+		rows, err := model.PredictProba(context.Background(), [][]float64{s})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -230,5 +230,126 @@ func TestCoalescerContextCancel(t *testing.T) {
 	input := testInputs(1, 8)[0]
 	if _, err := c.Predict(ctx, input); !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestCoalescerCancelledSlotDropped pins the fan-back cancellation
+// contract: a client that disconnects before the window closes has its
+// slot dropped at flush time — the observed batch holds only the
+// surviving request — while companions in the same batch still get their
+// rows.
+func TestCoalescerCancelledSlotDropped(t *testing.T) {
+	model := testModel(t)
+	batchSizes := make(chan int, 8)
+	c := NewCoalescer(modelSource(model), CoalescerConfig{
+		Window:   200 * time.Millisecond,
+		MaxBatch: 64,
+		Observe:  func(size int) { batchSizes <- size },
+	})
+	defer c.Close()
+
+	inputs := testInputs(2, 10)
+	want, err := model.PredictProba(context.Background(), inputs[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The doomed request enters the batch first and opens the window...
+	doomedCtx, doom := context.WithCancel(context.Background())
+	doomedErr := make(chan error, 1)
+	go func() {
+		_, err := c.Predict(doomedCtx, inputs[1])
+		doomedErr <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let it enqueue and start the window
+	doom()                            // ...disconnects inside the window...
+
+	// ...and a surviving request joins the same batch.
+	proba, err := c.Predict(context.Background(), inputs[0])
+	if err != nil {
+		t.Fatalf("surviving request failed: %v", err)
+	}
+	requireSameRow(t, want[0], proba)
+	if err := <-doomedErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled request got %v, want context.Canceled", err)
+	}
+	if size := <-batchSizes; size != 1 {
+		t.Errorf("flushed batch size = %d, want 1 (cancelled slot dropped before predicting)", size)
+	}
+}
+
+// TestCoalescerCancelRace hammers the flush-time filtering under the race
+// detector: half the callers cancel at random points inside the window,
+// the other half must still receive rows byte-identical to the sequential
+// reference, and cancelled callers must only ever see a context error.
+func TestCoalescerCancelRace(t *testing.T) {
+	model := testModel(t)
+	const distinct, goroutines, perG = 6, 8, 15
+	inputs := testInputs(distinct, 11)
+	ref := make([][]float64, distinct)
+	for i, s := range inputs {
+		rows, err := model.PredictProba(context.Background(), [][]float64{s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref[i] = rows[0]
+	}
+
+	c := NewCoalescer(modelSource(model), CoalescerConfig{
+		Window:   2 * time.Millisecond,
+		MaxBatch: 16,
+	})
+	defer c.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < perG; k++ {
+				idx := (g*perG + k) % distinct
+				if g%2 == 0 {
+					// Cancelling caller: give up at a random point inside
+					// (or right around) the coalescing window.
+					ctx, cancel := context.WithTimeout(context.Background(),
+						time.Duration(k%4)*time.Millisecond)
+					proba, err := c.Predict(ctx, inputs[idx])
+					cancel()
+					if err != nil {
+						if !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+							errs <- err
+							return
+						}
+						continue
+					}
+					// Beat the deadline: the row must still be correct.
+					for j := range proba {
+						if proba[j] != ref[idx][j] {
+							errs <- errors.New("pre-deadline row differs from reference")
+							return
+						}
+					}
+					continue
+				}
+				proba, err := c.Predict(context.Background(), inputs[idx])
+				if err != nil {
+					errs <- err
+					return
+				}
+				for j := range proba {
+					if proba[j] != ref[idx][j] {
+						errs <- errors.New("surviving row differs from reference")
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
 	}
 }

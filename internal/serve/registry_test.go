@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -32,11 +33,11 @@ func TestRegistryRoundTrip(t *testing.T) {
 	}
 
 	inputs := testInputs(8, 2)
-	want, err := model.PredictProba(inputs)
+	want, err := model.PredictProba(context.Background(), inputs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := loaded.PredictProba(inputs)
+	got, err := loaded.PredictProba(context.Background(), inputs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,11 +112,11 @@ func TestRegistryReload(t *testing.T) {
 	}
 	// The old snapshot keeps serving callers that hold it.
 	inputs := testInputs(2, 3)
-	want, err := before.PredictProba(inputs)
+	want, err := before.PredictProba(context.Background(), inputs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := after.PredictProba(inputs)
+	got, err := after.PredictProba(context.Background(), inputs)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sync"
@@ -49,7 +50,12 @@ func testModel(t *testing.T) *mvg.Model {
 	t.Helper()
 	testModelOnce.Do(func() {
 		series, labels := testDataset(1)
-		testModelVal, testModelErr = mvg.Train(series, labels, 2, mvg.Config{Folds: 2, Seed: 1, Workers: 2})
+		var pipe *mvg.Pipeline
+		pipe, testModelErr = mvg.NewPipeline(mvg.Config{Folds: 2, Seed: 1, Workers: 2})
+		if testModelErr != nil {
+			return
+		}
+		testModelVal, testModelErr = pipe.Train(context.Background(), series, labels, 2)
 	})
 	if testModelErr != nil {
 		t.Fatalf("training shared test model: %v", testModelErr)

@@ -182,13 +182,32 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
+// StatusClientClosedRequest is the nginx convention for "the client went
+// away before the response was ready" — the status a cancelled request
+// context maps to. The client never sees it; it exists for access logs
+// and metrics, where it keeps abandoned requests out of the 5xx error
+// rate.
+const StatusClientClosedRequest = 499
+
+// writeError maps an error onto an HTTP status: explicit httpErrors keep
+// their code, the public mvg error taxonomy (docs/api.md) distinguishes
+// caller mistakes (shape/length/config problems → 400) from server faults
+// (500), cancelled request contexts become 499, and a draining server
+// answers 503.
 func writeError(w http.ResponseWriter, err error) {
 	code := http.StatusInternalServerError
 	var he *httpError
-	if errors.As(err, &he) {
+	switch {
+	case errors.As(err, &he):
 		code = he.code
-	} else if errors.Is(err, ErrCoalescerClosed) {
+	case errors.Is(err, ErrCoalescerClosed), errors.Is(err, mvg.ErrPipelineClosed):
 		code = http.StatusServiceUnavailable
+	case errors.Is(err, mvg.ErrShapeMismatch),
+		errors.Is(err, mvg.ErrSeriesTooShort),
+		errors.Is(err, mvg.ErrBadConfig):
+		code = http.StatusBadRequest
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		code = StatusClientClosedRequest
 	}
 	writeJSON(w, code, errorResponse{Error: err.Error()})
 }
@@ -259,7 +278,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, predictResponse{Model: name, Class: &class, Coalesced: coalesced})
 		return
 	}
-	classes, err := m.PredictBatch(series)
+	classes, err := m.PredictBatch(r.Context(), series)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -287,7 +306,7 @@ func (s *Server) handlePredictProba(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, probaResponse{Model: name, Proba: proba, Coalesced: coalesced})
 		return
 	}
-	probas, err := m.PredictProba(series)
+	probas, err := m.PredictProba(r.Context(), series)
 	if err != nil {
 		writeError(w, err)
 		return

@@ -146,11 +146,11 @@ func TestPredictMatchesModel(t *testing.T) {
 	_, ts := newTestServer(t, Config{Window: time.Millisecond})
 	inputs := testInputs(4, 12)
 
-	wantProba, err := model.PredictProba(inputs)
+	wantProba, err := model.PredictProba(context.Background(), inputs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantClass, err := model.PredictBatch(inputs)
+	wantClass, err := model.PredictBatch(context.Background(), inputs)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,29 +1,29 @@
 package mvg
 
 import (
+	"context"
 	"fmt"
 	"sort"
-	"sync/atomic"
 
-	"mvg/internal/core"
 	"mvg/internal/grids"
 	"mvg/internal/ml"
 	"mvg/internal/ml/modelsel"
 	"mvg/internal/ml/stack"
 	"mvg/internal/ml/xgb"
+	"mvg/internal/parallel"
 )
 
-// Model is a trained MVG classifier: a feature extractor plus a tuned
-// generic classifier (and, for SVM-based configurations, the feature
-// scaler learned on the training set).
+// Model is a trained MVG classifier: a tuned generic classifier (and, for
+// SVM-based configurations, the feature scaler learned on the training
+// set) bound to the Pipeline that extracted its features. Predictions run
+// on that pipeline's persistent worker pool, so a model served in a hot
+// loop keeps its extraction scratch warm across requests.
 //
-// All trained state is immutable, so a Model is safe for concurrent use;
-// the only mutable field is the worker cap, which SetWorkers may retune
-// while PredictBatch calls are in flight (it is read atomically per call).
+// All trained state is immutable, so a Model is safe for concurrent use.
+// The worker cap lives on the pipeline and may be retuned with SetWorkers
+// while predictions are in flight.
 type Model struct {
-	cfg       Config
-	workers   atomic.Int64 // worker cap; cfg.Workers is only the initial value
-	extractor *core.Extractor
+	pipe      *Pipeline
 	scaler    *ml.MinMaxScaler // non-nil when the classifier needs scaling
 	clf       ml.Classifier
 	classes   int
@@ -36,46 +36,24 @@ type Model struct {
 // the winner on the full training set, and returns the ready-to-use model.
 // Labels must be dense ids in [0, classes).
 //
-// Both stages run on the parallel batch engine: feature extraction fans the
-// training series across cfg.Workers goroutines, and grid search
-// cross-validates candidate configurations on the same executor. The
-// trained model is identical for every worker count (docs/concurrency.md).
+// Deprecated: build a Pipeline once with NewPipeline and call
+// Pipeline.Train — it reuses the compiled extractor and warm worker pool
+// across calls and supports cancellation. This wrapper constructs a
+// dedicated pipeline per call; the returned model keeps that pipeline (and
+// its worker pool) alive for predictions (see docs/api.md).
 func Train(series [][]float64, labels []int, classes int, cfg Config) (*Model, error) {
-	if len(series) == 0 {
-		return nil, fmt.Errorf("mvg: no training series")
-	}
-	if len(series) != len(labels) {
-		return nil, fmt.Errorf("mvg: %d series but %d labels", len(series), len(labels))
-	}
-	e, err := cfg.extractor()
+	p, err := NewPipeline(cfg)
 	if err != nil {
 		return nil, err
 	}
-	X, err := e.ExtractDatasetWorkers(series, cfg.Workers)
-	if err != nil {
-		return nil, err
-	}
-	clf, scaler, err := fitClassifier(X, labels, classes, cfg)
-	if err != nil {
-		return nil, err
-	}
-	m := &Model{
-		cfg:       cfg,
-		extractor: e,
-		scaler:    scaler,
-		clf:       clf,
-		classes:   classes,
-		names:     e.FeatureNames(len(series[0])),
-		seriesLen: len(series[0]),
-	}
-	m.workers.Store(int64(cfg.Workers))
-	return m, nil
+	return p.Train(context.Background(), series, labels, classes)
 }
 
 // fitClassifier tunes and fits the configured classifier family on a
-// feature matrix, returning the trained model and, for scale-sensitive
-// configurations, the fitted scaler.
-func fitClassifier(X [][]float64, labels []int, classes int, cfg Config) (ml.Classifier, *ml.MinMaxScaler, error) {
+// feature matrix using the given executor for grid-search fan-out,
+// returning the trained model and, for scale-sensitive configurations, the
+// fitted scaler.
+func fitClassifier(ctx context.Context, run parallel.Runner, X [][]float64, labels []int, classes int, cfg Config) (ml.Classifier, *ml.MinMaxScaler, error) {
 	size := grids.Quick
 	if cfg.FullGrid {
 		size = grids.Full
@@ -86,10 +64,10 @@ func fitClassifier(X [][]float64, labels []int, classes int, cfg Config) (ml.Cla
 	}
 	switch cfg.Classifier {
 	case "", "xgb":
-		clf, _, err := modelsel.Best(grids.XGB(size, cfg.Seed), X, labels, classes, folds, cfg.Oversample, cfg.Seed, cfg.Workers)
+		clf, _, err := modelsel.Best(ctx, run, grids.XGB(size, cfg.Seed), X, labels, classes, folds, cfg.Oversample, cfg.Seed)
 		return clf, nil, err
 	case "rf":
-		clf, _, err := modelsel.Best(grids.RF(size, cfg.Seed), X, labels, classes, folds, cfg.Oversample, cfg.Seed, cfg.Workers)
+		clf, _, err := modelsel.Best(ctx, run, grids.RF(size, cfg.Seed), X, labels, classes, folds, cfg.Oversample, cfg.Seed)
 		return clf, nil, err
 	case "svm":
 		scaler := &ml.MinMaxScaler{}
@@ -97,7 +75,7 @@ func fitClassifier(X [][]float64, labels []int, classes int, cfg Config) (ml.Cla
 		if err != nil {
 			return nil, nil, err
 		}
-		clf, _, err := modelsel.Best(grids.SVM(size, cfg.Seed), scaled, labels, classes, folds, cfg.Oversample, cfg.Seed, cfg.Workers)
+		clf, _, err := modelsel.Best(ctx, run, grids.SVM(size, cfg.Seed), scaled, labels, classes, folds, cfg.Oversample, cfg.Seed)
 		return clf, scaler, err
 	case "stack":
 		// Stacking scales features once for everyone; tree models are
@@ -119,18 +97,27 @@ func fitClassifier(X [][]float64, labels []int, classes int, cfg Config) (ml.Cla
 			stack.Family{Name: "rf", Candidates: grids.RF(size, cfg.Seed)},
 			stack.Family{Name: "svm", Candidates: grids.SVM(size, cfg.Seed)},
 		)
-		if err := ens.Fit(scaled, labels, classes); err != nil {
+		if err := ens.FitContext(ctx, run, scaled, labels, classes); err != nil {
 			return nil, nil, err
 		}
 		return ens, scaler, nil
 	}
-	return nil, nil, fmt.Errorf("mvg: unknown classifier %q (want xgb, rf, svm or stack)", cfg.Classifier)
+	// Unreachable through the public API: Config.validateClassifier gates
+	// every path into here. Hitting this means a family was whitelisted
+	// without a dispatch arm.
+	return nil, nil, fmt.Errorf("mvg: internal: classifier %q passed validation but has no dispatch arm", cfg.Classifier)
 }
 
 // features extracts (and scales, if configured) inference features on the
-// parallel batch engine, honouring the model's Config.Workers.
-func (m *Model) features(series [][]float64) ([][]float64, error) {
-	X, err := m.extractor.ExtractDatasetWorkers(series, m.Workers())
+// model's pipeline, after validating every series against the training
+// length.
+func (m *Model) features(ctx context.Context, series [][]float64) ([][]float64, error) {
+	for i, s := range series {
+		if len(s) != m.seriesLen {
+			return nil, &ShapeError{What: fmt.Sprintf("series %d length", i), Got: len(s), Want: m.seriesLen}
+		}
+	}
+	X, err := m.pipe.Extract(ctx, series)
 	if err != nil {
 		return nil, err
 	}
@@ -141,23 +128,27 @@ func (m *Model) features(series [][]float64) ([][]float64, error) {
 }
 
 // PredictProba returns one class-probability vector per series, fanning
-// feature extraction across the model's worker pool (Config.Workers;
-// 0 = GOMAXPROCS) with per-worker scratch reuse. Row i always corresponds
-// to series[i] and the probabilities are byte-identical for every worker
-// count (docs/concurrency.md).
-func (m *Model) PredictProba(series [][]float64) ([][]float64, error) {
-	X, err := m.features(series)
+// feature extraction across the pipeline's worker pool (0 = GOMAXPROCS)
+// with per-worker scratch reuse. Row i always corresponds to series[i] and
+// the probabilities are byte-identical for every worker count
+// (docs/concurrency.md). The context is checked between per-series jobs; a
+// cancelled call returns ctx.Err() promptly. A series whose length differs
+// from the training length returns a *ShapeError before any extraction
+// runs.
+func (m *Model) PredictProba(ctx context.Context, series [][]float64) ([][]float64, error) {
+	X, err := m.features(ctx, series)
 	if err != nil {
 		return nil, err
 	}
 	return m.clf.PredictProba(X)
 }
 
-// PredictBatch classifies a batch of series on the parallel extraction
-// engine and returns the most probable class per series, in input order.
-// See PredictProba for the concurrency and determinism guarantees.
-func (m *Model) PredictBatch(series [][]float64) ([]int, error) {
-	proba, err := m.PredictProba(series)
+// PredictBatch classifies a batch of series on the model's pipeline and
+// returns the most probable class per series, in input order. See
+// PredictProba for the concurrency, cancellation and determinism
+// guarantees.
+func (m *Model) PredictBatch(ctx context.Context, series [][]float64) ([]int, error) {
+	proba, err := m.PredictProba(ctx, series)
 	if err != nil {
 		return nil, err
 	}
@@ -166,21 +157,26 @@ func (m *Model) PredictBatch(series [][]float64) ([]int, error) {
 
 // Predict returns the most probable class per series. It is an alias for
 // PredictBatch kept for single-call readability.
-func (m *Model) Predict(series [][]float64) ([]int, error) {
-	return m.PredictBatch(series)
+func (m *Model) Predict(ctx context.Context, series [][]float64) ([]int, error) {
+	return m.PredictBatch(ctx, series)
 }
 
 // ErrorRate scores the model on a labelled test set (the paper's metric).
-func (m *Model) ErrorRate(series [][]float64, labels []int) (float64, error) {
-	pred, err := m.Predict(series)
+func (m *Model) ErrorRate(ctx context.Context, series [][]float64, labels []int) (float64, error) {
+	pred, err := m.Predict(ctx, series)
 	if err != nil {
 		return 0, err
 	}
 	if len(pred) != len(labels) {
-		return 0, fmt.Errorf("mvg: %d predictions but %d labels", len(pred), len(labels))
+		return 0, &ShapeError{What: "labels", Got: len(labels), Want: len(pred)}
 	}
 	return ml.ErrorRate(pred, labels), nil
 }
+
+// Pipeline returns the pipeline the model predicts on — the one that
+// trained it (Pipeline.Train) or the dedicated pipeline built by the
+// deprecated free functions. Closing it invalidates the model.
+func (m *Model) Pipeline() *Pipeline { return m.pipe }
 
 // Classes returns the number of classes the model was trained with.
 func (m *Model) Classes() int { return m.classes }
@@ -195,11 +191,12 @@ func (m *Model) SeriesLen() int { return m.seriesLen }
 // model trained (or loaded) on one machine can match the parallelism of
 // the machine it serves on. It is safe to call while predictions are in
 // flight: in-flight batches keep the count they started with, later
-// batches pick up the new value.
-func (m *Model) SetWorkers(workers int) { m.workers.Store(int64(workers)) }
+// batches pick up the new value. It delegates to the model's pipeline, so
+// models sharing a pipeline share the cap.
+func (m *Model) SetWorkers(workers int) { m.pipe.SetWorkers(workers) }
 
 // Workers reports the current worker-goroutine cap (0 = GOMAXPROCS).
-func (m *Model) Workers() int { return int(m.workers.Load()) }
+func (m *Model) Workers() int { return m.pipe.Workers() }
 
 // FeatureNames returns the names of the extracted features in order
 // (e.g. "T0.HVG.P(M44)"; the layout is specified in docs/features.md).

@@ -1,9 +1,9 @@
 package mvg
 
 import (
+	"context"
 	"fmt"
 
-	"mvg/internal/core"
 	"mvg/internal/ml"
 )
 
@@ -13,36 +13,38 @@ import (
 // feature blocks are concatenated, and the combined unordered vector is
 // classified exactly like the univariate one.
 
-// MultivariateModel is a trained multichannel MVG classifier.
+// MultivariateModel is a trained multichannel MVG classifier. Like Model,
+// it is bound to the Pipeline that extracted its features and is safe for
+// concurrent use.
 type MultivariateModel struct {
-	cfg       Config
-	extractor *core.Extractor
-	scaler    *ml.MinMaxScaler
-	clf       ml.Classifier
-	classes   int
-	channels  int
-	names     []string
+	pipe     *Pipeline
+	scaler   *ml.MinMaxScaler
+	clf      ml.Classifier
+	classes  int
+	channels int
+	names    []string
 }
 
 // validateMultivariate checks the sample tensor: samples[i][c] is channel
 // c of sample i; channels must agree across samples, and each channel has
-// one length shared by all samples.
+// one length shared by all samples. Violations return a *ShapeError
+// matching ErrShapeMismatch.
 func validateMultivariate(samples [][][]float64) (channels int, err error) {
 	if len(samples) == 0 {
-		return 0, fmt.Errorf("mvg: no samples")
+		return 0, &ShapeError{What: "sample batch", Got: 0, Want: -1}
 	}
 	channels = len(samples[0])
 	if channels == 0 {
-		return 0, fmt.Errorf("mvg: sample 0 has no channels")
+		return 0, &ShapeError{What: "sample 0 channels", Got: 0, Want: -1}
 	}
 	for i, s := range samples {
 		if len(s) != channels {
-			return 0, fmt.Errorf("mvg: sample %d has %d channels, sample 0 has %d", i, len(s), channels)
+			return 0, &ShapeError{What: fmt.Sprintf("sample %d channels", i), Got: len(s), Want: channels}
 		}
 		for c := range s {
 			if len(s[c]) != len(samples[0][c]) {
-				return 0, fmt.Errorf("mvg: sample %d channel %d has %d points, sample 0 has %d",
-					i, c, len(s[c]), len(samples[0][c]))
+				return 0, &ShapeError{What: fmt.Sprintf("sample %d channel %d length", i, c),
+					Got: len(s[c]), Want: len(samples[0][c])}
 			}
 		}
 	}
@@ -50,11 +52,11 @@ func validateMultivariate(samples [][][]float64) (channels int, err error) {
 }
 
 // extractMultivariate concatenates per-channel feature vectors. Each
-// channel's batch runs on the parallel extraction engine with the given
-// worker count (0 = GOMAXPROCS); channels are processed sequentially so
-// the per-sample concatenation order — and therefore the matrix — is
-// deterministic.
-func extractMultivariate(e *core.Extractor, samples [][][]float64, channels, workers int) ([][]float64, error) {
+// channel's batch runs on the pipeline's worker pool; channels are
+// processed sequentially so the per-sample concatenation order — and
+// therefore the matrix — is deterministic. The context is checked between
+// per-series jobs inside every channel batch.
+func extractMultivariate(ctx context.Context, p *Pipeline, samples [][][]float64, channels int) ([][]float64, error) {
 	n := len(samples)
 	out := make([][]float64, n)
 	channelSeries := make([][]float64, n)
@@ -62,7 +64,7 @@ func extractMultivariate(e *core.Extractor, samples [][][]float64, channels, wor
 		for i := range samples {
 			channelSeries[i] = samples[i][c]
 		}
-		X, err := e.ExtractDatasetWorkers(channelSeries, workers)
+		X, err := p.Extract(ctx, channelSeries)
 		if err != nil {
 			return nil, fmt.Errorf("mvg: channel %d: %w", c, err)
 		}
@@ -73,56 +75,71 @@ func extractMultivariate(e *core.Extractor, samples [][][]float64, channels, wor
 	return out, nil
 }
 
-// TrainMultivariate trains an MVG classifier on multichannel series:
-// samples[i][c] is channel c of sample i. Channels may have different
-// lengths from each other, but each channel's length must be uniform
-// across samples.
-func TrainMultivariate(samples [][][]float64, labels []int, classes int, cfg Config) (*MultivariateModel, error) {
+// TrainMultivariate trains an MVG classifier on multichannel series on the
+// pipeline's worker pool: samples[i][c] is channel c of sample i. Channels
+// may have different lengths from each other, but each channel's length
+// must be uniform across samples. The returned model is bound to this
+// pipeline, like Pipeline.Train's.
+func (p *Pipeline) TrainMultivariate(ctx context.Context, samples [][][]float64, labels []int, classes int) (*MultivariateModel, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	channels, err := validateMultivariate(samples)
 	if err != nil {
 		return nil, err
 	}
 	if len(samples) != len(labels) {
-		return nil, fmt.Errorf("mvg: %d samples but %d labels", len(samples), len(labels))
+		return nil, &ShapeError{What: "labels", Got: len(labels), Want: len(samples)}
 	}
-	e, err := cfg.extractor()
+	X, err := extractMultivariate(ctx, p, samples, channels)
 	if err != nil {
 		return nil, err
 	}
-	X, err := extractMultivariate(e, samples, channels, cfg.Workers)
+	clf, scaler, err := fitClassifier(ctx, p.runner(), X, labels, classes, p.cfg)
 	if err != nil {
-		return nil, err
-	}
-	clf, scaler, err := fitClassifier(X, labels, classes, cfg)
-	if err != nil {
-		return nil, err
+		return nil, p.wrapErr(err)
 	}
 	m := &MultivariateModel{
-		cfg:       cfg,
-		extractor: e,
-		scaler:    scaler,
-		clf:       clf,
-		classes:   classes,
-		channels:  channels,
+		pipe:     p,
+		scaler:   scaler,
+		clf:      clf,
+		classes:  classes,
+		channels: channels,
 	}
 	for c := 0; c < channels; c++ {
-		for _, name := range e.FeatureNames(len(samples[0][c])) {
+		for _, name := range p.extractor.FeatureNames(len(samples[0][c])) {
 			m.names = append(m.names, fmt.Sprintf("C%d.%s", c, name))
 		}
 	}
 	return m, nil
 }
 
-// PredictProba returns class probabilities per multichannel sample.
-func (m *MultivariateModel) PredictProba(samples [][][]float64) ([][]float64, error) {
+// TrainMultivariate trains an MVG classifier on multichannel series:
+// samples[i][c] is channel c of sample i.
+//
+// Deprecated: build a Pipeline once with NewPipeline and call
+// Pipeline.TrainMultivariate — it reuses the compiled extractor and warm
+// worker pool across calls and supports cancellation (see docs/api.md).
+func TrainMultivariate(samples [][][]float64, labels []int, classes int, cfg Config) (*MultivariateModel, error) {
+	p, err := NewPipeline(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return p.TrainMultivariate(context.Background(), samples, labels, classes)
+}
+
+// PredictProba returns class probabilities per multichannel sample,
+// extracting features on the model's pipeline with cooperative
+// cancellation (see Model.PredictProba for the guarantees).
+func (m *MultivariateModel) PredictProba(ctx context.Context, samples [][][]float64) ([][]float64, error) {
 	channels, err := validateMultivariate(samples)
 	if err != nil {
 		return nil, err
 	}
 	if channels != m.channels {
-		return nil, fmt.Errorf("mvg: model trained with %d channels, got %d", m.channels, channels)
+		return nil, &ShapeError{What: "channels", Got: channels, Want: m.channels}
 	}
-	X, err := extractMultivariate(m.extractor, samples, channels, m.cfg.Workers)
+	X, err := extractMultivariate(ctx, m.pipe, samples, channels)
 	if err != nil {
 		return nil, err
 	}
@@ -136,8 +153,8 @@ func (m *MultivariateModel) PredictProba(samples [][][]float64) ([][]float64, er
 }
 
 // Predict returns the most probable class per sample.
-func (m *MultivariateModel) Predict(samples [][][]float64) ([]int, error) {
-	proba, err := m.PredictProba(samples)
+func (m *MultivariateModel) Predict(ctx context.Context, samples [][][]float64) ([]int, error) {
+	proba, err := m.PredictProba(ctx, samples)
 	if err != nil {
 		return nil, err
 	}
@@ -145,19 +162,22 @@ func (m *MultivariateModel) Predict(samples [][][]float64) ([]int, error) {
 }
 
 // ErrorRate scores the model on a labelled multichannel test set.
-func (m *MultivariateModel) ErrorRate(samples [][][]float64, labels []int) (float64, error) {
-	pred, err := m.Predict(samples)
+func (m *MultivariateModel) ErrorRate(ctx context.Context, samples [][][]float64, labels []int) (float64, error) {
+	pred, err := m.Predict(ctx, samples)
 	if err != nil {
 		return 0, err
 	}
 	if len(pred) != len(labels) {
-		return 0, fmt.Errorf("mvg: %d predictions but %d labels", len(pred), len(labels))
+		return 0, &ShapeError{What: "labels", Got: len(labels), Want: len(pred)}
 	}
 	return ml.ErrorRate(pred, labels), nil
 }
 
 // Channels returns the channel count the model was trained with.
 func (m *MultivariateModel) Channels() int { return m.channels }
+
+// Pipeline returns the pipeline the model predicts on.
+func (m *MultivariateModel) Pipeline() *Pipeline { return m.pipe }
 
 // FeatureNames returns the concatenated per-channel feature names
 // ("C0.T0.VG.P(M21)", ...).

@@ -1,6 +1,7 @@
 package mvg
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"strings"
@@ -50,7 +51,7 @@ func TestTrainMultivariate(t *testing.T) {
 	if model.Channels() != 2 {
 		t.Errorf("Channels() = %d", model.Channels())
 	}
-	errRate, err := model.ErrorRate(testS, testY)
+	errRate, err := model.ErrorRate(context.Background(), testS, testY)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +72,7 @@ func TestTrainMultivariate(t *testing.T) {
 	if !foundC1 {
 		t.Error("channel 1 names missing")
 	}
-	proba, err := model.PredictProba(testS[:3])
+	proba, err := model.PredictProba(context.Background(), testS[:3])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +113,7 @@ func TestMultivariateValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := model.Predict([][][]float64{{trainS[0][0]}}); err == nil {
+	if _, err := model.Predict(context.Background(), [][][]float64{{trainS[0][0]}}); err == nil {
 		t.Error("channel mismatch at predict should fail")
 	}
 }

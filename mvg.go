@@ -14,15 +14,22 @@
 //
 // Quickstart:
 //
-//	model, err := mvg.Train(trainSeries, trainLabels, classes, mvg.Config{})
+//	pipe, err := mvg.NewPipeline(mvg.Config{})
 //	if err != nil { ... }
-//	pred, err := model.PredictBatch(testSeries)
+//	defer pipe.Close()
+//	model, err := pipe.Train(ctx, trainSeries, trainLabels, classes)
+//	if err != nil { ... }
+//	pred, err := model.PredictBatch(ctx, testSeries)
 //
-// Batch operations (Train, PredictBatch, ExtractFeaturesBatch) run on a
-// parallel worker-pool engine controlled by Config.Workers; results are
-// byte-identical for every worker count. The concurrency model is
-// documented in docs/concurrency.md and the feature-vector layout in
-// docs/features.md.
+// A Pipeline is built once — Config validated eagerly, feature extractor
+// compiled, worker pool spawned — and reused for every batch; its
+// per-worker scratch buffers survive across calls, which is what makes
+// small batches cheap. All batch methods take a context.Context with
+// cooperative cancellation, and failures are typed (ErrBadConfig,
+// ErrSeriesTooShort, ErrShapeMismatch, usable with errors.Is/As). The
+// concurrency model is documented in docs/concurrency.md, the feature
+// layout in docs/features.md, and the migration guide from the deprecated
+// free functions in docs/api.md.
 //
 // Lower-level building blocks (graph construction, motif counting, feature
 // extraction) are exposed through ExtractFeatures and SummarizeGraph for
@@ -30,8 +37,6 @@
 package mvg
 
 import (
-	"fmt"
-
 	"mvg/internal/core"
 )
 
@@ -71,7 +76,8 @@ type Config struct {
 	// extraction and model-selection grid search across. Zero or negative
 	// selects GOMAXPROCS (one worker per available CPU). Results are
 	// byte-identical for every worker count — see docs/concurrency.md for
-	// the determinism guarantee.
+	// the determinism guarantee. On a Pipeline this is the initial value;
+	// Pipeline.SetWorkers retunes it live.
 	Workers int
 }
 
@@ -84,7 +90,7 @@ func (c Config) scaleMode() (core.ScaleMode, error) {
 	case "amvg":
 		return core.ApproxMultiscale, nil
 	}
-	return 0, fmt.Errorf("mvg: unknown scale mode %q (want mvg, uvg or amvg)", c.Scale)
+	return 0, &ConfigError{Field: "Scale", Value: c.Scale, Want: `"mvg", "uvg" or "amvg"`}
 }
 
 func (c Config) graphMode() (core.GraphMode, error) {
@@ -96,7 +102,7 @@ func (c Config) graphMode() (core.GraphMode, error) {
 	case "hvg":
 		return core.HVGOnly, nil
 	}
-	return 0, fmt.Errorf("mvg: unknown graph mode %q (want both, vg or hvg)", c.Graphs)
+	return 0, &ConfigError{Field: "Graphs", Value: c.Graphs, Want: `"both", "vg" or "hvg"`}
 }
 
 func (c Config) featureMode() (core.FeatureMode, error) {
@@ -106,7 +112,20 @@ func (c Config) featureMode() (core.FeatureMode, error) {
 	case "mpds":
 		return core.MPDsOnly, nil
 	}
-	return 0, fmt.Errorf("mvg: unknown feature mode %q (want all or mpds)", c.Features)
+	return 0, &ConfigError{Field: "Features", Value: c.Features, Want: `"all" or "mpds"`}
+}
+
+// validateClassifier rejects unknown classifier families eagerly, so
+// NewPipeline fails at construction rather than deep inside Train. It is
+// the single public whitelist; the dispatch switch in fitClassifier must
+// cover exactly these names (its default arm reports an internal
+// inconsistency, not a config error, so drift between the two is loud).
+func (c Config) validateClassifier() error {
+	switch c.Classifier {
+	case "", "xgb", "rf", "svm", "stack":
+		return nil
+	}
+	return &ConfigError{Field: "Classifier", Value: c.Classifier, Want: `"xgb", "rf", "svm" or "stack"`}
 }
 
 func (c Config) extractor() (*core.Extractor, error) {
@@ -130,22 +149,34 @@ func (c Config) extractor() (*core.Extractor, error) {
 // ExtractFeatures converts time series into MVG feature matrices without
 // training a classifier. It returns one row per series and the matching
 // feature names (e.g. "T0.HVG.P(M44)", "T2.VG.Assortativity"); see
-// docs/features.md for the full feature-vector layout. It is shorthand for
-// ExtractFeaturesBatch, which documents the parallel execution model.
+// docs/features.md for the full feature-vector layout.
+//
+// Deprecated: build a Pipeline once with NewPipeline and call
+// Pipeline.Extract — it reuses the compiled extractor and warm worker
+// scratch across calls and supports cancellation. This wrapper rebuilds
+// both on every invocation (see docs/api.md).
 func ExtractFeatures(series [][]float64, cfg Config) ([][]float64, []string, error) {
 	return ExtractFeaturesBatch(series, cfg)
 }
 
-// ExtractFeaturesBatch is the batch entry point of the parallel extraction
-// engine: it fans per-series feature extraction across cfg.Workers worker
-// goroutines (0 = GOMAXPROCS), each reusing its own scratch buffers (PAA
-// pyramid, visibility edge lists, motif counters) across the series it
-// processes. Row i of the result always corresponds to series[i], and the
-// matrix is byte-identical for every worker count (docs/concurrency.md).
+// ExtractFeaturesBatch is the per-call batch entry point: it fans
+// per-series feature extraction across cfg.Workers worker goroutines
+// (0 = GOMAXPROCS). Row i of the result always corresponds to series[i],
+// and the matrix is byte-identical for every worker count
+// (docs/concurrency.md). An empty batch returns a *ShapeError matching
+// ErrShapeMismatch.
+//
+// Deprecated: build a Pipeline once with NewPipeline and call
+// Pipeline.Extract — it reuses the compiled extractor and warm worker
+// scratch across calls and supports cancellation. This wrapper rebuilds
+// both on every invocation (see docs/api.md).
 func ExtractFeaturesBatch(series [][]float64, cfg Config) ([][]float64, []string, error) {
 	e, err := cfg.extractor()
 	if err != nil {
 		return nil, nil, err
+	}
+	if len(series) == 0 {
+		return nil, nil, &ShapeError{What: "series batch", Got: 0, Want: -1}
 	}
 	X, err := e.ExtractDatasetWorkers(series, cfg.Workers)
 	if err != nil {

@@ -1,6 +1,7 @@
 package mvg
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -24,7 +25,7 @@ func TestTrainPredictDefault(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	errRate, err := model.ErrorRate(teX, teY)
+	errRate, err := model.ErrorRate(context.Background(), teX, teY)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +35,7 @@ func TestTrainPredictDefault(t *testing.T) {
 	if model.Classes() != classes {
 		t.Errorf("Classes() = %d", model.Classes())
 	}
-	proba, err := model.PredictProba(teX[:5])
+	proba, err := model.PredictProba(context.Background(), teX[:5])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +59,7 @@ func TestTrainAllClassifiers(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			errRate, err := model.ErrorRate(teX, teY)
+			errRate, err := model.ErrorRate(context.Background(), teX, teY)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -78,7 +79,7 @@ func TestTrainStack(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	errRate, err := model.ErrorRate(teX, teY)
+	errRate, err := model.ErrorRate(context.Background(), teX, teY)
 	if err != nil {
 		t.Fatal(err)
 	}

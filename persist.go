@@ -43,7 +43,7 @@ func (m *Model) Save(w io.Writer) error {
 	}
 	snap := modelSnapshot{
 		Version:   snapshotVersion,
-		Cfg:       m.cfg,
+		Cfg:       m.pipe.cfg,
 		Classes:   m.classes,
 		SeriesLen: m.seriesLen,
 		Names:     m.names,
@@ -65,7 +65,9 @@ func (m *Model) Save(w io.Writer) error {
 	return nil
 }
 
-// LoadModel restores a model written by Save.
+// LoadModel restores a model written by Save. The loaded model gets its
+// own fresh Pipeline (worker pool included), built from the persisted
+// Config; use SetWorkers to match the serving machine's parallelism.
 func LoadModel(r io.Reader) (*Model, error) {
 	var snap modelSnapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
@@ -74,7 +76,7 @@ func LoadModel(r io.Reader) (*Model, error) {
 	if snap.Version != snapshotVersion {
 		return nil, fmt.Errorf("mvg: unsupported model version %d", snap.Version)
 	}
-	e, err := snap.Cfg.extractor()
+	p, err := NewPipeline(snap.Cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -83,14 +85,12 @@ func LoadModel(r io.Reader) (*Model, error) {
 		return nil, err
 	}
 	m := &Model{
-		cfg:       snap.Cfg,
-		extractor: e,
+		pipe:      p,
 		clf:       booster,
 		classes:   snap.Classes,
 		names:     snap.Names,
 		seriesLen: snap.SeriesLen,
 	}
-	m.workers.Store(int64(snap.Cfg.Workers))
 	if snap.ScalerMin != nil {
 		m.scaler = &ml.MinMaxScaler{Min: snap.ScalerMin, Range: snap.ScalerRange}
 	}

@@ -2,6 +2,7 @@ package mvg
 
 import (
 	"bytes"
+	"context"
 	"path/filepath"
 	"testing"
 )
@@ -21,11 +22,11 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Predictions must match exactly.
-	p1, err := model.PredictProba(teX)
+	p1, err := model.PredictProba(context.Background(), teX)
 	if err != nil {
 		t.Fatal(err)
 	}
-	p2, err := loaded.PredictProba(teX)
+	p2, err := loaded.PredictProba(context.Background(), teX)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p3, err := fromFile.PredictProba(teX)
+	p3, err := fromFile.PredictProba(context.Background(), teX)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,283 @@
+package mvg
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestPipelineMatchesFreeFunctions pins the redesign's compatibility
+// contract: a Pipeline's output is bit-identical to the deprecated
+// per-call free functions, across worker counts and across repeated calls
+// on the same (warm) pipeline.
+func TestPipelineMatchesFreeFunctions(t *testing.T) {
+	series := batchSeries(24, 192, 11)
+	ref, names, err := ExtractFeaturesBatch(series, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		p, err := NewPipeline(Config{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for call := 0; call < 3; call++ { // repeated calls hit warm scratch
+			X, err := p.Extract(context.Background(), series)
+			if err != nil {
+				t.Fatalf("workers=%d call %d: %v", workers, call, err)
+			}
+			requireBitIdentical(t, ref, X)
+		}
+		if got := p.FeatureNames(len(series[0])); len(got) != len(names) {
+			t.Fatalf("FeatureNames width %d vs %d", len(got), len(names))
+		}
+		if p.NumFeatures(len(series[0])) != len(names) {
+			t.Fatalf("NumFeatures = %d, want %d", p.NumFeatures(len(series[0])), len(names))
+		}
+		p.Close()
+	}
+}
+
+// TestPipelineTrainMatchesFreeTrain: the pipeline's Train produces a model
+// whose predictions match the deprecated free Train bit for bit.
+func TestPipelineTrainMatchesFreeTrain(t *testing.T) {
+	train, labels := predictableDataset(t, 21)
+	test, _ := predictableDataset(t, 22)
+	ctx := context.Background()
+
+	p, err := NewPipeline(Config{Folds: 2, Seed: 1, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	m1, err := p.Train(ctx, train, labels, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Train(train, labels, 2, Config{Folds: 2, Seed: 1, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := m1.PredictProba(ctx, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := m2.PredictProba(ctx, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBitIdentical(t, p1, p2)
+	if m1.Pipeline() != p {
+		t.Error("model not bound to its training pipeline")
+	}
+}
+
+// TestEmptyBatchTyped is the regression test for the empty-batch panic:
+// zero-length input must return ErrShapeMismatch from every batch entry
+// point, not index series[0].
+func TestEmptyBatchTyped(t *testing.T) {
+	ctx := context.Background()
+
+	if _, _, err := ExtractFeaturesBatch(nil, Config{}); !errors.Is(err, ErrShapeMismatch) {
+		t.Errorf("ExtractFeaturesBatch(nil) = %v, want ErrShapeMismatch", err)
+	}
+	if _, _, err := ExtractFeatures([][]float64{}, Config{}); !errors.Is(err, ErrShapeMismatch) {
+		t.Errorf("ExtractFeatures(empty) = %v, want ErrShapeMismatch", err)
+	}
+
+	p, err := NewPipeline(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if _, err := p.Extract(ctx, nil); !errors.Is(err, ErrShapeMismatch) {
+		t.Errorf("Pipeline.Extract(nil) = %v, want ErrShapeMismatch", err)
+	}
+	if _, err := p.Train(ctx, nil, nil, 2); !errors.Is(err, ErrShapeMismatch) {
+		t.Errorf("Pipeline.Train(nil) = %v, want ErrShapeMismatch", err)
+	}
+	var se *ShapeError
+	_, err = p.Extract(ctx, [][]float64{})
+	if !errors.As(err, &se) || se.Got != 0 {
+		t.Errorf("empty batch error = %#v, want *ShapeError with Got=0", err)
+	}
+}
+
+// TestTypedErrorsIsAs walks the public surface asserting both errors.Is
+// (sentinel matching) and errors.As (structured extraction) for every
+// typed error.
+func TestTypedErrorsIsAs(t *testing.T) {
+	ctx := context.Background()
+
+	// ErrBadConfig / *ConfigError, eagerly at NewPipeline.
+	for _, cfg := range []Config{
+		{Scale: "nope"}, {Graphs: "nope"}, {Features: "nope"}, {Classifier: "nope"},
+	} {
+		_, err := NewPipeline(cfg)
+		if !errors.Is(err, ErrBadConfig) {
+			t.Fatalf("NewPipeline(%+v) = %v, want ErrBadConfig", cfg, err)
+		}
+		var ce *ConfigError
+		if !errors.As(err, &ce) || ce.Field == "" || ce.Value != "nope" {
+			t.Fatalf("NewPipeline(%+v) error %#v, want *ConfigError naming the field", cfg, err)
+		}
+	}
+	// The deprecated wrappers surface the same typed errors.
+	if _, _, err := ExtractFeaturesBatch(nil, Config{Scale: "nope"}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("wrapper config error = %v, want ErrBadConfig", err)
+	}
+
+	p, err := NewPipeline(Config{Folds: 2, Seed: 1, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	// ErrSeriesTooShort through Extract (wrapped by the per-series job): a
+	// one-point series cannot form a graph, and under AMVG a series must
+	// exceed 2τ points to yield any scale at all.
+	_, err = p.Extract(ctx, [][]float64{{1}})
+	if !errors.Is(err, ErrSeriesTooShort) {
+		t.Errorf("one-point series error = %v, want ErrSeriesTooShort", err)
+	}
+	amvg, err := NewPipeline(Config{Scale: "amvg"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer amvg.Close()
+	_, err = amvg.Extract(ctx, [][]float64{make([]float64, 20)})
+	if !errors.Is(err, ErrSeriesTooShort) {
+		t.Errorf("amvg short series error = %v, want ErrSeriesTooShort", err)
+	}
+
+	// ErrShapeMismatch / *ShapeError on label and prediction-length
+	// mismatches.
+	train, labels := predictableDataset(t, 31)
+	if _, err := p.Train(ctx, train, labels[:3], 2); !errors.Is(err, ErrShapeMismatch) {
+		t.Errorf("label mismatch = %v, want ErrShapeMismatch", err)
+	}
+	model, err := p.Train(ctx, train, labels, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = model.PredictBatch(ctx, [][]float64{make([]float64, len(train[0])/2)})
+	if !errors.Is(err, ErrShapeMismatch) {
+		t.Errorf("prediction length mismatch = %v, want ErrShapeMismatch", err)
+	}
+	var se *ShapeError
+	if !errors.As(err, &se) || se.Want != len(train[0]) || se.Got != len(train[0])/2 {
+		t.Errorf("prediction length error %#v, want *ShapeError{Got:%d, Want:%d}", err, len(train[0])/2, len(train[0]))
+	}
+	if _, err := model.ErrorRate(ctx, train, labels[:3]); !errors.Is(err, ErrShapeMismatch) {
+		t.Errorf("ErrorRate label mismatch = %v, want ErrShapeMismatch", err)
+	}
+
+	// Multivariate surface.
+	if _, err := TrainMultivariate(nil, nil, 2, Config{}); !errors.Is(err, ErrShapeMismatch) {
+		t.Errorf("TrainMultivariate(nil) = %v, want ErrShapeMismatch", err)
+	}
+}
+
+// TestPipelineCancellation is the cancellation-semantics satellite: a
+// mid-batch cancel returns context.Canceled promptly, leaves no extra
+// goroutines behind, and the pipeline keeps working afterwards.
+func TestPipelineCancellation(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	p, err := NewPipeline(Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A batch big enough that full extraction takes well over the cancel
+	// delay (256 series × 2048 points ≈ seconds of single-threaded work).
+	series := make([][]float64, 256)
+	for i := range series {
+		series[i] = randomSeries(2048, int64(i+1))
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = p.Extract(ctx, series)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Extract = %v, want context.Canceled", err)
+	}
+	// Promptness: the call must return long before the full batch could
+	// have finished. The bound is loose (slow CI) but far below the
+	// multi-second full run.
+	if elapsed > 2*time.Second {
+		t.Errorf("cancelled Extract took %v, want prompt return", elapsed)
+	}
+
+	// Pre-cancelled contexts never start work.
+	done, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if _, err := p.Extract(done, series[:2]); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled Extract = %v", err)
+	}
+
+	// The pipeline stays usable after cancellations...
+	if _, err := p.Extract(context.Background(), series[:4]); err != nil {
+		t.Fatalf("Extract after cancel: %v", err)
+	}
+
+	// ...and Close releases every goroutine (no leaks from the cancelled
+	// batch). Retry while the scheduler reaps workers.
+	p.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > baseline {
+		t.Errorf("goroutine leak after cancelled batch + Close: %d alive, baseline %d", g, baseline)
+	}
+}
+
+// TestPipelineTrainCancellation: cancellation propagates through the
+// training path (extraction + grid search) as context.Canceled.
+func TestPipelineTrainCancellation(t *testing.T) {
+	p, err := NewPipeline(Config{Folds: 2, Seed: 1, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	train, labels := predictableDataset(t, 41)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.Train(ctx, train, labels, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Train = %v, want context.Canceled", err)
+	}
+}
+
+// TestPipelineClosed: every method of a closed pipeline (and of models
+// bound to it) reports ErrPipelineClosed.
+func TestPipelineClosed(t *testing.T) {
+	p, err := NewPipeline(Config{Folds: 2, Seed: 1, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, labels := predictableDataset(t, 51)
+	model, err := p.Train(context.Background(), train, labels, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+
+	if _, err := p.Extract(context.Background(), train); !errors.Is(err, ErrPipelineClosed) {
+		t.Errorf("Extract after Close = %v, want ErrPipelineClosed", err)
+	}
+	if _, err := p.Train(context.Background(), train, labels, 2); !errors.Is(err, ErrPipelineClosed) {
+		t.Errorf("Train after Close = %v, want ErrPipelineClosed", err)
+	}
+	if _, err := model.PredictBatch(context.Background(), train); !errors.Is(err, ErrPipelineClosed) {
+		t.Errorf("PredictBatch after Close = %v, want ErrPipelineClosed", err)
+	}
+	p.Close() // idempotent
+}
