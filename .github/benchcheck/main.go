@@ -43,6 +43,20 @@ type Baseline struct {
 	Note       string                   `json:"note,omitempty"`
 	Tolerance  float64                  `json:"tolerance"`
 	Benchmarks map[string]BaselineEntry `json:"benchmarks"`
+	// Ratios are cross-benchmark speed gates evaluated within a single
+	// run, so — unlike an absolute ns/op gate — they hold on any runner
+	// hardware. The streaming engine's "incremental beats full recompute
+	// by ≥5×" claim is pinned this way.
+	Ratios []RatioGate `json:"ratios,omitempty"`
+}
+
+// RatioGate fails the run when Name's ns/op exceeds MaxFraction of
+// Reference's ns/op in the same run (e.g. 0.2 enforces a ≥5× speedup).
+type RatioGate struct {
+	Name        string  `json:"name"`
+	Reference   string  `json:"reference"`
+	MaxFraction float64 `json:"max_fraction"`
+	Why         string  `json:"why,omitempty"`
 }
 
 // BaselineEntry pins what compare() gates — allocs/op only — plus the
@@ -206,6 +220,14 @@ func writeBaseline(path string, results map[string]Result, tol float64) error {
 		Tolerance:  tol,
 		Benchmarks: make(map[string]BaselineEntry, len(results)),
 	}
+	// Re-pinning refreshes the per-benchmark numbers; the ratio gates are
+	// hand-written policy and survive the rewrite. A baseline that exists
+	// but cannot be read must abort rather than silently drop the gates.
+	if prev, err := readBaseline(path); err == nil {
+		base.Ratios = prev.Ratios
+	} else if !os.IsNotExist(err) {
+		return fmt.Errorf("refusing to re-pin over unreadable baseline (ratio gates would be lost): %w", err)
+	}
 	for name, res := range results {
 		if res.AllocsPerOp < 0 {
 			return fmt.Errorf("%s has no allocs/op (run the bench with -benchmem)", name)
@@ -261,6 +283,25 @@ func markdownSummary(results map[string]Result, base *Baseline, tolerance float6
 		fmt.Fprintf(&b, "| %s | — | — | — | — | %.0f | **FAIL** (missing from run) |\n",
 			name, pin.AllocsPerOp)
 	}
+	if len(base.Ratios) > 0 {
+		b.WriteString("\n### Ratio gates (same-run speedups)\n\n")
+		b.WriteString("| benchmark | vs | speedup | required | gate |\n")
+		b.WriteString("|---|---|---:|---:|---|\n")
+		for _, rg := range base.Ratios {
+			got, haveGot := results[rg.Name]
+			ref, haveRef := results[rg.Reference]
+			if !haveGot || !haveRef || got.NsPerOp <= 0 || ref.NsPerOp <= 0 {
+				fmt.Fprintf(&b, "| %s | %s | — | ≥%.1fx | **FAIL** (missing) |\n", rg.Name, rg.Reference, 1/rg.MaxFraction)
+				continue
+			}
+			gate := "ok"
+			if _, ok := checkRatio(results, rg); !ok {
+				gate = "**FAIL**"
+			}
+			fmt.Fprintf(&b, "| %s | %s | %.1fx | ≥%.1fx | %s |\n",
+				rg.Name, rg.Reference, ref.NsPerOp/got.NsPerOp, 1/rg.MaxFraction, gate)
+		}
+	}
 	return b.String()
 }
 
@@ -297,9 +338,37 @@ func compare(results map[string]Result, base *Baseline, tolerance float64) error
 		fmt.Printf("  %-48s %8.0f allocs/op (baseline %8.0f, allowed %8.0f)  %s\n",
 			name, got.AllocsPerOp, pin.AllocsPerOp, allowed, status)
 	}
-	if len(failures) > 0 {
-		return fmt.Errorf("allocation regression:\n  %s", strings.Join(failures, "\n  "))
+	for _, rg := range base.Ratios {
+		msg, ok := checkRatio(results, rg)
+		fmt.Printf("  %s\n", msg)
+		if !ok {
+			failures = append(failures, msg)
+		}
 	}
-	fmt.Println("benchcheck: no allocation regressions")
+	if len(failures) > 0 {
+		return fmt.Errorf("benchmark regression:\n  %s", strings.Join(failures, "\n  "))
+	}
+	fmt.Println("benchcheck: no benchmark regressions")
 	return nil
+}
+
+// checkRatio evaluates one cross-benchmark speed gate against the run.
+func checkRatio(results map[string]Result, rg RatioGate) (msg string, ok bool) {
+	got, haveGot := results[rg.Name]
+	ref, haveRef := results[rg.Reference]
+	switch {
+	case !haveGot:
+		return fmt.Sprintf("ratio gate %s: benchmark missing from this run", rg.Name), false
+	case !haveRef:
+		return fmt.Sprintf("ratio gate %s: reference %s missing from this run", rg.Name, rg.Reference), false
+	case got.NsPerOp <= 0 || ref.NsPerOp <= 0:
+		return fmt.Sprintf("ratio gate %s: no ns/op in output", rg.Name), false
+	}
+	frac := got.NsPerOp / ref.NsPerOp
+	if frac > rg.MaxFraction {
+		return fmt.Sprintf("ratio gate %s: %.0f ns/op is %.3f of %s's %.0f, exceeds max %.3f (want ≥%.1fx speedup)",
+			rg.Name, got.NsPerOp, frac, rg.Reference, ref.NsPerOp, rg.MaxFraction, 1/rg.MaxFraction), false
+	}
+	return fmt.Sprintf("ratio gate %s: %.1fx faster than %s (≥%.1fx required)  ok",
+		rg.Name, 1/frac, rg.Reference, 1/rg.MaxFraction), true
 }

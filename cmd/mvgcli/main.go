@@ -1,88 +1,123 @@
-// Command mvgcli trains and evaluates an MVG classifier on UCR-format
-// dataset files (label,v1,...,vn per line).
+// Command mvgcli trains, evaluates, and serves MVG classifiers from the
+// command line.
 //
-// Usage:
+// The default mode trains/evaluates on UCR-format dataset files
+// (label,v1,...,vn per line):
 //
 //	mvgcli -train Coffee_TRAIN -test Coffee_TEST
 //	mvgcli -train X_TRAIN -test X_TEST -classifier stack -oversample
 //	mvgcli -train X_TRAIN -test X_TEST -importance 10
+//	mvgcli -train X_TRAIN -test X_TEST -save model.mvg
+//
+// The stream subcommand runs a saved model over a live sample feed — one
+// sample per line on stdin, one NDJSON prediction per hop on stdout (the
+// same protocol as mvgserve's /stream endpoint; see docs/streaming.md):
+//
+//	some-sensor | mvgcli stream -load model.mvg -hop 8
 package main
 
 import (
+	"bufio"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"mvg"
+	"mvg/internal/serve"
 	"mvg/internal/ucr"
 )
 
 func main() {
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// realMain is the testable entry point: it dispatches subcommands and
+// returns the process exit code (0 ok, 1 runtime failure, 2 usage).
+func realMain(args []string, stdout, stderr io.Writer) int {
+	if len(args) > 0 && args[0] == "stream" {
+		return runStream(args[1:], stdout, stderr)
+	}
+	return runTrainEval(args, stdout, stderr)
+}
+
+func runTrainEval(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mvgcli", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		trainPath  = flag.String("train", "", "UCR-format training file (required)")
-		testPath   = flag.String("test", "", "UCR-format test file (required)")
-		classifier = flag.String("classifier", "xgb", "classifier: xgb, rf, svm or stack")
-		scale      = flag.String("scale", "mvg", "representation: mvg, uvg or amvg")
-		graphs     = flag.String("graphs", "both", "graphs per scale: both, vg or hvg")
-		features   = flag.String("features", "all", "per-graph features: all or mpds")
-		fullGrid   = flag.Bool("fullgrid", false, "use the paper's full hyper-parameter grid")
-		oversample = flag.Bool("oversample", false, "randomly oversample minority classes")
-		seed       = flag.Int64("seed", 1, "training seed")
-		importance = flag.Int("importance", 0, "print the top-N most important features (xgb only)")
-		savePath   = flag.String("save", "", "write the trained model to this file (xgb only)")
-		loadPath   = flag.String("load", "", "load a saved model instead of training")
+		trainPath  = fs.String("train", "", "UCR-format training file (required unless -load)")
+		testPath   = fs.String("test", "", "UCR-format test file (required)")
+		classifier = fs.String("classifier", "xgb", "classifier: xgb, rf, svm or stack")
+		scale      = fs.String("scale", "mvg", "representation: mvg, uvg or amvg")
+		graphs     = fs.String("graphs", "both", "graphs per scale: both, vg or hvg")
+		features   = fs.String("features", "all", "per-graph features: all or mpds")
+		fullGrid   = fs.Bool("fullgrid", false, "use the paper's full hyper-parameter grid")
+		oversample = fs.Bool("oversample", false, "randomly oversample minority classes")
+		noDetrend  = fs.Bool("no-detrend", false, "skip least-squares detrending (set for streaming models)")
+		noZNorm    = fs.Bool("no-znormalize", false, "skip z-normalization (set for streaming models)")
+		seed       = fs.Int64("seed", 1, "training seed")
+		importance = fs.Int("importance", 0, "print the top-N most important features (xgb only)")
+		savePath   = fs.String("save", "", "write the trained model to this file (xgb only)")
+		loadPath   = fs.String("load", "", "load a saved model instead of training")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	if (*trainPath == "" && *loadPath == "") || *testPath == "" {
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
 	}
 
 	var model *mvg.Model
 	var trainSec float64
 	cfg := mvg.Config{
-		Scale:      *scale,
-		Graphs:     *graphs,
-		Features:   *features,
-		Classifier: *classifier,
-		FullGrid:   *fullGrid,
-		Oversample: *oversample,
-		Seed:       *seed,
+		Scale:        *scale,
+		Graphs:       *graphs,
+		Features:     *features,
+		Classifier:   *classifier,
+		FullGrid:     *fullGrid,
+		Oversample:   *oversample,
+		NoDetrend:    *noDetrend,
+		NoZNormalize: *noZNorm,
+		Seed:         *seed,
 	}
 
 	var train *ucr.Dataset
 	test, err := ucr.ReadFile(*testPath)
 	if err != nil {
-		fatal(err)
+		return fail(stderr, err)
 	}
 	if *loadPath != "" {
 		f, err := os.Open(*loadPath)
 		if err != nil {
-			fatal(err)
+			return fail(stderr, err)
 		}
 		model, err = mvg.LoadModel(f)
 		f.Close()
 		if err != nil {
-			fatal(err)
+			return fail(stderr, err)
 		}
-		fmt.Printf("loaded model from %s; test: %d samples\n", *loadPath, test.Len())
+		fmt.Fprintf(stdout, "loaded model from %s; test: %d samples\n", *loadPath, test.Len())
 	} else {
 		train, test, err = ucr.ReadPair(*trainPath, *testPath)
 		if err != nil {
-			fatal(err)
+			return fail(stderr, err)
 		}
-		fmt.Printf("train: %d samples, test: %d samples, %d classes, length %d\n",
+		fmt.Fprintf(stdout, "train: %d samples, test: %d samples, %d classes, length %d\n",
 			train.Len(), test.Len(), train.Classes(), train.SeriesLength())
 		t0 := time.Now()
 		pipe, err := mvg.NewPipeline(cfg)
 		if err != nil {
-			fatal(err)
+			return fail(stderr, err)
 		}
 		model, err = pipe.Train(context.Background(), train.Series, train.Labels, train.Classes())
 		if err != nil {
-			fatal(err)
+			return fail(stderr, err)
 		}
 		trainSec = time.Since(t0).Seconds()
 	}
@@ -90,43 +125,126 @@ func main() {
 	t1 := time.Now()
 	errRate, err := model.ErrorRate(context.Background(), test.Series, test.Labels)
 	if err != nil {
-		fatal(err)
+		return fail(stderr, err)
 	}
-	fmt.Printf("error rate: %.4f (accuracy %.4f)\n", errRate, 1-errRate)
-	fmt.Printf("train %.2fs, test %.2fs\n", trainSec, time.Since(t1).Seconds())
+	fmt.Fprintf(stdout, "error rate: %.4f (accuracy %.4f)\n", errRate, 1-errRate)
+	fmt.Fprintf(stdout, "train %.2fs, test %.2fs\n", trainSec, time.Since(t1).Seconds())
 
 	if *savePath != "" {
 		f, err := os.Create(*savePath)
 		if err != nil {
-			fatal(err)
+			return fail(stderr, err)
 		}
 		if err := model.Save(f); err != nil {
 			f.Close()
-			fatal(err)
+			return fail(stderr, err)
 		}
 		if err := f.Close(); err != nil {
-			fatal(err)
+			return fail(stderr, err)
 		}
-		fmt.Printf("model saved to %s\n", *savePath)
+		fmt.Fprintf(stdout, "model saved to %s\n", *savePath)
 	}
 
 	if *importance > 0 {
 		weights, err := model.FeatureImportance()
 		if err != nil {
-			fatal(err)
+			return fail(stderr, err)
 		}
 		n := *importance
 		if n > len(weights) {
 			n = len(weights)
 		}
-		fmt.Println("top features by gain:")
+		fmt.Fprintln(stdout, "top features by gain:")
 		for _, fw := range weights[:n] {
-			fmt.Printf("  %-24s %.4f\n", fw.Name, fw.Weight)
+			fmt.Fprintf(stdout, "  %-24s %.4f\n", fw.Name, fw.Weight)
 		}
 	}
+	return 0
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "mvgcli:", err)
-	os.Exit(1)
+func runStream(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mvgcli stream", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		loadPath = fs.String("load", "", "saved model to stream against (required)")
+		hop      = fs.Int("hop", 1, "emit one prediction every N samples once the window is full")
+		inPath   = fs.String("in", "", "sample source, one number per line (default stdin)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *loadPath == "" {
+		fs.Usage()
+		return 2
+	}
+	f, err := os.Open(*loadPath)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	model, err := mvg.LoadModel(f)
+	f.Close()
+	if err != nil {
+		return fail(stderr, err)
+	}
+	stream, err := model.NewStream(*hop)
+	if err != nil {
+		return fail(stderr, err)
+	}
+
+	var in io.Reader = os.Stdin
+	if *inPath != "" {
+		sf, err := os.Open(*inPath)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		defer sf.Close()
+		in = sf
+	}
+	fmt.Fprintf(stderr, "mvgcli: streaming window=%d hop=%d incremental=%v\n",
+		stream.WindowLen(), stream.Hop(), stream.Incremental())
+
+	out := bufio.NewWriter(stdout)
+	defer out.Flush()
+	enc := json.NewEncoder(out)
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		x, err := strconv.ParseFloat(line, 64)
+		if err != nil {
+			return fail(stderr, fmt.Errorf("sample %d: not a number: %q", stream.Pushed(), line))
+		}
+		ready, err := stream.Push(x)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		if !ready {
+			continue
+		}
+		class, proba, err := stream.Predict(context.Background())
+		if err != nil {
+			return fail(stderr, err)
+		}
+		// serve.StreamPrediction is the shared line type of mvgserve's
+		// /stream endpoint — one protocol, one definition.
+		if err := enc.Encode(serve.StreamPrediction{Sample: stream.Pushed(), Class: class, Proba: proba}); err != nil {
+			return fail(stderr, err)
+		}
+		// One line per hop, delivered as it happens: flush so a pipe
+		// consumer sees predictions live, not on exit.
+		if err := out.Flush(); err != nil {
+			return fail(stderr, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fail(stderr, err)
+	}
+	return 0
+}
+
+func fail(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "mvgcli:", err)
+	return 1
 }

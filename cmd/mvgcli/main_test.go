@@ -1,0 +1,155 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mvg/internal/serve"
+)
+
+// TestMain doubles as the binary: when re-executed with MVGCLI_EXEC=1 the
+// test binary runs realMain directly, which is what lets the os/exec
+// round-trip below exercise the real process boundary (exit codes,
+// stdio) without compiling a second binary.
+func TestMain(m *testing.M) {
+	if os.Getenv("MVGCLI_EXEC") == "1" {
+		os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+	}
+	os.Exit(m.Run())
+}
+
+// writeUCR writes a small two-class UCR-format dataset (smooth sine vs
+// noise) to path and returns the series length.
+func writeUCR(t *testing.T, path string, perClass, length int, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var b strings.Builder
+	for i := 0; i < perClass; i++ {
+		b.WriteString("1")
+		phase := rng.Float64()
+		for k := 0; k < length; k++ {
+			fmt.Fprintf(&b, ",%g", math.Sin(2*math.Pi*(float64(k)/8+phase))+0.05*rng.NormFloat64())
+		}
+		b.WriteString("\n2")
+		for k := 0; k < length; k++ {
+			fmt.Fprintf(&b, ",%g", rng.NormFloat64())
+		}
+		b.WriteString("\n")
+	}
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTrainSavePredictRoundTrip is the CLI smoke test: train → save →
+// reload → evaluate → stream, on a temp dir, through the in-process entry
+// point (so the coverage job sees the CLI paths).
+func TestTrainSavePredictRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	trainPath := filepath.Join(dir, "toy_TRAIN")
+	testPath := filepath.Join(dir, "toy_TEST")
+	modelPath := filepath.Join(dir, "toy.mvg")
+	const length = 64
+	writeUCR(t, trainPath, 6, length, 1)
+	writeUCR(t, testPath, 4, length, 2)
+
+	var stdout, stderr bytes.Buffer
+	code := realMain([]string{
+		"-train", trainPath, "-test", testPath, "-save", modelPath, "-seed", "7",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("train exit = %d, stderr: %s", code, stderr.String())
+	}
+	for _, want := range []string{"train: 12 samples", "error rate:", "model saved to"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Fatalf("train output missing %q:\n%s", want, stdout.String())
+		}
+	}
+	if _, err := os.Stat(modelPath); err != nil {
+		t.Fatalf("saved model missing: %v", err)
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	code = realMain([]string{"-load", modelPath, "-test", testPath}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("load exit = %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "loaded model from") {
+		t.Fatalf("load output:\n%s", stdout.String())
+	}
+
+	// Stream the test file's first series through the saved model.
+	samples := filepath.Join(dir, "samples.txt")
+	raw, err := os.ReadFile(testPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := strings.SplitN(strings.TrimSpace(string(raw)), "\n", 2)[0]
+	fields := strings.Split(line, ",")[1:] // drop the label
+	if err := os.WriteFile(samples, []byte(strings.Join(fields, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	code = realMain([]string{"stream", "-load", modelPath, "-hop", "16", "-in", samples}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("stream exit = %d, stderr: %s", code, stderr.String())
+	}
+	lines := strings.Split(strings.TrimSpace(stdout.String()), "\n")
+	if len(lines) != 1 { // length == window, so exactly one hop fires
+		t.Fatalf("stream emitted %d lines, want 1:\n%s", len(lines), stdout.String())
+	}
+	var pred serve.StreamPrediction
+	if err := json.Unmarshal([]byte(lines[0]), &pred); err != nil {
+		t.Fatalf("bad NDJSON %q: %v", lines[0], err)
+	}
+	if pred.Sample != length || len(pred.Proba) != 2 {
+		t.Fatalf("prediction = %+v, want sample %d with 2 probas", pred, length)
+	}
+}
+
+// TestExecUsageAndErrors exercises the true process boundary via os/exec
+// re-execution: usage errors exit 2, runtime errors exit 1.
+func TestExecUsageAndErrors(t *testing.T) {
+	exe, err := os.Executable()
+	if err != nil {
+		t.Skip("no executable path:", err)
+	}
+	run := func(args ...string) (int, string) {
+		cmd := exec.Command(exe, args...)
+		cmd.Env = append(os.Environ(), "MVGCLI_EXEC=1")
+		var out bytes.Buffer
+		cmd.Stdout = &out
+		cmd.Stderr = &out
+		err := cmd.Run()
+		code := 0
+		if ee, ok := err.(*exec.ExitError); ok {
+			code = ee.ExitCode()
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		return code, out.String()
+	}
+
+	if code, _ := run(); code != 2 {
+		t.Fatalf("no args exit = %d, want 2", code)
+	}
+	if code, _ := run("stream"); code != 2 {
+		t.Fatalf("stream without -load exit = %d, want 2", code)
+	}
+	if code, out := run("-train", "/does/not/exist", "-test", "/does/not/exist"); code != 1 || !strings.Contains(out, "mvgcli:") {
+		t.Fatalf("missing files exit = %d output %q, want 1 with mvgcli: prefix", code, out)
+	}
+	if code, _ := run("stream", "-load", "/does/not/exist"); code != 1 {
+		t.Fatalf("stream with missing model exit = %d, want 1", code)
+	}
+}

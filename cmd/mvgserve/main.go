@@ -14,6 +14,8 @@
 //
 //	POST /v1/models/{name}/predict        {"series": [...]} or {"batch": [[...], ...]}
 //	POST /v1/models/{name}/predict_proba  same bodies, probability vectors back
+//	POST /v1/models/{name}/stream         NDJSON sliding-window dialogue: one sample
+//	                                      per line in, one prediction per hop out
 //	POST /v1/models/{name}/reload         atomically reload the model file
 //	GET  /v1/models                       registry listing with feature metadata
 //	GET  /healthz                         liveness

@@ -38,6 +38,16 @@ var (
 	// methods of a Model bound to that Pipeline) after Close: the worker
 	// pool has been released and the pipeline no longer accepts work.
 	ErrPipelineClosed = errors.New("mvg: pipeline closed")
+
+	// ErrStreamNotReady is returned by Stream.Features and Stream.Predict
+	// before the first full window has been pushed (Stream.Pushed() <
+	// Stream.WindowLen()).
+	ErrStreamNotReady = errors.New("mvg: stream window not yet full")
+
+	// ErrNonFiniteSample is returned by Stream.Push for NaN or infinite
+	// samples, which have no visibility ordering. The offending sample is
+	// rejected; the stream's window is untouched and stays usable.
+	ErrNonFiniteSample = errors.New("mvg: non-finite sample")
 )
 
 // ConfigError reports which Config field made a Pipeline unbuildable. It

@@ -219,6 +219,28 @@ func (e *Extractor) Extract(series []float64) ([]float64, error) {
 // scratch. The output is byte-identical to Extract's regardless of scratch
 // reuse — extraction is a pure function of the series.
 func (e *Extractor) ExtractWith(sc *Scratch, series []float64) ([]float64, error) {
+	return e.extractSeries(sc, series, nil, nil)
+}
+
+// ExtractWithGraphs is ExtractWith taking pre-built T0 visibility graphs —
+// the entry point of the streaming engine (mvg.Stream), whose incremental
+// maintainer already holds the window's graphs in CSR form. A non-nil
+// t0vg / t0hvg substitutes for the batch builder at the original scale;
+// deeper pyramid scales are still built by the batch builders in sc. The
+// output is bit-identical to ExtractWith provided the supplied graphs
+// equal the batch builders' output on the preprocessed series, which holds
+// exactly when preprocessing is structure-preserving at the bit level
+// (Options.NoDetrend and Options.NoZNormalize set — see docs/streaming.md
+// for why streaming configs disable window-relative preprocessing).
+//
+// Supplied graphs are ignored under ApproxMultiscale (T0 contributes no
+// features there) and must have exactly len(series) vertices otherwise.
+func (e *Extractor) ExtractWithGraphs(sc *Scratch, series []float64, t0vg, t0hvg *graph.Graph) ([]float64, error) {
+	return e.extractSeries(sc, series, t0vg, t0hvg)
+}
+
+// extractSeries is the shared body of ExtractWith and ExtractWithGraphs.
+func (e *Extractor) extractSeries(sc *Scratch, series []float64, t0vg, t0hvg *graph.Graph) ([]float64, error) {
 	if sc == nil {
 		sc = NewScratch()
 	}
@@ -233,26 +255,45 @@ func (e *Extractor) ExtractWith(sc *Scratch, series []float64) ([]float64, error
 		return nil, fmt.Errorf("%w: n=%d tau=%d mode=%s",
 			ErrSeriesTooShort, len(series), e.tau, e.opts.Scales)
 	}
+	if e.opts.Scales == ApproxMultiscale {
+		t0vg, t0hvg = nil, nil
+	}
 	out := make([]float64, 0, len(scales)*e.graphsPerScale()*e.perGraphWidth())
-	for _, t := range scales {
+	for si, t := range scales {
 		if len(t) < 2 {
 			return nil, fmt.Errorf("%w: scale of %d points", ErrSeriesTooShort, len(t))
 		}
+		vg, hvg := t0vg, t0hvg
+		if si > 0 {
+			vg, hvg = nil, nil
+		}
 		if e.opts.Graphs == VGAndHVG || e.opts.Graphs == VGOnly {
-			edges, err := sc.vis.VGEdges(t)
-			if err != nil {
-				return nil, err
+			g := vg
+			if g == nil {
+				edges, err := sc.vis.VGEdges(t)
+				if err != nil {
+					return nil, err
+				}
+				sc.g.BuildUnchecked(len(t), edges)
+				g = &sc.g
+			} else if g.N() != len(t) {
+				return nil, fmt.Errorf("core: supplied T0 VG has %d vertices, scale has %d", g.N(), len(t))
 			}
-			sc.g.BuildUnchecked(len(t), edges)
-			out = e.graphBlock(out, &sc.g, sc)
+			out = e.graphBlock(out, g, sc)
 		}
 		if e.opts.Graphs == VGAndHVG || e.opts.Graphs == HVGOnly {
-			edges, err := sc.vis.HVGEdges(t)
-			if err != nil {
-				return nil, err
+			g := hvg
+			if g == nil {
+				edges, err := sc.vis.HVGEdges(t)
+				if err != nil {
+					return nil, err
+				}
+				sc.g.BuildUnchecked(len(t), edges)
+				g = &sc.g
+			} else if g.N() != len(t) {
+				return nil, fmt.Errorf("core: supplied T0 HVG has %d vertices, scale has %d", g.N(), len(t))
 			}
-			sc.g.BuildUnchecked(len(t), edges)
-			out = e.graphBlock(out, &sc.g, sc)
+			out = e.graphBlock(out, g, sc)
 		}
 	}
 	return out, nil

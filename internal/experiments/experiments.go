@@ -205,7 +205,7 @@ func NewRunner(cfg Config) *Runner { return &Runner{Cfg: cfg} }
 // paper's §4.5 efficiency study to the parallel batch executor).
 var Experiments = []string{
 	"fig2", "table2", "fig3", "fig4", "fig5", "fig6", "fig7",
-	"table3", "fig8", "fig9", "fig10", "throughput",
+	"table3", "fig8", "fig9", "fig10", "throughput", "stream",
 }
 
 // Run dispatches one experiment by id and writes its report to cfg.Out.
@@ -235,6 +235,8 @@ func (r *Runner) Run(name string) error {
 		return r.RunFigure10()
 	case "throughput":
 		return r.RunThroughput()
+	case "stream":
+		return r.RunStream()
 	case "extras":
 		return r.RunExtras()
 	case "all":

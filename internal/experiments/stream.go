@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"mvg/internal/core"
+	"mvg/internal/graph"
+	"mvg/internal/visibility"
+)
+
+// RunStream measures the streaming sliding-window engine against per-slide
+// full recomputation — the workload the batch tables cannot see: samples
+// arriving one at a time with features due every hop. It compares the push
+// throughput of incremental graph maintenance (internal/visibility
+// .Incremental, the engine behind mvg.Stream) against rebuilding the
+// window's graphs on every slide (hop=1, the worst case), reports feature
+// throughput at a serving hop, and verifies the determinism contract —
+// snapshot-based features bit-identical to batch extraction — on the fly.
+func (r *Runner) RunStream() error {
+	w := r.Cfg.Out
+	windowLen, total := 512, 8192
+	if !r.Cfg.Quick {
+		windowLen, total = 1024, 131072
+	}
+	// The streaming configuration: uniscale, both graphs, preprocessing
+	// off so incremental maintenance is bit-exact (docs/streaming.md).
+	opts := core.Options{Scales: core.Uniscale, NoDetrend: true, NoZNormalize: true}
+	extractor, err := core.NewExtractor(opts)
+	if err != nil {
+		return err
+	}
+
+	rng := rand.New(rand.NewSource(r.Cfg.Seed))
+	samples := make([]float64, total)
+	level := 0.0
+	for i := range samples {
+		level += rng.NormFloat64()
+		samples[i] = level
+	}
+
+	fmt.Fprintf(w, "== Stream: sliding-window graph maintenance, window %d, %d samples ==\n", windowLen, total)
+	tbl := newTable(w)
+	tbl.header("Mode", "Hop", "Samples/sec", "Speedup", "Identical")
+
+	// Incremental maintenance at hop=1: every push keeps both window
+	// graphs current.
+	inc, err := visibility.NewIncremental(windowLen, true, true)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	for _, x := range samples {
+		if err := inc.Push(x); err != nil {
+			return err
+		}
+	}
+	incRate := float64(total) / time.Since(start).Seconds()
+
+	// Full recompute at hop=1: materialize the window and rerun the batch
+	// builders per slide, with every buffer reused.
+	ring := make([]float64, windowLen)
+	window := make([]float64, windowLen)
+	var builder visibility.Builder
+	var vg, hvg graph.Graph
+	start = time.Now()
+	rebuilt := 0
+	for i, x := range samples {
+		ring[i%windowLen] = x
+		if i+1 < windowLen {
+			continue
+		}
+		for k := 0; k < windowLen; k++ {
+			window[k] = ring[(i+1+k)%windowLen]
+		}
+		edges, err := builder.VGEdges(window)
+		if err != nil {
+			return err
+		}
+		vg.BuildUnchecked(windowLen, edges)
+		edges, err = builder.HVGEdges(window)
+		if err != nil {
+			return err
+		}
+		hvg.BuildUnchecked(windowLen, edges)
+		rebuilt++
+		if time.Since(start) > 5*time.Second {
+			break // rate is stable long before the stream drains
+		}
+	}
+	recRate := float64(rebuilt) / time.Since(start).Seconds()
+
+	// Determinism check at a serving hop: features from the incremental
+	// snapshots must be bit-identical to batch extraction of the window.
+	hop := windowLen / 8
+	inc2, err := visibility.NewIncremental(windowLen, true, true)
+	if err != nil {
+		return err
+	}
+	sc := core.NewScratch()
+	var vgSnap, hvgSnap graph.Graph
+	identical := true
+	hops := 0
+	start = time.Now()
+	for i, x := range samples {
+		if err := inc2.Push(x); err != nil {
+			return err
+		}
+		if i+1 < windowLen || (i+1-windowLen)%hop != 0 {
+			continue
+		}
+		hops++
+		window = inc2.WindowInto(window)
+		inc2.SnapshotVG(&vgSnap)
+		inc2.SnapshotHVG(&hvgSnap)
+		got, err := extractor.ExtractWithGraphs(sc, window, &vgSnap, &hvgSnap)
+		if err != nil {
+			return err
+		}
+		want, err := extractor.ExtractWith(nil, window)
+		if err != nil {
+			return err
+		}
+		if !matricesEqual([][]float64{got}, [][]float64{want}) {
+			identical = false
+		}
+	}
+	hopRate := float64(total) / time.Since(start).Seconds()
+
+	tbl.row("incremental push", "1", fmt.Sprintf("%.0f", incRate), fmt.Sprintf("%.1fx", incRate/recRate), "—")
+	tbl.row("full recompute", "1", fmt.Sprintf("%.0f", recRate), "1.0x", "—")
+	tbl.row("incremental+features", fmt.Sprint(hop), fmt.Sprintf("%.0f", hopRate), "", fmt.Sprintf("%v (%d hops)", identical, hops))
+	tbl.flush()
+	fmt.Fprintln(w)
+	if !identical {
+		return fmt.Errorf("stream: features diverged from batch extraction")
+	}
+	return nil
+}

@@ -1,0 +1,25 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunStream executes the streaming experiment in quick mode: it must
+// report an incremental-vs-recompute speedup and verify the determinism
+// contract itself (RunStream fails when stream features diverge from
+// batch extraction, so a pass here is also a correctness check).
+func TestRunStream(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRunner(tinyConfig(&buf))
+	if err := r.Run("stream"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"incremental push", "full recompute", "true ("} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("stream report missing %q:\n%s", want, out)
+		}
+	}
+}

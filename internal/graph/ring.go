@@ -1,0 +1,156 @@
+package graph
+
+import "mvg/internal/buf"
+
+// RingGraph is the sliding-window graph substrate behind mvg.Stream: an
+// undirected graph whose vertices are a contiguous window of a monotone
+// logical sequence (time steps). It supports exactly the two mutations a
+// sliding window needs — Append a new rightmost vertex with edges to older
+// vertices, and Evict the leftmost vertex with all its incident edges —
+// each in O(degree), with all storage reused across window slides.
+//
+// Vertices are addressed by their logical id (the value of Append's
+// counter when they were added); the live window is [Start, Start+Len).
+// Internally each vertex's adjacency row lives in a ring slot (id modulo
+// capacity), stored in ascending logical order. Two facts keep mutations
+// O(degree) without any searching:
+//
+//   - Append only ever links the new vertex (the window maximum id), so an
+//     older vertex's row is extended at its tail and stays sorted.
+//   - Evict removes the smallest live id, which — rows being sorted and
+//     already purged of earlier evictions — is the head entry of every row
+//     that contains it, so removal is a per-row head advance.
+//
+// ToCSR materializes the window as an ordinary CSR Graph (vertices
+// renumbered to 0..Len-1 in window order), so every existing feature
+// kernel runs unchanged on the snapshot.
+//
+// A RingGraph must not be shared between goroutines. The zero value is not
+// ready for use; construct with NewRingGraph or Reset.
+type RingGraph struct {
+	capacity int
+	start    int // logical id of the oldest live vertex
+	count    int // live vertices
+	m        int // live edges
+
+	rows  [][]int // slot → ascending logical neighbor ids (with a dead prefix)
+	heads []int   // slot → index of the first live entry of rows[slot]
+
+	elist [][2]int // reusable ToCSR edge-list scratch
+}
+
+// NewRingGraph returns an empty ring graph for windows of up to capacity
+// vertices.
+func NewRingGraph(capacity int) *RingGraph {
+	r := &RingGraph{}
+	r.Reset(capacity)
+	return r
+}
+
+// Reset reinitializes r in place to an empty window of the given capacity,
+// retaining row storage when the capacity is unchanged.
+func (r *RingGraph) Reset(capacity int) {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if capacity != r.capacity || r.rows == nil {
+		r.rows = make([][]int, capacity)
+		r.heads = make([]int, capacity)
+	} else {
+		for i := range r.rows {
+			r.rows[i] = r.rows[i][:0]
+			r.heads[i] = 0
+		}
+	}
+	r.capacity = capacity
+	r.start = 0
+	r.count = 0
+	r.m = 0
+}
+
+// Capacity returns the maximum number of live vertices.
+func (r *RingGraph) Capacity() int { return r.capacity }
+
+// Len returns the number of live vertices.
+func (r *RingGraph) Len() int { return r.count }
+
+// M returns the number of live edges.
+func (r *RingGraph) M() int { return r.m }
+
+// Start returns the logical id of the oldest live vertex; the next Append
+// creates id Start()+Len().
+func (r *RingGraph) Start() int { return r.start }
+
+// Degree returns the degree of the live vertex with the given logical id.
+func (r *RingGraph) Degree(id int) int {
+	slot := id % r.capacity
+	return len(r.rows[slot]) - r.heads[slot]
+}
+
+// Append adds the next vertex (logical id Start()+Len()) linked to the
+// given older live vertices and returns its id. neighbors must be strictly
+// ascending logical ids within the live window; the slice is copied, not
+// retained. The window must not be full — callers evict first (mvg.Stream
+// does; see internal/visibility.Incremental).
+func (r *RingGraph) Append(neighbors []int) int {
+	if r.count == r.capacity {
+		panic("graph: RingGraph.Append on a full window (Evict first)")
+	}
+	id := r.start + r.count
+	slot := id % r.capacity
+	row := r.rows[slot][:0]
+	r.heads[slot] = 0
+	for _, v := range neighbors {
+		row = append(row, v)
+		vslot := v % r.capacity
+		r.rows[vslot] = append(r.rows[vslot], id)
+	}
+	r.rows[slot] = row
+	r.m += len(neighbors)
+	r.count++
+	return id
+}
+
+// Evict removes the oldest live vertex and its incident edges. It is a
+// no-op on an empty window.
+func (r *RingGraph) Evict() {
+	if r.count == 0 {
+		return
+	}
+	u := r.start
+	uslot := u % r.capacity
+	row := r.rows[uslot][r.heads[uslot]:]
+	for _, v := range row {
+		// u is v's smallest live neighbor: advance past it.
+		r.heads[v%r.capacity]++
+	}
+	r.m -= len(row)
+	r.rows[uslot] = r.rows[uslot][:0]
+	r.heads[uslot] = 0
+	r.start++
+	r.count--
+}
+
+// ToCSR materializes the live window into g as a CSR graph with vertices
+// renumbered to 0..Len()-1 in window order (logical id minus Start). The
+// snapshot goes through the same counting-sort build as the batch
+// visibility constructors, so a RingGraph holding the same edge set as a
+// batch-built window produces a bit-identical CSR layout — the property
+// mvg.Stream's determinism contract rests on. All of g's and r's storage
+// is reused across snapshots.
+func (r *RingGraph) ToCSR(g *Graph) {
+	edges := buf.Grow(r.elist, r.m)[:0]
+	for k := 0; k < r.count; k++ {
+		id := r.start + k
+		slot := id % r.capacity
+		for _, v := range r.rows[slot][r.heads[slot]:] {
+			// Each edge appears in both endpoint rows; emit it from the
+			// higher endpoint so every edge is listed exactly once.
+			if v < id {
+				edges = append(edges, [2]int{v - r.start, k})
+			}
+		}
+	}
+	r.elist = edges
+	g.BuildUnchecked(r.count, edges)
+}

@@ -69,6 +69,7 @@ func NewServer(cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /v1/models", s.handleModels)
 	mux.HandleFunc("POST /v1/models/{name}/predict", s.handlePredict)
 	mux.HandleFunc("POST /v1/models/{name}/predict_proba", s.handlePredictProba)
+	mux.HandleFunc("POST /v1/models/{name}/stream", s.handleStream)
 	mux.HandleFunc("POST /v1/models/{name}/reload", s.handleReload)
 	s.handler = s.instrument(mux)
 	return s, nil
@@ -204,7 +205,9 @@ func writeError(w http.ResponseWriter, err error) {
 		code = http.StatusServiceUnavailable
 	case errors.Is(err, mvg.ErrShapeMismatch),
 		errors.Is(err, mvg.ErrSeriesTooShort),
-		errors.Is(err, mvg.ErrBadConfig):
+		errors.Is(err, mvg.ErrBadConfig),
+		errors.Is(err, mvg.ErrNonFiniteSample),
+		errors.Is(err, mvg.ErrStreamNotReady):
 		code = http.StatusBadRequest
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		code = StatusClientClosedRequest
@@ -378,6 +381,13 @@ func (sr *statusRecorder) WriteHeader(code int) {
 	sr.ResponseWriter.WriteHeader(code)
 }
 
+// Unwrap lets http.ResponseController reach the underlying writer's
+// Flush/EnableFullDuplex through the middleware wrapper — without it the
+// /stream endpoint's per-line flushing and full-duplex opt-in silently
+// degrade to ErrNotSupported and long dialogues die once the server's
+// write buffer fills (pinned by TestStreamEndpointLongDialogue).
+func (sr *statusRecorder) Unwrap() http.ResponseWriter { return sr.ResponseWriter }
+
 // instrument wraps the mux with panic recovery and metrics: the in-flight
 // gauge, per-route/status counters and the latency histogram.
 func (s *Server) instrument(next http.Handler) http.Handler {
@@ -416,6 +426,8 @@ func routeLabel(r *http.Request) string {
 		return "predict"
 	case strings.HasSuffix(r.URL.Path, "/predict_proba"):
 		return "predict_proba"
+	case strings.HasSuffix(r.URL.Path, "/stream"):
+		return "stream"
 	case strings.HasSuffix(r.URL.Path, "/reload"):
 		return "reload"
 	}

@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// Streaming endpoint: POST /v1/models/{name}/stream carries an NDJSON
+// dialogue over one request — each request-body line is one sample (a JSON
+// number), and every time the model's sliding window crosses a hop
+// boundary the server writes one prediction line back:
+//
+//	{"sample":640,"class":1,"proba":[0.11,0.89]}
+//
+// The window length is the model's training length; the hop is the ?hop=N
+// query parameter (default 1). When the body ends, a terminal line
+//
+//	{"done":true,"samples":700,"predictions":8}
+//
+// closes the dialogue. Errors after the first prediction cannot change the
+// HTTP status (headers are gone), so they surface as an {"error":...}
+// line followed by end-of-stream; errors before any output use the normal
+// status mapping. The stream is context-cancellable: a dropped client
+// connection stops extraction at the next sample. See docs/streaming.md
+// for the protocol and docs/serving.md for how it relates to the batch
+// endpoints.
+
+// The three NDJSON response line shapes of the /stream endpoint. They are
+// separate types so each line carries exactly its documented fields — in
+// particular the terminal line always includes samples and predictions,
+// even when zero. StreamPrediction is exported because `mvgcli stream`
+// speaks the identical protocol: sharing the type is what keeps the two
+// from drifting.
+type StreamPrediction struct {
+	Sample int       `json:"sample"`
+	Class  int       `json:"class"`
+	Proba  []float64 `json:"proba"`
+}
+
+type streamDoneEvent struct {
+	Done        bool `json:"done"`
+	Samples     int  `json:"samples"`
+	Predictions int  `json:"predictions"`
+}
+
+type streamErrorEvent struct {
+	Error string `json:"error"`
+}
+
+// maxStreamLine bounds one NDJSON input line; a single float64 never needs
+// more, so larger lines are protocol violations, not big requests.
+const maxStreamLine = 4096
+
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	_, m, err := s.model(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	hop := 1
+	if raw := r.URL.Query().Get("hop"); raw != "" {
+		hop, err = strconv.Atoi(raw)
+		if err != nil {
+			writeError(w, httpErrorf(http.StatusBadRequest, "invalid hop %q: %v", raw, err))
+			return
+		}
+	}
+	stream, err := m.NewStream(hop)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+
+	// The dialogue reads the body while writing the response; HTTP/1.1
+	// needs full-duplex opted in. Errors (HTTP/2, recorders) are fine —
+	// those transports already allow it or buffer the whole body.
+	rc := http.NewResponseController(w)
+	_ = rc.EnableFullDuplex()
+
+	enc := json.NewEncoder(w)
+	wrote := false
+	emit := func(ev any) bool {
+		if !wrote {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.WriteHeader(http.StatusOK)
+			wrote = true
+		}
+		if err := enc.Encode(ev); err != nil {
+			return false
+		}
+		_ = rc.Flush()
+		return true
+	}
+	fail := func(err error) {
+		if wrote {
+			emit(streamErrorEvent{Error: err.Error()})
+			return
+		}
+		writeError(w, err)
+	}
+
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, maxStreamLine), maxStreamLine)
+	predictions := 0
+	for sc.Scan() {
+		if err := r.Context().Err(); err != nil {
+			fail(err)
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		x, err := strconv.ParseFloat(line, 64)
+		if err != nil {
+			fail(httpErrorf(http.StatusBadRequest, "sample %d: not a number: %q", stream.Pushed(), line))
+			return
+		}
+		ready, err := stream.Push(x)
+		if err != nil {
+			// writeError already maps the push taxonomy (non-finite → 400).
+			fail(err)
+			return
+		}
+		if !ready {
+			continue
+		}
+		class, proba, err := stream.Predict(r.Context())
+		if err != nil {
+			fail(err)
+			return
+		}
+		predictions++
+		if !emit(StreamPrediction{Sample: stream.Pushed(), Class: class, Proba: proba}) {
+			return
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fail(httpErrorf(http.StatusBadRequest, "reading stream: %v", err))
+		return
+	}
+	emit(streamDoneEvent{Done: true, Samples: stream.Pushed(), Predictions: predictions})
+}

@@ -1,0 +1,69 @@
+package ucr
+
+import (
+	"errors"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestParseErrorTaxonomy pins the typed-error contract of the loader:
+// every malformed input matches ErrMalformed via errors.Is and exposes
+// its coordinates via errors.As.
+func TestParseErrorTaxonomy(t *testing.T) {
+	cases := []struct {
+		name        string
+		in          string
+		line, field int
+	}{
+		{"empty-file", "", 0, 0},
+		{"label-only-row", "1\n", 1, 0},
+		{"non-numeric-value", "1,1.5,abc,2\n", 1, 3},
+		{"non-numeric-later-line", "1,1,2\n2,3,x\n", 2, 3},
+		{"whitespace-form-bad-value", "1 2 nope\n", 1, 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Read(strings.NewReader(tc.in), "toy")
+			if err == nil {
+				t.Fatal("Read succeeded on malformed input")
+			}
+			if !errors.Is(err, ErrMalformed) {
+				t.Fatalf("errors.Is(err, ErrMalformed) = false for %v", err)
+			}
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("errors.As(*ParseError) = false for %T %v", err, err)
+			}
+			if pe.File != "toy" || pe.Line != tc.line || pe.Field != tc.field {
+				t.Fatalf("ParseError coordinates = %s:%d:%d, want toy:%d:%d",
+					pe.File, pe.Line, pe.Field, tc.line, tc.field)
+			}
+		})
+	}
+}
+
+// TestParseErrorWrapsCause checks the underlying strconv failure stays
+// reachable through the chain.
+func TestParseErrorWrapsCause(t *testing.T) {
+	_, err := Read(strings.NewReader("1,oops\n"), "toy")
+	var ne *strconv.NumError
+	if !errors.As(err, &ne) {
+		t.Fatalf("strconv cause not reachable through %v", err)
+	}
+	if !errors.Is(err, ErrMalformed) {
+		t.Fatal("wrapped cause broke the ErrMalformed match")
+	}
+}
+
+// TestReadFileMissingIsNotMalformed keeps I/O failures distinct from
+// malformed content: a missing file must not match ErrMalformed.
+func TestReadFileMissingIsNotMalformed(t *testing.T) {
+	_, err := ReadFile("/does/not/exist")
+	if err == nil {
+		t.Fatal("ReadFile succeeded on a missing path")
+	}
+	if errors.Is(err, ErrMalformed) {
+		t.Fatalf("missing file matched ErrMalformed: %v", err)
+	}
+}

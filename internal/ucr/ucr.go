@@ -16,6 +16,50 @@ import (
 	"strings"
 )
 
+// ErrMalformed is the sentinel for unparseable UCR content: short rows,
+// non-numeric values, empty files. Every parse failure wraps it (match
+// with errors.Is) through a *ParseError carrying the file/line/field
+// coordinates (recover with errors.As) — the same taxonomy style as the
+// public mvg error surface (docs/api.md).
+var ErrMalformed = errors.New("ucr: malformed data")
+
+// ParseError locates one malformed spot in a UCR-format input. Line and
+// Field are 1-based; zero means "not applicable" (e.g. an empty file).
+// Err holds the underlying cause (a strconv error, an I/O error) when
+// there is one.
+type ParseError struct {
+	File  string // input name as passed to Read/ReadFile
+	Line  int    // 1-based line number, 0 when whole-file
+	Field int    // 1-based field number within the line, 0 when whole-line
+	Msg   string // what was wrong
+	Err   error  // underlying cause, may be nil
+}
+
+func (e *ParseError) Error() string {
+	var b strings.Builder
+	b.WriteString("ucr: ")
+	b.WriteString(e.File)
+	if e.Line > 0 {
+		fmt.Fprintf(&b, " line %d", e.Line)
+	}
+	if e.Field > 0 {
+		fmt.Fprintf(&b, " field %d", e.Field)
+	}
+	b.WriteString(": ")
+	b.WriteString(e.Msg)
+	if e.Err != nil {
+		fmt.Fprintf(&b, ": %v", e.Err)
+	}
+	return b.String()
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As chains.
+func (e *ParseError) Unwrap() error { return e.Err }
+
+// Is makes every ParseError match errors.Is(err, ErrMalformed) regardless
+// of the underlying cause.
+func (e *ParseError) Is(target error) bool { return target == ErrMalformed }
+
 // Dataset is one split (train or test) of a UCR-format dataset.
 type Dataset struct {
 	// Name is a human-readable identifier (file stem or generator name).
@@ -85,23 +129,26 @@ func Read(r io.Reader, name string) (*Dataset, error) {
 		}
 		fields := splitFlexible(line)
 		if len(fields) < 2 {
-			return nil, fmt.Errorf("ucr: %s line %d: need a label and at least one value", name, lineNo)
+			return nil, &ParseError{File: name, Line: lineNo, Msg: "need a label and at least one value"}
 		}
 		values := make([]float64, len(fields)-1)
 		for i, f := range fields[1:] {
 			v, err := strconv.ParseFloat(f, 64)
 			if err != nil {
-				return nil, fmt.Errorf("ucr: %s line %d field %d: %w", name, lineNo, i+2, err)
+				return nil, &ParseError{File: name, Line: lineNo, Field: i + 2, Msg: "not a number", Err: err}
 			}
 			values[i] = v
 		}
 		rows = append(rows, row{label: fields[0], values: values})
 	}
 	if err := scanner.Err(); err != nil {
+		// A mid-read I/O failure is not malformed content: keep it out of
+		// the ErrMalformed taxonomy so callers can tell a retryable fault
+		// from permanently bad data.
 		return nil, fmt.Errorf("ucr: reading %s: %w", name, err)
 	}
 	if len(rows) == 0 {
-		return nil, fmt.Errorf("ucr: %s contains no samples", name)
+		return nil, &ParseError{File: name, Msg: "contains no samples"}
 	}
 	tokens := map[string]bool{}
 	for _, r := range rows {

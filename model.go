@@ -108,23 +108,30 @@ func fitClassifier(ctx context.Context, run parallel.Runner, X [][]float64, labe
 	return nil, nil, fmt.Errorf("mvg: internal: classifier %q passed validation but has no dispatch arm", cfg.Classifier)
 }
 
-// features extracts (and scales, if configured) inference features on the
-// model's pipeline, after validating every series against the training
-// length.
+// features extracts inference features on the model's pipeline, after
+// validating every series against the training length.
 func (m *Model) features(ctx context.Context, series [][]float64) ([][]float64, error) {
 	for i, s := range series {
 		if len(s) != m.seriesLen {
 			return nil, &ShapeError{What: fmt.Sprintf("series %d length", i), Got: len(s), Want: m.seriesLen}
 		}
 	}
-	X, err := m.pipe.Extract(ctx, series)
-	if err != nil {
-		return nil, err
-	}
+	return m.pipe.Extract(ctx, series)
+}
+
+// classifyFeatures is the single scale-then-classify tail shared by every
+// prediction path — batch (PredictProba) and streaming (Stream.Predict) —
+// so the two can never drift: it applies the fitted scaler when the
+// classifier needs one and returns the class-probability rows.
+func (m *Model) classifyFeatures(X [][]float64) ([][]float64, error) {
 	if m.scaler != nil {
-		return m.scaler.Transform(X)
+		var err error
+		X, err = m.scaler.Transform(X)
+		if err != nil {
+			return nil, err
+		}
 	}
-	return X, nil
+	return m.clf.PredictProba(X)
 }
 
 // PredictProba returns one class-probability vector per series, fanning
@@ -140,7 +147,7 @@ func (m *Model) PredictProba(ctx context.Context, series [][]float64) ([][]float
 	if err != nil {
 		return nil, err
 	}
-	return m.clf.PredictProba(X)
+	return m.classifyFeatures(X)
 }
 
 // PredictBatch classifies a batch of series on the model's pipeline and

@@ -58,6 +58,18 @@ type Config struct {
 	// entropy, transitivity) to every graph block.
 	Extended bool
 
+	// NoDetrend disables removal of the least-squares linear trend before
+	// graph construction, and NoZNormalize disables z-normalization.
+	// Visibility-graph structure is invariant under both transforms (they
+	// are affine plus a linear trend, which neither visibility criterion
+	// can see), so for the graph-statistical features this library
+	// extracts they only matter at the floating-point margin. Streaming
+	// pipelines set both: with window-relative preprocessing off, the
+	// sliding-window engine can maintain the T0 graphs incrementally and
+	// stay bit-identical to batch extraction (see docs/streaming.md).
+	NoDetrend    bool
+	NoZNormalize bool
+
 	// Classifier is "xgb" (default), "rf", "svm", or "stack" (stacked
 	// generalization over all three families, Algorithm 2).
 	Classifier string
@@ -143,6 +155,7 @@ func (c Config) extractor() (*core.Extractor, error) {
 	}
 	return core.NewExtractor(core.Options{
 		Scales: s, Graphs: g, Features: f, Tau: c.Tau, Extended: c.Extended,
+		NoDetrend: c.NoDetrend, NoZNormalize: c.NoZNormalize,
 	})
 }
 

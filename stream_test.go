@@ -1,0 +1,401 @@
+package mvg
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// streamCfg is the canonical streaming configuration: preprocessing off
+// (structure-preserving at the bit level), so the incremental path is
+// active. See docs/streaming.md.
+func streamCfg(scale, graphs string) Config {
+	return Config{Scale: scale, Graphs: graphs, NoDetrend: true, NoZNormalize: true}
+}
+
+// adversarialStreams returns the series shapes the streaming determinism
+// contract is pinned on, each generated at the requested length.
+func adversarialStreams(n int, seed int64) map[string][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	monotone := make([]float64, n)
+	constant := make([]float64, n)
+	sawtooth := make([]float64, n)
+	walk := make([]float64, n)
+	level := 0.0
+	for i := 0; i < n; i++ {
+		monotone[i] = float64(i)
+		constant[i] = 2.5
+		sawtooth[i] = float64(i % 7)
+		level += rng.NormFloat64()
+		walk[i] = level
+	}
+	return map[string][]float64{
+		"monotone": monotone,
+		"constant": constant,
+		"sawtooth": sawtooth,
+		"walk":     walk,
+	}
+}
+
+func bitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// driveStream pushes series through a stream of the given geometry and, on
+// every hop, compares Features against Pipeline.Extract on the
+// materialized window — the bit-identical determinism contract.
+func driveStream(t *testing.T, p *Pipeline, series []float64, windowLen, hop int, wantIncremental bool) {
+	t.Helper()
+	s, err := p.NewStream(windowLen, hop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Incremental() != wantIncremental {
+		t.Fatalf("Incremental() = %v, want %v", s.Incremental(), wantIncremental)
+	}
+	hops := 0
+	for i, x := range series {
+		ready, err := s.Push(x)
+		if err != nil {
+			t.Fatalf("push %d: %v", i, err)
+		}
+		if wantReady := i+1 >= windowLen && (i+1-windowLen)%hop == 0; ready != wantReady {
+			t.Fatalf("push %d: ready = %v, want %v", i, ready, wantReady)
+		}
+		if !ready {
+			continue
+		}
+		hops++
+		got, err := s.Features()
+		if err != nil {
+			t.Fatal(err)
+		}
+		window := series[i+1-windowLen : i+1]
+		want, err := p.Extract(context.Background(), [][]float64{window})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bitsEqual(got, want[0]) {
+			t.Fatalf("window ending at %d: stream features differ from batch extraction\n got %v\nwant %v", i, got, want[0])
+		}
+	}
+	if hops == 0 {
+		t.Fatalf("series of %d samples produced no hops at window %d", len(series), windowLen)
+	}
+}
+
+// TestStreamMatchesBatchSweep is the differential sweep of the acceptance
+// criteria: window lengths {16, 64, 512} × hops {1, 8, windowLen} ×
+// adversarial series, on the incremental streaming configuration.
+func TestStreamMatchesBatchSweep(t *testing.T) {
+	p, err := NewPipeline(streamCfg("uvg", "both"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	for _, windowLen := range []int{16, 64, 512} {
+		extra := 4 * windowLen
+		if windowLen == 512 {
+			extra = 48 // bound test time: 48 slides of the large window
+		}
+		for name, series := range adversarialStreams(windowLen+extra, int64(windowLen)) {
+			for _, hop := range []int{1, 8, windowLen} {
+				if hop > windowLen {
+					continue
+				}
+				t.Run(name, func(t *testing.T) {
+					driveStream(t, p, series, windowLen, hop, true)
+				})
+			}
+		}
+	}
+}
+
+// TestStreamMatchesBatchModes pins the contract across scale and graph
+// modes, incremental (preprocessing off) and fallback (default
+// preprocessing, multiscale) alike.
+func TestStreamMatchesBatchModes(t *testing.T) {
+	cases := []struct {
+		name        string
+		cfg         Config
+		incremental bool
+	}{
+		{"uvg-vg-only", streamCfg("uvg", "vg"), true},
+		{"uvg-hvg-only", streamCfg("uvg", "hvg"), true},
+		{"mvg-incremental", streamCfg("mvg", "both"), true},
+		{"amvg-fallback", streamCfg("amvg", "both"), false},
+		{"default-preprocessing-fallback", Config{}, false},
+		{"znorm-only-fallback", Config{Scale: "uvg", NoDetrend: true}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := NewPipeline(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer p.Close()
+			windowLen := 64
+			if tc.cfg.Scale == "amvg" || tc.cfg.Scale == "" || tc.cfg.Scale == "mvg" {
+				windowLen = 96 // deep enough for at least one pyramid level
+			}
+			for name, series := range adversarialStreams(3*windowLen, 11) {
+				for _, hop := range []int{1, 5, windowLen} {
+					t.Run(name, func(t *testing.T) {
+						driveStream(t, p, series, windowLen, hop, tc.incremental)
+					})
+				}
+			}
+		})
+	}
+}
+
+func TestStreamGeometryValidation(t *testing.T) {
+	p, err := NewPipeline(streamCfg("uvg", "both"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	var ce *ConfigError
+	if _, err := p.NewStream(1, 1); !errors.As(err, &ce) || !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("NewStream(1,1) err = %v, want *ConfigError", err)
+	}
+	if _, err := p.NewStream(16, 0); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("NewStream(16,0) err = %v, want ErrBadConfig", err)
+	}
+	if _, err := p.NewStream(16, 17); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("NewStream(16,17) err = %v, want ErrBadConfig", err)
+	}
+	// amvg needs a window long enough to produce at least one halved scale.
+	pa, err := NewPipeline(Config{Scale: "amvg"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pa.Close()
+	if _, err := pa.NewStream(16, 1); !errors.Is(err, ErrSeriesTooShort) {
+		t.Fatalf("amvg NewStream(16,1) err = %v, want ErrSeriesTooShort", err)
+	}
+}
+
+func TestStreamNotReadyAndNonFinite(t *testing.T) {
+	p, err := NewPipeline(streamCfg("uvg", "both"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	s, err := p.NewStream(8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Features(); !errors.Is(err, ErrStreamNotReady) {
+		t.Fatalf("Features on empty stream: %v, want ErrStreamNotReady", err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := s.Push(float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, bad := range []float64{math.NaN(), math.Inf(1)} {
+		if _, err := s.Push(bad); !errors.Is(err, ErrNonFiniteSample) {
+			t.Fatalf("Push(%v) err = %v, want ErrNonFiniteSample", bad, err)
+		}
+	}
+	if s.Pushed() != 5 {
+		t.Fatalf("rejected samples advanced the stream: Pushed = %d, want 5", s.Pushed())
+	}
+	// The stream stays usable and consistent after rejected pushes.
+	for i := 5; i < 12; i++ {
+		if _, err := s.Push(float64(i) * 0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Features(); err != nil {
+		t.Fatalf("Features after recovery: %v", err)
+	}
+}
+
+func TestStreamPushBatchAndReset(t *testing.T) {
+	p, err := NewPipeline(streamCfg("uvg", "both"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	s, err := p.NewStream(16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := adversarialStreams(64, 3)["walk"]
+	hops, err := s.PushBatch(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := (64-16)/4 + 1; hops != want {
+		t.Fatalf("PushBatch hops = %d, want %d", hops, want)
+	}
+	first, err := s.Features()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Reset()
+	if s.Pushed() != 0 || s.Ready() {
+		t.Fatalf("Reset left Pushed=%d Ready=%v", s.Pushed(), s.Ready())
+	}
+	if _, err := s.PushBatch(series); err != nil {
+		t.Fatal(err)
+	}
+	again, err := s.Features()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bitsEqual(first, again) {
+		t.Fatal("replay after Reset produced different features")
+	}
+}
+
+// TestStreamPredictMatchesModel trains a tiny model and checks streaming
+// predictions equal Model.PredictBatch on the materialized windows.
+func TestStreamPredictMatchesModel(t *testing.T) {
+	p, err := NewPipeline(streamCfg("uvg", "both"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	rng := rand.New(rand.NewSource(17))
+	const n, length = 24, 32
+	series := make([][]float64, n)
+	labels := make([]int, n)
+	for i := range series {
+		ts := make([]float64, length)
+		level := 0.0
+		for k := range ts {
+			level += rng.NormFloat64()
+			ts[k] = level
+			if i%2 == 1 {
+				ts[k] += 4 * math.Sin(float64(k)/3)
+			}
+		}
+		series[i] = ts
+		labels[i] = i % 2
+	}
+	model, err := p.Train(context.Background(), series, labels, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := model.NewStream(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.WindowLen() != length {
+		t.Fatalf("WindowLen = %d, want training length %d", s.WindowLen(), length)
+	}
+	stream := adversarialStreams(3*length, 23)["walk"]
+	for i, x := range stream {
+		ready, err := s.Push(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ready {
+			continue
+		}
+		class, proba, err := s.Predict(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		window := stream[i+1-length : i+1]
+		wantClass, err := model.PredictBatch(context.Background(), [][]float64{window})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantProba, err := model.PredictProba(context.Background(), [][]float64{window})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if class != wantClass[0] || !bitsEqual(proba, wantProba[0]) {
+			t.Fatalf("window ending at %d: stream predict (%d, %v) != batch (%d, %v)",
+				i, class, proba, wantClass[0], wantProba[0])
+		}
+	}
+	// Feature-only streams reject Predict.
+	fs, err := p.NewStream(16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.PushBatch(stream[:16]); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := fs.Predict(context.Background()); err == nil {
+		t.Fatal("Predict on a feature-only stream succeeded, want error")
+	}
+	// Cancelled contexts short-circuit.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := s.Predict(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Predict with cancelled ctx = %v, want context.Canceled", err)
+	}
+}
+
+// FuzzStreamAgainstBatch differentially fuzzes the streaming engine
+// against batch extraction: random series, window lengths and hops must
+// produce bit-identical feature vectors on every hop. The nightly fuzz
+// workflow runs this target for 5 minutes per night.
+func FuzzStreamAgainstBatch(f *testing.F) {
+	f.Add([]byte{16, 1, 0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100, 110, 120, 130, 140, 150, 160, 170})
+	f.Add([]byte{4, 2, 1, 1, 1, 1, 1, 1, 200, 3})
+	f.Add([]byte{8, 3, 0, 255, 0, 255, 0, 255, 0, 255, 0, 255, 128})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 6 {
+			t.Skip()
+		}
+		windowLen := 2 + int(data[0])%31 // 2..32
+		hop := 1 + int(data[1])%windowLen
+		samples := data[2:]
+		if len(samples) > 256 {
+			samples = samples[:256]
+		}
+		if len(samples) < windowLen {
+			t.Skip()
+		}
+		series := make([]float64, len(samples))
+		for i, b := range samples {
+			series[i] = float64(int(b)-128) / 8
+		}
+		p, err := NewPipeline(streamCfg("uvg", "both"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		s, err := p.NewStream(windowLen, hop)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, x := range series {
+			ready, err := s.Push(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ready {
+				continue
+			}
+			got, err := s.Features()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := p.Extract(context.Background(), [][]float64{series[i+1-windowLen : i+1]})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bitsEqual(got, want[0]) {
+				t.Fatalf("windowLen=%d hop=%d window ending at %d: stream != batch", windowLen, hop, i)
+			}
+		}
+	})
+}
