@@ -6,6 +6,7 @@
 package mvg
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -269,6 +270,82 @@ func BenchmarkExtractScratchReuse(b *testing.B) {
 			}
 		}
 	})
+}
+
+// monotoneRamp returns the decreasing linear ramp — the worst case of
+// both the plain divide-and-conquer recursion (the pivot always sits at
+// the window edge) and the backward-scan builder (whose window-maximum
+// early exit never fires while every slope record is negative).
+func monotoneRamp(n int) []float64 {
+	t := make([]float64, n)
+	for i := range t {
+		t[i] = float64(-i)
+	}
+	return t
+}
+
+// BenchmarkNVGBuildMonotone measures the hull-tree divide-and-conquer NVG
+// builder (internal/visibility/dnc.go) on the monotone worst case, where
+// the pre-index builder was O(n²). The same-run ratio gate in
+// BENCH_baseline.json requires ≥5× over BenchmarkNVGBuildScanMonotone at
+// n=10k.
+func BenchmarkNVGBuildMonotone(b *testing.B) {
+	for _, n := range []int{1_000, 10_000, 100_000} {
+		series := monotoneRamp(n)
+		b.Run(fmt.Sprintf("n=%dk", n/1000), func(b *testing.B) {
+			b.ReportAllocs()
+			var vb visibility.Builder
+			for i := 0; i < b.N; i++ {
+				if _, err := vb.VGEdges(series); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkNVGBuildScanMonotone measures the backward-scan reference
+// builder on the same worst case — the baseline the ratio gate divides by.
+func BenchmarkNVGBuildScanMonotone(b *testing.B) {
+	series := monotoneRamp(10_000)
+	b.Run("n=10k", func(b *testing.B) {
+		b.ReportAllocs()
+		var vb visibility.Builder
+		for i := 0; i < b.N; i++ {
+			if _, err := vb.VGEdgesScan(series); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkExtractLongSeries measures one 100k-point request on a warm
+// pipeline: a batch smaller than the worker budget, so extraction fans
+// the per-scale graph builds across the pool (in-series parallelism)
+// instead of serializing the request on a single worker. Workers are
+// pinned at 4 so the routing does not depend on the host's core count,
+// and the pool is warmed before the timer: the gated allocs/op is the
+// steady-state per-request cost, not the scheduling-dependent first-call
+// scratch growth.
+func BenchmarkExtractLongSeries(b *testing.B) {
+	series := [][]float64{randomSeries(100_000, 42)}
+	p, err := NewPipeline(Config{Workers: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := p.Extract(context.Background(), series); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Extract(context.Background(), series); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkDTW measures the distance kernel of the 1NN baselines.

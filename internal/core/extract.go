@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"mvg/internal/buf"
 	"mvg/internal/graph"
@@ -26,11 +27,24 @@ var otherFeatureNames = []string{
 // extendedFeatureNames lists the optional future-work statistics.
 var extendedFeatureNames = []string{"DegreeEntropy", "Transitivity"}
 
+// scaleParallelMinLen is the series length from which a batch smaller
+// than its worker budget fans each series's per-scale graph builds across
+// the pool (see ExtractDatasetPool) instead of serializing the series on
+// one worker. Below it, per-scale jobs are too short to amortize the
+// hand-off; above it, the visibility builds dominate and split cleanly.
+const scaleParallelMinLen = 4096
+
 // Extractor converts time series into MVG feature vectors (Algorithm 1).
 // It is safe for concurrent use.
 type Extractor struct {
 	opts Options
 	tau  int
+
+	// coord pools coordination Scratch values for the scale-parallel batch
+	// path: preprocessing and the PAA pyramid run on the calling
+	// goroutine (never on pool workers, whose own Scratch handles the
+	// graph builds), and concurrent batches must not share buffers.
+	coord sync.Pool
 }
 
 // NewExtractor validates opts and returns an Extractor. The zero Options
@@ -342,12 +356,40 @@ func (e *Extractor) ExtractDatasetWorkers(series [][]float64, workers int) ([][]
 // (returning ctx.Err()). This is the engine behind mvg.Pipeline. The
 // output is byte-identical to ExtractDatasetWorkers for every worker
 // count — extraction is a pure function of each series.
+//
+// Batches with fewer series than the resolved worker budget, all of them
+// at least scaleParallelMinLen points long, are parallelized *within*
+// each series instead: every (scale, graph-kind) pair of the multiscale
+// pyramid becomes one pool job writing its fixed-width block of the
+// feature vector, so a single 100k-point request no longer serializes on
+// one worker. The routing only changes scheduling — the same pure
+// per-graph computations write the same disjoint output slots, so rows
+// stay byte-identical to the per-series path at every worker count.
 func (e *Extractor) ExtractDatasetPool(ctx context.Context, pool *parallel.Pool[*Scratch], workers int, series [][]float64) ([][]float64, error) {
 	n := len(series)
 	if n == 0 {
 		return nil, fmt.Errorf("core: empty dataset")
 	}
 	out := make([][]float64, n)
+	if e.scaleParallel(workers, series) {
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		for i := range series {
+			v, err := e.extractSeriesOnPool(ctx, pool, workers, series[i])
+			if err != nil {
+				if ctxErr := ctx.Err(); ctxErr != nil {
+					return nil, ctxErr
+				}
+				return nil, fmt.Errorf("core: series %d: %w", i, err)
+			}
+			out[i] = v
+		}
+		if err := checkWidths(out); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
 	err := pool.ForEach(ctx, workers, n, func(sc *Scratch, i int) error {
 		return e.extractRow(sc, series, out, i)
 	})
@@ -358,6 +400,93 @@ func (e *Extractor) ExtractDatasetPool(ctx context.Context, pool *parallel.Pool[
 		return nil, err
 	}
 	return out, nil
+}
+
+// scaleParallel reports whether a batch takes the in-series scale-parallel
+// path: more workers available than series, every series long enough for
+// per-scale jobs to amortize the pool hand-off, and more than one graph
+// per series to fan out.
+func (e *Extractor) scaleParallel(workers int, series [][]float64) bool {
+	if e.opts.Scales == Uniscale && e.graphsPerScale() == 1 {
+		return false
+	}
+	if parallel.Workers(workers, len(series)+1) <= len(series) {
+		return false
+	}
+	for _, s := range series {
+		if len(s) < scaleParallelMinLen {
+			return false
+		}
+	}
+	return true
+}
+
+// extractSeriesOnPool extracts one series with its per-scale graph builds
+// fanned across the pool. It must run on the calling goroutine, never
+// inside a pool job: Pool.ForEach submissions block on the task channel,
+// so nesting it inside a worker could deadlock a saturated pool.
+//
+// Preprocessing and the pyramid run in a pooled coordination Scratch that
+// stays alive (and untouched) for the duration of the fan-out, since the
+// scale slices handed to the jobs alias its buffers; each job builds its
+// graph and feature block in the pool worker's own Scratch. Jobs write
+// disjoint fixed-width blocks of the result, in the exact block order of
+// the sequential path.
+func (e *Extractor) extractSeriesOnPool(ctx context.Context, pool *parallel.Pool[*Scratch], workers int, series []float64) ([]float64, error) {
+	sc := e.coordScratch()
+	defer e.coord.Put(sc)
+	if err := timeseries.Validate(series); err != nil {
+		return nil, err
+	}
+	scales, err := e.scalesInto(sc, series)
+	if err != nil {
+		return nil, err
+	}
+	if len(scales) == 0 {
+		return nil, fmt.Errorf("%w: n=%d tau=%d mode=%s",
+			ErrSeriesTooShort, len(series), e.tau, e.opts.Scales)
+	}
+	gps := e.graphsPerScale()
+	width := e.perGraphWidth()
+	buildVG := e.opts.Graphs == VGAndHVG || e.opts.Graphs == VGOnly
+	out := make([]float64, len(scales)*gps*width)
+	err = pool.ForEach(ctx, workers, len(scales)*gps, func(wsc *Scratch, job int) error {
+		t := scales[job/gps]
+		if len(t) < 2 {
+			return fmt.Errorf("%w: scale of %d points", ErrSeriesTooShort, len(t))
+		}
+		var (
+			edges [][2]int
+			err   error
+		)
+		if buildVG && job%gps == 0 {
+			edges, err = wsc.vis.VGEdges(t)
+		} else {
+			edges, err = wsc.vis.HVGEdges(t)
+		}
+		if err != nil {
+			return err
+		}
+		wsc.g.BuildUnchecked(len(t), edges)
+		off := job * width
+		if blk := e.graphBlock(out[off:off:off+width], &wsc.g, wsc); len(blk) != width {
+			return fmt.Errorf("core: internal: graph block width %d, want %d", len(blk), width)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// coordScratch hands out a coordination Scratch for the scale-parallel
+// path, growing the pool on demand.
+func (e *Extractor) coordScratch() *Scratch {
+	if sc, ok := e.coord.Get().(*Scratch); ok {
+		return sc
+	}
+	return NewScratch()
 }
 
 // extractRow is the shared per-series job body of the two batch entry

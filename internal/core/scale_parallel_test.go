@@ -1,0 +1,156 @@
+package core
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mvg/internal/parallel"
+)
+
+// Tests for the in-series scale-parallel batch path: batches smaller than
+// the worker budget whose series all reach scaleParallelMinLen fan their
+// per-scale graph builds across the pool (see ExtractDatasetPool). The
+// determinism contract is the same as the per-series path's: bit-identical
+// rows at every worker count, with warm scratch, against the sequential
+// reference.
+
+func longTestSeries(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	t := make([]float64, n)
+	level := 0.0
+	for i := range t {
+		level += rng.NormFloat64()
+		t[i] = level + math.Sin(float64(i)/9)
+	}
+	return t
+}
+
+// TestScaleParallelRouting pins the routing predicate: in-series
+// parallelism only when workers outnumber the batch, every series is long
+// enough, and there is more than one graph to fan out.
+func TestScaleParallelRouting(t *testing.T) {
+	long := longTestSeries(scaleParallelMinLen, 1)
+	short := longTestSeries(scaleParallelMinLen-1, 2)
+	e, err := NewExtractor(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		opts    Options
+		workers int
+		batch   [][]float64
+		want    bool
+	}{
+		{"long-single-many-workers", Options{}, 8, [][]float64{long}, true},
+		{"long-pair-many-workers", Options{}, 8, [][]float64{long, long}, true},
+		{"one-worker", Options{}, 1, [][]float64{long}, false},
+		{"workers-equal-batch", Options{}, 2, [][]float64{long, long}, false},
+		{"short-series", Options{}, 8, [][]float64{short}, false},
+		{"mixed-lengths", Options{}, 8, [][]float64{long, short}, false},
+		{"uniscale-single-graph", Options{Scales: Uniscale, Graphs: VGOnly}, 8, [][]float64{long}, false},
+		{"uniscale-both-graphs", Options{Scales: Uniscale}, 8, [][]float64{long}, true},
+	}
+	for _, c := range cases {
+		ex := e
+		if c.opts != (Options{}) {
+			if ex, err = NewExtractor(c.opts); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got := ex.scaleParallel(c.workers, c.batch); got != c.want {
+			t.Errorf("%s: scaleParallel = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestScaleParallelBitIdentical extracts long series on a shared warm
+// pool at workers 1, 2, 4 and 8 (1 takes the per-series path, the rest
+// the scale-parallel path) and requires every row to match the
+// sequential ExtractWith reference bit for bit, across configurations
+// covering every graph-kind and scale-mode fan-out shape.
+func TestScaleParallelBitIdentical(t *testing.T) {
+	series := [][]float64{longTestSeries(5000, 3), longTestSeries(5000, 4)}
+	opts := map[string]Options{
+		"default":  {},
+		"extended": {Extended: true},
+		"vg-only":  {Graphs: VGOnly},
+		"hvg-mpd":  {Graphs: HVGOnly, Features: MPDsOnly},
+		"uniscale": {Scales: Uniscale},
+		"amvg":     {Scales: ApproxMultiscale},
+	}
+	pool := parallel.NewPool(NewScratch)
+	defer pool.Close()
+	sc := NewScratch()
+
+	for name, o := range opts {
+		e, err := NewExtractor(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([][]string, len(series))
+		for i, s := range series {
+			ref, err := e.ExtractWith(sc, s)
+			if err != nil {
+				t.Fatalf("%s: sequential reference: %v", name, err)
+			}
+			want[i] = bitsOf(ref)
+		}
+		for _, workers := range []int{1, 2, 4, 8} {
+			// Two rounds per worker count: the second runs on scratch warmed
+			// by the first, which must not perturb a bit either.
+			for round := 0; round < 2; round++ {
+				X, err := e.ExtractDatasetPool(context.Background(), pool, workers, series)
+				if err != nil {
+					t.Fatalf("%s workers=%d: %v", name, workers, err)
+				}
+				for i := range X {
+					got := bitsOf(X[i])
+					if len(got) != len(want[i]) {
+						t.Fatalf("%s workers=%d row %d: width %d, reference %d",
+							name, workers, i, len(got), len(want[i]))
+					}
+					for k := range got {
+						if got[k] != want[i][k] {
+							t.Fatalf("%s workers=%d round %d row %d: feature %d bits %s, reference %s",
+								name, workers, round, i, k, got[k], want[i][k])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestScaleParallelErrors pins the error contract of the fanned-out path:
+// per-series wrapping with the series index, and prompt ctx.Err() on
+// cancellation.
+func TestScaleParallelErrors(t *testing.T) {
+	e, err := NewExtractor(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := parallel.NewPool(NewScratch)
+	defer pool.Close()
+
+	bad := longTestSeries(5000, 5)
+	bad[1234] = math.NaN()
+	batch := [][]float64{longTestSeries(5000, 6), bad}
+	if !e.scaleParallel(8, batch) {
+		t.Fatal("batch unexpectedly not routed to the scale-parallel path")
+	}
+	_, err = e.ExtractDatasetPool(context.Background(), pool, 8, batch)
+	if err == nil || !strings.Contains(err.Error(), "series 1") {
+		t.Fatalf("NaN series error = %v, want mention of series 1", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = e.ExtractDatasetPool(ctx, pool, 8, [][]float64{longTestSeries(5000, 7)})
+	if err != context.Canceled {
+		t.Fatalf("cancelled extract = %v, want context.Canceled", err)
+	}
+}

@@ -1,6 +1,7 @@
 // Package parallel provides the worker-pool executor used by every batch
-// stage of the MVG pipeline: feature extraction over a dataset, grid-search
-// cross validation, and any future fan-out (sharding, serving, caching).
+// stage of the MVG pipeline: feature extraction over a dataset (per-series,
+// or per-scale within one long series), grid-search cross validation, and
+// any future fan-out (sharding, serving, caching).
 //
 // The executor makes two guarantees that the pipeline relies on:
 //

@@ -1,0 +1,279 @@
+// Divide-and-conquer acceleration for the natural-visibility builder.
+//
+// The max-pivot recursion in Builder.VGEdges splits every window at its
+// maximum: cross-pivot sight lines must terminate at the pivot, so the
+// pivot's left/right visibility scans plus recursion on the two halves
+// enumerate the whole edge set. The recursion itself is fine — what
+// degenerates on monotone/sawtooth series is the O(window) work per
+// window (linear argmax + linear sweeps), which adds up to O(n²) when the
+// pivot always sits at a window edge.
+//
+// pivotIndex removes both linear passes. It is a block-structured segment
+// tree over runs of vgBlock samples storing, per node:
+//
+//   - the maximum value and its leftmost position, answering the pivot
+//     query in O(log n), and
+//   - the upper convex hull of the node's points (an arena of int32
+//     indices), answering "is any point of this node visible above the
+//     running record slope σ?" by a tangent search over the hull.
+//
+// The visibility sweeps become ray-shooting jump scans: find the next
+// index whose slope to the pivot strictly exceeds σ, emit it, raise σ,
+// continue after it. A node fully inside the query range is pruned when
+// its hull's maximum slope toward the pivot is ≤ σ; leaf blocks are
+// scanned linearly with the exact float predicate of the classic sweep,
+// so every emitted edge satisfies the same computed inequality as before.
+// On an exactly linear ramp the hulls collapse to their endpoints (the
+// collinearity cross products are exact for integer-valued samples) and
+// the tangent bound equals σ exactly, so whole windows prune in O(log n):
+// the monotone worst case drops from O(n²) to O(n log n).
+//
+// Float caveat: the tangent position is located by a binary search that
+// assumes the computed slope sequence along the hull is unimodal. It is
+// mathematically, and the search finishes with a linear scan of the final
+// candidate window, but adversarial values could in principle wiggle the
+// computed sequence by an ulp near its peak and prune a node whose best
+// slope beats σ by less than ~2 ulps. Exact ties (the ramp case) and the
+// quantized fuzz corpus (slope margins ≥ 2e-6) are unaffected; the
+// differential and property suites pin the edge sets builder-for-builder.
+package visibility
+
+import (
+	"math"
+
+	"mvg/internal/buf"
+)
+
+const (
+	// vgBlock is the leaf granularity of the pivot index: runs of vgBlock
+	// samples are scanned linearly with the exact sweep predicate.
+	vgBlock = 64
+	// dncTreeMin is the series length from which VGEdges builds the pivot
+	// index; below it the linear recursion is cheaper than tree upkeep.
+	dncTreeMin = 256
+	// dncWindowMin is the window size from which the recursion consults
+	// the index; smaller windows fall back to the linear scans.
+	dncWindowMin = vgBlock
+)
+
+// pivotIndex is the segment tree described in the package comment. All
+// storage is reused across builds via the owning Builder's scratch.
+type pivotIndex struct {
+	n       int // samples covered by the current build
+	leaf    int // leaf blocks rounded up to a power of two; node k's children are 2k, 2k+1
+	maxVal  []float64
+	maxArg  []int32
+	hullPos []int32 // per-node [start, start+len) into hullIdx
+	hullLen []int32
+	hullIdx []int32 // arena of upper-hull vertex indices, grouped per node
+}
+
+// build (re)indexes t. Leaf blocks get a monotone-chain upper hull and a
+// linear argmax; internal nodes merge children bottom-up (their hulls are
+// chains over the children's hull vertices, which preserves the upper
+// hull of the union).
+func (px *pivotIndex) build(t []float64) {
+	n := len(t)
+	blocks := (n + vgBlock - 1) / vgBlock
+	leaf := 1
+	for leaf < blocks {
+		leaf <<= 1
+	}
+	px.n, px.leaf = n, leaf
+	nodes := 2 * leaf
+	px.maxVal = buf.Grow(px.maxVal, nodes)
+	px.maxArg = buf.Grow(px.maxArg, nodes)
+	px.hullPos = buf.Grow(px.hullPos, nodes)
+	px.hullLen = buf.Grow(px.hullLen, nodes)
+	px.hullIdx = px.hullIdx[:0]
+	for b := 0; b < leaf; b++ {
+		node := leaf + b
+		lo := b * vgBlock
+		start := len(px.hullIdx)
+		px.hullPos[node] = int32(start)
+		if lo >= n {
+			// Padding block past the series: never intersects a query.
+			px.maxVal[node], px.maxArg[node], px.hullLen[node] = math.Inf(-1), -1, 0
+			continue
+		}
+		hi := min(lo+vgBlock-1, n-1)
+		best := lo
+		for i := lo; i <= hi; i++ {
+			if t[i] > t[best] {
+				best = i
+			}
+			px.hullIdx = hullPush(px.hullIdx, start, t, int32(i))
+		}
+		px.maxVal[node], px.maxArg[node] = t[best], int32(best)
+		px.hullLen[node] = int32(len(px.hullIdx) - start)
+	}
+	for node := leaf - 1; node >= 1; node-- {
+		l, r := 2*node, 2*node+1
+		if px.maxVal[r] > px.maxVal[l] { // ties keep the leftmost argmax
+			px.maxVal[node], px.maxArg[node] = px.maxVal[r], px.maxArg[r]
+		} else {
+			px.maxVal[node], px.maxArg[node] = px.maxVal[l], px.maxArg[l]
+		}
+		start := len(px.hullIdx)
+		px.hullPos[node] = int32(start)
+		for _, c := range [2]int{l, r} {
+			// Appends target indices ≥ start, past this child's span, so
+			// reading the child hull while growing the arena is safe.
+			child := px.hullIdx[px.hullPos[c] : px.hullPos[c]+px.hullLen[c]]
+			for _, v := range child {
+				px.hullIdx = hullPush(px.hullIdx, start, t, v)
+			}
+		}
+		px.hullLen[node] = int32(len(px.hullIdx) - start)
+	}
+}
+
+// hullPush appends vertex v to the upper hull growing in hull[start:],
+// popping trailing vertices that lie on or below the chord to v. Points
+// are (index, value); cross ≥ 0 means the middle vertex is not strictly
+// above the chord, so it cannot support a tangent the endpoints don't.
+func hullPush(hull []int32, start int, t []float64, v int32) []int32 {
+	for len(hull)-start >= 2 {
+		a, b := hull[len(hull)-2], hull[len(hull)-1]
+		if float64(b-a)*(t[v]-t[a])-(t[b]-t[a])*float64(v-a) >= 0 {
+			hull = hull[:len(hull)-1]
+		} else {
+			break
+		}
+	}
+	return append(hull, v)
+}
+
+// argmax returns the leftmost index of the maximum of t[lo..hi].
+func (px *pivotIndex) argmax(t []float64, lo, hi int) int {
+	best := -1
+	bestVal := math.Inf(-1)
+	px.argmaxNode(t, 1, 0, px.leaf*vgBlock-1, lo, hi, &bestVal, &best)
+	return best
+}
+
+func (px *pivotIndex) argmaxNode(t []float64, node, nl, nr, lo, hi int, bestVal *float64, best *int) {
+	if nl > hi || nr < lo {
+		return
+	}
+	if lo <= nl && nr <= hi {
+		// Traversal is left to right, so strict > keeps the leftmost tie.
+		if v := px.maxVal[node]; v > *bestVal {
+			*bestVal, *best = v, int(px.maxArg[node])
+		}
+		return
+	}
+	if node >= px.leaf {
+		for i := max(nl, lo); i <= min(nr, hi); i++ {
+			if t[i] > *bestVal {
+				*bestVal, *best = t[i], i
+			}
+		}
+		return
+	}
+	mid := (nl + nr) / 2
+	px.argmaxNode(t, 2*node, nl, mid, lo, hi, bestVal, best)
+	px.argmaxNode(t, 2*node+1, mid+1, nr, lo, hi, bestVal, best)
+}
+
+// shootRight returns the leftmost k in [lo, hi] (all right of pivot p)
+// with (t[k]-t[p])/(k-p) > sigma, or -1. The predicate evaluated at leaf
+// blocks is float-identical to the classic rightward sweep.
+func (px *pivotIndex) shootRight(t []float64, lo, hi, p int, sigma float64) int {
+	if lo > hi {
+		return -1
+	}
+	return px.shootRightNode(t, 1, 0, px.leaf*vgBlock-1, lo, hi, p, sigma)
+}
+
+func (px *pivotIndex) shootRightNode(t []float64, node, nl, nr, lo, hi, p int, sigma float64) int {
+	if nl > hi || nr < lo {
+		return -1
+	}
+	if lo <= nl && nr <= hi && !px.hullAbove(t, node, p, sigma) {
+		return -1
+	}
+	if node >= px.leaf {
+		tp := t[p]
+		for k := max(nl, lo); k <= min(nr, hi); k++ {
+			if (t[k]-tp)/float64(k-p) > sigma {
+				return k
+			}
+		}
+		return -1
+	}
+	mid := (nl + nr) / 2
+	if k := px.shootRightNode(t, 2*node, nl, mid, lo, hi, p, sigma); k >= 0 {
+		return k
+	}
+	return px.shootRightNode(t, 2*node+1, mid+1, nr, lo, hi, p, sigma)
+}
+
+// shootLeft returns the rightmost k in [lo, hi] (all left of pivot p)
+// with (t[k]-t[p])/(p-k) > sigma, or -1 — the mirror of shootRight, with
+// the right child searched first.
+func (px *pivotIndex) shootLeft(t []float64, lo, hi, p int, sigma float64) int {
+	if lo > hi {
+		return -1
+	}
+	return px.shootLeftNode(t, 1, 0, px.leaf*vgBlock-1, lo, hi, p, sigma)
+}
+
+func (px *pivotIndex) shootLeftNode(t []float64, node, nl, nr, lo, hi, p int, sigma float64) int {
+	if nl > hi || nr < lo {
+		return -1
+	}
+	if lo <= nl && nr <= hi && !px.hullAbove(t, node, p, sigma) {
+		return -1
+	}
+	if node >= px.leaf {
+		tp := t[p]
+		for k := min(nr, hi); k >= max(nl, lo); k-- {
+			if (t[k]-tp)/float64(p-k) > sigma {
+				return k
+			}
+		}
+		return -1
+	}
+	mid := (nl + nr) / 2
+	if k := px.shootLeftNode(t, 2*node+1, mid+1, nr, lo, hi, p, sigma); k >= 0 {
+		return k
+	}
+	return px.shootLeftNode(t, 2*node, nl, mid, lo, hi, p, sigma)
+}
+
+// hullAbove reports whether any hull vertex of node sees the pivot above
+// slope sigma, i.e. max over the hull of |t[v]-t[p]| / |v-p| signed away
+// from the pivot exceeds sigma. The slope sequence along an upper hull
+// viewed from an external point is unimodal (rises to the tangent, then
+// falls), so a binary search over adjacent pairs narrows to a small
+// window that is checked linearly. Only called for nodes fully inside a
+// query range, so every vertex is on one side of p and v != p.
+func (px *pivotIndex) hullAbove(t []float64, node, p int, sigma float64) bool {
+	start := int(px.hullPos[node])
+	h := px.hullIdx[start : start+int(px.hullLen[node])]
+	tp := t[p]
+	slope := func(i int) float64 {
+		v := int(h[i])
+		d := v - p
+		if d < 0 {
+			d = -d
+		}
+		return (t[v] - tp) / float64(d)
+	}
+	lo, hi := 0, len(h)-1
+	for hi-lo > 6 {
+		m := (lo + hi) / 2
+		if slope(m) < slope(m+1) {
+			lo = m + 1
+		} else {
+			hi = m
+		}
+	}
+	for i := lo; i <= hi; i++ {
+		if slope(i) > sigma {
+			return true
+		}
+	}
+	return false
+}

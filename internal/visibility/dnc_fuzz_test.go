@@ -1,0 +1,76 @@
+package visibility
+
+import (
+	"math"
+	"testing"
+
+	"mvg/internal/graph"
+)
+
+// longSeriesFromBytes decodes fuzz bytes one point per byte like
+// seriesFromBytes, but caps at 2048 points instead of 256: the
+// divide-and-conquer builder switches to its hull-tree index at
+// dncTreeMin = 256 samples, so the differential fuzz below must routinely
+// cross that threshold (and the dncWindowMin window cutover inside the
+// recursion) to exercise the indexed path.
+func longSeriesFromBytes(data []byte) []float64 {
+	if len(data) > 2048 {
+		data = data[:2048]
+	}
+	series := make([]float64, len(data))
+	for i, b := range data {
+		series[i] = float64(int(b)-128) / 8
+	}
+	return series
+}
+
+// FuzzDNCAgainstBackwardScan differentially fuzzes the divide-and-conquer
+// builder (hull-tree index included) against the backward-scan reference
+// VGEdgesScan: identical CSR graphs on every input, plus the builder-
+// independent structural invariants. Quantized inputs keep slope margins
+// ≥ ~2e-6, far above the ulp scale, so set equality is exact.
+func FuzzDNCAgainstBackwardScan(f *testing.F) {
+	for _, series := range adversarialSeries() {
+		buf := make([]byte, len(series))
+		for i, v := range series {
+			buf[i] = byte(int(math.Min(math.Max(v, -16), 15)*8) + 128)
+		}
+		f.Add(buf)
+	}
+	// Long monotone ramps cross the tree threshold with degenerate pivots
+	// — the regime the index exists for.
+	ramp := make([]byte, 1024)
+	for i := range ramp {
+		ramp[i] = byte(255 - (i % 256))
+	}
+	f.Add(ramp)
+	saw := make([]byte, 700)
+	for i := range saw {
+		saw[i] = byte(128 + 8*(i%9))
+	}
+	f.Add(saw)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		series := longSeriesFromBytes(data)
+		if len(series) < 2 {
+			t.Skip()
+		}
+		var b Builder
+		dnc := buildCSR(t, &b, series, false)
+
+		var scanB Builder
+		edges, err := scanB.VGEdgesScan(series)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var scan graph.Graph
+		scan.BuildUnchecked(len(series), edges)
+
+		identicalGraphs(t, "dnc-vs-scan", dnc, &scan)
+		for _, e := range dnc.Edges() {
+			if !vgVisible(series, e[0], e[1]) {
+				t.Fatalf("emitted VG edge %v violates the visibility criterion", e)
+			}
+		}
+	})
+}

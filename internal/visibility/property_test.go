@@ -1,0 +1,309 @@
+package visibility
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"mvg/internal/graph"
+)
+
+// Property-based coverage for the visibility builders: rather than only
+// comparing implementations pairwise, these tests assert the structural
+// invariants straight from the definitions, over randomized and
+// adversarial series families sized to exercise both the linear recursion
+// (n < dncTreeMin) and the hull-tree path (n ≥ dncTreeMin, windows ≥
+// dncWindowMin).
+//
+// Values are quantized to multiples of 1/8 (like the fuzz corpus) so the
+// re-derived criterion slopes are well separated from the builders'
+// record slopes — the checks below must not hinge on sub-ulp float
+// coincidences the builders themselves never face in tests.
+
+// propertyFamilies generates the adversarial + randomized series of one
+// test round at length n: the monotone/sawtooth shapes that degenerate
+// the plain recursion, constant plateaus (equal-height blocking), a
+// quantized random walk, sparse spikes (star-shaped graphs) and plain
+// quantized noise.
+func propertyFamilies(n int, rng *rand.Rand) map[string][]float64 {
+	monoUp := make([]float64, n)
+	monoDown := make([]float64, n)
+	constant := make([]float64, n)
+	sawtooth := make([]float64, n)
+	walk := make([]float64, n)
+	spikes := make([]float64, n)
+	noise := make([]float64, n)
+	level := 0.0
+	for i := 0; i < n; i++ {
+		monoUp[i] = float64(i)
+		monoDown[i] = float64(-i)
+		constant[i] = 2.5
+		sawtooth[i] = float64(i % 9)
+		level += float64(rng.Intn(9)-4) / 8
+		walk[i] = level
+		if rng.Intn(16) == 0 {
+			spikes[i] = float64(8 + rng.Intn(64))
+		}
+		noise[i] = float64(rng.Intn(256)-128) / 8
+	}
+	return map[string][]float64{
+		"monotone-up":   monoUp,
+		"monotone-down": monoDown,
+		"constant":      constant,
+		"sawtooth":      sawtooth,
+		"random-walk":   walk,
+		"spikes":        spikes,
+		"noise":         noise,
+	}
+}
+
+// vgVisible re-derives the natural visibility criterion for the pair
+// (i, j): the slope from i to j strictly exceeds the slope from i to
+// every intermediate point (equivalent to the bar criterion of
+// Definition 2.3, and the exact float expressions of VGNaive).
+func vgVisible(t []float64, i, j int) bool {
+	s := (t[j] - t[i]) / float64(j-i)
+	for k := i + 1; k < j; k++ {
+		if (t[k]-t[i])/float64(k-i) >= s {
+			return false
+		}
+	}
+	return true
+}
+
+// hvgVisible re-derives the horizontal visibility criterion: every
+// intermediate bar is strictly below both endpoints.
+func hvgVisible(t []float64, i, j int) bool {
+	for k := i + 1; k < j; k++ {
+		if t[k] >= t[i] || t[k] >= t[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkGraphInvariants asserts the CSR structure is a simple undirected
+// graph: strictly sorted rows (no duplicates), no self-loops, symmetric
+// adjacency.
+func checkGraphInvariants(t *testing.T, name string, g *graph.Graph) {
+	t.Helper()
+	for v := 0; v < g.N(); v++ {
+		row := g.Neighbors(v)
+		for i, u := range row {
+			if u == int32(v) {
+				t.Fatalf("%s: self-loop at %d", name, v)
+			}
+			if i > 0 && row[i-1] >= u {
+				t.Fatalf("%s: row %d not strictly sorted: %v", name, v, row)
+			}
+			if !g.HasEdge(v, int(u)) || !g.HasEdge(int(u), v) {
+				t.Fatalf("%s: edge (%d,%d) not symmetric", name, v, u)
+			}
+		}
+	}
+}
+
+// checkVGProperties asserts soundness (every emitted edge satisfies the
+// criterion) for any n and completeness (no valid edge missing) against
+// the O(n²) definition check for n ≤ 256.
+func checkVGProperties(t *testing.T, name string, series []float64, g *graph.Graph) {
+	t.Helper()
+	checkGraphInvariants(t, name, g)
+	for _, e := range g.Edges() {
+		if !vgVisible(series, e[0], e[1]) {
+			t.Fatalf("%s: emitted VG edge %v violates the visibility criterion", name, e)
+		}
+	}
+	if len(series) <= 256 {
+		for i := 0; i < len(series); i++ {
+			for j := i + 1; j < len(series); j++ {
+				if vgVisible(series, i, j) && !g.HasEdge(i, j) {
+					t.Fatalf("%s: valid VG edge (%d,%d) missing", name, i, j)
+				}
+			}
+		}
+	}
+}
+
+func checkHVGProperties(t *testing.T, name string, series []float64, g *graph.Graph) {
+	t.Helper()
+	checkGraphInvariants(t, name, g)
+	for _, e := range g.Edges() {
+		if !hvgVisible(series, e[0], e[1]) {
+			t.Fatalf("%s: emitted HVG edge %v violates the horizontal criterion", name, e)
+		}
+	}
+	if len(series) <= 256 {
+		for i := 0; i < len(series); i++ {
+			for j := i + 1; j < len(series); j++ {
+				if hvgVisible(series, i, j) && !g.HasEdge(i, j) {
+					t.Fatalf("%s: valid HVG edge (%d,%d) missing", name, i, j)
+				}
+			}
+		}
+	}
+}
+
+// sortedEdges canonicalizes an edge list for set comparison (the builders
+// emit different orders: recursion order vs right-endpoint order).
+func sortedEdges(edges [][2]int) [][2]int {
+	out := make([][2]int, len(edges))
+	copy(out, edges)
+	sort.Slice(out, func(a, b int) bool {
+		if out[a][0] != out[b][0] {
+			return out[a][0] < out[b][0]
+		}
+		return out[a][1] < out[b][1]
+	})
+	return out
+}
+
+// TestVGPropertiesAcrossFamilies pins soundness/completeness of the
+// divide-and-conquer builder and edge-set agreement with the backward
+// scan, at sizes straddling the hull-tree threshold (dncTreeMin = 256)
+// and the window cutover (dncWindowMin = 64).
+func TestVGPropertiesAcrossFamilies(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var b, scan Builder // reused across rounds: buffer reuse must not perturb output
+	for _, n := range []int{2, 3, 63, 64, 255, 256, 257, 500, 1023} {
+		for name, series := range propertyFamilies(n, rng) {
+			g := buildCSR(t, &b, series, false)
+			checkVGProperties(t, name, series, g)
+
+			scanEdges, err := scan.VGEdgesScan(series)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var gs graph.Graph
+			gs.BuildUnchecked(n, scanEdges)
+			identicalGraphs(t, name+"/dnc-vs-scan", g, &gs)
+
+			h := buildCSR(t, &b, series, true)
+			checkHVGProperties(t, name, series, h)
+			for _, e := range h.Edges() {
+				if !g.HasEdge(e[0], e[1]) {
+					t.Fatalf("%s: HVG edge %v missing from VG", name, e)
+				}
+			}
+		}
+	}
+}
+
+// TestVGEdgeSequenceStableAcrossIndex asserts the hull-tree path emits
+// the exact edge sequence of the linear recursion, not merely the same
+// set: feature extraction's differential guarantees (golden vectors,
+// stream-vs-batch) assume builder output is a pure function of the
+// series, independent of which query strategy answered the scans.
+func TestVGEdgeSequenceStableAcrossIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var indexed Builder
+	for _, n := range []int{256, 300, 777, 1024} {
+		for name, series := range propertyFamilies(n, rng) {
+			got, err := indexed.VGEdges(series)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotCopy := append([][2]int(nil), got...)
+			want := linearVGEdges(series)
+			if len(gotCopy) != len(want) {
+				t.Fatalf("%s n=%d: %d edges, linear recursion emits %d", name, n, len(gotCopy), len(want))
+			}
+			for i := range want {
+				if gotCopy[i] != want[i] {
+					t.Fatalf("%s n=%d: edge %d = %v, linear recursion emits %v", name, n, i, gotCopy[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// linearVGEdges is the pre-index max-pivot recursion (linear argmax +
+// linear sweeps), kept verbatim as the emission-order reference.
+func linearVGEdges(t []float64) [][2]int {
+	var edges [][2]int
+	var stack []window
+	stack = append(stack, window{0, len(t) - 1})
+	for len(stack) > 0 {
+		w := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if w.hi <= w.lo {
+			continue
+		}
+		p := w.lo
+		for k := w.lo + 1; k <= w.hi; k++ {
+			if t[k] > t[p] {
+				p = k
+			}
+		}
+		maxSlope := math.Inf(-1)
+		for j := p + 1; j <= w.hi; j++ {
+			slope := (t[j] - t[p]) / float64(j-p)
+			if slope > maxSlope {
+				edges = append(edges, [2]int{p, j})
+				maxSlope = slope
+			}
+		}
+		maxSlope = math.Inf(-1)
+		for j := p - 1; j >= w.lo; j-- {
+			slope := (t[j] - t[p]) / float64(p-j)
+			if slope > maxSlope {
+				edges = append(edges, [2]int{j, p})
+				maxSlope = slope
+			}
+		}
+		stack = append(stack, window{w.lo, p - 1}, window{p + 1, w.hi})
+	}
+	return edges
+}
+
+// TestVGEdgesScanMatchesNaive pins the backward-scan reference itself
+// against the definition-driven builder, so the differential chain
+// naive ↔ scan ↔ divide-and-conquer is anchored at both ends.
+func TestVGEdgesScanMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	var b Builder
+	for _, n := range []int{2, 50, 128, 200} {
+		for name, series := range propertyFamilies(n, rng) {
+			ref, err := VGNaive(series)
+			if err != nil {
+				t.Fatal(err)
+			}
+			edges, err := b.VGEdgesScan(series)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var g graph.Graph
+			g.BuildUnchecked(n, edges)
+			identicalGraphs(t, name+"/scan-vs-naive", &g, ref)
+		}
+	}
+}
+
+// TestVGEdgesScanErrors pins the validation contract shared by every
+// builder entry point.
+func TestVGEdgesScanErrors(t *testing.T) {
+	var b Builder
+	if _, err := b.VGEdgesScan([]float64{1}); err == nil {
+		t.Fatal("VGEdgesScan accepted a 1-point series")
+	}
+	if _, err := b.VGEdgesScan([]float64{1, math.NaN()}); err == nil {
+		t.Fatal("VGEdgesScan accepted NaN")
+	}
+	if _, err := b.VGEdgesScan([]float64{1, math.Inf(1)}); err == nil {
+		t.Fatal("VGEdgesScan accepted +Inf")
+	}
+}
+
+// TestSortedEdgesHelper guards the canonicalization used by the property
+// suite itself.
+func TestSortedEdgesHelper(t *testing.T) {
+	in := [][2]int{{2, 3}, {0, 5}, {0, 1}}
+	got := sortedEdges(in)
+	want := [][2]int{{0, 1}, {0, 5}, {2, 3}}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sortedEdges = %v, want %v", got, want)
+		}
+	}
+}

@@ -9,13 +9,17 @@
 // HVGs are always subgraphs of VGs, both are connected, and both are
 // invariant under affine transformations of the series.
 //
-// Three constructors are provided:
+// Four constructors are provided:
 //
 //   - VGNaive: the O(n²) definition-driven scan (reference implementation),
-//   - VG: a divide-and-conquer builder that pivots on window maxima, giving
-//     O(n log n) expected work on non-degenerate series (the practical
-//     counterpart of the sub-quadratic algorithm of Afshani et al. cited in
-//     the paper),
+//   - VG: a divide-and-conquer builder that pivots on window maxima,
+//     accelerated by a hull-tree pivot index (see dnc.go) to O(n log n)
+//     worst case — including the monotone/sawtooth series where the plain
+//     recursion degenerates (the practical counterpart of the
+//     sub-quadratic algorithm of Afshani et al. cited in the paper),
+//   - Builder.VGEdgesScan: the per-vertex backward max-slope scan of the
+//     streaming maintainer, kept as a differential reference and as the
+//     worst-case benchmark baseline,
 //   - HVG: the stack-based O(n) builder.
 package visibility
 
@@ -69,15 +73,17 @@ func VGNaive(t []float64) (*graph.Graph, error) {
 type window struct{ lo, hi int }
 
 // Builder constructs visibility graphs with reusable internal buffers (the
-// edge list, the divide-and-conquer window stack and the HVG bar stack), so
-// batch extraction can transform one scale after another without per-graph
-// allocations. The zero value is ready for use; a Builder must not be
-// shared between goroutines. Edge slices returned by VGEdges/HVGEdges alias
-// the builder and are valid only until its next call.
+// edge list, the divide-and-conquer window stack, the hull-tree pivot
+// index and the HVG bar stack), so batch extraction can transform one
+// scale after another without per-graph allocations. The zero value is
+// ready for use; a Builder must not be shared between goroutines. Edge
+// slices returned by VGEdges/VGEdgesScan/HVGEdges alias the builder and
+// are valid only until its next call.
 type Builder struct {
 	edges [][2]int
 	win   []window
 	stack []int
+	px    pivotIndex
 }
 
 // VG builds the natural visibility graph with a divide-and-conquer
@@ -85,8 +91,10 @@ type Builder struct {
 // visibility line crossing the pivot's position must terminate at the pivot
 // (nothing can be seen "over" a strictly larger bar), so it suffices to
 // scan the pivot's visibility left and right and recurse on the two halves.
-// Expected O(n log n) on series whose maxima split windows evenly; worst
-// case O(n²) on monotone series (which the paper excludes by detrending).
+// For series of at least dncTreeMin points the pivot search and both
+// visibility sweeps run on the hull-tree index of dnc.go, bounding the
+// worst case (monotone/sawtooth windows, where the plain recursion is
+// O(n²)) at O(n log n); shorter series use the linear scans directly.
 func VG(t []float64) (*graph.Graph, error) {
 	var b Builder
 	edges, err := b.VGEdges(t)
@@ -97,13 +105,20 @@ func VG(t []float64) (*graph.Graph, error) {
 }
 
 // VGEdges computes the natural visibility edge list of t into the builder's
-// reusable buffer (see VG for the algorithm).
+// reusable buffer (see VG for the algorithm). The emitted edge sequence is
+// identical to the pre-index builder's: the index answers the same pivot
+// and record-slope queries the linear scans answered, with the leaf-level
+// predicate evaluated by the same float expressions.
 func (b *Builder) VGEdges(t []float64) ([][2]int, error) {
 	if err := validate(t); err != nil {
 		return nil, err
 	}
 	n := len(t)
 	edges := b.edges[:0]
+	indexed := n >= dncTreeMin
+	if indexed {
+		b.px.build(t)
+	}
 
 	// Explicit stack avoids deep recursion on adversarial (monotone) input.
 	stack := append(b.win[:0], window{0, n - 1})
@@ -113,34 +128,102 @@ func (b *Builder) VGEdges(t []float64) ([][2]int, error) {
 		if w.hi <= w.lo {
 			continue
 		}
-		// Pivot: leftmost maximum of the window.
-		p := w.lo
-		for k := w.lo + 1; k <= w.hi; k++ {
-			if t[k] > t[p] {
-				p = k
+		var p int
+		if indexed && w.hi-w.lo+1 >= dncWindowMin {
+			// Pivot: leftmost maximum of the window, off the index.
+			p = b.px.argmax(t, w.lo, w.hi)
+			tp := t[p]
+			// Rightward visibility: jump from record to record. Skipped
+			// points have slope ≤ the running record, exactly the points
+			// the linear sweep passes over without emitting.
+			sigma := math.Inf(-1)
+			for j := p + 1; j <= w.hi; {
+				k := b.px.shootRight(t, j, w.hi, p, sigma)
+				if k < 0 {
+					break
+				}
+				edges = append(edges, [2]int{p, k})
+				sigma = (t[k] - tp) / float64(k-p)
+				j = k + 1
 			}
-		}
-		// Rightward visibility scan from the pivot.
-		maxSlope := math.Inf(-1)
-		for j := p + 1; j <= w.hi; j++ {
-			slope := (t[j] - t[p]) / float64(j-p)
-			if slope > maxSlope {
-				edges = append(edges, [2]int{p, j})
-				maxSlope = slope
+			// Leftward visibility, mirrored.
+			sigma = math.Inf(-1)
+			for j := p - 1; j >= w.lo; {
+				k := b.px.shootLeft(t, w.lo, j, p, sigma)
+				if k < 0 {
+					break
+				}
+				edges = append(edges, [2]int{k, p})
+				sigma = (t[k] - tp) / float64(p-k)
+				j = k - 1
 			}
-		}
-		// Leftward visibility scan from the pivot.
-		maxSlope = math.Inf(-1)
-		for j := p - 1; j >= w.lo; j-- {
-			slope := (t[j] - t[p]) / float64(p-j)
-			if slope > maxSlope {
-				edges = append(edges, [2]int{j, p})
-				maxSlope = slope
+		} else {
+			// Pivot: leftmost maximum of the window.
+			p = w.lo
+			for k := w.lo + 1; k <= w.hi; k++ {
+				if t[k] > t[p] {
+					p = k
+				}
+			}
+			// Rightward visibility scan from the pivot.
+			maxSlope := math.Inf(-1)
+			for j := p + 1; j <= w.hi; j++ {
+				slope := (t[j] - t[p]) / float64(j-p)
+				if slope > maxSlope {
+					edges = append(edges, [2]int{p, j})
+					maxSlope = slope
+				}
+			}
+			// Leftward visibility scan from the pivot.
+			maxSlope = math.Inf(-1)
+			for j := p - 1; j >= w.lo; j-- {
+				slope := (t[j] - t[p]) / float64(p-j)
+				if slope > maxSlope {
+					edges = append(edges, [2]int{j, p})
+					maxSlope = slope
+				}
 			}
 		}
 		stack = append(stack, window{w.lo, p - 1}, window{p + 1, w.hi})
 	}
 	b.edges, b.win = edges, stack
+	return edges, nil
+}
+
+// VGEdgesScan computes the natural visibility edge list with the
+// per-vertex backward max-slope scan of the streaming maintainer
+// (Incremental.Push), including its window-maximum early exit. It is kept
+// as the differential reference for the divide-and-conquer builder
+// (FuzzDNCAgainstBackwardScan) and as the worst-case benchmark baseline:
+// output-sensitive on typical series, O(n²) on monotone decreasing ones.
+// Edge order differs from VGEdges (grouped by right endpoint, collected
+// descending); the edge set is identical.
+func (b *Builder) VGEdgesScan(t []float64) ([][2]int, error) {
+	if err := validate(t); err != nil {
+		return nil, err
+	}
+	edges := b.edges[:0]
+	m := t[0] // running maximum of t[:j]
+	for j := 1; j < len(t); j++ {
+		x := t[j]
+		maxSlope := math.Inf(-1)
+		for k := j - 1; k >= 0; k-- {
+			slope := (t[k] - x) / float64(j-k)
+			if slope > maxSlope {
+				edges = append(edges, [2]int{k, j})
+				maxSlope = slope
+			}
+			// Every remaining bar sits at distance ≥ j-k+1 and height ≤ m:
+			// nothing left can beat the record (same exit as stream.go).
+			if maxSlope >= 0 && maxSlope*float64(j-k+1) >= m-x {
+				break
+			}
+		}
+		if x > m {
+			m = x
+		}
+	}
+	b.edges = edges
 	return edges, nil
 }
 

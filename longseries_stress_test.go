@@ -1,0 +1,88 @@
+package mvg
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+// TestPipelineMixedTrafficDeterminism hammers one shared pipeline with
+// concurrent long-series requests (routed to the in-series scale-parallel
+// path) and short-series batches (routed to the per-series path), under
+// the race detector in CI. Every result must match the reference computed
+// on a quiet pipeline bit for bit: the two scheduling paths share the
+// worker pool and its scratch, and neither contention nor interleaving
+// may leak into the output.
+func TestPipelineMixedTrafficDeterminism(t *testing.T) {
+	p, err := NewPipeline(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	long := [][]float64{randomSeries(8192, 5)}
+	batch := make([][]float64, 12)
+	for i := range batch {
+		batch[i] = randomSeries(256, int64(i+1))
+	}
+	ctx := context.Background()
+	wantLong, err := p.Extract(ctx, long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBatch, err := p.Extract(ctx, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	same := func(got, want [][]float64) bool {
+		for i := range want {
+			for k := range want[i] {
+				if got[i][k] != want[i][k] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+
+	const rounds = 4
+	var wg sync.WaitGroup
+	errc := make(chan error, 8*rounds)
+	for g := 0; g < 4; g++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				got, err := p.Extract(ctx, long)
+				if err != nil {
+					errc <- err
+					return
+				}
+				if !same(got, wantLong) {
+					t.Error("long-series result diverged under mixed traffic")
+					return
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				got, err := p.Extract(ctx, batch)
+				if err != nil {
+					errc <- err
+					return
+				}
+				if !same(got, wantBatch) {
+					t.Error("batch result diverged under mixed traffic")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}

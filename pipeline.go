@@ -109,11 +109,15 @@ func (p *Pipeline) Close() {
 
 // Extract converts the batch into MVG feature matrices on the persistent
 // pool: one row per series, row i always corresponding to series[i], with
-// per-series jobs fanned across up to Workers() goroutines. The context is
-// checked between jobs; on cancellation the call returns ctx.Err()
-// promptly and the remaining series are never extracted. An empty batch
-// returns a *ShapeError (errors.Is(err, ErrShapeMismatch)); a series too
-// short for the configured scales returns an error matching
+// per-series jobs fanned across up to Workers() goroutines. When the
+// batch is smaller than the worker budget and every series is long
+// (≥4096 samples), the engine instead fans each series' per-scale graph
+// builds across the pool, so a single long series still uses all
+// workers; the output is bit-identical either way (docs/concurrency.md).
+// The context is checked between jobs; on cancellation the call returns
+// ctx.Err() promptly and the remaining series are never extracted. An
+// empty batch returns a *ShapeError (errors.Is(err, ErrShapeMismatch));
+// a series too short for the configured scales returns an error matching
 // ErrSeriesTooShort.
 func (p *Pipeline) Extract(ctx context.Context, series [][]float64) ([][]float64, error) {
 	if ctx == nil {
