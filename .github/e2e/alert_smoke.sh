@@ -1,0 +1,118 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the alerting pipeline: build the real binaries,
+# train a model, boot mvgserve with a webhook sink pointed at a local
+# capture server, stream a series engineered to flip the prediction, and
+# assert (a) FIRING and RESOLVED alert lines on the wire, (b) FIRING and
+# RESOLVED webhook deliveries at the capture server, (c) the /metrics
+# transition counters. See docs/alerting.md for the semantics under test.
+# Run locally with: bash .github/e2e/alert_smoke.sh
+set -euo pipefail
+
+PORT="${E2E_PORT:-18090}"
+HOOK_PORT="${E2E_HOOK_PORT:-18091}"
+BASE="http://127.0.0.1:${PORT}"
+WORK="$(mktemp -d)"
+SERVE_PID=""
+HOOK_PID=""
+cleanup() {
+  [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+  [ -n "$HOOK_PID" ] && kill "$HOOK_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+note() { printf '\n== %s ==\n' "$*"; }
+die() { echo "alert-e2e: FAIL: $*" >&2; exit 1; }
+
+command -v jq >/dev/null || die "jq is required"
+
+note "build binaries"
+go build -o "$WORK/bin/tsgen" ./cmd/tsgen
+go build -o "$WORK/bin/mvgcli" ./cmd/mvgcli
+go build -o "$WORK/bin/mvgserve" ./cmd/mvgserve
+go build -o "$WORK/bin/webhooksink" ./.github/e2e/webhooksink
+
+note "generate synthetic dataset + train a model"
+"$WORK/bin/tsgen" -out "$WORK/data" -dataset WarpedShapes -seed 3
+mkdir -p "$WORK/models"
+"$WORK/bin/mvgcli" \
+  -train "$WORK/data/WarpedShapes_TRAIN" \
+  -test "$WORK/data/WarpedShapes_TEST" \
+  -save "$WORK/models/shapes.mvg" >/dev/null
+
+note "boot webhook capture server + mvgserve with the webhook sink"
+: > "$WORK/hooks.ndjson"
+"$WORK/bin/webhooksink" -addr "127.0.0.1:${HOOK_PORT}" -out "$WORK/hooks.ndjson" &
+HOOK_PID=$!
+"$WORK/bin/mvgserve" -models "$WORK/models" -addr "127.0.0.1:${PORT}" \
+  -alert-webhook "http://127.0.0.1:${HOOK_PORT}/hook" &
+SERVE_PID=$!
+for i in $(seq 1 50); do
+  if curl -sf "$BASE/healthz" >/dev/null 2>&1 \
+    && curl -sf "http://127.0.0.1:${HOOK_PORT}/count" >/dev/null 2>&1; then break; fi
+  kill -0 "$SERVE_PID" 2>/dev/null || die "mvgserve exited during startup"
+  kill -0 "$HOOK_PID" 2>/dev/null || die "webhooksink exited during startup"
+  sleep 0.2
+  [ "$i" = 50 ] && die "servers never became healthy"
+done
+
+note "build a flipping stream: class A, then class B, then class A again"
+# One series per class from the test split (first CSV field is the label):
+# the middle stretch flips the model's prediction, the tail flips it back,
+# so a kind=flip trigger must both fire and resolve.
+A=$(awk -F, '$1 == 1 { print; exit }' "$WORK/data/WarpedShapes_TEST" | cut -d, -f2-)
+B=$(awk -F, '$1 == 2 { print; exit }' "$WORK/data/WarpedShapes_TEST" | cut -d, -f2-)
+[ -n "$A" ] && [ -n "$B" ] || die "test split lacks both classes"
+{ echo "$A"; echo "$B"; echo "$A"; } | tr ',' '\n' > "$WORK/stream.txt"
+
+note "stream with ?alert=kind=flip"
+CODE=$(curl -s -o "$WORK/stream_out.ndjson" -w '%{http_code}' \
+  --data-binary "@$WORK/stream.txt" "$BASE/v1/models/shapes/stream?hop=64&alert=kind=flip")
+[ "$CODE" = 200 ] || die "stream returned $CODE: $(cat "$WORK/stream_out.ndjson")"
+
+jq -se '[.[] | select(.class != null)] | length > 0 and all(.drift != null)' \
+  "$WORK/stream_out.ndjson" >/dev/null || die "prediction lines lack drift scores"
+FIRING=$(jq -s '[.[] | select(.alert == "flip" and .to == "FIRING")] | length' "$WORK/stream_out.ndjson")
+RESOLVED=$(jq -s '[.[] | select(.alert == "flip" and .to == "RESOLVED")] | length' "$WORK/stream_out.ndjson")
+[ "$FIRING" -ge 1 ] || die "no FIRING alert line on the wire: $(cat "$WORK/stream_out.ndjson")"
+[ "$RESOLVED" -ge 1 ] || die "no RESOLVED alert line on the wire: $(cat "$WORK/stream_out.ndjson")"
+echo "wire: $FIRING FIRING, $RESOLVED RESOLVED"
+
+note "webhook deliveries reach the capture server"
+# The webhook worker is asynchronous: poll until every wire transition
+# landed (the sink delivers exactly the FIRING/RESOLVED ones).
+WANT=$((FIRING + RESOLVED))
+for i in $(seq 1 50); do
+  GOT=$(curl -sf "http://127.0.0.1:${HOOK_PORT}/count") || GOT=0
+  [ "$GOT" -ge "$WANT" ] && break
+  sleep 0.2
+  [ "$i" = 50 ] && die "webhook got $GOT deliveries, want $WANT: $(cat "$WORK/hooks.ndjson")"
+done
+jq -se "[.[] | select(.model == \"shapes\" and .trigger == \"flip\" and .to == \"FIRING\")] | length >= 1" \
+  "$WORK/hooks.ndjson" >/dev/null || die "no FIRING webhook delivery: $(cat "$WORK/hooks.ndjson")"
+jq -se "[.[] | select(.model == \"shapes\" and .trigger == \"flip\" and .to == \"RESOLVED\")] | length >= 1" \
+  "$WORK/hooks.ndjson" >/dev/null || die "no RESOLVED webhook delivery: $(cat "$WORK/hooks.ndjson")"
+
+note "/metrics exposes alert transition counters"
+curl -sf "$BASE/metrics" > "$WORK/metrics.txt"
+grep -q 'mvgserve_alert_transitions_total{trigger="flip",to="FIRING"}' "$WORK/metrics.txt" \
+  || die "missing FIRING transition counter: $(grep mvgserve_alert "$WORK/metrics.txt" || true)"
+grep -q 'mvgserve_alert_transitions_total{trigger="flip",to="RESOLVED"}' "$WORK/metrics.txt" \
+  || die "missing RESOLVED transition counter"
+# The dialogue is over, so every live-stream gauge cell is back to zero.
+if grep 'mvgserve_alert_state{trigger="flip"' "$WORK/metrics.txt" | grep -qv ' 0$'; then
+  die "stale alert-state gauge: $(grep mvgserve_alert_state "$WORK/metrics.txt")"
+fi
+
+note "bad trigger specs are 400s"
+CODE=$(curl -s -o /dev/null -w '%{http_code}' \
+  --data-binary '1' "$BASE/v1/models/shapes/stream?alert=kind=nope")
+[ "$CODE" = 400 ] || die "bad alert spec returned $CODE, want 400"
+
+note "graceful shutdown"
+kill "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+
+echo
+echo "alert-e2e: PASS"

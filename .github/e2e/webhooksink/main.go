@@ -1,0 +1,64 @@
+// Command webhooksink is the e2e alert smoke test's capture server: it
+// accepts webhook POSTs on /hook, appends each body as one NDJSON line to
+// the -out file (synced before acknowledging, so a polling test never
+// reads a half-written line), and reports the delivery count on /count.
+// It is test scaffolding for .github/e2e/alert_smoke.sh, not part of the
+// library.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"sync"
+)
+
+func main() {
+	var (
+		addr = flag.String("addr", "127.0.0.1:18091", "listen address")
+		out  = flag.String("out", "", "append one NDJSON line per delivery to this file (required)")
+	)
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "webhooksink: -out is required")
+		os.Exit(2)
+	}
+	f, err := os.OpenFile(*out, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var (
+		mu    sync.Mutex
+		count int
+	)
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /hook", func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if _, err := f.Write(append(body, '\n')); err == nil {
+			err = f.Sync()
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		count++
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("GET /count", func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		defer mu.Unlock()
+		fmt.Fprintln(w, count)
+	})
+	log.Printf("webhooksink: listening on %s, capturing to %s", *addr, *out)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}

@@ -1,0 +1,182 @@
+package mvg
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"mvg/internal/alert"
+	"mvg/internal/ml"
+)
+
+// Public surface of the alerting subsystem (internal/alert): trigger rules
+// evaluated per hop over a prediction stream's (class, proba, drift)
+// sequence, driving an explicit OK → PENDING → FIRING → RESOLVED state
+// machine. The types are aliases so values flow untranslated between this
+// package, the serving layer, and external callers; semantics, the spec
+// grammar, and the determinism contract are documented on the alert package
+// and in docs/alerting.md.
+type (
+	// AlertTrigger is one alert rule (alias of alert.Trigger).
+	AlertTrigger = alert.Trigger
+	// AlertState is one of the four alert states (alias of alert.State).
+	AlertState = alert.State
+	// AlertTransition is one state change of one trigger.
+	AlertTransition = alert.Transition
+	// AlertStatus pairs a trigger name with its current state.
+	AlertStatus = alert.Status
+	// AlertEvent is a deliverable FIRING/RESOLVED notification.
+	AlertEvent = alert.Event
+	// AlertSink receives alert events (log sink, webhook sink, fanout).
+	// The HTTP webhook implementation lives in internal/alert/webhook and
+	// is wired up by the binaries (mvgserve -alert-webhook, mvgcli
+	// -webhook): keeping it out of this package keeps net/http out of the
+	// core library.
+	AlertSink = alert.Sink
+)
+
+// NewAlertLogSink returns a sink writing one NDJSON event per line to w.
+func NewAlertLogSink(w io.Writer) AlertSink { return alert.NewLogSink(w) }
+
+// AlertFanout combines sinks into one that delivers to each in order.
+func AlertFanout(sinks ...AlertSink) AlertSink { return alert.Fanout(sinks...) }
+
+// Alert state and trigger-kind constants, re-exported for callers
+// configuring triggers programmatically.
+const (
+	AlertOK       = alert.StateOK
+	AlertPending  = alert.StatePending
+	AlertFiring   = alert.StateFiring
+	AlertResolved = alert.StateResolved
+
+	AlertKindProba = alert.KindProba
+	AlertKindDrift = alert.KindDrift
+	AlertKindFlip  = alert.KindFlip
+)
+
+// ErrBadAlertTrigger matches every invalid trigger configuration or spec
+// parse failure (alias of the alert package's sentinel).
+var ErrBadAlertTrigger = alert.ErrBadTrigger
+
+// ParseAlertTriggers parses a ';'-separated list of trigger specs in the
+// compact key=value grammar ("kind=proba,class=1,rise=0.9,clear=0.6"; see
+// docs/alerting.md#trigger-specs). Failures match ErrBadAlertTrigger.
+func ParseAlertTriggers(specs string) ([]AlertTrigger, error) {
+	return alert.ParseTriggers(specs)
+}
+
+// StreamPoint is one hop's full observation from an alerting stream: the
+// prediction, the window's drift score (when the model carries a baseline),
+// and the alert transitions this hop caused (nil when no trigger changed
+// state, and always nil when no triggers are configured).
+type StreamPoint struct {
+	// Sample is the index of the window-closing sample (Pushed()-1).
+	Sample int
+	// Class and Proba are the prediction, exactly as Stream.Predict
+	// returns them.
+	Class int
+	Proba []float64
+	// Drift is the window's drift score; valid only when HasDrift is true.
+	Drift    float64
+	HasDrift bool
+	// Transitions are the alert state changes caused by this hop, in
+	// trigger order.
+	Transitions []AlertTransition
+}
+
+// SetAlerts installs alert triggers on the stream: from the next hop on,
+// PredictAlert evaluates them against each prediction. Triggers are
+// validated up front (errors match ErrBadAlertTrigger); drift triggers
+// additionally require the model to carry a drift baseline
+// (ErrNoDriftBaseline otherwise). Calling SetAlerts replaces any previous
+// triggers and resets their states; SetAlerts with no triggers removes
+// alerting. Feature-only streams (Pipeline.NewStream) cannot alert.
+func (s *Stream) SetAlerts(triggers ...AlertTrigger) error {
+	if s.model == nil {
+		return fmt.Errorf("mvg: alerts require a model-bound stream (built with Model.NewStream)")
+	}
+	if len(triggers) == 0 {
+		s.alerts = nil
+		return nil
+	}
+	eval, err := alert.NewEvaluator(triggers...)
+	if err != nil {
+		return err
+	}
+	if eval.NeedsDrift() && !s.model.HasDrift() {
+		return fmt.Errorf("%w: kind=drift triggers need one (retrain or re-save the model)", ErrNoDriftBaseline)
+	}
+	s.alerts = eval
+	return nil
+}
+
+// Alerts returns each configured trigger's name and current state, in
+// trigger order (nil when no triggers are configured).
+func (s *Stream) Alerts() []AlertStatus {
+	if s.alerts == nil {
+		return nil
+	}
+	return s.alerts.States()
+}
+
+// AlertTriggers returns a copy of the configured triggers with defaults
+// filled (nil when no triggers are configured).
+func (s *Stream) AlertTriggers() []AlertTrigger {
+	if s.alerts == nil {
+		return nil
+	}
+	return s.alerts.Triggers()
+}
+
+// PredictAlert classifies the current window and, in the same pass, scores
+// its drift against the model's training centroids and advances the alert
+// state machine. Features are extracted once and shared by all three. It is
+// Predict plus observability: the prediction fields are bit-identical to
+// Stream.Predict on the same window, the drift score is deterministic, and
+// the transition sequence over a series is bit-identical at every worker
+// count (docs/alerting.md#determinism). Works without SetAlerts too —
+// Transitions just stays nil.
+func (s *Stream) PredictAlert(ctx context.Context) (StreamPoint, error) {
+	var pt StreamPoint
+	if s.model == nil {
+		return pt, fmt.Errorf("mvg: stream is not bound to a model (built with Pipeline.NewStream; use Model.NewStream)")
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return pt, err
+		}
+	}
+	feats, err := s.Features()
+	if err != nil {
+		return pt, err
+	}
+	pt.Sample = s.pushed - 1
+	// Drift first: classifyFeatures may scale, and the baseline lives in
+	// raw feature space.
+	if s.model.HasDrift() {
+		d, err := s.model.Drift(feats)
+		if err != nil {
+			return pt, err
+		}
+		pt.Drift, pt.HasDrift = d, true
+	}
+	if s.rowIn == nil {
+		s.rowIn = make([][]float64, 1)
+	}
+	s.rowIn[0] = feats
+	probas, err := s.model.classifyFeatures(s.rowIn)
+	if err != nil {
+		return pt, err
+	}
+	pt.Class, pt.Proba = ml.Predict(probas)[0], probas[0]
+	if s.alerts != nil {
+		pt.Transitions = s.alerts.Eval(alert.Point{
+			Sample:   pt.Sample,
+			Class:    pt.Class,
+			Proba:    pt.Proba,
+			Drift:    pt.Drift,
+			HasDrift: pt.HasDrift,
+		})
+	}
+	return pt, nil
+}

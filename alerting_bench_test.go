@@ -1,0 +1,101 @@
+package mvg
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkStreamWithAlerting measures what the alerting layer adds to the
+// per-hop serving cost: "predict" is the plain streaming prediction loop
+// (Push to the hop boundary + Predict), "alerting" is the same loop through
+// PredictAlert with a drift score and three armed triggers. The CI bench
+// gate pins both arms' allocs/op (equal: the alerting layer allocates
+// nothing per hop, which is the within-10% contract enforced exactly) and
+// backstops ns/op with a noise-tolerant ≤1.25× ratio gate
+// (.github/BENCH_baseline.json); the measured wall-clock delta is ~1%.
+// The classifier is a constant stub so the delta measured is the alerting
+// layer, not booster inference noise.
+func BenchmarkStreamWithAlerting(b *testing.B) {
+	const windowLen, hop = 512, 8
+	p, err := NewPipeline(streamBenchCfg())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+
+	rng := rand.New(rand.NewSource(3))
+	samples := make([]float64, 1<<14)
+	level := 0.0
+	for i := range samples {
+		level += rng.NormFloat64()
+		samples[i] = level
+	}
+
+	// A model with a real drift baseline (centroids from two windows of the
+	// sample stream) but a free classifier.
+	X, err := p.Extract(context.Background(), [][]float64{
+		samples[:windowLen], samples[windowLen : 2*windowLen],
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := &Model{
+		pipe:      p,
+		clf:       constProbaClf{classes: 2},
+		classes:   2,
+		names:     p.FeatureNames(windowLen),
+		seriesLen: windowLen,
+		drift:     computeDriftBaseline(X, []int{0, 1}, 2),
+	}
+
+	run := func(b *testing.B, alerting bool) {
+		s, err := model.NewStream(hop)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if alerting {
+			err := s.SetAlerts(
+				AlertTrigger{Kind: AlertKindFlip},
+				AlertTrigger{Kind: AlertKindProba, Class: 1, Rise: 0.9, Clear: 0.5},
+				AlertTrigger{Kind: AlertKindDrift, Rise: 1e9, Clear: 1},
+			)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		for i := 0; i < 2*windowLen; i++ {
+			if _, err := s.Push(samples[i%len(samples)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		ctx := context.Background()
+		b.ReportAllocs()
+		b.ResetTimer()
+		n := 2 * windowLen
+		for i := 0; i < b.N; i++ {
+			for {
+				ready, err := s.Push(samples[n%len(samples)])
+				n++
+				if err != nil {
+					b.Fatal(err)
+				}
+				if ready {
+					break
+				}
+			}
+			if alerting {
+				if _, err := s.PredictAlert(ctx); err != nil {
+					b.Fatal(err)
+				}
+			} else {
+				if _, _, err := s.Predict(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+
+	b.Run("predict", func(b *testing.B) { run(b, false) })
+	b.Run("alerting", func(b *testing.B) { run(b, true) })
+}

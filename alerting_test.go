@@ -1,0 +1,436 @@
+package mvg
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+
+	"mvg/internal/ml"
+	"mvg/internal/synth"
+)
+
+// alertModel is the shared trained fixture for the alerting tests: a
+// 2-class WarpedShapes model (seriesLen 128), trained once.
+var (
+	alertModelOnce sync.Once
+	alertModelVal  *Model
+	alertModelErr  error
+	alertSeriesA   []float64 // a test series the model labels by class
+	alertSeriesB   []float64
+)
+
+func alertModel(t *testing.T) *Model {
+	t.Helper()
+	alertModelOnce.Do(func() {
+		fam, err := synth.ByName("WarpedShapes")
+		if err != nil {
+			alertModelErr = err
+			return
+		}
+		train, test := fam.Generate(1)
+		alertModelVal, alertModelErr = Train(train.Series, train.Labels, train.Classes(), Config{Folds: 2, Seed: 1, Workers: 2})
+		if alertModelErr != nil {
+			return
+		}
+		for i, y := range test.Labels {
+			if y == 0 && alertSeriesA == nil {
+				alertSeriesA = test.Series[i]
+			}
+			if y == 1 && alertSeriesB == nil {
+				alertSeriesB = test.Series[i]
+			}
+		}
+	})
+	if alertModelErr != nil {
+		t.Fatal(alertModelErr)
+	}
+	if alertSeriesA == nil || alertSeriesB == nil {
+		t.Fatal("test split lacks both classes")
+	}
+	return alertModelVal
+}
+
+// alertScenario is a series engineered to flip labels midway: windows of
+// class-A samples, then class-B, then back.
+func alertScenario() []float64 {
+	out := make([]float64, 0, 5*len(alertSeriesA))
+	for _, part := range [][]float64{alertSeriesA, alertSeriesA, alertSeriesB, alertSeriesB, alertSeriesA} {
+		out = append(out, part...)
+	}
+	return out
+}
+
+func alertScenarioTriggers() []AlertTrigger {
+	return []AlertTrigger{
+		{Kind: AlertKindFlip},
+		{Name: "b-high", Kind: AlertKindProba, Class: 1, Rise: 0.8, Clear: 0.4, For: 2},
+		{Kind: AlertKindDrift, Rise: 1e6, Clear: 1},
+	}
+}
+
+// driveAlerts streams the series through PredictAlert and returns every
+// transition plus the per-hop probability bit patterns.
+func driveAlerts(t *testing.T, m *Model, series []float64, hop int) ([]AlertTransition, [][]uint64) {
+	t.Helper()
+	s, err := m.NewStream(hop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetAlerts(alertScenarioTriggers()...); err != nil {
+		t.Fatal(err)
+	}
+	var trs []AlertTransition
+	var probaBits [][]uint64
+	for i, x := range series {
+		ready, err := s.Push(x)
+		if err != nil {
+			t.Fatalf("push %d: %v", i, err)
+		}
+		if !ready {
+			continue
+		}
+		pt, err := s.PredictAlert(context.Background())
+		if err != nil {
+			t.Fatalf("hop at %d: %v", i, err)
+		}
+		if pt.Sample != i {
+			t.Fatalf("point sample %d, want %d", pt.Sample, i)
+		}
+		if !pt.HasDrift {
+			t.Fatalf("hop at %d: drift missing on a freshly trained model", i)
+		}
+		trs = append(trs, pt.Transitions...)
+		bits := make([]uint64, len(pt.Proba))
+		for j, p := range pt.Proba {
+			bits[j] = math.Float64bits(p)
+		}
+		probaBits = append(probaBits, bits)
+	}
+	return trs, probaBits
+}
+
+// TestAlertDeterminismAcrossWorkers pins the acceptance criterion: the
+// same series produces bit-identical alert transition sequences (and
+// probability vectors) at workers 1, 2, 4 and 8.
+func TestAlertDeterminismAcrossWorkers(t *testing.T) {
+	m := alertModel(t)
+	series := alertScenario()
+	const hop = 32
+
+	baseTrs, baseProba := driveAlerts(t, m, series, hop)
+	if len(baseTrs) == 0 {
+		t.Fatal("scenario produced no transitions; the determinism pin would be vacuous")
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		m.SetWorkers(workers)
+		trs, proba := driveAlerts(t, m, series, hop)
+		if !reflect.DeepEqual(trs, baseTrs) {
+			t.Fatalf("workers=%d: transitions diverged:\n%+v\nvs\n%+v", workers, trs, baseTrs)
+		}
+		if !reflect.DeepEqual(proba, baseProba) {
+			t.Fatalf("workers=%d: probability bits diverged", workers)
+		}
+	}
+	m.SetWorkers(0)
+}
+
+// TestAlertScenarioFiresAndResolves: the engineered label-flip series must
+// take the flip trigger through a full FIRING/RESOLVED cycle.
+func TestAlertScenarioFiresAndResolves(t *testing.T) {
+	m := alertModel(t)
+	trs, _ := driveAlerts(t, m, alertScenario(), 32)
+	var fired, resolved bool
+	for _, tr := range trs {
+		if tr.Trigger == "flip" && tr.To == AlertFiring {
+			fired = true
+		}
+		if tr.Trigger == "flip" && tr.To == AlertResolved {
+			resolved = true
+		}
+	}
+	if !fired || !resolved {
+		t.Fatalf("flip trigger cycle incomplete (fired=%v resolved=%v): %+v", fired, resolved, trs)
+	}
+}
+
+// TestPredictAlertMatchesPredict: the prediction fields of PredictAlert are
+// bit-identical to Stream.Predict on the same windows.
+func TestPredictAlertMatchesPredict(t *testing.T) {
+	m := alertModel(t)
+	series := alertScenario()
+	s1, err := m.NewStream(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := m.NewStream(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range series {
+		r1, err := s1.Push(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s2.Push(x); err != nil {
+			t.Fatal(err)
+		}
+		if !r1 {
+			continue
+		}
+		class, proba, err := s1.Predict(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		pt, err := s2.PredictAlert(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pt.Class != class || !bitsEqual(pt.Proba, proba) {
+			t.Fatalf("hop at %d: PredictAlert (%d, %v) != Predict (%d, %v)", i, pt.Class, pt.Proba, class, proba)
+		}
+	}
+}
+
+func TestComputeDriftBaseline(t *testing.T) {
+	X := [][]float64{
+		{0, 0}, {2, 0}, // class 0: centroid (1,0), distances 1,1 -> spread 1
+		{10, 10}, {10, 14}, // class 1: centroid (10,12), distances 2,2 -> spread 2
+		{5, 5}, // label out of range: ignored
+	}
+	labels := []int{0, 0, 1, 1, 7}
+	b := computeDriftBaseline(X, labels, 3)
+	if got := b.centroids[0]; !bitsEqual(got, []float64{1, 0}) {
+		t.Fatalf("class 0 centroid = %v", got)
+	}
+	if got := b.centroids[1]; !bitsEqual(got, []float64{10, 12}) {
+		t.Fatalf("class 1 centroid = %v", got)
+	}
+	if b.centroids[2] != nil {
+		t.Fatalf("absent class got a centroid: %v", b.centroids[2])
+	}
+	if b.spreads[0] != 1 || b.spreads[1] != 2 {
+		t.Fatalf("spreads = %v", b.spreads)
+	}
+
+	// Score: a point at a centroid is 0; normalization divides by the
+	// class spread; absent classes are skipped.
+	if d := b.score([]float64{1, 0}); d != 0 {
+		t.Fatalf("score at centroid = %v", d)
+	}
+	if d := b.score([]float64{10, 16}); d != 2 {
+		t.Fatalf("score = %v, want 4/spread2 = 2", d)
+	}
+	// Nearest class wins: (3,0) is 2 from class 0 (spread 1) and far from
+	// class 1, so the score is 2.
+	if d := b.score([]float64{3, 0}); d != 2 {
+		t.Fatalf("score = %v, want 2", d)
+	}
+
+	// A degenerate class (all rows identical) gets spread 1.
+	b2 := computeDriftBaseline([][]float64{{4, 4}, {4, 4}}, []int{0, 0}, 1)
+	if b2.spreads[0] != 1 {
+		t.Fatalf("degenerate spread = %v, want 1", b2.spreads[0])
+	}
+
+	// No rows at all: empty baseline.
+	if !computeDriftBaseline(nil, nil, 2).empty() {
+		t.Fatal("empty input produced a baseline")
+	}
+}
+
+func TestModelDriftErrors(t *testing.T) {
+	m := alertModel(t)
+	if !m.HasDrift() {
+		t.Fatal("freshly trained model has no drift baseline")
+	}
+	if _, err := m.Drift(make([]float64, 1)); !errors.Is(err, ErrShapeMismatch) {
+		t.Fatalf("wrong-width error = %v, want ErrShapeMismatch", err)
+	}
+
+	bare := &Model{names: m.names}
+	if bare.HasDrift() {
+		t.Fatal("baseline-less model claims drift")
+	}
+	if _, err := bare.Drift(make([]float64, len(m.names))); !errors.Is(err, ErrNoDriftBaseline) {
+		t.Fatalf("baseline-less error = %v, want ErrNoDriftBaseline", err)
+	}
+}
+
+// TestDriftPersistRoundTrip: centroids and spreads survive Save/LoadModel
+// and score identically.
+func TestDriftPersistRoundTrip(t *testing.T) {
+	m := alertModel(t)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.HasDrift() {
+		t.Fatal("drift baseline lost in persistence")
+	}
+	feats, err := m.pipe.Extract(context.Background(), [][]float64{alertSeriesB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := m.Drift(feats[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := loaded.Drift(feats[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(d1) != math.Float64bits(d2) {
+		t.Fatalf("drift drifted across persistence: %v vs %v", d1, d2)
+	}
+	if IsInvalid := math.IsNaN(d1) || math.IsInf(d1, 0); IsInvalid {
+		t.Fatalf("drift score %v is not finite", d1)
+	}
+}
+
+func TestSetAlertsValidation(t *testing.T) {
+	m := alertModel(t)
+
+	// Feature-only streams cannot alert.
+	fs, err := m.Pipeline().NewStream(m.SeriesLen(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SetAlerts(AlertTrigger{Kind: AlertKindFlip}); err == nil {
+		t.Fatal("feature-only stream accepted alerts")
+	}
+
+	s, err := m.NewStream(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Invalid trigger (clear >= rise) matches the public sentinel.
+	err = s.SetAlerts(AlertTrigger{Kind: AlertKindProba, Rise: 0.4, Clear: 0.8})
+	if !errors.Is(err, ErrBadAlertTrigger) {
+		t.Fatalf("invalid trigger error = %v, want ErrBadAlertTrigger", err)
+	}
+	if s.Alerts() != nil || s.AlertTriggers() != nil {
+		t.Fatal("failed SetAlerts left triggers behind")
+	}
+
+	// Drift trigger against a baseline-less model.
+	bare := &Model{pipe: m.pipe, clf: m.clf, classes: m.classes, names: m.names, seriesLen: m.seriesLen}
+	bs, err := bare.NewStream(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = bs.SetAlerts(AlertTrigger{Kind: AlertKindDrift, Rise: 2, Clear: 1})
+	if !errors.Is(err, ErrNoDriftBaseline) {
+		t.Fatalf("drift-without-baseline error = %v, want ErrNoDriftBaseline", err)
+	}
+	// Non-drift triggers are still fine on that model, and PredictAlert
+	// reports HasDrift=false.
+	if err := bs.SetAlerts(AlertTrigger{Kind: AlertKindFlip}); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range alertSeriesA {
+		if _, err := bs.Push(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pt, err := bs.PredictAlert(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.HasDrift {
+		t.Fatal("baseline-less model reported a drift score")
+	}
+
+	// SetAlerts with no triggers removes alerting.
+	if err := s.SetAlerts(AlertTrigger{Kind: AlertKindFlip}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetAlerts(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Alerts() != nil {
+		t.Fatal("SetAlerts() did not remove triggers")
+	}
+
+	// ParseAlertTriggers is the spec-string path to the same place.
+	trig, err := ParseAlertTriggers("kind=proba,class=1,rise=0.9,clear=0.5; kind=flip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetAlerts(trig...); err != nil {
+		t.Fatal(err)
+	}
+	got := s.AlertTriggers()
+	if len(got) != 2 || got[0].Name != "proba1" || got[1].Name != "flip" {
+		t.Fatalf("AlertTriggers() = %+v", got)
+	}
+}
+
+// TestStreamResetResetsAlerts: Reset re-arms triggers to OK and re-latches
+// auto baselines.
+func TestStreamResetResetsAlerts(t *testing.T) {
+	m := alertModel(t)
+	s, err := m.NewStream(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetAlerts(AlertTrigger{Kind: AlertKindFlip}); err != nil {
+		t.Fatal(err)
+	}
+	drive := func(series []float64) []AlertTransition {
+		var trs []AlertTransition
+		for _, x := range series {
+			ready, err := s.Push(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ready {
+				continue
+			}
+			pt, err := s.PredictAlert(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			trs = append(trs, pt.Transitions...)
+		}
+		return trs
+	}
+	series := append(append([]float64{}, alertSeriesA...), alertSeriesB...)
+	if trs := drive(series); len(trs) == 0 {
+		t.Fatal("label flip produced no transitions")
+	}
+	s.Reset()
+	if sts := s.Alerts(); sts[0].State != AlertOK {
+		t.Fatalf("state after Reset = %v, want OK", sts[0].State)
+	}
+	// After Reset the baseline re-latches to the first prediction of the
+	// new series: the first hop can never fire, whatever the stale
+	// baseline was (a class-B window against an un-reset class-A baseline
+	// would fire immediately).
+	if trs := drive(alertSeriesB); len(trs) != 0 {
+		t.Fatalf("re-latched baseline produced transitions: %+v", trs)
+	}
+}
+
+// constProbaClf is a deterministic, allocation-minimal classifier used by
+// benchmarks and tests that need a Model without paying for training.
+type constProbaClf struct{ classes int }
+
+func (c constProbaClf) Fit([][]float64, []int, int) error { return nil }
+func (c constProbaClf) Clone() ml.Classifier              { return c }
+func (c constProbaClf) PredictProba(X [][]float64) ([][]float64, error) {
+	out := make([][]float64, len(X))
+	for i := range out {
+		row := make([]float64, c.classes)
+		row[0] = 1
+		out[i] = row
+	}
+	return out, nil
+}

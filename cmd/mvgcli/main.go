@@ -14,6 +14,14 @@
 // same protocol as mvgserve's /stream endpoint; see docs/streaming.md):
 //
 //	some-sensor | mvgcli stream -load model.mvg -hop 8
+//
+// -alert arms alert triggers on the stream (state transitions interleave
+// as NDJSON alert lines; docs/alerting.md), and -webhook additionally
+// POSTs FIRING/RESOLVED events to an HTTP endpoint:
+//
+//	some-sensor | mvgcli stream -load model.mvg -hop 8 \
+//	    -alert "kind=proba,class=1,rise=0.9,clear=0.6" \
+//	    -webhook http://alerts.internal/hook
 package main
 
 import (
@@ -24,11 +32,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
 
 	"mvg"
+	alertwebhook "mvg/internal/alert/webhook"
 	"mvg/internal/serve"
 	"mvg/internal/ucr"
 )
@@ -166,14 +176,16 @@ func runStream(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("mvgcli stream", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		loadPath = fs.String("load", "", "saved model to stream against (required)")
-		hop      = fs.Int("hop", 1, "emit one prediction every N samples once the window is full")
-		inPath   = fs.String("in", "", "sample source, one number per line (default stdin)")
+		loadPath   = fs.String("load", "", "saved model to stream against (required)")
+		hop        = fs.Int("hop", 1, "emit one prediction every N samples once the window is full")
+		inPath     = fs.String("in", "", "sample source, one number per line (default stdin)")
+		alertSpecs = fs.String("alert", "", "';'-separated alert trigger specs (docs/alerting.md#trigger-specs)")
+		webhook    = fs.String("webhook", "", "POST FIRING/RESOLVED alert events to this URL (requires -alert)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if *loadPath == "" {
+	if *loadPath == "" || (*webhook != "" && *alertSpecs == "") {
 		fs.Usage()
 		return 2
 	}
@@ -190,6 +202,30 @@ func runStream(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fail(stderr, err)
 	}
+	if *alertSpecs != "" {
+		triggers, err := mvg.ParseAlertTriggers(*alertSpecs)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		if err := stream.SetAlerts(triggers...); err != nil {
+			return fail(stderr, err)
+		}
+	}
+	var sink mvg.AlertSink
+	if *webhook != "" {
+		// Events the webhook cannot take (full queue, open breaker,
+		// exhausted retries) fall back to stderr so nothing vanishes.
+		sink, err = alertwebhook.New(alertwebhook.Config{
+			URL:      *webhook,
+			Fallback: mvg.NewAlertLogSink(stderr),
+		})
+		if err != nil {
+			return fail(stderr, err)
+		}
+		// Close drains queued events (bounded by retry policy) on exit.
+		defer sink.Close()
+	}
+	modelName := strings.TrimSuffix(filepath.Base(*loadPath), filepath.Ext(*loadPath))
 
 	var in io.Reader = os.Stdin
 	if *inPath != "" {
@@ -223,14 +259,35 @@ func runStream(args []string, stdout, stderr io.Writer) int {
 		if !ready {
 			continue
 		}
-		class, proba, err := stream.Predict(context.Background())
+		pt, err := stream.PredictAlert(context.Background())
 		if err != nil {
 			return fail(stderr, err)
 		}
-		// serve.StreamPrediction is the shared line type of mvgserve's
-		// /stream endpoint — one protocol, one definition.
-		if err := enc.Encode(serve.StreamPrediction{Sample: stream.Pushed(), Class: class, Proba: proba}); err != nil {
+		// serve.StreamPrediction / StreamAlertEvent are the shared line
+		// types of mvgserve's /stream endpoint — one protocol, one
+		// definition. Sample is samples-consumed on the wire.
+		pred := serve.StreamPrediction{Sample: stream.Pushed(), Class: pt.Class, Proba: pt.Proba}
+		if pt.HasDrift {
+			pred.Drift = &pt.Drift
+		}
+		if err := enc.Encode(pred); err != nil {
 			return fail(stderr, err)
+		}
+		for _, tr := range pt.Transitions {
+			ev := serve.StreamAlertEvent{
+				Alert: tr.Trigger, From: tr.From.String(), To: tr.To.String(),
+				Sample: tr.Sample + 1, Value: tr.Value,
+			}
+			if err := enc.Encode(ev); err != nil {
+				return fail(stderr, err)
+			}
+			if sink != nil && (tr.To == mvg.AlertFiring || tr.To == mvg.AlertResolved) {
+				sink.Deliver(mvg.AlertEvent{
+					Model: modelName, Trigger: tr.Trigger,
+					From: ev.From, To: ev.To,
+					Sample: ev.Sample, Value: ev.Value, At: time.Now().UTC(),
+				})
+			}
 		}
 		// One line per hop, delivered as it happens: flush so a pipe
 		// consumer sees predictions live, not on exit.

@@ -4,12 +4,16 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 
 	"mvg/internal/serve"
@@ -115,6 +119,84 @@ func TestTrainSavePredictRoundTrip(t *testing.T) {
 	if pred.Sample != length || len(pred.Proba) != 2 {
 		t.Fatalf("prediction = %+v, want sample %d with 2 probas", pred, length)
 	}
+	if pred.Drift == nil {
+		t.Fatalf("prediction %+v lacks drift (trained models carry a baseline)", pred)
+	}
+
+	// Alerting leg: stream sine→noise→sine through a flip trigger. The
+	// class flip fires and resolves on the wire, and -webhook delivers
+	// the FIRING/RESOLVED events to a capture server.
+	var mu sync.Mutex
+	var hooks []string
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		mu.Lock()
+		hooks = append(hooks, string(body))
+		mu.Unlock()
+	}))
+	defer hs.Close()
+
+	var sine, noise []string
+	for _, row := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		fields := strings.Split(row, ",")
+		if fields[0] == "1" && sine == nil {
+			sine = fields[1:]
+		}
+		if fields[0] == "2" && noise == nil {
+			noise = fields[1:]
+		}
+	}
+	flip := append(append(append([]string{}, sine...), noise...), sine...)
+	flipPath := filepath.Join(dir, "flip.txt")
+	if err := os.WriteFile(flipPath, []byte(strings.Join(flip, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	code = realMain([]string{
+		"stream", "-load", modelPath, "-hop", "16", "-in", flipPath,
+		"-alert", "kind=flip", "-webhook", hs.URL,
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("alert stream exit = %d, stderr: %s", code, stderr.String())
+	}
+	var firing, resolved int
+	for _, line := range strings.Split(strings.TrimSpace(stdout.String()), "\n") {
+		var ev serve.StreamAlertEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil || ev.Alert == "" {
+			continue
+		}
+		switch ev.To {
+		case "FIRING":
+			firing++
+		case "RESOLVED":
+			resolved++
+		}
+	}
+	if firing == 0 || resolved == 0 {
+		t.Fatalf("want FIRING and RESOLVED alert lines, got %d/%d:\n%s", firing, resolved, stdout.String())
+	}
+	// runStream closes the sink before returning, so every delivery has
+	// landed by now; the model name is the file base without extension.
+	mu.Lock()
+	defer mu.Unlock()
+	if len(hooks) != firing+resolved {
+		t.Fatalf("webhook got %d deliveries, wire carried %d", len(hooks), firing+resolved)
+	}
+	for _, h := range hooks {
+		if !strings.Contains(h, `"model":"toy"`) || !strings.Contains(h, `"trigger":"flip"`) {
+			t.Fatalf("webhook payload %q lacks model/trigger", h)
+		}
+	}
+
+	// A malformed -alert spec is a runtime failure (exit 1), not a crash.
+	stdout.Reset()
+	stderr.Reset()
+	if code := realMain([]string{
+		"stream", "-load", modelPath, "-in", flipPath, "-alert", "kind=nope",
+	}, &stdout, &stderr); code != 1 || !strings.Contains(stderr.String(), "trigger") {
+		t.Fatalf("bad -alert exit = %d, stderr: %s", code, stderr.String())
+	}
 }
 
 // TestExecUsageAndErrors exercises the true process boundary via os/exec
@@ -145,6 +227,9 @@ func TestExecUsageAndErrors(t *testing.T) {
 	}
 	if code, _ := run("stream"); code != 2 {
 		t.Fatalf("stream without -load exit = %d, want 2", code)
+	}
+	if code, _ := run("stream", "-load", "x.mvg", "-webhook", "http://localhost:1"); code != 2 {
+		t.Fatalf("stream -webhook without -alert exit = %d, want 2", code)
 	}
 	if code, out := run("-train", "/does/not/exist", "-test", "/does/not/exist"); code != 1 || !strings.Contains(out, "mvgcli:") {
 		t.Fatalf("missing files exit = %d output %q, want 1 with mvgcli: prefix", code, out)

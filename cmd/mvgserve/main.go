@@ -9,6 +9,7 @@
 //	mvgserve -models ./models -addr :9000 -window 5ms -max-batch 128
 //	mvgserve -models ./models -workers 4 -shutdown-timeout 30s
 //	mvgserve -models ./models -pprof 127.0.0.1:6060   # opt-in debug listener
+//	mvgserve -models ./models -alert-webhook http://alerts.internal/hook -alert-log
 //
 // Endpoints:
 //
@@ -39,6 +40,8 @@ import (
 	"syscall"
 	"time"
 
+	"mvg"
+	alertwebhook "mvg/internal/alert/webhook"
 	"mvg/internal/serve"
 )
 
@@ -51,6 +54,8 @@ func main() {
 		workers         = flag.Int("workers", 0, "worker goroutines per prediction batch (0 = GOMAXPROCS)")
 		shutdownTimeout = flag.Duration("shutdown-timeout", 15*time.Second, "maximum time to drain in-flight requests on SIGTERM")
 		pprofAddr       = flag.String("pprof", "", "serve net/http/pprof on this separate debug address (e.g. 127.0.0.1:6060); empty disables")
+		alertWebhook    = flag.String("alert-webhook", "", "POST FIRING/RESOLVED alert events from ?alert= streams to this URL")
+		alertLog        = flag.Bool("alert-log", false, "log FIRING/RESOLVED alert events as NDJSON on stderr")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "mvgserve: ", log.LstdFlags)
@@ -68,11 +73,37 @@ func main() {
 	registry.SetWorkers(*workers)
 	logger.Printf("loaded %d model(s) from %s: %v", len(names), *modelDir, names)
 
+	// The alert sink is owned here, not by the server: it is closed after
+	// the full drain so events from in-flight stream dialogues still get
+	// delivered (webhook Close waits out its bounded retry queue).
+	var alertSink mvg.AlertSink
+	{
+		var sinks []mvg.AlertSink
+		if *alertLog {
+			sinks = append(sinks, mvg.NewAlertLogSink(os.Stderr))
+		}
+		if *alertWebhook != "" {
+			hook, err := alertwebhook.New(alertwebhook.Config{
+				URL:      *alertWebhook,
+				Fallback: mvg.NewAlertLogSink(os.Stderr),
+			})
+			if err != nil {
+				logger.Fatalf("alert webhook: %v", err)
+			}
+			sinks = append(sinks, hook)
+		}
+		if len(sinks) > 0 {
+			alertSink = mvg.AlertFanout(sinks...)
+			logger.Printf("alert sink: log=%v webhook=%q", *alertLog, *alertWebhook)
+		}
+	}
+
 	srv, err := serve.NewServer(serve.Config{
-		Registry: registry,
-		Window:   *window,
-		MaxBatch: *maxBatch,
-		Logger:   logger,
+		Registry:  registry,
+		Window:    *window,
+		MaxBatch:  *maxBatch,
+		Logger:    logger,
+		AlertSink: alertSink,
 	})
 	if err != nil {
 		logger.Fatal(err)
@@ -141,6 +172,11 @@ func main() {
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		logger.Fatal(err)
+	}
+	if alertSink != nil {
+		if err := alertSink.Close(); err != nil {
+			logger.Printf("alert sink close: %v", err)
+		}
 	}
 	logger.Printf("drained, bye")
 }

@@ -1,0 +1,137 @@
+package mvg
+
+import (
+	"math"
+)
+
+// Feature-drift baseline: at Train time the model captures one centroid per
+// class in raw (pre-scaler) feature space, plus each class's spread — the
+// RMS distance of that class's training rows to its centroid. The drift
+// score of a window is then its normalized distance to the nearest class:
+//
+//	Drift(x) = min over classes c of  ‖x − centroid_c‖ / spread_c
+//
+// A score near or below 1 means the window's feature vector sits where the
+// training data sat; scores well above 1 mean the window looks like nothing
+// the model was trained on, whatever class the classifier picks — the
+// novelty signal the alerting layer thresholds with kind=drift triggers
+// (docs/alerting.md#drift-score). The computation is pure float64
+// arithmetic over immutable state: deterministic and safe for concurrent
+// use.
+
+// driftBaseline is the per-class geometry captured at Train time and
+// persisted with the model.
+type driftBaseline struct {
+	centroids [][]float64 // per class; nil for classes absent from training
+	spreads   []float64   // RMS distance of the class rows to the centroid
+}
+
+// computeDriftBaseline builds the baseline from the training feature matrix
+// and labels. Classes with no rows get a nil centroid and are skipped by
+// the score; a degenerate class whose rows coincide gets spread 1 so its
+// distances pass through unscaled.
+func computeDriftBaseline(X [][]float64, labels []int, classes int) driftBaseline {
+	b := driftBaseline{
+		centroids: make([][]float64, classes),
+		spreads:   make([]float64, classes),
+	}
+	if len(X) == 0 {
+		return b
+	}
+	width := len(X[0])
+	counts := make([]int, classes)
+	for i, row := range X {
+		c := labels[i]
+		if c < 0 || c >= classes {
+			continue
+		}
+		if b.centroids[c] == nil {
+			b.centroids[c] = make([]float64, width)
+		}
+		for j, v := range row {
+			b.centroids[c][j] += v
+		}
+		counts[c]++
+	}
+	for c, n := range counts {
+		if n == 0 {
+			continue
+		}
+		for j := range b.centroids[c] {
+			b.centroids[c][j] /= float64(n)
+		}
+	}
+	for i, row := range X {
+		c := labels[i]
+		if c < 0 || c >= classes || counts[c] == 0 {
+			continue
+		}
+		b.spreads[c] += sqDist(row, b.centroids[c])
+	}
+	for c, n := range counts {
+		if n == 0 {
+			continue
+		}
+		b.spreads[c] = math.Sqrt(b.spreads[c] / float64(n))
+		if b.spreads[c] == 0 {
+			b.spreads[c] = 1
+		}
+	}
+	return b
+}
+
+func sqDist(a, b []float64) float64 {
+	var sum float64
+	for i, v := range a {
+		d := v - b[i]
+		sum += d * d
+	}
+	return sum
+}
+
+// empty reports whether the baseline carries no usable centroid. Length
+// checks, not nil checks: gob may round-trip absent classes as zero-length
+// rows.
+func (b driftBaseline) empty() bool {
+	for _, c := range b.centroids {
+		if len(c) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// score is the drift score of one feature row (see the file comment).
+func (b driftBaseline) score(x []float64) float64 {
+	best := math.Inf(1)
+	for c, centroid := range b.centroids {
+		if len(centroid) != len(x) {
+			continue
+		}
+		if d := math.Sqrt(sqDist(x, centroid)) / b.spreads[c]; d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// HasDrift reports whether the model carries a drift baseline. Models
+// trained by this version always do; models loaded from snapshots written
+// before the baseline existed do not, and their streams reject drift
+// triggers with ErrNoDriftBaseline.
+func (m *Model) HasDrift() bool { return !m.drift.empty() }
+
+// Drift returns the drift/novelty score of one feature vector in the
+// model's raw (pre-scaler) feature space — its distance to the nearest
+// training-class centroid, normalized by that class's spread (see the file
+// comment for the definition). Vectors of the wrong width return a
+// *ShapeError; models without a baseline return ErrNoDriftBaseline.
+func (m *Model) Drift(features []float64) (float64, error) {
+	if !m.HasDrift() {
+		return 0, ErrNoDriftBaseline
+	}
+	if len(features) != len(m.names) {
+		return 0, &ShapeError{What: "feature vector width", Got: len(features), Want: len(m.names)}
+	}
+	return m.drift.score(features), nil
+}

@@ -48,6 +48,12 @@ var (
 	// samples, which have no visibility ordering. The offending sample is
 	// rejected; the stream's window is untouched and stays usable.
 	ErrNonFiniteSample = errors.New("mvg: non-finite sample")
+
+	// ErrNoDriftBaseline reports a drift-score request against a model
+	// without training-class centroids — one loaded from a snapshot written
+	// before the drift baseline existed. Retrain (or re-save from a fresh
+	// Train) to capture the baseline.
+	ErrNoDriftBaseline = errors.New("mvg: model has no drift baseline")
 )
 
 // ConfigError reports which Config field made a Pipeline unbuildable. It

@@ -1,0 +1,473 @@
+// Package alert evaluates per-stream trigger rules over the prediction
+// sequence a sliding-window stream emits — one (class, proba, drift) point
+// per hop — and turns them into an explicit alert state machine whose
+// transitions are delivered to sinks (log lines, webhooks).
+//
+// # State machine
+//
+// Every trigger owns an independent four-state machine:
+//
+//	        condition active            held For hops
+//	OK ───────────────────────▶ PENDING ─────────────▶ FIRING
+//	 ▲ ◀──────────────────────────┘                      │
+//	 │        condition clear                            │ clear held
+//	 │                                                   │ ClearFor hops
+//	 └──────────────────────── RESOLVED ◀────────────────┘
+//	          next hop
+//
+// OK→FIRING is direct when For ≤ 1. RESOLVED is observable for exactly one
+// hop: on the next evaluation it behaves like OK (re-arming into PENDING or
+// FIRING immediately if the condition is active again).
+//
+// # Hysteresis
+//
+// Threshold triggers (proba, drift) carry two levels: the condition is
+// active at value ≥ Rise, clear at value < Clear, and *held* in between —
+// a held hop changes nothing: debounce counters neither advance nor reset,
+// so a value parked inside the band cannot fire, resolve, or reset a
+// pending alert. Clear must be strictly below Rise.
+//
+// Invalid values (NaN, ±Inf) and missing drift scores are treated as held
+// hops: no data is never evidence for or against an alert.
+//
+// # Determinism
+//
+// Evaluation is a pure function of the point sequence: no clocks, no
+// randomness, no goroutines. Identical prediction sequences produce
+// bit-identical transition sequences — which makes alert decisions
+// unit-testable and reproducible at any extraction worker count (the
+// prediction sequence itself is bit-identical by the library's concurrency
+// contract; see docs/concurrency.md and docs/alerting.md).
+package alert
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrBadTrigger reports an invalid trigger configuration or spec string.
+// Every validation and parse failure wraps it, so callers can map the
+// whole family (e.g. onto HTTP 400) with a single errors.Is.
+var ErrBadTrigger = errors.New("alert: invalid trigger")
+
+// State is one of the four alert states.
+type State uint8
+
+const (
+	StateOK       State = iota // condition clear
+	StatePending               // condition active, debounce not yet satisfied
+	StateFiring                // alert active
+	StateResolved              // alert just cleared; transient for one hop
+)
+
+// String returns the canonical upper-case state name.
+func (s State) String() string {
+	switch s {
+	case StateOK:
+		return "OK"
+	case StatePending:
+		return "PENDING"
+	case StateFiring:
+		return "FIRING"
+	case StateResolved:
+		return "RESOLVED"
+	}
+	return fmt.Sprintf("State(%d)", uint8(s))
+}
+
+// Kind selects what a trigger watches.
+type Kind string
+
+const (
+	// KindProba thresholds the predicted probability of one class with
+	// rise/clear hysteresis.
+	KindProba Kind = "proba"
+	// KindDrift thresholds the window's drift/novelty score (distance to
+	// the training-class feature centroids) with rise/clear hysteresis.
+	KindDrift Kind = "drift"
+	// KindFlip is a label-flip trigger: the condition is active while the
+	// predicted class differs from the baseline label (a configured label,
+	// or the first prediction observed when none is configured).
+	KindFlip Kind = "flip"
+)
+
+// Trigger is one alert rule. The zero value is not valid; fill Kind and the
+// kind's fields, then Validate (NewEvaluator validates for you).
+type Trigger struct {
+	// Name labels the trigger in transitions, events and metrics. Empty
+	// picks the canonical name for the kind ("proba<class>", "drift",
+	// "flip"). Names must be unique within an Evaluator.
+	Name string
+	// Kind selects the rule family.
+	Kind Kind
+	// Class is the class index whose probability KindProba watches.
+	Class int
+	// Rise is the firing level: the condition is active at value ≥ Rise
+	// (proba and drift kinds).
+	Rise float64
+	// Clear is the clearing level: the condition is clear at value < Clear.
+	// Must be strictly below Rise; values in [Clear, Rise) are held by
+	// hysteresis (proba and drift kinds).
+	Clear float64
+	// Baseline is the expected label for KindFlip when BaselineSet is
+	// true. Otherwise the baseline latches to the class of the first
+	// evaluated point.
+	Baseline    int
+	BaselineSet bool
+	// For is the debounce: the condition must be active for this many
+	// consecutive hops before the trigger fires (0 means 1 — fire on the
+	// first active hop).
+	For int
+	// ClearFor is the resolve debounce: the condition must be clear for
+	// this many consecutive hops before a firing trigger resolves
+	// (0 means 1).
+	ClearFor int
+}
+
+// IsInvalidValue reports whether v carries no alerting information: NaN and
+// ±Inf have no place in a probability or distance and are treated as
+// missing data (held hops), never as threshold crossings.
+func IsInvalidValue(v float64) bool {
+	return math.IsNaN(v) || math.IsInf(v, 0)
+}
+
+// badTriggerf wraps ErrBadTrigger with a formatted reason.
+func badTriggerf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrBadTrigger, fmt.Sprintf(format, args...))
+}
+
+// defaultName returns the canonical name for the trigger's kind.
+func (t Trigger) defaultName() string {
+	switch t.Kind {
+	case KindProba:
+		return fmt.Sprintf("proba%d", t.Class)
+	case KindDrift:
+		return "drift"
+	case KindFlip:
+		return "flip"
+	}
+	return string(t.Kind)
+}
+
+// withDefaults returns the trigger with empty optional fields filled.
+func (t Trigger) withDefaults() Trigger {
+	if t.Name == "" {
+		t.Name = t.defaultName()
+	}
+	if t.For < 1 {
+		t.For = 1
+	}
+	if t.ClearFor < 1 {
+		t.ClearFor = 1
+	}
+	return t
+}
+
+// validName reports whether the name is safe to embed in Prometheus label
+// values, NDJSON lines and trigger spec strings: letters, digits, and
+// _ - . : [ ] (no spec separators, quotes or control characters).
+func validName(name string) bool {
+	if name == "" || len(name) > 64 {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '_' || c == '-' || c == '.' || c == ':' || c == '[' || c == ']':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks the trigger. All failures match errors.Is(err,
+// ErrBadTrigger). Defaults (empty Name, zero For/ClearFor) are legal — they
+// are filled by NewEvaluator — but levels must be explicit: proba and drift
+// triggers require finite Rise and Clear with Clear strictly below Rise
+// (a band where clear ≥ rise could never resolve and is rejected).
+func (t Trigger) Validate() error {
+	switch t.Kind {
+	case KindProba, KindDrift:
+		if t.BaselineSet {
+			return badTriggerf("baseline is only valid for kind=flip")
+		}
+		if IsInvalidValue(t.Rise) {
+			return badTriggerf("rise %v is not a finite number", t.Rise)
+		}
+		if IsInvalidValue(t.Clear) {
+			return badTriggerf("clear %v is not a finite number", t.Clear)
+		}
+		if t.Clear >= t.Rise {
+			return badTriggerf("clear %v must be strictly below rise %v (hysteresis band)", t.Clear, t.Rise)
+		}
+		if t.Kind == KindProba {
+			if t.Class < 0 {
+				return badTriggerf("class %d must be non-negative", t.Class)
+			}
+			if t.Rise > 1 || t.Clear < 0 {
+				return badTriggerf("proba levels must satisfy 0 <= clear < rise <= 1 (got rise=%v clear=%v)", t.Rise, t.Clear)
+			}
+		} else {
+			if t.Clear < 0 {
+				return badTriggerf("drift levels must be non-negative (got clear=%v)", t.Clear)
+			}
+			if t.Class != 0 {
+				return badTriggerf("class is only valid for kind=proba")
+			}
+		}
+	case KindFlip:
+		if t.Rise != 0 || t.Clear != 0 {
+			return badTriggerf("rise/clear are only valid for kind=proba and kind=drift")
+		}
+		if t.Class != 0 {
+			return badTriggerf("class is only valid for kind=proba")
+		}
+		if t.BaselineSet && t.Baseline < 0 {
+			return badTriggerf("baseline %d must be non-negative", t.Baseline)
+		}
+	case "":
+		return badTriggerf("kind is required")
+	default:
+		return badTriggerf("unknown kind %q", t.Kind)
+	}
+	if t.Name != "" && !validName(t.Name) {
+		return badTriggerf("name %q must be 1-64 characters of letters, digits, or _-.:[]", t.Name)
+	}
+	if t.For < 0 || t.ClearFor < 0 {
+		return badTriggerf("for/clearfor must be positive")
+	}
+	return nil
+}
+
+// Point is one hop's observation: the prediction (and, when the model
+// carries a drift baseline, the window's drift score) at a sample index.
+type Point struct {
+	Sample   int
+	Class    int
+	Proba    []float64
+	Drift    float64
+	HasDrift bool
+}
+
+// Transition records one state change of one trigger. Value is the
+// observation that drove the decision: the watched probability, the drift
+// score, or (for flip triggers) the predicted class.
+type Transition struct {
+	Trigger string
+	From    State
+	To      State
+	Sample  int
+	Value   float64
+}
+
+// Status pairs a trigger name with its current state.
+type Status struct {
+	Name  string
+	State State
+}
+
+// cond is the tri-state outcome of a trigger's condition on one point.
+type cond uint8
+
+const (
+	condHeld     cond = iota // hysteresis band or invalid/missing value
+	condActive               // firing condition satisfied
+	condInactive             // clearing condition satisfied
+)
+
+type triggerState struct {
+	state       State
+	active      int // consecutive active hops (debounce toward firing)
+	clear       int // consecutive clear hops while firing (toward resolve)
+	baseline    int
+	baselineSet bool
+}
+
+// Evaluator runs a fixed set of triggers over a point sequence. It is a
+// single-writer object (one evaluator per stream); it holds no locks, no
+// clocks and spawns no goroutines.
+type Evaluator struct {
+	triggers []Trigger
+	states   []triggerState
+}
+
+// NewEvaluator validates the triggers, fills their defaults, and returns a
+// ready evaluator with every trigger in StateOK. Duplicate names are
+// rejected: transitions and metrics are keyed by name.
+func NewEvaluator(triggers ...Trigger) (*Evaluator, error) {
+	if len(triggers) == 0 {
+		return nil, badTriggerf("at least one trigger is required")
+	}
+	ts := make([]Trigger, len(triggers))
+	seen := make(map[string]struct{}, len(triggers))
+	for i, t := range triggers {
+		if err := t.Validate(); err != nil {
+			return nil, fmt.Errorf("trigger %d: %w", i, err)
+		}
+		t = t.withDefaults()
+		if _, dup := seen[t.Name]; dup {
+			return nil, badTriggerf("duplicate trigger name %q", t.Name)
+		}
+		seen[t.Name] = struct{}{}
+		ts[i] = t
+	}
+	e := &Evaluator{triggers: ts, states: make([]triggerState, len(ts))}
+	e.Reset()
+	return e, nil
+}
+
+// Triggers returns a copy of the evaluator's triggers with defaults filled.
+func (e *Evaluator) Triggers() []Trigger {
+	out := make([]Trigger, len(e.triggers))
+	copy(out, e.triggers)
+	return out
+}
+
+// NeedsDrift reports whether any trigger watches the drift score — callers
+// without a drift baseline should reject such configurations up front
+// rather than feed permanently-held triggers.
+func (e *Evaluator) NeedsDrift() bool {
+	for _, t := range e.triggers {
+		if t.Kind == KindDrift {
+			return true
+		}
+	}
+	return false
+}
+
+// Reset returns every trigger to StateOK and clears all debounce counters
+// and latched baselines, for reuse on a new series.
+func (e *Evaluator) Reset() {
+	for i := range e.states {
+		e.states[i] = triggerState{}
+		if t := e.triggers[i]; t.BaselineSet {
+			e.states[i].baseline = t.Baseline
+			e.states[i].baselineSet = true
+		}
+	}
+}
+
+// States returns each trigger's name and current state, in trigger order.
+func (e *Evaluator) States() []Status {
+	out := make([]Status, len(e.triggers))
+	for i, t := range e.triggers {
+		out[i] = Status{Name: t.Name, State: e.states[i].state}
+	}
+	return out
+}
+
+// condition evaluates one trigger's condition on a point, returning the
+// tri-state outcome and the observed value.
+func (e *Evaluator) condition(i int, p Point) (cond, float64) {
+	t := &e.triggers[i]
+	st := &e.states[i]
+	switch t.Kind {
+	case KindProba:
+		if t.Class >= len(p.Proba) {
+			return condHeld, math.NaN()
+		}
+		return thresholdCond(p.Proba[t.Class], t.Rise, t.Clear)
+	case KindDrift:
+		if !p.HasDrift {
+			return condHeld, math.NaN()
+		}
+		return thresholdCond(p.Drift, t.Rise, t.Clear)
+	default: // KindFlip
+		if !st.baselineSet {
+			st.baseline = p.Class
+			st.baselineSet = true
+		}
+		if p.Class != st.baseline {
+			return condActive, float64(p.Class)
+		}
+		return condInactive, float64(p.Class)
+	}
+}
+
+func thresholdCond(v, rise, clear float64) (cond, float64) {
+	switch {
+	case IsInvalidValue(v):
+		return condHeld, v
+	case v >= rise:
+		return condActive, v
+	case v < clear:
+		return condInactive, v
+	}
+	return condHeld, v
+}
+
+// Eval advances every trigger by one point and returns the state changes it
+// caused, in trigger order (nil when nothing changed — the steady-state
+// path allocates nothing). Transitions with To of StateFiring or
+// StateResolved are the deliverable alert events; OK/PENDING transitions
+// exist for observability.
+func (e *Evaluator) Eval(p Point) []Transition {
+	var out []Transition
+	for i := range e.triggers {
+		t := &e.triggers[i]
+		st := &e.states[i]
+		c, v := e.condition(i, p)
+		from := st.state
+		to := from
+		switch from {
+		case StateOK, StateResolved:
+			switch c {
+			case condActive:
+				st.active++
+				if st.active >= t.For {
+					to = StateFiring
+				} else {
+					to = StatePending
+				}
+			case condInactive:
+				st.active = 0
+				if from == StateResolved {
+					to = StateOK
+				}
+			case condHeld:
+				// No data: a resolved trigger still re-arms to OK (its
+				// one observable hop is over), counters stay put.
+				if from == StateResolved {
+					to = StateOK
+				}
+			}
+		case StatePending:
+			switch c {
+			case condActive:
+				st.active++
+				if st.active >= t.For {
+					to = StateFiring
+				}
+			case condInactive:
+				// Clear racing the debounce: the clear wins, the pending
+				// alert never fires.
+				st.active = 0
+				to = StateOK
+			case condHeld:
+				// Hysteresis band: debounce neither advances nor resets.
+			}
+		case StateFiring:
+			switch c {
+			case condActive:
+				st.clear = 0
+			case condInactive:
+				st.clear++
+				if st.clear >= t.ClearFor {
+					to = StateResolved
+					st.active = 0
+					st.clear = 0
+				}
+			case condHeld:
+				// Still firing; resolve debounce holds.
+			}
+		}
+		if to != from {
+			st.state = to
+			out = append(out, Transition{Trigger: t.Name, From: from, To: to, Sample: p.Sample, Value: v})
+		}
+	}
+	return out
+}

@@ -1,0 +1,396 @@
+package alert
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+// step is one evaluated hop: the observed value fed to a single-trigger
+// evaluator and the transitions expected from it, written compactly as
+// "FROM>TO" (empty = no transition).
+type step struct {
+	v    float64
+	want string
+}
+
+// runThreshold drives a single proba-trigger evaluator through the steps,
+// feeding v as proba[0].
+func runThreshold(t *testing.T, trig Trigger, steps []step) {
+	t.Helper()
+	e, err := NewEvaluator(trig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range steps {
+		var p Point
+		switch trig.Kind {
+		case KindProba:
+			p = Point{Sample: i, Class: 0, Proba: []float64{s.v}}
+		case KindDrift:
+			p = Point{Sample: i, Class: 0, Proba: []float64{1}, Drift: s.v, HasDrift: !math.IsNaN(s.v)}
+		default:
+			t.Fatalf("runThreshold only drives proba/drift triggers")
+		}
+		checkTransitions(t, i, e.Eval(p), s.want)
+	}
+}
+
+func checkTransitions(t *testing.T, i int, trs []Transition, want string) {
+	t.Helper()
+	var got []string
+	for _, tr := range trs {
+		got = append(got, fmt.Sprintf("%s>%s", tr.From, tr.To))
+	}
+	gotStr := strings.Join(got, " ")
+	if gotStr != want {
+		t.Fatalf("step %d: transitions %q, want %q", i, gotStr, want)
+	}
+}
+
+func TestIsInvalidValue(t *testing.T) {
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if !IsInvalidValue(v) {
+			t.Errorf("IsInvalidValue(%v) = false, want true", v)
+		}
+	}
+	for _, v := range []float64{0, 3.14, -1e308, 1e308} {
+		if IsInvalidValue(v) {
+			t.Errorf("IsInvalidValue(%v) = true, want false", v)
+		}
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for s, want := range map[State]string{
+		StateOK: "OK", StatePending: "PENDING", StateFiring: "FIRING", StateResolved: "RESOLVED", State(9): "State(9)",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("State(%d).String() = %q, want %q", s, got, want)
+		}
+	}
+}
+
+// TestThresholdMachine walks every reachable transition of the state
+// machine through threshold triggers, one scenario per semantic rule.
+func TestThresholdMachine(t *testing.T) {
+	// Fires immediately at For=1, resolves immediately at ClearFor=1.
+	immediate := Trigger{Kind: KindProba, Rise: 0.9, Clear: 0.5}
+	// For=3 debounce, ClearFor=2 resolve debounce.
+	debounced := Trigger{Kind: KindProba, Rise: 0.9, Clear: 0.5, For: 3, ClearFor: 2}
+
+	cases := []struct {
+		name  string
+		trig  Trigger
+		steps []step
+	}{
+		{"ok stays ok below clear", immediate, []step{{0.1, ""}, {0.2, ""}}},
+		{"ok holds inside hysteresis band", immediate, []step{{0.6, ""}, {0.89, ""}}},
+		{"immediate fire and resolve", immediate, []step{
+			{0.95, "OK>FIRING"}, {0.95, ""}, {0.1, "FIRING>RESOLVED"}, {0.1, "RESOLVED>OK"},
+		}},
+		{"resolved rearms straight to firing", immediate, []step{
+			{0.95, "OK>FIRING"}, {0.1, "FIRING>RESOLVED"}, {0.95, "RESOLVED>FIRING"},
+		}},
+		{"resolved holds to ok in band", immediate, []step{
+			{0.95, "OK>FIRING"}, {0.1, "FIRING>RESOLVED"}, {0.7, "RESOLVED>OK"},
+		}},
+		{"debounce counts consecutive active hops", debounced, []step{
+			{0.95, "OK>PENDING"}, {0.95, ""}, {0.95, "PENDING>FIRING"},
+		}},
+		{"clear racing the debounce wins", debounced, []step{
+			{0.95, "OK>PENDING"}, {0.95, ""}, {0.1, "PENDING>OK"},
+			// The debounce must restart from zero afterwards.
+			{0.95, "OK>PENDING"}, {0.95, ""}, {0.95, "PENDING>FIRING"},
+		}},
+		{"hysteresis band freezes the debounce", debounced, []step{
+			{0.95, "OK>PENDING"}, {0.7, ""}, {0.7, ""}, {0.95, ""}, {0.95, "PENDING>FIRING"},
+		}},
+		{"flapping inside the band never fires", debounced, []step{
+			{0.7, ""}, {0.89, ""}, {0.51, ""}, {0.88, ""}, {0.6, ""},
+		}},
+		{"resolve debounce needs consecutive clears", debounced, []step{
+			{0.95, "OK>PENDING"}, {0.95, ""}, {0.95, "PENDING>FIRING"},
+			{0.1, ""}, {0.95, ""}, // clear streak broken by re-activation
+			{0.1, ""}, {0.1, "FIRING>RESOLVED"},
+			{0.1, "RESOLVED>OK"},
+		}},
+		{"band holds the resolve debounce", debounced, []step{
+			{0.95, "OK>PENDING"}, {0.95, ""}, {0.95, "PENDING>FIRING"},
+			{0.1, ""}, {0.7, ""}, {0.1, "FIRING>RESOLVED"},
+		}},
+		{"invalid values hold everywhere", immediate, []step{
+			{math.NaN(), ""}, {0.95, "OK>FIRING"}, {math.Inf(1), ""}, {math.NaN(), ""},
+			{0.1, "FIRING>RESOLVED"},
+		}},
+		{"resolved with active then full cycle again", debounced, []step{
+			{0.95, "OK>PENDING"}, {0.95, ""}, {0.95, "PENDING>FIRING"},
+			{0.1, ""}, {0.1, "FIRING>RESOLVED"},
+			{0.95, "RESOLVED>PENDING"}, {0.95, ""}, {0.95, "PENDING>FIRING"},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) { runThreshold(t, tc.trig, tc.steps) })
+	}
+}
+
+// TestDriftMachine checks drift triggers see the drift score and treat a
+// missing score (HasDrift=false) as a held hop.
+func TestDriftMachine(t *testing.T) {
+	trig := Trigger{Kind: KindDrift, Rise: 3, Clear: 1}
+	runThreshold(t, trig, []step{
+		{0.5, ""},
+		{5, "OK>FIRING"},
+		{math.NaN(), ""}, // HasDrift=false in runThreshold for NaN
+		{2, ""},          // band
+		{0.5, "FIRING>RESOLVED"},
+		{0.5, "RESOLVED>OK"},
+	})
+}
+
+// TestFlipMachine checks label-flip triggers: baseline latching, explicit
+// baselines, and debounced flips.
+func TestFlipMachine(t *testing.T) {
+	eval := func(t *testing.T, trig Trigger, classes []int, want []string) {
+		t.Helper()
+		e, err := NewEvaluator(trig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, c := range classes {
+			checkTransitions(t, i, e.Eval(Point{Sample: i, Class: c, Proba: []float64{1}}), want[i])
+		}
+	}
+
+	t.Run("latched baseline", func(t *testing.T) {
+		eval(t, Trigger{Kind: KindFlip},
+			[]int{0, 0, 1, 1, 0, 0},
+			[]string{"", "", "OK>FIRING", "", "FIRING>RESOLVED", "RESOLVED>OK"})
+	})
+	t.Run("explicit baseline fires on first point", func(t *testing.T) {
+		eval(t, Trigger{Kind: KindFlip, Baseline: 1, BaselineSet: true},
+			[]int{0, 1},
+			[]string{"OK>FIRING", "FIRING>RESOLVED"})
+	})
+	t.Run("debounced flip ignores a single blip", func(t *testing.T) {
+		eval(t, Trigger{Kind: KindFlip, For: 2},
+			[]int{0, 1, 0, 1, 1, 0},
+			[]string{"", "OK>PENDING", "PENDING>OK", "OK>PENDING", "PENDING>FIRING", "FIRING>RESOLVED"})
+	})
+	t.Run("flip to a third class keeps firing", func(t *testing.T) {
+		eval(t, Trigger{Kind: KindFlip},
+			[]int{0, 1, 2, 0},
+			[]string{"", "OK>FIRING", "", "FIRING>RESOLVED"})
+	})
+}
+
+// TestTransitionPayload pins the fields carried by a transition: trigger
+// name, sample index, and the observed value that drove the decision.
+func TestTransitionPayload(t *testing.T) {
+	e, err := NewEvaluator(Trigger{Name: "hot", Kind: KindProba, Class: 1, Rise: 0.9, Clear: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trs := e.Eval(Point{Sample: 640, Class: 1, Proba: []float64{0.05, 0.95}})
+	if len(trs) != 1 {
+		t.Fatalf("got %d transitions, want 1", len(trs))
+	}
+	tr := trs[0]
+	if tr.Trigger != "hot" || tr.From != StateOK || tr.To != StateFiring || tr.Sample != 640 || tr.Value != 0.95 {
+		t.Fatalf("transition = %+v", tr)
+	}
+
+	// Flip transitions carry the observed class as the value.
+	e2, err := NewEvaluator(Trigger{Kind: KindFlip, Baseline: 0, BaselineSet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trs = e2.Eval(Point{Sample: 7, Class: 2, Proba: []float64{0, 0, 1}})
+	if len(trs) != 1 || trs[0].Value != 2 {
+		t.Fatalf("flip transition = %+v, want value 2", trs)
+	}
+}
+
+// TestMultiTriggerOrder pins that transitions are reported in trigger
+// order within one hop.
+func TestMultiTriggerOrder(t *testing.T) {
+	e, err := NewEvaluator(
+		Trigger{Name: "a", Kind: KindProba, Class: 0, Rise: 0.9, Clear: 0.5},
+		Trigger{Name: "b", Kind: KindFlip, Baseline: 1, BaselineSet: true},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trs := e.Eval(Point{Sample: 1, Class: 0, Proba: []float64{0.95}})
+	if len(trs) != 2 || trs[0].Trigger != "a" || trs[1].Trigger != "b" {
+		t.Fatalf("transitions = %+v, want [a b]", trs)
+	}
+}
+
+// TestProbaClassOutOfRange: a class index past the proba vector is missing
+// data, not a panic and not a threshold crossing.
+func TestProbaClassOutOfRange(t *testing.T) {
+	e, err := NewEvaluator(Trigger{Kind: KindProba, Class: 5, Rise: 0.9, Clear: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trs := e.Eval(Point{Sample: 0, Class: 0, Proba: []float64{1, 0}}); trs != nil {
+		t.Fatalf("out-of-range class produced transitions: %+v", trs)
+	}
+}
+
+func TestEvaluatorReset(t *testing.T) {
+	e, err := NewEvaluator(Trigger{Kind: KindFlip})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Eval(Point{Sample: 0, Class: 0, Proba: []float64{1}})
+	e.Eval(Point{Sample: 1, Class: 1, Proba: []float64{1}}) // FIRING, baseline 0
+	e.Reset()
+	if st := e.States()[0]; st.State != StateOK {
+		t.Fatalf("state after Reset = %v, want OK", st.State)
+	}
+	// Baseline must re-latch: class 1 is now the new normal.
+	if trs := e.Eval(Point{Sample: 0, Class: 1, Proba: []float64{1}}); trs != nil {
+		t.Fatalf("re-latched baseline still fired: %+v", trs)
+	}
+
+	// An explicit baseline survives Reset.
+	e2, err := NewEvaluator(Trigger{Kind: KindFlip, Baseline: 0, BaselineSet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2.Eval(Point{Sample: 0, Class: 1, Proba: []float64{1}})
+	e2.Reset()
+	if trs := e2.Eval(Point{Sample: 0, Class: 1, Proba: []float64{1}}); len(trs) != 1 {
+		t.Fatalf("explicit baseline lost by Reset: %+v", trs)
+	}
+}
+
+func TestEvaluatorStates(t *testing.T) {
+	e, err := NewEvaluator(
+		Trigger{Name: "a", Kind: KindProba, Class: 0, Rise: 0.9, Clear: 0.5},
+		Trigger{Name: "b", Kind: KindFlip},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Eval(Point{Sample: 0, Class: 0, Proba: []float64{0.95}})
+	sts := e.States()
+	if len(sts) != 2 || sts[0] != (Status{Name: "a", State: StateFiring}) || sts[1] != (Status{Name: "b", State: StateOK}) {
+		t.Fatalf("States() = %+v", sts)
+	}
+}
+
+func TestNewEvaluatorRejects(t *testing.T) {
+	cases := []struct {
+		name     string
+		triggers []Trigger
+	}{
+		{"no triggers", nil},
+		{"invalid trigger", []Trigger{{Kind: KindProba, Rise: 0.5, Clear: 0.9}}},
+		{"duplicate names", []Trigger{
+			{Name: "x", Kind: KindFlip},
+			{Name: "x", Kind: KindDrift, Rise: 2, Clear: 1},
+		}},
+		{"duplicate default names", []Trigger{{Kind: KindFlip}, {Kind: KindFlip}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewEvaluator(tc.triggers...); err == nil {
+				t.Fatal("want error")
+			}
+		})
+	}
+}
+
+func TestTriggersAccessorsAndNeedsDrift(t *testing.T) {
+	e, err := NewEvaluator(Trigger{Kind: KindFlip})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.NeedsDrift() {
+		t.Fatal("flip-only evaluator claims to need drift")
+	}
+	got := e.Triggers()
+	if len(got) != 1 || got[0].Name != "flip" || got[0].For != 1 || got[0].ClearFor != 1 {
+		t.Fatalf("Triggers() = %+v, want defaults filled", got)
+	}
+	// Mutating the copy must not touch the evaluator.
+	got[0].Name = "mutated"
+	if e.Triggers()[0].Name != "flip" {
+		t.Fatal("Triggers() exposed internal state")
+	}
+
+	e2, err := NewEvaluator(Trigger{Kind: KindDrift, Rise: 2, Clear: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e2.NeedsDrift() {
+		t.Fatal("drift evaluator does not need drift")
+	}
+	// Missing drift holds forever: never fires.
+	for i := 0; i < 5; i++ {
+		if trs := e2.Eval(Point{Sample: i, Class: 0, Proba: []float64{1}}); trs != nil {
+			t.Fatalf("drift trigger fired without drift data: %+v", trs)
+		}
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		t    Trigger
+	}{
+		{"no kind", Trigger{}},
+		{"unknown kind", Trigger{Kind: "banana"}},
+		{"clear above rise", Trigger{Kind: KindProba, Rise: 0.5, Clear: 0.9}},
+		{"clear equals rise", Trigger{Kind: KindProba, Rise: 0.5, Clear: 0.5}},
+		{"nan rise", Trigger{Kind: KindProba, Rise: math.NaN(), Clear: 0.1}},
+		{"inf rise", Trigger{Kind: KindDrift, Rise: math.Inf(1), Clear: 0.1}},
+		{"nan clear", Trigger{Kind: KindDrift, Rise: 1, Clear: math.NaN()}},
+		{"neg inf clear", Trigger{Kind: KindProba, Rise: 0.9, Clear: math.Inf(-1)}},
+		{"proba rise above one", Trigger{Kind: KindProba, Rise: 1.5, Clear: 0.1}},
+		{"proba clear below zero", Trigger{Kind: KindProba, Rise: 0.9, Clear: -0.1}},
+		{"drift clear below zero", Trigger{Kind: KindDrift, Rise: 1, Clear: -1}},
+		{"negative class", Trigger{Kind: KindProba, Class: -1, Rise: 0.9, Clear: 0.1}},
+		{"class on drift", Trigger{Kind: KindDrift, Class: 1, Rise: 2, Clear: 1}},
+		{"class on flip", Trigger{Kind: KindFlip, Class: 1}},
+		{"levels on flip", Trigger{Kind: KindFlip, Rise: 0.5}},
+		{"baseline on proba", Trigger{Kind: KindProba, Rise: 0.9, Clear: 0.1, BaselineSet: true}},
+		{"negative baseline", Trigger{Kind: KindFlip, Baseline: -1, BaselineSet: true}},
+		{"negative for", Trigger{Kind: KindFlip, For: -1}},
+		{"bad name chars", Trigger{Kind: KindFlip, Name: `a"b`}},
+		{"name with spaces", Trigger{Kind: KindFlip, Name: "a b"}},
+		{"name too long", Trigger{Kind: KindFlip, Name: strings.Repeat("x", 65)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.t.Validate()
+			if err == nil {
+				t.Fatal("want error")
+			}
+			if !isBadTrigger(err) {
+				t.Fatalf("error %v does not match ErrBadTrigger", err)
+			}
+		})
+	}
+}
+
+func isBadTrigger(err error) bool {
+	for ; err != nil; err = unwrap(err) {
+		if err == ErrBadTrigger {
+			return true
+		}
+	}
+	return false
+}
+
+func unwrap(err error) error {
+	u, ok := err.(interface{ Unwrap() error })
+	if !ok {
+		return nil
+	}
+	return u.Unwrap()
+}

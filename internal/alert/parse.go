@@ -1,0 +1,170 @@
+package alert
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Trigger spec grammar — the compact form accepted by `mvgcli stream
+// -alert` and the serving endpoint's ?alert= query parameter:
+//
+//	spec     := field ("," field | whitespace field)*
+//	field    := key "=" value
+//	keys     := kind | name | class | rise | clear | for | clearfor | baseline
+//
+// Commas and whitespace both separate fields, so a spec can live unescaped
+// inside a URL query value ("kind=proba,class=1,rise=0.9,clear=0.6") or
+// read naturally on a command line ("kind=drift rise=3 clear=1.5").
+// Multiple specs are joined with ';' (ParseTriggers). Unknown keys,
+// duplicate keys, non-finite levels (NaN, ±Inf) and hysteresis bands where
+// clear ≥ rise are all rejected; every parse failure matches
+// errors.Is(err, ErrBadTrigger).
+
+// ParseTrigger parses one trigger spec.
+func ParseTrigger(spec string) (Trigger, error) {
+	var t Trigger
+	seen := make(map[string]struct{}, 4)
+	fields := strings.FieldsFunc(spec, func(r rune) bool {
+		return r == ',' || r == ' ' || r == '\t' || r == '\n' || r == '\r'
+	})
+	if len(fields) == 0 {
+		return t, badTriggerf("empty trigger spec")
+	}
+	for _, f := range fields {
+		key, val, ok := strings.Cut(f, "=")
+		if !ok || key == "" || val == "" {
+			return t, badTriggerf("field %q is not key=value", f)
+		}
+		if _, dup := seen[key]; dup {
+			return t, badTriggerf("duplicate field %q", key)
+		}
+		seen[key] = struct{}{}
+		var err error
+		switch key {
+		case "kind":
+			t.Kind = Kind(val)
+		case "name":
+			t.Name = val
+		case "class":
+			t.Class, err = parseInt(key, val)
+		case "rise":
+			t.Rise, err = parseLevel(key, val)
+		case "clear":
+			t.Clear, err = parseLevel(key, val)
+		case "for":
+			t.For, err = parsePositiveInt(key, val)
+		case "clearfor":
+			t.ClearFor, err = parsePositiveInt(key, val)
+		case "baseline":
+			t.Baseline, err = parseInt(key, val)
+			t.BaselineSet = err == nil
+		default:
+			return t, badTriggerf("unknown field %q", key)
+		}
+		if err != nil {
+			return t, err
+		}
+	}
+	if _, ok := seen["kind"]; !ok {
+		return t, badTriggerf("kind is required")
+	}
+	if t.Kind == KindProba || t.Kind == KindDrift {
+		// Explicit levels only: a defaulted threshold that silently never
+		// fires (or never clears) is worse than an error.
+		if _, ok := seen["rise"]; !ok {
+			return t, badTriggerf("kind=%s requires rise", t.Kind)
+		}
+		if _, ok := seen["clear"]; !ok {
+			return t, badTriggerf("kind=%s requires clear", t.Kind)
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return t, err
+	}
+	return t, nil
+}
+
+// ParseTriggers parses a ';'-separated list of trigger specs. Empty
+// segments are skipped; at least one trigger must survive.
+func ParseTriggers(specs string) ([]Trigger, error) {
+	var out []Trigger
+	for _, spec := range strings.Split(specs, ";") {
+		if strings.TrimSpace(spec) == "" {
+			continue
+		}
+		t, err := ParseTrigger(spec)
+		if err != nil {
+			return nil, fmt.Errorf("spec %q: %w", spec, err)
+		}
+		out = append(out, t)
+	}
+	if len(out) == 0 {
+		return nil, badTriggerf("no trigger specs")
+	}
+	return out, nil
+}
+
+// String renders the trigger in canonical spec form: parseable by
+// ParseTrigger and stable under round-trips (pinned by FuzzParseTrigger).
+func (t Trigger) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "kind=%s", t.Kind)
+	if t.Name != "" && t.Name != t.defaultName() {
+		fmt.Fprintf(&b, ",name=%s", t.Name)
+	}
+	switch t.Kind {
+	case KindProba:
+		fmt.Fprintf(&b, ",class=%d,rise=%s,clear=%s", t.Class, formatLevel(t.Rise), formatLevel(t.Clear))
+	case KindDrift:
+		fmt.Fprintf(&b, ",rise=%s,clear=%s", formatLevel(t.Rise), formatLevel(t.Clear))
+	case KindFlip:
+		if t.BaselineSet {
+			fmt.Fprintf(&b, ",baseline=%d", t.Baseline)
+		}
+	}
+	if t.For > 1 {
+		fmt.Fprintf(&b, ",for=%d", t.For)
+	}
+	if t.ClearFor > 1 {
+		fmt.Fprintf(&b, ",clearfor=%d", t.ClearFor)
+	}
+	return b.String()
+}
+
+func formatLevel(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// parseLevel parses a threshold level, rejecting syntax errors and values
+// that carry no alerting information (NaN, ±Inf — strconv accepts their
+// spellings, the state machine must never see them as thresholds).
+func parseLevel(key, val string) (float64, error) {
+	v, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return 0, badTriggerf("%s %q is not a number", key, val)
+	}
+	if IsInvalidValue(v) {
+		return 0, badTriggerf("%s %v is not a finite number", key, v)
+	}
+	return v, nil
+}
+
+func parseInt(key, val string) (int, error) {
+	n, err := strconv.Atoi(val)
+	if err != nil {
+		return 0, badTriggerf("%s %q is not an integer", key, val)
+	}
+	return n, nil
+}
+
+func parsePositiveInt(key, val string) (int, error) {
+	n, err := parseInt(key, val)
+	if err != nil {
+		return 0, err
+	}
+	if n < 1 {
+		return 0, badTriggerf("%s %d must be at least 1", key, n)
+	}
+	return n, nil
+}

@@ -1,0 +1,177 @@
+package alert
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestParseTrigger(t *testing.T) {
+	cases := []struct {
+		name string
+		spec string
+		want Trigger
+	}{
+		{"proba commas", "kind=proba,class=1,rise=0.9,clear=0.6",
+			Trigger{Kind: KindProba, Class: 1, Rise: 0.9, Clear: 0.6}},
+		{"proba whitespace", "kind=proba class=0 rise=0.8 clear=0.2",
+			Trigger{Kind: KindProba, Rise: 0.8, Clear: 0.2}},
+		{"mixed separators", "kind=drift, rise=3\tclear=1.5",
+			Trigger{Kind: KindDrift, Rise: 3, Clear: 1.5}},
+		{"flip bare", "kind=flip", Trigger{Kind: KindFlip}},
+		{"flip baseline", "kind=flip,baseline=2",
+			Trigger{Kind: KindFlip, Baseline: 2, BaselineSet: true}},
+		{"named with debounce", "kind=proba,name=hot,class=1,rise=0.9,clear=0.5,for=3,clearfor=2",
+			Trigger{Name: "hot", Kind: KindProba, Class: 1, Rise: 0.9, Clear: 0.5, For: 3, ClearFor: 2}},
+		{"scientific levels", "kind=drift,rise=1e2,clear=5e-1",
+			Trigger{Kind: KindDrift, Rise: 100, Clear: 0.5}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := ParseTrigger(tc.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.want {
+				t.Fatalf("ParseTrigger(%q) = %+v, want %+v", tc.spec, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseTriggerRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		spec string
+	}{
+		{"empty", ""},
+		{"separators only", " ,, "},
+		{"no kind", "rise=0.9,clear=0.5"},
+		{"unknown kind", "kind=banana"},
+		{"unknown key", "kind=flip,color=red"},
+		{"duplicate key", "kind=proba,rise=0.9,rise=0.8,clear=0.5"},
+		{"bare word", "kind=flip,oops"},
+		{"empty value", "kind=flip,name="},
+		{"missing rise", "kind=proba,clear=0.5"},
+		{"missing clear", "kind=proba,rise=0.9"},
+		{"drift missing levels", "kind=drift"},
+		{"clear above rise", "kind=proba,rise=0.5,clear=0.9"},
+		{"clear equals rise", "kind=drift,rise=2,clear=2"},
+		{"rise not a number", "kind=proba,rise=high,clear=0.5"},
+		{"nan rise", "kind=proba,rise=NaN,clear=0.5"},
+		{"inf rise", "kind=drift,rise=+Inf,clear=1"},
+		{"neg inf clear", "kind=drift,rise=1,clear=-Inf"},
+		{"proba rise above one", "kind=proba,rise=1.5,clear=0.5"},
+		{"class not integer", "kind=proba,class=one,rise=0.9,clear=0.5"},
+		{"for zero", "kind=flip,for=0"},
+		{"for negative", "kind=flip,for=-2"},
+		{"clearfor not integer", "kind=flip,clearfor=2.5"},
+		{"baseline not integer", "kind=flip,baseline=x"},
+		{"baseline on proba", "kind=proba,rise=0.9,clear=0.5,baseline=1"},
+		{"bad name", "kind=flip,name=a/b"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseTrigger(tc.spec)
+			if err == nil {
+				t.Fatalf("ParseTrigger(%q) accepted", tc.spec)
+			}
+			if !errors.Is(err, ErrBadTrigger) {
+				t.Fatalf("error %v does not match ErrBadTrigger", err)
+			}
+		})
+	}
+}
+
+func TestParseTriggers(t *testing.T) {
+	got, err := ParseTriggers("kind=flip; kind=drift,rise=3,clear=1 ;; ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Kind != KindFlip || got[1].Kind != KindDrift {
+		t.Fatalf("ParseTriggers = %+v", got)
+	}
+
+	if _, err := ParseTriggers(" ; ; "); !errors.Is(err, ErrBadTrigger) {
+		t.Fatalf("empty list error = %v, want ErrBadTrigger", err)
+	}
+	// A bad segment names itself in the error.
+	_, err = ParseTriggers("kind=flip;kind=nope")
+	if err == nil || !strings.Contains(err.Error(), `"kind=nope"`) {
+		t.Fatalf("segment error = %v, want spec quoted", err)
+	}
+}
+
+// TestTriggerStringRoundTrip pins the canonical form and that it parses
+// back to the same trigger.
+func TestTriggerStringRoundTrip(t *testing.T) {
+	cases := []struct {
+		trig Trigger
+		want string
+	}{
+		{Trigger{Kind: KindProba, Class: 1, Rise: 0.9, Clear: 0.6},
+			"kind=proba,class=1,rise=0.9,clear=0.6"},
+		{Trigger{Name: "hot", Kind: KindProba, Class: 0, Rise: 0.8, Clear: 0.2, For: 3, ClearFor: 2},
+			"kind=proba,name=hot,class=0,rise=0.8,clear=0.2,for=3,clearfor=2"},
+		{Trigger{Kind: KindDrift, Rise: 100, Clear: 0.5}, "kind=drift,rise=100,clear=0.5"},
+		{Trigger{Kind: KindFlip}, "kind=flip"},
+		{Trigger{Kind: KindFlip, Baseline: 2, BaselineSet: true}, "kind=flip,baseline=2"},
+		// A name equal to the default is omitted; For/ClearFor of 1 are
+		// defaults and omitted too.
+		{Trigger{Name: "drift", Kind: KindDrift, Rise: 2, Clear: 1, For: 1, ClearFor: 1},
+			"kind=drift,rise=2,clear=1"},
+	}
+	for _, tc := range cases {
+		got := tc.trig.String()
+		if got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+			continue
+		}
+		back, err := ParseTrigger(got)
+		if err != nil {
+			t.Errorf("reparse %q: %v", got, err)
+			continue
+		}
+		if back.withDefaults() != tc.trig.withDefaults() {
+			t.Errorf("round trip %q = %+v, want %+v", got, back, tc.trig)
+		}
+	}
+}
+
+// FuzzParseTrigger feeds arbitrary specs to the parser. Accepted specs must
+// validate, render canonically, and round-trip to the same trigger; the
+// canonical form must itself be a fixed point. Nothing may panic.
+func FuzzParseTrigger(f *testing.F) {
+	f.Add("kind=proba,class=1,rise=0.9,clear=0.6")
+	f.Add("kind=drift rise=3 clear=1.5 for=2")
+	f.Add("kind=flip,baseline=1,clearfor=4")
+	f.Add("kind=proba,rise=NaN,clear=0.5")
+	f.Add("kind=drift,rise=+Inf,clear=-Inf")
+	f.Add("kind=proba,rise=0.5,clear=0.9")
+	f.Add("kind=drift,rise=1,clear=1")
+	f.Add("kind=flip,name=a..b,for=999999999999999999999")
+	f.Add(",,=,=,kind==,")
+	f.Fuzz(func(t *testing.T, spec string) {
+		trig, err := ParseTrigger(spec)
+		if err != nil {
+			if !errors.Is(err, ErrBadTrigger) {
+				t.Fatalf("parse error %v does not match ErrBadTrigger", err)
+			}
+			return
+		}
+		if err := trig.Validate(); err != nil {
+			t.Fatalf("accepted trigger fails Validate: %+v: %v", trig, err)
+		}
+		canon := trig.String()
+		back, err := ParseTrigger(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q does not reparse: %v", canon, err)
+		}
+		if back.withDefaults() != trig.withDefaults() {
+			t.Fatalf("round trip %q: %+v != %+v", canon, back, trig)
+		}
+		if again := back.String(); again != canon {
+			t.Fatalf("canonical form not a fixed point: %q -> %q", canon, again)
+		}
+	})
+}

@@ -1,0 +1,100 @@
+package alert
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one deliverable alert notification: a FIRING or RESOLVED
+// transition of one trigger, with the context a receiver needs to act on
+// it. At is stamped at emission time and is deliberately outside the
+// determinism contract (transition sequences are deterministic; wall
+// clocks are not).
+type Event struct {
+	Model   string    `json:"model,omitempty"`
+	Trigger string    `json:"trigger"`
+	From    string    `json:"from"`
+	To      string    `json:"to"`
+	Sample  int       `json:"sample"`
+	Value   float64   `json:"value"`
+	At      time.Time `json:"at"`
+}
+
+// Sink receives alert events. Deliver must not block the caller on network
+// I/O: the stream's hop loop sits between samples, and a slow receiver
+// must cost queue space, not prediction latency. Close releases any
+// delivery goroutines; implementations must be safe for concurrent Deliver
+// from many streams.
+type Sink interface {
+	Deliver(Event)
+	Close() error
+}
+
+// ---- log sink ----
+
+// LogSink writes one JSON line per event to a writer. It is the zero-
+// dependency default sink and the usual fallback target of a webhook.Sink
+// (internal/alert/webhook).
+type LogSink struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewLogSink returns a sink writing NDJSON events to w.
+func NewLogSink(w io.Writer) *LogSink { return &LogSink{w: w} }
+
+// Deliver writes the event as one JSON line. Encoding errors are swallowed:
+// a log line is best-effort by definition.
+func (s *LogSink) Deliver(ev Event) {
+	line, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	line = append(line, '\n')
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.w.Write(line)
+}
+
+// Close implements Sink; a LogSink holds no resources.
+func (s *LogSink) Close() error { return nil }
+
+// ---- fanout ----
+
+// fanoutSink delivers every event to each sink in order.
+type fanoutSink struct{ sinks []Sink }
+
+// Fanout combines sinks into one: Deliver goes to every sink in order,
+// Close closes them all (errors joined). Nil sinks are skipped; a fanout
+// of one sink is that sink.
+func Fanout(sinks ...Sink) Sink {
+	kept := make([]Sink, 0, len(sinks))
+	for _, s := range sinks {
+		if s != nil {
+			kept = append(kept, s)
+		}
+	}
+	if len(kept) == 1 {
+		return kept[0]
+	}
+	return &fanoutSink{sinks: kept}
+}
+
+func (f *fanoutSink) Deliver(ev Event) {
+	for _, s := range f.sinks {
+		s.Deliver(ev)
+	}
+}
+
+func (f *fanoutSink) Close() error {
+	var errs []error
+	for _, s := range f.sinks {
+		if err := s.Close(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}

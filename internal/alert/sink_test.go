@@ -1,0 +1,87 @@
+package alert
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// collectSink records events in memory; the test double for fanout legs.
+type collectSink struct {
+	mu     sync.Mutex
+	events []Event
+	closed int
+	err    error
+}
+
+func (c *collectSink) Deliver(ev Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.events = append(c.events, ev)
+}
+
+func (c *collectSink) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed++
+	return c.err
+}
+
+func (c *collectSink) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.events)
+}
+
+func testEvent(sample int) Event {
+	return Event{Model: "m", Trigger: "hot", From: "OK", To: "FIRING", Sample: sample, Value: 0.97, At: time.Unix(1700000000, 0).UTC()}
+}
+
+func TestLogSink(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewLogSink(&buf)
+	s.Deliver(testEvent(3))
+	s.Deliver(testEvent(4))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n"))
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	var ev Event
+	if err := json.Unmarshal(lines[0], &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev != testEvent(3) {
+		t.Fatalf("decoded %+v, want %+v", ev, testEvent(3))
+	}
+}
+
+func TestFanout(t *testing.T) {
+	a, b := &collectSink{}, &collectSink{err: errors.New("boom")}
+	s := Fanout(nil, a, nil, b)
+	s.Deliver(testEvent(1))
+	if a.len() != 1 || b.len() != 1 {
+		t.Fatalf("fanout delivered a=%d b=%d, want 1 each", a.len(), b.len())
+	}
+	if err := s.Close(); err == nil || !errors.Is(err, b.err) {
+		t.Fatalf("Close error = %v, want to include boom", err)
+	}
+	if a.closed != 1 || b.closed != 1 {
+		t.Fatalf("closed a=%d b=%d, want 1 each", a.closed, b.closed)
+	}
+
+	// Single non-nil sink passes through unchanged; empty fanout is inert.
+	if got := Fanout(nil, a, nil); got != Sink(a) {
+		t.Fatalf("single fanout = %T, want the sink itself", got)
+	}
+	empty := Fanout(nil)
+	empty.Deliver(testEvent(2))
+	if err := empty.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

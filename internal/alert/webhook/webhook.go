@@ -1,0 +1,247 @@
+// Package webhook posts alert events to an HTTP endpoint with bounded
+// retries, exponential backoff, and a circuit breaker.
+//
+// It is a separate package, not part of internal/alert, so that importing
+// the alert machinery never links net/http: the core library (package mvg)
+// exposes the evaluator and drift scoring, and linking the HTTP client
+// stack into it would cost every non-serving user binary size and
+// background allocation noise. Only the binaries that actually deliver
+// webhooks (mvgserve, mvgcli) import this package.
+package webhook
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mvg/internal/alert"
+)
+
+// Config configures a webhook Sink. Zero values select the defaults noted
+// on each field.
+type Config struct {
+	// URL receives one POST per event with a JSON-encoded alert.Event body
+	// (required; http or https).
+	URL string
+	// Client issues the requests; nil selects a client with a 5s timeout
+	// (the per-attempt bound on slow receivers).
+	Client *http.Client
+	// MaxAttempts bounds delivery tries per event, first try included
+	// (default 3).
+	MaxAttempts int
+	// Backoff is the wait before the first retry, doubling per retry
+	// (default 100ms).
+	Backoff time.Duration
+	// QueueSize bounds the delivery queue; Deliver drops (to Fallback)
+	// when it is full rather than block the stream (default 64).
+	QueueSize int
+	// BreakerThreshold opens the circuit after this many consecutive
+	// events exhaust their attempts (default 3).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit skips the network and
+	// routes events straight to Fallback (default 30s).
+	BreakerCooldown time.Duration
+	// Fallback receives events the webhook gives up on: queue overflow,
+	// exhausted retries, open circuit, delivery after Close. Nil counts
+	// them in Stats and drops them.
+	Fallback alert.Sink
+}
+
+// Stats is a point-in-time snapshot of a sink's delivery counters.
+type Stats struct {
+	Delivered      uint64 // events acknowledged with a 2xx
+	Retries        uint64 // extra attempts beyond the first
+	Failed         uint64 // events that exhausted MaxAttempts
+	DroppedQueue   uint64 // events dropped on a full queue or after Close
+	DroppedBreaker uint64 // events skipped while the circuit was open
+	BreakerOpens   uint64 // times the circuit opened
+}
+
+// Sink posts events to an HTTP endpoint from a single background
+// goroutine, with bounded retries, exponential backoff, and a circuit
+// breaker: when the endpoint fails BreakerThreshold events in a row, the
+// sink stops hammering it for BreakerCooldown and routes events to the
+// Fallback sink instead (docs/alerting.md#webhook-delivery). Deliver never
+// blocks on the network.
+type Sink struct {
+	cfg Config
+
+	mu     sync.Mutex
+	closed bool
+	queue  chan alert.Event
+
+	closing chan struct{} // aborts retry backoffs on Close
+	done    chan struct{} // worker exit
+
+	delivered      atomic.Uint64
+	retries        atomic.Uint64
+	failed         atomic.Uint64
+	droppedQueue   atomic.Uint64
+	droppedBreaker atomic.Uint64
+	breakerOpens   atomic.Uint64
+
+	// worker-goroutine state, unsynchronized by design
+	consecFails int
+	openUntil   time.Time
+}
+
+// New validates the config, fills defaults, and starts the delivery
+// goroutine.
+func New(cfg Config) (*Sink, error) {
+	u, err := url.Parse(cfg.URL)
+	if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return nil, fmt.Errorf("alert: webhook URL %q must be absolute http(s)", cfg.URL)
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 5 * time.Second}
+	}
+	if cfg.MaxAttempts < 1 {
+		cfg.MaxAttempts = 3
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 100 * time.Millisecond
+	}
+	if cfg.QueueSize < 1 {
+		cfg.QueueSize = 64
+	}
+	if cfg.BreakerThreshold < 1 {
+		cfg.BreakerThreshold = 3
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 30 * time.Second
+	}
+	s := &Sink{
+		cfg:     cfg,
+		queue:   make(chan alert.Event, cfg.QueueSize),
+		closing: make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go s.run()
+	return s, nil
+}
+
+// Deliver enqueues the event for asynchronous delivery. A full queue (the
+// receiver is slower than the alert rate) and a closed sink drop the event
+// to the fallback immediately — bounded memory, never backpressure into
+// the prediction loop.
+func (s *Sink) Deliver(ev alert.Event) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.droppedQueue.Add(1)
+		s.fallback(ev)
+		return
+	}
+	select {
+	case s.queue <- ev:
+		s.mu.Unlock()
+	default:
+		s.mu.Unlock()
+		s.droppedQueue.Add(1)
+		s.fallback(ev)
+	}
+}
+
+// Close stops accepting events, lets the worker drain what was already
+// queued (retry backoffs are cut short), waits for it to exit, and closes
+// the fallback. Close is idempotent and safe to call concurrently with
+// Deliver.
+func (s *Sink) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		<-s.done
+		return nil
+	}
+	s.closed = true
+	close(s.closing)
+	close(s.queue)
+	s.mu.Unlock()
+	<-s.done
+	if s.cfg.Fallback != nil {
+		return s.cfg.Fallback.Close()
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the delivery counters.
+func (s *Sink) Stats() Stats {
+	return Stats{
+		Delivered:      s.delivered.Load(),
+		Retries:        s.retries.Load(),
+		Failed:         s.failed.Load(),
+		DroppedQueue:   s.droppedQueue.Load(),
+		DroppedBreaker: s.droppedBreaker.Load(),
+		BreakerOpens:   s.breakerOpens.Load(),
+	}
+}
+
+func (s *Sink) fallback(ev alert.Event) {
+	if s.cfg.Fallback != nil {
+		s.cfg.Fallback.Deliver(ev)
+	}
+}
+
+// run is the delivery goroutine: one event at a time, in order.
+func (s *Sink) run() {
+	defer close(s.done)
+	for ev := range s.queue {
+		if time.Now().Before(s.openUntil) {
+			s.droppedBreaker.Add(1)
+			s.fallback(ev)
+			continue
+		}
+		if s.post(ev) {
+			s.consecFails = 0
+			continue
+		}
+		s.failed.Add(1)
+		s.consecFails++
+		if s.consecFails >= s.cfg.BreakerThreshold {
+			s.openUntil = time.Now().Add(s.cfg.BreakerCooldown)
+			s.breakerOpens.Add(1)
+			s.consecFails = 0
+		}
+		s.fallback(ev)
+	}
+}
+
+// post attempts one event delivery with bounded retries and exponential
+// backoff. Any 2xx acknowledges; everything else (refused connections,
+// 5xx, timeouts on slow receivers) retries until MaxAttempts. A closing
+// sink abandons remaining retries so Close stays prompt.
+func (s *Sink) post(ev alert.Event) bool {
+	body, err := json.Marshal(ev)
+	if err != nil {
+		return false
+	}
+	backoff := s.cfg.Backoff
+	for attempt := 1; ; attempt++ {
+		resp, err := s.cfg.Client.Post(s.cfg.URL, "application/json", bytes.NewReader(body))
+		if err == nil {
+			// Drain a bounded prefix so the connection can be reused.
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+				s.delivered.Add(1)
+				return true
+			}
+		}
+		if attempt >= s.cfg.MaxAttempts {
+			return false
+		}
+		s.retries.Add(1)
+		select {
+		case <-time.After(backoff):
+		case <-s.closing:
+			return false
+		}
+		backoff *= 2
+	}
+}

@@ -1,0 +1,368 @@
+package webhook
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mvg/internal/alert"
+)
+
+// collectSink records events in memory; the test double for fallbacks.
+type collectSink struct {
+	mu     sync.Mutex
+	events []alert.Event
+	closed int
+	err    error
+}
+
+func (c *collectSink) Deliver(ev alert.Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.events = append(c.events, ev)
+}
+
+func (c *collectSink) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed++
+	return c.err
+}
+
+func (c *collectSink) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.events)
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func testEvent(sample int) alert.Event {
+	return alert.Event{Model: "m", Trigger: "hot", From: "OK", To: "FIRING", Sample: sample, Value: 0.97, At: time.Unix(1700000000, 0).UTC()}
+}
+
+func TestWebhookBadURL(t *testing.T) {
+	for _, u := range []string{"", "not a url", "ftp://host/x", "/relative", "http://"} {
+		if _, err := New(Config{URL: u}); err == nil {
+			t.Errorf("URL %q accepted", u)
+		}
+	}
+}
+
+// TestWebhookDelivers pins the happy path: one POST per event with the
+// JSON-encoded alert.Event body, acknowledged by 2xx.
+func TestWebhookDelivers(t *testing.T) {
+	var mu sync.Mutex
+	var got []alert.Event
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var ev alert.Event
+		if err := json.NewDecoder(r.Body).Decode(&ev); err != nil {
+			t.Errorf("bad body: %v", err)
+		}
+		mu.Lock()
+		got = append(got, ev)
+		mu.Unlock()
+	}))
+	defer srv.Close()
+
+	s, err := New(Config{URL: srv.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Deliver(testEvent(1))
+	s.Deliver(testEvent(2))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 2 || got[0] != testEvent(1) || got[1] != testEvent(2) {
+		t.Fatalf("server saw %+v", got)
+	}
+	st := s.Stats()
+	if st.Delivered != 2 || st.Retries != 0 || st.Failed != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestWebhookRefusedConnection: a dead endpoint costs exactly MaxAttempts-1
+// retries per event, then the event goes to the fallback.
+func TestWebhookRefusedConnection(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := "http://" + ln.Addr().String()
+	ln.Close() // now guaranteed refused
+
+	fb := &collectSink{}
+	s, err := New(Config{
+		URL: url, MaxAttempts: 3, Backoff: time.Millisecond, Fallback: fb,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Deliver(testEvent(1))
+	waitFor(t, "failed delivery", func() bool { return s.Stats().Failed == 1 })
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Retries != 2 || st.Delivered != 0 {
+		t.Fatalf("stats = %+v, want 2 retries 0 delivered", st)
+	}
+	if fb.len() != 1 {
+		t.Fatalf("fallback saw %d events, want 1", fb.len())
+	}
+	if fb.closed != 1 {
+		t.Fatalf("fallback closed %d times, want 1", fb.closed)
+	}
+}
+
+// TestWebhook5xxRetriesThenBreaker: 5xx responses retry with backoff; after
+// BreakerThreshold consecutive failed events the circuit opens and later
+// events skip the network entirely.
+func TestWebhook5xxRetriesThenBreaker(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+
+	fb := &collectSink{}
+	s, err := New(Config{
+		URL: srv.URL, MaxAttempts: 2, Backoff: time.Millisecond,
+		BreakerThreshold: 2, BreakerCooldown: time.Hour, Fallback: fb,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		s.Deliver(testEvent(i))
+	}
+	waitFor(t, "fallback to see all events", func() bool { return fb.len() == 4 })
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	// Events 0 and 1 each burn 2 attempts; the breaker then opens and events
+	// 2 and 3 never touch the network.
+	if st.Failed != 2 || st.BreakerOpens != 1 || st.DroppedBreaker != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if n := hits.Load(); n != 4 {
+		t.Fatalf("server saw %d requests, want 4", n)
+	}
+}
+
+// TestWebhookBreakerRecovers: after the cooldown the sink tries the network
+// again and a healthy endpoint closes the circuit.
+func TestWebhookBreakerRecovers(t *testing.T) {
+	var failing atomic.Bool
+	failing.Store(true)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if failing.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+	}))
+	defer srv.Close()
+
+	s, err := New(Config{
+		URL: srv.URL, MaxAttempts: 1, Backoff: time.Millisecond,
+		BreakerThreshold: 1, BreakerCooldown: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Deliver(testEvent(0))
+	waitFor(t, "breaker to open", func() bool { return s.Stats().BreakerOpens == 1 })
+	failing.Store(false)
+	time.Sleep(30 * time.Millisecond) // past the cooldown
+	s.Deliver(testEvent(1))
+	waitFor(t, "recovery delivery", func() bool { return s.Stats().Delivered == 1 })
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWebhookSlowResponses: a receiver slower than the client timeout is a
+// failed attempt, bounded by MaxAttempts — never an unbounded stall.
+func TestWebhookSlowResponses(t *testing.T) {
+	release := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+	}))
+	defer srv.Close()
+	defer close(release)
+
+	fb := &collectSink{}
+	s, err := New(Config{
+		URL:         srv.URL,
+		Client:      &http.Client{Timeout: 10 * time.Millisecond},
+		MaxAttempts: 2, Backoff: time.Millisecond, Fallback: fb,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	s.Deliver(testEvent(1))
+	waitFor(t, "slow delivery to fail", func() bool { return s.Stats().Failed == 1 })
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("delivery stalled %v despite 10ms client timeout", elapsed)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Retries != 1 || st.Delivered != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if fb.len() != 1 {
+		t.Fatalf("fallback saw %d events, want 1", fb.len())
+	}
+}
+
+// TestWebhookQueueOverflow: a stalled worker fills the queue; extra events
+// drop to the fallback instead of blocking Deliver.
+func TestWebhookQueueOverflow(t *testing.T) {
+	entered := make(chan struct{}, 8)
+	release := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		entered <- struct{}{}
+		<-release
+	}))
+	defer srv.Close()
+
+	fb := &collectSink{}
+	s, err := New(Config{
+		URL: srv.URL, QueueSize: 1, MaxAttempts: 1, Fallback: fb,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Deliver(testEvent(0)) // worker picks this up and blocks in the handler
+	<-entered
+	s.Deliver(testEvent(1)) // fills the queue
+	s.Deliver(testEvent(2)) // overflows
+	if st := s.Stats(); st.DroppedQueue != 1 {
+		t.Fatalf("stats = %+v, want 1 dropped", st)
+	}
+	if fb.len() != 1 || fb.events[0].Sample != 2 {
+		t.Fatalf("fallback = %+v, want just sample 2", fb.events)
+	}
+	close(release)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWebhookDeliverAfterClose: late events are counted and fall back, never
+// panic on the closed queue.
+func TestWebhookDeliverAfterClose(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer srv.Close()
+	fb := &collectSink{}
+	s, err := New(Config{URL: srv.URL, Fallback: fb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	s.Deliver(testEvent(9))
+	if st := s.Stats(); st.DroppedQueue != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if fb.len() != 1 {
+		t.Fatalf("fallback saw %d events, want 1", fb.len())
+	}
+	if fb.closed != 1 {
+		t.Fatalf("fallback closed %d times, want 1", fb.closed)
+	}
+}
+
+// TestWebhookNoGoroutineLeak drives the full fault-injection surface
+// (refused connections with retries, then Close mid-backoff) and checks the
+// goroutine count returns to baseline.
+func TestWebhookNoGoroutineLeak(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := "http://" + ln.Addr().String()
+	ln.Close()
+
+	before := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		s, err := New(Config{
+			URL: url, MaxAttempts: 10, Backoff: time.Hour, // Close must cut the backoff short
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Deliver(testEvent(i))
+		waitFor(t, "first retry", func() bool { return s.Stats().Retries >= 1 })
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "goroutines to drain", func() bool {
+		runtime.GC()
+		return runtime.NumGoroutine() <= before
+	})
+}
+
+// TestWebhookConcurrentDeliver hammers one sink from many goroutines (the
+// many-streams-one-sink shape); every event must be accounted for as
+// delivered or dropped-to-fallback. Run with -race.
+func TestWebhookConcurrentDeliver(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer srv.Close()
+
+	fb := &collectSink{}
+	s, err := New(Config{URL: srv.URL, QueueSize: 4, Fallback: fb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, perWorker = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				s.Deliver(testEvent(w*perWorker + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	total := st.Delivered + st.DroppedQueue
+	if total != workers*perWorker {
+		t.Fatalf("accounted for %d events, want %d (stats %+v)", total, workers*perWorker, st)
+	}
+	if int(st.DroppedQueue) != fb.len() {
+		t.Fatalf("dropped %d but fallback saw %d", st.DroppedQueue, fb.len())
+	}
+}

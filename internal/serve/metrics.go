@@ -21,6 +21,13 @@ type Metrics struct {
 	latency  histogram
 	batch    histogram
 
+	// Alerting observability: how many live alerting streams sit in each
+	// (trigger, state) cell, and how many transitions each trigger has made
+	// into each destination state. Keys are trigger names, which the alert
+	// package restricts to a Prometheus-label-safe charset.
+	alertState       map[alertKey]int64
+	alertTransitions map[alertKey]uint64
+
 	coalescedBatches  atomic.Uint64
 	coalescedRequests atomic.Uint64
 }
@@ -28,6 +35,11 @@ type Metrics struct {
 type requestKey struct {
 	route string
 	code  int
+}
+
+type alertKey struct {
+	trigger string
+	state   string // current state (gauge) or destination state (counter)
 }
 
 // histogram is a fixed-bucket cumulative histogram (Prometheus semantics:
@@ -59,8 +71,36 @@ func NewMetrics() *Metrics {
 			0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
 			0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
 		}),
-		batch: newHistogram([]float64{1, 2, 4, 8, 16, 32, 64, 128, 256}),
+		batch:            newHistogram([]float64{1, 2, 4, 8, 16, 32, 64, 128, 256}),
+		alertState:       make(map[alertKey]int64),
+		alertTransitions: make(map[alertKey]uint64),
 	}
+}
+
+// AlertStreamStarted records a new alerting stream's trigger entering the
+// OK state; call once per trigger when the stream's evaluator is armed.
+func (m *Metrics) AlertStreamStarted(trigger string) {
+	m.mu.Lock()
+	m.alertState[alertKey{trigger, "OK"}]++
+	m.mu.Unlock()
+}
+
+// AlertStreamEnded removes a finished stream's trigger from the state
+// gauge; state is the trigger's final state.
+func (m *Metrics) AlertStreamEnded(trigger, state string) {
+	m.mu.Lock()
+	m.alertState[alertKey{trigger, state}]--
+	m.mu.Unlock()
+}
+
+// AlertTransition moves one trigger between states in the gauge and counts
+// the transition by destination.
+func (m *Metrics) AlertTransition(trigger, from, to string) {
+	m.mu.Lock()
+	m.alertState[alertKey{trigger, from}]--
+	m.alertState[alertKey{trigger, to}]++
+	m.alertTransitions[alertKey{trigger, to}]++
+	m.mu.Unlock()
 }
 
 // RequestStarted increments the in-flight gauge and returns a completion
@@ -122,8 +162,34 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 		fmt.Fprintf(w, "mvgserve_requests_total{route=%q,code=\"%d\"} %d\n", k.route, k.code, m.requests[k])
 	}
 
+	fmt.Fprintf(w, "# HELP mvgserve_alert_state Live alerting streams in each state, by trigger.\n")
+	fmt.Fprintf(w, "# TYPE mvgserve_alert_state gauge\n")
+	for _, k := range sortedAlertKeys(m.alertState) {
+		fmt.Fprintf(w, "mvgserve_alert_state{trigger=%q,state=%q} %d\n", k.trigger, k.state, m.alertState[k])
+	}
+
+	fmt.Fprintf(w, "# HELP mvgserve_alert_transitions_total Alert state transitions, by trigger and destination state.\n")
+	fmt.Fprintf(w, "# TYPE mvgserve_alert_transitions_total counter\n")
+	for _, k := range sortedAlertKeys(m.alertTransitions) {
+		fmt.Fprintf(w, "mvgserve_alert_transitions_total{trigger=%q,to=%q} %d\n", k.trigger, k.state, m.alertTransitions[k])
+	}
+
 	writeHistogram(w, "mvgserve_request_duration_seconds", "HTTP request latency.", &m.latency)
 	writeHistogram(w, "mvgserve_batch_size", "Coalesced batch size distribution.", &m.batch)
+}
+
+func sortedAlertKeys[V int64 | uint64](m map[alertKey]V) []alertKey {
+	keys := make([]alertKey, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].trigger != keys[j].trigger {
+			return keys[i].trigger < keys[j].trigger
+		}
+		return keys[i].state < keys[j].state
+	})
+	return keys
 }
 
 func writeHistogram(w io.Writer, name, help string, h *histogram) {

@@ -28,18 +28,25 @@ type Config struct {
 	Metrics *Metrics
 	// Logger receives one line per failed request; nil disables logging.
 	Logger *log.Logger
+	// AlertSink receives the FIRING/RESOLVED events of every alerting
+	// stream (?alert= on /stream). Nil disables delivery; transitions are
+	// still emitted on the NDJSON dialogue and counted in Metrics. The
+	// server does not close the sink — its owner (mvgserve) does, after
+	// drain.
+	AlertSink mvg.AlertSink
 }
 
 // Server is the HTTP serving layer: it routes the /v1 prediction API onto
 // a registry of models, funnelling single-series predictions through one
 // request coalescer per model. It implements http.Handler.
 type Server struct {
-	registry *Registry
-	metrics  *Metrics
-	window   time.Duration
-	maxBatch int
-	logger   *log.Logger
-	handler  http.Handler
+	registry  *Registry
+	metrics   *Metrics
+	window    time.Duration
+	maxBatch  int
+	logger    *log.Logger
+	alertSink mvg.AlertSink
+	handler   http.Handler
 
 	mu         sync.Mutex
 	coalescers map[string]*Coalescer
@@ -61,6 +68,7 @@ func NewServer(cfg Config) (*Server, error) {
 		window:     cfg.Window,
 		maxBatch:   cfg.MaxBatch,
 		logger:     cfg.Logger,
+		alertSink:  cfg.AlertSink,
 		coalescers: make(map[string]*Coalescer),
 	}
 	mux := http.NewServeMux()
@@ -207,7 +215,9 @@ func writeError(w http.ResponseWriter, err error) {
 		errors.Is(err, mvg.ErrSeriesTooShort),
 		errors.Is(err, mvg.ErrBadConfig),
 		errors.Is(err, mvg.ErrNonFiniteSample),
-		errors.Is(err, mvg.ErrStreamNotReady):
+		errors.Is(err, mvg.ErrStreamNotReady),
+		errors.Is(err, mvg.ErrBadAlertTrigger),
+		errors.Is(err, mvg.ErrNoDriftBaseline):
 		code = http.StatusBadRequest
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		code = StatusClientClosedRequest

@@ -6,6 +6,9 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
+
+	"mvg"
 )
 
 // Streaming endpoint: POST /v1/models/{name}/stream carries an NDJSON
@@ -16,7 +19,16 @@ import (
 //	{"sample":640,"class":1,"proba":[0.11,0.89]}
 //
 // The window length is the model's training length; the hop is the ?hop=N
-// query parameter (default 1). When the body ends, a terminal line
+// query parameter (default 1). Prediction lines carry a "drift" field when
+// the model has a drift baseline. The ?alert= parameter arms alert triggers
+// (docs/alerting.md#trigger-specs; repeat the parameter — or percent-encode
+// ';' — to arm several); their state transitions interleave as alert lines
+// right after the prediction that caused them:
+//
+//	{"alert":"flip","from":"OK","to":"FIRING","sample":640,"value":1}
+//
+// and FIRING/RESOLVED transitions are also delivered to the server's alert
+// sink. When the body ends, a terminal line
 //
 //	{"done":true,"samples":700,"predictions":8}
 //
@@ -28,16 +40,30 @@ import (
 // for the protocol and docs/serving.md for how it relates to the batch
 // endpoints.
 
-// The three NDJSON response line shapes of the /stream endpoint. They are
+// The NDJSON response line shapes of the /stream endpoint. They are
 // separate types so each line carries exactly its documented fields — in
 // particular the terminal line always includes samples and predictions,
-// even when zero. StreamPrediction is exported because `mvgcli stream`
-// speaks the identical protocol: sharing the type is what keeps the two
-// from drifting.
+// even when zero. StreamPrediction and StreamAlertEvent are exported
+// because `mvgcli stream` speaks the identical protocol: sharing the types
+// is what keeps the two from drifting.
 type StreamPrediction struct {
 	Sample int       `json:"sample"`
 	Class  int       `json:"class"`
 	Proba  []float64 `json:"proba"`
+	// Drift is the window's drift/novelty score; present whenever the
+	// model carries a drift baseline (docs/alerting.md#drift-score).
+	Drift *float64 `json:"drift,omitempty"`
+}
+
+// StreamAlertEvent is one alert state transition, interleaved with the
+// prediction lines right after the prediction that caused it. Sample uses
+// the same samples-consumed convention as prediction lines.
+type StreamAlertEvent struct {
+	Alert  string  `json:"alert"` // trigger name
+	From   string  `json:"from"`
+	To     string  `json:"to"`
+	Sample int     `json:"sample"`
+	Value  float64 `json:"value"`
 }
 
 type streamDoneEvent struct {
@@ -55,7 +81,7 @@ type streamErrorEvent struct {
 const maxStreamLine = 4096
 
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
-	_, m, err := s.model(r)
+	name, m, err := s.model(r)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -72,6 +98,32 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeError(w, err)
 		return
+	}
+	alerting := false
+	// ';' joins trigger specs but is dropped from raw query strings by
+	// net/url (Go 1.17+), so the parameter may be repeated instead —
+	// ?alert=a&alert=b — or the ';' percent-encoded as %3B.
+	if specs := strings.Join(r.URL.Query()["alert"], ";"); specs != "" {
+		triggers, err := mvg.ParseAlertTriggers(specs)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		if err := stream.SetAlerts(triggers...); err != nil {
+			writeError(w, err)
+			return
+		}
+		alerting = true
+		for _, tr := range stream.AlertTriggers() {
+			s.metrics.AlertStreamStarted(tr.Name)
+		}
+		// The gauge tracks live streams: whatever state each trigger ends
+		// in, this dialogue stops contributing to it when it returns.
+		defer func() {
+			for _, st := range stream.Alerts() {
+				s.metrics.AlertStreamEnded(st.Name, st.State.String())
+			}
+		}()
 	}
 
 	// The dialogue reads the body while writing the response; HTTP/1.1
@@ -128,14 +180,37 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		if !ready {
 			continue
 		}
-		class, proba, err := stream.Predict(r.Context())
+		pt, err := stream.PredictAlert(r.Context())
 		if err != nil {
 			fail(err)
 			return
 		}
 		predictions++
-		if !emit(StreamPrediction{Sample: stream.Pushed(), Class: class, Proba: proba}) {
+		pred := StreamPrediction{Sample: stream.Pushed(), Class: pt.Class, Proba: pt.Proba}
+		if pt.HasDrift {
+			pred.Drift = &pt.Drift
+		}
+		if !emit(pred) {
 			return
+		}
+		for _, tr := range pt.Transitions {
+			s.metrics.AlertTransition(tr.Trigger, tr.From.String(), tr.To.String())
+			// The wire and webhook sample convention is samples-consumed,
+			// matching prediction lines; the library's Transition carries
+			// the window-closing sample index, one less.
+			if !emit(StreamAlertEvent{
+				Alert: tr.Trigger, From: tr.From.String(), To: tr.To.String(),
+				Sample: tr.Sample + 1, Value: tr.Value,
+			}) {
+				return
+			}
+			if s.alertSink != nil && alerting && (tr.To == mvg.AlertFiring || tr.To == mvg.AlertResolved) {
+				s.alertSink.Deliver(mvg.AlertEvent{
+					Model: name, Trigger: tr.Trigger,
+					From: tr.From.String(), To: tr.To.String(),
+					Sample: tr.Sample + 1, Value: tr.Value, At: time.Now().UTC(),
+				})
+			}
 		}
 	}
 	if err := sc.Err(); err != nil {

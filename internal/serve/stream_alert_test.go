@@ -1,0 +1,294 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"mvg"
+)
+
+// captureSink is a test mvg.AlertSink recording every delivered event.
+type captureSink struct {
+	mu     sync.Mutex
+	events []mvg.AlertEvent
+	closed int
+}
+
+func (s *captureSink) Deliver(ev mvg.AlertEvent) {
+	s.mu.Lock()
+	s.events = append(s.events, ev)
+	s.mu.Unlock()
+}
+
+func (s *captureSink) Close() error {
+	s.mu.Lock()
+	s.closed++
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *captureSink) snapshot() []mvg.AlertEvent {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]mvg.AlertEvent(nil), s.events...)
+}
+
+// alertBody returns a stream body engineered to flip the model's
+// prediction: a class-0 window, then class 1, then class 0 again, so a
+// flip trigger fires on the middle stretch and resolves on the last.
+func alertBody(t *testing.T) string {
+	t.Helper()
+	series, labels := testDataset(7)
+	var smooth, noisy []float64
+	for i, lab := range labels {
+		if lab == 0 && smooth == nil {
+			smooth = series[i]
+		}
+		if lab == 1 && noisy == nil {
+			noisy = series[i]
+		}
+	}
+	samples := append(append(append([]float64{}, smooth...), noisy...), smooth...)
+	return streamBody(samples)
+}
+
+func TestStreamDriftField(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	testModel(t)
+	inputs := testInputs(1, 5)
+
+	_, events := postStream(t, ts.URL+"/v1/models/demo/stream?hop=32", streamBody(inputs[0]))
+	preds := 0
+	for _, ev := range events {
+		if ev.Class == nil {
+			continue
+		}
+		preds++
+		if ev.Drift == nil {
+			t.Fatalf("prediction line %+v lacks drift (model has a baseline)", ev)
+		}
+		if d := *ev.Drift; math.IsNaN(d) || math.IsInf(d, 0) || d < 0 {
+			t.Fatalf("drift = %v, want finite non-negative", d)
+		}
+	}
+	if preds == 0 {
+		t.Fatal("no prediction lines")
+	}
+}
+
+func TestStreamAlertDialogue(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	testModel(t)
+
+	url := ts.URL + "/v1/models/demo/stream?hop=32&alert=kind=flip" +
+		"&alert=kind=proba,name=hot,class=1,rise=0.8,clear=0.2"
+	resp, events := postStream(t, url, alertBody(t))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+
+	// Alert lines must interleave directly after the prediction that caused
+	// them, sharing its samples-consumed sample value.
+	lastPredSample := -1
+	var firing, resolved int
+	seen := map[string]bool{}
+	for _, ev := range events {
+		switch {
+		case ev.Class != nil:
+			lastPredSample = ev.Sample
+		case ev.Alert != "":
+			seen[ev.Alert] = true
+			if ev.Sample != lastPredSample {
+				t.Fatalf("alert line sample %d does not match preceding prediction sample %d", ev.Sample, lastPredSample)
+			}
+			if ev.From == "" || ev.To == "" {
+				t.Fatalf("alert line %+v lacks from/to", ev)
+			}
+			if ev.To == "FIRING" {
+				firing++
+			}
+			if ev.To == "RESOLVED" {
+				resolved++
+			}
+		}
+	}
+	if !seen["flip"] {
+		t.Fatalf("no transitions for the flip trigger; events=%+v", events)
+	}
+	if firing == 0 || resolved == 0 {
+		t.Fatalf("want at least one FIRING and one RESOLVED transition, got %d/%d", firing, resolved)
+	}
+	if !events[len(events)-1].Done {
+		t.Fatal("dialogue did not end with a done line")
+	}
+}
+
+func TestStreamAlertBadSpec(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	testModel(t)
+	for _, q := range []string{
+		"alert=kind=nope",
+		"alert=kind=proba,class=0,rise=0.4,clear=0.6", // clear >= rise
+		"alert=kind=proba",                            // missing levels
+		"alert=garbage",
+	} {
+		resp, err := http.Post(ts.URL+"/v1/models/demo/stream?"+q, "application/x-ndjson", strings.NewReader("1\n"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("?%s: status = %d, want 400", q, resp.StatusCode)
+		}
+	}
+}
+
+func TestStreamAlertMetrics(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	testModel(t)
+
+	url := ts.URL + "/v1/models/demo/stream?hop=32&alert=kind=flip"
+	if resp, _ := postStream(t, url, alertBody(t)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status = %d", resp.StatusCode)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		"# TYPE mvgserve_alert_state gauge",
+		`mvgserve_alert_state{trigger="flip",state=`,
+		"# TYPE mvgserve_alert_transitions_total counter",
+		`mvgserve_alert_transitions_total{trigger="flip",to="FIRING"}`,
+		`mvgserve_alert_transitions_total{trigger="flip",to="RESOLVED"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q\n%s", want, body)
+		}
+	}
+	// The dialogue is over: every state cell for the trigger must be back
+	// to zero (started streams were removed at end-of-dialogue).
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, `mvgserve_alert_state{trigger="flip"`) && !strings.HasSuffix(line, " 0") {
+			t.Fatalf("stale alert-state gauge after dialogue end: %q", line)
+		}
+	}
+}
+
+func TestStreamAlertSinkDelivery(t *testing.T) {
+	sink := &captureSink{}
+	_, ts := newTestServer(t, Config{AlertSink: sink})
+	testModel(t)
+
+	url := ts.URL + "/v1/models/demo/stream?hop=32&alert=kind=flip"
+	_, events := postStream(t, url, alertBody(t))
+
+	wireSamples := map[int]bool{}
+	var wantDelivered int
+	for _, ev := range events {
+		if ev.Alert != "" {
+			wireSamples[ev.Sample] = true
+			if ev.To == "FIRING" || ev.To == "RESOLVED" {
+				wantDelivered++
+			}
+		}
+	}
+	got := sink.snapshot()
+	if len(got) != wantDelivered || wantDelivered == 0 {
+		t.Fatalf("sink got %d events, want %d (from %d wire alert lines)", len(got), wantDelivered, len(wireSamples))
+	}
+	for _, ev := range got {
+		if ev.Model != "demo" || ev.Trigger != "flip" {
+			t.Fatalf("event %+v: want model demo / trigger flip", ev)
+		}
+		if ev.To != "FIRING" && ev.To != "RESOLVED" {
+			t.Fatalf("sink delivered non-terminal transition %+v", ev)
+		}
+		if !wireSamples[ev.Sample] {
+			t.Fatalf("sink event sample %d not among wire alert samples %v", ev.Sample, wireSamples)
+		}
+		if ev.At.IsZero() {
+			t.Fatalf("event %+v lacks a timestamp", ev)
+		}
+	}
+	// The server must never close a sink it does not own.
+	ts.Close()
+	if sink.closed != 0 {
+		t.Fatal("server closed the caller-owned sink")
+	}
+}
+
+// TestStreamAlertConcurrentSharedSink drives many alerting dialogues at
+// once through one shared sink — the ISSUE's -race satellite: per-stream
+// evaluators are independent, the sink and metrics are shared.
+func TestStreamAlertConcurrentSharedSink(t *testing.T) {
+	sink := &captureSink{}
+	srv, ts := newTestServer(t, Config{AlertSink: sink})
+	testModel(t)
+	body := alertBody(t)
+
+	const dialogues = 8
+	results := make([]int, dialogues)
+	var wg sync.WaitGroup
+	for i := 0; i < dialogues; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			url := fmt.Sprintf("%s/v1/models/demo/stream?hop=32&alert=kind=flip,name=t%d", ts.URL, i)
+			resp, err := http.Post(url, "application/x-ndjson", strings.NewReader(body))
+			if err != nil {
+				return
+			}
+			raw, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return
+			}
+			for _, line := range strings.Split(string(raw), "\n") {
+				if strings.Contains(line, `"alert"`) && (strings.Contains(line, `"to":"FIRING"`) || strings.Contains(line, `"to":"RESOLVED"`)) {
+					results[i]++
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	total := 0
+	for i, n := range results {
+		if n == 0 {
+			t.Fatalf("dialogue %d saw no FIRING/RESOLVED transitions", i)
+		}
+		total += n
+	}
+	if got := len(sink.snapshot()); got != total {
+		t.Fatalf("sink got %d events, wire carried %d", got, total)
+	}
+	// Identical bodies through per-stream evaluators must transition
+	// identically: deliveries per trigger name are uniform.
+	perTrigger := map[string]int{}
+	for _, ev := range sink.snapshot() {
+		perTrigger[ev.Trigger]++
+	}
+	if len(perTrigger) != dialogues {
+		t.Fatalf("want %d distinct triggers, got %v", dialogues, perTrigger)
+	}
+	for name, n := range perTrigger {
+		if n != total/dialogues {
+			t.Fatalf("trigger %s delivered %d events, others %d — identical streams diverged", name, n, total/dialogues)
+		}
+	}
+	_ = srv
+}

@@ -14,12 +14,18 @@ import (
 	"time"
 )
 
-// streamEvent is the decode superset of the /stream endpoint's three
-// response line shapes (StreamPrediction, done, error).
+// streamEvent is the decode superset of the /stream endpoint's four
+// response line shapes (StreamPrediction, StreamAlertEvent, done, error).
+// Prediction lines have Class != nil; alert lines have Alert != "".
 type streamEvent struct {
 	Sample      int       `json:"sample"`
 	Class       *int      `json:"class"`
 	Proba       []float64 `json:"proba"`
+	Drift       *float64  `json:"drift"`
+	Alert       string    `json:"alert"`
+	From        string    `json:"from"`
+	To          string    `json:"to"`
+	Value       float64   `json:"value"`
 	Done        bool      `json:"done"`
 	Samples     int       `json:"samples"`
 	Predictions int       `json:"predictions"`

@@ -29,6 +29,7 @@ type Model struct {
 	classes   int
 	names     []string
 	seriesLen int
+	drift     driftBaseline // per-class feature centroids captured at Train time
 }
 
 // Train extracts MVG features from the labelled series, tunes the selected

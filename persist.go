@@ -26,6 +26,11 @@ type modelSnapshot struct {
 	ScalerMin   []float64
 	ScalerRange []float64
 	Booster     []byte
+	// Drift baseline (PR 7). Older snapshots simply lack these fields —
+	// gob tolerates that in both directions, so the version stays at 1 and
+	// such models load with HasDrift() == false.
+	Centroids [][]float64
+	Spreads   []float64
 }
 
 const snapshotVersion = 1
@@ -48,6 +53,8 @@ func (m *Model) Save(w io.Writer) error {
 		SeriesLen: m.seriesLen,
 		Names:     m.names,
 		Booster:   raw,
+		Centroids: m.drift.centroids,
+		Spreads:   m.drift.spreads,
 	}
 	// Workers is a deployment-time concurrency knob, not part of the
 	// learned model: pinning the training machine's setting would force
@@ -90,6 +97,7 @@ func LoadModel(r io.Reader) (*Model, error) {
 		classes:   snap.Classes,
 		names:     snap.Names,
 		seriesLen: snap.SeriesLen,
+		drift:     driftBaseline{centroids: snap.Centroids, spreads: snap.Spreads},
 	}
 	if snap.ScalerMin != nil {
 		m.scaler = &ml.MinMaxScaler{Min: snap.ScalerMin, Range: snap.ScalerRange}

@@ -163,6 +163,10 @@ func (p *Pipeline) Train(ctx context.Context, series [][]float64, labels []int, 
 		classes:   classes,
 		names:     p.extractor.FeatureNames(len(series[0])),
 		seriesLen: len(series[0]),
+		// The drift baseline is computed on the raw (pre-scaler) feature
+		// rows — the same space Stream.Features emits, so streamed windows
+		// score against exactly what training saw.
+		drift: computeDriftBaseline(X, labels, classes),
 	}, nil
 }
 

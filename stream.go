@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"mvg/internal/alert"
 	"mvg/internal/core"
 	"mvg/internal/graph"
 	"mvg/internal/ml"
@@ -55,6 +56,8 @@ type Stream struct {
 	vgSnap, hvgSnap graph.Graph
 	sc              *core.Scratch
 	rowIn           [][]float64 // single-row buffer for Predict
+
+	alerts *alert.Evaluator // nil until SetAlerts; see alerting.go
 }
 
 // NewStream returns a sliding-window extraction stream over this
@@ -128,9 +131,14 @@ func (s *Stream) Incremental() bool { return s.incremental }
 func (s *Stream) Ready() bool { return s.pushed >= s.windowLen }
 
 // Reset empties the stream for a new series, retaining all storage.
+// Configured alert triggers keep their rules but return to StateOK with
+// cleared debounce counters (and re-latch any auto baselines).
 func (s *Stream) Reset() {
 	s.inc.Reset()
 	s.pushed = 0
+	if s.alerts != nil {
+		s.alerts.Reset()
+	}
 }
 
 // Push appends one sample to the stream, sliding the window once it is
