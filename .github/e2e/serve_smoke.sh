@@ -110,5 +110,74 @@ kill "$SERVE_PID"
 wait "$SERVE_PID" 2>/dev/null || true
 SERVE_PID=""
 
+# ---------------------------------------------------------------------------
+# Overload behavior (docs/robustness.md): reboot with capacity dialed to the
+# floor and assert the server sheds deterministically instead of queueing.
+# ---------------------------------------------------------------------------
+note "boot mvgserve with minimal capacity (-max-inflight 1 -max-queue 0 -max-streams-per-tenant 1)"
+"$WORK/bin/mvgserve" -models "$WORK/models" -addr "127.0.0.1:${PORT}" \
+  -max-inflight 1 -max-queue 0 -max-streams-per-tenant 1 -retry-after 7s &
+SERVE_PID=$!
+for i in $(seq 1 50); do
+  if curl -sf "$BASE/healthz" >/dev/null 2>&1; then break; fi
+  kill -0 "$SERVE_PID" 2>/dev/null || die "overload mvgserve exited during startup"
+  sleep 0.2
+  [ "$i" = 50 ] && die "overload mvgserve never became healthy"
+done
+
+note "stream quota: second same-tenant stream is shed with 429 + Retry-After"
+# Hold one dialogue open: stream the window, then keep the body open with a
+# sleep so the session stays registered (-T streams stdin chunked).
+{ head -1 "$WORK/data/WarpedShapes_TEST" | cut -d, -f2- | tr ',' '\n'; sleep 8; } \
+  | curl -sN -o "$WORK/held_stream.ndjson" -X POST -T - "$BASE/v1/models/shapes/stream" &
+HELD_PID=$!
+for i in $(seq 1 50); do
+  STREAMS=$(curl -s "$BASE/healthz" | jq -r '.streams')
+  [ "$STREAMS" = 1 ] && break
+  sleep 0.2
+  [ "$i" = 50 ] && die "held stream never registered (streams=$STREAMS)"
+done
+printf '1\n' > "$WORK/one.txt"
+CODE=$(curl -s -o "$WORK/shed_stream.json" -D "$WORK/shed_headers.txt" -w '%{http_code}' \
+  -X POST --data-binary "@$WORK/one.txt" "$BASE/v1/models/shapes/stream")
+[ "$CODE" = 429 ] || die "second same-tenant stream returned $CODE, want 429: $(cat "$WORK/shed_stream.json")"
+grep -qi '^Retry-After: 7' "$WORK/shed_headers.txt" || die "429 lacks Retry-After: 7 header"
+jq -e '.error | test("tenant")' "$WORK/shed_stream.json" >/dev/null || die "429 body: $(cat "$WORK/shed_stream.json")"
+
+note "predict overload: parallel storm against 1 slot / 0 queue"
+echo "{\"series\": $SERIES_JSON}" > "$WORK/req.json"
+STORM=20
+STORM_PIDS=""
+for i in $(seq 1 "$STORM"); do
+  curl -s -o /dev/null -w '%{http_code}\n' -X POST --data-binary "@$WORK/req.json" \
+    "$BASE/v1/models/shapes/predict" > "$WORK/storm_$i.code" &
+  STORM_PIDS="$STORM_PIDS $!"
+done
+# Wait for the storm curls and the held stream (its sleep ends the body,
+# so the dialogue closes with a done line).
+wait $STORM_PIDS "$HELD_PID" 2>/dev/null || true
+cat "$WORK"/storm_*.code > "$WORK/storm.codes"
+N_TOTAL=$(wc -l < "$WORK/storm.codes")
+N_200=$(grep -c '^200$' "$WORK/storm.codes" || true)
+N_429=$(grep -c '^429$' "$WORK/storm.codes" || true)
+[ "$N_TOTAL" = "$STORM" ] || die "storm: $N_TOTAL responses, want $STORM"
+[ "$((N_200 + N_429))" = "$STORM" ] || die "storm saw codes other than 200/429: $(sort "$WORK/storm.codes" | uniq -c)"
+[ "$N_200" -ge 1 ] || die "storm: nothing was admitted"
+echo "storm: $N_200 admitted, $N_429 shed"
+
+note "shed accounting: client-observed 429s match mvgserve_shed_total"
+SHED_TOTAL=$(curl -s "$BASE/metrics" | awk '$1 == "mvgserve_shed_total" {print $2}')
+WANT_SHED=$((N_429 + 1)) # predict sheds + the stream quota rejection above
+[ "$SHED_TOTAL" = "$WANT_SHED" ] || die "mvgserve_shed_total=$SHED_TOTAL, want $WANT_SHED"
+curl -s "$BASE/metrics" | grep -q '^mvgserve_request_timeout_total ' || die "request_timeout_total series missing"
+curl -s "$BASE/metrics" | grep -q 'mvgserve_stream_evicted_total{reason="idle"}' || die "stream_evicted_total series missing"
+curl -s "$BASE/healthz" | jq -e ".ready == true and .shed_total == $WANT_SHED" >/dev/null \
+  || die "healthz readiness shape: $(curl -s "$BASE/healthz")"
+
+note "overload server shutdown"
+kill "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+
 echo
 echo "e2e: PASS"

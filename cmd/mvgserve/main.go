@@ -10,6 +10,17 @@
 //	mvgserve -models ./models -workers 4 -shutdown-timeout 30s
 //	mvgserve -models ./models -pprof 127.0.0.1:6060   # opt-in debug listener
 //	mvgserve -models ./models -alert-webhook http://alerts.internal/hook -alert-log
+//	mvgserve -models ./models -max-inflight 64 -max-queue 256 -request-timeout 30s
+//	mvgserve -models ./models -max-streams 1024 -max-streams-per-tenant 64 -stream-idle-timeout 5m
+//
+// Overload behavior (docs/robustness.md): predict requests beyond
+// -max-inflight wait in a bounded queue; beyond -max-queue they are shed
+// with 429 + Retry-After. Every predict request carries the
+// -request-timeout deadline (503 on expiry). Streams are bounded by
+// -max-streams / -max-streams-per-tenant (429 when full), idle-evicted
+// after -stream-idle-timeout, and slow readers are cut off by
+// -stream-write-timeout. /healthz reports readiness (shed state, stream
+// and queue depth) for fleet health checks.
 //
 // Endpoints:
 //
@@ -56,6 +67,17 @@ func main() {
 		pprofAddr       = flag.String("pprof", "", "serve net/http/pprof on this separate debug address (e.g. 127.0.0.1:6060); empty disables")
 		alertWebhook    = flag.String("alert-webhook", "", "POST FIRING/RESOLVED alert events from ?alert= streams to this URL")
 		alertLog        = flag.Bool("alert-log", false, "log FIRING/RESOLVED alert events as NDJSON on stderr")
+
+		// Overload safety (docs/robustness.md).
+		maxInFlight       = flag.Int("max-inflight", 64, "concurrently executing predict requests; 0 disables admission control")
+		maxQueue          = flag.Int("max-queue", 256, "predict requests allowed to wait for a slot; beyond this they are shed with 429")
+		requestTimeout    = flag.Duration("request-timeout", 30*time.Second, "server-side deadline per predict request, queue wait included (503 on expiry); 0 disables")
+		retryAfter        = flag.Duration("retry-after", time.Second, "Retry-After hint attached to 429/503 shed and timeout responses")
+		maxStreams        = flag.Int("max-streams", 1024, "concurrently open NDJSON stream dialogues across all tenants; -1 = unlimited")
+		maxTenantStreams  = flag.Int("max-streams-per-tenant", 64, "concurrently open streams per tenant (?tenant= or client IP); -1 = unlimited")
+		streamIdleTimeout = flag.Duration("stream-idle-timeout", 5*time.Minute, "evict a stream that sends no sample for this long; -1s disables")
+		streamWriteTo     = flag.Duration("stream-write-timeout", 10*time.Second, "evict a stream whose client stops reading for this long; -1s disables")
+		readHeaderTo      = flag.Duration("read-header-timeout", 5*time.Second, "http.Server ReadHeaderTimeout: how long a client may dribble request headers (slowloris guard)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "mvgserve: ", log.LstdFlags)
@@ -104,6 +126,15 @@ func main() {
 		MaxBatch:  *maxBatch,
 		Logger:    logger,
 		AlertSink: alertSink,
+
+		MaxInFlight:         *maxInFlight,
+		MaxQueue:            *maxQueue,
+		RequestTimeout:      *requestTimeout,
+		RetryAfter:          *retryAfter,
+		MaxStreams:          *maxStreams,
+		MaxStreamsPerTenant: *maxTenantStreams,
+		StreamIdleTimeout:   *streamIdleTimeout,
+		StreamWriteTimeout:  *streamWriteTo,
 	})
 	if err != nil {
 		logger.Fatal(err)
@@ -138,7 +169,24 @@ func main() {
 		defer debugSrv.Close()
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	// Transport hardening: ReadHeaderTimeout caps how long a client may
+	// dribble its request headers (the slowloris attack — hold sockets
+	// open with one header byte at a time) and IdleTimeout reaps parked
+	// keep-alive connections. WriteTimeout stays off deliberately: it is
+	// per-connection, and the NDJSON stream endpoint legitimately writes
+	// for the dialogue's whole lifetime — slow stream readers are handled
+	// by per-write deadlines inside the handler instead (-stream-write-
+	// timeout; docs/robustness.md).
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: *readHeaderTo,
+		IdleTimeout:       120 * time.Second,
+	}
+	// The moment Shutdown is called, every live stream dialogue is asked
+	// to finish with a done event — otherwise connection-pinned streams
+	// would hold the HTTP drain open until its timeout.
+	httpSrv.RegisterOnShutdown(srv.DrainStreams)
 	errc := make(chan error, 1)
 	go func() {
 		logger.Printf("listening on %s (window=%v max-batch=%d workers=%d)", *addr, *window, *maxBatch, *workers)

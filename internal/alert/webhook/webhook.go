@@ -14,6 +14,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
 	"sync"
@@ -35,8 +36,10 @@ type Config struct {
 	// MaxAttempts bounds delivery tries per event, first try included
 	// (default 3).
 	MaxAttempts int
-	// Backoff is the wait before the first retry, doubling per retry
-	// (default 100ms).
+	// Backoff is the base wait before the first retry, doubling per retry
+	// (default 100ms). Each actual wait is jittered uniformly over
+	// [step/2, step] so retry storms from many streams decorrelate
+	// instead of hammering a recovering receiver in lockstep.
 	Backoff time.Duration
 	// QueueSize bounds the delivery queue; Deliver drops (to Fallback)
 	// when it is full rather than block the stream (default 64).
@@ -238,10 +241,25 @@ func (s *Sink) post(ev alert.Event) bool {
 		}
 		s.retries.Add(1)
 		select {
-		case <-time.After(backoff):
+		case <-time.After(jitterBackoff(backoff, rand.Int64N)):
 		case <-s.closing:
 			return false
 		}
 		backoff *= 2
 	}
+}
+
+// jitterBackoff spreads one backoff step uniformly over [d/2, d]. Many
+// streams share one receiver: when it goes down they all fail together,
+// and an unjittered doubling schedule keeps their retries phase-locked —
+// every cooldown ends in a synchronized thundering herd that knocks the
+// receiver over again. Half-width jitter decorrelates the herd while
+// keeping the retry budget (and therefore every existing retry-count
+// contract) untouched. randInt64N is rand.Int64N, injected for tests.
+func jitterBackoff(d time.Duration, randInt64N func(int64) int64) time.Duration {
+	half := int64(d) / 2
+	if half <= 0 {
+		return d
+	}
+	return time.Duration(half + randInt64N(half+1))
 }

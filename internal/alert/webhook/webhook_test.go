@@ -56,6 +56,41 @@ func testEvent(sample int) alert.Event {
 	return alert.Event{Model: "m", Trigger: "hot", From: "OK", To: "FIRING", Sample: sample, Value: 0.97, At: time.Unix(1700000000, 0).UTC()}
 }
 
+// TestJitterBackoff pins the jitter window: every sampled wait lands in
+// [d/2, d], the whole window is reachable, and two distinct draws occur
+// (the anti-thundering-herd property — a degenerate constant jitter would
+// re-synchronize retry storms across streams).
+func TestJitterBackoff(t *testing.T) {
+	const d = 100 * time.Millisecond
+	// Deterministic sequence covering the window edges.
+	seq := []int64{0, int64(d) / 2, 1, int64(d)/2 - 1}
+	i := 0
+	fakeRand := func(n int64) int64 {
+		v := seq[i%len(seq)] % n
+		i++
+		return v
+	}
+	seen := make(map[time.Duration]bool)
+	for range seq {
+		got := jitterBackoff(d, fakeRand)
+		if got < d/2 || got > d {
+			t.Fatalf("jitterBackoff(%v) = %v, outside [%v, %v]", d, got, d/2, d)
+		}
+		seen[got] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("jitter produced a single value %v across varied draws", seen)
+	}
+	// Sub-nanosecond-half durations pass through unjittered rather than
+	// calling rand with a non-positive bound.
+	if got := jitterBackoff(1, fakeRand); got != 1 {
+		t.Fatalf("jitterBackoff(1ns) = %v, want 1ns", got)
+	}
+	if got := jitterBackoff(0, fakeRand); got != 0 {
+		t.Fatalf("jitterBackoff(0) = %v, want 0", got)
+	}
+}
+
 func TestWebhookBadURL(t *testing.T) {
 	for _, u := range []string{"", "not a url", "ftp://host/x", "/relative", "http://"} {
 		if _, err := New(Config{URL: u}); err == nil {

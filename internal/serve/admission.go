@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// ErrShed is returned by the admission limiter when both the in-flight
+// slots and the bounded wait queue are full. It maps to 429 with a
+// Retry-After header: the request was never admitted, cost no model work,
+// and is safe for the client (or a fronting proxy) to retry elsewhere or
+// later. See docs/robustness.md for the shed semantics.
+var ErrShed = errors.New("serve: overloaded, request shed")
+
+// errRequestDeadline is the cancellation cause installed by the deadline
+// middleware. Its presence in context.Cause distinguishes "the server's
+// own -request-timeout fired" (503: the server failed the request) from
+// "the client went away" (499) when a handler surfaces a context error.
+var errRequestDeadline = errors.New("serve: request deadline exceeded")
+
+// DefaultRetryAfter is the Retry-After hint attached to 429/503 shed and
+// timeout responses when Config.RetryAfter is zero.
+const DefaultRetryAfter = time.Second
+
+// limiter is the predict-path admission controller: a counting semaphore
+// of maxInFlight slots fronted by a bounded wait queue of maxQueue
+// callers. A request beyond both bounds is shed immediately — deciding to
+// reject is O(1) and allocation-free, which is what keeps an overloaded
+// server responsive enough to say 429.
+//
+// The limiter deliberately sits outside the extraction hot path: it
+// guards handler entry, never the per-series kernels, so admission
+// control cannot perturb the benchmarked alloc counts.
+type limiter struct {
+	maxInFlight int
+	maxQueue    int
+	sem         chan struct{}
+	waiting     atomic.Int64
+}
+
+// newLimiter builds a limiter; maxInFlight <= 0 disables admission
+// control entirely (the returned nil limiter admits everything).
+func newLimiter(maxInFlight, maxQueue int) *limiter {
+	if maxInFlight <= 0 {
+		return nil
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &limiter{
+		maxInFlight: maxInFlight,
+		maxQueue:    maxQueue,
+		sem:         make(chan struct{}, maxInFlight),
+	}
+}
+
+// acquire claims an in-flight slot, waiting in the bounded queue if the
+// server is busy. It returns ErrShed when the queue is full, or the
+// context error if the caller's deadline fires while queued. The caller
+// must invoke release exactly once after the work completes.
+func (l *limiter) acquire(ctx context.Context) (release func(), err error) {
+	if l == nil {
+		return func() {}, nil
+	}
+	release = func() { <-l.sem }
+	select {
+	case l.sem <- struct{}{}:
+		return release, nil
+	default:
+	}
+	// All slots busy: join the bounded wait queue.
+	if n := l.waiting.Add(1); n > int64(l.maxQueue) {
+		l.waiting.Add(-1)
+		return nil, ErrShed
+	}
+	defer l.waiting.Add(-1)
+	select {
+	case l.sem <- struct{}{}:
+		return release, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// saturated reports whether a new request would be shed right now: every
+// slot busy and the queue full. This is the "shedding" readiness
+// dimension /healthz exposes for fleet health checks.
+func (l *limiter) saturated() bool {
+	if l == nil {
+		return false
+	}
+	return len(l.sem) == l.maxInFlight && l.waiting.Load() >= int64(l.maxQueue)
+}
+
+// depth reports the current in-flight and queued request counts.
+func (l *limiter) depth() (inFlight, queued int) {
+	if l == nil {
+		return 0, 0
+	}
+	return len(l.sem), int(l.waiting.Load())
+}
+
+// retryAfterHeader sets the Retry-After hint (whole seconds, minimum 1).
+func retryAfterHeader(w http.ResponseWriter, d time.Duration) {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+}
+
+// admit wraps a predict handler with the deadline and admission
+// middleware: the request context gains the server's -request-timeout
+// (with errRequestDeadline as its cause), then the request claims an
+// admission slot — or is shed with 429 + Retry-After before any model
+// work. Queue waits are bounded by the request deadline, so a queued
+// request can time out (503) without ever being admitted.
+func (s *Server) admit(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.requestTimeout > 0 {
+			ctx, cancel := context.WithTimeoutCause(r.Context(), s.requestTimeout, errRequestDeadline)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		release, err := s.limiter.acquire(r.Context())
+		if err != nil {
+			if errors.Is(err, ErrShed) {
+				s.metrics.Shed()
+				retryAfterHeader(w, s.retryAfter)
+				writeJSON(w, http.StatusTooManyRequests, errorResponse{
+					Error: fmt.Sprintf("%v: try again in %v", ErrShed, s.retryAfter)})
+				return
+			}
+			s.writeRequestError(w, r, err)
+			return
+		}
+		defer release()
+		next(w, r)
+	}
+}
+
+// writeRequestError maps err like writeError, but recognises the server's
+// own request deadline: a context error whose cause is errRequestDeadline
+// becomes 503 + Retry-After (the server failed to serve in time — the
+// client did nothing wrong and should retry), and bumps the timeout
+// counter. Client cancellations keep the 499 mapping.
+func (s *Server) writeRequestError(w http.ResponseWriter, r *http.Request, err error) {
+	if (errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)) &&
+		errors.Is(context.Cause(r.Context()), errRequestDeadline) {
+		s.metrics.RequestTimeout()
+		retryAfterHeader(w, s.retryAfter)
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: errRequestDeadline.Error()})
+		return
+	}
+	writeError(w, err)
+}

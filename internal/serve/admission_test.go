@@ -1,0 +1,383 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mvg/internal/faults"
+)
+
+// waitUntil polls cond until it holds or the deadline passes.
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestLimiterUnit pins the limiter's three-zone behavior: run, queue,
+// shed — and that released slots are reusable.
+func TestLimiterUnit(t *testing.T) {
+	l := newLimiter(1, 1)
+	rel1, err := l.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Second caller parks in the queue.
+	queued := make(chan error, 1)
+	var rel2 func()
+	go func() {
+		var err error
+		rel2, err = l.acquire(context.Background())
+		queued <- err
+	}()
+	waitUntil(t, "second caller to queue", func() bool { _, q := l.depth(); return q == 1 })
+
+	// Third caller is shed immediately.
+	if _, err := l.acquire(context.Background()); !errors.Is(err, ErrShed) {
+		t.Fatalf("third acquire = %v, want ErrShed", err)
+	}
+	if !l.saturated() {
+		t.Fatal("limiter should report saturated with full slot and queue")
+	}
+
+	// A queued caller's deadline fires while waiting.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := l.acquire(ctx); err == nil || errors.Is(err, ErrShed) {
+		// Shed is allowed only if the queue is still full; with queue=1
+		// occupied it must shed. Accept either shed or ctx error — both
+		// are bounded-time rejections.
+		if err == nil {
+			t.Fatal("cancelled acquire succeeded")
+		}
+	}
+
+	rel1()
+	if err := <-queued; err != nil {
+		t.Fatalf("queued acquire = %v", err)
+	}
+	rel2()
+	if inF, q := l.depth(); inF != 0 || q != 0 {
+		t.Fatalf("depth after release = (%d,%d), want (0,0)", inF, q)
+	}
+	if l.saturated() {
+		t.Fatal("drained limiter reports saturated")
+	}
+
+	// Disabled limiter admits everything.
+	var nilL *limiter
+	rel, err := nilL.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel()
+	if nilL.saturated() {
+		t.Fatal("nil limiter reports saturated")
+	}
+}
+
+// TestShed429 pins the overload contract end to end: with one in-flight
+// slot and no queue, a request that arrives while another is being served
+// is shed with 429, a Retry-After header, and a shed counter increment —
+// and the admitted request still completes normally.
+func TestShed429(t *testing.T) {
+	inj := faults.New()
+	srv, ts := newTestServer(t, Config{
+		Window:      time.Millisecond,
+		MaxInFlight: 1,
+		MaxQueue:    0,
+		RetryAfter:  2 * time.Second,
+		Faults:      inj,
+	})
+	single := testInputs(1, 20)[0]
+
+	// Park the first request inside the handler (post-admission) so it
+	// deterministically holds the only slot.
+	inj.Delay(faults.PointPredict, time.Hour) // cut short by cancel below
+	ctx, cancel := context.WithCancel(context.Background())
+	held := make(chan struct{})
+	go func() {
+		defer close(held)
+		body, _ := json.Marshal(map[string]any{"series": single})
+		req, _ := http.NewRequestWithContext(ctx, "POST", ts.URL+"/v1/models/demo/predict", strings.NewReader(string(body)))
+		http.DefaultClient.Do(req) //nolint:bodyclose // cancelled below
+	}()
+	waitUntil(t, "first request to hold the slot", func() bool {
+		inF, _ := srv.limiter.depth()
+		return inF == 1
+	})
+
+	resp, data := postJSON(t, ts.URL+"/v1/models/demo/predict", map[string]any{"series": single})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429; body %s", resp.StatusCode, data)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "2" {
+		t.Fatalf("Retry-After = %q, want \"2\"", got)
+	}
+	if !strings.Contains(string(data), "shed") {
+		t.Fatalf("shed body = %s", data)
+	}
+	if got := srv.Metrics().ShedTotal(); got != 1 {
+		t.Fatalf("shed_total = %d, want 1", got)
+	}
+
+	// Release the parked request; the limiter drains.
+	cancel()
+	<-held
+	waitUntil(t, "slot release", func() bool { inF, _ := srv.limiter.depth(); return inF == 0 })
+
+	// With the slot free the same request is admitted again.
+	inj.Reset()
+	resp, data = postJSON(t, ts.URL+"/v1/models/demo/predict", map[string]any{"series": single})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-overload status = %d, body %s", resp.StatusCode, data)
+	}
+}
+
+// TestRequestDeadline503: a predict that cannot finish inside
+// -request-timeout is answered 503 + Retry-After (the server's fault, not
+// the client's) and counted on mvgserve_request_timeout_total.
+func TestRequestDeadline503(t *testing.T) {
+	inj := faults.New()
+	srv, ts := newTestServer(t, Config{
+		Window:         time.Millisecond,
+		RequestTimeout: 50 * time.Millisecond,
+		Faults:         inj,
+	})
+	inj.Delay(faults.PointPredict, time.Hour) // deadline cuts the sleep short
+	single := testInputs(1, 21)[0]
+
+	start := time.Now()
+	resp, data := postJSON(t, ts.URL+"/v1/models/demo/predict", map[string]any{"series": single})
+	elapsed := time.Since(start)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503; body %s", resp.StatusCode, data)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("timeout response lacks Retry-After")
+	}
+	if !strings.Contains(string(data), "deadline") {
+		t.Fatalf("timeout body = %s", data)
+	}
+	if elapsed > 10*time.Second {
+		t.Fatalf("timed-out request took %v, deadline was 50ms", elapsed)
+	}
+	if got := srv.Metrics().RequestTimeoutTotal(); got != 1 {
+		t.Fatalf("request_timeout_total = %d, want 1", got)
+	}
+
+	// The batch form shares the deadline plumbing.
+	inj.Reset()
+	inj.Delay(faults.PointBatchPredict, time.Hour)
+	resp, data = postJSON(t, ts.URL+"/v1/models/demo/predict_proba", map[string]any{"batch": testInputs(2, 22)})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("batch status = %d, want 503; body %s", resp.StatusCode, data)
+	}
+	if got := srv.Metrics().RequestTimeoutTotal(); got != 2 {
+		t.Fatalf("request_timeout_total = %d, want 2", got)
+	}
+}
+
+// TestClientCancelStays499: the server deadline must not steal the 499
+// mapping from genuine client cancellations.
+func TestClientCancelStays499(t *testing.T) {
+	inj := faults.New()
+	srv, _ := newTestServer(t, Config{
+		Window:         time.Millisecond,
+		RequestTimeout: time.Hour, // present but never the cause
+		Faults:         inj,
+	})
+	inj.Delay(faults.PointPredict, time.Hour)
+	single := testInputs(1, 23)[0]
+
+	ctx, cancel := context.WithCancel(context.Background())
+	body, _ := json.Marshal(map[string]any{"series": single})
+	req := httptest.NewRequest("POST", "/v1/models/demo/predict", strings.NewReader(string(body))).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	done := make(chan struct{})
+	go func() {
+		srv.ServeHTTP(rec, req)
+		close(done)
+	}()
+	waitUntil(t, "handler to reach the fault point", func() bool {
+		return inj.Count(faults.PointPredict) >= 1
+	})
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("handler did not return after client cancel")
+	}
+	if rec.Code != StatusClientClosedRequest {
+		t.Fatalf("status = %d, want 499", rec.Code)
+	}
+	if got := srv.Metrics().RequestTimeoutTotal(); got != 0 {
+		t.Fatalf("client cancel bumped request_timeout_total to %d", got)
+	}
+}
+
+// TestQueuedRequestTimesOut: the deadline covers queue wait — a request
+// that never gets a slot is answered 503 at its deadline, not parked
+// forever.
+func TestQueuedRequestTimesOut(t *testing.T) {
+	inj := faults.New()
+	srv, ts := newTestServer(t, Config{
+		Window:         time.Millisecond,
+		MaxInFlight:    1,
+		MaxQueue:       4,
+		RequestTimeout: 100 * time.Millisecond,
+		Faults:         inj,
+	})
+	single := testInputs(1, 24)[0]
+
+	inj.Delay(faults.PointPredict, time.Hour)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	held := make(chan struct{})
+	go func() {
+		defer close(held)
+		body, _ := json.Marshal(map[string]any{"series": single})
+		req, _ := http.NewRequestWithContext(ctx, "POST", ts.URL+"/v1/models/demo/predict", strings.NewReader(string(body)))
+		http.DefaultClient.Do(req) //nolint:bodyclose
+	}()
+	waitUntil(t, "slot holder", func() bool { inF, _ := srv.limiter.depth(); return inF == 1 })
+
+	start := time.Now()
+	resp, data := postJSON(t, ts.URL+"/v1/models/demo/predict", map[string]any{"series": single})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("queued request status = %d, want 503; body %s", resp.StatusCode, data)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("queued request took %v despite 100ms deadline", elapsed)
+	}
+	cancel()
+	<-held
+}
+
+// TestHealthzReadiness pins the readiness dimensions /healthz exposes for
+// fleet health checks: model count, shed state, stream count — and the
+// 503 flip once the server drains.
+func TestHealthzReadiness(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Window: time.Millisecond, MaxInFlight: 2, MaxQueue: 2})
+	resp, data := get(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var h struct {
+		Status     string `json:"status"`
+		Models     int    `json:"models"`
+		Ready      bool   `json:"ready"`
+		Shedding   bool   `json:"shedding"`
+		Streams    int    `json:"streams"`
+		InFlight   int    `json:"in_flight"`
+		QueueDepth int    `json:"queue_depth"`
+	}
+	if err := json.Unmarshal(data, &h); err != nil {
+		t.Fatalf("healthz body %s: %v", data, err)
+	}
+	if h.Status != "ok" || h.Models != 1 || !h.Ready || h.Shedding || h.Streams != 0 {
+		t.Fatalf("healthz = %+v", h)
+	}
+
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	resp, data = get(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz status = %d, want 503; body %s", resp.StatusCode, data)
+	}
+	if !strings.Contains(string(data), `"status":"draining"`) {
+		t.Fatalf("draining healthz body = %s", data)
+	}
+}
+
+// TestOverloadMetricsExposed asserts the new counters appear on /metrics
+// from the first scrape, including the pre-seeded eviction reasons.
+func TestOverloadMetricsExposed(t *testing.T) {
+	_, ts := newTestServer(t, Config{Window: time.Millisecond})
+	resp, data := get(t, ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	for _, want := range []string{
+		"mvgserve_shed_total 0",
+		"mvgserve_request_timeout_total 0",
+		"mvgserve_active_streams 0",
+		`mvgserve_stream_evicted_total{reason="idle"} 0`,
+		`mvgserve_stream_evicted_total{reason="slow_reader"} 0`,
+	} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+}
+
+// TestAdmissionConcurrentChurn hammers a tightly-limited server from many
+// clients; run with -race. Every response is 200, 429 or 503, the books
+// balance (sheds seen == shed counter), and no goroutine outlives the
+// churn.
+func TestAdmissionConcurrentChurn(t *testing.T) {
+	before := runtime.NumGoroutine()
+	func() {
+		srv, ts := newTestServer(t, Config{
+			Window:         500 * time.Microsecond,
+			MaxBatch:       8,
+			MaxInFlight:    2,
+			MaxQueue:       2,
+			RequestTimeout: 5 * time.Second,
+		})
+		single := testInputs(1, 25)[0]
+		const workers, perWorker = 8, 10
+		var mu sync.Mutex
+		codes := make(map[int]int)
+		var wg sync.WaitGroup
+		for g := 0; g < workers; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < perWorker; i++ {
+					resp, _ := postJSONQuiet(ts.URL+"/v1/models/demo/predict", map[string]any{"series": single})
+					if resp == nil {
+						continue
+					}
+					mu.Lock()
+					codes[resp.StatusCode]++
+					mu.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+		for code := range codes {
+			switch code {
+			case http.StatusOK, http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			default:
+				t.Errorf("unexpected status %d under churn: %v", code, codes)
+			}
+		}
+		if got, want := srv.Metrics().ShedTotal(), uint64(codes[http.StatusTooManyRequests]); got != want {
+			t.Errorf("shed_total = %d, but clients saw %d 429s", got, want)
+		}
+		ts.Close()
+		if err := srv.Shutdown(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	waitUntil(t, "goroutines to drain", func() bool {
+		runtime.GC()
+		return runtime.NumGoroutine() <= before+2
+	})
+}

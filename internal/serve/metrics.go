@@ -30,6 +30,17 @@ type Metrics struct {
 
 	coalescedBatches  atomic.Uint64
 	coalescedRequests atomic.Uint64
+
+	// Overload-safety counters (docs/robustness.md): requests shed by the
+	// admission limiter, requests that hit the server's own deadline, and
+	// streams evicted by reason. The eviction map is pre-seeded with the
+	// known reasons so the time series exist (at zero) from the first
+	// scrape — monotonicity checks and dashboards need the line present
+	// before the first eviction, not after.
+	shedTotal           atomic.Uint64
+	requestTimeoutTotal atomic.Uint64
+	activeStreams       atomic.Int64
+	streamEvicted       map[string]uint64 // guarded by mu
 }
 
 type requestKey struct {
@@ -74,7 +85,56 @@ func NewMetrics() *Metrics {
 		batch:            newHistogram([]float64{1, 2, 4, 8, 16, 32, 64, 128, 256}),
 		alertState:       make(map[alertKey]int64),
 		alertTransitions: make(map[alertKey]uint64),
+		streamEvicted:    map[string]uint64{EvictIdle: 0, EvictSlowReader: 0},
 	}
+}
+
+// Stream eviction reasons (the label values of
+// mvgserve_stream_evicted_total).
+const (
+	// EvictIdle: the stream sent no sample for the idle deadline.
+	EvictIdle = "idle"
+	// EvictSlowReader: the client stopped reading and a write deadline
+	// expired with the response buffer full.
+	EvictSlowReader = "slow_reader"
+)
+
+// Shed counts one request rejected by the admission limiter (429).
+func (m *Metrics) Shed() { m.shedTotal.Add(1) }
+
+// ShedTotal reports the number of shed requests so far.
+func (m *Metrics) ShedTotal() uint64 { return m.shedTotal.Load() }
+
+// RequestTimeout counts one request that hit the server's own deadline
+// (503 via -request-timeout).
+func (m *Metrics) RequestTimeout() { m.requestTimeoutTotal.Add(1) }
+
+// RequestTimeoutTotal reports the number of server-deadline timeouts.
+func (m *Metrics) RequestTimeoutTotal() uint64 { return m.requestTimeoutTotal.Load() }
+
+// StreamStarted/StreamEnded maintain the live-stream gauge; the handler
+// calls them around each registered NDJSON dialogue.
+func (m *Metrics) StreamStarted() { m.activeStreams.Add(1) }
+
+// StreamEnded is StreamStarted's closing bracket.
+func (m *Metrics) StreamEnded() { m.activeStreams.Add(-1) }
+
+// ActiveStreams reports the number of live NDJSON stream dialogues.
+func (m *Metrics) ActiveStreams() int64 { return m.activeStreams.Load() }
+
+// StreamEvicted counts one stream terminated by the server for reason
+// (EvictIdle, EvictSlowReader).
+func (m *Metrics) StreamEvicted(reason string) {
+	m.mu.Lock()
+	m.streamEvicted[reason]++
+	m.mu.Unlock()
+}
+
+// StreamEvictedTotal reports the eviction count for one reason.
+func (m *Metrics) StreamEvictedTotal(reason string) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.streamEvicted[reason]
 }
 
 // AlertStreamStarted records a new alerting stream's trigger entering the
@@ -143,8 +203,31 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "# TYPE mvgserve_coalesced_requests_total counter\n")
 	fmt.Fprintf(w, "mvgserve_coalesced_requests_total %d\n", m.coalescedRequests.Load())
 
+	fmt.Fprintf(w, "# HELP mvgserve_shed_total Requests rejected by the admission limiter (429).\n")
+	fmt.Fprintf(w, "# TYPE mvgserve_shed_total counter\n")
+	fmt.Fprintf(w, "mvgserve_shed_total %d\n", m.shedTotal.Load())
+
+	fmt.Fprintf(w, "# HELP mvgserve_request_timeout_total Requests that exceeded the server request deadline (503).\n")
+	fmt.Fprintf(w, "# TYPE mvgserve_request_timeout_total counter\n")
+	fmt.Fprintf(w, "mvgserve_request_timeout_total %d\n", m.requestTimeoutTotal.Load())
+
+	fmt.Fprintf(w, "# HELP mvgserve_active_streams Live NDJSON stream dialogues.\n")
+	fmt.Fprintf(w, "# TYPE mvgserve_active_streams gauge\n")
+	fmt.Fprintf(w, "mvgserve_active_streams %d\n", m.activeStreams.Load())
+
 	m.mu.Lock()
 	defer m.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP mvgserve_stream_evicted_total Streams terminated by the server, by reason.\n")
+	fmt.Fprintf(w, "# TYPE mvgserve_stream_evicted_total counter\n")
+	reasons := make([]string, 0, len(m.streamEvicted))
+	for reason := range m.streamEvicted {
+		reasons = append(reasons, reason)
+	}
+	sort.Strings(reasons)
+	for _, reason := range reasons {
+		fmt.Fprintf(w, "mvgserve_stream_evicted_total{reason=%q} %d\n", reason, m.streamEvicted[reason])
+	}
 
 	fmt.Fprintf(w, "# HELP mvgserve_requests_total HTTP requests by route and status code.\n")
 	fmt.Fprintf(w, "# TYPE mvgserve_requests_total counter\n")

@@ -12,7 +12,9 @@ import (
 	"time"
 
 	"mvg"
+	"mvg/internal/faults"
 	"mvg/internal/ml"
+	"mvg/internal/serve/session"
 )
 
 // Config configures a Server.
@@ -34,7 +36,52 @@ type Config struct {
 	// server does not close the sink — its owner (mvgserve) does, after
 	// drain.
 	AlertSink mvg.AlertSink
+
+	// ---- overload safety (docs/robustness.md) ----
+
+	// MaxInFlight bounds concurrently executing predict requests; once
+	// full, up to MaxQueue more wait (bounded by their deadline) and
+	// anything beyond that is shed with 429 + Retry-After. Zero disables
+	// admission control (tests, embedded use); mvgserve always sets it.
+	MaxInFlight int
+	// MaxQueue bounds the admission wait queue (see MaxInFlight).
+	MaxQueue int
+	// RequestTimeout is the server-side deadline per predict request,
+	// queue wait included; expiry maps to 503 + Retry-After and the
+	// mvgserve_request_timeout_total counter. Zero disables.
+	RequestTimeout time.Duration
+	// RetryAfter is the Retry-After hint on 429/503 responses (default
+	// DefaultRetryAfter).
+	RetryAfter time.Duration
+
+	// MaxStreams / MaxStreamsPerTenant bound concurrently open NDJSON
+	// stream dialogues, globally and per tenant (?tenant= or client IP).
+	// Zero selects session.DefaultMaxStreams / DefaultMaxPerTenant;
+	// negative means unlimited. Rejections are 429 + Retry-After.
+	MaxStreams          int
+	MaxStreamsPerTenant int
+	// StreamIdleTimeout evicts a stream that delivers no sample for this
+	// long (terminal NDJSON error line, mvgserve_stream_evicted_total
+	// {reason="idle"}). Zero selects DefaultStreamIdleTimeout; negative
+	// disables idle eviction.
+	StreamIdleTimeout time.Duration
+	// StreamWriteTimeout bounds each response write; a client that stops
+	// reading until the write buffer fills is evicted
+	// (reason="slow_reader"). Zero selects DefaultStreamWriteTimeout;
+	// negative disables write deadlines.
+	StreamWriteTimeout time.Duration
+
+	// Faults is the fault-injection surface consulted on the predict
+	// paths (internal/faults); nil — the production value — disarms every
+	// point at the cost of a pointer comparison.
+	Faults *faults.Injector
 }
+
+// Stream robustness defaults used when the Config fields are zero.
+const (
+	DefaultStreamIdleTimeout  = 5 * time.Minute
+	DefaultStreamWriteTimeout = 10 * time.Second
+)
 
 // Server is the HTTP serving layer: it routes the /v1 prediction API onto
 // a registry of models, funnelling single-series predictions through one
@@ -47,6 +94,16 @@ type Server struct {
 	logger    *log.Logger
 	alertSink mvg.AlertSink
 	handler   http.Handler
+
+	// Overload safety: the predict admission limiter (nil = disabled),
+	// the stream session registry, and their knobs.
+	limiter        *limiter
+	sessions       *session.Registry
+	requestTimeout time.Duration
+	retryAfter     time.Duration
+	streamIdle     time.Duration
+	streamWrite    time.Duration
+	faults         *faults.Injector
 
 	mu         sync.Mutex
 	coalescers map[string]*Coalescer
@@ -62,21 +119,37 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.Metrics == nil {
 		cfg.Metrics = NewMetrics()
 	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = DefaultRetryAfter
+	}
+	if cfg.StreamIdleTimeout == 0 {
+		cfg.StreamIdleTimeout = DefaultStreamIdleTimeout
+	}
+	if cfg.StreamWriteTimeout == 0 {
+		cfg.StreamWriteTimeout = DefaultStreamWriteTimeout
+	}
 	s := &Server{
-		registry:   cfg.Registry,
-		metrics:    cfg.Metrics,
-		window:     cfg.Window,
-		maxBatch:   cfg.MaxBatch,
-		logger:     cfg.Logger,
-		alertSink:  cfg.AlertSink,
-		coalescers: make(map[string]*Coalescer),
+		registry:       cfg.Registry,
+		metrics:        cfg.Metrics,
+		window:         cfg.Window,
+		maxBatch:       cfg.MaxBatch,
+		logger:         cfg.Logger,
+		alertSink:      cfg.AlertSink,
+		limiter:        newLimiter(cfg.MaxInFlight, cfg.MaxQueue),
+		sessions:       session.NewRegistry(session.Config{MaxStreams: cfg.MaxStreams, MaxPerTenant: cfg.MaxStreamsPerTenant}),
+		requestTimeout: cfg.RequestTimeout,
+		retryAfter:     cfg.RetryAfter,
+		streamIdle:     cfg.StreamIdleTimeout,
+		streamWrite:    cfg.StreamWriteTimeout,
+		faults:         cfg.Faults,
+		coalescers:     make(map[string]*Coalescer),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/models", s.handleModels)
-	mux.HandleFunc("POST /v1/models/{name}/predict", s.handlePredict)
-	mux.HandleFunc("POST /v1/models/{name}/predict_proba", s.handlePredictProba)
+	mux.HandleFunc("POST /v1/models/{name}/predict", s.admit(s.handlePredict))
+	mux.HandleFunc("POST /v1/models/{name}/predict_proba", s.admit(s.handlePredictProba))
 	mux.HandleFunc("POST /v1/models/{name}/stream", s.handleStream)
 	mux.HandleFunc("POST /v1/models/{name}/reload", s.handleReload)
 	s.handler = s.instrument(mux)
@@ -92,6 +165,13 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // sharing one sink across servers).
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
+// DrainStreams asks every live NDJSON stream dialogue to finish with a
+// done event and rejects new streams with 503. mvgserve registers it via
+// http.Server.RegisterOnShutdown so streams start draining the moment
+// SIGTERM arrives, instead of pinning the HTTP drain until its timeout.
+// Idempotent; Shutdown also calls it.
+func (s *Server) DrainStreams() { s.sessions.Drain() }
+
 // Shutdown drains the server: new predictions are rejected with 503 and
 // every coalescer is closed, which blocks until all accepted requests
 // have received results. Call it after http.Server.Shutdown has stopped
@@ -104,6 +184,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		coalescers = append(coalescers, c)
 	}
 	s.mu.Unlock()
+	// Tell every live NDJSON dialogue to finish (they close with a done
+	// event); new streams are rejected with 503 from here on.
+	s.sessions.Drain()
 
 	done := make(chan struct{})
 	go func() {
@@ -284,16 +367,20 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if single {
 		proba, coalesced, err := s.predictSingle(r, name, m, series[0])
 		if err != nil {
-			writeError(w, err)
+			s.writeRequestError(w, r, err)
 			return
 		}
 		class := argmax(proba)
 		writeJSON(w, http.StatusOK, predictResponse{Model: name, Class: &class, Coalesced: coalesced})
 		return
 	}
+	if err := s.faults.Fire(r.Context(), faults.PointBatchPredict); err != nil {
+		s.writeRequestError(w, r, err)
+		return
+	}
 	classes, err := m.PredictBatch(r.Context(), series)
 	if err != nil {
-		writeError(w, err)
+		s.writeRequestError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, predictResponse{Model: name, Classes: classes})
@@ -313,15 +400,19 @@ func (s *Server) handlePredictProba(w http.ResponseWriter, r *http.Request) {
 	if single {
 		proba, coalesced, err := s.predictSingle(r, name, m, series[0])
 		if err != nil {
-			writeError(w, err)
+			s.writeRequestError(w, r, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, probaResponse{Model: name, Proba: proba, Coalesced: coalesced})
 		return
 	}
+	if err := s.faults.Fire(r.Context(), faults.PointBatchPredict); err != nil {
+		s.writeRequestError(w, r, err)
+		return
+	}
 	probas, err := m.PredictProba(r.Context(), series)
 	if err != nil {
-		writeError(w, err)
+		s.writeRequestError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, probaResponse{Model: name, Probas: probas})
@@ -331,6 +422,9 @@ func (s *Server) handlePredictProba(w http.ResponseWriter, r *http.Request) {
 // back to a direct call only when the server is draining (in which case
 // the caller gets 503 via ErrCoalescerClosed).
 func (s *Server) predictSingle(r *http.Request, name string, m *mvg.Model, series []float64) ([]float64, bool, error) {
+	if err := s.faults.Fire(r.Context(), faults.PointPredict); err != nil {
+		return nil, false, err
+	}
 	c := s.coalescer(name)
 	if c == nil {
 		return nil, false, ErrCoalescerClosed
@@ -359,11 +453,33 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"models": s.registry.List()})
 }
 
+// handleHealthz reports liveness plus the readiness dimensions a fronting
+// proxy needs to route meaningfully (ROADMAP item 1): loaded-model count,
+// current shed state of the admission limiter, queue depth, and live
+// stream count. A draining server answers 503 so health checks fail fast
+// during shutdown while in-flight work finishes.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status": "ok",
-		"models": len(s.registry.Names()),
-	})
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	inFlight, queued := s.limiter.depth()
+	body := map[string]any{
+		"status":       "ok",
+		"models":       len(s.registry.Names()),
+		"ready":        !draining,
+		"shedding":     s.limiter.saturated(),
+		"in_flight":    inFlight,
+		"queue_depth":  queued,
+		"streams":      s.sessions.Active(),
+		"shed_total":   s.metrics.ShedTotal(),
+		"evict_totals": map[string]uint64{EvictIdle: s.metrics.StreamEvictedTotal(EvictIdle), EvictSlowReader: s.metrics.StreamEvictedTotal(EvictSlowReader)},
+	}
+	code := http.StatusOK
+	if draining {
+		body["status"] = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, body)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

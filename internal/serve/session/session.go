@@ -1,0 +1,173 @@
+// Package session is the serving layer's stream session registry: every
+// long-lived NDJSON stream dialogue registers here so the server can
+// enforce a global concurrent-stream ceiling, per-tenant quotas, and a
+// graceful drain that tells every live stream to finish — the enabling
+// substrate for multiplexing tens of thousands of device streams
+// (ROADMAP item 2) without letting one tenant, or an unbounded pile of
+// idle connections, pin the process.
+//
+// The registry does not own goroutines and never touches the network: a
+// stream handler calls Open, watches Session.Done while it serves, and
+// calls Session.Close on exit. Eviction *policy* (idle deadlines, write
+// deadlines) lives with the handler, which is the only party that can
+// safely interrupt its own connection; the registry supplies the shared
+// accounting and the drain broadcast. See docs/robustness.md.
+package session
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Open errors. Both map to 429 at the HTTP layer (the client can retry
+// once load subsides); ErrDraining maps to 503 (retry against another
+// replica — this one is going away).
+var (
+	// ErrServerLimit: the global MaxStreams ceiling is reached.
+	ErrServerLimit = errors.New("session: server stream limit reached")
+	// ErrTenantQuota: this tenant is at its MaxPerTenant quota.
+	ErrTenantQuota = errors.New("session: tenant stream quota reached")
+	// ErrDraining: the registry is draining and accepts no new sessions.
+	ErrDraining = errors.New("session: server draining")
+)
+
+// Defaults used when Config fields are zero.
+const (
+	DefaultMaxStreams   = 1024
+	DefaultMaxPerTenant = 64
+)
+
+// Config bounds a Registry. Zero values select the defaults above; a
+// negative value means unlimited (useful in tests).
+type Config struct {
+	// MaxStreams caps concurrently open sessions across all tenants.
+	MaxStreams int
+	// MaxPerTenant caps concurrently open sessions per tenant key.
+	MaxPerTenant int
+}
+
+// Registry tracks live stream sessions. The zero value is not usable;
+// call NewRegistry.
+type Registry struct {
+	maxStreams   int
+	maxPerTenant int
+
+	mu       sync.Mutex
+	draining bool
+	nextID   uint64
+	sessions map[*Session]struct{}
+	tenants  map[string]int
+}
+
+// Session is one registered stream. Done is closed when the registry
+// wants the stream to finish (drain); the owning handler must call Close
+// exactly once when the dialogue ends, whatever the reason.
+type Session struct {
+	// ID is unique within the registry's lifetime; it names the session
+	// in logs and error lines.
+	ID uint64
+	// Tenant is the quota key the session was opened under.
+	Tenant string
+
+	reg  *Registry
+	done chan struct{}
+	once sync.Once
+}
+
+// NewRegistry builds a Registry from cfg.
+func NewRegistry(cfg Config) *Registry {
+	if cfg.MaxStreams == 0 {
+		cfg.MaxStreams = DefaultMaxStreams
+	}
+	if cfg.MaxPerTenant == 0 {
+		cfg.MaxPerTenant = DefaultMaxPerTenant
+	}
+	return &Registry{
+		maxStreams:   cfg.MaxStreams,
+		maxPerTenant: cfg.MaxPerTenant,
+		sessions:     make(map[*Session]struct{}),
+		tenants:      make(map[string]int),
+	}
+}
+
+// Open registers a new session for tenant, enforcing the draining state,
+// the global ceiling and the tenant quota — in that order, so an
+// over-quota tenant cannot learn whether the server is also full.
+func (r *Registry) Open(tenant string) (*Session, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch {
+	case r.draining:
+		return nil, ErrDraining
+	case r.maxStreams > 0 && len(r.sessions) >= r.maxStreams:
+		return nil, fmt.Errorf("%w (%d open)", ErrServerLimit, len(r.sessions))
+	case r.maxPerTenant > 0 && r.tenants[tenant] >= r.maxPerTenant:
+		return nil, fmt.Errorf("%w (tenant %q has %d open)", ErrTenantQuota, tenant, r.tenants[tenant])
+	}
+	r.nextID++
+	s := &Session{ID: r.nextID, Tenant: tenant, reg: r, done: make(chan struct{})}
+	r.sessions[s] = struct{}{}
+	r.tenants[tenant]++
+	return s, nil
+}
+
+// Done is closed when the registry asks the session to finish (drain).
+func (s *Session) Done() <-chan struct{} { return s.done }
+
+// Close deregisters the session, releasing its tenant-quota slot. It is
+// idempotent and safe to call concurrently with Drain.
+func (s *Session) Close() {
+	s.once.Do(func() {
+		r := s.reg
+		r.mu.Lock()
+		if _, ok := r.sessions[s]; ok {
+			delete(r.sessions, s)
+			if r.tenants[s.Tenant]--; r.tenants[s.Tenant] <= 0 {
+				delete(r.tenants, s.Tenant)
+			}
+		}
+		r.mu.Unlock()
+	})
+}
+
+// Drain rejects all future Opens and closes every live session's Done
+// channel. The sessions themselves stay registered until their owners
+// Close them — Drain is a broadcast, not a teardown. Idempotent.
+func (r *Registry) Drain() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.draining {
+		return
+	}
+	r.draining = true
+	for s := range r.sessions {
+		close(s.done)
+	}
+}
+
+// Draining reports whether Drain has been called.
+func (r *Registry) Draining() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.draining
+}
+
+// Active reports the number of currently open sessions.
+func (r *Registry) Active() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.sessions)
+}
+
+// TenantActive reports the number of open sessions for one tenant.
+func (r *Registry) TenantActive(tenant string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.tenants[tenant]
+}
+
+// Limits reports the registry's effective (defaulted) limits.
+func (r *Registry) Limits() (maxStreams, maxPerTenant int) {
+	return r.maxStreams, r.maxPerTenant
+}

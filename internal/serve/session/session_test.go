@@ -1,0 +1,139 @@
+package session
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestOpenCloseAccounting(t *testing.T) {
+	r := NewRegistry(Config{MaxStreams: 4, MaxPerTenant: 2})
+	a1, err := r.Open("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := r.Open("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Open("a"); !errors.Is(err, ErrTenantQuota) {
+		t.Fatalf("3rd open for tenant a = %v, want ErrTenantQuota", err)
+	}
+	b1, err := r.Open("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := r.Open("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Open("c"); !errors.Is(err, ErrServerLimit) {
+		t.Fatalf("5th open = %v, want ErrServerLimit", err)
+	}
+	if got := r.Active(); got != 4 {
+		t.Fatalf("Active = %d, want 4", got)
+	}
+	if got := r.TenantActive("a"); got != 2 {
+		t.Fatalf("TenantActive(a) = %d, want 2", got)
+	}
+	a1.Close()
+	a1.Close() // idempotent
+	if got := r.TenantActive("a"); got != 1 {
+		t.Fatalf("TenantActive(a) after close = %d, want 1", got)
+	}
+	// The freed slots are reusable, for the same tenant and globally.
+	if _, err := r.Open("a"); err != nil {
+		t.Fatalf("reopen after close: %v", err)
+	}
+	a2.Close()
+	b1.Close()
+	b2.Close()
+}
+
+func TestSessionIDsUnique(t *testing.T) {
+	r := NewRegistry(Config{})
+	seen := make(map[uint64]bool)
+	for i := 0; i < 10; i++ {
+		s, err := r.Open("t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[s.ID] {
+			t.Fatalf("duplicate session ID %d", s.ID)
+		}
+		seen[s.ID] = true
+		s.Close()
+	}
+}
+
+func TestNegativeLimitsUnbounded(t *testing.T) {
+	r := NewRegistry(Config{MaxStreams: -1, MaxPerTenant: -1})
+	for i := 0; i < 2*DefaultMaxStreams+1; i++ {
+		if _, err := r.Open("t"); err != nil {
+			t.Fatalf("open %d: %v", i, err)
+		}
+	}
+}
+
+func TestDrainBroadcast(t *testing.T) {
+	r := NewRegistry(Config{})
+	s1, _ := r.Open("a")
+	s2, _ := r.Open("b")
+	select {
+	case <-s1.Done():
+		t.Fatal("Done closed before Drain")
+	default:
+	}
+	r.Drain()
+	r.Drain() // idempotent
+	for _, s := range []*Session{s1, s2} {
+		select {
+		case <-s.Done():
+		default:
+			t.Fatal("Done not closed by Drain")
+		}
+	}
+	if !r.Draining() {
+		t.Fatal("Draining() = false after Drain")
+	}
+	if _, err := r.Open("c"); !errors.Is(err, ErrDraining) {
+		t.Fatalf("open while draining = %v, want ErrDraining", err)
+	}
+	// Sessions stay registered until their owners close them.
+	if got := r.Active(); got != 2 {
+		t.Fatalf("Active after Drain = %d, want 2", got)
+	}
+	s1.Close()
+	s2.Close()
+	if got := r.Active(); got != 0 {
+		t.Fatalf("Active after closes = %d, want 0", got)
+	}
+}
+
+// TestConcurrentOpenClose churns sessions from many goroutines with a
+// concurrent Drain; run with -race. The invariant: accounting ends at
+// zero and no Open ever exceeds the limits.
+func TestConcurrentOpenClose(t *testing.T) {
+	r := NewRegistry(Config{MaxStreams: 8, MaxPerTenant: 4})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tenant := string(rune('a' + w%2))
+			for i := 0; i < 200; i++ {
+				s, err := r.Open(tenant)
+				if err != nil {
+					continue
+				}
+				s.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Active(); got != 0 {
+		t.Fatalf("Active = %d after churn, want 0", got)
+	}
+	r.Drain()
+}

@@ -3,12 +3,18 @@ package serve
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
 	"net/http"
+	"os"
 	"strconv"
 	"strings"
 	"time"
 
 	"mvg"
+	"mvg/internal/faults"
+	"mvg/internal/serve/session"
 )
 
 // Streaming endpoint: POST /v1/models/{name}/stream carries an NDJSON
@@ -70,6 +76,10 @@ type streamDoneEvent struct {
 	Done        bool `json:"done"`
 	Samples     int  `json:"samples"`
 	Predictions int  `json:"predictions"`
+	// Draining is set when the server closed the dialogue as part of a
+	// graceful drain (SIGTERM): the stream ended cleanly, but not because
+	// the client finished — reconnect to another replica to continue.
+	Draining bool `json:"draining,omitempty"`
 }
 
 type streamErrorEvent struct {
@@ -79,6 +89,34 @@ type streamErrorEvent struct {
 // maxStreamLine bounds one NDJSON input line; a single float64 never needs
 // more, so larger lines are protocol violations, not big requests.
 const maxStreamLine = 4096
+
+// streamReaderGrace is how long a finishing dialogue waits for its body
+// reader to exit on its own before force-failing the read (see the join in
+// handleStream). It bounds eviction latency, not request latency: clean
+// dialogues never wait it out.
+const streamReaderGrace = 50 * time.Millisecond
+
+// streamTenant derives the quota key a stream is accounted under: the
+// explicit ?tenant= parameter when present (multiplexers and gateways set
+// it), otherwise the client IP — good enough to stop one misbehaving host
+// from monopolising the stream table.
+func streamTenant(r *http.Request) string {
+	if t := r.URL.Query().Get("tenant"); t != "" {
+		return t
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// streamLine is one unit of work handed from the body-reader goroutine to
+// the dialogue loop: a text line, or the scanner's terminal error.
+type streamLine struct {
+	text string
+	err  error
+}
 
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	name, m, err := s.model(r)
@@ -126,6 +164,27 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		}()
 	}
 
+	// Register the dialogue in the session registry: this is where the
+	// global stream ceiling and the per-tenant quota are enforced, and
+	// what graceful drain broadcasts through. Registration happens after
+	// all parameter validation so a malformed request costs no quota.
+	sess, err := s.sessions.Open(streamTenant(r))
+	if err != nil {
+		if errors.Is(err, session.ErrDraining) {
+			writeError(w, httpErrorf(http.StatusServiceUnavailable, "%v", err))
+			return
+		}
+		// Server limit or tenant quota: a deterministic load rejection,
+		// counted with the predict sheds.
+		s.metrics.Shed()
+		retryAfterHeader(w, s.retryAfter)
+		writeError(w, httpErrorf(http.StatusTooManyRequests, "%v: try again in %v", err, s.retryAfter))
+		return
+	}
+	defer sess.Close()
+	s.metrics.StreamStarted()
+	defer s.metrics.StreamEnded()
+
 	// The dialogue reads the body while writing the response; HTTP/1.1
 	// needs full-duplex opted in. Errors (HTTP/2, recorders) are fine —
 	// those transports already allow it or buffer the whole body.
@@ -134,17 +193,48 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 
 	enc := json.NewEncoder(w)
 	wrote := false
+	var writeFailure error
 	emit := func(ev any) bool {
+		// Every response line renews the write deadline: a client that
+		// reads, however slowly, keeps the dialogue alive; one that stops
+		// reading entirely lets the deadline expire once the server-side
+		// buffers fill, which surfaces below as a write error.
+		if s.streamWrite > 0 {
+			_ = rc.SetWriteDeadline(time.Now().Add(s.streamWrite))
+		}
 		if !wrote {
 			w.Header().Set("Content-Type", "application/x-ndjson")
 			w.WriteHeader(http.StatusOK)
 			wrote = true
 		}
 		if err := enc.Encode(ev); err != nil {
+			writeFailure = err
 			return false
 		}
-		_ = rc.Flush()
+		if err := rc.Flush(); err != nil && errors.Is(err, os.ErrDeadlineExceeded) {
+			writeFailure = err
+			return false
+		}
 		return true
+	}
+	// send is emit plus slow-reader accounting: a write that died on the
+	// deadline evicts the stream (counted) with a best-effort terminal
+	// error line under one fresh deadline; any other write failure is the
+	// client disconnecting, which needs no farewell.
+	send := func(ev any) bool {
+		if emit(ev) {
+			return true
+		}
+		if errors.Is(writeFailure, os.ErrDeadlineExceeded) {
+			s.metrics.StreamEvicted(EvictSlowReader)
+			if s.streamWrite > 0 {
+				_ = rc.SetWriteDeadline(time.Now().Add(s.streamWrite))
+			}
+			_ = enc.Encode(streamErrorEvent{Error: fmt.Sprintf(
+				"stream evicted: slow reader (no progress within %v write deadline)", s.streamWrite)})
+			_ = rc.Flush()
+		}
+		return false
 	}
 	fail := func(err error) {
 		if wrote {
@@ -154,68 +244,157 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 	}
 
-	sc := bufio.NewScanner(r.Body)
-	sc.Buffer(make([]byte, maxStreamLine), maxStreamLine)
-	predictions := 0
-	for sc.Scan() {
-		if err := r.Context().Err(); err != nil {
-			fail(err)
-			return
-		}
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
-			continue
-		}
-		x, err := strconv.ParseFloat(line, 64)
-		if err != nil {
-			fail(httpErrorf(http.StatusBadRequest, "sample %d: not a number: %q", stream.Pushed(), line))
-			return
-		}
-		ready, err := stream.Push(x)
-		if err != nil {
-			// writeError already maps the push taxonomy (non-finite → 400).
-			fail(err)
-			return
-		}
-		if !ready {
-			continue
-		}
-		pt, err := stream.PredictAlert(r.Context())
-		if err != nil {
-			fail(err)
-			return
-		}
-		predictions++
-		pred := StreamPrediction{Sample: stream.Pushed(), Class: pt.Class, Proba: pt.Proba}
-		if pt.HasDrift {
-			pred.Drift = &pt.Drift
-		}
-		if !emit(pred) {
-			return
-		}
-		for _, tr := range pt.Transitions {
-			s.metrics.AlertTransition(tr.Trigger, tr.From.String(), tr.To.String())
-			// The wire and webhook sample convention is samples-consumed,
-			// matching prediction lines; the library's Transition carries
-			// the window-closing sample index, one less.
-			if !emit(StreamAlertEvent{
-				Alert: tr.Trigger, From: tr.From.String(), To: tr.To.String(),
-				Sample: tr.Sample + 1, Value: tr.Value,
-			}) {
+	// The body is consumed by a dedicated reader goroutine so the
+	// dialogue loop can simultaneously watch the idle deadline, the
+	// session's drain signal and the request context. The handler MUST
+	// NOT return while this goroutine can still touch r.Body: after the
+	// handler returns, net/http's connection teardown drains the body
+	// itself, and a concurrent Read from here panics the connection
+	// ("invalid concurrent Body.Read call"). So on every exit path the
+	// deferred join below (1) closes stopReader to unblock a pending
+	// channel send, (2) expires the connection read deadline to unblock a
+	// Read parked on a silent client, and (3) waits for the goroutine to
+	// finish before handing the connection back.
+	ctxDone := r.Context().Done()
+	stopReader := make(chan struct{})
+	readerDone := make(chan struct{})
+	lines := make(chan streamLine)
+	go func() {
+		defer close(readerDone)
+		defer close(lines)
+		sc := bufio.NewScanner(r.Body)
+		sc.Buffer(make([]byte, maxStreamLine), maxStreamLine)
+		for sc.Scan() {
+			select {
+			case lines <- streamLine{text: sc.Text()}:
+			case <-stopReader:
 				return
 			}
-			if s.alertSink != nil && alerting && (tr.To == mvg.AlertFiring || tr.To == mvg.AlertResolved) {
-				s.alertSink.Deliver(mvg.AlertEvent{
-					Model: name, Trigger: tr.Trigger,
-					From: tr.From.String(), To: tr.To.String(),
-					Sample: tr.Sample + 1, Value: tr.Value, At: time.Now().UTC(),
-				})
+		}
+		if err := sc.Err(); err != nil {
+			select {
+			case lines <- streamLine{err: err}:
+			case <-stopReader:
+			}
+		}
+	}()
+	defer func() {
+		close(stopReader)
+		// Fast path: the reader already hit EOF or notices stopReader at
+		// its next channel send (any buffered body data scans in
+		// microseconds). The connection stays pristine and reusable.
+		select {
+		case <-readerDone:
+			return
+		case <-time.After(streamReaderGrace):
+		}
+		// Slow path: the reader is parked inside r.Body.Read on a client
+		// that stopped sending (idle eviction, drain, slow reader). Expire
+		// the connection read deadline to fail that Read immediately —
+		// this sacrifices connection reuse, but every such exit path is
+		// already killing the dialogue. Transports without read-deadline
+		// support (test recorders) return an error, which is fine: their
+		// bodies are in-memory readers that never block.
+		_ = rc.SetReadDeadline(time.Now())
+		<-readerDone
+	}()
+
+	var idleTimer *time.Timer
+	var idleC <-chan time.Time
+	if s.streamIdle > 0 {
+		idleTimer = time.NewTimer(s.streamIdle)
+		defer idleTimer.Stop()
+		idleC = idleTimer.C
+	}
+
+	predictions := 0
+	for {
+		select {
+		case <-ctxDone:
+			fail(r.Context().Err())
+			return
+		case <-sess.Done():
+			// Graceful drain: close the dialogue cleanly so the client
+			// knows everything sent so far was processed.
+			send(streamDoneEvent{Done: true, Samples: stream.Pushed(), Predictions: predictions, Draining: true})
+			return
+		case <-idleC:
+			s.metrics.StreamEvicted(EvictIdle)
+			fail(httpErrorf(http.StatusRequestTimeout,
+				"stream evicted: no sample received within the %v idle deadline", s.streamIdle))
+			return
+		case ln, ok := <-lines:
+			if !ok {
+				send(streamDoneEvent{Done: true, Samples: stream.Pushed(), Predictions: predictions})
+				return
+			}
+			if ln.err != nil {
+				fail(httpErrorf(http.StatusBadRequest, "reading stream: %v", ln.err))
+				return
+			}
+			if idleTimer != nil {
+				if !idleTimer.Stop() {
+					select {
+					case <-idleC:
+					default:
+					}
+				}
+				idleTimer.Reset(s.streamIdle)
+			}
+			line := strings.TrimSpace(ln.text)
+			if line == "" {
+				continue
+			}
+			x, err := strconv.ParseFloat(line, 64)
+			if err != nil {
+				fail(httpErrorf(http.StatusBadRequest, "sample %d: not a number: %q", stream.Pushed(), line))
+				return
+			}
+			ready, err := stream.Push(x)
+			if err != nil {
+				// writeError already maps the push taxonomy (non-finite → 400).
+				fail(err)
+				return
+			}
+			if !ready {
+				continue
+			}
+			if err := s.faults.Fire(r.Context(), faults.PointStreamPredict); err != nil {
+				fail(err)
+				return
+			}
+			pt, err := stream.PredictAlert(r.Context())
+			if err != nil {
+				fail(err)
+				return
+			}
+			predictions++
+			pred := StreamPrediction{Sample: stream.Pushed(), Class: pt.Class, Proba: pt.Proba}
+			if pt.HasDrift {
+				pred.Drift = &pt.Drift
+			}
+			if !send(pred) {
+				return
+			}
+			for _, tr := range pt.Transitions {
+				s.metrics.AlertTransition(tr.Trigger, tr.From.String(), tr.To.String())
+				// The wire and webhook sample convention is samples-consumed,
+				// matching prediction lines; the library's Transition carries
+				// the window-closing sample index, one less.
+				if !send(StreamAlertEvent{
+					Alert: tr.Trigger, From: tr.From.String(), To: tr.To.String(),
+					Sample: tr.Sample + 1, Value: tr.Value,
+				}) {
+					return
+				}
+				if s.alertSink != nil && alerting && (tr.To == mvg.AlertFiring || tr.To == mvg.AlertResolved) {
+					s.alertSink.Deliver(mvg.AlertEvent{
+						Model: name, Trigger: tr.Trigger,
+						From: tr.From.String(), To: tr.To.String(),
+						Sample: tr.Sample + 1, Value: tr.Value, At: time.Now().UTC(),
+					})
+				}
 			}
 		}
 	}
-	if err := sc.Err(); err != nil {
-		fail(httpErrorf(http.StatusBadRequest, "reading stream: %v", err))
-		return
-	}
-	emit(streamDoneEvent{Done: true, Samples: stream.Pushed(), Predictions: predictions})
 }

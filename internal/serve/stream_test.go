@@ -29,6 +29,7 @@ type streamEvent struct {
 	Done        bool      `json:"done"`
 	Samples     int       `json:"samples"`
 	Predictions int       `json:"predictions"`
+	Draining    bool      `json:"draining"`
 	Error       string    `json:"error"`
 }
 
