@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the bulk offline extraction pipeline
+# (docs/bulk.md): stream a synthetic dataset to disk with tsgen bulk
+# mode, extract it into a columnar feature store, prove resume skips
+# every durable chunk and repairs a lost shard to a byte-identical
+# store, run the validation suite with the re-extraction parity check,
+# train from the store, and assert validation fails on corruption.
+# Run locally with: bash .github/e2e/bulk_smoke.sh
+set -euo pipefail
+
+WORK="$(mktemp -d)"
+cleanup() { rm -rf "$WORK"; }
+trap cleanup EXIT
+
+note() { printf '\n== %s ==\n' "$*"; }
+die() { echo "e2e: FAIL: $*" >&2; exit 1; }
+
+ROWS=512
+CHUNK=128
+CHUNKS=$((ROWS / CHUNK))
+STORE="$WORK/store"
+
+note "build binaries"
+go build -o "$WORK/bin/tsgen" ./cmd/tsgen
+go build -o "$WORK/bin/mvgcli" ./cmd/mvgcli
+
+note "tsgen bulk mode: stream $ROWS rows to one UCR file"
+"$WORK/bin/tsgen" -rows "$ROWS" -dataset SynthECG -seed 5 -out "$WORK/big_TRAIN" \
+  | tee "$WORK/tsgen.log"
+grep -q "wrote $WORK/big_TRAIN: $ROWS rows" "$WORK/tsgen.log" || die "tsgen bulk summary"
+LINES=$(wc -l < "$WORK/big_TRAIN")
+[ "$LINES" = "$ROWS" ] || die "big_TRAIN has $LINES lines, want $ROWS"
+
+note "extract into a feature store ($CHUNKS chunks of $CHUNK)"
+"$WORK/bin/mvgcli" extract -data "$WORK/big_TRAIN" -out "$STORE" \
+  -chunk "$CHUNK" -q | tee "$WORK/extract.log"
+grep -q "$ROWS rows in $CHUNKS chunks ($CHUNKS extracted, 0 resumed)" "$WORK/extract.log" \
+  || die "fresh extract summary"
+[ -f "$STORE/manifest.json" ] || die "no manifest written"
+
+note "rerun resumes: every chunk durable, nothing recomputed"
+"$WORK/bin/mvgcli" extract -data "$WORK/big_TRAIN" -out "$STORE" \
+  -chunk "$CHUNK" -q | tee "$WORK/resume.log"
+grep -q "(0 extracted, $CHUNKS resumed)" "$WORK/resume.log" || die "full-resume summary"
+
+note "interrupted run: delete one shard, resume repairs byte-identically"
+( cd "$STORE" && sha256sum manifest.json shard-*.fm ) > "$WORK/store.before"
+rm "$STORE/shard-000002.fm"
+"$WORK/bin/mvgcli" extract -data "$WORK/big_TRAIN" -out "$STORE" \
+  -chunk "$CHUNK" -q | tee "$WORK/repair.log"
+grep -q "(1 extracted, $((CHUNKS - 1)) resumed)" "$WORK/repair.log" \
+  || die "repair run should re-extract exactly the lost chunk"
+( cd "$STORE" && sha256sum manifest.json shard-*.fm ) > "$WORK/store.after"
+diff -u "$WORK/store.before" "$WORK/store.after" \
+  || die "repaired store is not byte-identical to the uninterrupted one"
+
+note "validation suite incl. re-extraction parity"
+"$WORK/bin/mvgcli" validate -store "$STORE" -data "$WORK/big_TRAIN" \
+  -chunk "$CHUNK" -sample 2 | tee "$WORK/validate.log"
+for check in manifest shards labels finite counts parity; do
+  grep -q "ok   $check" "$WORK/validate.log" || die "validate: no ok line for $check"
+done
+grep -q 'store is valid' "$WORK/validate.log" || die "validate verdict"
+
+note "train from the store (no re-extraction)"
+"$WORK/bin/tsgen" -out "$WORK/data" -dataset SynthECG -seed 5 >/dev/null
+"$WORK/bin/mvgcli" -from-store "$STORE" -test "$WORK/data/SynthECG_TEST" \
+  -classifier rf -seed 7 | tee "$WORK/train.log"
+grep -q "store: $ROWS rows" "$WORK/train.log" || die "from-store header"
+grep -q 'error rate:' "$WORK/train.log" || die "from-store training produced no error rate"
+
+note "corruption is caught: flip one shard byte, validate must fail"
+python3 - "$STORE/shard-000001.fm" <<'EOF'
+import sys
+p = sys.argv[1]
+b = bytearray(open(p, "rb").read())
+b[-1] ^= 0x01
+open(p, "wb").write(bytes(b))
+EOF
+if "$WORK/bin/mvgcli" validate -store "$STORE" > "$WORK/corrupt.log" 2>&1; then
+  die "validate passed on a corrupted shard"
+fi
+grep -q 'store is INVALID' "$WORK/corrupt.log" || die "corrupt validate verdict"
+grep -q 'FAIL shards' "$WORK/corrupt.log" || die "corrupt validate should fail the shards check"
+
+echo
+echo "e2e: PASS"

@@ -1,0 +1,46 @@
+package mvg
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkBulkExtract measures the bulk store path end to end — chunked
+// extraction, shard encoding, atomic writes, manifest checkpoints — for a
+// 64×256 batch in 16-row chunks. Pinned in .github/BENCH_baseline.json:
+// the allocs/op gate catches accidental per-row allocations sneaking into
+// the store encode/checkpoint loop, where a 100k-series run would
+// multiply them. Workers=1 keeps allocs/op scheduling-independent, same
+// as the pinned ExtractBatch/workers=1 case.
+func BenchmarkBulkExtract(b *testing.B) {
+	series := batchSeries(64, 256, 5)
+	labels := make([]string, len(series))
+	for i := range labels {
+		labels[i] = []string{"a", "b"}[i%2]
+	}
+	p, err := NewPipeline(Config{Workers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	dir := b.TempDir()
+	ctx := context.Background()
+	// Warm the worker pool and allocator so allocs/op measures the steady
+	// state the gate pins, not first-call goroutine spawns.
+	if _, err := p.ExtractToStore(ctx, SliceSource(series, labels, 16), StoreOptions{Dir: dir, Dataset: "bench"}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := p.ExtractToStore(ctx, SliceSource(series, labels, 16), StoreOptions{
+			Dir: dir, Dataset: "bench",
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Rows != len(series) {
+			b.Fatalf("rows = %d", res.Rows)
+		}
+	}
+}

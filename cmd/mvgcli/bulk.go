@@ -1,0 +1,180 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"mvg"
+	"mvg/internal/bulk"
+)
+
+// openSource resolves a dataset file into a chunked SeriesSource. format
+// is "ucr", "ndjson", or "" (auto: .ndjson/.jsonl extensions select
+// NDJSON, everything else UCR text). The caller closes the file.
+func openSource(path, format string, chunk int) (mvg.SeriesSource, *os.File, error) {
+	if format == "" {
+		switch strings.ToLower(filepath.Ext(path)) {
+		case ".ndjson", ".jsonl":
+			format = "ndjson"
+		default:
+			format = "ucr"
+		}
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	switch format {
+	case "ucr":
+		return mvg.UCRSource(f, path, chunk), f, nil
+	case "ndjson":
+		return mvg.NDJSONSource(f, path, chunk), f, nil
+	default:
+		f.Close()
+		return nil, nil, fmt.Errorf("unknown -format %q (want ucr or ndjson)", format)
+	}
+}
+
+// runExtract is the bulk offline extraction subcommand: it streams a
+// dataset file through the pipeline into a columnar feature store with
+// bounded memory, resuming any interrupted prior run by default
+// (docs/bulk.md).
+func runExtract(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mvgcli extract", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		dataPath  = fs.String("data", "", "input dataset file (required)")
+		format    = fs.String("format", "", "input format: ucr or ndjson (default: by extension)")
+		outDir    = fs.String("out", "", "feature-store output directory (required)")
+		chunk     = fs.Int("chunk", 1024, "rows per chunk (bounds memory and shard size)")
+		dataset   = fs.String("dataset", "", "dataset name recorded in the manifest (default: data file stem)")
+		scale     = fs.String("scale", "mvg", "representation: mvg, uvg or amvg")
+		graphs    = fs.String("graphs", "both", "graphs per scale: both, vg or hvg")
+		features  = fs.String("features", "all", "per-graph features: all or mpds")
+		noDetrend = fs.Bool("no-detrend", false, "skip least-squares detrending")
+		noZNorm   = fs.Bool("no-znormalize", false, "skip z-normalization")
+		workers   = fs.Int("workers", 0, "extraction worker cap (0 = all cores)")
+		noResume  = fs.Bool("no-resume", false, "rebuild from scratch instead of resuming a prior run")
+		quiet     = fs.Bool("q", false, "suppress per-chunk progress lines")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *dataPath == "" || *outDir == "" {
+		fs.Usage()
+		return 2
+	}
+	name := *dataset
+	if name == "" {
+		name = strings.TrimSuffix(filepath.Base(*dataPath), filepath.Ext(*dataPath))
+	}
+	src, f, err := openSource(*dataPath, *format, *chunk)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	defer f.Close()
+
+	pipe, err := mvg.NewPipeline(mvg.Config{
+		Scale: *scale, Graphs: *graphs, Features: *features,
+		NoDetrend: *noDetrend, NoZNormalize: *noZNorm, Workers: *workers,
+	})
+	if err != nil {
+		return fail(stderr, err)
+	}
+	defer pipe.Close()
+
+	opts := mvg.StoreOptions{Dir: *outDir, Dataset: name, Resume: !*noResume}
+	if !*quiet {
+		opts.Progress = func(chunk, rows int, skipped bool) {
+			verb := "extracted"
+			if skipped {
+				verb = "skipped (already durable)"
+			}
+			fmt.Fprintf(stderr, "mvgcli: chunk %d: %d rows %s\n", chunk, rows, verb)
+		}
+	}
+	t0 := time.Now()
+	res, err := pipe.ExtractToStore(context.Background(), src, opts)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	fmt.Fprintf(stdout, "extracted %s to %s: %d rows in %d chunks (%d extracted, %d resumed) in %.2fs\n",
+		name, *outDir, res.Rows, res.Chunks, res.Extracted, res.Skipped, time.Since(t0).Seconds())
+	return 0
+}
+
+// runValidate is the store validation subcommand: structural checks
+// always run; with -data, a parity check re-extracts sampled rows per
+// shard under the store's own recorded extraction config and asserts
+// bit-identical features (docs/bulk.md#validation).
+func runValidate(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mvgcli validate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		storeDir = fs.String("store", "", "feature-store directory (required)")
+		dataPath = fs.String("data", "", "original dataset file; enables the re-extraction parity check")
+		format   = fs.String("format", "", "input format: ucr or ndjson (default: by extension)")
+		chunk    = fs.Int("chunk", 1024, "rows per chunk; must match the store's build")
+		sample   = fs.Int("sample", 4, "rows re-extracted per shard by the parity check")
+		workers  = fs.Int("workers", 0, "extraction worker cap for the parity check (0 = all cores)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *storeDir == "" {
+		fs.Usage()
+		return 2
+	}
+
+	opts := bulk.ValidateOptions{Dir: *storeDir, SampleRows: *sample}
+	if *dataPath != "" {
+		// The parity extractor must be the store's own config, not flags:
+		// the check asks "does this store match what its recorded
+		// configuration extracts", so the manifest is the authority.
+		store, err := mvg.OpenFeatureStore(*storeDir)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		cfg, err := store.ExtractionConfig()
+		if err != nil {
+			return fail(stderr, err)
+		}
+		cfg.Workers = *workers
+		pipe, err := mvg.NewPipeline(cfg)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		defer pipe.Close()
+		src, f, err := openSource(*dataPath, *format, *chunk)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		defer f.Close()
+		opts.Source = src
+		opts.Extract = pipe.Extract
+	}
+
+	results, ok, err := bulk.Validate(context.Background(), opts)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	for _, r := range results {
+		status := "ok  "
+		if !r.OK {
+			status = "FAIL"
+		}
+		fmt.Fprintf(stdout, "%s %-8s %s\n", status, r.Name, r.Detail)
+	}
+	if !ok {
+		fmt.Fprintln(stdout, "store is INVALID")
+		return 1
+	}
+	fmt.Fprintln(stdout, "store is valid")
+	return 0
+}

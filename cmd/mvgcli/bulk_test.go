@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestExtractValidateTrainFromStore is the bulk pipeline's CLI smoke
+// test: extract a UCR file into a store, resume it (everything skipped),
+// validate with the parity check, train from the store, and finally
+// prove validate fails on a corrupted shard.
+func TestExtractValidateTrainFromStore(t *testing.T) {
+	dir := t.TempDir()
+	trainPath := filepath.Join(dir, "toy_TRAIN")
+	testPath := filepath.Join(dir, "toy_TEST")
+	storeDir := filepath.Join(dir, "store")
+	const length = 64
+	writeUCR(t, trainPath, 6, length, 1)
+	writeUCR(t, testPath, 4, length, 2)
+
+	var stdout, stderr bytes.Buffer
+	run := func(args ...string) int {
+		stdout.Reset()
+		stderr.Reset()
+		return realMain(args, &stdout, &stderr)
+	}
+
+	if code := run("extract", "-data", trainPath, "-out", storeDir, "-chunk", "5", "-workers", "2"); code != 0 {
+		t.Fatalf("extract exit = %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "12 rows in 3 chunks (3 extracted, 0 resumed)") {
+		t.Fatalf("extract output:\n%s", stdout.String())
+	}
+
+	// A rerun resumes: every chunk verifies and nothing is recomputed.
+	if code := run("extract", "-data", trainPath, "-out", storeDir, "-chunk", "5"); code != 0 {
+		t.Fatalf("resume exit = %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "(0 extracted, 3 resumed)") {
+		t.Fatalf("resume output:\n%s", stdout.String())
+	}
+
+	if code := run("validate", "-store", storeDir, "-data", trainPath, "-chunk", "5", "-workers", "2"); code != 0 {
+		t.Fatalf("validate exit = %d, stderr: %s\n%s", code, stderr.String(), stdout.String())
+	}
+	for _, want := range []string{"ok   manifest", "ok   parity", "store is valid"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Fatalf("validate output missing %q:\n%s", want, stdout.String())
+		}
+	}
+
+	if code := run("-from-store", storeDir, "-test", testPath, "-classifier", "rf", "-seed", "7"); code != 0 {
+		t.Fatalf("from-store train exit = %d, stderr: %s", code, stderr.String())
+	}
+	for _, want := range []string{"store: 12 rows", "error rate:"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Fatalf("from-store output missing %q:\n%s", want, stdout.String())
+		}
+	}
+
+	// Corrupt one shard byte: structural validation must fail with exit 1.
+	shard := filepath.Join(storeDir, "shard-000001.fm")
+	b, err := os.ReadFile(shard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-1] ^= 0x01
+	if err := os.WriteFile(shard, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run("validate", "-store", storeDir); code != 1 {
+		t.Fatalf("validate of corrupt store exit = %d, want 1\n%s", code, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "store is INVALID") {
+		t.Fatalf("corrupt validate output:\n%s", stdout.String())
+	}
+}
+
+// TestExtractNDJSONAutoFormat: .ndjson extension selects the NDJSON
+// parser without -format.
+func TestExtractNDJSONAutoFormat(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "feed.ndjson")
+	var b strings.Builder
+	for i := 0; i < 8; i++ {
+		b.WriteString(`{"label": "x", "series": [`)
+		for k := 0; k < 64; k++ {
+			if k > 0 {
+				b.WriteString(",")
+			}
+			fmt.Fprintf(&b, "%g", math.Sin(float64(i*64+k)/3))
+		}
+		b.WriteString("]}\n")
+	}
+	if err := os.WriteFile(data, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	code := realMain([]string{"extract", "-data", data, "-out", filepath.Join(dir, "s"), "-chunk", "3", "-q"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "8 rows in 3 chunks") {
+		t.Fatalf("output:\n%s", stdout.String())
+	}
+}
+
+// TestBulkUsageErrors: missing required flags exit 2, not 1.
+func TestBulkUsageErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := realMain([]string{"extract", "-data", "x"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("extract without -out exit = %d, want 2", code)
+	}
+	if code := realMain([]string{"validate"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("validate without -store exit = %d, want 2", code)
+	}
+	data := filepath.Join(t.TempDir(), "d.txt")
+	if err := os.WriteFile(data, []byte("1,2,3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := realMain([]string{"extract", "-data", data, "-out", filepath.Join(filepath.Dir(data), "s"), "-format", "nope"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("bad -format exit = %d, want 1", code)
+	}
+}

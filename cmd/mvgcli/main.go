@@ -9,6 +9,16 @@
 //	mvgcli -train X_TRAIN -test X_TEST -importance 10
 //	mvgcli -train X_TRAIN -test X_TEST -save model.mvg
 //
+// The extract subcommand streams a dataset of any size into an on-disk
+// columnar feature store with bounded memory, and validate proves a store
+// back against its manifest (and, with -data, against a fresh
+// re-extraction of sampled rows; see docs/bulk.md). -from-store trains
+// from precomputed features, skipping extraction entirely:
+//
+//	mvgcli extract -data Huge_TRAIN -out store/
+//	mvgcli validate -store store/ -data Huge_TRAIN
+//	mvgcli -from-store store/ -test Huge_TEST -classifier rf
+//
 // The stream subcommand runs a saved model over a live sample feed — one
 // sample per line on stdin, one NDJSON prediction per hop on stdout (the
 // same protocol as mvgserve's /stream endpoint; see docs/streaming.md):
@@ -50,8 +60,15 @@ func main() {
 // realMain is the testable entry point: it dispatches subcommands and
 // returns the process exit code (0 ok, 1 runtime failure, 2 usage).
 func realMain(args []string, stdout, stderr io.Writer) int {
-	if len(args) > 0 && args[0] == "stream" {
-		return runStream(args[1:], stdout, stderr)
+	if len(args) > 0 {
+		switch args[0] {
+		case "stream":
+			return runStream(args[1:], stdout, stderr)
+		case "extract":
+			return runExtract(args[1:], stdout, stderr)
+		case "validate":
+			return runValidate(args[1:], stdout, stderr)
+		}
 	}
 	return runTrainEval(args, stdout, stderr)
 }
@@ -74,11 +91,12 @@ func runTrainEval(args []string, stdout, stderr io.Writer) int {
 		importance = fs.Int("importance", 0, "print the top-N most important features (xgb only)")
 		savePath   = fs.String("save", "", "write the trained model to this file (xgb only)")
 		loadPath   = fs.String("load", "", "load a saved model instead of training")
+		fromStore  = fs.String("from-store", "", "train from a feature store built by `mvgcli extract` instead of raw series")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if (*trainPath == "" && *loadPath == "") || *testPath == "" {
+	if (*trainPath == "" && *loadPath == "" && *fromStore == "") || *testPath == "" {
 		fs.Usage()
 		return 2
 	}
@@ -113,6 +131,35 @@ func runTrainEval(args []string, stdout, stderr io.Writer) int {
 			return fail(stderr, err)
 		}
 		fmt.Fprintf(stdout, "loaded model from %s; test: %d samples\n", *loadPath, test.Len())
+	} else if *fromStore != "" {
+		store, err := mvg.OpenFeatureStore(*fromStore)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		// Extraction settings come from the store's manifest — they are
+		// what the features were computed under; flags only steer the
+		// classifier half of the config.
+		storeCfg, err := store.ExtractionConfig()
+		if err != nil {
+			return fail(stderr, err)
+		}
+		storeCfg.Classifier = cfg.Classifier
+		storeCfg.FullGrid = cfg.FullGrid
+		storeCfg.Oversample = cfg.Oversample
+		storeCfg.Seed = cfg.Seed
+		// The store maps classes in first-seen input order, the UCR reader
+		// in sorted order; realign the test labels to the store's ids.
+		if test.Labels, err = remapLabels(test, store.ClassNames()); err != nil {
+			return fail(stderr, err)
+		}
+		fmt.Fprintf(stdout, "store: %d rows, %d features, %d classes; test: %d samples\n",
+			store.Rows(), store.Cols(), len(store.ClassNames()), test.Len())
+		t0 := time.Now()
+		model, err = store.Train(context.Background(), storeCfg)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		trainSec = time.Since(t0).Seconds()
 	} else {
 		train, test, err = ucr.ReadPair(*trainPath, *testPath)
 		if err != nil {
@@ -299,6 +346,27 @@ func runStream(args []string, stdout, stderr io.Writer) int {
 		return fail(stderr, err)
 	}
 	return 0
+}
+
+// remapLabels translates a UCR dataset's dense labels (sorted-token
+// order) into a feature store's class ids (first-seen order), failing on
+// tokens the store never saw.
+func remapLabels(d *ucr.Dataset, storeClasses []string) ([]int, error) {
+	id := make(map[string]int, len(storeClasses))
+	for i, tok := range storeClasses {
+		id[tok] = i
+	}
+	out := make([]int, len(d.Labels))
+	for i, lab := range d.Labels {
+		tok := d.ClassNames[lab]
+		mapped, ok := id[tok]
+		if !ok {
+			return nil, fmt.Errorf("test label %q is not a class of the feature store (store classes: %s)",
+				tok, strings.Join(storeClasses, ", "))
+		}
+		out[i] = mapped
+	}
+	return out, nil
 }
 
 func fail(stderr io.Writer, err error) int {

@@ -7,9 +7,16 @@
 //	tsgen -out ./data                  # all 13 families
 //	tsgen -out ./data -dataset ChaosMaps -seed 7
 //	tsgen -list
+//
+// Bulk mode (-rows) streams an arbitrarily large single-family dataset to
+// one UCR file without holding it in memory — the generator feed for
+// `mvgcli extract` (docs/bulk.md):
+//
+//	tsgen -rows 100000 -dataset SynthECG -out huge_TRAIN
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -20,12 +27,30 @@ import (
 
 func main() {
 	var (
-		out     = flag.String("out", "", "output directory (required unless -list)")
-		dataset = flag.String("dataset", "", "generate a single family (default: all)")
+		out     = flag.String("out", "", "output directory; with -rows, output file (required unless -list)")
+		dataset = flag.String("dataset", "", "generate a single family (default: all; required with -rows)")
 		seed    = flag.Int64("seed", 1, "generation seed")
+		rows    = flag.Int("rows", 0, "bulk mode: stream this many rows of one family to the -out file")
 		list    = flag.Bool("list", false, "list available dataset families and exit")
 	)
 	flag.Parse()
+
+	if *rows > 0 {
+		if *out == "" || *dataset == "" {
+			flag.Usage()
+			os.Exit(2)
+		}
+		f, err := synth.ByName(*dataset)
+		if err != nil {
+			fatal(err)
+		}
+		if err := emitBulk(f, *rows, *seed, *out); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s: %d rows of %s (length %d, %d classes)\n",
+			*out, *rows, f.Name, f.Length, f.Classes)
+		return
+	}
 
 	if *list {
 		fmt.Printf("%-16s %5s %7s %6s %6s  %s\n", "NAME", "#CLS", "LENGTH", "TRAIN", "TEST", "MOTIVATION")
@@ -64,6 +89,36 @@ func main() {
 		fmt.Printf("wrote %s (%d train, %d test, %d classes, length %d)\n",
 			f.Name, train.Len(), test.Len(), train.Classes(), train.SeriesLength())
 	}
+}
+
+// emitBulk streams rows UCR lines to path through EmitRows: one series
+// in memory at a time, the same "label,v1,..." format ucr.Write uses.
+func emitBulk(f synth.Family, rows int, seed int64, path string) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(out, 1<<20)
+	err = f.EmitRows(rows, seed, func(label string, series []float64) error {
+		if _, err := bw.WriteString(label); err != nil {
+			return err
+		}
+		for _, v := range series {
+			if _, err := fmt.Fprintf(bw, ",%g", v); err != nil {
+				return err
+			}
+		}
+		return bw.WriteByte('\n')
+	})
+	if err != nil {
+		out.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
 }
 
 func fatal(err error) {

@@ -1,0 +1,346 @@
+package mvg
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"mvg/internal/bulk"
+)
+
+// This file is the library surface over internal/bulk, the offline
+// dataset-scale extraction subsystem (docs/bulk.md): Pipeline.ExtractToStore
+// streams a dataset of any size into an on-disk columnar feature store
+// with bounded memory and manifest-driven resumability, and OpenFeatureStore
+// reads one back so training can start from precomputed features instead
+// of re-extracting — the expensive half of Train amortized across
+// classifier experiments.
+
+// SeriesSource streams a labelled dataset in bounded chunks: NextChunk
+// returns the next batch of series with aligned raw label tokens, and
+// io.EOF after the last batch. At most one chunk is resident in the bulk
+// pipeline at any moment, so implementations should size chunks to
+// whatever comfortably fits in memory (a few thousand series).
+type SeriesSource interface {
+	NextChunk() (series [][]float64, labels []string, err error)
+}
+
+// SliceSource adapts an in-memory dataset to the SeriesSource interface,
+// yielding chunks of up to chunkSize rows (non-positive selects 1024).
+func SliceSource(series [][]float64, labels []string, chunkSize int) SeriesSource {
+	if chunkSize <= 0 {
+		chunkSize = 1024
+	}
+	return &sliceSource{series: series, labels: labels, chunk: chunkSize}
+}
+
+type sliceSource struct {
+	series [][]float64
+	labels []string
+	chunk  int
+	pos    int
+}
+
+func (s *sliceSource) NextChunk() ([][]float64, []string, error) {
+	if s.pos >= len(s.series) {
+		return nil, nil, io.EOF
+	}
+	end := s.pos + s.chunk
+	if end > len(s.series) {
+		end = len(s.series)
+	}
+	series, labels := s.series[s.pos:end], s.labels[s.pos:end]
+	s.pos = end
+	return series, labels, nil
+}
+
+// UCRSource streams a UCR-format text dataset (label,v1,...,vn per line,
+// comma or whitespace separated) in chunks of up to chunkSize rows.
+// Malformed records surface with the ucr error taxonomy (*ucr.ParseError
+// matching ucr.ErrMalformed); name labels the input in error messages.
+func UCRSource(r io.Reader, name string, chunkSize int) SeriesSource {
+	return bulk.NewUCRSource(r, name, chunkSize)
+}
+
+// NDJSONSource streams newline-delimited JSON records of the form
+// {"label": "a", "series": [1, 2.5, ...]} in chunks of up to chunkSize
+// rows. Labels may be JSON strings or numbers; numbers are kept verbatim
+// as tokens.
+func NDJSONSource(r io.Reader, name string, chunkSize int) SeriesSource {
+	return bulk.NewNDJSONSource(r, name, chunkSize)
+}
+
+// extractionConfig is the subset of Config that determines feature
+// values. Its canonical JSON is what a feature store records, and its
+// hash is the resume- and train-compatibility key: classifier settings
+// deliberately stay out, so one store serves many training experiments.
+type extractionConfig struct {
+	Scale        string `json:"scale"`
+	Graphs       string `json:"graphs"`
+	Features     string `json:"features"`
+	Tau          int    `json:"tau"`
+	Extended     bool   `json:"extended"`
+	NoDetrend    bool   `json:"no_detrend"`
+	NoZNormalize bool   `json:"no_z_normalize"`
+}
+
+// extractionConfigJSON canonicalizes cfg's extraction fields: defaults are
+// made explicit so that two Configs that extract identically (e.g. Scale
+// "" and "mvg") hash identically.
+func extractionConfigJSON(cfg Config) ([]byte, error) {
+	e := extractionConfig{
+		Scale:        cfg.Scale,
+		Graphs:       cfg.Graphs,
+		Features:     cfg.Features,
+		Tau:          cfg.Tau,
+		Extended:     cfg.Extended,
+		NoDetrend:    cfg.NoDetrend,
+		NoZNormalize: cfg.NoZNormalize,
+	}
+	if e.Scale == "" {
+		e.Scale = "mvg"
+	}
+	if e.Graphs == "" {
+		e.Graphs = "both"
+	}
+	if e.Features == "" {
+		e.Features = "all"
+	}
+	if e.Tau == 0 {
+		e.Tau = 15 // the paper's default threshold
+	} else if e.Tau < 0 {
+		e.Tau = -1 // any negative means "no threshold"
+	}
+	return json.Marshal(e)
+}
+
+// StoreOptions configures Pipeline.ExtractToStore.
+type StoreOptions struct {
+	// Dir is the store directory; created if missing.
+	Dir string
+	// Dataset names the input in the manifest. A store built for one
+	// dataset name refuses to resume under another.
+	Dataset string
+	// Resume skips chunks an earlier (possibly interrupted) run already
+	// extracted, after verifying their input hashes and shard checksums.
+	// When false, any existing store in Dir is removed first.
+	Resume bool
+	// Progress, when non-nil, observes every chunk in order.
+	Progress func(chunk, rows int, skipped bool)
+}
+
+// StoreResult summarizes a completed ExtractToStore run.
+type StoreResult struct {
+	// Rows and Chunks describe the finished store.
+	Rows, Chunks int
+	// Extracted and Skipped count chunks computed this run vs verified
+	// and kept from a previous one.
+	Extracted, Skipped int
+}
+
+// ExtractToStore streams src through the pipeline into a columnar feature
+// store at opts.Dir: one shard per chunk plus a manifest checkpointed
+// after every shard, so memory stays bounded by the chunk size regardless
+// of dataset size and a killed run resumes instead of restarting
+// (docs/bulk.md). Store bytes are a pure function of (input, extraction
+// config) — the same determinism contract as Extract — so resumed and
+// uninterrupted runs produce byte-identical stores.
+func (p *Pipeline) ExtractToStore(ctx context.Context, src SeriesSource, opts StoreOptions) (StoreResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cfgJSON, err := extractionConfigJSON(p.cfg)
+	if err != nil {
+		return StoreResult{}, fmt.Errorf("mvg: %w", err)
+	}
+	runOpts := bulk.RunOptions{
+		Dir:          opts.Dir,
+		Dataset:      opts.Dataset,
+		ConfigJSON:   cfgJSON,
+		Extract:      p.Extract,
+		FeatureNames: p.FeatureNames,
+		Resume:       opts.Resume,
+	}
+	if opts.Progress != nil {
+		runOpts.Progress = func(pr bulk.Progress) {
+			opts.Progress(pr.Chunk, pr.Rows, pr.Skipped)
+		}
+	}
+	res, err := bulk.Run(ctx, src, runOpts)
+	if err != nil {
+		return StoreResult{}, p.wrapErr(err)
+	}
+	return StoreResult{
+		Rows:      res.Manifest.Rows,
+		Chunks:    len(res.Manifest.Chunks),
+		Extracted: res.Extracted,
+		Skipped:   res.Skipped,
+	}, nil
+}
+
+// FeatureStore is a read handle on a completed columnar feature store.
+// All accessors return copies; a FeatureStore is safe for concurrent use.
+type FeatureStore struct {
+	dir string
+	m   *bulk.Manifest
+}
+
+// OpenFeatureStore opens the store at dir, validating its manifest. An
+// incomplete store (an interrupted extraction) is rejected — re-run the
+// extraction with resume enabled to finish it first.
+func OpenFeatureStore(dir string) (*FeatureStore, error) {
+	m, err := bulk.ReadManifest(dir)
+	if err != nil {
+		return nil, fmt.Errorf("mvg: open feature store %s: %w", dir, err)
+	}
+	if !m.Complete {
+		return nil, fmt.Errorf("mvg: feature store %s is incomplete (extraction was interrupted; re-run extract with resume to finish it)", dir)
+	}
+	return &FeatureStore{dir: dir, m: m}, nil
+}
+
+// Rows reports the total number of feature rows in the store.
+func (s *FeatureStore) Rows() int { return s.m.Rows }
+
+// NumChunks reports how many shards the store holds.
+func (s *FeatureStore) NumChunks() int { return len(s.m.Chunks) }
+
+// Cols reports the feature-vector width.
+func (s *FeatureStore) Cols() int { return s.m.Cols }
+
+// SeriesLen reports the uniform input series length the features were
+// extracted from.
+func (s *FeatureStore) SeriesLen() int { return s.m.SeriesLen }
+
+// Dataset reports the dataset name recorded at extraction time.
+func (s *FeatureStore) Dataset() string { return s.m.Dataset }
+
+// FeatureNames returns the names of the store's feature columns, in
+// column order.
+func (s *FeatureStore) FeatureNames() []string {
+	return append([]string(nil), s.m.FeatureNames...)
+}
+
+// ClassNames maps dense label ids back to the raw label tokens, in
+// first-seen input order.
+func (s *FeatureStore) ClassNames() []string {
+	return append([]string(nil), s.m.ClassNames...)
+}
+
+// ConfigJSON returns the canonical extraction-config JSON the store was
+// built under.
+func (s *FeatureStore) ConfigJSON() []byte {
+	return append([]byte(nil), s.m.Config...)
+}
+
+// ExtractionConfig reconstructs the Config extraction fields the store
+// was built under (classifier fields are zero — they were never part of
+// the store). A pipeline built from the result is guaranteed compatible
+// with TrainFromStore and extracts features bit-identical to the store's.
+func (s *FeatureStore) ExtractionConfig() (Config, error) {
+	var e extractionConfig
+	if err := json.Unmarshal(s.m.Config, &e); err != nil {
+		return Config{}, fmt.Errorf("mvg: feature store %s: config: %w", s.dir, err)
+	}
+	return Config{
+		Scale:        e.Scale,
+		Graphs:       e.Graphs,
+		Features:     e.Features,
+		Tau:          e.Tau,
+		Extended:     e.Extended,
+		NoDetrend:    e.NoDetrend,
+		NoZNormalize: e.NoZNormalize,
+	}, nil
+}
+
+// Chunk loads one shard after verifying its checksum against the
+// manifest, returning dense label ids and the row-major feature matrix.
+func (s *FeatureStore) Chunk(index int) (labels []int, x [][]float64, err error) {
+	ids, x, err := bulk.ReadChunkRows(s.dir, s.m, index)
+	if err != nil {
+		return nil, nil, fmt.Errorf("mvg: feature store %s: %w", s.dir, err)
+	}
+	labels = make([]int, len(ids))
+	for i, id := range ids {
+		if int(id) < 0 || int(id) >= len(s.m.ClassNames) {
+			return nil, nil, fmt.Errorf("mvg: feature store %s: chunk %d row %d: label id %d outside [0,%d)",
+				s.dir, index, i, id, len(s.m.ClassNames))
+		}
+		labels[i] = int(id)
+	}
+	return labels, x, nil
+}
+
+// Matrix loads the entire store as one feature matrix with aligned dense
+// labels — the shape fitClassifier wants. The full matrix is resident
+// after this call (8·rows·cols bytes of features), which is fine for
+// training: the classifier needs it all anyway.
+func (s *FeatureStore) Matrix() (x [][]float64, labels []int, err error) {
+	x = make([][]float64, 0, s.m.Rows)
+	labels = make([]int, 0, s.m.Rows)
+	for i := range s.m.Chunks {
+		ids, rows, err := s.Chunk(i)
+		if err != nil {
+			return nil, nil, err
+		}
+		x = append(x, rows...)
+		labels = append(labels, ids...)
+	}
+	return x, labels, nil
+}
+
+// Train fits the configured classifier on the store's precomputed
+// features — extraction, the expensive half of Pipeline.Train, is skipped
+// entirely. cfg's extraction fields must match the store's (same hash the
+// resume path checks); classifier fields are free to vary, which is the
+// point: one store, many training experiments. The returned model is
+// bound to a fresh pipeline built from cfg and predicts on raw series
+// exactly like a Pipeline.Train model.
+func (s *FeatureStore) Train(ctx context.Context, cfg Config) (*Model, error) {
+	p, err := NewPipeline(cfg)
+	if err != nil {
+		return nil, err
+	}
+	m, err := p.TrainFromStore(ctx, s)
+	if err != nil {
+		p.Close()
+		return nil, err
+	}
+	return m, nil
+}
+
+// TrainFromStore is FeatureStore.Train on an existing pipeline: the
+// model shares p's warm worker pool, and p's extraction config must match
+// the store's.
+func (p *Pipeline) TrainFromStore(ctx context.Context, s *FeatureStore) (*Model, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	want, err := extractionConfigJSON(p.cfg)
+	if err != nil {
+		return nil, fmt.Errorf("mvg: %w", err)
+	}
+	if bulk.HashConfig(want) != s.m.ConfigHash {
+		return nil, fmt.Errorf("mvg: feature store %s was extracted under config %s, not this pipeline's %s — its features would not match what this configuration extracts",
+			s.dir, s.m.Config, want)
+	}
+	X, labels, err := s.Matrix()
+	if err != nil {
+		return nil, err
+	}
+	classes := len(s.m.ClassNames)
+	clf, scaler, err := fitClassifier(ctx, p.runner(), X, labels, classes, p.cfg)
+	if err != nil {
+		return nil, p.wrapErr(err)
+	}
+	return &Model{
+		pipe:      p,
+		scaler:    scaler,
+		clf:       clf,
+		classes:   classes,
+		names:     s.FeatureNames(),
+		seriesLen: s.m.SeriesLen,
+		drift:     computeDriftBaseline(X, labels, classes),
+	}, nil
+}

@@ -1,0 +1,242 @@
+package mvg
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// storeLabels makes alternating two-class token labels for n rows.
+func storeLabels(n int) []string {
+	labels := make([]string, n)
+	for i := range labels {
+		labels[i] = []string{"sine", "noise"}[i%2]
+	}
+	return labels
+}
+
+// TestExtractToStoreMatchesExtract pins the store round trip: features
+// written chunk by chunk through the bulk path read back bit-identical to
+// a direct in-memory Extract of the same batch, with the manifest's
+// schema (names, class tokens, series length) intact.
+func TestExtractToStoreMatchesExtract(t *testing.T) {
+	series := batchSeries(18, 128, 3)
+	labels := storeLabels(18)
+	p, err := NewPipeline(Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	want, err := p.Extract(context.Background(), series)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	var seen []int
+	res, err := p.ExtractToStore(context.Background(), SliceSource(series, labels, 5), StoreOptions{
+		Dir:      dir,
+		Dataset:  "toy",
+		Progress: func(chunk, rows int, skipped bool) { seen = append(seen, rows) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows != 18 || res.Chunks != 4 || res.Extracted != 4 || res.Skipped != 0 {
+		t.Fatalf("result %+v", res)
+	}
+	if !reflect.DeepEqual(seen, []int{5, 5, 5, 3}) {
+		t.Fatalf("progress rows %v", seen)
+	}
+
+	s, err := OpenFeatureStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Rows() != 18 || s.NumChunks() != 4 || s.SeriesLen() != 128 || s.Dataset() != "toy" {
+		t.Fatalf("store shape: rows=%d chunks=%d len=%d dataset=%q", s.Rows(), s.NumChunks(), s.SeriesLen(), s.Dataset())
+	}
+	if !reflect.DeepEqual(s.FeatureNames(), p.FeatureNames(128)) {
+		t.Fatal("store feature names differ from the pipeline's")
+	}
+	if !reflect.DeepEqual(s.ClassNames(), []string{"sine", "noise"}) {
+		t.Fatalf("class names %v, want first-seen [sine noise]", s.ClassNames())
+	}
+	X, ids, err := s.Matrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBitIdentical(t, want, X)
+	for i, id := range ids {
+		if id != i%2 {
+			t.Fatalf("row %d label id %d, want %d", i, id, i%2)
+		}
+	}
+
+	// A resumed rerun verifies every shard and extracts nothing.
+	res, err = p.ExtractToStore(context.Background(), SliceSource(series, labels, 5), StoreOptions{
+		Dir: dir, Dataset: "toy", Resume: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Extracted != 0 || res.Skipped != 4 {
+		t.Fatalf("resume extracted/skipped = %d/%d, want 0/4", res.Extracted, res.Skipped)
+	}
+}
+
+// TestTrainFromStoreMatchesTrain: training from precomputed features must
+// produce a model whose predictions are bit-identical to Pipeline.Train
+// on the raw series — the store is a cache, not an approximation.
+func TestTrainFromStoreMatchesTrain(t *testing.T) {
+	train, labelIDs := predictableDataset(t, 31)
+	test, _ := predictableDataset(t, 32)
+	tokens := make([]string, len(labelIDs))
+	for i, id := range labelIDs {
+		tokens[i] = []string{"sine", "noise"}[id] // alternates 0,1 so first-seen ids match
+	}
+	cfg := Config{Classifier: "rf", Folds: 2, Seed: 1, Workers: 2}
+	ctx := context.Background()
+
+	p, err := NewPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	direct, err := p.Train(ctx, train, labelIDs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	if _, err := p.ExtractToStore(ctx, SliceSource(train, tokens, 7), StoreOptions{Dir: dir, Dataset: "pred"}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenFeatureStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromStore, err := s.Train(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fromStore.Pipeline().Close()
+
+	pd, err := direct.PredictProba(ctx, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := fromStore.PredictProba(ctx, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBitIdentical(t, pd, ps)
+}
+
+// TestTrainFromStoreConfigMismatch: a store only trains under the
+// extraction config that built it; classifier fields are free to vary.
+func TestTrainFromStoreConfigMismatch(t *testing.T) {
+	train, labelIDs := predictableDataset(t, 33)
+	tokens := make([]string, len(labelIDs))
+	for i, id := range labelIDs {
+		tokens[i] = fmt.Sprint(id)
+	}
+	p, err := NewPipeline(Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	dir := t.TempDir()
+	if _, err := p.ExtractToStore(context.Background(), SliceSource(train, tokens, 8), StoreOptions{Dir: dir, Dataset: "pred"}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenFeatureStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Train(context.Background(), Config{Extended: true, Folds: 2, Seed: 1}); err == nil ||
+		!strings.Contains(err.Error(), "extracted under config") {
+		t.Fatalf("mismatched extraction config error = %v", err)
+	}
+	// Different classifier settings are fine: same feature space.
+	p2, err := NewPipeline(Config{Classifier: "rf", Folds: 2, Seed: 7, Oversample: true, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	if _, err := p2.TrainFromStore(context.Background(), s); err != nil {
+		t.Fatalf("classifier-only config change should train from the store: %v", err)
+	}
+}
+
+// TestOpenFeatureStoreErrors: missing and incomplete stores are rejected
+// with actionable messages.
+func TestOpenFeatureStoreErrors(t *testing.T) {
+	if _, err := OpenFeatureStore(t.TempDir()); err == nil {
+		t.Fatal("empty dir should not open")
+	}
+}
+
+// TestExtractionConfigDefaults: Configs that extract identically must
+// hash identically, or resume and train-from-store would refuse valid
+// stores over spelled-out defaults.
+func TestExtractionConfigDefaults(t *testing.T) {
+	a, err := extractionConfigJSON(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := extractionConfigJSON(Config{Scale: "mvg", Graphs: "both", Features: "all", Tau: 15, Classifier: "stack", Workers: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("default-equivalent configs disagree:\n%s\n%s", a, b)
+	}
+	n1, _ := extractionConfigJSON(Config{Tau: -5})
+	n2, _ := extractionConfigJSON(Config{Tau: -1})
+	if string(n1) != string(n2) {
+		t.Fatal("all negative Tau values should canonicalize identically")
+	}
+	if string(a) == string(n1) {
+		t.Fatal("no-threshold config should hash differently from the default")
+	}
+}
+
+// TestStoreSourcesFromReaders: the UCR and NDJSON source constructors
+// feed ExtractToStore end to end.
+func TestStoreSourcesFromReaders(t *testing.T) {
+	series := batchSeries(6, 96, 9)
+	var ucrText, ndjson strings.Builder
+	for i, s := range series {
+		fmt.Fprintf(&ucrText, "%d", i%2)
+		ndjson.WriteString(fmt.Sprintf(`{"label": %d, "series": [`, i%2))
+		for j, v := range s {
+			fmt.Fprintf(&ucrText, ",%g", v)
+			if j > 0 {
+				ndjson.WriteString(",")
+			}
+			fmt.Fprintf(&ndjson, "%g", v)
+		}
+		ucrText.WriteString("\n")
+		ndjson.WriteString("]}\n")
+	}
+	p, err := NewPipeline(Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	for name, src := range map[string]SeriesSource{
+		"ucr":    UCRSource(strings.NewReader(ucrText.String()), "toy.txt", 4),
+		"ndjson": NDJSONSource(strings.NewReader(ndjson.String()), "toy.ndjson", 4),
+	} {
+		res, err := p.ExtractToStore(context.Background(), src, StoreOptions{Dir: t.TempDir(), Dataset: name})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Rows != 6 || res.Chunks != 2 {
+			t.Fatalf("%s: rows=%d chunks=%d", name, res.Rows, res.Chunks)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+// Package bulk is the offline dataset-scale extraction subsystem: it
+// turns archived time-series datasets of any size into an on-disk
+// columnar feature store with bounded memory, manifest-driven
+// resumability, and a validation suite that proves the store matches what
+// a fresh extraction would produce (docs/bulk.md).
+//
+// The moving parts:
+//
+//   - A Source streams the input dataset in bounded chunks (UCR text via
+//     internal/ucr's ChunkReader, raw NDJSON via NewNDJSONSource); at any
+//     moment at most one chunk of raw series is resident.
+//   - Run extracts each chunk on the caller-supplied ExtractFunc (the
+//     mvg.Pipeline batch path, which fans per-series work across the
+//     persistent pool) and writes one columnar shard per chunk plus a
+//     JSON manifest checkpoint after every shard, so a killed run resumes
+//     instead of restarting: chunks whose input hash and shard checksum
+//     verify are skipped.
+//   - Validate replays the structural invariants (checksums, counts,
+//     label ranges, finiteness) and — given the original input — a parity
+//     check that re-extracts sampled rows per shard and asserts
+//     bit-identical features, the same determinism contract the golden
+//     vectors pin.
+//
+// The package deliberately knows nothing about the mvg root package
+// (which wraps it for library users): extraction arrives as a closure,
+// configuration as opaque JSON whose hash keys resume compatibility.
+package bulk
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"mvg/internal/ucr"
+)
+
+// Source streams a labelled dataset in bounded chunks. NextChunk returns
+// the next chunk of series with aligned raw label tokens, and io.EOF
+// after the last chunk. Implementations must keep chunks independent:
+// returned slices are not reused across calls.
+type Source interface {
+	NextChunk() (series [][]float64, labels []string, err error)
+}
+
+// ucrSource adapts internal/ucr's streaming ChunkReader.
+type ucrSource struct {
+	cr *ucr.ChunkReader
+}
+
+// NewUCRSource streams a UCR-format input (label,v1,...,vn per line) in
+// chunks of up to chunkSize rows (non-positive selects
+// ucr.DefaultChunkSize). Malformed records surface with the ucr error
+// taxonomy: *ucr.ParseError coordinates matching ucr.ErrMalformed.
+func NewUCRSource(r io.Reader, name string, chunkSize int) Source {
+	return &ucrSource{cr: ucr.NewChunkReader(r, name, chunkSize)}
+}
+
+func (s *ucrSource) NextChunk() ([][]float64, []string, error) {
+	c, err := s.cr.Next()
+	if err != nil {
+		return nil, nil, err
+	}
+	return c.Series, c.Labels, nil
+}
+
+// ndjsonSource streams newline-delimited JSON records of the form
+// {"label": "a", "series": [1, 2.5, ...]}; labels may also be bare JSON
+// numbers, kept verbatim as tokens.
+type ndjsonSource struct {
+	name      string
+	chunkSize int
+	dec       *json.Decoder
+	lineNo    int
+	width     int
+	err       error
+	done      bool
+}
+
+// NewNDJSONSource streams an NDJSON input: one {"label": ..., "series":
+// [...]} object per line. chunkSize bounds rows per chunk (non-positive
+// selects ucr.DefaultChunkSize). JSON cannot encode NaN or ±Inf, so every
+// parsed sample is finite by construction; empty series and series whose
+// length differs from the first record are rejected with their record
+// number.
+func NewNDJSONSource(r io.Reader, name string, chunkSize int) Source {
+	if chunkSize <= 0 {
+		chunkSize = ucr.DefaultChunkSize
+	}
+	return &ndjsonSource{name: name, chunkSize: chunkSize, dec: json.NewDecoder(r)}
+}
+
+// ndjsonLabel accepts a JSON string or number and keeps its verbatim text
+// as the label token.
+type ndjsonLabel string
+
+func (l *ndjsonLabel) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		*l = ndjsonLabel(s)
+		return nil
+	}
+	var n json.Number
+	if err := json.Unmarshal(b, &n); err == nil {
+		*l = ndjsonLabel(n.String())
+		return nil
+	}
+	return fmt.Errorf("label must be a string or number, have %s", b)
+}
+
+func (s *ndjsonSource) NextChunk() ([][]float64, []string, error) {
+	if s.err != nil {
+		return nil, nil, s.err
+	}
+	if s.done {
+		return nil, nil, io.EOF
+	}
+	var series [][]float64
+	var labels []string
+	for len(series) < s.chunkSize {
+		var rec struct {
+			Label  ndjsonLabel `json:"label"`
+			Series []float64   `json:"series"`
+		}
+		err := s.dec.Decode(&rec)
+		if err == io.EOF {
+			s.done = true
+			if s.lineNo == 0 {
+				s.err = fmt.Errorf("bulk: %s: contains no samples", s.name)
+				return nil, nil, s.err
+			}
+			break
+		}
+		s.lineNo++
+		if err != nil {
+			s.err = fmt.Errorf("bulk: %s record %d: %w", s.name, s.lineNo, err)
+			return nil, nil, s.err
+		}
+		if len(rec.Series) == 0 {
+			s.err = fmt.Errorf("bulk: %s record %d: empty series", s.name, s.lineNo)
+			return nil, nil, s.err
+		}
+		if s.width == 0 {
+			s.width = len(rec.Series)
+		} else if len(rec.Series) != s.width {
+			s.err = fmt.Errorf("bulk: %s record %d: series has %d points, record 1 has %d",
+				s.name, s.lineNo, len(rec.Series), s.width)
+			return nil, nil, s.err
+		}
+		series = append(series, rec.Series)
+		labels = append(labels, string(rec.Label))
+	}
+	if len(series) == 0 {
+		return nil, nil, io.EOF
+	}
+	return series, labels, nil
+}

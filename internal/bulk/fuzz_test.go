@@ -1,0 +1,59 @@
+package bulk
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzManifestDecode hammers the manifest parser with arbitrary bytes:
+// it must never panic, and anything it accepts must round-trip —
+// Encode(Decode(b)) decodes back to a deeply equal manifest. Run in CI's
+// nightly fuzz job (.github/workflows/fuzz.yml).
+func FuzzManifestDecode(f *testing.F) {
+	good, err := validManifest().Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte("{}"))
+	f.Add([]byte(`{"format_version":1}`))
+	f.Add([]byte(`{"format_version":1,"config":{},"chunks":[{"index":0}]}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, err := DecodeManifest(b)
+		if err != nil {
+			return
+		}
+		enc, err := m.Encode()
+		if err != nil {
+			t.Fatalf("accepted manifest failed to encode: %v", err)
+		}
+		again, err := DecodeManifest(enc)
+		if err != nil {
+			t.Fatalf("re-encoded manifest failed to decode: %v", err)
+		}
+		if !reflect.DeepEqual(m, again) {
+			t.Fatalf("manifest round trip drifted:\n%#v\n%#v", m, again)
+		}
+	})
+}
+
+// FuzzShardDecode does the same for the binary shard parser: no panics
+// on arbitrary bytes, and accepted shards re-encode canonically to the
+// exact input bytes.
+func FuzzShardDecode(f *testing.F) {
+	f.Add(encodeShard([]int32{0, 1}, [][]float64{{1, 2}, {3, 4}}))
+	f.Add(encodeShard(nil, nil))
+	f.Add([]byte("MVGF"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		labels, x, err := decodeShard(b)
+		if err != nil {
+			return
+		}
+		if string(encodeShard(labels, x)) != string(b) {
+			t.Fatal("accepted shard is not canonical: encode(decode(b)) != b")
+		}
+	})
+}

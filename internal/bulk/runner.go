@@ -1,0 +1,314 @@
+package bulk
+
+import (
+	"context"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"mvg/internal/faults"
+)
+
+// ExtractFunc turns a chunk of series into one feature row per series.
+// The bulk runner supplies chunks of the source's size; mvg wires this to
+// Pipeline.Extract, so per-series work fans across the persistent pool.
+type ExtractFunc func(ctx context.Context, series [][]float64) ([][]float64, error)
+
+// ErrStoreMismatch reports a resume attempt against a store built from a
+// different extraction config or dataset: extending it would mix feature
+// spaces, so the runner refuses; start over with Resume disabled.
+var ErrStoreMismatch = errors.New("bulk: existing store does not match this run")
+
+// RunOptions configures one bulk extraction run.
+type RunOptions struct {
+	// Dir is the store directory; it is created if missing.
+	Dir string
+	// Dataset names the input in the manifest (reports, mismatch checks).
+	Dataset string
+	// ConfigJSON is the opaque extraction config recorded in the
+	// manifest; its hash is the resume-compatibility key.
+	ConfigJSON []byte
+	// Extract computes feature rows for a chunk.
+	Extract ExtractFunc
+	// FeatureNames resolves the feature-column names for the uniform
+	// series length, called once on the first chunk.
+	FeatureNames func(seriesLen int) []string
+	// Resume makes the runner honour an existing manifest: chunks whose
+	// input hash and shard checksum both verify are skipped. When false,
+	// any existing manifest and shards are removed first.
+	Resume bool
+	// Injector is the optional fault-injection hook exercised by the
+	// crash-recovery suite; nil means disarmed.
+	Injector *faults.Injector
+	// Progress, when non-nil, observes every chunk decision.
+	Progress func(Progress)
+}
+
+// Progress is one chunk's outcome, delivered in chunk order.
+type Progress struct {
+	Chunk   int
+	Rows    int
+	Skipped bool // true when the chunk's prior shard verified and was kept
+}
+
+// Result summarizes a completed run.
+type Result struct {
+	Manifest *Manifest
+	// Extracted and Skipped count chunks computed vs verified-and-kept.
+	Extracted, Skipped int
+}
+
+// Run streams src chunk by chunk into a columnar feature store at
+// opts.Dir: at most one chunk of raw series plus its feature rows is in
+// memory at any moment, regardless of dataset size. After every chunk the
+// manifest checkpoint is atomically rewritten, so a killed run loses at
+// most the chunk in flight; a resumed run (opts.Resume) re-reads the
+// input — parsing is cheap next to extraction — and re-extracts only
+// chunks whose recorded input hash or shard checksum fails to verify.
+// Because shard bytes and manifest JSON are pure functions of (input,
+// config), the store a resumed run converges to is byte-identical to an
+// uninterrupted run's.
+func Run(ctx context.Context, src Source, opts RunOptions) (*Result, error) {
+	if opts.Extract == nil || opts.FeatureNames == nil {
+		return nil, errors.New("bulk: RunOptions needs Extract and FeatureNames")
+	}
+	if len(opts.ConfigJSON) == 0 {
+		return nil, errors.New("bulk: RunOptions needs ConfigJSON")
+	}
+	cfg, err := compactJSON(opts.ConfigJSON)
+	if err != nil {
+		return nil, fmt.Errorf("bulk: ConfigJSON: %w", err)
+	}
+	opts.ConfigJSON = cfg
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+
+	prior, err := loadPrior(opts)
+	if err != nil {
+		return nil, err
+	}
+
+	m := &Manifest{
+		FormatVersion: FormatVersion,
+		Dataset:       opts.Dataset,
+		Config:        opts.ConfigJSON,
+		ConfigHash:    hashHex(opts.ConfigJSON),
+	}
+	classID := map[string]int{}
+	res := &Result{Manifest: m}
+
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		series, labels, err := src.NextChunk()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if len(series) == 0 {
+			continue
+		}
+		index := len(m.Chunks)
+
+		if m.SeriesLen == 0 {
+			m.SeriesLen = len(series[0])
+			m.FeatureNames = opts.FeatureNames(m.SeriesLen)
+			m.Cols = len(m.FeatureNames)
+			if m.Cols == 0 {
+				return nil, fmt.Errorf("bulk: no feature names for series length %d", m.SeriesLen)
+			}
+		}
+		ids := make([]int32, len(series))
+		for i, s := range series {
+			if len(s) != m.SeriesLen {
+				return nil, fmt.Errorf("bulk: chunk %d row %d: series has %d points, series 1 has %d",
+					index, i, len(s), m.SeriesLen)
+			}
+			id, ok := classID[labels[i]]
+			if !ok {
+				id = len(m.ClassNames)
+				classID[labels[i]] = id
+				m.ClassNames = append(m.ClassNames, labels[i])
+			}
+			ids[i] = int32(id)
+		}
+
+		inputHash := hashChunkInput(series, labels)
+		info := ChunkInfo{Index: index, Rows: len(series), Shard: shardName(index), InputSHA256: inputHash}
+
+		if sha, ok := chunkIsDurable(opts.Dir, prior, info); ok {
+			info.ShardSHA256 = sha
+			m.Chunks = append(m.Chunks, info)
+			m.Rows += info.Rows
+			res.Skipped++
+			if opts.Progress != nil {
+				opts.Progress(Progress{Chunk: index, Rows: info.Rows, Skipped: true})
+			}
+			continue
+		}
+
+		if err := opts.Injector.Fire(ctx, faults.PointBulkChunkExtract); err != nil {
+			return nil, fmt.Errorf("bulk: chunk %d: %w", index, err)
+		}
+		x, err := opts.Extract(ctx, series)
+		if err != nil {
+			return nil, fmt.Errorf("bulk: chunk %d: %w", index, err)
+		}
+		if len(x) != len(series) || len(x[0]) != m.Cols {
+			return nil, fmt.Errorf("bulk: chunk %d: extractor returned %d×%d, want %d×%d",
+				index, len(x), len(x[0]), len(series), m.Cols)
+		}
+		shard := encodeShard(ids, x)
+		if err := opts.Injector.Fire(ctx, faults.PointBulkShardWrite); err != nil {
+			return nil, fmt.Errorf("bulk: chunk %d: %w", index, err)
+		}
+		if err := writeFileAtomic(opts.Dir, info.Shard, shard); err != nil {
+			return nil, fmt.Errorf("bulk: chunk %d: %w", index, err)
+		}
+		info.ShardSHA256 = fmt.Sprintf("%x", sha256.Sum256(shard))
+		m.Chunks = append(m.Chunks, info)
+		m.Rows += info.Rows
+		res.Extracted++
+
+		// Checkpoint after every extracted chunk: a kill between here and
+		// the next chunk costs nothing on resume.
+		if err := opts.Injector.Fire(ctx, faults.PointBulkManifestWrite); err != nil {
+			return nil, fmt.Errorf("bulk: chunk %d: %w", index, err)
+		}
+		if err := checkpoint(opts.Dir, m); err != nil {
+			return nil, fmt.Errorf("bulk: chunk %d: %w", index, err)
+		}
+		if opts.Progress != nil {
+			opts.Progress(Progress{Chunk: index, Rows: info.Rows})
+		}
+	}
+
+	if len(m.Chunks) == 0 {
+		return nil, errors.New("bulk: input produced no chunks")
+	}
+	if err := removeStaleShards(opts.Dir, len(m.Chunks)); err != nil {
+		return nil, err
+	}
+	m.Complete = true
+	if err := opts.Injector.Fire(ctx, faults.PointBulkManifestWrite); err != nil {
+		return nil, fmt.Errorf("bulk: finalize: %w", err)
+	}
+	if err := checkpoint(opts.Dir, m); err != nil {
+		return nil, fmt.Errorf("bulk: finalize: %w", err)
+	}
+	return res, nil
+}
+
+// loadPrior resolves the resume baseline: the existing manifest when
+// resuming (after a config/dataset compatibility check), nothing when
+// starting fresh (existing store files are removed so stale shards can
+// never shadow the new run).
+func loadPrior(opts RunOptions) (*Manifest, error) {
+	path := filepath.Join(opts.Dir, ManifestName)
+	b, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if !opts.Resume {
+		if err := os.Remove(path); err != nil {
+			return nil, err
+		}
+		return nil, removeStaleShards(opts.Dir, 0)
+	}
+	prior, err := DecodeManifest(b)
+	if err != nil {
+		// A torn or corrupt manifest (e.g. the process died mid-rename
+		// sequence in a way rename cannot protect against, or manual
+		// tampering) is not fatal: resume just starts from nothing, and
+		// per-chunk shard verification still salvages intact shards.
+		return nil, nil
+	}
+	if prior.ConfigHash != hashHex(opts.ConfigJSON) {
+		return nil, fmt.Errorf("%w: %s was extracted under config %s, this run is %s (re-run without resume to rebuild)",
+			ErrStoreMismatch, opts.Dir, prior.ConfigHash, hashHex(opts.ConfigJSON))
+	}
+	if prior.Dataset != opts.Dataset {
+		return nil, fmt.Errorf("%w: %s holds dataset %q, this run extracts %q (re-run without resume to rebuild)",
+			ErrStoreMismatch, opts.Dir, prior.Dataset, opts.Dataset)
+	}
+	return prior, nil
+}
+
+// chunkIsDurable reports whether the prior run already extracted exactly
+// this chunk: the manifest entry must match the chunk's row count and
+// input hash, and the shard on disk must hash to what the manifest
+// recorded. Any mismatch — different input, torn shard, flipped bit —
+// fails closed into re-extraction.
+func chunkIsDurable(dir string, prior *Manifest, info ChunkInfo) (shardSHA string, ok bool) {
+	if prior == nil || info.Index >= len(prior.Chunks) {
+		return "", false
+	}
+	p := prior.Chunks[info.Index]
+	if p.Rows != info.Rows || p.InputSHA256 != info.InputSHA256 || p.Shard != info.Shard {
+		return "", false
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, p.Shard))
+	if err != nil {
+		return "", false
+	}
+	if fmt.Sprintf("%x", sha256.Sum256(raw)) != p.ShardSHA256 {
+		return "", false
+	}
+	return p.ShardSHA256, true
+}
+
+// checkpoint atomically rewrites the manifest.
+func checkpoint(dir string, m *Manifest) error {
+	b, err := m.Encode()
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(dir, ManifestName, b)
+}
+
+// removeStaleShards deletes shard files at or beyond numChunks — leftovers
+// from a prior run with more chunks (smaller chunk size, larger input)
+// that would otherwise linger as orphans the manifest no longer describes.
+func removeStaleShards(dir string, numChunks int) error {
+	matches, err := filepath.Glob(filepath.Join(dir, "shard-*.fm"))
+	if err != nil {
+		return err
+	}
+	for _, path := range matches {
+		var idx int
+		if _, err := fmt.Sscanf(filepath.Base(path), "shard-%d.fm", &idx); err != nil {
+			continue
+		}
+		if idx >= numChunks {
+			if err := os.Remove(path); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// CheckFinite scans a feature matrix for NaN/±Inf values, returning the
+// coordinates of the first offender. Shared by the runner's validation
+// suite and tests.
+func CheckFinite(x [][]float64) (row, col int, ok bool) {
+	for i, r := range x {
+		for j, v := range r {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return i, j, false
+			}
+		}
+	}
+	return 0, 0, true
+}

@@ -1,0 +1,376 @@
+package bulk
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+)
+
+// On-disk layout of a feature store directory (docs/bulk.md):
+//
+//	<dir>/manifest.json      resume + validation metadata, written last
+//	<dir>/shard-000000.fm    one columnar shard per input chunk
+//	<dir>/shard-000001.fm
+//	...
+//
+// A shard is a self-describing little-endian binary block:
+//
+//	offset 0   magic "MVGF"
+//	       4   uint32 format version (currently 1)
+//	       8   uint32 rows
+//	      12   uint32 cols
+//	      16   int32 label id per row            (4·rows bytes)
+//	      ...  float64 feature columns, column-major: all rows of
+//	           feature 0, then all rows of feature 1, ...  (8·rows·cols)
+//
+// Column-major order is the point of the format: a selection pass over
+// one feature ("give me T0.VG.Density for 10M series") reads rows·8
+// contiguous bytes per shard instead of striding the whole matrix.
+//
+// Shards never change after their atomic rename into place; every byte is
+// a pure function of (input chunk, extraction config), which is what
+// makes resumed and uninterrupted runs byte-identical.
+
+// ManifestName is the manifest's filename inside a store directory.
+const ManifestName = "manifest.json"
+
+const (
+	shardMagic       = "MVGF"
+	shardVersion     = 1
+	shardHeaderBytes = 16
+	// FormatVersion is the store format version stamped into manifests.
+	FormatVersion = 1
+)
+
+// shardName returns the canonical shard filename for a chunk index.
+func shardName(index int) string { return fmt.Sprintf("shard-%06d.fm", index) }
+
+// ChunkInfo is one chunk's manifest record: enough to decide on resume
+// whether the chunk's work is already durable (input hash + shard hash
+// both verify) and to validate the shard later without trusting it.
+type ChunkInfo struct {
+	Index int `json:"index"`
+	Rows  int `json:"rows"`
+	// Shard is the shard's bare filename inside the store directory.
+	Shard string `json:"shard"`
+	// ShardSHA256 is the hex SHA-256 of the entire shard file.
+	ShardSHA256 string `json:"shard_sha256"`
+	// InputSHA256 is the hex SHA-256 of the chunk's canonical input
+	// encoding (see hashChunkInput): label tokens and raw sample bits.
+	InputSHA256 string `json:"input_sha256"`
+}
+
+// Manifest is the store's metadata and resume journal, serialized as
+// deterministic JSON (no timestamps, fixed field order) so that two runs
+// over the same input produce byte-identical manifests.
+type Manifest struct {
+	FormatVersion int    `json:"format_version"`
+	Dataset       string `json:"dataset"`
+	// Config is the opaque extraction-config JSON supplied by the caller;
+	// ConfigHash is its "sha256:<hex>" digest and the resume-compatibility
+	// key: a store extracted under one config is never silently extended
+	// under another.
+	Config     json.RawMessage `json:"config"`
+	ConfigHash string          `json:"config_hash"`
+	SeriesLen  int             `json:"series_len"`
+	Cols       int             `json:"cols"`
+	// FeatureNames names the Cols feature columns in shard order.
+	FeatureNames []string `json:"feature_names"`
+	// ClassNames maps dense label ids back to raw label tokens, in
+	// first-seen input order (a streaming read cannot sort a token set it
+	// has not finished discovering; docs/bulk.md).
+	ClassNames []string `json:"class_names"`
+	// Rows is the total row count across chunks written so far.
+	Rows int `json:"rows"`
+	// Complete is false from the first checkpoint until the final chunk's
+	// shard has landed; an incomplete manifest is a resumable journal, not
+	// a servable store.
+	Complete bool        `json:"complete"`
+	Chunks   []ChunkInfo `json:"chunks"`
+}
+
+// ErrBadStore is the sentinel for structurally invalid store content:
+// undecodable or inconsistent manifests, corrupt or misdescribed shards.
+var ErrBadStore = errors.New("bulk: invalid feature store")
+
+// badStore wraps a formatted message in the ErrBadStore taxonomy.
+func badStore(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrBadStore, fmt.Sprintf(format, args...))
+}
+
+// DecodeManifest parses and structurally validates manifest bytes: format
+// version, config-hash integrity, dense ascending chunk indexes, sane
+// bare shard filenames, digest shapes, and count consistency. It does not
+// touch the filesystem — shard content is Validate's job.
+func DecodeManifest(b []byte) (*Manifest, error) {
+	var m Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, badStore("manifest: %v", err)
+	}
+	if m.FormatVersion != FormatVersion {
+		return nil, badStore("manifest: unsupported format version %d", m.FormatVersion)
+	}
+	if len(m.Config) == 0 {
+		return nil, badStore("manifest: missing config")
+	}
+	// Encoding re-indents the embedded config, so hash the canonical
+	// (compact) form — the same form writers hash.
+	cfg, err := compactJSON(m.Config)
+	if err != nil {
+		return nil, badStore("manifest: config: %v", err)
+	}
+	m.Config = cfg
+	if got := hashHex(m.Config); m.ConfigHash != got {
+		return nil, badStore("manifest: config_hash %q does not match config (%q)", m.ConfigHash, got)
+	}
+	if m.SeriesLen <= 0 {
+		return nil, badStore("manifest: series_len %d", m.SeriesLen)
+	}
+	if m.Cols <= 0 || len(m.FeatureNames) != m.Cols {
+		return nil, badStore("manifest: %d feature names for %d cols", len(m.FeatureNames), m.Cols)
+	}
+	if m.Rows < 0 {
+		return nil, badStore("manifest: negative row count")
+	}
+	rows := 0
+	for i, c := range m.Chunks {
+		if c.Index != i {
+			return nil, badStore("manifest: chunk %d has index %d", i, c.Index)
+		}
+		if c.Rows <= 0 {
+			return nil, badStore("manifest: chunk %d has %d rows", i, c.Rows)
+		}
+		if c.Shard != filepath.Base(c.Shard) || c.Shard == "." || c.Shard == "" {
+			return nil, badStore("manifest: chunk %d shard name %q is not a bare filename", i, c.Shard)
+		}
+		if !isHexDigest(c.ShardSHA256) || !isHexDigest(c.InputSHA256) {
+			return nil, badStore("manifest: chunk %d has malformed digests", i)
+		}
+		rows += c.Rows
+	}
+	if rows != m.Rows {
+		return nil, badStore("manifest: chunk rows sum to %d, rows says %d", rows, m.Rows)
+	}
+	seen := make(map[string]bool, len(m.ClassNames))
+	for _, name := range m.ClassNames {
+		if seen[name] {
+			return nil, badStore("manifest: duplicate class name %q", name)
+		}
+		seen[name] = true
+	}
+	return &m, nil
+}
+
+// Encode serializes the manifest deterministically.
+func (m *Manifest) Encode() ([]byte, error) {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// compactJSON canonicalizes JSON whitespace. Config bytes are always
+// hashed and stored in this form so that the indentation Encode applies
+// to embedded raw JSON never shifts the config hash.
+func compactJSON(b []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, b); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// HashConfig digests config JSON exactly as manifests record it: the
+// canonical (compact) form under the "sha256:<hex>" scheme. Callers use
+// it to test a config against a store's ConfigHash without rebuilding the
+// store. Non-JSON input hashes verbatim (it can never match a manifest's
+// hash, which is the right answer).
+func HashConfig(b []byte) string {
+	c, err := compactJSON(b)
+	if err != nil {
+		return hashHex(b)
+	}
+	return hashHex(c)
+}
+
+// isHexDigest reports whether s looks like a lowercase hex SHA-256.
+func isHexDigest(s string) bool {
+	if len(s) != 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// hashHex digests bytes as the manifest's "sha256:<hex>" config key.
+func hashHex(b []byte) string {
+	return fmt.Sprintf("sha256:%x", sha256.Sum256(b))
+}
+
+// hashChunkInput digests a chunk's canonical input encoding: for each
+// row, the label token, a NUL separator, then the samples' IEEE-754 bits
+// little-endian. Two chunks hash equal iff they are the same rows with
+// the same labels bit-for-bit — the resume test for "this shard was
+// extracted from exactly this input".
+func hashChunkInput(series [][]float64, labels []string) string {
+	h := sha256.New()
+	var buf [8]byte
+	for i, s := range series {
+		h.Write([]byte(labels[i]))
+		h.Write([]byte{0})
+		for _, v := range s {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+			h.Write(buf[:])
+		}
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// encodeShard serializes one chunk's label ids and row-major feature
+// matrix into the columnar shard format. Encoding is canonical: the same
+// rows always produce the same bytes.
+func encodeShard(labels []int32, x [][]float64) []byte {
+	rows, cols := len(x), 0
+	if rows > 0 {
+		cols = len(x[0])
+	}
+	b := make([]byte, shardHeaderBytes+4*rows+8*rows*cols)
+	copy(b, shardMagic)
+	binary.LittleEndian.PutUint32(b[4:], shardVersion)
+	binary.LittleEndian.PutUint32(b[8:], uint32(rows))
+	binary.LittleEndian.PutUint32(b[12:], uint32(cols))
+	off := shardHeaderBytes
+	for _, id := range labels {
+		binary.LittleEndian.PutUint32(b[off:], uint32(id))
+		off += 4
+	}
+	for j := 0; j < cols; j++ {
+		for i := 0; i < rows; i++ {
+			binary.LittleEndian.PutUint64(b[off:], math.Float64bits(x[i][j]))
+			off += 8
+		}
+	}
+	return b
+}
+
+// decodeShard parses a shard back into label ids and a row-major matrix.
+// It rejects bad magic, unknown versions, and any size mismatch — a shard
+// either decodes exactly or not at all (trailing bytes are corruption).
+func decodeShard(b []byte) (labels []int32, x [][]float64, err error) {
+	if len(b) < shardHeaderBytes || string(b[:4]) != shardMagic {
+		return nil, nil, badStore("shard: bad magic")
+	}
+	if v := binary.LittleEndian.Uint32(b[4:]); v != shardVersion {
+		return nil, nil, badStore("shard: unsupported version %d", v)
+	}
+	rows := int(binary.LittleEndian.Uint32(b[8:]))
+	cols := int(binary.LittleEndian.Uint32(b[12:]))
+	if rows == 0 && cols != 0 {
+		// A rowless shard carries no data bytes to witness its cols; the
+		// canonical encoding of zero rows is zero cols.
+		return nil, nil, badStore("shard: 0 rows with %d cols", cols)
+	}
+	want := uint64(shardHeaderBytes) + 4*uint64(rows) + 8*uint64(rows)*uint64(cols)
+	if uint64(len(b)) != want {
+		return nil, nil, badStore("shard: %d bytes for %d×%d, want %d", len(b), rows, cols, want)
+	}
+	labels = make([]int32, rows)
+	off := shardHeaderBytes
+	for i := range labels {
+		labels[i] = int32(binary.LittleEndian.Uint32(b[off:]))
+		off += 4
+	}
+	flat := make([]float64, rows*cols)
+	x = make([][]float64, rows)
+	for i := range x {
+		x[i] = flat[i*cols : (i+1)*cols : (i+1)*cols]
+	}
+	for j := 0; j < cols; j++ {
+		for i := 0; i < rows; i++ {
+			x[i][j] = math.Float64frombits(binary.LittleEndian.Uint64(b[off:]))
+			off += 8
+		}
+	}
+	return labels, x, nil
+}
+
+// readShardFile loads and decodes one shard, returning its raw bytes too
+// so callers can checksum exactly what was decoded.
+func readShardFile(path string) (raw []byte, labels []int32, x [][]float64, err error) {
+	raw, err = os.ReadFile(path)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	labels, x, err = decodeShard(raw)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("%s: %w", filepath.Base(path), err)
+	}
+	return raw, labels, x, nil
+}
+
+// writeFileAtomic lands data at dir/name via a temp sibling + rename, so
+// a crash mid-write never leaves a torn file where a reader (or a resumed
+// run) expects a whole one.
+func writeFileAtomic(dir, name string, data []byte) error {
+	tmp, err := os.CreateTemp(dir, name+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), filepath.Join(dir, name))
+}
+
+// ReadManifest loads and validates a store directory's manifest.
+func ReadManifest(dir string) (*Manifest, error) {
+	b, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, err
+	}
+	return DecodeManifest(b)
+}
+
+// ReadChunkRows decodes one chunk's shard after verifying its checksum
+// against the manifest, returning dense label ids and row-major features.
+func ReadChunkRows(dir string, m *Manifest, index int) (labels []int32, x [][]float64, err error) {
+	if index < 0 || index >= len(m.Chunks) {
+		return nil, nil, badStore("chunk index %d of %d", index, len(m.Chunks))
+	}
+	c := m.Chunks[index]
+	raw, labels, x, err := readShardFile(filepath.Join(dir, c.Shard))
+	if err != nil {
+		return nil, nil, err
+	}
+	if got := fmt.Sprintf("%x", sha256.Sum256(raw)); got != c.ShardSHA256 {
+		return nil, nil, badStore("%s: checksum mismatch (have %s, manifest says %s)", c.Shard, got, c.ShardSHA256)
+	}
+	if len(x) != c.Rows {
+		return nil, nil, badStore("%s: %d rows, manifest says %d", c.Shard, len(x), c.Rows)
+	}
+	if len(x) > 0 && len(x[0]) != m.Cols {
+		return nil, nil, badStore("%s: %d cols, manifest says %d", c.Shard, len(x[0]), m.Cols)
+	}
+	return labels, x, nil
+}

@@ -1,0 +1,170 @@
+package bulk
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestShardRoundTrip pins the binary shard contract: canonical encoding,
+// exact decode, and the documented column-major layout.
+func TestShardRoundTrip(t *testing.T) {
+	labels := []int32{0, 2, 1}
+	x := [][]float64{
+		{1.5, -2.25, math.SmallestNonzeroFloat64},
+		{0, 3.5, 7},
+		{-1, math.MaxFloat64, 2},
+	}
+	b := encodeShard(labels, x)
+	if got, want := len(b), 16+4*3+8*9; got != want {
+		t.Fatalf("shard size = %d, want %d", got, want)
+	}
+	// Column-major: the first float64 after the label block is x[0][0],
+	// the second x[1][0] (next row, same feature).
+	off := 16 + 4*3
+	if v := math.Float64frombits(binary.LittleEndian.Uint64(b[off+8:])); v != x[1][0] {
+		t.Fatalf("second data value = %v, want x[1][0] = %v (layout is not column-major)", v, x[1][0])
+	}
+	gotLabels, gotX, err := decodeShard(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotLabels, labels) || !reflect.DeepEqual(gotX, x) {
+		t.Fatalf("round trip mismatch:\nlabels %v vs %v\nx %v vs %v", gotLabels, labels, gotX, x)
+	}
+	// Canonical: re-encoding the decode reproduces the exact bytes.
+	if again := encodeShard(gotLabels, gotX); string(again) != string(b) {
+		t.Fatal("encode(decode(shard)) != shard")
+	}
+}
+
+// TestShardDecodeRejects covers the corruption classes decode must fail
+// closed on.
+func TestShardDecodeRejects(t *testing.T) {
+	good := encodeShard([]int32{0, 1}, [][]float64{{1, 2}, {3, 4}})
+	cases := map[string][]byte{
+		"empty":       {},
+		"short":       good[:10],
+		"bad-magic":   append([]byte("NOPE"), good[4:]...),
+		"bad-version": func() []byte { b := append([]byte{}, good...); b[4] = 9; return b }(),
+		"truncated":   good[:len(good)-1],
+		"trailing":    append(append([]byte{}, good...), 0),
+		"lying-rows":  func() []byte { b := append([]byte{}, good...); b[8] = 7; return b }(),
+	}
+	for name, b := range cases {
+		if _, _, err := decodeShard(b); !errors.Is(err, ErrBadStore) {
+			t.Errorf("%s: decodeShard err = %v, want ErrBadStore", name, err)
+		}
+	}
+}
+
+// validManifest builds a structurally consistent manifest for tests.
+func validManifest() *Manifest {
+	cfg := []byte(`{"scale":"mvg"}`)
+	m := &Manifest{
+		FormatVersion: FormatVersion,
+		Dataset:       "toy",
+		Config:        cfg,
+		ConfigHash:    hashHex(cfg),
+		SeriesLen:     8,
+		Cols:          3,
+		FeatureNames:  []string{"a", "b", "c"},
+		ClassNames:    []string{"1", "2"},
+		Rows:          2,
+		Complete:      true,
+		Chunks: []ChunkInfo{{
+			Index: 0, Rows: 2, Shard: shardName(0),
+			ShardSHA256: strings.Repeat("ab", 32),
+			InputSHA256: hashChunkInput([][]float64{{1}}, []string{"1"}),
+		}},
+	}
+	return m
+}
+
+// TestManifestRoundTrip pins deterministic encode/decode.
+func TestManifestRoundTrip(t *testing.T) {
+	m := validManifest()
+	b, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeManifest(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Fatalf("round trip mismatch:\n%#v\n%#v", got, m)
+	}
+	b2, err := got.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != string(b2) {
+		t.Fatal("manifest encoding is not deterministic")
+	}
+}
+
+// TestDecodeManifestRejects covers the structural validations: every
+// mutation below must fail closed with ErrBadStore.
+func TestDecodeManifestRejects(t *testing.T) {
+	mutate := map[string]func(m *Manifest){
+		"bad-version":      func(m *Manifest) { m.FormatVersion = 99 },
+		"config-tampered":  func(m *Manifest) { m.Config = []byte(`{"scale":"uvg"}`) },
+		"hash-tampered":    func(m *Manifest) { m.ConfigHash = "sha256:" + strings.Repeat("0", 64) },
+		"no-config":        func(m *Manifest) { m.Config = nil },
+		"bad-series-len":   func(m *Manifest) { m.SeriesLen = 0 },
+		"names-vs-cols":    func(m *Manifest) { m.FeatureNames = m.FeatureNames[:2] },
+		"sparse-chunks":    func(m *Manifest) { m.Chunks[0].Index = 3 },
+		"zero-row-chunk":   func(m *Manifest) { m.Chunks[0].Rows = 0 },
+		"path-traversal":   func(m *Manifest) { m.Chunks[0].Shard = "../../etc/passwd" },
+		"absolute-shard":   func(m *Manifest) { m.Chunks[0].Shard = "/etc/passwd" },
+		"bad-digest":       func(m *Manifest) { m.Chunks[0].ShardSHA256 = "zz" },
+		"rows-mismatch":    func(m *Manifest) { m.Rows = 5 },
+		"duplicate-class":  func(m *Manifest) { m.ClassNames = []string{"1", "1"} },
+		"negative-rows":    func(m *Manifest) { m.Rows = -1; m.Chunks = nil },
+		"uppercase-digest": func(m *Manifest) { m.Chunks[0].InputSHA256 = strings.ToUpper(m.Chunks[0].InputSHA256) },
+	}
+	for name, fn := range mutate {
+		t.Run(name, func(t *testing.T) {
+			m := validManifest()
+			fn(m)
+			b, err := m.Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := DecodeManifest(b); !errors.Is(err, ErrBadStore) {
+				t.Fatalf("DecodeManifest err = %v, want ErrBadStore", err)
+			}
+		})
+	}
+	if _, err := DecodeManifest([]byte("not json")); !errors.Is(err, ErrBadStore) {
+		t.Fatalf("non-JSON err = %v, want ErrBadStore", err)
+	}
+}
+
+// TestSampleIndices pins the deterministic parity sampling: first and
+// last row always included, indices strictly increasing, bounded by k.
+func TestSampleIndices(t *testing.T) {
+	for _, tc := range []struct{ rows, k, want int }{
+		{1, 4, 1}, {2, 4, 2}, {3, 4, 3}, {4, 4, 4}, {5, 4, 4}, {1000, 4, 4}, {1000, 1, 1}, {7, 0, 4},
+	} {
+		idx := sampleIndices(tc.rows, tc.k)
+		if len(idx) != tc.want {
+			t.Fatalf("sampleIndices(%d,%d) len = %d, want %d", tc.rows, tc.k, len(idx), tc.want)
+		}
+		if idx[0] != 0 {
+			t.Fatalf("sampleIndices(%d,%d) first = %d, want 0", tc.rows, tc.k, idx[0])
+		}
+		if tc.k > 1 && idx[len(idx)-1] != tc.rows-1 {
+			t.Fatalf("sampleIndices(%d,%d) last = %d, want %d", tc.rows, tc.k, idx[len(idx)-1], tc.rows-1)
+		}
+		for i := 1; i < len(idx); i++ {
+			if idx[i] <= idx[i-1] {
+				t.Fatalf("sampleIndices(%d,%d) not strictly increasing: %v", tc.rows, tc.k, idx)
+			}
+		}
+	}
+}

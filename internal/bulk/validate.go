@@ -1,0 +1,221 @@
+package bulk
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+)
+
+// The validation suite replays a feature store's invariants from the
+// outside, trusting nothing but the bytes on disk (and, for parity, the
+// original input). Checks are ordered from structural to semantic:
+//
+//	manifest   decodes, internally consistent, complete
+//	shards     every shard present, checksummed, header matches manifest
+//	labels     every label id within [0, classes)
+//	finite     every feature value finite (NaN/±Inf never legitimate)
+//	counts     per-chunk and total row counts agree with the manifest
+//	parity     sampled rows per shard re-extract to bit-identical
+//	           features — the determinism contract the golden vectors pin,
+//	           now enforced end-to-end through the store
+//
+// Each check yields a CheckResult rather than aborting the suite, so one
+// report names everything wrong with a store at once.
+
+// CheckResult is one validation check's verdict.
+type CheckResult struct {
+	Name   string
+	OK     bool
+	Detail string // first failure's coordinates, or a summary when OK
+}
+
+// ValidateOptions configures a validation pass.
+type ValidateOptions struct {
+	// Dir is the store directory.
+	Dir string
+	// Source, when non-nil, replays the original input for the parity
+	// check; Extract must then be non-nil too. The source's chunking must
+	// match the store's (same chunk size over the same input).
+	Source  Source
+	Extract ExtractFunc
+	// SampleRows bounds how many rows per shard the parity check
+	// re-extracts (evenly spaced, always including first and last row of
+	// the shard). Non-positive selects 4.
+	SampleRows int
+}
+
+// Validate runs the suite and reports one CheckResult per check plus an
+// overall verdict. It returns a non-nil error only when the pass itself
+// could not run (context cancelled, source I/O failure) — a broken store
+// is a false verdict, not an error.
+func Validate(ctx context.Context, opts ValidateOptions) (results []CheckResult, ok bool, err error) {
+	add := func(r CheckResult) {
+		results = append(results, r)
+	}
+
+	m, err := ReadManifest(opts.Dir)
+	if err != nil {
+		add(CheckResult{Name: "manifest", Detail: err.Error()})
+		return results, false, nil
+	}
+	if !m.Complete {
+		add(CheckResult{Name: "manifest", Detail: "store is incomplete (extraction was interrupted; re-run extract to finish)"})
+		return results, false, nil
+	}
+	add(CheckResult{Name: "manifest", OK: true,
+		Detail: fmt.Sprintf("%d rows, %d chunks, %d features, %d classes", m.Rows, len(m.Chunks), m.Cols, len(m.ClassNames))})
+
+	shards := CheckResult{Name: "shards", OK: true, Detail: fmt.Sprintf("%d shard checksums verified", len(m.Chunks))}
+	labels := CheckResult{Name: "labels", OK: true, Detail: fmt.Sprintf("all label ids in [0,%d)", len(m.ClassNames))}
+	finite := CheckResult{Name: "finite", OK: true, Detail: fmt.Sprintf("%d feature values finite", m.Rows*m.Cols)}
+	counts := CheckResult{Name: "counts", OK: true, Detail: fmt.Sprintf("row counts consistent (%d total)", m.Rows)}
+
+	rows := 0
+	for i := range m.Chunks {
+		if err := ctx.Err(); err != nil {
+			return results, false, err
+		}
+		ids, x, err := ReadChunkRows(opts.Dir, m, i)
+		if err != nil {
+			if shards.OK {
+				shards = CheckResult{Name: "shards", Detail: err.Error()}
+			}
+			continue
+		}
+		rows += len(x)
+		for r, id := range ids {
+			if int(id) < 0 || int(id) >= len(m.ClassNames) {
+				if labels.OK {
+					labels = CheckResult{Name: "labels",
+						Detail: fmt.Sprintf("chunk %d row %d: label id %d outside [0,%d)", i, r, id, len(m.ClassNames))}
+				}
+				break
+			}
+		}
+		if r, c, fin := CheckFinite(x); !fin && finite.OK {
+			finite = CheckResult{Name: "finite",
+				Detail: fmt.Sprintf("chunk %d row %d col %d (%s): non-finite feature %v", i, r, c, m.FeatureNames[c], x[r][c])}
+		}
+	}
+	if shards.OK && rows != m.Rows {
+		counts = CheckResult{Name: "counts", Detail: fmt.Sprintf("shards hold %d rows, manifest says %d", rows, m.Rows)}
+	}
+	add(shards)
+	add(labels)
+	add(finite)
+	add(counts)
+
+	if opts.Source != nil {
+		parity, err := parityCheck(ctx, m, opts)
+		if err != nil {
+			return results, false, err
+		}
+		add(parity)
+	}
+
+	ok = true
+	for _, r := range results {
+		ok = ok && r.OK
+	}
+	return results, ok, nil
+}
+
+// sampleIndices picks up to k evenly spaced row indices in [0, rows),
+// always including the first and last row. Deterministic by construction:
+// the parity sample for a given store never varies between runs.
+func sampleIndices(rows, k int) []int {
+	if k <= 0 {
+		k = 4
+	}
+	if k >= rows {
+		idx := make([]int, rows)
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx
+	}
+	if k == 1 {
+		return []int{0}
+	}
+	idx := make([]int, 0, k)
+	for i := 0; i < k; i++ {
+		j := i * (rows - 1) / (k - 1)
+		if n := len(idx); n == 0 || idx[n-1] != j {
+			idx = append(idx, j)
+		}
+	}
+	return idx
+}
+
+// parityCheck replays the input through the store's chunking, verifies
+// each chunk is the exact input the manifest recorded, and re-extracts
+// sampled rows asserting bit-identical feature vectors and label
+// mappings. A passing parity check means the store is interchangeable
+// with a fresh extraction of the same input.
+func parityCheck(ctx context.Context, m *Manifest, opts ValidateOptions) (CheckResult, error) {
+	fail := func(format string, args ...any) CheckResult {
+		return CheckResult{Name: "parity", Detail: fmt.Sprintf(format, args...)}
+	}
+	if opts.Extract == nil {
+		return fail("parity requested without an extractor"), nil
+	}
+	classID := map[string]int{}
+	for i, name := range m.ClassNames {
+		classID[name] = i
+	}
+	sampled := 0
+	for index := 0; ; index++ {
+		series, labels, err := opts.Source.NextChunk()
+		if err == io.EOF {
+			if index != len(m.Chunks) {
+				return fail("input has %d chunks, store has %d", index, len(m.Chunks)), nil
+			}
+			break
+		}
+		if err != nil {
+			return CheckResult{}, err
+		}
+		if index >= len(m.Chunks) {
+			return fail("input has more chunks than the store's %d", len(m.Chunks)), nil
+		}
+		c := m.Chunks[index]
+		if len(series) != c.Rows {
+			return fail("chunk %d: input has %d rows, store has %d (was the store built with a different chunk size?)",
+				index, len(series), c.Rows), nil
+		}
+		if got := hashChunkInput(series, labels); got != c.InputSHA256 {
+			return fail("chunk %d: input differs from the one extracted (hash %s, manifest says %s)",
+				index, got, c.InputSHA256), nil
+		}
+		ids, x, err := ReadChunkRows(opts.Dir, m, index)
+		if err != nil {
+			return fail("chunk %d: %v", index, err), nil
+		}
+		for _, r := range sampleIndices(c.Rows, opts.SampleRows) {
+			if err := ctx.Err(); err != nil {
+				return CheckResult{}, err
+			}
+			wantID, known := classID[labels[r]]
+			if !known || int(ids[r]) != wantID {
+				return fail("chunk %d row %d: stored label id %d does not map to token %q", index, r, ids[r], labels[r]), nil
+			}
+			fresh, err := opts.Extract(ctx, series[r:r+1])
+			if err != nil {
+				return CheckResult{}, fmt.Errorf("parity re-extraction of chunk %d row %d: %w", index, r, err)
+			}
+			if len(fresh) != 1 || len(fresh[0]) != m.Cols {
+				return fail("chunk %d row %d: re-extraction returned %d cols, store has %d", index, r, len(fresh[0]), m.Cols), nil
+			}
+			for j, v := range fresh[0] {
+				if math.Float64bits(v) != math.Float64bits(x[r][j]) {
+					return fail("chunk %d row %d col %d (%s): stored %x, re-extracted %x — store is not bit-identical to fresh extraction",
+						index, r, j, m.FeatureNames[j], math.Float64bits(x[r][j]), math.Float64bits(v)), nil
+				}
+			}
+			sampled++
+		}
+	}
+	return CheckResult{Name: "parity", OK: true,
+		Detail: fmt.Sprintf("%d sampled rows re-extracted bit-identically", sampled)}, nil
+}

@@ -1,0 +1,241 @@
+package bulk
+
+import (
+	"context"
+	"crypto/sha256"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// checkByName plucks one check's result from a validation report.
+func checkByName(t *testing.T, results []CheckResult, name string) CheckResult {
+	t.Helper()
+	for _, r := range results {
+		if r.Name == name {
+			return r
+		}
+	}
+	t.Fatalf("no %q check in %+v", name, results)
+	return CheckResult{}
+}
+
+// rewriteManifest mutates a store's manifest in place, keeping it
+// structurally decodable (the mutation must preserve DecodeManifest's
+// invariants).
+func rewriteManifest(t *testing.T, dir string, mutate func(*Manifest)) {
+	t.Helper()
+	m, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate(m)
+	b, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, ManifestName), b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateMissingManifest(t *testing.T) {
+	results, ok, err := Validate(context.Background(), ValidateOptions{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok || checkByName(t, results, "manifest").OK {
+		t.Fatalf("empty dir validated: %+v", results)
+	}
+}
+
+func TestValidateDetectsIncompleteStore(t *testing.T) {
+	dir := t.TempDir()
+	runToy(t, dir, 10, 4, nil)
+	rewriteManifest(t, dir, func(m *Manifest) { m.Complete = false })
+	results, ok, err := Validate(context.Background(), ValidateOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := checkByName(t, results, "manifest")
+	if ok || mc.OK || !strings.Contains(mc.Detail, "incomplete") {
+		t.Fatalf("incomplete store validated: %+v", results)
+	}
+}
+
+func TestValidateDetectsShardCorruption(t *testing.T) {
+	dir := t.TempDir()
+	runToy(t, dir, 10, 4, nil)
+	path := filepath.Join(dir, shardName(1))
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-3] ^= 0x40 // flip one data bit; shard still decodes, checksum does not
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	results, ok, err := Validate(context.Background(), ValidateOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := checkByName(t, results, "shards")
+	if ok || sc.OK || !strings.Contains(sc.Detail, "checksum mismatch") {
+		t.Fatalf("corrupt shard validated: %+v", results)
+	}
+	if !checkByName(t, results, "manifest").OK {
+		t.Fatal("manifest check should still pass — corruption is in the shard")
+	}
+}
+
+func TestValidateDetectsNonFinite(t *testing.T) {
+	dir := t.TempDir()
+	runToy(t, dir, 10, 4, func(o *RunOptions) {
+		o.Extract = func(ctx context.Context, series [][]float64) ([][]float64, error) {
+			x, err := fakeExtract(ctx, series)
+			if err == nil && len(x) == 2 { // poison one row of the 2-row tail chunk
+				x[1][2] = math.NaN()
+			}
+			return x, err
+		}
+	})
+	results, ok, err := Validate(context.Background(), ValidateOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := checkByName(t, results, "finite")
+	if ok || fc.OK || !strings.Contains(fc.Detail, "chunk 2 row 1 col 2") {
+		t.Fatalf("NaN feature validated: %+v", results)
+	}
+}
+
+func TestValidateDetectsBadLabelID(t *testing.T) {
+	dir := t.TempDir()
+	runToy(t, dir, 6, 3, nil)
+	// Rewrite shard 0 with an out-of-range label id and patch its checksum
+	// so the structural checks pass and the labels check has to catch it.
+	m, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, x, err := ReadChunkRows(dir, m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids[0] = 99
+	tamperShard(t, dir, 0, ids, x)
+	results, ok, err := Validate(context.Background(), ValidateOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc := checkByName(t, results, "labels")
+	if ok || lc.OK || !strings.Contains(lc.Detail, "label id 99") {
+		t.Fatalf("out-of-range label id validated: %+v", results)
+	}
+}
+
+// tamperShard re-encodes a shard with altered content and patches the
+// manifest's recorded checksum, simulating tampering the structural
+// checks cannot see.
+func tamperShard(t *testing.T, dir string, index int, ids []int32, x [][]float64) {
+	t.Helper()
+	shard := encodeShard(ids, x)
+	if err := os.WriteFile(filepath.Join(dir, shardName(index)), shard, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rewriteManifest(t, dir, func(m *Manifest) {
+		m.Chunks[index].ShardSHA256 = fmt.Sprintf("%x", sha256.Sum256(shard))
+	})
+}
+
+func TestParityDetectsTamperedFeature(t *testing.T) {
+	dir := t.TempDir()
+	const rows, chunk = 10, 4
+	runToy(t, dir, rows, chunk, nil)
+	m, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, x, err := ReadChunkRows(dir, m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x[0][0] += 1e-9 // row 0 is always in the parity sample
+	tamperShard(t, dir, 0, ids, x)
+
+	series, labels := toyDataset(rows, 16)
+	results, ok, err := Validate(context.Background(), ValidateOptions{
+		Dir:     dir,
+		Source:  &memSource{series: series, labels: labels, chunk: chunk},
+		Extract: fakeExtract,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := checkByName(t, results, "parity")
+	if ok || pc.OK || !strings.Contains(pc.Detail, "not bit-identical") {
+		t.Fatalf("tampered feature passed parity: %+v", results)
+	}
+	// Without the input, the tampering is invisible: structural checks pass.
+	if _, structOK, err := Validate(context.Background(), ValidateOptions{Dir: dir}); err != nil || !structOK {
+		t.Fatalf("structural checks should pass on a checksum-consistent tampered store (ok=%v err=%v)", structOK, err)
+	}
+}
+
+func TestParityDetectsChangedInput(t *testing.T) {
+	dir := t.TempDir()
+	const rows, chunk = 10, 4
+	runToy(t, dir, rows, chunk, nil)
+	series, labels := toyDataset(rows, 16)
+	series[5][3] += 0.5
+	results, ok, err := Validate(context.Background(), ValidateOptions{
+		Dir:     dir,
+		Source:  &memSource{series: series, labels: labels, chunk: chunk},
+		Extract: fakeExtract,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := checkByName(t, results, "parity")
+	if ok || pc.OK || !strings.Contains(pc.Detail, "input differs") {
+		t.Fatalf("changed input passed parity: %+v", results)
+	}
+}
+
+func TestParityDetectsChunkSizeMismatch(t *testing.T) {
+	dir := t.TempDir()
+	const rows = 10
+	runToy(t, dir, rows, 4, nil)
+	series, labels := toyDataset(rows, 16)
+	results, ok, err := Validate(context.Background(), ValidateOptions{
+		Dir:     dir,
+		Source:  &memSource{series: series, labels: labels, chunk: 5},
+		Extract: fakeExtract,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := checkByName(t, results, "parity")
+	if ok || pc.OK || !strings.Contains(pc.Detail, "different chunk size") {
+		t.Fatalf("chunk-size mismatch passed parity: %+v", results)
+	}
+}
+
+func TestParityNeedsExtractor(t *testing.T) {
+	dir := t.TempDir()
+	runToy(t, dir, 10, 4, nil)
+	series, labels := toyDataset(10, 16)
+	results, ok, err := Validate(context.Background(), ValidateOptions{
+		Dir:    dir,
+		Source: &memSource{series: series, labels: labels, chunk: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok || checkByName(t, results, "parity").OK {
+		t.Fatalf("parity without extractor should fail: %+v", results)
+	}
+}

@@ -34,6 +34,23 @@ const (
 	PointStreamPredict = "serve.stream_predict"
 )
 
+// Fault point names used by the bulk extraction runner (internal/bulk).
+// The crash-recovery suite arms these to kill a run at every interesting
+// boundary — before a chunk extracts, after it extracts but before its
+// shard lands, and after the shard lands but before the manifest
+// checkpoint — and asserts a resumed run converges to a byte-identical
+// store (docs/bulk.md).
+const (
+	// PointBulkChunkExtract fires before each chunk's feature extraction.
+	PointBulkChunkExtract = "bulk.extract_chunk"
+	// PointBulkShardWrite fires after extraction, before the chunk's shard
+	// file is written.
+	PointBulkShardWrite = "bulk.write_shard"
+	// PointBulkManifestWrite fires after the shard landed, before the
+	// manifest checkpoint that records it.
+	PointBulkManifestWrite = "bulk.write_manifest"
+)
+
 // Injector is a concurrency-safe registry of armed fault points. The zero
 // value and the nil pointer are both valid, permanently-disarmed
 // injectors.

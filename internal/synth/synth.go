@@ -79,6 +79,25 @@ func (f Family) split(n int, rng *rand.Rand, imbalanced bool) *ucr.Dataset {
 	return d
 }
 
+// EmitRows streams rows synthetic series of the family to fn without
+// ever materializing the dataset: classes cycle round-robin (the
+// balanced draw of split, minus the shuffle — bulk consumers chunk the
+// stream and don't care about sample order), labels are the family's
+// usual "1".."K" tokens, and the whole emission is a pure function of
+// (family, rows, seed), so two runs produce byte-identical streams. This
+// is the generator behind `tsgen -rows`: datasets of millions of rows
+// cost one series of memory at a time.
+func (f Family) EmitRows(rows int, seed int64, fn func(label string, series []float64) error) error {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < rows; i++ {
+		class := i % f.Classes
+		if err := fn(fmt.Sprintf("%d", class+1), f.gen(class, rng)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // --- waveform helpers ---
 
 func addNoise(t []float64, sigma float64, rng *rand.Rand) []float64 {

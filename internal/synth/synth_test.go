@@ -1,6 +1,8 @@
 package synth
 
 import (
+	"errors"
+	"fmt"
 	"testing"
 
 	"mvg/internal/ml"
@@ -148,5 +150,68 @@ func TestImbalancedFamilySkews(t *testing.T) {
 	counts := ml.ClassCounts(train.Labels, f.Classes)
 	if counts[0] <= counts[1] {
 		t.Errorf("class 0 should dominate: %v", counts)
+	}
+}
+
+// TestEmitRowsStreaming pins the bulk generator's contract: correct row
+// count and shapes, round-robin class labels, determinism across calls,
+// and a seed change actually changing the stream.
+func TestEmitRowsStreaming(t *testing.T) {
+	f, err := ByName("SynthECG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	collect := func(rows int, seed int64) (labels []string, rowsOut [][]float64) {
+		err := f.EmitRows(rows, seed, func(label string, series []float64) error {
+			labels = append(labels, label)
+			rowsOut = append(rowsOut, append([]float64(nil), series...))
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return labels, rowsOut
+	}
+	labels, rows := collect(31, 7)
+	if len(rows) != 31 {
+		t.Fatalf("emitted %d rows, want 31", len(rows))
+	}
+	for i, s := range rows {
+		if len(s) != f.Length {
+			t.Fatalf("row %d length %d, want %d", i, len(s), f.Length)
+		}
+		if want := fmt.Sprintf("%d", i%f.Classes+1); labels[i] != want {
+			t.Fatalf("row %d label %q, want round-robin %q", i, labels[i], want)
+		}
+	}
+	_, again := collect(31, 7)
+	for i := range rows {
+		for j := range rows[i] {
+			if rows[i][j] != again[i][j] {
+				t.Fatalf("row %d col %d not deterministic", i, j)
+			}
+		}
+	}
+	_, other := collect(31, 8)
+	same := true
+	for i := range rows {
+		for j := range rows[i] {
+			if rows[i][j] != other[i][j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("seed change did not change the stream")
+	}
+
+	// Callback errors abort the emission immediately.
+	calls := 0
+	sentinel := errors.New("stop")
+	if err := f.EmitRows(100, 1, func(string, []float64) error {
+		calls++
+		return sentinel
+	}); err != sentinel || calls != 1 {
+		t.Fatalf("err=%v calls=%d, want sentinel after 1 call", err, calls)
 	}
 }

@@ -1,0 +1,178 @@
+package ucr
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// DefaultChunkSize is the chunk granularity used when a caller passes a
+// non-positive size to NewChunkReader/ReadChunks. 1024 rows keeps a chunk
+// of typical UCR series (a few hundred samples each) in the low tens of
+// megabytes while amortizing per-chunk overhead.
+const DefaultChunkSize = 1024
+
+// Chunk is one bounded slice of a UCR-format dataset as produced by a
+// ChunkReader. Labels are the raw label tokens exactly as they appear in
+// the file — a chunked read cannot assign dense class ids up front the way
+// Read does, because the full token set is unknown until the last chunk;
+// callers build their own mapping (bulk extraction uses first-seen order,
+// Read sorts the union).
+type Chunk struct {
+	// Start is the 0-based dataset row index of the first series in the
+	// chunk (blank lines are not counted).
+	Start int
+	// Series holds the chunk's samples, one row per series. The slices
+	// are freshly allocated per chunk and safe to retain.
+	Series [][]float64
+	// Labels holds the raw label tokens aligned with Series.
+	Labels []string
+}
+
+// ChunkReader streams a UCR-format input in bounded chunks: at any moment
+// at most one chunk of rows is resident, regardless of dataset size. It
+// preserves Read's error taxonomy — every malformed record surfaces as a
+// *ParseError matching ErrMalformed with absolute 1-based line/field
+// coordinates, while mid-read I/O failures stay outside ErrMalformed so
+// callers can tell a retryable fault from permanently bad data — and
+// additionally enforces uniform series length eagerly, so a truncated or
+// ragged record mid-file fails at its own line number instead of at
+// end-of-read validation.
+type ChunkReader struct {
+	name      string
+	chunkSize int
+	sc        *bufio.Scanner
+	lineNo    int // 1-based line of the most recently scanned line
+	row       int // dataset row index of the next series
+	width     int // series length pinned by the first record, 0 before it
+	err       error
+	done      bool
+}
+
+// NewChunkReader wraps r for chunked reading. A non-positive chunkSize
+// selects DefaultChunkSize.
+func NewChunkReader(r io.Reader, name string, chunkSize int) *ChunkReader {
+	if chunkSize <= 0 {
+		chunkSize = DefaultChunkSize
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	return &ChunkReader{name: name, chunkSize: chunkSize, sc: sc}
+}
+
+// Width returns the uniform series length, available after the first
+// successful Next (0 before).
+func (cr *ChunkReader) Width() int { return cr.width }
+
+// Rows returns how many series have been produced so far.
+func (cr *ChunkReader) Rows() int { return cr.row }
+
+// Next returns the next chunk of up to chunkSize series. The final chunk
+// may be shorter; after it, Next returns io.EOF. An input with no samples
+// at all returns a *ParseError (matching Read's contract), and every error
+// is sticky: once Next fails, all later calls return the same error.
+func (cr *ChunkReader) Next() (*Chunk, error) {
+	if cr.err != nil {
+		return nil, cr.err
+	}
+	if cr.done {
+		return nil, io.EOF
+	}
+	c := &Chunk{Start: cr.row}
+	for len(c.Series) < cr.chunkSize && cr.sc.Scan() {
+		cr.lineNo++
+		line := trimSpaceBytes(cr.sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		values, label, err := cr.parseRow(line)
+		if err != nil {
+			cr.err = err
+			return nil, err
+		}
+		c.Series = append(c.Series, values)
+		c.Labels = append(c.Labels, label)
+		cr.row++
+	}
+	if len(c.Series) < cr.chunkSize {
+		// The scan loop stopped early: end of input or a scan failure.
+		if err := cr.sc.Err(); err != nil {
+			// A mid-read I/O failure is not malformed content: keep it out
+			// of the ErrMalformed taxonomy (same contract as Read).
+			cr.err = fmt.Errorf("ucr: reading %s: %w", cr.name, err)
+			return nil, cr.err
+		}
+		cr.done = true
+		if cr.row == 0 {
+			cr.err = &ParseError{File: cr.name, Msg: "contains no samples"}
+			return nil, cr.err
+		}
+		if len(c.Series) == 0 {
+			return nil, io.EOF
+		}
+	}
+	return c, nil
+}
+
+// parseRow parses one non-blank line into its label token and values,
+// enforcing the uniform width pinned by the first record.
+func (cr *ChunkReader) parseRow(line []byte) (values []float64, label string, err error) {
+	fields := splitFlexible(string(line))
+	if len(fields) < 2 {
+		return nil, "", &ParseError{File: cr.name, Line: cr.lineNo, Msg: "need a label and at least one value"}
+	}
+	values = make([]float64, len(fields)-1)
+	for i, f := range fields[1:] {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, "", &ParseError{File: cr.name, Line: cr.lineNo, Field: i + 2, Msg: "not a number", Err: err}
+		}
+		values[i] = v
+	}
+	if cr.width == 0 {
+		cr.width = len(values)
+	} else if len(values) != cr.width {
+		return nil, "", &ParseError{
+			File: cr.name, Line: cr.lineNo,
+			Msg: fmt.Sprintf("series has %d points, series 1 has %d", len(values), cr.width),
+		}
+	}
+	return values, fields[0], nil
+}
+
+// trimSpaceBytes trims ASCII whitespace without converting to string
+// first, so blank and padded lines cost no allocation.
+func trimSpaceBytes(b []byte) []byte {
+	for len(b) > 0 && asciiSpace(b[0]) {
+		b = b[1:]
+	}
+	for len(b) > 0 && asciiSpace(b[len(b)-1]) {
+		b = b[:len(b)-1]
+	}
+	return b
+}
+
+func asciiSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\v' || c == '\f'
+}
+
+// ReadChunks streams the input through fn one chunk at a time, holding at
+// most one chunk in memory. fn must not retain err-free progress
+// assumptions across calls: the first malformed record aborts the stream
+// with its *ParseError. A non-nil error from fn aborts with that error.
+func ReadChunks(r io.Reader, name string, chunkSize int, fn func(*Chunk) error) error {
+	cr := NewChunkReader(r, name, chunkSize)
+	for {
+		c, err := cr.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := fn(c); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package ucr
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestChunkReaderMatchesRead pins the one-parser contract: streaming the
+// file chunk by chunk yields exactly the rows Read materializes, in order,
+// at every chunk size straddling the row count.
+func TestChunkReaderMatchesRead(t *testing.T) {
+	var b strings.Builder
+	for i := 0; i < 37; i++ {
+		fmt.Fprintf(&b, "%d,%d.5,%d.25,%d\n", i%3+1, i, i+1, i+2)
+	}
+	in := b.String()
+	want, err := Read(strings.NewReader(in), "toy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, chunkSize := range []int{1, 2, 7, 36, 37, 38, 1000} {
+		t.Run(fmt.Sprintf("chunk=%d", chunkSize), func(t *testing.T) {
+			cr := NewChunkReader(strings.NewReader(in), "toy", chunkSize)
+			row := 0
+			for {
+				c, err := cr.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				if c.Start != row {
+					t.Fatalf("chunk start = %d, want %d", c.Start, row)
+				}
+				if len(c.Series) > chunkSize {
+					t.Fatalf("chunk has %d rows, cap %d", len(c.Series), chunkSize)
+				}
+				for i, s := range c.Series {
+					if got, want := c.Labels[i], want.ClassNames[want.Labels[row]]; got != want {
+						t.Fatalf("row %d label = %q, want %q", row, got, want)
+					}
+					if len(s) != len(want.Series[row]) {
+						t.Fatalf("row %d width = %d, want %d", row, len(s), len(want.Series[row]))
+					}
+					for j := range s {
+						if s[j] != want.Series[row][j] {
+							t.Fatalf("row %d col %d = %v, want %v", row, j, s[j], want.Series[row][j])
+						}
+					}
+					row++
+				}
+			}
+			if row != want.Len() {
+				t.Fatalf("streamed %d rows, want %d", row, want.Len())
+			}
+			if cr.Width() != want.SeriesLength() {
+				t.Fatalf("Width() = %d, want %d", cr.Width(), want.SeriesLength())
+			}
+		})
+	}
+}
+
+// TestChunkReaderTaxonomy pins the PR 5 error contract on the streaming
+// path: malformed records mid-file fail with a *ParseError carrying
+// absolute line/field coordinates and matching ErrMalformed, including
+// records truncated partway through (ragged width, cut-off number,
+// label-only line).
+func TestChunkReaderTaxonomy(t *testing.T) {
+	cases := []struct {
+		name        string
+		in          string
+		line, field int
+	}{
+		{"empty-file", "", 0, 0},
+		{"blank-lines-only", "\n  \n\n", 0, 0},
+		{"label-only-row", "1\n", 1, 0},
+		{"non-numeric-value", "1,1.5,abc,2\n", 1, 3},
+		{"truncated-number-mid-file", "1,1,2\n2,3,4\n2,3,4.5e\n", 3, 3},
+		{"truncated-record-mid-file", "1,1,2,3\n2,4,5\n", 2, 0},
+		{"overlong-record-mid-file", "1,1,2\n2,4,5,6\n", 2, 0},
+		{"label-only-mid-file", "1,1,2\n2\n1,3,4\n", 2, 0},
+		{"malformed-after-first-chunk", "1,1,2\n2,3,4\n1,5,6\nbroken\n", 4, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cr := NewChunkReader(strings.NewReader(tc.in), "toy", 2)
+			var err error
+			for err == nil {
+				_, err = cr.Next()
+			}
+			if err == io.EOF {
+				t.Fatal("stream ended cleanly on malformed input")
+			}
+			if !errors.Is(err, ErrMalformed) {
+				t.Fatalf("errors.Is(err, ErrMalformed) = false for %v", err)
+			}
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("errors.As(*ParseError) = false for %T %v", err, err)
+			}
+			if pe.File != "toy" || pe.Line != tc.line || pe.Field != tc.field {
+				t.Fatalf("ParseError coordinates = %s:%d:%d, want toy:%d:%d",
+					pe.File, pe.Line, pe.Field, tc.line, tc.field)
+			}
+			// Errors are sticky: a retry must not silently resume.
+			if _, again := cr.Next(); again == nil || again.Error() != err.Error() {
+				t.Fatalf("error not sticky: second Next returned %v", again)
+			}
+		})
+	}
+}
+
+// errReader fails with a transport error after feeding some valid rows.
+type errReader struct {
+	prefix io.Reader
+	err    error
+}
+
+func (e *errReader) Read(p []byte) (int, error) {
+	n, err := e.prefix.Read(p)
+	if n > 0 {
+		return n, nil
+	}
+	if err == io.EOF {
+		return 0, e.err
+	}
+	return n, err
+}
+
+// TestChunkReaderIOErrorNotMalformed keeps the retryable/permanent split:
+// a mid-read transport failure must surface as-is, outside ErrMalformed.
+func TestChunkReaderIOErrorNotMalformed(t *testing.T) {
+	boom := errors.New("connection reset")
+	cr := NewChunkReader(&errReader{prefix: strings.NewReader("1,1,2\n2,3,4\n"), err: boom}, "toy", 1)
+	var err error
+	for err == nil {
+		_, err = cr.Next()
+	}
+	if errors.Is(err, ErrMalformed) {
+		t.Fatalf("I/O failure matched ErrMalformed: %v", err)
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("underlying I/O error lost: %v", err)
+	}
+}
+
+// TestReadChunksCallbackError checks a callback error aborts the stream
+// unchanged.
+func TestReadChunksCallbackError(t *testing.T) {
+	stop := errors.New("enough")
+	calls := 0
+	err := ReadChunks(strings.NewReader("1,1,2\n2,3,4\n1,5,6\n"), "toy", 1, func(c *Chunk) error {
+		calls++
+		if calls == 2 {
+			return stop
+		}
+		return nil
+	})
+	if !errors.Is(err, stop) {
+		t.Fatalf("ReadChunks error = %v, want %v", err, stop)
+	}
+	if calls != 2 {
+		t.Fatalf("callback ran %d times, want 2", calls)
+	}
+}
+
+// TestChunkReaderBlankLinesBetweenChunks checks blank and padded lines are
+// skipped without perturbing row indexing.
+func TestChunkReaderBlankLinesBetweenChunks(t *testing.T) {
+	in := "1,1,2\n\n   \n2,3,4\n\n1,5,6\n"
+	var rows int
+	err := ReadChunks(strings.NewReader(in), "toy", 2, func(c *Chunk) error {
+		if c.Start != rows {
+			t.Fatalf("chunk start = %d, want %d", c.Start, rows)
+		}
+		rows += len(c.Series)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows != 3 {
+		t.Fatalf("streamed %d rows, want 3", rows)
+	}
+}

@@ -111,48 +111,24 @@ func (d *Dataset) Validate() error {
 }
 
 // Read parses UCR-format lines. Label tokens are assigned dense ids in
-// sorted token order so the mapping is deterministic.
+// sorted token order so the mapping is deterministic. It is built on the
+// same chunked parser as ReadChunks — Read simply materializes every
+// chunk; use ReadChunks/NewChunkReader when the dataset must not be held
+// in memory at once.
 func Read(r io.Reader, name string) (*Dataset, error) {
-	scanner := bufio.NewScanner(r)
-	scanner.Buffer(make([]byte, 1<<20), 1<<24)
-	type row struct {
-		label  string
-		values []float64
-	}
-	var rows []row
-	lineNo := 0
-	for scanner.Scan() {
-		lineNo++
-		line := strings.TrimSpace(scanner.Text())
-		if line == "" {
-			continue
-		}
-		fields := splitFlexible(line)
-		if len(fields) < 2 {
-			return nil, &ParseError{File: name, Line: lineNo, Msg: "need a label and at least one value"}
-		}
-		values := make([]float64, len(fields)-1)
-		for i, f := range fields[1:] {
-			v, err := strconv.ParseFloat(f, 64)
-			if err != nil {
-				return nil, &ParseError{File: name, Line: lineNo, Field: i + 2, Msg: "not a number", Err: err}
-			}
-			values[i] = v
-		}
-		rows = append(rows, row{label: fields[0], values: values})
-	}
-	if err := scanner.Err(); err != nil {
-		// A mid-read I/O failure is not malformed content: keep it out of
-		// the ErrMalformed taxonomy so callers can tell a retryable fault
-		// from permanently bad data.
-		return nil, fmt.Errorf("ucr: reading %s: %w", name, err)
-	}
-	if len(rows) == 0 {
-		return nil, &ParseError{File: name, Msg: "contains no samples"}
+	var series [][]float64
+	var labelTokens []string
+	err := ReadChunks(r, name, 0, func(c *Chunk) error {
+		series = append(series, c.Series...)
+		labelTokens = append(labelTokens, c.Labels...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	tokens := map[string]bool{}
-	for _, r := range rows {
-		tokens[r.label] = true
+	for _, t := range labelTokens {
+		tokens[t] = true
 	}
 	classNames := make([]string, 0, len(tokens))
 	for t := range tokens {
@@ -163,10 +139,9 @@ func Read(r io.Reader, name string) (*Dataset, error) {
 	for i, t := range classNames {
 		id[t] = i
 	}
-	d := &Dataset{Name: name, ClassNames: classNames}
-	for _, r := range rows {
-		d.Series = append(d.Series, r.values)
-		d.Labels = append(d.Labels, id[r.label])
+	d := &Dataset{Name: name, ClassNames: classNames, Series: series}
+	for _, t := range labelTokens {
+		d.Labels = append(d.Labels, id[t])
 	}
 	if err := d.Validate(); err != nil {
 		return nil, err
