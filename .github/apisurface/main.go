@@ -1,0 +1,218 @@
+// Command apisurface renders the exported API of one or more Go
+// packages as a deterministic, diff-friendly text listing — the CI gate
+// compares it against the checked-in .github/API_surface.txt, so every
+// public-surface change must land as a reviewed diff of that file.
+//
+// Unlike apidiff it needs no module downloads or type checking: the
+// listing is built purely from parsed source with the standard library,
+// which keeps the gate runnable offline and hermetic.
+//
+// Usage:
+//
+//	go run ./.github/apisurface . ./api/mvgpb                      # print
+//	go run ./.github/apisurface -w .github/API_surface.txt . ./api/mvgpb
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"io/fs"
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+func main() {
+	write := flag.String("w", "", "write the listing to this file instead of stdout")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: apisurface [-w file] pkgdir...")
+		os.Exit(2)
+	}
+	var buf bytes.Buffer
+	for i, dir := range flag.Args() {
+		if i > 0 {
+			fmt.Fprintln(&buf)
+		}
+		if err := emitPackage(&buf, dir); err != nil {
+			fmt.Fprintf(os.Stderr, "apisurface: %s: %v\n", dir, err)
+			os.Exit(1)
+		}
+	}
+	if *write == "" {
+		os.Stdout.Write(buf.Bytes())
+		return
+	}
+	if err := os.WriteFile(*write, buf.Bytes(), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "apisurface:", err)
+		os.Exit(1)
+	}
+}
+
+// emitPackage renders one package directory: a header line, then every
+// exported declaration on its own sorted line.
+func emitPackage(w *bytes.Buffer, dir string) error {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir,
+		func(fi fs.FileInfo) bool { return !strings.HasSuffix(fi.Name(), "_test.go") }, 0)
+	if err != nil {
+		return err
+	}
+	var lines []string
+	var pkgName string
+	for name, pkg := range pkgs {
+		if name == "main" || strings.HasSuffix(name, "_test") {
+			continue
+		}
+		pkgName = name
+		// File iteration order is map-random; sorting the final lines
+		// makes the output independent of it.
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				lines = append(lines, declLines(fset, decl)...)
+			}
+		}
+	}
+	if pkgName == "" {
+		return fmt.Errorf("no library package found")
+	}
+	sort.Strings(lines)
+	fmt.Fprintf(w, "package %s (%s)\n", pkgName, dir)
+	for _, l := range lines {
+		fmt.Fprintf(w, "  %s\n", l)
+	}
+	return nil
+}
+
+// declLines renders the exported parts of one top-level declaration,
+// zero or more listing lines.
+func declLines(fset *token.FileSet, decl ast.Decl) []string {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() {
+			return nil
+		}
+		if d.Recv != nil {
+			recv := recvType(d.Recv)
+			if recv == "" || !ast.IsExported(strings.TrimPrefix(recv, "*")) {
+				return nil
+			}
+			return []string{fmt.Sprintf("method (%s) %s%s", recv, d.Name.Name, signature(fset, d.Type))}
+		}
+		return []string{fmt.Sprintf("func %s%s", d.Name.Name, signature(fset, d.Type))}
+	case *ast.GenDecl:
+		var out []string
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if !s.Name.IsExported() {
+					continue
+				}
+				filterUnexported(s.Type)
+				out = append(out, fmt.Sprintf("type %s %s", s.Name.Name, render(fset, s.Type)))
+			case *ast.ValueSpec:
+				exported := false
+				for _, n := range s.Names {
+					exported = exported || n.IsExported()
+				}
+				if !exported {
+					continue
+				}
+				out = append(out, fmt.Sprintf("%s %s", d.Tok, render(fset, s)))
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+func recvType(recv *ast.FieldList) string {
+	if len(recv.List) != 1 {
+		return ""
+	}
+	t := recv.List[0].Type
+	// Generic receivers ("Foo[T]") reduce to the base name.
+	if ix, ok := t.(*ast.IndexExpr); ok {
+		t = ix.X
+	}
+	switch x := t.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.StarExpr:
+		if id, ok := x.X.(*ast.Ident); ok {
+			return "*" + id.Name
+		}
+	}
+	return ""
+}
+
+// signature renders a FuncType without the leading "func" keyword.
+func signature(fset *token.FileSet, t *ast.FuncType) string {
+	return strings.TrimPrefix(render(fset, t), "func")
+}
+
+var spaceRun = regexp.MustCompile(`\s+`)
+
+// render prints a node on one line with whitespace runs collapsed, so
+// the listing is stable under gofmt's multi-line layouts.
+func render(fset *token.FileSet, node any) string {
+	var buf bytes.Buffer
+	printer.Fprint(&buf, fset, node)
+	return spaceRun.ReplaceAllString(strings.TrimSpace(buf.String()), " ")
+}
+
+// filterUnexported strips unexported members from struct and interface
+// types in place: they are not part of the public surface, and their
+// churn must not trip the gate.
+func filterUnexported(t ast.Expr) {
+	switch x := t.(type) {
+	case *ast.StructType:
+		if x.Fields == nil {
+			return
+		}
+		kept := x.Fields.List[:0]
+		for _, f := range x.Fields.List {
+			if len(f.Names) == 0 {
+				// Embedded field: keep when the embedded type name is
+				// exported.
+				name := render(token.NewFileSet(), f.Type)
+				name = strings.TrimPrefix(name, "*")
+				if i := strings.LastIndex(name, "."); i >= 0 {
+					name = name[i+1:]
+				}
+				if ast.IsExported(name) {
+					kept = append(kept, f)
+				}
+				continue
+			}
+			names := f.Names[:0]
+			for _, n := range f.Names {
+				if n.IsExported() {
+					names = append(names, n)
+				}
+			}
+			if len(names) > 0 {
+				f.Names = names
+				kept = append(kept, f)
+			}
+		}
+		x.Fields.List = kept
+	case *ast.InterfaceType:
+		if x.Methods == nil {
+			return
+		}
+		kept := x.Methods.List[:0]
+		for _, m := range x.Methods.List {
+			if len(m.Names) == 0 || m.Names[0].IsExported() {
+				kept = append(kept, m)
+			}
+		}
+		x.Methods.List = kept
+	}
+}

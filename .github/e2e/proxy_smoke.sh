@@ -1,0 +1,180 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the fleet layer (docs/serving.md#fleet): build
+# the real binaries, train a model, boot TWO mvgserve replicas behind one
+# mvgproxy, and predict through the proxy over both transports. Then the
+# chaos half: kill the replica that owns the model and prove the next
+# predict still succeeds with exactly one recorded retry, kill the
+# survivor and prove the proxy sheds with 429 / RESOURCE_EXHAUSTED and
+# exact mvgproxy_shed_total accounting.
+# Run locally with: bash .github/e2e/proxy_smoke.sh
+set -euo pipefail
+
+PROXY_PORT="${E2E_PROXY_PORT:-18090}"
+HTTP1="127.0.0.1:${E2E_REPLICA1_HTTP:-18091}"
+GRPC1="127.0.0.1:${E2E_REPLICA1_GRPC:-18092}"
+HTTP2="127.0.0.1:${E2E_REPLICA2_HTTP:-18093}"
+GRPC2="127.0.0.1:${E2E_REPLICA2_GRPC:-18094}"
+PROXY="127.0.0.1:${PROXY_PORT}"
+BASE="http://$PROXY"
+WORK="$(mktemp -d)"
+PID1="" PID2="" PROXY_PID=""
+cleanup() {
+  for pid in "$PID1" "$PID2" "$PROXY_PID"; do
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+  done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+note() { printf '\n== %s ==\n' "$*"; }
+die() { echo "e2e-proxy: FAIL: $*" >&2; exit 1; }
+
+command -v jq >/dev/null || die "jq is required"
+
+note "build binaries"
+go build -o "$WORK/bin/tsgen" ./cmd/tsgen
+go build -o "$WORK/bin/mvgcli" ./cmd/mvgcli
+go build -o "$WORK/bin/mvgserve" ./cmd/mvgserve
+go build -o "$WORK/bin/mvgproxy" ./cmd/mvgproxy
+
+note "generate synthetic dataset + train a model"
+"$WORK/bin/tsgen" -out "$WORK/data" -dataset WarpedShapes -seed 3
+mkdir -p "$WORK/models"
+"$WORK/bin/mvgcli" \
+  -train "$WORK/data/WarpedShapes_TRAIN" \
+  -test "$WORK/data/WarpedShapes_TEST" \
+  -save "$WORK/models/shapes.mvg" | tee "$WORK/train.log"
+grep -q 'model saved to' "$WORK/train.log" || die "training did not save a model"
+
+wait_healthy() {
+  local url="$1" pid="$2" what="$3"
+  for i in $(seq 1 50); do
+    if curl -sf "$url" >/dev/null 2>&1; then return 0; fi
+    kill -0 "$pid" 2>/dev/null || die "$what exited during startup"
+    sleep 0.2
+  done
+  die "$what never became healthy"
+}
+
+note "boot two mvgserve replicas (HTTP + gRPC each)"
+"$WORK/bin/mvgserve" -models "$WORK/models" -addr "$HTTP1" -grpc-addr "$GRPC1" &
+PID1=$!
+"$WORK/bin/mvgserve" -models "$WORK/models" -addr "$HTTP2" -grpc-addr "$GRPC2" &
+PID2=$!
+wait_healthy "http://$HTTP1/healthz" "$PID1" "replica 1"
+wait_healthy "http://$HTTP2/healthz" "$PID2" "replica 2"
+
+# The health interval is parked high: the proxy's synchronous startup
+# poll sees both replicas up, and every later state change must come
+# from the passive mark-down path this test exists to exercise — an
+# active poll racing the kill would make the retry count nondeterministic.
+note "boot mvgproxy over both replicas"
+"$WORK/bin/mvgproxy" -addr "$PROXY" -health-interval 10m \
+  -replica "$HTTP1,$GRPC1" -replica "$HTTP2,$GRPC2" &
+PROXY_PID=$!
+wait_healthy "$BASE/healthz" "$PROXY_PID" "mvgproxy"
+curl -s "$BASE/healthz" | jq -e \
+  '.ready == true and (.backends | to_entries | length == 2 and all(.value))' >/dev/null \
+  || die "proxy healthz: $(curl -s "$BASE/healthz")"
+
+# One test series, label stripped, as mvgcli predict input.
+head -1 "$WORK/data/WarpedShapes_TEST" | cut -d, -f2- > "$WORK/series.txt"
+
+proxy_metric() { curl -s "$BASE/metrics" | awk -v m="$1" '$1 == m {print $2}'; }
+# predicts_served REPLICA_HTTP_ADDR -> total predict requests that replica saw
+predicts_served() {
+  curl -s "http://$1/metrics" \
+    | awk '/^mvgserve_requests_total\{route="(grpc_)?predict(_proba)?"/ {n += $2} END {print n + 0}'
+}
+
+note "predict through the proxy over HTTP and gRPC: byte-identical"
+"$WORK/bin/mvgcli" predict -addr "$PROXY" -model shapes -in "$WORK/series.txt" \
+  > "$WORK/pred_http.json"
+"$WORK/bin/mvgcli" predict -grpc-addr "$PROXY" -model shapes -in "$WORK/series.txt" \
+  > "$WORK/pred_grpc.json"
+jq -e '.model == "shapes" and (.class | type == "number")' "$WORK/pred_http.json" >/dev/null \
+  || die "HTTP predict shape: $(cat "$WORK/pred_http.json")"
+diff "$WORK/pred_http.json" "$WORK/pred_grpc.json" \
+  || die "transports disagree through the proxy"
+
+note "both transports landed on the model's owner replica"
+SERVED1=$(predicts_served "$HTTP1")
+SERVED2=$(predicts_served "$HTTP2")
+[ "$((SERVED1 + SERVED2))" = 2 ] || die "replicas served $SERVED1+$SERVED2 predicts, want 2"
+if [ "$SERVED1" = 2 ]; then
+  OWNER_PID=$PID1; OWNER_HTTP=$HTTP1; SURVIVOR_HTTP=$HTTP2; OWNER=1
+elif [ "$SERVED2" = 2 ]; then
+  OWNER_PID=$PID2; OWNER_HTTP=$HTTP2; SURVIVOR_HTTP=$HTTP1; OWNER=2
+else
+  die "predicts split across replicas ($SERVED1/$SERVED2): ring is not routing by model"
+fi
+echo "owner of model shapes: replica $OWNER ($OWNER_HTTP)"
+
+note "list models and stream through the proxy"
+curl -sf "$BASE/v1/models" | jq -e '.models[0].name == "shapes"' >/dev/null \
+  || die "/v1/models through proxy"
+{ head -2 "$WORK/data/WarpedShapes_TEST" | cut -d, -f2- | tr ',' '\n'; } > "$WORK/stream.txt"
+curl -sf -X POST --data-binary "@$WORK/stream.txt" \
+  "$BASE/v1/models/shapes/stream?hop=64" > "$WORK/stream_out.ndjson" \
+  || die "stream through proxy failed"
+PRED_LINES=$(jq -s '[.[] | select(.class != null)] | length' "$WORK/stream_out.ndjson")
+[ "$PRED_LINES" = 3 ] || die "proxied stream emitted $PRED_LINES predictions, want 3"
+jq -se '.[-1].done == true' "$WORK/stream_out.ndjson" >/dev/null || die "proxied stream terminal line"
+
+note "kill the owner replica mid-fleet"
+kill -9 "$OWNER_PID"
+wait "$OWNER_PID" 2>/dev/null || true
+if [ "$OWNER" = 1 ]; then PID1=""; else PID2=""; fi
+
+note "next predict fails over: succeeds with exactly one recorded retry"
+"$WORK/bin/mvgcli" predict -addr "$PROXY" -model shapes -in "$WORK/series.txt" \
+  > "$WORK/pred_failover.json" || die "predict after owner kill failed"
+jq -e '.model == "shapes" and (.class | type == "number")' "$WORK/pred_failover.json" >/dev/null \
+  || die "failover predict shape: $(cat "$WORK/pred_failover.json")"
+[ "$(proxy_metric mvgproxy_retries_total)" = 1 ] \
+  || die "mvgproxy_retries_total=$(proxy_metric mvgproxy_retries_total), want 1"
+curl -s "$BASE/metrics" | grep -q "mvgproxy_backend_up{backend=\"$OWNER_HTTP\"} 0" \
+  || die "dead owner still reported up: $(curl -s "$BASE/metrics" | grep backend_up)"
+
+note "gRPC skips the corpse at zero retry cost"
+"$WORK/bin/mvgcli" predict -grpc-addr "$PROXY" -model shapes -in "$WORK/series.txt" \
+  > "$WORK/pred_grpc2.json" || die "gRPC predict after owner kill failed"
+diff "$WORK/pred_failover.json" "$WORK/pred_grpc2.json" \
+  || die "transports disagree after failover"
+[ "$(proxy_metric mvgproxy_retries_total)" = 1 ] \
+  || die "gRPC predict after mark-down burned a retry"
+
+note "kill the survivor: proxy sheds with exact accounting"
+SURVIVOR_PID="${PID1}${PID2}" # only one is still set
+kill -9 "$SURVIVOR_PID"
+wait "$SURVIVOR_PID" 2>/dev/null || true
+PID1="" PID2=""
+
+echo "{\"series\": $(jq -Rc 'split(",") | map(tonumber)' "$WORK/series.txt")}" > "$WORK/req.json"
+CODE=$(curl -s -o "$WORK/shed.json" -D "$WORK/shed_headers.txt" -w '%{http_code}' \
+  -X POST --data-binary "@$WORK/req.json" "$BASE/v1/models/shapes/predict")
+[ "$CODE" = 429 ] || die "predict against dead fleet returned $CODE, want 429: $(cat "$WORK/shed.json")"
+grep -qi '^Retry-After:' "$WORK/shed_headers.txt" || die "429 lacks Retry-After header"
+
+if "$WORK/bin/mvgcli" predict -grpc-addr "$PROXY" -model shapes -in "$WORK/series.txt" \
+    >/dev/null 2>"$WORK/grpc_shed.err"; then
+  die "gRPC predict against dead fleet succeeded"
+fi
+grep -qi 'RESOURCE_EXHAUSTED\|resource exhausted' "$WORK/grpc_shed.err" \
+  || die "gRPC shed error does not carry RESOURCE_EXHAUSTED: $(cat "$WORK/grpc_shed.err")"
+
+# Exactly two requests hit a dead fleet: the HTTP 429 and the gRPC shed.
+[ "$(proxy_metric mvgproxy_shed_total)" = 2 ] \
+  || die "mvgproxy_shed_total=$(proxy_metric mvgproxy_shed_total), want 2"
+[ "$(proxy_metric mvgproxy_retries_total)" = 1 ] \
+  || die "shedding burned retries: $(proxy_metric mvgproxy_retries_total)"
+CODE=$(curl -s -o /dev/null -w '%{http_code}' "$BASE/healthz")
+[ "$CODE" = 503 ] || die "proxy healthz with dead fleet returned $CODE, want 503"
+
+note "graceful proxy shutdown"
+kill "$PROXY_PID"
+wait "$PROXY_PID" 2>/dev/null || true
+PROXY_PID=""
+
+echo
+echo "e2e-proxy: PASS"

@@ -32,7 +32,7 @@ func alertModel(t *testing.T) *Model {
 			return
 		}
 		train, test := fam.Generate(1)
-		alertModelVal, alertModelErr = Train(train.Series, train.Labels, train.Classes(), Config{Folds: 2, Seed: 1, Workers: 2})
+		alertModelVal, alertModelErr = trainOnce(train.Series, train.Labels, train.Classes(), Config{Folds: 2, Seed: 1, Workers: 2})
 		if alertModelErr != nil {
 			return
 		}

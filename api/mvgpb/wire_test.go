@@ -1,0 +1,162 @@
+package mvgpb
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// fullStreamResponse builds a StreamResponse exercising every field kind
+// the generator emits: nested messages, packed doubles, varint ints,
+// bools and strings.
+func fullStreamResponse() *StreamResponse {
+	return &StreamResponse{
+		Prediction: &StreamPrediction{
+			Sample:   640,
+			Class:    1,
+			Proba:    []float64{0.25, 0.75, math.Inf(1), -0.0, math.Pi},
+			Drift:    3.5,
+			HasDrift: true,
+		},
+		Alert: &StreamAlert{Alert: "flip", From: "OK", To: "FIRING", Sample: 641, Value: -2.5},
+		Done:  &StreamDone{Samples: 700, Predictions: 8, Draining: true},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	msgs := []interface {
+		Marshal() []byte
+		Unmarshal([]byte) error
+	}{
+		&PredictRequest{Model: "ecg", Series: []float64{1, -2.5, 0, math.SmallestNonzeroFloat64}},
+		&PredictResponse{Model: "ecg", Class: 3, Coalesced: true},
+		&PredictProbaResponse{Model: "m", Proba: []float64{0.5, 0.5}},
+		&PredictBatchRequest{Model: "m", Batch: []*Series{{Values: []float64{1, 2}}, {Values: nil}}},
+		&PredictBatchResponse{Model: "m", Classes: []int32{0, 1, -1, 1 << 30}},
+		&StreamRequest{Open: &StreamOpen{Model: "m", Hop: 8, Alerts: []string{"kind=flip", "kind=proba,class=1,rise=0.9,clear=0.6"}}, Samples: []float64{0.25}},
+		fullStreamResponse(),
+		&ListModelsRequest{},
+		&ListModelsResponse{Models: []*ModelInfo{{Name: "a", Classes: 2, SeriesLen: 96, Features: 11, FeatureNames: []string{"M21", "M31"}, Workers: 4, Source: "/m/a.mvg"}}},
+		&HealthRequest{},
+		&HealthResponse{Status: "ok", Ready: true, Shedding: false, Models: 2, InFlight: 1, QueueDepth: 3, Streams: 7, ShedTotal: 9, EvictTotals: []*EvictCount{{Reason: "idle", Total: 2}}},
+	}
+	for _, msg := range msgs {
+		wire := msg.Marshal()
+		got := reflect.New(reflect.TypeOf(msg).Elem()).Interface().(interface {
+			Marshal() []byte
+			Unmarshal([]byte) error
+		})
+		if err := got.Unmarshal(wire); err != nil {
+			t.Fatalf("%T: Unmarshal: %v", msg, err)
+		}
+		// Semantic equality: NaN-free messages round-trip reflect-equal, and
+		// re-marshalling must reproduce the exact bytes (deterministic
+		// encoding is what the cross-transport parity suite leans on).
+		if !reflect.DeepEqual(msg, got) {
+			t.Errorf("%T: round trip mismatch:\n in: %+v\nout: %+v", msg, msg, got)
+		}
+		if again := got.Marshal(); !bytes.Equal(wire, again) {
+			t.Errorf("%T: re-marshal not byte-identical", msg)
+		}
+	}
+}
+
+func TestFloatBitsSurvive(t *testing.T) {
+	// Probability rows are compared across transports at the bit level, so
+	// the codec must preserve every float64 payload bit — including NaN
+	// payloads and signed zero, which reflect.DeepEqual can't check.
+	in := &PredictProbaResponse{Proba: []float64{
+		math.Float64frombits(0x7ff8000000000001), // NaN with payload
+		math.Copysign(0, -1),
+		math.SmallestNonzeroFloat64,
+		math.MaxFloat64,
+	}}
+	var out PredictProbaResponse
+	if err := out.Unmarshal(in.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Proba) != len(in.Proba) {
+		t.Fatalf("len = %d, want %d", len(out.Proba), len(in.Proba))
+	}
+	for i := range in.Proba {
+		if math.Float64bits(in.Proba[i]) != math.Float64bits(out.Proba[i]) {
+			t.Errorf("proba[%d]: bits %x != %x", i, math.Float64bits(in.Proba[i]), math.Float64bits(out.Proba[i]))
+		}
+	}
+}
+
+func TestUnknownFieldsSkipped(t *testing.T) {
+	// A decoder built from today's schema must tolerate fields added
+	// tomorrow: splice unknown varint, fixed64, fixed32 and bytes fields
+	// around a known one.
+	var b []byte
+	b = appendTag(b, 90, wireVarint)
+	b = appendVarint(b, 12345)
+	b = appendTag(b, 1, wireBytes)
+	b = appendBytes(b, []byte("ecg"))
+	b = appendTag(b, 91, wireFixed64)
+	b = appendFixed64(b, 7)
+	b = appendTag(b, 92, wireBytes)
+	b = appendBytes(b, []byte("future"))
+	b = appendTag(b, 93, wireFixed32)
+	b = append(b, 1, 2, 3, 4)
+	var req PredictRequest
+	if err := req.Unmarshal(b); err != nil {
+		t.Fatalf("Unmarshal with unknown fields: %v", err)
+	}
+	if req.Model != "ecg" {
+		t.Errorf("Model = %q, want ecg", req.Model)
+	}
+}
+
+func TestMalformedInputs(t *testing.T) {
+	cases := map[string][]byte{
+		"truncated varint tag":    {0x80},
+		"truncated length":        {0x0a, 0x10, 'x'},
+		"partial packed double":   append(appendVarint(appendTag(nil, 2, wireBytes), 4), 1, 2, 3, 4),
+		"wrong wire type string":  appendVarint(appendTag(nil, 1, wireVarint), 5),
+		"overlong varint":         append(appendTag(nil, 90, wireVarint), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01),
+		"truncated unknown fixed": appendTag(nil, 93, wireFixed32),
+	}
+	for name, data := range cases {
+		var req PredictRequest
+		if err := req.Unmarshal(data); err == nil {
+			t.Errorf("%s: Unmarshal accepted malformed input", name)
+		}
+	}
+}
+
+func TestZeroMessageMarshalsEmpty(t *testing.T) {
+	for _, msg := range []interface{ Marshal() []byte }{
+		&PredictRequest{}, &StreamResponse{}, &HealthResponse{}, &ListModelsRequest{},
+	} {
+		if b := msg.Marshal(); len(b) != 0 {
+			t.Errorf("%T: zero value marshals to %d bytes, want 0", msg, len(b))
+		}
+	}
+}
+
+// FuzzUnmarshalRoundTrip feeds arbitrary bytes to the StreamResponse
+// decoder (the deepest message tree) and, whenever they decode, asserts
+// the re-encode/re-decode fixpoint: Marshal(Unmarshal(b)) must decode to
+// the same message and re-marshal byte-identically.
+func FuzzUnmarshalRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(fullStreamResponse().Marshal())
+	f.Add((&PredictRequest{Model: "m", Series: []float64{1}}).Marshal())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m1 StreamResponse
+		if err := m1.Unmarshal(data); err != nil {
+			return
+		}
+		wire := m1.Marshal()
+		var m2 StreamResponse
+		if err := m2.Unmarshal(wire); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if again := m2.Marshal(); !bytes.Equal(wire, again) {
+			t.Fatalf("marshal not a fixpoint:\n%x\n%x", wire, again)
+		}
+	})
+}

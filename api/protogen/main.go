@@ -1,0 +1,760 @@
+// Command protogen compiles the proto3 subset used by api/proto/mvg.proto
+// into Go message types with hand-rolled wire-format codecs — a
+// protoc-free generator, so regenerating api/mvgpb needs nothing beyond
+// the Go toolchain (the container CI runs in has no protoc and no network
+// to fetch one). The emitted encoding is canonical protobuf: varint,
+// fixed64 and length-delimited wire types, fields marshalled in
+// field-number order (deterministic bytes for equal messages), unknown
+// fields skipped on decode. Interoperates with any real protobuf stack.
+//
+// Supported subset: proto3 syntax; one package; scalar fields (double,
+// int32, int64, uint32, uint64, bool, string, bytes), repeated scalars
+// (packed where the spec packs them), message-typed and repeated
+// message-typed fields; services with unary and bidi-streaming methods.
+// No maps, enums, oneofs, imports or nested messages — extend the parser
+// when the .proto needs them.
+//
+// Usage (wired via go:generate in api/mvgpb):
+//
+//	protogen -in api/proto/mvg.proto -out api/mvgpb/mvg.pb.go -pkg mvgpb
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/format"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	in := flag.String("in", "", "input .proto file")
+	out := flag.String("out", "", "output .go file")
+	pkg := flag.String("pkg", "mvgpb", "Go package name of the generated file")
+	flag.Parse()
+	if *in == "" || *out == "" {
+		fmt.Fprintln(os.Stderr, "protogen: -in and -out are required")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(*in)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := parse(string(src))
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", *in, err))
+	}
+	code, err := emit(f, *pkg, *in)
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, code, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "protogen:", err)
+	os.Exit(1)
+}
+
+// ---- definition model ----
+
+type file struct {
+	protoPackage string
+	messages     []*message
+	services     []*service
+}
+
+type message struct {
+	name   string
+	fields []*field
+}
+
+type field struct {
+	name     string // proto snake_case name
+	typ      string // proto type name (scalar or message)
+	num      int
+	repeated bool
+}
+
+type service struct {
+	name    string
+	methods []*method
+}
+
+type method struct {
+	name                       string
+	in, out                    string
+	clientStream, serverStream bool
+}
+
+var scalarKinds = map[string]string{
+	"double": "fixed64",
+	"int32":  "varint",
+	"int64":  "varint",
+	"uint32": "varint",
+	"uint64": "varint",
+	"bool":   "varint",
+	"string": "bytes",
+	"bytes":  "bytes",
+}
+
+// ---- lexer ----
+
+type lexer struct {
+	toks []string
+	pos  int
+}
+
+// tokenize splits the source into identifiers/numbers, string literals and
+// single-rune punctuation, dropping // and /* */ comments.
+func tokenize(src string) ([]string, error) {
+	var toks []string
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			end := strings.Index(src[i+2:], "*/")
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated block comment")
+			}
+			i += 2 + end + 2
+		case c == '"':
+			j := i + 1
+			for j < len(src) && src[j] != '"' {
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("unterminated string literal")
+			}
+			toks = append(toks, src[i:j+1])
+			i = j + 1
+		case isIdentRune(rune(c)) || (c >= '0' && c <= '9'):
+			j := i
+			for j < len(src) && (isIdentRune(rune(src[j])) || src[j] >= '0' && src[j] <= '9' || src[j] == '.') {
+				j++
+			}
+			toks = append(toks, src[i:j])
+			i = j
+		case strings.ContainsRune("{}()=;,<>[]", rune(c)):
+			toks = append(toks, string(c))
+			i++
+		default:
+			return nil, fmt.Errorf("unexpected character %q", c)
+		}
+	}
+	return toks, nil
+}
+
+func isIdentRune(r rune) bool {
+	return r == '_' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z'
+}
+
+func (l *lexer) next() (string, error) {
+	if l.pos >= len(l.toks) {
+		return "", fmt.Errorf("unexpected end of file")
+	}
+	t := l.toks[l.pos]
+	l.pos++
+	return t, nil
+}
+
+func (l *lexer) expect(want string) error {
+	t, err := l.next()
+	if err != nil {
+		return err
+	}
+	if t != want {
+		return fmt.Errorf("expected %q, got %q", want, t)
+	}
+	return nil
+}
+
+// ---- parser ----
+
+func parse(src string) (*file, error) {
+	toks, err := tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	l := &lexer{toks: toks}
+	f := &file{}
+	for l.pos < len(l.toks) {
+		t, _ := l.next()
+		switch t {
+		case "syntax":
+			if err := l.expect("="); err != nil {
+				return nil, err
+			}
+			v, err := l.next()
+			if err != nil {
+				return nil, err
+			}
+			if v != `"proto3"` {
+				return nil, fmt.Errorf("only proto3 is supported, got %s", v)
+			}
+			if err := l.expect(";"); err != nil {
+				return nil, err
+			}
+		case "package":
+			v, err := l.next()
+			if err != nil {
+				return nil, err
+			}
+			f.protoPackage = v
+			if err := l.expect(";"); err != nil {
+				return nil, err
+			}
+		case "option":
+			// Options (go_package) are free-form `name = value;` pairs the
+			// generator does not act on: the Go package name comes from -pkg.
+			for {
+				v, err := l.next()
+				if err != nil {
+					return nil, err
+				}
+				if v == ";" {
+					break
+				}
+			}
+		case "message":
+			m, err := parseMessage(l)
+			if err != nil {
+				return nil, err
+			}
+			f.messages = append(f.messages, m)
+		case "service":
+			s, err := parseService(l)
+			if err != nil {
+				return nil, err
+			}
+			f.services = append(f.services, s)
+		default:
+			return nil, fmt.Errorf("unexpected top-level token %q", t)
+		}
+	}
+	if f.protoPackage == "" {
+		return nil, fmt.Errorf("missing package declaration")
+	}
+	return f, validate(f)
+}
+
+func parseMessage(l *lexer) (*message, error) {
+	name, err := l.next()
+	if err != nil {
+		return nil, err
+	}
+	if err := l.expect("{"); err != nil {
+		return nil, err
+	}
+	m := &message{name: name}
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		if t == "}" {
+			return m, nil
+		}
+		fld := &field{}
+		if t == "repeated" {
+			fld.repeated = true
+			if t, err = l.next(); err != nil {
+				return nil, err
+			}
+		}
+		fld.typ = t
+		if fld.name, err = l.next(); err != nil {
+			return nil, err
+		}
+		if err := l.expect("="); err != nil {
+			return nil, err
+		}
+		numTok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		if fld.num, err = strconv.Atoi(numTok); err != nil {
+			return nil, fmt.Errorf("message %s field %s: bad field number %q", m.name, fld.name, numTok)
+		}
+		if err := l.expect(";"); err != nil {
+			return nil, err
+		}
+		m.fields = append(m.fields, fld)
+	}
+}
+
+func parseService(l *lexer) (*service, error) {
+	name, err := l.next()
+	if err != nil {
+		return nil, err
+	}
+	if err := l.expect("{"); err != nil {
+		return nil, err
+	}
+	s := &service{name: name}
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		if t == "}" {
+			return s, nil
+		}
+		if t != "rpc" {
+			return nil, fmt.Errorf("service %s: expected rpc, got %q", s.name, t)
+		}
+		m := &method{}
+		if m.name, err = l.next(); err != nil {
+			return nil, err
+		}
+		if m.in, m.clientStream, err = parseRPCType(l); err != nil {
+			return nil, err
+		}
+		if err := l.expect("returns"); err != nil {
+			return nil, err
+		}
+		if m.out, m.serverStream, err = parseRPCType(l); err != nil {
+			return nil, err
+		}
+		if err := l.expect(";"); err != nil {
+			return nil, err
+		}
+		s.methods = append(s.methods, m)
+	}
+}
+
+func parseRPCType(l *lexer) (typ string, streaming bool, err error) {
+	if err := l.expect("("); err != nil {
+		return "", false, err
+	}
+	t, err := l.next()
+	if err != nil {
+		return "", false, err
+	}
+	if t == "stream" {
+		streaming = true
+		if t, err = l.next(); err != nil {
+			return "", false, err
+		}
+	}
+	if err := l.expect(")"); err != nil {
+		return "", false, err
+	}
+	return t, streaming, nil
+}
+
+func validate(f *file) error {
+	byName := make(map[string]*message, len(f.messages))
+	for _, m := range f.messages {
+		if byName[m.name] != nil {
+			return fmt.Errorf("duplicate message %s", m.name)
+		}
+		byName[m.name] = m
+	}
+	for _, m := range f.messages {
+		nums := make(map[int]string)
+		for _, fld := range m.fields {
+			if fld.num <= 0 {
+				return fmt.Errorf("message %s field %s: field number must be positive", m.name, fld.name)
+			}
+			if prev, dup := nums[fld.num]; dup {
+				return fmt.Errorf("message %s: fields %s and %s share number %d", m.name, prev, fld.name, fld.num)
+			}
+			nums[fld.num] = fld.name
+			if _, scalar := scalarKinds[fld.typ]; !scalar && byName[fld.typ] == nil {
+				return fmt.Errorf("message %s field %s: unknown type %q", m.name, fld.name, fld.typ)
+			}
+		}
+	}
+	for _, s := range f.services {
+		for _, m := range s.methods {
+			for _, typ := range []string{m.in, m.out} {
+				if byName[typ] == nil {
+					return fmt.Errorf("service %s method %s: unknown message %q", s.name, m.name, typ)
+				}
+			}
+			if m.clientStream != m.serverStream {
+				return fmt.Errorf("service %s method %s: only unary and bidi-streaming methods are supported", s.name, m.name)
+			}
+		}
+	}
+	return nil
+}
+
+// ---- emitter ----
+
+// goName converts a proto snake_case identifier to an exported Go name.
+func goName(s string) string {
+	var b strings.Builder
+	up := true
+	for _, r := range s {
+		if r == '_' {
+			up = true
+			continue
+		}
+		if up {
+			b.WriteString(strings.ToUpper(string(r)))
+			up = false
+		} else {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+func goType(f *field) string {
+	var base string
+	switch f.typ {
+	case "double":
+		base = "float64"
+	case "int32", "int64", "uint32", "uint64", "bool", "string":
+		base = f.typ
+	case "bytes":
+		base = "[]byte"
+	default: // message
+		base = "*" + f.typ
+	}
+	if f.repeated {
+		if f.typ == "bytes" {
+			return "[][]byte"
+		}
+		return "[]" + base
+	}
+	return base
+}
+
+func isMsg(f *field) bool {
+	_, scalar := scalarKinds[f.typ]
+	return !scalar
+}
+
+func emit(f *file, pkg, source string) ([]byte, error) {
+	w := &strings.Builder{}
+	p := func(format string, args ...any) { fmt.Fprintf(w, format+"\n", args...) }
+
+	p("// Code generated by protogen from %s. DO NOT EDIT.", source)
+	p("")
+	p("// Package %s holds the generated protobuf messages and method names", pkg)
+	p("// of the %s service. Regenerate with `go generate ./api/...`.", f.protoPackage)
+	p("package %s", pkg)
+	p("")
+	p(`import "math"`)
+	p("")
+	p("// Silence the import when no message carries a double field.")
+	p("var _ = math.Float64bits")
+
+	for _, m := range f.messages {
+		emitStruct(p, m)
+		emitMarshal(p, m)
+		emitUnmarshal(p, m)
+	}
+	emitServices(p, f)
+
+	code, err := format.Source([]byte(w.String()))
+	if err != nil {
+		return nil, fmt.Errorf("generated code does not parse (generator bug): %w", err)
+	}
+	return code, nil
+}
+
+func emitStruct(p func(string, ...any), m *message) {
+	p("")
+	p("// %s mirrors the %s proto message.", m.name, m.name)
+	p("type %s struct {", m.name)
+	for _, fld := range m.fields {
+		p("\t%s %s", goName(fld.name), goType(fld))
+	}
+	p("}")
+}
+
+// sortedFields returns the fields in field-number order — the order
+// Marshal emits them in, which is what makes equal messages produce equal
+// bytes.
+func sortedFields(m *message) []*field {
+	fields := append([]*field(nil), m.fields...)
+	sort.Slice(fields, func(i, j int) bool { return fields[i].num < fields[j].num })
+	return fields
+}
+
+func emitMarshal(p func(string, ...any), m *message) {
+	p("")
+	p("// Marshal encodes the message in protobuf wire format, fields in")
+	p("// field-number order (deterministic for equal messages).")
+	p("func (m *%s) Marshal() []byte { return m.MarshalAppend(nil) }", m.name)
+	p("")
+	p("// MarshalAppend appends the wire encoding to b and returns the result.")
+	p("func (m *%s) MarshalAppend(b []byte) []byte {", m.name)
+	if len(m.fields) == 0 {
+		p("\treturn b")
+		p("}")
+		return
+	}
+	for _, fld := range sortedFields(m) {
+		gn := "m." + goName(fld.name)
+		switch {
+		case isMsg(fld) && fld.repeated:
+			p("\tfor _, v := range %s {", gn)
+			p("\t\tif v == nil {")
+			p("\t\t\tv = &%s{}", fld.typ)
+			p("\t\t}")
+			p("\t\tb = appendTag(b, %d, wireBytes)", fld.num)
+			p("\t\tb = appendBytes(b, v.Marshal())")
+			p("\t}")
+		case isMsg(fld):
+			p("\tif %s != nil {", gn)
+			p("\t\tb = appendTag(b, %d, wireBytes)", fld.num)
+			p("\t\tb = appendBytes(b, %s.Marshal())", gn)
+			p("\t}")
+		case fld.typ == "double" && fld.repeated:
+			p("\tif len(%s) > 0 {", gn)
+			p("\t\tb = appendTag(b, %d, wireBytes)", fld.num)
+			p("\t\tb = appendVarint(b, uint64(8*len(%s)))", gn)
+			p("\t\tfor _, v := range %s {", gn)
+			p("\t\t\tb = appendFixed64(b, math.Float64bits(v))")
+			p("\t\t}")
+			p("\t}")
+		case fld.typ == "double":
+			p("\tif %s != 0 {", gn)
+			p("\t\tb = appendTag(b, %d, wireFixed64)", fld.num)
+			p("\t\tb = appendFixed64(b, math.Float64bits(%s))", gn)
+			p("\t}")
+		case fld.typ == "string" && fld.repeated:
+			p("\tfor _, v := range %s {", gn)
+			p("\t\tb = appendTag(b, %d, wireBytes)", fld.num)
+			p("\t\tb = appendBytes(b, []byte(v))")
+			p("\t}")
+		case fld.typ == "string":
+			p("\tif %s != \"\" {", gn)
+			p("\t\tb = appendTag(b, %d, wireBytes)", fld.num)
+			p("\t\tb = appendBytes(b, []byte(%s))", gn)
+			p("\t}")
+		case fld.typ == "bytes" && fld.repeated:
+			p("\tfor _, v := range %s {", gn)
+			p("\t\tb = appendTag(b, %d, wireBytes)", fld.num)
+			p("\t\tb = appendBytes(b, v)")
+			p("\t}")
+		case fld.typ == "bytes":
+			p("\tif len(%s) > 0 {", gn)
+			p("\t\tb = appendTag(b, %d, wireBytes)", fld.num)
+			p("\t\tb = appendBytes(b, %s)", gn)
+			p("\t}")
+		case fld.typ == "bool" && !fld.repeated:
+			p("\tif %s {", gn)
+			p("\t\tb = appendTag(b, %d, wireVarint)", fld.num)
+			p("\t\tb = append(b, 1)")
+			p("\t}")
+		case fld.repeated: // packed varint ints
+			p("\tif len(%s) > 0 {", gn)
+			p("\t\tb = appendTag(b, %d, wireBytes)", fld.num)
+			p("\t\tn := 0")
+			p("\t\tfor _, v := range %s {", gn)
+			p("\t\t\tn += sizeVarint(%s)", varintExpr(fld.typ, "v"))
+			p("\t\t}")
+			p("\t\tb = appendVarint(b, uint64(n))")
+			p("\t\tfor _, v := range %s {", gn)
+			p("\t\t\tb = appendVarint(b, %s)", varintExpr(fld.typ, "v"))
+			p("\t\t}")
+			p("\t}")
+		default: // scalar varint ints
+			p("\tif %s != 0 {", gn)
+			p("\t\tb = appendTag(b, %d, wireVarint)", fld.num)
+			p("\t\tb = appendVarint(b, %s)", varintExpr(fld.typ, gn))
+			p("\t}")
+		}
+	}
+	p("\treturn b")
+	p("}")
+}
+
+// varintExpr converts a Go value of the field's type to the uint64 the
+// varint encoder takes. Signed ints sign-extend through int64 first, the
+// standard protobuf encoding for negative values.
+func varintExpr(typ, v string) string {
+	switch typ {
+	case "int32", "int64":
+		return fmt.Sprintf("uint64(int64(%s))", v)
+	default:
+		return fmt.Sprintf("uint64(%s)", v)
+	}
+}
+
+func emitUnmarshal(p func(string, ...any), m *message) {
+	p("")
+	p("// Unmarshal replaces the message with the decoding of data. Unknown")
+	p("// fields are skipped; a malformed buffer returns ErrInvalidWire.")
+	p("func (m *%s) Unmarshal(data []byte) error {", m.name)
+	p("\t*m = %s{}", m.name)
+	p("\tfor len(data) > 0 {")
+	p("\t\ttag, n := consumeVarint(data)")
+	p("\t\tif n <= 0 {")
+	p("\t\t\treturn ErrInvalidWire")
+	p("\t\t}")
+	p("\t\tdata = data[n:]")
+	p("\t\tswitch num, wt := int(tag>>3), int(tag&7); num {")
+	for _, fld := range sortedFields(m) {
+		gn := "m." + goName(fld.name)
+		p("\t\tcase %d:", fld.num)
+		switch {
+		case isMsg(fld):
+			p("\t\t\tv, n := consumeBytesChecked(data, wt)")
+			p("\t\t\tif n <= 0 {")
+			p("\t\t\t\treturn ErrInvalidWire")
+			p("\t\t\t}")
+			p("\t\t\tdata = data[n:]")
+			p("\t\t\te := new(%s)", fld.typ)
+			p("\t\t\tif err := e.Unmarshal(v); err != nil {")
+			p("\t\t\t\treturn err")
+			p("\t\t\t}")
+			if fld.repeated {
+				p("\t\t\t%s = append(%s, e)", gn, gn)
+			} else {
+				p("\t\t\t%s = e", gn)
+			}
+		case fld.typ == "double":
+			p("\t\t\tswitch wt {")
+			p("\t\t\tcase wireBytes:")
+			p("\t\t\t\tv, n := consumeBytes(data)")
+			p("\t\t\t\tif n <= 0 || len(v)%%8 != 0 {")
+			p("\t\t\t\t\treturn ErrInvalidWire")
+			p("\t\t\t\t}")
+			p("\t\t\t\tdata = data[n:]")
+			if fld.repeated {
+				p("\t\t\t\tfor len(v) > 0 {")
+				p("\t\t\t\t\t%s = append(%s, math.Float64frombits(le64(v)))", gn, gn)
+				p("\t\t\t\t\tv = v[8:]")
+				p("\t\t\t\t}")
+			} else {
+				p("\t\t\t\tif len(v) != 8 {")
+				p("\t\t\t\t\treturn ErrInvalidWire")
+				p("\t\t\t\t}")
+				p("\t\t\t\t%s = math.Float64frombits(le64(v))", gn)
+			}
+			p("\t\t\tcase wireFixed64:")
+			p("\t\t\t\tv, n := consumeFixed64(data)")
+			p("\t\t\t\tif n <= 0 {")
+			p("\t\t\t\t\treturn ErrInvalidWire")
+			p("\t\t\t\t}")
+			p("\t\t\t\tdata = data[n:]")
+			if fld.repeated {
+				p("\t\t\t\t%s = append(%s, math.Float64frombits(v))", gn, gn)
+			} else {
+				p("\t\t\t\t%s = math.Float64frombits(v)", gn)
+			}
+			p("\t\t\tdefault:")
+			p("\t\t\t\treturn ErrInvalidWire")
+			p("\t\t\t}")
+		case fld.typ == "string" || fld.typ == "bytes":
+			p("\t\t\tv, n := consumeBytesChecked(data, wt)")
+			p("\t\t\tif n <= 0 {")
+			p("\t\t\t\treturn ErrInvalidWire")
+			p("\t\t\t}")
+			p("\t\t\tdata = data[n:]")
+			conv := "string(v)"
+			if fld.typ == "bytes" {
+				conv = "append([]byte(nil), v...)"
+			}
+			if fld.repeated {
+				p("\t\t\t%s = append(%s, %s)", gn, gn, conv)
+			} else {
+				p("\t\t\t%s = %s", gn, conv)
+			}
+		default: // varint ints and bool
+			p("\t\t\tswitch wt {")
+			if fld.repeated {
+				p("\t\t\tcase wireBytes:")
+				p("\t\t\t\tv, n := consumeBytes(data)")
+				p("\t\t\t\tif n <= 0 {")
+				p("\t\t\t\t\treturn ErrInvalidWire")
+				p("\t\t\t\t}")
+				p("\t\t\t\tdata = data[n:]")
+				p("\t\t\t\tfor len(v) > 0 {")
+				p("\t\t\t\t\tu, n := consumeVarint(v)")
+				p("\t\t\t\t\tif n <= 0 {")
+				p("\t\t\t\t\t\treturn ErrInvalidWire")
+				p("\t\t\t\t\t}")
+				p("\t\t\t\t\tv = v[n:]")
+				p("\t\t\t\t\t%s = append(%s, %s)", gn, gn, varintDecode(fld.typ, "u"))
+				p("\t\t\t\t}")
+				p("\t\t\tcase wireVarint:")
+				p("\t\t\t\tu, n := consumeVarint(data)")
+				p("\t\t\t\tif n <= 0 {")
+				p("\t\t\t\t\treturn ErrInvalidWire")
+				p("\t\t\t\t}")
+				p("\t\t\t\tdata = data[n:]")
+				p("\t\t\t\t%s = append(%s, %s)", gn, gn, varintDecode(fld.typ, "u"))
+			} else {
+				p("\t\t\tcase wireVarint:")
+				p("\t\t\t\tu, n := consumeVarint(data)")
+				p("\t\t\t\tif n <= 0 {")
+				p("\t\t\t\t\treturn ErrInvalidWire")
+				p("\t\t\t\t}")
+				p("\t\t\t\tdata = data[n:]")
+				p("\t\t\t\t%s = %s", gn, varintDecode(fld.typ, "u"))
+			}
+			p("\t\t\tdefault:")
+			p("\t\t\t\treturn ErrInvalidWire")
+			p("\t\t\t}")
+		}
+	}
+	p("\t\tdefault:")
+	p("\t\t\tn := skipField(data, wt)")
+	p("\t\t\tif n < 0 {")
+	p("\t\t\t\treturn ErrInvalidWire")
+	p("\t\t\t}")
+	p("\t\t\tdata = data[n:]")
+	p("\t\t}")
+	p("\t}")
+	p("\treturn nil")
+	p("}")
+}
+
+func varintDecode(typ, u string) string {
+	switch typ {
+	case "int32":
+		return fmt.Sprintf("int32(%s)", u)
+	case "int64":
+		return fmt.Sprintf("int64(%s)", u)
+	case "uint32":
+		return fmt.Sprintf("uint32(%s)", u)
+	case "uint64":
+		return u
+	case "bool":
+		return fmt.Sprintf("%s != 0", u)
+	}
+	panic("protogen: not a varint type: " + typ)
+}
+
+func emitServices(p func(string, ...any), f *file) {
+	for _, s := range f.services {
+		p("")
+		p("// %sService is the full protobuf service name of %s.", s.name, s.name)
+		p("const %sService = %q", s.name, f.protoPackage+"."+s.name)
+		p("")
+		p("// Full method paths of the %s service, as they appear in the", s.name)
+		p("// gRPC :path pseudo-header.")
+		p("const (")
+		for _, m := range s.methods {
+			p("\t%sMethod%s = %q", s.name, m.name, "/"+f.protoPackage+"."+s.name+"/"+m.name)
+		}
+		p(")")
+		p("")
+		p("// %sStreamingMethods reports, per full method path, whether the", s.name)
+		p("// method is a bidi stream (true) or unary (false).")
+		p("var %sStreamingMethods = map[string]bool{", s.name)
+		for _, m := range s.methods {
+			p("\t%sMethod%s: %v,", s.name, m.name, m.clientStream)
+		}
+		p("}")
+	}
+}

@@ -49,7 +49,7 @@ func requireBitIdentical(t *testing.T, a, b [][]float64) {
 // so Config.Workers is purely a throughput knob.
 func TestExtractFeaturesBatchDeterministic(t *testing.T) {
 	series := batchSeries(40, 192, 1)
-	ref, names, err := ExtractFeaturesBatch(series, Config{Workers: 1})
+	ref, names, err := extractOnce(series, Config{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +57,7 @@ func TestExtractFeaturesBatchDeterministic(t *testing.T) {
 		t.Fatalf("shape: %d rows, %d names, width %d", len(ref), len(names), len(ref[0]))
 	}
 	for _, workers := range []int{2, 3, 8} {
-		X, _, err := ExtractFeaturesBatch(series, Config{Workers: workers})
+		X, _, err := extractOnce(series, Config{Workers: workers})
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -65,7 +65,7 @@ func TestExtractFeaturesBatchDeterministic(t *testing.T) {
 	}
 	// The engine must also agree with one-at-a-time extraction.
 	for i, s := range series[:5] {
-		row, _, err := ExtractFeatures([][]float64{s}, Config{})
+		row, _, err := extractOnce([][]float64{s}, Config{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -86,13 +86,13 @@ func TestExtractFeaturesBatchDeterministicExtended(t *testing.T) {
 	} {
 		cfg1 := cfg
 		cfg1.Workers = 1
-		ref, _, err := ExtractFeaturesBatch(series, cfg1)
+		ref, _, err := extractOnce(series, cfg1)
 		if err != nil {
 			t.Fatalf("%+v: %v", cfg1, err)
 		}
 		cfg8 := cfg
 		cfg8.Workers = 8
-		X, _, err := ExtractFeaturesBatch(series, cfg8)
+		X, _, err := extractOnce(series, cfg8)
 		if err != nil {
 			t.Fatalf("%+v: %v", cfg8, err)
 		}
@@ -104,7 +104,7 @@ func TestExtractFeaturesBatchDeterministicExtended(t *testing.T) {
 // Predict and per-series prediction all agree, across worker counts.
 func TestPredictBatch(t *testing.T) {
 	train, labels := predictableDataset(t, 1)
-	model, err := Train(train, labels, 2, Config{Folds: 2, Seed: 1, Workers: 2})
+	model, err := trainOnce(train, labels, 2, Config{Folds: 2, Seed: 1, Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +141,7 @@ func TestPredictBatch(t *testing.T) {
 // `go test -race` (CI always does).
 func TestPredictBatchRace(t *testing.T) {
 	train, labels := predictableDataset(t, 3)
-	model, err := Train(train, labels, 2, Config{Folds: 2, Seed: 1, Workers: 8})
+	model, err := trainOnce(train, labels, 2, Config{Folds: 2, Seed: 1, Workers: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +169,7 @@ func TestPredictBatchRace(t *testing.T) {
 // the sequential reference regardless of when the cap changes.
 func TestSetWorkersRace(t *testing.T) {
 	train, labels := predictableDataset(t, 5)
-	model, err := Train(train, labels, 2, Config{Folds: 2, Seed: 1, Workers: 2})
+	model, err := trainOnce(train, labels, 2, Config{Folds: 2, Seed: 1, Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -32,6 +32,14 @@
 //	some-sensor | mvgcli stream -load model.mvg -hop 8 \
 //	    -alert "kind=proba,class=1,rise=0.9,clear=0.6" \
 //	    -webhook http://alerts.internal/hook
+//
+// The predict subcommand sends one series to a running mvgserve (or an
+// mvgproxy fleet) and prints the prediction as a JSON line — over HTTP
+// with -addr or over gRPC with -grpc-addr, both rendered in the same
+// schema so the transports can be diffed directly (docs/serving.md):
+//
+//	echo "$SERIES" | mvgcli predict -addr localhost:8080 -model shapes
+//	echo "$SERIES" | mvgcli predict -grpc-addr localhost:9091 -model shapes -proba
 package main
 
 import (
@@ -49,7 +57,7 @@ import (
 
 	"mvg"
 	alertwebhook "mvg/internal/alert/webhook"
-	"mvg/internal/serve"
+	"mvg/internal/serve/core"
 	"mvg/internal/ucr"
 )
 
@@ -68,6 +76,8 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 			return runExtract(args[1:], stdout, stderr)
 		case "validate":
 			return runValidate(args[1:], stdout, stderr)
+		case "predict":
+			return runPredict(args[1:], stdout, stderr)
 		}
 	}
 	return runTrainEval(args, stdout, stderr)
@@ -310,10 +320,10 @@ func runStream(args []string, stdout, stderr io.Writer) int {
 		if err != nil {
 			return fail(stderr, err)
 		}
-		// serve.StreamPrediction / StreamAlertEvent are the shared line
+		// core.StreamPrediction / StreamAlertEvent are the shared line
 		// types of mvgserve's /stream endpoint — one protocol, one
 		// definition. Sample is samples-consumed on the wire.
-		pred := serve.StreamPrediction{Sample: stream.Pushed(), Class: pt.Class, Proba: pt.Proba}
+		pred := core.StreamPrediction{Sample: stream.Pushed(), Class: pt.Class, Proba: pt.Proba}
 		if pt.HasDrift {
 			pred.Drift = &pt.Drift
 		}
@@ -321,7 +331,7 @@ func runStream(args []string, stdout, stderr io.Writer) int {
 			return fail(stderr, err)
 		}
 		for _, tr := range pt.Transitions {
-			ev := serve.StreamAlertEvent{
+			ev := core.StreamAlertEvent{
 				Alert: tr.Trigger, From: tr.From.String(), To: tr.To.String(),
 				Sample: tr.Sample + 1, Value: tr.Value,
 			}

@@ -16,7 +16,7 @@ import (
 	"sync"
 	"testing"
 
-	"mvg/internal/serve"
+	"mvg/internal/serve/core"
 )
 
 // TestMain doubles as the binary: when re-executed with MVGCLI_EXEC=1 the
@@ -112,7 +112,7 @@ func TestTrainSavePredictRoundTrip(t *testing.T) {
 	if len(lines) != 1 { // length == window, so exactly one hop fires
 		t.Fatalf("stream emitted %d lines, want 1:\n%s", len(lines), stdout.String())
 	}
-	var pred serve.StreamPrediction
+	var pred core.StreamPrediction
 	if err := json.Unmarshal([]byte(lines[0]), &pred); err != nil {
 		t.Fatalf("bad NDJSON %q: %v", lines[0], err)
 	}
@@ -162,7 +162,7 @@ func TestTrainSavePredictRoundTrip(t *testing.T) {
 	}
 	var firing, resolved int
 	for _, line := range strings.Split(strings.TrimSpace(stdout.String()), "\n") {
-		var ev serve.StreamAlertEvent
+		var ev core.StreamAlertEvent
 		if err := json.Unmarshal([]byte(line), &ev); err != nil || ev.Alert == "" {
 			continue
 		}

@@ -1,0 +1,177 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"mvg/api/mvgpb"
+	"mvg/internal/grpcx"
+	"mvg/internal/serve/core"
+)
+
+// runPredict is the remote-inference subcommand: it reads one series,
+// sends it to a running mvgserve (or an mvgproxy fronting a fleet) over
+// either transport, and prints the prediction as one JSON line in the
+// HTTP response schema. Because the gRPC reply is re-rendered into that
+// same schema, piping the two modes through diff is a live check of the
+// cross-transport byte-identical guarantee (docs/serving.md).
+func runPredict(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mvgcli predict", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		httpAddr = fs.String("addr", "", "predict over HTTP/JSON against this host:port")
+		grpcAddr = fs.String("grpc-addr", "", "predict over gRPC against this host:port")
+		model    = fs.String("model", "", "model name to predict with (required)")
+		proba    = fs.Bool("proba", false, "request class probabilities instead of the class label")
+		inPath   = fs.String("in", "", "series source, numbers separated by commas or whitespace (default stdin)")
+		tenant   = fs.String("tenant", "", "tenant id to send (HTTP ?tenant= / gRPC mvg-tenant metadata)")
+		timeout  = fs.Duration("timeout", 30*time.Second, "request deadline")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *model == "" || (*httpAddr == "") == (*grpcAddr == "") {
+		fmt.Fprintln(stderr, "mvgcli predict: -model and exactly one of -addr or -grpc-addr are required")
+		fs.Usage()
+		return 2
+	}
+	series, err := readSeries(*inPath)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	var line any
+	if *httpAddr != "" {
+		line, err = predictHTTP(ctx, *httpAddr, *model, *tenant, series, *proba)
+	} else {
+		line, err = predictGRPC(ctx, *grpcAddr, *model, *tenant, series, *proba)
+	}
+	if err != nil {
+		return fail(stderr, err)
+	}
+	if err := json.NewEncoder(stdout).Encode(line); err != nil {
+		return fail(stderr, err)
+	}
+	return 0
+}
+
+// predictLine is the output schema — the HTTP single-series response
+// shape of both predict endpoints (httpapi's predictResponse /
+// probaResponse), which the gRPC reply is normalised into.
+type predictLine struct {
+	Model     string    `json:"model"`
+	Class     *int      `json:"class,omitempty"`
+	Proba     []float64 `json:"proba,omitempty"`
+	Coalesced bool      `json:"coalesced,omitempty"`
+}
+
+func predictHTTP(ctx context.Context, addr, model, tenant string, series []float64, proba bool) (*predictLine, error) {
+	endpoint := "predict"
+	if proba {
+		endpoint = "predict_proba"
+	}
+	u := "http://" + addr + "/v1/models/" + url.PathEscape(model) + "/" + endpoint
+	if tenant != "" {
+		u += "?" + core.TenantParam + "=" + url.QueryEscape(tenant)
+	}
+	body, err := json.Marshal(map[string]any{"series": series})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+			return nil, fmt.Errorf("%s: %s", resp.Status, e.Error)
+		}
+		return nil, fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(raw)))
+	}
+	var line predictLine
+	if err := json.Unmarshal(raw, &line); err != nil {
+		return nil, fmt.Errorf("decoding response: %w", err)
+	}
+	return &line, nil
+}
+
+func predictGRPC(ctx context.Context, addr, model, tenant string, series []float64, proba bool) (*predictLine, error) {
+	c := grpcx.Dial(addr)
+	defer c.Close()
+	var md map[string]string
+	if tenant != "" {
+		md = map[string]string{core.TenantMetadataKey: tenant}
+	}
+	req := &mvgpb.PredictRequest{Model: model, Series: series}
+	if proba {
+		var resp mvgpb.PredictProbaResponse
+		if err := c.Invoke(ctx, mvgpb.MvgMethodPredictProba, md, req, &resp); err != nil {
+			return nil, err
+		}
+		return &predictLine{Model: resp.Model, Proba: resp.Proba, Coalesced: resp.Coalesced}, nil
+	}
+	var resp mvgpb.PredictResponse
+	if err := c.Invoke(ctx, mvgpb.MvgMethodPredict, md, req, &resp); err != nil {
+		return nil, err
+	}
+	class := int(resp.Class)
+	return &predictLine{Model: resp.Model, Class: &class, Coalesced: resp.Coalesced}, nil
+}
+
+// readSeries parses one series — numbers separated by commas and/or
+// whitespace — from path or stdin.
+func readSeries(path string) ([]float64, error) {
+	var in io.Reader = os.Stdin
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		in = f
+	}
+	raw, err := io.ReadAll(in)
+	if err != nil {
+		return nil, err
+	}
+	fields := strings.FieldsFunc(string(raw), func(r rune) bool {
+		return r == ',' || r == ' ' || r == '\t' || r == '\n' || r == '\r'
+	})
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("no series values on input")
+	}
+	series := make([]float64, len(fields))
+	for i, tok := range fields {
+		v, err := strconv.ParseFloat(tok, 64)
+		if err != nil {
+			return nil, fmt.Errorf("series value %d: not a number: %q", i, tok)
+		}
+		series[i] = v
+	}
+	return series, nil
+}

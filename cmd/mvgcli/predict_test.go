@@ -1,0 +1,157 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"mvg/internal/grpcx"
+	"mvg/internal/serve/core"
+	"mvg/internal/serve/grpcapi"
+	"mvg/internal/serve/httpapi"
+	"mvg/internal/serve/servetest"
+)
+
+// startServer boots the shared test model behind both codecs on loopback
+// listeners, returning the two addresses the predict subcommand dials.
+func startServer(t *testing.T) (httpAddr, grpcAddr string) {
+	t.Helper()
+	model := servetest.Model(t)
+	path := filepath.Join(t.TempDir(), "demo"+core.ModelExt)
+	if err := model.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	reg := core.NewRegistry()
+	reg.Register("demo", model, path)
+	engine, err := core.NewEngine(core.Config{Registry: reg, Window: time.Millisecond, MaxBatch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	httpLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: httpapi.NewServer(engine)}
+	go httpSrv.Serve(httpLn)
+
+	grpcLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	grpcSrv := grpcx.NewH2CServer("", grpcapi.NewServer(engine))
+	go grpcSrv.Serve(grpcLn)
+
+	t.Cleanup(func() {
+		httpSrv.Close()
+		grpcSrv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		engine.Shutdown(ctx)
+	})
+	return httpLn.Addr().String(), grpcLn.Addr().String()
+}
+
+// seriesFile writes one valid input series as comma-separated text.
+func seriesFile(t *testing.T) string {
+	t.Helper()
+	series := servetest.Inputs(1, 7)[0]
+	var b strings.Builder
+	for i, v := range series {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%g", v)
+	}
+	path := filepath.Join(t.TempDir(), "series.txt")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestPredictSubcommandTransportParity drives the same series through
+// both transports and requires byte-identical output lines — the CLI leg
+// of the cross-transport parity guarantee.
+func TestPredictSubcommandTransportParity(t *testing.T) {
+	httpAddr, grpcAddr := startServer(t)
+	in := seriesFile(t)
+
+	run := func(args ...string) string {
+		t.Helper()
+		var out, errb bytes.Buffer
+		if code := realMain(args, &out, &errb); code != 0 {
+			t.Fatalf("mvgcli %v: exit %d, stderr: %s", args, code, errb.String())
+		}
+		return out.String()
+	}
+
+	httpOut := run("predict", "-addr", httpAddr, "-model", "demo", "-in", in)
+	grpcOut := run("predict", "-grpc-addr", grpcAddr, "-model", "demo", "-in", in)
+	if httpOut != grpcOut {
+		t.Fatalf("transports disagree:\n  http: %s  grpc: %s", httpOut, grpcOut)
+	}
+	var line struct {
+		Model string `json:"model"`
+		Class *int   `json:"class"`
+	}
+	if err := json.Unmarshal([]byte(httpOut), &line); err != nil {
+		t.Fatalf("output is not JSON: %v (%s)", err, httpOut)
+	}
+	if line.Model != "demo" || line.Class == nil {
+		t.Fatalf("unexpected prediction line: %s", httpOut)
+	}
+
+	httpProba := run("predict", "-addr", httpAddr, "-model", "demo", "-in", in, "-proba")
+	grpcProba := run("predict", "-grpc-addr", grpcAddr, "-model", "demo", "-in", in, "-proba")
+	if httpProba != grpcProba {
+		t.Fatalf("proba transports disagree:\n  http: %s  grpc: %s", httpProba, grpcProba)
+	}
+	var probaLine struct {
+		Proba []float64 `json:"proba"`
+	}
+	if err := json.Unmarshal([]byte(httpProba), &probaLine); err != nil {
+		t.Fatal(err)
+	}
+	if len(probaLine.Proba) != 2 {
+		t.Fatalf("want 2 class probabilities, got %v", probaLine.Proba)
+	}
+}
+
+// TestPredictSubcommandErrors covers usage and server-error exits on
+// both transports.
+func TestPredictSubcommandErrors(t *testing.T) {
+	httpAddr, grpcAddr := startServer(t)
+	in := seriesFile(t)
+
+	for _, tc := range []struct {
+		name string
+		args []string
+		code int
+		want string
+	}{
+		{"no model", []string{"predict", "-addr", httpAddr, "-in", in}, 2, "-model"},
+		{"both transports", []string{"predict", "-addr", httpAddr, "-grpc-addr", grpcAddr, "-model", "demo", "-in", in}, 2, "exactly one"},
+		{"unknown model http", []string{"predict", "-addr", httpAddr, "-model", "nope", "-in", in}, 1, "404 Not Found"},
+		{"unknown model grpc", []string{"predict", "-grpc-addr", grpcAddr, "-model", "nope", "-in", in}, 1, "nope"},
+		{"dead backend", []string{"predict", "-grpc-addr", "127.0.0.1:1", "-model", "demo", "-in", in, "-timeout", "2s"}, 1, ""},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			if code := realMain(tc.args, &out, &errb); code != tc.code {
+				t.Fatalf("exit %d, want %d (stderr: %s)", code, tc.code, errb.String())
+			}
+			if tc.want != "" && !strings.Contains(errb.String(), tc.want) {
+				t.Fatalf("stderr %q does not mention %q", errb.String(), tc.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,113 @@
+// Command mvgproxy is the fleet front door for a set of mvgserve
+// replicas: one stateless proxy that consistent-hashes model names
+// across the fleet, health-checks every replica through /healthz,
+// retries idempotent predicts once when a shard is dead or draining,
+// and sheds with 429 (RESOURCE_EXHAUSTED over gRPC) + Retry-After when
+// no healthy replica remains. Both transports are accepted on one
+// listener — JSON over HTTP/1 and gRPC over h2c — and both route by the
+// same ring, so a model's traffic keeps sharing one replica's
+// coalescer no matter which wire it arrives on. See
+// docs/serving.md#fleet.
+//
+// Usage:
+//
+//	mvgproxy -replica 10.0.0.1:8080,10.0.0.1:8081 \
+//	         -replica 10.0.0.2:8080,10.0.0.2:8081 -addr :9090
+//	mvgproxy -replica localhost:8080 -health-interval 1s
+//
+// Each -replica names one mvgserve instance as "httpAddr[,grpcAddr]";
+// the gRPC address may be omitted for HTTP-only replicas (gRPC calls
+// then never route there).
+//
+// Proxy endpoints (answered locally, not forwarded):
+//
+//	GET /healthz   ready while >= 1 backend is; per-backend state in the body
+//	GET /metrics   mvgproxy_* Prometheus metrics (requests, retries, sheds,
+//	               backend_up) — distinct from the replicas' mvgserve_* families
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"mvg/internal/grpcx"
+	"mvg/internal/proxy"
+)
+
+func main() {
+	var backends []proxy.Backend
+	var (
+		addr            = flag.String("addr", ":9090", "listen address (HTTP + gRPC/h2c on one port)")
+		healthInterval  = flag.Duration("health-interval", 2*time.Second, "period between /healthz polls of each replica")
+		retryAfter      = flag.Duration("retry-after", time.Second, "Retry-After hint attached to shed responses")
+		shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second, "maximum time to drain in-flight forwards on SIGTERM")
+		readHeaderTo    = flag.Duration("read-header-timeout", 5*time.Second, "http.Server ReadHeaderTimeout (slowloris guard)")
+	)
+	flag.Func("replica", `one mvgserve replica as "httpAddr[,grpcAddr]" (repeatable)`, func(v string) error {
+		httpAddr, grpcAddr, _ := strings.Cut(v, ",")
+		if httpAddr == "" {
+			return fmt.Errorf("replica %q has no HTTP address", v)
+		}
+		backends = append(backends, proxy.Backend{HTTPAddr: httpAddr, GRPCAddr: grpcAddr})
+		return nil
+	})
+	flag.Parse()
+	logger := log.New(os.Stderr, "mvgproxy: ", log.LstdFlags)
+	if len(backends) == 0 {
+		fmt.Fprintln(os.Stderr, "mvgproxy: at least one -replica is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	p, err := proxy.New(proxy.Config{
+		Backends:       backends,
+		HealthInterval: *healthInterval,
+		RetryAfter:     *retryAfter,
+		Logger:         logger,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+	defer p.Close()
+
+	// One h2c-capable listener carries both transports: HTTP/1 requests
+	// take the JSON path, HTTP/2 requests with a grpc content-type take
+	// the frame-forwarding path.
+	srv := grpcx.NewH2CServer(*addr, p)
+	srv.ReadHeaderTimeout = *readHeaderTo
+	srv.IdleTimeout = 120 * time.Second
+
+	errc := make(chan error, 1)
+	go func() {
+		logger.Printf("listening on %s, %d replica(s)", *addr, len(backends))
+		errc <- srv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errc:
+		logger.Fatal(err)
+	case sig := <-sigc:
+		logger.Printf("received %v, draining (timeout %v)", sig, *shutdownTimeout)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		logger.Printf("shutdown: %v", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Fatal(err)
+	}
+	logger.Printf("drained, bye")
+}

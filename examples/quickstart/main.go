@@ -44,10 +44,21 @@ func main() {
 	trainX, trainY := makeWaves(60, 1)
 	testX, testY := makeWaves(40, 2)
 
-	feats, names, err := mvg.ExtractFeatures(trainX[:1], mvg.Config{})
+	// A Pipeline is built once (Config validated eagerly, worker pool
+	// spawned) and reused for every batch — extraction here, training
+	// below; all methods take a context for cooperative cancellation.
+	ctx := context.Background()
+	pipe, err := mvg.NewPipeline(mvg.Config{Seed: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer pipe.Close()
+
+	feats, err := pipe.Extract(ctx, trainX[:1])
+	if err != nil {
+		log.Fatal(err)
+	}
+	names := pipe.FeatureNames(len(trainX[0]))
 	fmt.Printf("-- each series yields %d named statistical features, e.g. --\n", len(names))
 	for _, i := range []int{0, 8, 17, 18, 22} {
 		fmt.Printf("   %-22s = %.4f\n", names[i], feats[0][i])
@@ -55,15 +66,6 @@ func main() {
 	fmt.Println()
 
 	// --- Part 3: train, predict, score ---------------------------------
-	// A Pipeline is built once (Config validated eagerly, worker pool
-	// spawned) and reused for every batch; all methods take a context for
-	// cooperative cancellation.
-	ctx := context.Background()
-	pipe, err := mvg.NewPipeline(mvg.Config{Seed: 1})
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer pipe.Close()
 	model, err := pipe.Train(ctx, trainX, trainY, 2)
 	if err != nil {
 		log.Fatal(err)

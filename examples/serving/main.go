@@ -23,7 +23,8 @@ import (
 	"time"
 
 	"mvg"
-	"mvg/internal/serve"
+	"mvg/internal/serve/core"
+	"mvg/internal/serve/httpapi"
 )
 
 func main() {
@@ -39,20 +40,21 @@ func main() {
 	dir, err := os.MkdirTemp("", "mvgserve-demo")
 	check(err)
 	defer os.RemoveAll(dir)
-	check(model.SaveFile(filepath.Join(dir, "demo"+serve.ModelExt)))
+	check(model.SaveFile(filepath.Join(dir, "demo"+core.ModelExt)))
 
 	// ---- 2. Start the serving stack (what mvgserve -models <dir> does) ----
-	registry := serve.NewRegistry()
+	registry := core.NewRegistry()
 	names, err := registry.LoadDir(dir)
 	check(err)
 	fmt.Printf("registry loaded: %v\n", names)
 
-	srv, err := serve.NewServer(serve.Config{
+	engine, err := core.NewEngine(core.Config{
 		Registry: registry,
 		Window:   2 * time.Millisecond, // coalescing window
 		MaxBatch: 64,
 	})
 	check(err)
+	srv := httpapi.NewServer(engine)
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	check(err)
@@ -119,7 +121,7 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	check(httpSrv.Shutdown(ctx))
-	check(srv.Shutdown(ctx))
+	check(engine.Shutdown(ctx))
 	fmt.Println("\ndrained and shut down cleanly")
 }
 

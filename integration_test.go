@@ -38,7 +38,7 @@ func TestDiskPipelineRoundTrip(t *testing.T) {
 		t.Fatalf("round trip lost samples: %d/%d", trainBack.Len(), testBack.Len())
 	}
 
-	model, err := Train(trainBack.Series, trainBack.Labels, trainBack.Classes(), Config{Seed: 3})
+	model, err := trainOnce(trainBack.Series, trainBack.Labels, trainBack.Classes(), Config{Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,247 @@
+package grpcx
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// NewH2CTransport returns an http.Transport speaking unencrypted HTTP/2 —
+// the client-side counterpart of NewH2CServer. Shared by the grpcx client
+// and the proxy's backend connections.
+func NewH2CTransport() *http.Transport {
+	tr := &http.Transport{
+		MaxIdleConnsPerHost: 16,
+		IdleConnTimeout:     90 * time.Second,
+	}
+	p := new(http.Protocols)
+	p.SetUnencryptedHTTP2(true)
+	tr.Protocols = p
+	return tr
+}
+
+// Client issues gRPC calls to one server address over h2c. Safe for
+// concurrent use; connections are pooled by the underlying transport.
+type Client struct {
+	base    string // http://host:port
+	hc      *http.Client
+	maxRecv int
+}
+
+// Dial returns a client for addr ("host:port"). No connection is made
+// until the first call.
+func Dial(addr string) *Client {
+	return &Client{
+		base:    "http://" + addr,
+		hc:      &http.Client{Transport: NewH2CTransport()},
+		maxRecv: DefaultMaxMessageSize,
+	}
+}
+
+// Close releases pooled connections.
+func (c *Client) Close() {
+	c.hc.CloseIdleConnections()
+}
+
+func (c *Client) newRequest(ctx context.Context, path string, md map[string]string, body io.Reader) (*http.Request, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, body)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", contentType)
+	req.Header.Set("Te", "trailers")
+	if dl, ok := ctx.Deadline(); ok {
+		req.Header.Set("Grpc-Timeout", encodeTimeout(time.Until(dl)))
+	}
+	for k, v := range md {
+		req.Header.Set(k, v)
+	}
+	return req, nil
+}
+
+// Invoke performs one unary RPC: req is marshalled as the single request
+// frame, the single response frame is unmarshalled into resp, and a
+// non-OK trailer status is returned as a *Status error.
+func (c *Client) Invoke(ctx context.Context, path string, md map[string]string, req, resp Message) error {
+	var body bytes.Buffer
+	if err := WriteFrame(&body, req.Marshal()); err != nil {
+		return err
+	}
+	hreq, err := c.newRequest(ctx, path, md, &body)
+	if err != nil {
+		return err
+	}
+	hresp, err := c.hc.Do(hreq)
+	if err != nil {
+		return &Status{Code: Unavailable, Message: err.Error()}
+	}
+	defer func() {
+		io.Copy(io.Discard, hresp.Body)
+		hresp.Body.Close()
+	}()
+	if err := checkResponse(hresp); err != nil {
+		return err
+	}
+	// Trailers-only response: some servers answer an immediate error with
+	// grpc-status in the HTTP headers and no body.
+	if st := headerStatus(hresp.Header); st != nil && st.Code != OK {
+		return st
+	}
+	payload, err := ReadFrame(hresp.Body, c.maxRecv)
+	if errors.Is(err, io.EOF) {
+		// No response frame: the status trailer says why.
+		if st := trailerStatus(hresp); st.Code != OK {
+			return st
+		}
+		return &Status{Code: Internal, Message: "server closed stream without a response message"}
+	}
+	if err != nil {
+		return &Status{Code: Internal, Message: fmt.Sprintf("reading response: %v", err)}
+	}
+	if err := resp.Unmarshal(payload); err != nil {
+		return &Status{Code: Internal, Message: fmt.Sprintf("decoding response: %v", err)}
+	}
+	// Drain to EOF so the trailers arrive, then check them.
+	if _, err := io.Copy(io.Discard, hresp.Body); err != nil {
+		return &Status{Code: Unavailable, Message: err.Error()}
+	}
+	if st := trailerStatus(hresp); st.Code != OK {
+		return st
+	}
+	return nil
+}
+
+// ClientStream is one live bidi-streaming call.
+type ClientStream struct {
+	resp    *http.Response
+	maxRecv int
+
+	sendMu sync.Mutex
+	pw     *io.PipeWriter
+	closed bool
+
+	recvErr error // sticky terminal state of the receive side
+}
+
+// Stream opens a bidi-streaming RPC. The returned stream must be finished
+// either by reading through the terminal Recv error or by cancelling ctx,
+// or the underlying HTTP/2 stream leaks until the context ends.
+func (c *Client) Stream(ctx context.Context, path string, md map[string]string) (*ClientStream, error) {
+	pr, pw := io.Pipe()
+	hreq, err := c.newRequest(ctx, path, md, pr)
+	if err != nil {
+		return nil, err
+	}
+	hresp, err := c.hc.Do(hreq)
+	if err != nil {
+		pw.Close()
+		return nil, &Status{Code: Unavailable, Message: err.Error()}
+	}
+	if err := checkResponse(hresp); err != nil {
+		pw.Close()
+		hresp.Body.Close()
+		return nil, err
+	}
+	return &ClientStream{resp: hresp, pw: pw, maxRecv: c.maxRecv}, nil
+}
+
+// Send writes one request frame. Safe for one goroutine at a time per
+// direction (sends may overlap receives).
+func (s *ClientStream) Send(m Message) error {
+	s.sendMu.Lock()
+	defer s.sendMu.Unlock()
+	if s.closed {
+		return errors.New("grpcx: send on closed stream")
+	}
+	return WriteFrame(s.pw, m.Marshal())
+}
+
+// CloseSend ends the request stream (half-close); the server sees EOF.
+func (s *ClientStream) CloseSend() error {
+	s.sendMu.Lock()
+	defer s.sendMu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.pw.Close()
+}
+
+// Recv decodes the next response frame into m. At the end of the response
+// stream it returns io.EOF when the server finished OK, or the server's
+// *Status error otherwise. After a terminal return the stream is closed.
+func (s *ClientStream) Recv(m Message) error {
+	if s.recvErr != nil {
+		return s.recvErr
+	}
+	payload, err := ReadFrame(s.resp.Body, s.maxRecv)
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			if st := trailerStatus(s.resp); st.Code != OK {
+				s.recvErr = st
+			} else {
+				s.recvErr = io.EOF
+			}
+		} else {
+			s.recvErr = &Status{Code: Unavailable, Message: err.Error()}
+		}
+		s.close()
+		return s.recvErr
+	}
+	if err := m.Unmarshal(payload); err != nil {
+		s.recvErr = &Status{Code: Internal, Message: fmt.Sprintf("decoding response: %v", err)}
+		s.close()
+		return s.recvErr
+	}
+	return nil
+}
+
+func (s *ClientStream) close() {
+	_ = s.CloseSend()
+	s.resp.Body.Close()
+}
+
+// checkResponse validates the HTTP layer of a gRPC response.
+func checkResponse(resp *http.Response) error {
+	if resp.StatusCode != http.StatusOK {
+		return &Status{Code: Unavailable, Message: fmt.Sprintf("http status %s", resp.Status)}
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/grpc") {
+		return &Status{Code: Internal, Message: fmt.Sprintf("not a grpc response (content-type %q)", ct)}
+	}
+	return nil
+}
+
+// headerStatus reads a grpc-status carried in headers (trailers-only
+// responses); nil when absent.
+func headerStatus(h http.Header) *Status {
+	v := h.Get("Grpc-Status")
+	if v == "" {
+		return nil
+	}
+	code, err := strconv.ParseUint(v, 10, 32)
+	if err != nil {
+		return &Status{Code: Internal, Message: fmt.Sprintf("malformed grpc-status %q", v)}
+	}
+	return &Status{Code: Code(code), Message: decodeGrpcMessage(h.Get("Grpc-Message"))}
+}
+
+// trailerStatus reads the call status from response trailers (valid after
+// the body hits EOF). A missing trailer is an Internal error: the server
+// never finished the RPC properly.
+func trailerStatus(resp *http.Response) *Status {
+	if st := headerStatus(http.Header(resp.Trailer)); st != nil {
+		return st
+	}
+	if st := headerStatus(resp.Header); st != nil {
+		return st
+	}
+	return &Status{Code: Internal, Message: "server sent no grpc-status"}
+}

@@ -1,0 +1,252 @@
+// Package grpcx is a minimal gRPC runtime over net/http's native
+// unencrypted HTTP/2 (h2c, Go 1.24 http.Protocols) — servers and clients
+// speak the standard gRPC wire protocol (length-prefixed protobuf frames
+// over HTTP/2, grpc-status/grpc-message trailers, grpc-timeout deadline
+// propagation, ASCII metadata as headers) without importing any non-std
+// dependency, so the container the repo builds in needs neither
+// google.golang.org/grpc nor a protoc toolchain. Interoperates with
+// standard gRPC stacks; compression is not negotiated (frames are always
+// sent uncompressed, and compressed inbound frames are rejected).
+//
+// The surface is deliberately small: a Server is an http.Handler that
+// routes full method paths to unary or bidi-stream handlers, a Client
+// issues Invoke (unary) and Stream (bidi) calls, and Status carries the
+// code/message pair both directions. internal/serve/grpcapi builds the
+// Mvg service on top; internal/proxy forwards raw frames with the
+// ReadFrame/WriteFrame helpers.
+package grpcx
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Message is the structural interface the generated api/mvgpb types
+// satisfy; grpcx stays decoupled from the generated package.
+type Message interface {
+	Marshal() []byte
+	Unmarshal([]byte) error
+}
+
+// Code is a gRPC status code (the canonical numbering).
+type Code uint32
+
+const (
+	OK                 Code = 0
+	Canceled           Code = 1
+	Unknown            Code = 2
+	InvalidArgument    Code = 3
+	DeadlineExceeded   Code = 4
+	NotFound           Code = 5
+	AlreadyExists      Code = 6
+	PermissionDenied   Code = 7
+	ResourceExhausted  Code = 8
+	FailedPrecondition Code = 9
+	Aborted            Code = 10
+	OutOfRange         Code = 11
+	Unimplemented      Code = 12
+	Internal           Code = 13
+	Unavailable        Code = 14
+	DataLoss           Code = 15
+	Unauthenticated    Code = 16
+)
+
+var codeNames = map[Code]string{
+	OK: "OK", Canceled: "CANCELLED", Unknown: "UNKNOWN",
+	InvalidArgument: "INVALID_ARGUMENT", DeadlineExceeded: "DEADLINE_EXCEEDED",
+	NotFound: "NOT_FOUND", AlreadyExists: "ALREADY_EXISTS",
+	PermissionDenied: "PERMISSION_DENIED", ResourceExhausted: "RESOURCE_EXHAUSTED",
+	FailedPrecondition: "FAILED_PRECONDITION", Aborted: "ABORTED",
+	OutOfRange: "OUT_OF_RANGE", Unimplemented: "UNIMPLEMENTED",
+	Internal: "INTERNAL", Unavailable: "UNAVAILABLE", DataLoss: "DATA_LOSS",
+	Unauthenticated: "UNAUTHENTICATED",
+}
+
+func (c Code) String() string {
+	if s, ok := codeNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("CODE(%d)", uint32(c))
+}
+
+// Status is a gRPC status as an error. A nil *Status means OK.
+type Status struct {
+	Code    Code
+	Message string
+}
+
+func (s *Status) Error() string {
+	return fmt.Sprintf("rpc error: code = %s desc = %s", s.Code, s.Message)
+}
+
+// Statusf builds a *Status error.
+func Statusf(code Code, format string, args ...any) *Status {
+	return &Status{Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// StatusOf extracts the *Status from err: a wrapped *Status keeps its
+// code, context cancellation and deadline map to their canonical codes,
+// nil maps to OK, and anything else is UNKNOWN.
+func StatusOf(err error) *Status {
+	if err == nil {
+		return &Status{Code: OK}
+	}
+	var st *Status
+	if errors.As(err, &st) {
+		return st
+	}
+	switch {
+	case errors.Is(err, context.Canceled):
+		return &Status{Code: Canceled, Message: err.Error()}
+	case errors.Is(err, context.DeadlineExceeded):
+		return &Status{Code: DeadlineExceeded, Message: err.Error()}
+	}
+	return &Status{Code: Unknown, Message: err.Error()}
+}
+
+// ---- wire framing ----
+
+// ErrFrameTooLarge is returned by ReadFrame for a frame whose declared
+// length exceeds the caller's bound.
+var ErrFrameTooLarge = errors.New("grpcx: frame exceeds size limit")
+
+// errCompressed rejects inbound frames with the compressed flag set —
+// grpcx never negotiates an encoding, so a compressed frame is a protocol
+// error, not data to inflate.
+var errCompressed = errors.New("grpcx: compressed frames not supported")
+
+// WriteFrame writes one uncompressed length-prefixed gRPC frame.
+func WriteFrame(w io.Writer, payload []byte) error {
+	hdr := [5]byte{0,
+		byte(len(payload) >> 24), byte(len(payload) >> 16),
+		byte(len(payload) >> 8), byte(len(payload))}
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one gRPC frame, bounding the payload at maxSize bytes.
+// io.EOF (clean end of stream) is returned only when no prefix byte was
+// read; a frame cut mid-way is io.ErrUnexpectedEOF.
+func ReadFrame(r io.Reader, maxSize int) ([]byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.EOF
+		}
+		return nil, err
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	if hdr[0] != 0 {
+		return nil, errCompressed
+	}
+	n := int(hdr[1])<<24 | int(hdr[2])<<16 | int(hdr[3])<<8 | int(hdr[4])
+	if n > maxSize {
+		return nil, ErrFrameTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return payload, nil
+}
+
+// ---- grpc-message percent encoding ----
+
+// encodeGrpcMessage percent-encodes a status message for the
+// grpc-message trailer: '%' and every byte outside printable ASCII.
+func encodeGrpcMessage(msg string) string {
+	var b strings.Builder
+	for i := 0; i < len(msg); i++ {
+		c := msg[i]
+		if c >= ' ' && c <= '~' && c != '%' {
+			b.WriteByte(c)
+		} else {
+			fmt.Fprintf(&b, "%%%02X", c)
+		}
+	}
+	return b.String()
+}
+
+// decodeGrpcMessage reverses encodeGrpcMessage, tolerating malformed
+// escapes by passing them through verbatim.
+func decodeGrpcMessage(msg string) string {
+	if !strings.ContainsRune(msg, '%') {
+		return msg
+	}
+	var b strings.Builder
+	for i := 0; i < len(msg); i++ {
+		if msg[i] == '%' && i+2 < len(msg) {
+			if v, err := strconv.ParseUint(msg[i+1:i+3], 16, 8); err == nil {
+				b.WriteByte(byte(v))
+				i += 2
+				continue
+			}
+		}
+		b.WriteByte(msg[i])
+	}
+	return b.String()
+}
+
+// ---- grpc-timeout ----
+
+// timeout units in descending size, as the spec defines them.
+var timeoutUnits = []struct {
+	suffix byte
+	unit   time.Duration
+}{
+	{'H', time.Hour},
+	{'M', time.Minute},
+	{'S', time.Second},
+	{'m', time.Millisecond},
+	{'u', time.Microsecond},
+	{'n', time.Nanosecond},
+}
+
+// encodeTimeout renders a deadline as a grpc-timeout header value: at
+// most 8 digits, using the coarsest unit that still represents d.
+func encodeTimeout(d time.Duration) string {
+	if d <= 0 {
+		return "0n"
+	}
+	for i := len(timeoutUnits) - 1; i >= 0; i-- {
+		u := timeoutUnits[i]
+		v := d / u.unit
+		if v < 1e8 {
+			return strconv.FormatInt(int64(v), 10) + string(u.suffix)
+		}
+	}
+	return "99999999H"
+}
+
+// decodeTimeout parses a grpc-timeout header value.
+func decodeTimeout(s string) (time.Duration, error) {
+	if len(s) < 2 || len(s) > 9 {
+		return 0, fmt.Errorf("grpcx: malformed grpc-timeout %q", s)
+	}
+	v, err := strconv.ParseInt(s[:len(s)-1], 10, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("grpcx: malformed grpc-timeout %q", s)
+	}
+	for _, u := range timeoutUnits {
+		if u.suffix == s[len(s)-1] {
+			return time.Duration(v) * u.unit, nil
+		}
+	}
+	return 0, fmt.Errorf("grpcx: malformed grpc-timeout unit %q", s)
+}

@@ -1,0 +1,295 @@
+package grpcx
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoMsg is a minimal Message for tests: a length-delimited field 1.
+type echoMsg struct {
+	Text string
+}
+
+func (m *echoMsg) Marshal() []byte {
+	if m.Text == "" {
+		return nil
+	}
+	b := []byte{0x0a, byte(len(m.Text))}
+	return append(b, m.Text...)
+}
+
+func (m *echoMsg) Unmarshal(data []byte) error {
+	m.Text = ""
+	if len(data) == 0 {
+		return nil
+	}
+	if len(data) < 2 || data[0] != 0x0a || int(data[1]) != len(data)-2 {
+		return errors.New("echoMsg: bad wire")
+	}
+	m.Text = string(data[2:])
+	return nil
+}
+
+// startServer boots an h2c gRPC server on a loopback port and returns a
+// dialled client. Cleanup tears both down.
+func startServer(t *testing.T, build func(*Server)) *Client {
+	t.Helper()
+	srv := NewServer()
+	build(srv)
+	hs := NewH2CServer("", srv)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go hs.Serve(ln)
+	client := Dial(ln.Addr().String())
+	t.Cleanup(func() {
+		client.Close()
+		hs.Close()
+	})
+	return client
+}
+
+func TestUnaryEcho(t *testing.T) {
+	client := startServer(t, func(s *Server) {
+		s.Unary("/test.Echo/Echo", func() Message { return new(echoMsg) },
+			func(ctx context.Context, call *ServerCall, req Message) (Message, error) {
+				return &echoMsg{Text: "echo:" + req.(*echoMsg).Text + ":" + call.Metadata("x-tenant")}, nil
+			})
+	})
+	var resp echoMsg
+	err := client.Invoke(context.Background(), "/test.Echo/Echo",
+		map[string]string{"x-tenant": "t1"}, &echoMsg{Text: "hello"}, &resp)
+	if err != nil {
+		t.Fatalf("Invoke: %v", err)
+	}
+	if resp.Text != "echo:hello:t1" {
+		t.Errorf("resp = %q, want echo:hello:t1", resp.Text)
+	}
+}
+
+func TestUnaryStatusError(t *testing.T) {
+	client := startServer(t, func(s *Server) {
+		s.Unary("/test.Echo/Fail", func() Message { return new(echoMsg) },
+			func(ctx context.Context, call *ServerCall, req Message) (Message, error) {
+				return nil, Statusf(InvalidArgument, "bad input: %s", "percent % and\nnewline")
+			})
+	})
+	err := client.Invoke(context.Background(), "/test.Echo/Fail", nil, &echoMsg{Text: "x"}, &echoMsg{})
+	var st *Status
+	if !errors.As(err, &st) {
+		t.Fatalf("error %v is not a *Status", err)
+	}
+	if st.Code != InvalidArgument {
+		t.Errorf("code = %v, want INVALID_ARGUMENT", st.Code)
+	}
+	// The message survives percent-encoding through the trailer, newline
+	// included.
+	if want := "bad input: percent % and\nnewline"; st.Message != want {
+		t.Errorf("message = %q, want %q", st.Message, want)
+	}
+}
+
+func TestUnimplementedMethod(t *testing.T) {
+	client := startServer(t, func(s *Server) {})
+	err := client.Invoke(context.Background(), "/test.Echo/Nope", nil, &echoMsg{}, &echoMsg{})
+	var st *Status
+	if !errors.As(err, &st) || st.Code != Unimplemented {
+		t.Fatalf("error = %v, want UNIMPLEMENTED status", err)
+	}
+}
+
+func TestServerPanicBecomesInternal(t *testing.T) {
+	client := startServer(t, func(s *Server) {
+		s.Unary("/test.Echo/Panic", func() Message { return new(echoMsg) },
+			func(ctx context.Context, call *ServerCall, req Message) (Message, error) {
+				panic("boom")
+			})
+	})
+	err := client.Invoke(context.Background(), "/test.Echo/Panic", nil, &echoMsg{}, &echoMsg{})
+	var st *Status
+	if !errors.As(err, &st) || st.Code != Internal {
+		t.Fatalf("error = %v, want INTERNAL status", err)
+	}
+	if !strings.Contains(st.Message, "boom") {
+		t.Errorf("message %q does not name the panic", st.Message)
+	}
+}
+
+func TestDeadlinePropagates(t *testing.T) {
+	gotDeadline := make(chan bool, 1)
+	client := startServer(t, func(s *Server) {
+		s.Unary("/test.Echo/Slow", func() Message { return new(echoMsg) },
+			func(ctx context.Context, call *ServerCall, req Message) (Message, error) {
+				_, ok := ctx.Deadline()
+				gotDeadline <- ok
+				select {
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				case <-time.After(5 * time.Second):
+					return &echoMsg{Text: "too late"}, nil
+				}
+			})
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	err := client.Invoke(ctx, "/test.Echo/Slow", nil, &echoMsg{}, &echoMsg{})
+	if err == nil {
+		t.Fatal("expected deadline error")
+	}
+	if !<-gotDeadline {
+		t.Error("server context had no deadline — grpc-timeout not propagated")
+	}
+}
+
+func TestBidiStream(t *testing.T) {
+	client := startServer(t, func(s *Server) {
+		s.Stream("/test.Echo/Chat", func(ctx context.Context, call *ServerCall) error {
+			for {
+				var in echoMsg
+				if err := call.Recv(&in); err != nil {
+					if errors.Is(err, io.EOF) {
+						return call.Send(&echoMsg{Text: "bye"})
+					}
+					return err
+				}
+				if err := call.Send(&echoMsg{Text: "ack:" + in.Text}); err != nil {
+					return err
+				}
+			}
+		})
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	stream, err := client.Stream(ctx, "/test.Echo/Chat", nil)
+	if err != nil {
+		t.Fatalf("Stream: %v", err)
+	}
+	// Strict ping-pong proves full duplex: each ack must arrive before the
+	// next send, so nothing can be satisfied by buffering the whole
+	// request first.
+	for _, msg := range []string{"one", "two", "three"} {
+		if err := stream.Send(&echoMsg{Text: msg}); err != nil {
+			t.Fatalf("Send(%q): %v", msg, err)
+		}
+		var in echoMsg
+		if err := stream.Recv(&in); err != nil {
+			t.Fatalf("Recv after %q: %v", msg, err)
+		}
+		if in.Text != "ack:"+msg {
+			t.Errorf("got %q, want ack:%s", in.Text, msg)
+		}
+	}
+	if err := stream.CloseSend(); err != nil {
+		t.Fatal(err)
+	}
+	var in echoMsg
+	if err := stream.Recv(&in); err != nil || in.Text != "bye" {
+		t.Fatalf("final Recv = %q, %v; want bye, nil", in.Text, err)
+	}
+	if err := stream.Recv(&in); !errors.Is(err, io.EOF) {
+		t.Fatalf("post-final Recv = %v, want io.EOF", err)
+	}
+}
+
+func TestStreamServerError(t *testing.T) {
+	client := startServer(t, func(s *Server) {
+		s.Stream("/test.Echo/Reject", func(ctx context.Context, call *ServerCall) error {
+			return Statusf(ResourceExhausted, "over quota")
+		})
+	})
+	stream, err := client.Stream(context.Background(), "/test.Echo/Reject", nil)
+	if err != nil {
+		t.Fatalf("Stream: %v", err)
+	}
+	var in echoMsg
+	err = stream.Recv(&in)
+	var st *Status
+	if !errors.As(err, &st) || st.Code != ResourceExhausted {
+		t.Fatalf("Recv = %v, want RESOURCE_EXHAUSTED", err)
+	}
+}
+
+func TestConcurrentUnaryCalls(t *testing.T) {
+	client := startServer(t, func(s *Server) {
+		s.Unary("/test.Echo/Echo", func() Message { return new(echoMsg) },
+			func(ctx context.Context, call *ServerCall, req Message) (Message, error) {
+				return req, nil
+			})
+	})
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var resp echoMsg
+			if err := client.Invoke(context.Background(), "/test.Echo/Echo", nil, &echoMsg{Text: "x"}, &resp); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestHTTP1ProbeRejected(t *testing.T) {
+	srv := NewServer()
+	hs := NewH2CServer("", srv)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hs.Close()
+	go hs.Serve(ln)
+	resp, err := http.Post("http://"+ln.Addr().String()+"/x", contentType, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusHTTPVersionNotSupported {
+		t.Errorf("HTTP/1 probe got %d, want 505", resp.StatusCode)
+	}
+}
+
+func TestTimeoutCodec(t *testing.T) {
+	for _, d := range []time.Duration{time.Nanosecond, time.Millisecond,
+		1500 * time.Millisecond, time.Hour, 300 * time.Hour} {
+		enc := encodeTimeout(d)
+		if len(enc) > 9 {
+			t.Errorf("encodeTimeout(%v) = %q exceeds 8 digits + unit", d, enc)
+		}
+		dec, err := decodeTimeout(enc)
+		if err != nil {
+			t.Fatalf("decodeTimeout(%q): %v", enc, err)
+		}
+		// The encoding may round down to its unit; never up, and never by
+		// more than one unit step.
+		if dec > d || d-dec >= d/8+time.Second {
+			t.Errorf("timeout %v decoded as %v (enc %q)", d, dec, enc)
+		}
+	}
+	for _, bad := range []string{"", "S", "123456789S", "12x", "-1S"} {
+		if _, err := decodeTimeout(bad); err == nil {
+			t.Errorf("decodeTimeout(%q) accepted", bad)
+		}
+	}
+}
+
+func TestGrpcMessageCodec(t *testing.T) {
+	for _, msg := range []string{"", "plain", "pct % pct", "line\nbreak", "ünïcode", string([]byte{0, 1, 255})} {
+		if got := decodeGrpcMessage(encodeGrpcMessage(msg)); got != msg {
+			t.Errorf("round trip %q -> %q", msg, got)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package grpcx
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// DefaultMaxMessageSize bounds one decoded frame in either direction —
+// aligned with the HTTP API's 64 MiB MaxBytesReader body cap.
+const DefaultMaxMessageSize = 64 << 20
+
+// contentType is the content-type grpcx sends; anything with the
+// "application/grpc" prefix is accepted ("+proto" suffix included).
+const contentType = "application/grpc+proto"
+
+// ServerCall is one live RPC as seen by a handler: inbound metadata, and
+// for streaming handlers the Recv/Send frame pair.
+type ServerCall struct {
+	req     *http.Request
+	w       http.ResponseWriter
+	rc      *http.ResponseController
+	flush   func()
+	maxRecv int
+
+	sendMu    sync.Mutex
+	wroteBody bool
+}
+
+// Metadata returns the inbound metadata value for key (ASCII metadata
+// travels as HTTP/2 headers; keys are case-insensitive).
+func (c *ServerCall) Metadata(key string) string {
+	return c.req.Header.Get(key)
+}
+
+// RemoteAddr returns the peer address of the underlying connection.
+func (c *ServerCall) RemoteAddr() string { return c.req.RemoteAddr }
+
+// SetWriteDeadline bounds subsequent Sends on this call — streaming
+// handlers use it to evict peers that stop reading.
+func (c *ServerCall) SetWriteDeadline(t time.Time) error {
+	return c.rc.SetWriteDeadline(t)
+}
+
+// Recv decodes the next inbound frame into m. It returns io.EOF at the
+// clean end of the client's send stream.
+func (c *ServerCall) Recv(m Message) error {
+	payload, err := ReadFrame(c.req.Body, c.maxRecv)
+	if err != nil {
+		return err
+	}
+	if err := m.Unmarshal(payload); err != nil {
+		return Statusf(Internal, "decoding frame: %v", err)
+	}
+	return nil
+}
+
+// Send writes one response frame and flushes it to the peer — streaming
+// responses must not sit in server buffers while the dialogue continues.
+func (c *ServerCall) Send(m Message) error {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	c.wroteBody = true
+	if err := WriteFrame(c.w, m.Marshal()); err != nil {
+		return err
+	}
+	c.flush()
+	return nil
+}
+
+// UnaryHandler serves one unary RPC: req is already decoded; the returned
+// message is the response (ignored when err != nil, in which case err's
+// Status becomes the trailer).
+type UnaryHandler func(ctx context.Context, call *ServerCall, req Message) (Message, error)
+
+// StreamHandler serves one bidi-streaming RPC through call.Recv/Send; the
+// returned error's Status becomes the trailer.
+type StreamHandler func(ctx context.Context, call *ServerCall) error
+
+type route struct {
+	newReq func() Message // unary request factory; nil for streams
+	unary  UnaryHandler
+	stream StreamHandler
+}
+
+// Server routes gRPC method paths to handlers. It implements
+// http.Handler; serve it from an http.Server with unencrypted HTTP/2
+// enabled (NewH2CServer).
+type Server struct {
+	routes  map[string]route
+	maxRecv int
+}
+
+// NewServer returns an empty server with the default message size bound.
+func NewServer() *Server {
+	return &Server{routes: make(map[string]route), maxRecv: DefaultMaxMessageSize}
+}
+
+// Unary registers a unary method under its full path
+// ("/mvg.v1.Mvg/Predict"); newReq allocates the request message.
+func (s *Server) Unary(path string, newReq func() Message, h UnaryHandler) {
+	s.routes[path] = route{newReq: newReq, unary: h}
+}
+
+// Stream registers a bidi-streaming method under its full path.
+func (s *Server) Stream(path string, h StreamHandler) {
+	s.routes[path] = route{stream: h}
+}
+
+// ServeHTTP implements the gRPC HTTP/2 server protocol: every RPC is an
+// HTTP 200 whose real outcome travels in the grpc-status/grpc-message
+// trailers.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.ProtoMajor != 2 {
+		// gRPC requires HTTP/2; a cleartext HTTP/1 probe gets a plain
+		// 505 it can render rather than an unparseable trailer.
+		http.Error(w, "grpc requires HTTP/2 (h2c)", http.StatusHTTPVersionNotSupported)
+		return
+	}
+	if r.Method != http.MethodPost || !strings.HasPrefix(r.Header.Get("Content-Type"), "application/grpc") {
+		http.Error(w, "not a grpc request", http.StatusUnsupportedMediaType)
+		return
+	}
+	rt, ok := s.routes[r.URL.Path]
+
+	// Headers first, flushed immediately: a bidi stream's client may wait
+	// for response headers before sending its first frame, and the status
+	// always travels in trailers anyway.
+	h := w.Header()
+	h.Set("Content-Type", contentType)
+	h.Set("Trailer", "Grpc-Status, Grpc-Message")
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+	_ = rc.Flush()
+
+	trailer := func(st *Status) {
+		h.Set("Grpc-Status", strconv.FormatUint(uint64(st.Code), 10))
+		if st.Message != "" {
+			h.Set("Grpc-Message", encodeGrpcMessage(st.Message))
+		}
+	}
+	if !ok {
+		trailer(Statusf(Unimplemented, "unknown method %s", r.URL.Path))
+		return
+	}
+
+	ctx := r.Context()
+	if tv := r.Header.Get("Grpc-Timeout"); tv != "" {
+		if d, err := decodeTimeout(tv); err == nil {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, d)
+			defer cancel()
+		}
+	}
+
+	call := &ServerCall{req: r, w: w, rc: rc, maxRecv: s.maxRecv, flush: func() { _ = rc.Flush() }}
+	err := func() (err error) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				err = Statusf(Internal, "handler panic: %v", rec)
+			}
+		}()
+		if rt.unary != nil {
+			req := rt.newReq()
+			if rerr := call.Recv(req); rerr != nil {
+				return Statusf(Internal, "reading request: %v", rerr)
+			}
+			resp, herr := rt.unary(ctx, call, req)
+			if herr != nil {
+				return herr
+			}
+			return call.Send(resp)
+		}
+		return rt.stream(ctx, call)
+	}()
+	trailer(StatusOf(err))
+}
+
+// NewH2CServer wraps handler in an http.Server configured for unencrypted
+// HTTP/2 — the transport gRPC needs — while still accepting HTTP/1 (which
+// ServeHTTP answers with a descriptive 505).
+func NewH2CServer(addr string, handler http.Handler) *http.Server {
+	srv := &http.Server{Addr: addr, Handler: handler}
+	p := new(http.Protocols)
+	p.SetHTTP1(true)
+	p.SetHTTP2(true)
+	p.SetUnencryptedHTTP2(true)
+	srv.Protocols = p
+	return srv
+}

@@ -1,0 +1,127 @@
+package proxy
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// health tracks per-backend readiness from two signals: an active poll
+// of each replica's /healthz (which reports ready=false while the
+// replica drains), and passive MarkDown calls from the forwarding path
+// when a connection attempt fails. The passive path is what makes a
+// killed shard disappear immediately — the next poll merely confirms it.
+type health struct {
+	client   *http.Client
+	interval time.Duration
+	metrics  *Metrics
+	addrs    map[string]string // backend name -> host:port of its HTTP API
+
+	mu sync.Mutex
+	up map[string]bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+func newHealth(addrs map[string]string, interval time.Duration, m *Metrics) *health {
+	h := &health{
+		client:   &http.Client{Timeout: 2 * time.Second},
+		interval: interval,
+		metrics:  m,
+		addrs:    addrs,
+		up:       make(map[string]bool, len(addrs)),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	for name := range addrs {
+		h.up[name] = false
+		m.SetBackendUp(name, false)
+	}
+	return h
+}
+
+// run polls until stop is closed. The first poll has already happened
+// synchronously (CheckNow from New), so the ticker only maintains state.
+func (h *health) run() {
+	defer close(h.done)
+	t := time.NewTicker(h.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-h.stop:
+			return
+		case <-t.C:
+			h.CheckNow()
+		}
+	}
+}
+
+func (h *health) close() {
+	close(h.stop)
+	<-h.done
+}
+
+// CheckNow polls every backend once, concurrently, and records the
+// results.
+func (h *health) CheckNow() {
+	var wg sync.WaitGroup
+	for name, addr := range h.addrs {
+		wg.Add(1)
+		go func(name, addr string) {
+			defer wg.Done()
+			h.set(name, h.probe(addr))
+		}(name, addr)
+	}
+	wg.Wait()
+}
+
+// probe reports whether the replica at addr answers /healthz with
+// ready=true. A draining replica answers 503 with ready=false, which is
+// exactly the "stop sending new work here" signal.
+func (h *health) probe(addr string) bool {
+	resp, err := h.client.Get("http://" + addr + "/healthz")
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Ready bool `json:"ready"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return false
+	}
+	return body.Ready
+}
+
+func (h *health) set(name string, up bool) {
+	h.mu.Lock()
+	h.up[name] = up
+	h.mu.Unlock()
+	h.metrics.SetBackendUp(name, up)
+}
+
+// Healthy reports the last known state of name.
+func (h *health) Healthy(name string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.up[name]
+}
+
+// MarkDown records a passive failure observed by the forwarding path; a
+// later successful poll brings the backend back.
+func (h *health) MarkDown(name string) {
+	h.set(name, false)
+}
+
+// Snapshot returns a copy of the per-backend state.
+func (h *health) Snapshot() map[string]bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[string]bool, len(h.up))
+	for k, v := range h.up {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,430 @@
+package proxy
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mvg/api/mvgpb"
+	"mvg/internal/grpcx"
+	"mvg/internal/serve/core"
+	"mvg/internal/serve/grpcapi"
+	"mvg/internal/serve/httpapi"
+	"mvg/internal/serve/servetest"
+)
+
+// replica is one in-process mvgserve: an engine with the shared "demo"
+// model behind both codecs, each on its own loopback listener, with a
+// middleware counting the unary predicts it actually served — the
+// accounting that proves failover neither duplicates nor loses work.
+type replica struct {
+	name       string
+	engine     *core.Engine
+	httpSrv    *http.Server
+	grpcSrv    *http.Server
+	httpAddr   string
+	grpcAddr   string
+	predicts   atomic.Int64
+	lastTenant atomic.Value // string: X-Mvg-Tenant on the last counted predict
+}
+
+func (rep *replica) backend() Backend {
+	return Backend{Name: rep.name, HTTPAddr: rep.httpAddr, GRPCAddr: rep.grpcAddr}
+}
+
+// count tallies unary predicts on either transport (the bidi stream and
+// health/listing traffic are deliberately excluded) and records the
+// tenant header the proxy forwarded.
+func (rep *replica) count(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		grpcPredict := strings.HasPrefix(r.URL.Path, "/"+mvgpb.MvgService+"/Predict")
+		httpPredict := strings.HasSuffix(r.URL.Path, "/predict") || strings.HasSuffix(r.URL.Path, "/predict_proba")
+		if grpcPredict || httpPredict {
+			rep.predicts.Add(1)
+			rep.lastTenant.Store(r.Header.Get(core.TenantHeader))
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// kill abruptly closes both listeners and every live connection — the
+// shard is gone mid-fleet, exactly what the failover path must absorb.
+func (rep *replica) kill() {
+	rep.httpSrv.Close()
+	rep.grpcSrv.Close()
+}
+
+func startReplica(t *testing.T, name string) *replica {
+	t.Helper()
+	model := servetest.Model(t)
+	path := filepath.Join(t.TempDir(), "demo"+core.ModelExt)
+	if err := model.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	reg := core.NewRegistry()
+	reg.Register("demo", model, path)
+	engine, err := core.NewEngine(core.Config{Registry: reg, Window: time.Millisecond, MaxBatch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := &replica{name: name, engine: engine}
+
+	httpLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.httpAddr = httpLn.Addr().String()
+	rep.httpSrv = &http.Server{Handler: rep.count(httpapi.NewServer(engine))}
+	go rep.httpSrv.Serve(httpLn)
+
+	grpcLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.grpcAddr = grpcLn.Addr().String()
+	rep.grpcSrv = grpcx.NewH2CServer("", rep.count(grpcapi.NewServer(engine)))
+	go rep.grpcSrv.Serve(grpcLn)
+
+	t.Cleanup(func() {
+		rep.kill()
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		rep.engine.Shutdown(ctx)
+	})
+	return rep
+}
+
+// startProxy brings up a Proxy over the replicas on an h2c listener so
+// both transports reach it on one port. The health interval is parked
+// at an hour: state changes in the tests come from the synchronous poll
+// New performs and from the passive MarkDown path under test.
+func startProxy(t *testing.T, backends ...Backend) (*Proxy, string) {
+	t.Helper()
+	p, err := New(Config{Backends: backends, HealthInterval: time.Hour, RetryAfter: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := grpcx.NewH2CServer("", p)
+	go srv.Serve(ln)
+	t.Cleanup(func() {
+		srv.Close()
+		p.Close()
+	})
+	return p, ln.Addr().String()
+}
+
+func httpPredict(t *testing.T, addr, query string, series []float64) (int, map[string]any) {
+	t.Helper()
+	raw, _ := json.Marshal(map[string]any{"series": series})
+	resp, err := http.Post("http://"+addr+"/v1/models/demo/predict"+query, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]any{}
+	json.Unmarshal(body, &out)
+	if resp.StatusCode == http.StatusTooManyRequests && resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("429 without Retry-After hint: %s", body)
+	}
+	return resp.StatusCode, out
+}
+
+// TestProxyKillShardFailover is the fleet resilience contract end to
+// end: requests for one model land on one replica over both transports;
+// killing that replica mid-fleet costs exactly one recorded retry and
+// zero failed requests; killing the whole fleet sheds with the shared
+// status row (429 / RESOURCE_EXHAUSTED + Retry-After); and the
+// per-replica predict counters prove no admitted request ran twice.
+func TestProxyKillShardFailover(t *testing.T) {
+	r1 := startReplica(t, "r1")
+	r2 := startReplica(t, "r2")
+	p, addr := startProxy(t, r1.backend(), r2.backend())
+	series := servetest.Inputs(1, 42)[0]
+
+	// Both transports for "demo" must land on the ring owner.
+	code, out := httpPredict(t, addr, "", series)
+	if code != http.StatusOK {
+		t.Fatalf("predict via proxy = %d %v", code, out)
+	}
+	wantClass, ok := out["class"].(float64)
+	if !ok {
+		t.Fatalf("predict response missing class: %v", out)
+	}
+	primary, survivor := r1, r2
+	if r2.predicts.Load() == 1 {
+		primary, survivor = r2, r1
+	}
+	if primary.predicts.Load() != 1 || survivor.predicts.Load() != 0 {
+		t.Fatalf("predict counts = %d/%d, want 1/0", primary.predicts.Load(), survivor.predicts.Load())
+	}
+
+	cl := grpcx.Dial(addr)
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	var gresp mvgpb.PredictResponse
+	if err := cl.Invoke(ctx, mvgpb.MvgMethodPredict, nil, &mvgpb.PredictRequest{Model: "demo", Series: series}, &gresp); err != nil {
+		t.Fatalf("grpc predict via proxy: %v", err)
+	}
+	if float64(gresp.Class) != wantClass {
+		t.Fatalf("grpc class %d != http class %v", gresp.Class, wantClass)
+	}
+	if primary.predicts.Load() != 2 {
+		t.Fatal("grpc predict did not route to the same replica as http")
+	}
+
+	// Kill the primary. The next predict hits the dead shard, fails over
+	// to the survivor, and still succeeds — one retry, no duplicate work.
+	primary.kill()
+	code, out = httpPredict(t, addr, "", series)
+	if code != http.StatusOK {
+		t.Fatalf("predict after shard kill = %d %v", code, out)
+	}
+	if got := out["class"].(float64); got != wantClass {
+		t.Fatalf("failover predict class = %v, want %v", got, wantClass)
+	}
+	if n := p.Metrics().RetriesTotal(); n != 1 {
+		t.Fatalf("retries_total = %d, want 1", n)
+	}
+	if primary.predicts.Load() != 2 || survivor.predicts.Load() != 1 {
+		t.Fatalf("predict counts after failover = %d/%d, want 2/1 (no duplicated work)",
+			primary.predicts.Load(), survivor.predicts.Load())
+	}
+
+	// The passive MarkDown means the next call skips the corpse outright:
+	// no second retry is spent rediscovering a known-dead shard.
+	if err := cl.Invoke(ctx, mvgpb.MvgMethodPredict, nil, &mvgpb.PredictRequest{Model: "demo", Series: series}, &gresp); err != nil {
+		t.Fatalf("grpc predict after shard kill: %v", err)
+	}
+	if n := p.Metrics().RetriesTotal(); n != 1 {
+		t.Fatalf("retries_total after marked-down routing = %d, want still 1", n)
+	}
+	if survivor.predicts.Load() != 2 {
+		t.Fatalf("survivor predicts = %d, want 2", survivor.predicts.Load())
+	}
+
+	// Kill the fleet: both transports shed with the shared status row.
+	survivor.kill()
+	code, out = httpPredict(t, addr, "", series)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("predict with no fleet = %d %v, want 429", code, out)
+	}
+	err := cl.Invoke(ctx, mvgpb.MvgMethodPredict, nil, &mvgpb.PredictRequest{Model: "demo", Series: series}, &gresp)
+	var st *grpcx.Status
+	if !errors.As(err, &st) || st.Code != grpcx.ResourceExhausted {
+		t.Fatalf("grpc predict with no fleet = %v, want RESOURCE_EXHAUSTED", err)
+	}
+	if n := p.Metrics().ShedTotal(); n != 2 {
+		t.Fatalf("shed_total = %d, want 2", n)
+	}
+
+	// The proxy's own health and metrics reflect the fleet state.
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("proxy /healthz with dead fleet = %d, want 503", resp.StatusCode)
+	}
+	mresp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	metrics, _ := io.ReadAll(mresp.Body)
+	for _, want := range []string{
+		"mvgproxy_retries_total 1",
+		"mvgproxy_shed_total 2",
+		fmt.Sprintf("mvgproxy_backend_up{backend=%q} 0", r1.name),
+		fmt.Sprintf("mvgproxy_backend_up{backend=%q} 0", r2.name),
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Fatalf("proxy metrics missing %q:\n%s", want, metrics)
+		}
+	}
+}
+
+// TestProxyTenantForwarding pins the accounting contract: the proxy
+// terminates the client connection, so it must forward the resolved
+// tenant key — explicit tenant if the client named one (query parameter
+// or gRPC metadata), client host otherwise — or the backends would
+// account the whole fleet's streams to the proxy's own address.
+func TestProxyTenantForwarding(t *testing.T) {
+	rep := startReplica(t, "solo")
+	_, addr := startProxy(t, rep.backend())
+	series := servetest.Inputs(1, 7)[0]
+
+	if code, out := httpPredict(t, addr, "", series); code != http.StatusOK {
+		t.Fatalf("predict = %d %v", code, out)
+	}
+	if got := rep.lastTenant.Load(); got != "127.0.0.1" {
+		t.Fatalf("implicit tenant forwarded as %q, want client host 127.0.0.1", got)
+	}
+
+	if code, out := httpPredict(t, addr, "?"+core.TenantParam+"=acme", series); code != http.StatusOK {
+		t.Fatalf("predict = %d %v", code, out)
+	}
+	if got := rep.lastTenant.Load(); got != "acme" {
+		t.Fatalf("query tenant forwarded as %q, want acme", got)
+	}
+
+	cl := grpcx.Dial(addr)
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	var gresp mvgpb.PredictResponse
+	md := map[string]string{core.TenantMetadataKey: "zeta"}
+	if err := cl.Invoke(ctx, mvgpb.MvgMethodPredict, md, &mvgpb.PredictRequest{Model: "demo", Series: series}, &gresp); err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.lastTenant.Load(); got != "zeta" {
+		t.Fatalf("grpc metadata tenant forwarded as %q, want zeta", got)
+	}
+}
+
+// TestProxyStreamForwarding drives the same sliding-window dialogue
+// through the proxy over both transports and requires identical
+// predictions — the stream path must relay frames (and the gRPC status
+// trailer) without reordering, dropping, or buffering them apart.
+func TestProxyStreamForwarding(t *testing.T) {
+	rep := startReplica(t, "solo")
+	_, addr := startProxy(t, rep.backend())
+
+	inputs := servetest.Inputs(2, 9)
+	samples := append(append([]float64{}, inputs[0]...), inputs[1]...)
+	const hop = 32
+	wantPredictions := (len(samples)-servetest.SeriesLen)/hop + 1
+
+	// NDJSON through the proxy: all samples up front, one line each.
+	var body strings.Builder
+	for _, x := range samples {
+		fmt.Fprintf(&body, "%g\n", x)
+	}
+	resp, err := http.Post("http://"+addr+"/v1/models/demo/stream?hop=32", "application/x-ndjson", strings.NewReader(body.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream via proxy = %d", resp.StatusCode)
+	}
+	type event struct {
+		Sample      int  `json:"sample"`
+		Class       *int `json:"class"`
+		Done        bool `json:"done"`
+		Predictions int  `json:"predictions"`
+	}
+	var httpEvents []event
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var ev event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		httpEvents = append(httpEvents, ev)
+	}
+	if len(httpEvents) == 0 || !httpEvents[len(httpEvents)-1].Done {
+		t.Fatalf("NDJSON dialogue did not finish with a done line: %+v", httpEvents)
+	}
+	if got := httpEvents[len(httpEvents)-1].Predictions; got != wantPredictions {
+		t.Fatalf("NDJSON predictions = %d, want %d", got, wantPredictions)
+	}
+
+	// The same dialogue as a gRPC bidi stream through the proxy.
+	cl := grpcx.Dial(addr)
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	stream, err := cl.Stream(ctx, mvgpb.MvgMethodStreamPredict, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stream.Send(&mvgpb.StreamRequest{Open: &mvgpb.StreamOpen{Model: "demo", Hop: hop}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := stream.Send(&mvgpb.StreamRequest{Samples: samples}); err != nil {
+		t.Fatal(err)
+	}
+	if err := stream.CloseSend(); err != nil {
+		t.Fatal(err)
+	}
+	var grpcPreds []*mvgpb.StreamPrediction
+	var done *mvgpb.StreamDone
+	for {
+		var sr mvgpb.StreamResponse
+		err := stream.Recv(&sr)
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("grpc stream via proxy: %v", err)
+		}
+		if sr.Prediction != nil {
+			grpcPreds = append(grpcPreds, sr.Prediction)
+		}
+		if sr.Done != nil {
+			done = sr.Done
+		}
+	}
+	if done == nil || int(done.Predictions) != wantPredictions {
+		t.Fatalf("grpc done = %+v, want %d predictions", done, wantPredictions)
+	}
+
+	// Cross-transport parity through the proxy, prediction by prediction.
+	var httpPreds []event
+	for _, ev := range httpEvents {
+		if ev.Class != nil {
+			httpPreds = append(httpPreds, ev)
+		}
+	}
+	if len(httpPreds) != len(grpcPreds) {
+		t.Fatalf("prediction counts differ: http %d, grpc %d", len(httpPreds), len(grpcPreds))
+	}
+	for i := range httpPreds {
+		if int64(httpPreds[i].Sample) != grpcPreds[i].Sample || int32(*httpPreds[i].Class) != grpcPreds[i].Class {
+			t.Fatalf("prediction %d differs across transports: http %+v, grpc %+v", i, httpPreds[i], grpcPreds[i])
+		}
+	}
+}
+
+// TestProxyShedsUnknownTransportConsistently pins the shed surface when
+// the fleet never came up at all: New marks backends down after the
+// failed initial poll, and both transports shed immediately.
+func TestProxyShedsWhenFleetNeverUp(t *testing.T) {
+	// Grab a loopback port that is closed by the time the proxy polls it.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := ln.Addr().String()
+	ln.Close()
+
+	p, addr := startProxy(t, Backend{Name: "ghost", HTTPAddr: deadAddr, GRPCAddr: deadAddr})
+	code, _ := httpPredict(t, addr, "", servetest.Inputs(1, 3)[0])
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("predict against dead fleet = %d, want 429", code)
+	}
+	if p.Metrics().ShedTotal() != 1 {
+		t.Fatalf("shed_total = %d, want 1", p.Metrics().ShedTotal())
+	}
+}

@@ -1,0 +1,89 @@
+// Package proxy implements mvgproxy's fleet layer: one stateless
+// front door consistent-hashing model names across N mvgserve replicas,
+// health-checking them through /healthz readiness, retrying idempotent
+// predicts once when a shard is dead or draining, and shedding with
+// 429/RESOURCE_EXHAUSTED + Retry-After when no replica can serve. Both
+// transports route through the same ring keyed by model name, so a
+// model's HTTP and gRPC traffic lands on the same replica and keeps
+// sharing that replica's coalescer. docs/serving.md#fleet describes the
+// deployment recipe.
+package proxy
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// vnodesPerBackend is the number of virtual points each backend
+// contributes to the ring. 64 keeps the keyspace split within a few
+// percent of even for small fleets without making ring construction or
+// lookup measurable.
+const vnodesPerBackend = 64
+
+type ringPoint struct {
+	hash uint64
+	name string
+}
+
+// ring is an immutable consistent-hash ring over backend names. Lookup
+// returns backends in ring order from the key's position, so the
+// preference list for a key is stable across proxies and across
+// restarts, and removing one backend only remaps the keys it owned.
+type ring struct {
+	points []ringPoint
+	names  []string
+}
+
+func newRing(names []string) *ring {
+	r := &ring{names: append([]string(nil), names...)}
+	r.points = make([]ringPoint, 0, len(names)*vnodesPerBackend)
+	for _, n := range names {
+		for v := 0; v < vnodesPerBackend; v++ {
+			r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("%s#%d", n, v)), name: n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].name < r.points[j].name
+	})
+	return r
+}
+
+// hash64 is FNV-1a finished with a splitmix64-style mixer. Raw FNV has
+// no avalanche: "a:1#0".."a:1#63" hash to near-sequential values, which
+// would cluster each backend's 64 vnodes into one tiny arc and collapse
+// the ring to one point per backend. The finalizer spreads them.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Order returns every distinct backend, starting with the key's owner
+// and continuing in ring order — the retry preference list for key.
+func (r *ring) Order(key string) []string {
+	if len(r.points) == 0 {
+		return nil
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, len(r.names))
+	seen := make(map[string]bool, len(r.names))
+	for n := 0; n < len(r.points) && len(out) < len(r.names); n++ {
+		p := r.points[(i+n)%len(r.points)]
+		if !seen[p.name] {
+			seen[p.name] = true
+			out = append(out, p.name)
+		}
+	}
+	return out
+}

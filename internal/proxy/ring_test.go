@@ -1,0 +1,77 @@
+package proxy
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestRingOrder pins the ring's contract: Order is deterministic,
+// returns every backend exactly once, and starts with the key's owner.
+func TestRingOrder(t *testing.T) {
+	names := []string{"a:1", "b:1", "c:1"}
+	r := newRing(names)
+
+	first := r.Order("demo")
+	if len(first) != len(names) {
+		t.Fatalf("Order returned %d backends, want %d", len(first), len(names))
+	}
+	seen := map[string]bool{}
+	for _, n := range first {
+		if seen[n] {
+			t.Fatalf("Order repeated backend %q: %v", n, first)
+		}
+		seen[n] = true
+	}
+	for i := 0; i < 10; i++ {
+		if got := r.Order("demo"); !reflect.DeepEqual(got, first) {
+			t.Fatalf("Order not deterministic: %v vs %v", got, first)
+		}
+	}
+
+	// A second ring built from the same names agrees — preference lists
+	// are a pure function of the fleet, not of proxy instance state.
+	if got := newRing(names).Order("demo"); !reflect.DeepEqual(got, first) {
+		t.Fatalf("independent ring disagrees: %v vs %v", got, first)
+	}
+}
+
+// TestRingBalance checks vnodes spread many keys across the fleet
+// without any backend dominating: no owner takes more than 60% of 1000
+// keys on a 3-backend ring, and every backend owns some.
+func TestRingBalance(t *testing.T) {
+	r := newRing([]string{"a:1", "b:1", "c:1"})
+	counts := map[string]int{}
+	const keys = 1000
+	for i := 0; i < keys; i++ {
+		counts[r.Order(fmt.Sprintf("model-%d", i))[0]]++
+	}
+	for name, c := range counts {
+		if c == 0 {
+			t.Fatalf("backend %s owns no keys", name)
+		}
+		if c > keys*6/10 {
+			t.Fatalf("backend %s owns %d/%d keys — ring badly skewed: %v", name, c, keys, counts)
+		}
+	}
+	if len(counts) != 3 {
+		t.Fatalf("only %d backends own keys: %v", len(counts), counts)
+	}
+}
+
+// TestRingStability checks removing one backend only remaps the keys it
+// owned: every key owned by a surviving backend keeps its owner.
+func TestRingStability(t *testing.T) {
+	full := newRing([]string{"a:1", "b:1", "c:1"})
+	reduced := newRing([]string{"a:1", "c:1"})
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("model-%d", i)
+		owner := full.Order(key)[0]
+		if owner == "b:1" {
+			continue // the removed backend's keys must move, anywhere
+		}
+		if got := reduced.Order(key)[0]; got != owner {
+			t.Fatalf("key %q moved %s -> %s though its owner survived", key, owner, got)
+		}
+	}
+}

@@ -1,9 +1,8 @@
-package serve
+package core
 
 import (
 	"context"
 	"errors"
-	"net/http"
 	"sync"
 	"time"
 
@@ -251,7 +250,7 @@ func (c *Coalescer) predictBatch(batch []coalRequest) {
 	idx := make([]int, 0, len(batch))
 	for i, req := range batch {
 		if len(req.series) != want {
-			req.out <- coalResult{err: httpErrorf(http.StatusBadRequest,
+			req.out <- coalResult{err: Errorf(StatusBadRequest,
 				"series has %d points, model expects %d (model reloaded?)", len(req.series), want)}
 			continue
 		}

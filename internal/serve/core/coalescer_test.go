@@ -1,4 +1,4 @@
-package serve
+package core
 
 import (
 	"context"
@@ -212,9 +212,9 @@ func TestCoalescerRevalidatesAtFlush(t *testing.T) {
 	if len(goodProba) == 0 {
 		t.Fatal("valid request got no probabilities")
 	}
-	var he *httpError
-	if !errors.As(badErr, &he) || he.code != 400 {
-		t.Fatalf("mismatched request got %v, want a 400 httpError", badErr)
+	var he *Error
+	if !errors.As(badErr, &he) || he.Status.HTTP != 400 {
+		t.Fatalf("mismatched request got %v, want a 400 typed error", badErr)
 	}
 }
 

@@ -1,0 +1,403 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"mvg"
+	"mvg/internal/faults"
+	"mvg/internal/ml"
+	"mvg/internal/serve/session"
+)
+
+// Config configures an Engine.
+type Config struct {
+	// Registry holds the models to serve (required).
+	Registry *Registry
+	// Window and MaxBatch tune the per-model request coalescer (zero
+	// values select DefaultWindow / DefaultMaxBatch).
+	Window   time.Duration
+	MaxBatch int
+	// Metrics receives request and batch observations; nil allocates a
+	// fresh Metrics.
+	Metrics *Metrics
+	// Logger receives one line per failed request; nil disables logging.
+	Logger *log.Logger
+	// AlertSink receives the FIRING/RESOLVED events of every alerting
+	// stream dialogue. Nil disables delivery; transitions are still
+	// emitted on the dialogue and counted in Metrics. The engine does not
+	// close the sink — its owner (mvgserve) does, after drain.
+	AlertSink mvg.AlertSink
+
+	// ---- overload safety (docs/robustness.md) ----
+
+	// MaxInFlight bounds concurrently executing predict requests; once
+	// full, up to MaxQueue more wait (bounded by their deadline) and
+	// anything beyond that is shed with 429 + Retry-After. Zero disables
+	// admission control (tests, embedded use); mvgserve always sets it.
+	MaxInFlight int
+	// MaxQueue bounds the admission wait queue (see MaxInFlight).
+	MaxQueue int
+	// RequestTimeout is the server-side deadline per predict request,
+	// queue wait included; expiry maps to 503 + Retry-After and the
+	// mvgserve_request_timeout_total counter. Zero disables.
+	RequestTimeout time.Duration
+	// RetryAfter is the Retry-After hint on 429/503 responses (default
+	// DefaultRetryAfter).
+	RetryAfter time.Duration
+
+	// MaxStreams / MaxStreamsPerTenant bound concurrently open stream
+	// dialogues, globally and per tenant (TenantKey). Zero selects
+	// session.DefaultMaxStreams / DefaultMaxPerTenant; negative means
+	// unlimited. Rejections are 429 + Retry-After.
+	MaxStreams          int
+	MaxStreamsPerTenant int
+	// StreamIdleTimeout evicts a stream that delivers no sample for this
+	// long (terminal error event, mvgserve_stream_evicted_total
+	// {reason="idle"}). Zero selects DefaultStreamIdleTimeout; negative
+	// disables idle eviction.
+	StreamIdleTimeout time.Duration
+	// StreamWriteTimeout bounds each response write; a client that stops
+	// reading until the write buffer fills is evicted
+	// (reason="slow_reader"). Zero selects DefaultStreamWriteTimeout;
+	// negative disables write deadlines.
+	StreamWriteTimeout time.Duration
+
+	// Faults is the fault-injection surface consulted on the predict
+	// paths (internal/faults); nil — the production value — disarms every
+	// point at the cost of a pointer comparison.
+	Faults *faults.Injector
+}
+
+// Stream robustness defaults used when the Config fields are zero.
+const (
+	DefaultStreamIdleTimeout  = 5 * time.Minute
+	DefaultStreamWriteTimeout = 10 * time.Second
+)
+
+// Engine is the transport-agnostic serving engine: it resolves models
+// from a registry, funnels single-series predictions through one request
+// coalescer per model, enforces admission control and stream quotas, and
+// owns the metrics sink. The HTTP and gRPC codecs are both thin shells
+// over one shared Engine, so a prediction's bytes cannot depend on which
+// transport asked.
+type Engine struct {
+	registry  *Registry
+	metrics   *Metrics
+	window    time.Duration
+	maxBatch  int
+	logger    *log.Logger
+	alertSink mvg.AlertSink
+
+	limiter        *limiter
+	sessions       *session.Registry
+	requestTimeout time.Duration
+	retryAfter     time.Duration
+	streamIdle     time.Duration
+	streamWrite    time.Duration
+	faults         *faults.Injector
+
+	mu         sync.Mutex
+	coalescers map[string]*Coalescer
+	draining   bool
+}
+
+// NewEngine builds an Engine from cfg. The returned engine is live: its
+// coalescers start on first use and run until Shutdown.
+func NewEngine(cfg Config) (*Engine, error) {
+	if cfg.Registry == nil {
+		return nil, errors.New("serve: Config.Registry is required")
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = NewMetrics()
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = DefaultRetryAfter
+	}
+	if cfg.StreamIdleTimeout == 0 {
+		cfg.StreamIdleTimeout = DefaultStreamIdleTimeout
+	}
+	if cfg.StreamWriteTimeout == 0 {
+		cfg.StreamWriteTimeout = DefaultStreamWriteTimeout
+	}
+	return &Engine{
+		registry:       cfg.Registry,
+		metrics:        cfg.Metrics,
+		window:         cfg.Window,
+		maxBatch:       cfg.MaxBatch,
+		logger:         cfg.Logger,
+		alertSink:      cfg.AlertSink,
+		limiter:        newLimiter(cfg.MaxInFlight, cfg.MaxQueue),
+		sessions:       session.NewRegistry(session.Config{MaxStreams: cfg.MaxStreams, MaxPerTenant: cfg.MaxStreamsPerTenant}),
+		requestTimeout: cfg.RequestTimeout,
+		retryAfter:     cfg.RetryAfter,
+		streamIdle:     cfg.StreamIdleTimeout,
+		streamWrite:    cfg.StreamWriteTimeout,
+		faults:         cfg.Faults,
+		coalescers:     make(map[string]*Coalescer),
+	}, nil
+}
+
+// Metrics returns the engine's metrics sink (shared across transports).
+func (e *Engine) Metrics() *Metrics { return e.metrics }
+
+// Registry returns the engine's model registry.
+func (e *Engine) Registry() *Registry { return e.registry }
+
+// Logger returns the engine's logger; may be nil.
+func (e *Engine) Logger() *log.Logger { return e.logger }
+
+// RetryAfter returns the configured retry hint for shed/timeout responses.
+func (e *Engine) RetryAfter() time.Duration { return e.retryAfter }
+
+// StreamWriteTimeout returns the per-write deadline codecs must apply to
+// stream responses (<= 0 disables write deadlines).
+func (e *Engine) StreamWriteTimeout() time.Duration { return e.streamWrite }
+
+// DrainStreams asks every live stream dialogue to finish with a done
+// event and rejects new streams with 503/UNAVAILABLE. mvgserve registers
+// it via http.Server.RegisterOnShutdown so streams start draining the
+// moment SIGTERM arrives, instead of pinning the HTTP drain until its
+// timeout. Idempotent; Shutdown also calls it.
+func (e *Engine) DrainStreams() { e.sessions.Drain() }
+
+// Shutdown drains the engine: new predictions are rejected with
+// 503/UNAVAILABLE and every coalescer is closed, which blocks until all
+// accepted requests have received results. Call it after the transport
+// servers have stopped accepting connections, with ctx bounding the
+// drain.
+func (e *Engine) Shutdown(ctx context.Context) error {
+	e.mu.Lock()
+	e.draining = true
+	coalescers := make([]*Coalescer, 0, len(e.coalescers))
+	for _, c := range e.coalescers {
+		coalescers = append(coalescers, c)
+	}
+	e.mu.Unlock()
+	// Tell every live dialogue to finish (they close with a done event);
+	// new streams are rejected from here on.
+	e.sessions.Drain()
+
+	done := make(chan struct{})
+	go func() {
+		for _, c := range coalescers {
+			c.Close()
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: shutdown: %w", ctx.Err())
+	}
+}
+
+// coalescer returns (starting if needed) the coalescer for a model name.
+// It returns nil when the engine is draining.
+func (e *Engine) coalescer(name string) *Coalescer {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.draining {
+		return nil
+	}
+	c, ok := e.coalescers[name]
+	if !ok {
+		c = NewCoalescer(func() (*mvg.Model, error) {
+			m, ok := e.registry.Get(name)
+			if !ok || m == nil {
+				return nil, fmt.Errorf("serve: unknown model %q", name)
+			}
+			return m, nil
+		}, CoalescerConfig{
+			Window:   e.window,
+			MaxBatch: e.maxBatch,
+			Observe:  e.metrics.ObserveBatch,
+		})
+		e.coalescers[name] = c
+	}
+	return c
+}
+
+// ---- admission ----
+
+// WithRequestDeadline applies the server-side request timeout to ctx,
+// with errRequestDeadline as the cancellation cause so RequestError can
+// tell the server's deadline from the client's. A zero timeout returns
+// ctx unchanged.
+func (e *Engine) WithRequestDeadline(ctx context.Context) (context.Context, context.CancelFunc) {
+	if e.requestTimeout <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeoutCause(ctx, e.requestTimeout, errRequestDeadline)
+}
+
+// Admit claims a predict admission slot, queueing (bounded by ctx) when
+// the engine is busy. A shed is counted and returned as a typed 429 /
+// RESOURCE_EXHAUSTED error carrying the retry hint; a context error
+// while queued passes through for RequestError to classify. The caller
+// must invoke release exactly once after the work completes.
+func (e *Engine) Admit(ctx context.Context) (release func(), err error) {
+	release, err = e.limiter.acquire(ctx)
+	if err == nil {
+		return release, nil
+	}
+	if errors.Is(err, ErrShed) {
+		e.metrics.Shed()
+		serr := Errorf(StatusShed, "%v: try again in %v", ErrShed, e.retryAfter)
+		serr.RetryAfter = e.retryAfter
+		return nil, serr
+	}
+	return nil, err
+}
+
+// RequestError resolves a predict-path failure against the request
+// context: a context error whose cause is the engine's own request
+// deadline becomes a typed 503/UNAVAILABLE with a Retry-After hint (the
+// server failed to serve in time — the client did nothing wrong and
+// should retry) and bumps the timeout counter. Everything else passes
+// through for StatusOf to classify.
+func (e *Engine) RequestError(ctx context.Context, err error) error {
+	if (errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)) &&
+		errors.Is(context.Cause(ctx), errRequestDeadline) {
+		e.metrics.RequestTimeout()
+		serr := Errorf(StatusUnavailable, "%s", errRequestDeadline.Error())
+		serr.RetryAfter = e.retryAfter
+		return serr
+	}
+	return err
+}
+
+// ---- typed predict operations ----
+
+// Model resolves a registry name, or returns a typed not-found error.
+func (e *Engine) Model(name string) (*mvg.Model, error) {
+	m, ok := e.registry.Get(name)
+	if !ok || m == nil {
+		return nil, Errorf(StatusNotFound, "unknown model %q", name)
+	}
+	return m, nil
+}
+
+// ValidateSeries checks every series' length against the model, returning
+// a typed bad-request error naming the first offender. Both codecs call
+// it before predicting so the error text is transport-independent.
+func ValidateSeries(m *mvg.Model, series [][]float64) error {
+	want := m.SeriesLen()
+	for i, s := range series {
+		if len(s) != want {
+			return Errorf(StatusBadRequest,
+				"series %d has %d points, model expects %d", i, len(s), want)
+		}
+	}
+	return nil
+}
+
+// PredictSingle routes one series through the model's coalescer, falling
+// back to a typed 503 only when the engine is draining. The returned
+// proba row is bit-identical across transports (the coalescer re-batches
+// deterministically); coalesced reports that the coalescer served it.
+func (e *Engine) PredictSingle(ctx context.Context, name string, series []float64) (proba []float64, coalesced bool, err error) {
+	if err := e.faults.Fire(ctx, faults.PointPredict); err != nil {
+		return nil, false, err
+	}
+	c := e.coalescer(name)
+	if c == nil {
+		return nil, false, ErrCoalescerClosed
+	}
+	proba, err = c.Predict(ctx, series)
+	if err != nil {
+		return nil, false, err
+	}
+	return proba, true, nil
+}
+
+// PredictBatch predicts classes for a batch directly on the model (batch
+// callers already amortise extraction; they bypass the coalescer).
+func (e *Engine) PredictBatch(ctx context.Context, m *mvg.Model, series [][]float64) ([]int, error) {
+	if err := e.faults.Fire(ctx, faults.PointBatchPredict); err != nil {
+		return nil, err
+	}
+	return m.PredictBatch(ctx, series)
+}
+
+// PredictProbaBatch predicts probability rows for a batch directly on the
+// model.
+func (e *Engine) PredictProbaBatch(ctx context.Context, m *mvg.Model, series [][]float64) ([][]float64, error) {
+	if err := e.faults.Fire(ctx, faults.PointBatchPredict); err != nil {
+		return nil, err
+	}
+	return m.PredictProba(ctx, series)
+}
+
+// Reload re-reads a model's backing file, mapping failures onto the
+// status table (unknown name → not found, load failure → internal).
+func (e *Engine) Reload(name string) error {
+	if err := e.registry.Reload(name); err != nil {
+		st := StatusInternal
+		if _, ok := e.registry.Get(name); !ok {
+			st = StatusNotFound
+		}
+		return Errorf(st, "%v", err)
+	}
+	return nil
+}
+
+// Argmax returns the index of the largest probability — the same
+// tie-breaking (first maximum wins) as ml.Predict, so coalesced single
+// predictions agree with Model.PredictBatch.
+func Argmax(proba []float64) int {
+	return ml.Predict([][]float64{proba})[0]
+}
+
+// ---- health ----
+
+// Health is the readiness snapshot behind GET /healthz and the gRPC
+// Health rpc: liveness plus the dimensions a fronting proxy needs to
+// route meaningfully — loaded-model count, current shed state of the
+// admission limiter, queue depth, and live stream count. The JSON tags
+// are the /healthz wire contract.
+type Health struct {
+	Status      string            `json:"status"`
+	Models      int               `json:"models"`
+	Ready       bool              `json:"ready"`
+	Shedding    bool              `json:"shedding"`
+	InFlight    int               `json:"in_flight"`
+	QueueDepth  int               `json:"queue_depth"`
+	Streams     int               `json:"streams"`
+	ShedTotal   uint64            `json:"shed_total"`
+	EvictTotals map[string]uint64 `json:"evict_totals"`
+}
+
+// HealthSnapshot reports the engine's current readiness. A draining
+// engine reports Ready=false and Status "draining"; transports answer
+// 503 / UNAVAILABLE-adjacent so fleet health checks fail fast during
+// shutdown while in-flight work finishes.
+func (e *Engine) HealthSnapshot() Health {
+	e.mu.Lock()
+	draining := e.draining
+	e.mu.Unlock()
+	inFlight, queued := e.limiter.depth()
+	h := Health{
+		Status:     "ok",
+		Models:     len(e.registry.Names()),
+		Ready:      !draining,
+		Shedding:   e.limiter.saturated(),
+		InFlight:   inFlight,
+		QueueDepth: queued,
+		Streams:    e.sessions.Active(),
+		ShedTotal:  e.metrics.ShedTotal(),
+		EvictTotals: map[string]uint64{
+			EvictIdle:       e.metrics.StreamEvictedTotal(EvictIdle),
+			EvictSlowReader: e.metrics.StreamEvictedTotal(EvictSlowReader),
+		},
+	}
+	if draining {
+		h.Status = "draining"
+	}
+	return h
+}

@@ -1,0 +1,35 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"mvg"
+	"mvg/internal/serve/servetest"
+)
+
+// The shared serving fixture lives in servetest so core, httpapi and
+// grpcapi train the test model at most once each per binary; these shims
+// keep the test bodies on the short local names.
+const testSeriesLen = servetest.SeriesLen
+
+func testModel(t *testing.T) *mvg.Model { return servetest.Model(t) }
+
+func testInputs(n int, seed int64) [][]float64 { return servetest.Inputs(n, seed) }
+
+func requireSameRow(t *testing.T, want, got []float64) {
+	t.Helper()
+	servetest.RequireSameRow(t, want, got)
+}
+
+// waitUntil polls cond until it holds or the deadline passes.
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

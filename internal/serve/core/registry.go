@@ -1,9 +1,14 @@
-// Package serve is the HTTP model-serving layer: a named registry of
-// trained mvg models, a request coalescer that merges concurrent
-// single-series predictions into batches for the parallel extraction
-// engine, and the handlers behind cmd/mvgserve. The endpoint contract and
-// coalescing semantics are documented in docs/serving.md.
-package serve
+// Package core is the transport-agnostic half of the serving layer: a
+// named registry of trained mvg models, a request coalescer that merges
+// concurrent single-series predictions into batches for the parallel
+// extraction engine, admission control, stream sessions, metrics, and the
+// Engine that ties them together behind typed request/response values.
+// The HTTP and gRPC codecs (internal/serve/httpapi, internal/serve/grpcapi)
+// are thin shells over this package, which is what keeps the two
+// transports byte-identical: every decision that affects a response value
+// — status mapping, validation, coalescing, shed accounting — is made
+// here, exactly once. See docs/serving.md for the layer diagram.
+package core
 
 import (
 	"fmt"

@@ -1,0 +1,37 @@
+package core
+
+import "net"
+
+// Tenant identification is uniform across transports: the same logical
+// tenant key must land on the same quota bucket whether the stream
+// arrived over HTTP, over gRPC, or through mvgproxy. These are the three
+// carrier names, resolved by TenantKey in one place so the transports
+// cannot drift.
+const (
+	// TenantParam is the HTTP query parameter (?tenant=...).
+	TenantParam = "tenant"
+	// TenantHeader is the HTTP header mvgproxy forwards the resolved
+	// tenant under, so the backend accounts the originating client rather
+	// than the proxy's own address.
+	TenantHeader = "X-Mvg-Tenant"
+	// TenantMetadataKey is the gRPC metadata key carrying the tenant.
+	TenantMetadataKey = "mvg-tenant"
+)
+
+// TenantKey resolves the quota key a stream is accounted under: the first
+// non-empty explicit source wins (callers pass the query parameter,
+// forwarded header, or gRPC metadata value in precedence order), falling
+// back to the client host of remoteAddr — good enough to stop one
+// misbehaving host from monopolising the stream table.
+func TenantKey(remoteAddr string, explicit ...string) string {
+	for _, t := range explicit {
+		if t != "" {
+			return t
+		}
+	}
+	host, _, err := net.SplitHostPort(remoteAddr)
+	if err != nil {
+		return remoteAddr
+	}
+	return host
+}

@@ -1,0 +1,575 @@
+package grpcapi_test
+
+// Cross-transport parity suite: the HTTP and gRPC codecs are thin shells
+// over one core.Engine, so every numeric payload — proba rows, drift
+// scores, stream tallies — must be bit-identical across transports, and
+// every failure must land on the same row of the shared status table.
+// These tests run both codecs against the SAME engine instance and
+// compare wire results float-bit for float-bit.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"mvg/api/mvgpb"
+	"mvg/internal/grpcx"
+	"mvg/internal/serve/core"
+	"mvg/internal/serve/grpcapi"
+	"mvg/internal/serve/httpapi"
+	"mvg/internal/serve/servetest"
+)
+
+// parityFixture is one engine served over both transports at once.
+type parityFixture struct {
+	engine *core.Engine
+	http   *httptest.Server
+	grpc   *grpcx.Client
+}
+
+func newParityFixture(t *testing.T, cfg core.Config) *parityFixture {
+	t.Helper()
+	model := servetest.Model(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "demo"+core.ModelExt)
+	if err := model.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	reg := core.NewRegistry()
+	reg.Register("demo", model, path)
+	cfg.Registry = reg
+	engine, err := core.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ts := httptest.NewServer(httpapi.NewServer(engine))
+	t.Cleanup(ts.Close)
+
+	hs := grpcx.NewH2CServer("", grpcapi.NewServer(engine))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go hs.Serve(ln)
+	client := grpcx.Dial(ln.Addr().String())
+	t.Cleanup(func() {
+		client.Close()
+		hs.Close()
+	})
+	return &parityFixture{engine: engine, http: ts, grpc: client}
+}
+
+func (f *parityFixture) postJSON(t *testing.T, path string, body any) (*http.Response, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(f.http.URL+path, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// TestCrossTransportPredictParity: single-class, single-proba and batch
+// predictions return the same numbers over HTTP and gRPC, bit for bit.
+func TestCrossTransportPredictParity(t *testing.T) {
+	f := newParityFixture(t, core.Config{Window: time.Millisecond})
+	inputs := servetest.Inputs(4, 50)
+	ctx := context.Background()
+
+	for i, s := range inputs {
+		// Probabilities: the strongest parity check — full float64 rows.
+		var hp struct {
+			Proba     []float64 `json:"proba"`
+			Coalesced bool      `json:"coalesced"`
+		}
+		resp, data := f.postJSON(t, "/v1/models/demo/predict_proba", map[string]any{"series": s})
+		if resp.StatusCode != 200 {
+			t.Fatalf("http proba status %d: %s", resp.StatusCode, data)
+		}
+		if err := json.Unmarshal(data, &hp); err != nil {
+			t.Fatal(err)
+		}
+		var gp mvgpb.PredictProbaResponse
+		if err := f.grpc.Invoke(ctx, mvgpb.MvgMethodPredictProba, nil,
+			&mvgpb.PredictRequest{Model: "demo", Series: s}, &gp); err != nil {
+			t.Fatalf("grpc proba: %v", err)
+		}
+		servetest.RequireSameRow(t, hp.Proba, gp.Proba)
+		if !hp.Coalesced || !gp.Coalesced {
+			t.Fatalf("input %d: coalesced flags http=%v grpc=%v, want both true", i, hp.Coalesced, gp.Coalesced)
+		}
+
+		// Classes agree with each other (and therefore with the model).
+		var hc struct {
+			Class *int `json:"class"`
+		}
+		resp, data = f.postJSON(t, "/v1/models/demo/predict", map[string]any{"series": s})
+		if resp.StatusCode != 200 {
+			t.Fatalf("http predict status %d: %s", resp.StatusCode, data)
+		}
+		if err := json.Unmarshal(data, &hc); err != nil {
+			t.Fatal(err)
+		}
+		var gc mvgpb.PredictResponse
+		if err := f.grpc.Invoke(ctx, mvgpb.MvgMethodPredict, nil,
+			&mvgpb.PredictRequest{Model: "demo", Series: s}, &gc); err != nil {
+			t.Fatalf("grpc predict: %v", err)
+		}
+		if hc.Class == nil || int32(*hc.Class) != gc.Class {
+			t.Fatalf("input %d: class http=%v grpc=%d", i, hc.Class, gc.Class)
+		}
+	}
+
+	// Batch form.
+	var hb struct {
+		Classes []int `json:"classes"`
+	}
+	resp, data := f.postJSON(t, "/v1/models/demo/predict", map[string]any{"batch": inputs})
+	if resp.StatusCode != 200 {
+		t.Fatalf("http batch status %d: %s", resp.StatusCode, data)
+	}
+	if err := json.Unmarshal(data, &hb); err != nil {
+		t.Fatal(err)
+	}
+	breq := &mvgpb.PredictBatchRequest{Model: "demo"}
+	for _, s := range inputs {
+		breq.Batch = append(breq.Batch, &mvgpb.Series{Values: s})
+	}
+	var gb mvgpb.PredictBatchResponse
+	if err := f.grpc.Invoke(ctx, mvgpb.MvgMethodPredictBatch, nil, breq, &gb); err != nil {
+		t.Fatalf("grpc batch: %v", err)
+	}
+	if len(hb.Classes) != len(gb.Classes) {
+		t.Fatalf("batch widths differ: %d vs %d", len(hb.Classes), len(gb.Classes))
+	}
+	for i := range hb.Classes {
+		if int32(hb.Classes[i]) != gb.Classes[i] {
+			t.Fatalf("batch class %d: http=%d grpc=%d", i, hb.Classes[i], gb.Classes[i])
+		}
+	}
+}
+
+// ndjsonEvent decodes any /stream response line.
+type ndjsonEvent struct {
+	Sample      int       `json:"sample"`
+	Class       *int      `json:"class"`
+	Proba       []float64 `json:"proba"`
+	Drift       *float64  `json:"drift"`
+	Alert       string    `json:"alert"`
+	From        string    `json:"from"`
+	To          string    `json:"to"`
+	Value       float64   `json:"value"`
+	Done        bool      `json:"done"`
+	Samples     int       `json:"samples"`
+	Predictions int       `json:"predictions"`
+	Error       string    `json:"error"`
+}
+
+func (f *parityFixture) httpStream(t *testing.T, query string, samples []float64) []ndjsonEvent {
+	t.Helper()
+	var body strings.Builder
+	for _, x := range samples {
+		fmt.Fprintf(&body, "%g\n", x)
+	}
+	resp, err := http.Post(f.http.URL+"/v1/models/demo/stream"+query, "application/x-ndjson", strings.NewReader(body.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		data, _ := io.ReadAll(resp.Body)
+		t.Fatalf("http stream status %d: %s", resp.StatusCode, data)
+	}
+	var events []ndjsonEvent
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if strings.TrimSpace(sc.Text()) == "" {
+			continue
+		}
+		var ev ndjsonEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return events
+}
+
+func (f *parityFixture) grpcStream(t *testing.T, open *mvgpb.StreamOpen, samples []float64) []*mvgpb.StreamResponse {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	st, err := f.grpc.Stream(ctx, mvgpb.MvgMethodStreamPredict, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Send(&mvgpb.StreamRequest{Open: open, Samples: samples}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.CloseSend(); err != nil {
+		t.Fatal(err)
+	}
+	var events []*mvgpb.StreamResponse
+	for {
+		resp := new(mvgpb.StreamResponse)
+		if err := st.Recv(resp); err != nil {
+			if errors.Is(err, io.EOF) {
+				return events
+			}
+			t.Fatalf("grpc stream recv: %v", err)
+		}
+		events = append(events, resp)
+	}
+}
+
+// TestCrossTransportStreamParity: the same sample feed through the NDJSON
+// dialogue and the StreamPredict rpc yields the same predictions — same
+// hop boundaries, same classes, bit-identical proba rows and drift
+// scores, and matching terminal tallies.
+func TestCrossTransportStreamParity(t *testing.T) {
+	f := newParityFixture(t, core.Config{Window: time.Millisecond})
+	in := servetest.Inputs(2, 51)
+	samples := append(append([]float64{}, in[0]...), in[1]...)
+
+	hEvents := f.httpStream(t, "?hop=32", samples)
+	gEvents := f.grpcStream(t, &mvgpb.StreamOpen{Model: "demo", Hop: 32}, samples)
+
+	var hPreds []ndjsonEvent
+	for _, ev := range hEvents[:len(hEvents)-1] {
+		if ev.Error != "" {
+			t.Fatalf("http stream error: %q", ev.Error)
+		}
+		hPreds = append(hPreds, ev)
+	}
+	hDone := hEvents[len(hEvents)-1]
+	if !hDone.Done {
+		t.Fatalf("http stream did not end with done: %+v", hDone)
+	}
+
+	var gPreds []*mvgpb.StreamPrediction
+	var gDone *mvgpb.StreamDone
+	for _, ev := range gEvents {
+		switch {
+		case ev.Prediction != nil:
+			gPreds = append(gPreds, ev.Prediction)
+		case ev.Done != nil:
+			gDone = ev.Done
+		}
+	}
+	if gDone == nil {
+		t.Fatal("grpc stream did not end with done")
+	}
+
+	if len(hPreds) != len(gPreds) {
+		t.Fatalf("prediction counts differ: http=%d grpc=%d", len(hPreds), len(gPreds))
+	}
+	for i := range hPreds {
+		h, g := hPreds[i], gPreds[i]
+		if int64(h.Sample) != g.Sample || h.Class == nil || int32(*h.Class) != g.Class {
+			t.Fatalf("prediction %d: http={sample:%d class:%v} grpc={sample:%d class:%d}",
+				i, h.Sample, h.Class, g.Sample, g.Class)
+		}
+		servetest.RequireSameRow(t, h.Proba, g.Proba)
+		switch {
+		case h.Drift == nil && !g.HasDrift:
+		case h.Drift != nil && g.HasDrift:
+			if math.Float64bits(*h.Drift) != math.Float64bits(g.Drift) {
+				t.Fatalf("prediction %d: drift http=%v grpc=%v", i, *h.Drift, g.Drift)
+			}
+		default:
+			t.Fatalf("prediction %d: drift presence http=%v grpc=%v", i, h.Drift != nil, g.HasDrift)
+		}
+	}
+	if int64(hDone.Samples) != gDone.Samples || int64(hDone.Predictions) != gDone.Predictions {
+		t.Fatalf("done tallies differ: http={%d,%d} grpc={%d,%d}",
+			hDone.Samples, hDone.Predictions, gDone.Samples, gDone.Predictions)
+	}
+}
+
+// TestCrossTransportAlertParity: alert transitions fire at the same
+// samples with the same values on both transports.
+func TestCrossTransportAlertParity(t *testing.T) {
+	f := newParityFixture(t, core.Config{Window: time.Millisecond})
+	series, labels := servetest.Dataset(7)
+	var smooth, noisy []float64
+	for i, lab := range labels {
+		if lab == 0 && smooth == nil {
+			smooth = series[i]
+		}
+		if lab == 1 && noisy == nil {
+			noisy = series[i]
+		}
+	}
+	samples := append(append(append([]float64{}, smooth...), noisy...), smooth...)
+
+	hEvents := f.httpStream(t, "?hop=32&alert=kind=flip", samples)
+	gEvents := f.grpcStream(t, &mvgpb.StreamOpen{Model: "demo", Hop: 32, Alerts: []string{"kind=flip"}}, samples)
+
+	type transition struct {
+		alert, from, to string
+		sample          int64
+		valueBits       uint64
+	}
+	var hAlerts, gAlerts []transition
+	for _, ev := range hEvents {
+		if ev.Alert != "" {
+			hAlerts = append(hAlerts, transition{ev.Alert, ev.From, ev.To, int64(ev.Sample), math.Float64bits(ev.Value)})
+		}
+	}
+	for _, ev := range gEvents {
+		if ev.Alert != nil {
+			gAlerts = append(gAlerts, transition{ev.Alert.Alert, ev.Alert.From, ev.Alert.To, ev.Alert.Sample, math.Float64bits(ev.Alert.Value)})
+		}
+	}
+	if len(hAlerts) == 0 {
+		t.Fatal("no alert transitions on the flip body")
+	}
+	if len(hAlerts) != len(gAlerts) {
+		t.Fatalf("alert counts differ: http=%d grpc=%d", len(hAlerts), len(gAlerts))
+	}
+	for i := range hAlerts {
+		if hAlerts[i] != gAlerts[i] {
+			t.Fatalf("alert %d differs: http=%+v grpc=%+v", i, hAlerts[i], gAlerts[i])
+		}
+	}
+}
+
+// TestGrpcStatusMapping pins the shared status table's gRPC column for
+// the error shapes clients actually hit.
+func TestGrpcStatusMapping(t *testing.T) {
+	f := newParityFixture(t, core.Config{Window: time.Millisecond})
+	ctx := context.Background()
+	short := make([]float64, 7)
+
+	cases := []struct {
+		name string
+		call func() error
+		want grpcx.Code
+	}{
+		{"unknown model", func() error {
+			return f.grpc.Invoke(ctx, mvgpb.MvgMethodPredict, nil,
+				&mvgpb.PredictRequest{Model: "ghost", Series: servetest.Inputs(1, 52)[0]}, new(mvgpb.PredictResponse))
+		}, grpcx.NotFound},
+		{"wrong length", func() error {
+			return f.grpc.Invoke(ctx, mvgpb.MvgMethodPredict, nil,
+				&mvgpb.PredictRequest{Model: "demo", Series: short}, new(mvgpb.PredictResponse))
+		}, grpcx.InvalidArgument},
+		{"empty batch", func() error {
+			return f.grpc.Invoke(ctx, mvgpb.MvgMethodPredictBatch, nil,
+				&mvgpb.PredictBatchRequest{Model: "demo"}, new(mvgpb.PredictBatchResponse))
+		}, grpcx.InvalidArgument},
+		{"unknown method", func() error {
+			return f.grpc.Invoke(ctx, "/mvg.v1.Mvg/Nope", nil,
+				new(mvgpb.PredictRequest), new(mvgpb.PredictResponse))
+		}, grpcx.Unimplemented},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.call()
+			var st *grpcx.Status
+			if !errors.As(err, &st) || st.Code != tc.want {
+				t.Fatalf("err = %v, want code %v", err, tc.want)
+			}
+		})
+	}
+
+	// Bad trigger spec on the stream open → INVALID_ARGUMENT in trailers.
+	st, err := f.grpc.Stream(ctx, mvgpb.MvgMethodStreamPredict, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Send(&mvgpb.StreamRequest{Open: &mvgpb.StreamOpen{Model: "demo", Alerts: []string{"kind=nope"}}}); err != nil {
+		t.Fatal(err)
+	}
+	st.CloseSend()
+	rerr := st.Recv(new(mvgpb.StreamResponse))
+	var gst *grpcx.Status
+	if !errors.As(rerr, &gst) || gst.Code != grpcx.InvalidArgument {
+		t.Fatalf("bad trigger spec: recv err = %v, want INVALID_ARGUMENT", rerr)
+	}
+}
+
+// TestGrpcHealthAndModels: the Health rpc and ListModels mirror /healthz
+// and /v1/models over the same engine.
+func TestGrpcHealthAndModels(t *testing.T) {
+	f := newParityFixture(t, core.Config{Window: time.Millisecond})
+	ctx := context.Background()
+
+	var h mvgpb.HealthResponse
+	if err := f.grpc.Invoke(ctx, mvgpb.MvgMethodHealth, nil, new(mvgpb.HealthRequest), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || !h.Ready || h.Models != 1 || h.Shedding {
+		t.Fatalf("health = %+v", &h)
+	}
+	if len(h.EvictTotals) != 2 {
+		t.Fatalf("evict totals = %+v, want both pre-seeded reasons", h.EvictTotals)
+	}
+
+	var lm mvgpb.ListModelsResponse
+	if err := f.grpc.Invoke(ctx, mvgpb.MvgMethodListModels, nil, new(mvgpb.ListModelsRequest), &lm); err != nil {
+		t.Fatal(err)
+	}
+	if len(lm.Models) != 1 || lm.Models[0].Name != "demo" {
+		t.Fatalf("models = %+v", lm.Models)
+	}
+	mi := lm.Models[0]
+	if mi.Classes != 2 || mi.SeriesLen != int32(servetest.SeriesLen) || mi.Features == 0 || len(mi.FeatureNames) != int(mi.Features) {
+		t.Fatalf("model info = %+v", mi)
+	}
+
+	// Drain flips readiness on both transports at once.
+	if err := f.engine.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.grpc.Invoke(ctx, mvgpb.MvgMethodHealth, nil, new(mvgpb.HealthRequest), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Ready || h.Status != "draining" {
+		t.Fatalf("post-drain health = %+v", &h)
+	}
+	resp, err := http.Get(f.http.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain /healthz = %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestGrpcTenantQuota: the gRPC transport resolves tenants from the
+// mvg-tenant metadata key into the same session quotas as HTTP's ?tenant=.
+func TestGrpcTenantQuota(t *testing.T) {
+	f := newParityFixture(t, core.Config{
+		Window:              time.Millisecond,
+		MaxStreams:          8,
+		MaxStreamsPerTenant: 1,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	md := map[string]string{core.TenantMetadataKey: "acme"}
+
+	// Hold one dialogue open for tenant acme.
+	held, err := f.grpc.Stream(ctx, mvgpb.MvgMethodStreamPredict, md)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := held.Send(&mvgpb.StreamRequest{Open: &mvgpb.StreamOpen{Model: "demo"}}); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the session is registered before probing the quota.
+	deadline := time.Now().Add(10 * time.Second)
+	for f.engine.HealthSnapshot().Streams != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("held stream never registered a session")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Same tenant over gRPC metadata: shed with RESOURCE_EXHAUSTED.
+	st2, err := f.grpc.Stream(ctx, mvgpb.MvgMethodStreamPredict, md)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2.Send(&mvgpb.StreamRequest{Open: &mvgpb.StreamOpen{Model: "demo"}})
+	st2.CloseSend()
+	rerr := st2.Recv(new(mvgpb.StreamResponse))
+	var gst *grpcx.Status
+	if !errors.As(rerr, &gst) || gst.Code != grpcx.ResourceExhausted {
+		t.Fatalf("same-tenant stream: recv err = %v, want RESOURCE_EXHAUSTED", rerr)
+	}
+
+	// Same tenant through the HTTP header hits the same quota — one
+	// bucket, two transports.
+	req, _ := http.NewRequest("POST", f.http.URL+"/v1/models/demo/stream", strings.NewReader("1\n"))
+	req.Header.Set(core.TenantHeader, "acme")
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	hresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, hresp.Body)
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("same-tenant http stream = %d, want 429", hresp.StatusCode)
+	}
+
+	// A different tenant still gets in.
+	st3, err := f.grpc.Stream(ctx, mvgpb.MvgMethodStreamPredict, map[string]string{core.TenantMetadataKey: "other"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st3.Send(&mvgpb.StreamRequest{Open: &mvgpb.StreamOpen{Model: "demo"}})
+	st3.CloseSend()
+	resp3 := new(mvgpb.StreamResponse)
+	if err := st3.Recv(resp3); err != nil || resp3.Done == nil {
+		t.Fatalf("other-tenant stream: resp=%+v err=%v, want done", resp3, err)
+	}
+
+	cancel() // release the held stream
+}
+
+// TestGrpcStreamDrain: DrainStreams ends a live gRPC dialogue with a
+// draining done frame, mirroring the NDJSON behavior.
+func TestGrpcStreamDrain(t *testing.T) {
+	f := newParityFixture(t, core.Config{Window: time.Millisecond})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	st, err := f.grpc.Stream(ctx, mvgpb.MvgMethodStreamPredict, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := servetest.Inputs(1, 53)[0]
+	if err := st.Send(&mvgpb.StreamRequest{Open: &mvgpb.StreamOpen{Model: "demo", Hop: 32}, Samples: samples}); err != nil {
+		t.Fatal(err)
+	}
+	// First frame must be a prediction (the window filled).
+	first := new(mvgpb.StreamResponse)
+	if err := st.Recv(first); err != nil || first.Prediction == nil {
+		t.Fatalf("first frame = %+v, err %v; want a prediction", first, err)
+	}
+
+	f.engine.DrainStreams()
+	for {
+		resp := new(mvgpb.StreamResponse)
+		if err := st.Recv(resp); err != nil {
+			t.Fatalf("drain recv: %v", err)
+		}
+		if resp.Done != nil {
+			if !resp.Done.Draining || resp.Done.Predictions != 1 {
+				t.Fatalf("drain done = %+v, want draining with 1 prediction", resp.Done)
+			}
+			break
+		}
+	}
+	if err := st.Recv(new(mvgpb.StreamResponse)); !errors.Is(err, io.EOF) {
+		t.Fatalf("post-done recv = %v, want EOF", err)
+	}
+}

@@ -1,9 +1,9 @@
-package serve
+package httpapi
 
 import (
 	"context"
 	"encoding/json"
-	"errors"
+	"mvg/internal/serve/core"
 	"net/http"
 	"net/http/httptest"
 	"runtime"
@@ -15,88 +15,13 @@ import (
 	"mvg/internal/faults"
 )
 
-// waitUntil polls cond until it holds or the deadline passes.
-func waitUntil(t *testing.T, what string, cond func() bool) {
-	t.Helper()
-	deadline := time.Now().Add(10 * time.Second)
-	for !cond() {
-		if time.Now().After(deadline) {
-			t.Fatalf("timed out waiting for %s", what)
-		}
-		time.Sleep(time.Millisecond)
-	}
-}
-
-// TestLimiterUnit pins the limiter's three-zone behavior: run, queue,
-// shed — and that released slots are reusable.
-func TestLimiterUnit(t *testing.T) {
-	l := newLimiter(1, 1)
-	rel1, err := l.acquire(context.Background())
-	if err != nil {
-		t.Fatal(err)
-	}
-
-	// Second caller parks in the queue.
-	queued := make(chan error, 1)
-	var rel2 func()
-	go func() {
-		var err error
-		rel2, err = l.acquire(context.Background())
-		queued <- err
-	}()
-	waitUntil(t, "second caller to queue", func() bool { _, q := l.depth(); return q == 1 })
-
-	// Third caller is shed immediately.
-	if _, err := l.acquire(context.Background()); !errors.Is(err, ErrShed) {
-		t.Fatalf("third acquire = %v, want ErrShed", err)
-	}
-	if !l.saturated() {
-		t.Fatal("limiter should report saturated with full slot and queue")
-	}
-
-	// A queued caller's deadline fires while waiting.
-	ctx, cancel := context.WithCancel(context.Background())
-	cancel()
-	if _, err := l.acquire(ctx); err == nil || errors.Is(err, ErrShed) {
-		// Shed is allowed only if the queue is still full; with queue=1
-		// occupied it must shed. Accept either shed or ctx error — both
-		// are bounded-time rejections.
-		if err == nil {
-			t.Fatal("cancelled acquire succeeded")
-		}
-	}
-
-	rel1()
-	if err := <-queued; err != nil {
-		t.Fatalf("queued acquire = %v", err)
-	}
-	rel2()
-	if inF, q := l.depth(); inF != 0 || q != 0 {
-		t.Fatalf("depth after release = (%d,%d), want (0,0)", inF, q)
-	}
-	if l.saturated() {
-		t.Fatal("drained limiter reports saturated")
-	}
-
-	// Disabled limiter admits everything.
-	var nilL *limiter
-	rel, err := nilL.acquire(context.Background())
-	if err != nil {
-		t.Fatal(err)
-	}
-	rel()
-	if nilL.saturated() {
-		t.Fatal("nil limiter reports saturated")
-	}
-}
-
 // TestShed429 pins the overload contract end to end: with one in-flight
 // slot and no queue, a request that arrives while another is being served
 // is shed with 429, a Retry-After header, and a shed counter increment —
 // and the admitted request still completes normally.
 func TestShed429(t *testing.T) {
 	inj := faults.New()
-	srv, ts := newTestServer(t, Config{
+	srv, ts := newTestServer(t, core.Config{
 		Window:      time.Millisecond,
 		MaxInFlight: 1,
 		MaxQueue:    0,
@@ -117,7 +42,7 @@ func TestShed429(t *testing.T) {
 		http.DefaultClient.Do(req) //nolint:bodyclose // cancelled below
 	}()
 	waitUntil(t, "first request to hold the slot", func() bool {
-		inF, _ := srv.limiter.depth()
+		inF, _ := limiterDepth(srv)
 		return inF == 1
 	})
 
@@ -131,14 +56,14 @@ func TestShed429(t *testing.T) {
 	if !strings.Contains(string(data), "shed") {
 		t.Fatalf("shed body = %s", data)
 	}
-	if got := srv.Metrics().ShedTotal(); got != 1 {
+	if got := srv.Engine().Metrics().ShedTotal(); got != 1 {
 		t.Fatalf("shed_total = %d, want 1", got)
 	}
 
 	// Release the parked request; the limiter drains.
 	cancel()
 	<-held
-	waitUntil(t, "slot release", func() bool { inF, _ := srv.limiter.depth(); return inF == 0 })
+	waitUntil(t, "slot release", func() bool { inF, _ := limiterDepth(srv); return inF == 0 })
 
 	// With the slot free the same request is admitted again.
 	inj.Reset()
@@ -153,7 +78,7 @@ func TestShed429(t *testing.T) {
 // the client's) and counted on mvgserve_request_timeout_total.
 func TestRequestDeadline503(t *testing.T) {
 	inj := faults.New()
-	srv, ts := newTestServer(t, Config{
+	srv, ts := newTestServer(t, core.Config{
 		Window:         time.Millisecond,
 		RequestTimeout: 50 * time.Millisecond,
 		Faults:         inj,
@@ -176,7 +101,7 @@ func TestRequestDeadline503(t *testing.T) {
 	if elapsed > 10*time.Second {
 		t.Fatalf("timed-out request took %v, deadline was 50ms", elapsed)
 	}
-	if got := srv.Metrics().RequestTimeoutTotal(); got != 1 {
+	if got := srv.Engine().Metrics().RequestTimeoutTotal(); got != 1 {
 		t.Fatalf("request_timeout_total = %d, want 1", got)
 	}
 
@@ -187,7 +112,7 @@ func TestRequestDeadline503(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("batch status = %d, want 503; body %s", resp.StatusCode, data)
 	}
-	if got := srv.Metrics().RequestTimeoutTotal(); got != 2 {
+	if got := srv.Engine().Metrics().RequestTimeoutTotal(); got != 2 {
 		t.Fatalf("request_timeout_total = %d, want 2", got)
 	}
 }
@@ -196,7 +121,7 @@ func TestRequestDeadline503(t *testing.T) {
 // mapping from genuine client cancellations.
 func TestClientCancelStays499(t *testing.T) {
 	inj := faults.New()
-	srv, _ := newTestServer(t, Config{
+	srv, _ := newTestServer(t, core.Config{
 		Window:         time.Millisecond,
 		RequestTimeout: time.Hour, // present but never the cause
 		Faults:         inj,
@@ -222,10 +147,10 @@ func TestClientCancelStays499(t *testing.T) {
 	case <-time.After(10 * time.Second):
 		t.Fatal("handler did not return after client cancel")
 	}
-	if rec.Code != StatusClientClosedRequest {
+	if rec.Code != core.StatusClientClosedRequest {
 		t.Fatalf("status = %d, want 499", rec.Code)
 	}
-	if got := srv.Metrics().RequestTimeoutTotal(); got != 0 {
+	if got := srv.Engine().Metrics().RequestTimeoutTotal(); got != 0 {
 		t.Fatalf("client cancel bumped request_timeout_total to %d", got)
 	}
 }
@@ -235,7 +160,7 @@ func TestClientCancelStays499(t *testing.T) {
 // forever.
 func TestQueuedRequestTimesOut(t *testing.T) {
 	inj := faults.New()
-	srv, ts := newTestServer(t, Config{
+	srv, ts := newTestServer(t, core.Config{
 		Window:         time.Millisecond,
 		MaxInFlight:    1,
 		MaxQueue:       4,
@@ -254,7 +179,7 @@ func TestQueuedRequestTimesOut(t *testing.T) {
 		req, _ := http.NewRequestWithContext(ctx, "POST", ts.URL+"/v1/models/demo/predict", strings.NewReader(string(body)))
 		http.DefaultClient.Do(req) //nolint:bodyclose
 	}()
-	waitUntil(t, "slot holder", func() bool { inF, _ := srv.limiter.depth(); return inF == 1 })
+	waitUntil(t, "slot holder", func() bool { inF, _ := limiterDepth(srv); return inF == 1 })
 
 	start := time.Now()
 	resp, data := postJSON(t, ts.URL+"/v1/models/demo/predict", map[string]any{"series": single})
@@ -272,7 +197,7 @@ func TestQueuedRequestTimesOut(t *testing.T) {
 // fleet health checks: model count, shed state, stream count — and the
 // 503 flip once the server drains.
 func TestHealthzReadiness(t *testing.T) {
-	srv, ts := newTestServer(t, Config{Window: time.Millisecond, MaxInFlight: 2, MaxQueue: 2})
+	srv, ts := newTestServer(t, core.Config{Window: time.Millisecond, MaxInFlight: 2, MaxQueue: 2})
 	resp, data := get(t, ts.URL+"/healthz")
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status = %d", resp.StatusCode)
@@ -293,7 +218,7 @@ func TestHealthzReadiness(t *testing.T) {
 		t.Fatalf("healthz = %+v", h)
 	}
 
-	if err := srv.Shutdown(context.Background()); err != nil {
+	if err := srv.Engine().Shutdown(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	resp, data = get(t, ts.URL+"/healthz")
@@ -308,7 +233,7 @@ func TestHealthzReadiness(t *testing.T) {
 // TestOverloadMetricsExposed asserts the new counters appear on /metrics
 // from the first scrape, including the pre-seeded eviction reasons.
 func TestOverloadMetricsExposed(t *testing.T) {
-	_, ts := newTestServer(t, Config{Window: time.Millisecond})
+	_, ts := newTestServer(t, core.Config{Window: time.Millisecond})
 	resp, data := get(t, ts.URL+"/metrics")
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status = %d", resp.StatusCode)
@@ -333,7 +258,7 @@ func TestOverloadMetricsExposed(t *testing.T) {
 func TestAdmissionConcurrentChurn(t *testing.T) {
 	before := runtime.NumGoroutine()
 	func() {
-		srv, ts := newTestServer(t, Config{
+		srv, ts := newTestServer(t, core.Config{
 			Window:         500 * time.Microsecond,
 			MaxBatch:       8,
 			MaxInFlight:    2,
@@ -368,11 +293,11 @@ func TestAdmissionConcurrentChurn(t *testing.T) {
 				t.Errorf("unexpected status %d under churn: %v", code, codes)
 			}
 		}
-		if got, want := srv.Metrics().ShedTotal(), uint64(codes[http.StatusTooManyRequests]); got != want {
+		if got, want := srv.Engine().Metrics().ShedTotal(), uint64(codes[http.StatusTooManyRequests]); got != want {
 			t.Errorf("shed_total = %d, but clients saw %d 429s", got, want)
 		}
 		ts.Close()
-		if err := srv.Shutdown(context.Background()); err != nil {
+		if err := srv.Engine().Shutdown(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 	}()

@@ -1,10 +1,11 @@
-package serve
+package httpapi
 
 import (
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"mvg/internal/serve/core"
 	"net/http"
 	"net/http/httptest"
 	"runtime"
@@ -85,7 +86,7 @@ func TestChaosMixedTraffic(t *testing.T) {
 		}
 
 		const requestTimeout = 2 * time.Second
-		srv, ts := newTestServer(t, Config{
+		srv, ts := newTestServer(t, core.Config{
 			Window:              500 * time.Microsecond,
 			MaxBatch:            8,
 			MaxInFlight:         4,
@@ -303,13 +304,13 @@ func TestChaosMixedTraffic(t *testing.T) {
 		if monotonicViolation != nil {
 			t.Error(monotonicViolation)
 		}
-		if got := srv.Metrics().ShedTotal(); got != sheds429 {
+		if got := srv.Engine().Metrics().ShedTotal(); got != sheds429 {
 			t.Errorf("shed_total = %d, but clients observed %d 429s", got, sheds429)
 		}
-		if got := srv.Metrics().RequestTimeoutTotal(); got != timeouts503 {
+		if got := srv.Engine().Metrics().RequestTimeoutTotal(); got != timeouts503 {
 			t.Errorf("request_timeout_total = %d, but clients observed %d deadline 503s", got, timeouts503)
 		}
-		if got := srv.Metrics().StreamEvictedTotal(EvictIdle); got < 1 {
+		if got := srv.Engine().Metrics().StreamEvictedTotal(core.EvictIdle); got < 1 {
 			t.Errorf("stream_evicted_total{idle} = %d, want >= 1 (the idler)", got)
 		}
 
@@ -327,7 +328,7 @@ func TestChaosMixedTraffic(t *testing.T) {
 
 		// Orderly teardown, then the leak gate outside this closure.
 		ts.Close()
-		if err := srv.Shutdown(context.Background()); err != nil {
+		if err := srv.Engine().Shutdown(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 		if err := hook.Close(); err != nil {
@@ -348,7 +349,7 @@ func TestChaosMixedTraffic(t *testing.T) {
 func TestChaosInjectedStreamFault(t *testing.T) {
 	inj := faults.New()
 	errBoom := errors.New("chaos: injected stream failure")
-	srv, ts := newTestServer(t, Config{Faults: inj})
+	srv, ts := newTestServer(t, core.Config{Faults: inj})
 	samples := append(append([]float64{}, testInputs(1, 41)[0]...), testInputs(1, 42)[0]...)
 
 	// First prediction succeeds, second hits the fault.
@@ -381,5 +382,5 @@ func TestChaosInjectedStreamFault(t *testing.T) {
 	if resp.StatusCode != http.StatusOK || len(events) != clean {
 		t.Fatalf("post-fault stream: status %d, %d events (want 200, %d)", resp.StatusCode, len(events), clean)
 	}
-	waitUntil(t, "session release", func() bool { return srv.sessions.Active() == 0 })
+	waitUntil(t, "session release", func() bool { return sessionsActive(srv) == 0 })
 }

@@ -1,0 +1,131 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"mvg"
+	"mvg/internal/serve/core"
+	"mvg/internal/serve/servetest"
+)
+
+// The shared serving fixture lives in servetest so core, httpapi and
+// grpcapi train the test model at most once each per binary; these shims
+// keep the test bodies on the short local names.
+const testSeriesLen = servetest.SeriesLen
+
+func testModel(t *testing.T) *mvg.Model { return servetest.Model(t) }
+
+func testInputs(n int, seed int64) [][]float64 { return servetest.Inputs(n, seed) }
+
+func testDataset(seed int64) ([][]float64, []int) { return servetest.Dataset(seed) }
+
+func requireSameRow(t *testing.T, want, got []float64) {
+	t.Helper()
+	servetest.RequireSameRow(t, want, got)
+}
+
+// waitUntil polls cond until it holds or the deadline passes.
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// newTestServer stands up the HTTP codec over a fresh engine serving one
+// file-backed model named "demo", wrapped in an httptest.Server.
+func newTestServer(t *testing.T, cfg core.Config) (*Server, *httptest.Server) {
+	t.Helper()
+	model := testModel(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "demo"+core.ModelExt)
+	if err := model.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	reg := core.NewRegistry()
+	reg.Register("demo", model, path)
+	cfg.Registry = reg
+	engine, err := core.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(engine)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+// limiterDepth reports the engine's admission occupancy (in-flight,
+// queued) through the health snapshot — the tests' window into the
+// otherwise-unexported limiter.
+func limiterDepth(srv *Server) (inFlight, queued int) {
+	h := srv.Engine().HealthSnapshot()
+	return h.InFlight, h.QueueDepth
+}
+
+// sessionsActive reports the number of live stream sessions.
+func sessionsActive(srv *Server) int {
+	return srv.Engine().HealthSnapshot().Streams
+}
+
+// streamTenant derives the quota key exactly as handleStream does.
+func streamTenant(r *http.Request) string {
+	return core.TenantKey(r.RemoteAddr, r.URL.Query().Get(core.TenantParam), r.Header.Get(core.TenantHeader))
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func postJSONQuiet(url string, body any) (*http.Response, []byte) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return nil, nil
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return nil, nil
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	return resp, data
+}
+
+func get(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}

@@ -1,0 +1,321 @@
+// Package httpapi is the HTTP codec of the serving layer: the /v1 JSON
+// endpoints and the NDJSON /stream dialogue, rendered over a shared
+// transport-agnostic core.Engine. Everything response-shaping happens in
+// the engine — this package only decodes requests, maps typed errors to
+// HTTP statuses through the shared status table, and encodes responses.
+// The endpoint contract is documented in docs/serving.md.
+package httpapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"mvg"
+	"mvg/internal/serve/core"
+)
+
+// Server is the HTTP serving layer over one core.Engine. It implements
+// http.Handler.
+type Server struct {
+	engine  *core.Engine
+	handler http.Handler
+}
+
+// NewServer builds the HTTP codec over an engine. Multiple transport
+// servers (this one and grpcapi's) may share one engine; they then share
+// its registry, coalescers, admission limiter and metrics.
+func NewServer(e *core.Engine) *Server {
+	s := &Server{engine: e}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/models", s.handleModels)
+	mux.HandleFunc("POST /v1/models/{name}/predict", s.admit(s.handlePredict))
+	mux.HandleFunc("POST /v1/models/{name}/predict_proba", s.admit(s.handlePredictProba))
+	mux.HandleFunc("POST /v1/models/{name}/stream", s.handleStream)
+	mux.HandleFunc("POST /v1/models/{name}/reload", s.handleReload)
+	s.handler = s.instrument(mux)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.handler.ServeHTTP(w, r)
+}
+
+// Engine returns the engine this codec serves.
+func (s *Server) Engine() *core.Engine { return s.engine }
+
+// ---- request/response schema ----
+
+// predictRequest is the body of POST /v1/models/{name}/predict and
+// /predict_proba. Exactly one of Series (single) or Batch must be set.
+type predictRequest struct {
+	Series []float64   `json:"series,omitempty"`
+	Batch  [][]float64 `json:"batch,omitempty"`
+}
+
+type predictResponse struct {
+	Model     string `json:"model"`
+	Class     *int   `json:"class,omitempty"`
+	Classes   []int  `json:"classes,omitempty"`
+	Coalesced bool   `json:"coalesced,omitempty"`
+}
+
+type probaResponse struct {
+	Model     string      `json:"model"`
+	Proba     []float64   `json:"proba,omitempty"`
+	Probas    [][]float64 `json:"probas,omitempty"`
+	Coalesced bool        `json:"coalesced,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+// retryAfterHeader sets the Retry-After hint (whole seconds, minimum 1).
+func retryAfterHeader(w http.ResponseWriter, d time.Duration) {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+}
+
+// writeError renders err through the shared status table, attaching the
+// Retry-After header when the typed error carries a hint.
+func writeError(w http.ResponseWriter, err error) {
+	if d := core.RetryHint(err); d > 0 {
+		retryAfterHeader(w, d)
+	}
+	writeJSON(w, core.StatusOf(err).HTTP, errorResponse{Error: err.Error()})
+}
+
+// parsePredictRequest decodes and validates a prediction body against the
+// model, returning the series to predict and whether the request was the
+// single-series form.
+func parsePredictRequest(r *http.Request, m *mvg.Model) (series [][]float64, single bool, err error) {
+	var req predictRequest
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 64<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return nil, false, core.Errorf(core.StatusBadRequest, "invalid JSON body: %v", err)
+	}
+	switch {
+	case req.Series != nil && req.Batch != nil:
+		return nil, false, core.Errorf(core.StatusBadRequest, `body must set exactly one of "series" or "batch"`)
+	case req.Series != nil:
+		series, single = [][]float64{req.Series}, true
+	case req.Batch != nil:
+		if len(req.Batch) == 0 {
+			return nil, false, core.Errorf(core.StatusBadRequest, `"batch" must contain at least one series`)
+		}
+		series = req.Batch
+	default:
+		return nil, false, core.Errorf(core.StatusBadRequest, `body must set "series" or "batch"`)
+	}
+	if err := core.ValidateSeries(m, series); err != nil {
+		return nil, false, err
+	}
+	return series, single, nil
+}
+
+// model resolves the {name} path value against the registry.
+func (s *Server) model(r *http.Request) (string, *mvg.Model, error) {
+	name := r.PathValue("name")
+	m, err := s.engine.Model(name)
+	return name, m, err
+}
+
+// ---- middleware ----
+
+// admit wraps a predict handler with the deadline and admission
+// middleware: the request context gains the server's -request-timeout,
+// then the request claims an admission slot — or is shed with 429 +
+// Retry-After before any model work. Queue waits are bounded by the
+// request deadline, so a queued request can time out (503) without ever
+// being admitted.
+func (s *Server) admit(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := s.engine.WithRequestDeadline(r.Context())
+		defer cancel()
+		r = r.WithContext(ctx)
+		release, err := s.engine.Admit(ctx)
+		if err != nil {
+			s.writeRequestError(w, r, err)
+			return
+		}
+		defer release()
+		next(w, r)
+	}
+}
+
+// writeRequestError maps err like writeError after letting the engine
+// recognise its own request deadline (503 + Retry-After + timeout
+// counter); client cancellations keep the 499 mapping.
+func (s *Server) writeRequestError(w http.ResponseWriter, r *http.Request, err error) {
+	writeError(w, s.engine.RequestError(r.Context(), err))
+}
+
+// ---- handlers ----
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	name, m, err := s.model(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	series, single, err := parsePredictRequest(r, m)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if single {
+		proba, coalesced, err := s.engine.PredictSingle(r.Context(), name, series[0])
+		if err != nil {
+			s.writeRequestError(w, r, err)
+			return
+		}
+		class := core.Argmax(proba)
+		writeJSON(w, http.StatusOK, predictResponse{Model: name, Class: &class, Coalesced: coalesced})
+		return
+	}
+	classes, err := s.engine.PredictBatch(r.Context(), m, series)
+	if err != nil {
+		s.writeRequestError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, predictResponse{Model: name, Classes: classes})
+}
+
+func (s *Server) handlePredictProba(w http.ResponseWriter, r *http.Request) {
+	name, m, err := s.model(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	series, single, err := parsePredictRequest(r, m)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if single {
+		proba, coalesced, err := s.engine.PredictSingle(r.Context(), name, series[0])
+		if err != nil {
+			s.writeRequestError(w, r, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, probaResponse{Model: name, Proba: proba, Coalesced: coalesced})
+		return
+	}
+	probas, err := s.engine.PredictProbaBatch(r.Context(), m, series)
+	if err != nil {
+		s.writeRequestError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, probaResponse{Model: name, Probas: probas})
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := s.engine.Reload(name); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"model": name, "status": "reloaded"})
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"models": s.engine.Registry().List()})
+}
+
+// handleHealthz renders the engine's readiness snapshot; a draining
+// server answers 503 so health checks fail fast during shutdown while
+// in-flight work finishes.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := s.engine.HealthSnapshot()
+	code := http.StatusOK
+	if !h.Ready {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.engine.Metrics().WritePrometheus(w)
+}
+
+// statusRecorder captures the response status for metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.code = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+// Unwrap lets http.ResponseController reach the underlying writer's
+// Flush/EnableFullDuplex through the middleware wrapper — without it the
+// /stream endpoint's per-line flushing and full-duplex opt-in silently
+// degrade to ErrNotSupported and long dialogues die once the server's
+// write buffer fills (pinned by TestStreamEndpointLongDialogue).
+func (sr *statusRecorder) Unwrap() http.ResponseWriter { return sr.ResponseWriter }
+
+// instrument wraps the mux with panic recovery and metrics: the in-flight
+// gauge, per-route/status counters and the latency histogram.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	logger := s.engine.Logger()
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		finish := s.engine.Metrics().RequestStarted()
+		start := time.Now()
+		sr := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		route := routeLabel(r)
+		defer func() {
+			if rec := recover(); rec != nil {
+				if logger != nil {
+					logger.Printf("panic serving %s %s: %v", r.Method, r.URL.Path, rec)
+				}
+				writeJSON(sr, http.StatusInternalServerError, errorResponse{Error: "internal error"})
+			}
+			finish(route, sr.code, time.Since(start).Seconds())
+			if logger != nil && sr.code >= 400 {
+				logger.Printf("%s %s -> %d (%.1fms)", r.Method, r.URL.Path, sr.code, float64(time.Since(start).Microseconds())/1000)
+			}
+		}()
+		next.ServeHTTP(sr, r)
+	})
+}
+
+// routeLabel collapses request paths onto low-cardinality metric labels so
+// model names don't explode the per-route counter space.
+func routeLabel(r *http.Request) string {
+	switch {
+	case r.URL.Path == "/healthz":
+		return "healthz"
+	case r.URL.Path == "/metrics":
+		return "metrics"
+	case r.URL.Path == "/v1/models":
+		return "models"
+	case strings.HasSuffix(r.URL.Path, "/predict"):
+		return "predict"
+	case strings.HasSuffix(r.URL.Path, "/predict_proba"):
+		return "predict_proba"
+	case strings.HasSuffix(r.URL.Path, "/stream"):
+		return "stream"
+	case strings.HasSuffix(r.URL.Path, "/reload"):
+		return "reload"
+	}
+	return "other"
+}

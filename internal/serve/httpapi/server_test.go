@@ -1,4 +1,4 @@
-package serve
+package httpapi
 
 import (
 	"bytes"
@@ -7,73 +7,19 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"mvg/internal/serve/core"
 	"net/http"
 	"net/http/httptest"
 	"net/http/httptrace"
-	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 )
 
-// newTestServer stands up a Server over a registry with one file-backed
-// model named "demo", wrapped in an httptest.Server.
-func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
-	t.Helper()
-	model := testModel(t)
-	dir := t.TempDir()
-	path := filepath.Join(dir, "demo"+ModelExt)
-	if err := model.SaveFile(path); err != nil {
-		t.Fatal(err)
-	}
-	reg := NewRegistry()
-	reg.Register("demo", model, path)
-	cfg.Registry = reg
-	srv, err := NewServer(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	ts := httptest.NewServer(srv)
-	t.Cleanup(ts.Close)
-	return srv, ts
-}
-
-func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
-	t.Helper()
-	raw, err := json.Marshal(body)
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(resp.Body)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return resp, data
-}
-
-func get(t *testing.T, url string) (*http.Response, []byte) {
-	t.Helper()
-	resp, err := http.Get(url)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(resp.Body)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return resp, data
-}
-
 // TestHandlers drives every endpoint through its status-code matrix.
 func TestHandlers(t *testing.T) {
-	_, ts := newTestServer(t, Config{Window: time.Millisecond})
+	_, ts := newTestServer(t, core.Config{Window: time.Millisecond})
 	single := testInputs(1, 10)[0]
 	batch := testInputs(3, 11)
 	short := make([]float64, 7)
@@ -144,7 +90,7 @@ func TestHandlers(t *testing.T) {
 // the wire.
 func TestPredictMatchesModel(t *testing.T) {
 	model := testModel(t)
-	_, ts := newTestServer(t, Config{Window: time.Millisecond})
+	_, ts := newTestServer(t, core.Config{Window: time.Millisecond})
 	inputs := testInputs(4, 12)
 
 	wantProba, err := model.PredictProba(context.Background(), inputs)
@@ -212,7 +158,7 @@ func TestPredictMatchesModel(t *testing.T) {
 // TestConcurrentPredicts hammers the HTTP path from many clients; combined
 // with -race this exercises handler + coalescer + registry concurrency.
 func TestConcurrentPredicts(t *testing.T) {
-	_, ts := newTestServer(t, Config{Window: 500 * time.Microsecond, MaxBatch: 8})
+	_, ts := newTestServer(t, core.Config{Window: 500 * time.Microsecond, MaxBatch: 8})
 	inputs := testInputs(6, 13)
 	var wg sync.WaitGroup
 	errs := make(chan error, 12)
@@ -239,23 +185,9 @@ func TestConcurrentPredicts(t *testing.T) {
 	}
 }
 
-func postJSONQuiet(url string, body any) (*http.Response, []byte) {
-	raw, err := json.Marshal(body)
-	if err != nil {
-		return nil, nil
-	}
-	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
-	if err != nil {
-		return nil, nil
-	}
-	defer resp.Body.Close()
-	data, _ := io.ReadAll(resp.Body)
-	return resp, data
-}
-
 // TestMetricsEndpoint checks the Prometheus exposition after real traffic.
 func TestMetricsEndpoint(t *testing.T) {
-	_, ts := newTestServer(t, Config{Window: time.Millisecond})
+	_, ts := newTestServer(t, core.Config{Window: time.Millisecond})
 	single := testInputs(1, 14)[0]
 	postJSON(t, ts.URL+"/v1/models/demo/predict", map[string]any{"series": single})
 	get(t, ts.URL+"/healthz")
@@ -284,7 +216,7 @@ func TestMetricsEndpoint(t *testing.T) {
 // TestGracefulShutdown is the SIGTERM drain integration test: requests in
 // flight when shutdown starts are answered, requests after are rejected.
 func TestGracefulShutdown(t *testing.T) {
-	srv, ts := newTestServer(t, Config{Window: 50 * time.Millisecond, MaxBatch: 64})
+	srv, ts := newTestServer(t, core.Config{Window: 50 * time.Millisecond, MaxBatch: 64})
 	inputs := testInputs(4, 15)
 
 	// Park requests inside the coalescing window so they are mid-flight
@@ -316,7 +248,7 @@ func TestGracefulShutdown(t *testing.T) {
 	if err := ts.Config.Shutdown(ctx); err != nil {
 		t.Fatalf("http shutdown: %v", err)
 	}
-	if err := srv.Shutdown(ctx); err != nil {
+	if err := srv.Engine().Shutdown(ctx); err != nil {
 		t.Fatalf("server shutdown: %v", err)
 	}
 	wg.Wait()
@@ -340,7 +272,7 @@ func TestGracefulShutdown(t *testing.T) {
 // because the panic is recovered rather than re-thrown — the keep-alive
 // connection survives and serves the next request.
 func TestPanicRecovery(t *testing.T) {
-	srv, _ := newTestServer(t, Config{Window: time.Millisecond})
+	srv, _ := newTestServer(t, core.Config{Window: time.Millisecond})
 	mux := http.NewServeMux()
 	mux.HandleFunc("/panic", func(w http.ResponseWriter, r *http.Request) {
 		panic("boom: injected handler panic")
@@ -384,7 +316,7 @@ func TestPanicRecovery(t *testing.T) {
 	// The 500 is attributed to the panicking route in the counters. The
 	// /panic path is outside the API surface, so it lands on "other".
 	var buf bytes.Buffer
-	srv.Metrics().WritePrometheus(&buf)
+	srv.Engine().Metrics().WritePrometheus(&buf)
 	if want := `mvgserve_requests_total{route="other",code="500"} 1`; !strings.Contains(buf.String(), want) {
 		t.Errorf("metrics missing %q:\n%s", want, buf.String())
 	}
@@ -393,7 +325,7 @@ func TestPanicRecovery(t *testing.T) {
 // TestShutdownContextCancelled: a cancelled drain context surfaces as an
 // error instead of hanging.
 func TestShutdownContextCancelled(t *testing.T) {
-	srv, ts := newTestServer(t, Config{Window: time.Hour, MaxBatch: 64})
+	srv, ts := newTestServer(t, core.Config{Window: time.Hour, MaxBatch: 64})
 	// Park one request behind the hour-long window so the drain has work
 	// to do, then cancel immediately.
 	go postJSONQuiet(ts.URL+"/v1/models/demo/predict", map[string]any{"series": testInputs(1, 16)[0]})
@@ -401,12 +333,12 @@ func TestShutdownContextCancelled(t *testing.T) {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	err := srv.Shutdown(ctx)
+	err := srv.Engine().Shutdown(ctx)
 	// The flush itself is fast, so this may legitimately win the race and
 	// return nil; both outcomes are correct, hanging is the failure mode.
 	if err != nil && !strings.Contains(err.Error(), "context canceled") {
 		t.Fatalf("unexpected shutdown error: %v", err)
 	}
 	// Complete the drain so the parked request is answered.
-	srv.Shutdown(context.Background())
+	srv.Engine().Shutdown(context.Background())
 }

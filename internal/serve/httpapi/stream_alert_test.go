@@ -1,9 +1,10 @@
-package serve
+package httpapi
 
 import (
 	"fmt"
 	"io"
 	"math"
+	"mvg/internal/serve/core"
 	"net/http"
 	"strings"
 	"sync"
@@ -58,7 +59,7 @@ func alertBody(t *testing.T) string {
 }
 
 func TestStreamDriftField(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
+	_, ts := newTestServer(t, core.Config{})
 	testModel(t)
 	inputs := testInputs(1, 5)
 
@@ -82,7 +83,7 @@ func TestStreamDriftField(t *testing.T) {
 }
 
 func TestStreamAlertDialogue(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
+	_, ts := newTestServer(t, core.Config{})
 	testModel(t)
 
 	url := ts.URL + "/v1/models/demo/stream?hop=32&alert=kind=flip" +
@@ -129,7 +130,7 @@ func TestStreamAlertDialogue(t *testing.T) {
 }
 
 func TestStreamAlertBadSpec(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
+	_, ts := newTestServer(t, core.Config{})
 	testModel(t)
 	for _, q := range []string{
 		"alert=kind=nope",
@@ -150,7 +151,7 @@ func TestStreamAlertBadSpec(t *testing.T) {
 }
 
 func TestStreamAlertMetrics(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
+	_, ts := newTestServer(t, core.Config{})
 	testModel(t)
 
 	url := ts.URL + "/v1/models/demo/stream?hop=32&alert=kind=flip"
@@ -190,7 +191,7 @@ func TestStreamAlertMetrics(t *testing.T) {
 
 func TestStreamAlertSinkDelivery(t *testing.T) {
 	sink := &captureSink{}
-	_, ts := newTestServer(t, Config{AlertSink: sink})
+	_, ts := newTestServer(t, core.Config{AlertSink: sink})
 	testModel(t)
 
 	url := ts.URL + "/v1/models/demo/stream?hop=32&alert=kind=flip"
@@ -236,7 +237,7 @@ func TestStreamAlertSinkDelivery(t *testing.T) {
 // evaluators are independent, the sink and metrics are shared.
 func TestStreamAlertConcurrentSharedSink(t *testing.T) {
 	sink := &captureSink{}
-	srv, ts := newTestServer(t, Config{AlertSink: sink})
+	srv, ts := newTestServer(t, core.Config{AlertSink: sink})
 	testModel(t)
 	body := alertBody(t)
 

@@ -1,4 +1,4 @@
-package serve
+package httpapi
 
 import (
 	"bufio"
@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"mvg/internal/serve/core"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -95,7 +96,7 @@ func (h *heldStream) close() { h.w.Close() }
 // second concurrent dialogue is shed with 429 + Retry-After while another
 // tenant still gets in; closing the first dialogue frees the quota.
 func TestStreamTenantQuota(t *testing.T) {
-	srv, ts := newTestServer(t, Config{
+	srv, ts := newTestServer(t, core.Config{
 		MaxStreams:          8,
 		MaxStreamsPerTenant: 1,
 		RetryAfter:          3 * time.Second,
@@ -109,8 +110,8 @@ func TestStreamTenantQuota(t *testing.T) {
 	if first.Class == nil {
 		t.Fatalf("expected a prediction line, got %+v", first)
 	}
-	waitUntil(t, "session registration", func() bool { return srv.sessions.Active() == 1 })
-	if got := srv.Metrics().ActiveStreams(); got != 1 {
+	waitUntil(t, "session registration", func() bool { return sessionsActive(srv) == 1 })
+	if got := srv.Engine().Metrics().ActiveStreams(); got != 1 {
 		t.Fatalf("active_streams = %d, want 1", got)
 	}
 
@@ -129,7 +130,7 @@ func TestStreamTenantQuota(t *testing.T) {
 	if !strings.Contains(string(data), "tenant") {
 		t.Fatalf("quota rejection body = %s", data)
 	}
-	if got := srv.Metrics().ShedTotal(); got != 1 {
+	if got := srv.Engine().Metrics().ShedTotal(); got != 1 {
 		t.Fatalf("shed_total = %d, want 1", got)
 	}
 
@@ -145,7 +146,7 @@ func TestStreamTenantQuota(t *testing.T) {
 	// Quota is released with the dialogue.
 	held.close()
 	held.waitEOF()
-	waitUntil(t, "session release", func() bool { return srv.sessions.Active() == 0 })
+	waitUntil(t, "session release", func() bool { return sessionsActive(srv) == 0 })
 	resp3, _ := postStream(t, ts.URL+"/v1/models/demo/stream", streamBody(samples))
 	if resp3.StatusCode != http.StatusOK {
 		t.Fatalf("stream after quota release status = %d, want 200", resp3.StatusCode)
@@ -155,12 +156,12 @@ func TestStreamTenantQuota(t *testing.T) {
 // TestStreamServerLimit: the global stream ceiling rejects dialogue N+1
 // with 429 even when it belongs to a fresh tenant.
 func TestStreamServerLimit(t *testing.T) {
-	srv, ts := newTestServer(t, Config{MaxStreams: 1, MaxStreamsPerTenant: -1})
+	srv, ts := newTestServer(t, core.Config{MaxStreams: 1, MaxStreamsPerTenant: -1})
 	samples := testInputs(1, 31)[0]
 
 	held := openStream(t, ts.URL+"/v1/models/demo/stream?tenant=a", samples)
 	held.next()
-	waitUntil(t, "session registration", func() bool { return srv.sessions.Active() == 1 })
+	waitUntil(t, "session registration", func() bool { return sessionsActive(srv) == 1 })
 
 	resp, err := http.Post(ts.URL+"/v1/models/demo/stream?tenant=b", "application/x-ndjson", strings.NewReader("1\n"))
 	if err != nil {
@@ -179,7 +180,7 @@ func TestStreamServerLimit(t *testing.T) {
 // at the idle deadline with a terminal error line, a counted eviction, and
 // a freed session slot.
 func TestStreamIdleEviction(t *testing.T) {
-	srv, ts := newTestServer(t, Config{StreamIdleTimeout: 100 * time.Millisecond})
+	srv, ts := newTestServer(t, core.Config{StreamIdleTimeout: 100 * time.Millisecond})
 	samples := testInputs(1, 32)[0]
 
 	start := time.Now()
@@ -197,10 +198,10 @@ func TestStreamIdleEviction(t *testing.T) {
 	if elapsed := time.Since(start); elapsed > 10*time.Second {
 		t.Fatalf("idle eviction took %v with a 100ms deadline", elapsed)
 	}
-	if got := srv.Metrics().StreamEvictedTotal(EvictIdle); got != 1 {
+	if got := srv.Engine().Metrics().StreamEvictedTotal(core.EvictIdle); got != 1 {
 		t.Fatalf("stream_evicted_total{idle} = %d, want 1", got)
 	}
-	waitUntil(t, "session release", func() bool { return srv.sessions.Active() == 0 })
+	waitUntil(t, "session release", func() bool { return sessionsActive(srv) == 0 })
 	held.close()
 
 	// Before any output the same eviction is a plain 408 status.
@@ -213,7 +214,7 @@ func TestStreamIdleEviction(t *testing.T) {
 	if resp.StatusCode != http.StatusRequestTimeout {
 		t.Fatalf("pre-output idle eviction status = %d, want 408; body %s", resp.StatusCode, data)
 	}
-	if got := srv.Metrics().StreamEvictedTotal(EvictIdle); got != 2 {
+	if got := srv.Engine().Metrics().StreamEvictedTotal(core.EvictIdle); got != 2 {
 		t.Fatalf("stream_evicted_total{idle} = %d, want 2", got)
 	}
 }
@@ -270,7 +271,7 @@ func (w *stuckClientWriter) Write(p []byte) (int, error) {
 // deadline (the client stopped reading), the dialogue is evicted and
 // counted under reason="slow_reader" instead of spinning on a dead pipe.
 func TestStreamSlowReaderEviction(t *testing.T) {
-	srv, _ := newTestServer(t, Config{})
+	srv, _ := newTestServer(t, core.Config{})
 	base := testInputs(1, 33)[0]
 	samples := append(append([]float64{}, base...), base[:8]...) // hop=1: 9 prediction lines
 
@@ -286,10 +287,10 @@ func TestStreamSlowReaderEviction(t *testing.T) {
 	if !strings.Contains(w.buf.String(), `"class"`) {
 		t.Fatalf("no prediction line got through before the stall:\n%s", w.buf.String())
 	}
-	if got := srv.Metrics().StreamEvictedTotal(EvictSlowReader); got != 1 {
+	if got := srv.Engine().Metrics().StreamEvictedTotal(core.EvictSlowReader); got != 1 {
 		t.Fatalf("stream_evicted_total{slow_reader} = %d, want 1", got)
 	}
-	if got := srv.sessions.Active(); got != 0 {
+	if got := sessionsActive(srv); got != 0 {
 		t.Fatalf("sessions still active after eviction: %d", got)
 	}
 }
@@ -298,7 +299,7 @@ func TestStreamSlowReaderEviction(t *testing.T) {
 // mvgserve) ends live dialogues with a done line marked draining, and new
 // dialogues are refused with 503.
 func TestStreamDrainDone(t *testing.T) {
-	srv, ts := newTestServer(t, Config{})
+	srv, ts := newTestServer(t, core.Config{})
 	samples := testInputs(1, 34)[0]
 
 	held := openStream(t, ts.URL+"/v1/models/demo/stream", samples)
@@ -307,7 +308,7 @@ func TestStreamDrainDone(t *testing.T) {
 		t.Fatalf("expected a prediction line, got %+v", first)
 	}
 
-	srv.DrainStreams()
+	srv.Engine().DrainStreams()
 	done := held.next()
 	if !done.Done || !done.Draining {
 		t.Fatalf("drain terminal line = %+v, want done with draining=true", done)

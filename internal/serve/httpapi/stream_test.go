@@ -1,4 +1,4 @@
-package serve
+package httpapi
 
 import (
 	"bufio"
@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"mvg/internal/serve/core"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -69,7 +70,7 @@ func postStream(t *testing.T, url, body string) (*http.Response, []streamEvent) 
 }
 
 func TestStreamEndpoint(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
+	_, ts := newTestServer(t, core.Config{})
 	model := testModel(t)
 	const hop = 32
 	inputs := testInputs(2, 5)
@@ -115,7 +116,7 @@ func TestStreamEndpoint(t *testing.T) {
 // buffered output fills, and the dialogue dies mid-stream with
 // "invalid Read on closed Body".
 func TestStreamEndpointLongDialogue(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
+	_, ts := newTestServer(t, core.Config{})
 	base := testInputs(1, 9)[0]
 	samples := make([]float64, 0, 20*len(base))
 	for i := 0; i < 20; i++ {
@@ -138,7 +139,7 @@ func TestStreamEndpointLongDialogue(t *testing.T) {
 }
 
 func TestStreamEndpointErrors(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
+	_, ts := newTestServer(t, core.Config{})
 
 	// Unknown model → 404 before any streaming.
 	resp, _ := postStream(t, ts.URL+"/v1/models/nope/stream", "1\n")
@@ -212,7 +213,7 @@ func (b *cancellableBody) Read(p []byte) (int, error) {
 // connection. It drives ServeHTTP directly so the cancellation point is
 // deterministic.
 func TestStreamEndpointCancellation(t *testing.T) {
-	srv, _ := newTestServer(t, Config{})
+	srv, _ := newTestServer(t, core.Config{})
 	ctx, cancel := context.WithCancel(context.Background())
 	samples := testInputs(1, 7)[0]
 	body := &cancellableBody{ctx: ctx, prefix: strings.NewReader(streamBody(samples)), drained: make(chan struct{})}

@@ -1,0 +1,96 @@
+// Package servetest holds the serving layer's shared test fixture: one
+// small two-class model, trained once per test binary, plus the input and
+// comparison helpers every serve package leans on. It exists because the
+// serving tests now span several packages (core, httpapi, grpcapi) that
+// all need the same model — training even a small one dominates test
+// time, so each package sharing this fixture trains at most once.
+package servetest
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"mvg"
+)
+
+var (
+	modelOnce sync.Once
+	modelVal  *mvg.Model
+	modelErr  error
+)
+
+// SeriesLen is the training length of the shared model.
+const SeriesLen = 128
+
+// Dataset generates a two-class problem (smooth sine vs noise burst)
+// small enough for fast training.
+func Dataset(seed int64) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	const perClass = 10
+	series := make([][]float64, 0, 2*perClass)
+	labels := make([]int, 0, 2*perClass)
+	for i := 0; i < perClass; i++ {
+		smooth := make([]float64, SeriesLen)
+		phase := rng.Float64()
+		for k := range smooth {
+			smooth[k] = math.Sin(2*math.Pi*(float64(k)/16+phase)) + 0.05*rng.NormFloat64()
+		}
+		series = append(series, smooth)
+		labels = append(labels, 0)
+
+		noisy := make([]float64, SeriesLen)
+		for k := range noisy {
+			noisy[k] = rng.NormFloat64()
+		}
+		series = append(series, noisy)
+		labels = append(labels, 1)
+	}
+	return series, labels
+}
+
+// Model returns the shared test model, training it on first use.
+func Model(t *testing.T) *mvg.Model {
+	t.Helper()
+	modelOnce.Do(func() {
+		series, labels := Dataset(1)
+		var pipe *mvg.Pipeline
+		pipe, modelErr = mvg.NewPipeline(mvg.Config{Folds: 2, Seed: 1, Workers: 2})
+		if modelErr != nil {
+			return
+		}
+		modelVal, modelErr = pipe.Train(context.Background(), series, labels, 2)
+	})
+	if modelErr != nil {
+		t.Fatalf("training shared test model: %v", modelErr)
+	}
+	return modelVal
+}
+
+// Inputs returns n prediction inputs drawn from the same two shapes the
+// model was trained on.
+func Inputs(n int, seed int64) [][]float64 {
+	series, _ := Dataset(seed)
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = series[i%len(series)]
+	}
+	return out
+}
+
+// RequireSameRow fails the test unless want and got agree bit-for-bit —
+// the determinism bar the coalescer and the cross-transport parity suite
+// are held to.
+func RequireSameRow(t *testing.T, want, got []float64) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("row widths differ: %d vs %d", len(want), len(got))
+	}
+	for j := range want {
+		if math.Float64bits(want[j]) != math.Float64bits(got[j]) {
+			t.Fatalf("col %d differs: %v vs %v", j, want[j], got[j])
+		}
+	}
+}

@@ -32,24 +32,6 @@ type Model struct {
 	drift     driftBaseline // per-class feature centroids captured at Train time
 }
 
-// Train extracts MVG features from the labelled series, tunes the selected
-// classifier family with stratified cross validation (Section 3.2), refits
-// the winner on the full training set, and returns the ready-to-use model.
-// Labels must be dense ids in [0, classes).
-//
-// Deprecated: build a Pipeline once with NewPipeline and call
-// Pipeline.Train — it reuses the compiled extractor and warm worker pool
-// across calls and supports cancellation. This wrapper constructs a
-// dedicated pipeline per call; the returned model keeps that pipeline (and
-// its worker pool) alive for predictions (see docs/api.md).
-func Train(series [][]float64, labels []int, classes int, cfg Config) (*Model, error) {
-	p, err := NewPipeline(cfg)
-	if err != nil {
-		return nil, err
-	}
-	return p.Train(context.Background(), series, labels, classes)
-}
-
 // fitClassifier tunes and fits the configured classifier family on a
 // feature matrix using the given executor for grid-search fan-out,
 // returning the trained model and, for scale-sensitive configurations, the

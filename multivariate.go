@@ -114,20 +114,6 @@ func (p *Pipeline) TrainMultivariate(ctx context.Context, samples [][][]float64,
 	return m, nil
 }
 
-// TrainMultivariate trains an MVG classifier on multichannel series:
-// samples[i][c] is channel c of sample i.
-//
-// Deprecated: build a Pipeline once with NewPipeline and call
-// Pipeline.TrainMultivariate — it reuses the compiled extractor and warm
-// worker pool across calls and supports cancellation (see docs/api.md).
-func TrainMultivariate(samples [][][]float64, labels []int, classes int, cfg Config) (*MultivariateModel, error) {
-	p, err := NewPipeline(cfg)
-	if err != nil {
-		return nil, err
-	}
-	return p.TrainMultivariate(context.Background(), samples, labels, classes)
-}
-
 // PredictProba returns class probabilities per multichannel sample,
 // extracting features on the model's pipeline with cooperative
 // cancellation (see Model.PredictProba for the guarantees).

@@ -44,7 +44,7 @@ func makeMultichannel(n int, seed int64) ([][][]float64, []int) {
 func TestTrainMultivariate(t *testing.T) {
 	trainS, trainY := makeMultichannel(40, 1)
 	testS, testY := makeMultichannel(30, 2)
-	model, err := TrainMultivariate(trainS, trainY, 2, Config{Seed: 1})
+	model, err := trainMultivariateOnce(trainS, trainY, 2, Config{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,15 +89,15 @@ func TestTrainMultivariate(t *testing.T) {
 
 func TestMultivariateValidation(t *testing.T) {
 	trainS, trainY := makeMultichannel(20, 3)
-	if _, err := TrainMultivariate(nil, nil, 2, Config{}); err == nil {
+	if _, err := trainMultivariateOnce(nil, nil, 2, Config{}); err == nil {
 		t.Error("empty samples should fail")
 	}
-	if _, err := TrainMultivariate(trainS, trainY[:5], 2, Config{}); err == nil {
+	if _, err := trainMultivariateOnce(trainS, trainY[:5], 2, Config{}); err == nil {
 		t.Error("label mismatch should fail")
 	}
 	// Ragged channel counts.
 	bad := [][][]float64{trainS[0], {trainS[1][0]}}
-	if _, err := TrainMultivariate(bad, []int{0, 1}, 2, Config{}); err == nil {
+	if _, err := trainMultivariateOnce(bad, []int{0, 1}, 2, Config{}); err == nil {
 		t.Error("ragged channels should fail")
 	}
 	// Ragged per-channel lengths.
@@ -105,11 +105,11 @@ func TestMultivariateValidation(t *testing.T) {
 		{make([]float64, 64), make([]float64, 64)},
 		{make([]float64, 64), make([]float64, 32)},
 	}
-	if _, err := TrainMultivariate(bad2, []int{0, 1}, 2, Config{}); err == nil {
+	if _, err := trainMultivariateOnce(bad2, []int{0, 1}, 2, Config{}); err == nil {
 		t.Error("ragged lengths should fail")
 	}
 	// Channel-count mismatch at prediction time.
-	model, err := TrainMultivariate(trainS, trainY, 2, Config{Seed: 1})
+	model, err := trainMultivariateOnce(trainS, trainY, 2, Config{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

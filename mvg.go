@@ -28,11 +28,11 @@
 // cooperative cancellation, and failures are typed (ErrBadConfig,
 // ErrSeriesTooShort, ErrShapeMismatch, usable with errors.Is/As). The
 // concurrency model is documented in docs/concurrency.md, the feature
-// layout in docs/features.md, and the migration guide from the deprecated
-// free functions in docs/api.md.
+// layout in docs/features.md, and the migration guide from the removed
+// one-shot free functions in docs/api.md.
 //
 // Lower-level building blocks (graph construction, motif counting, feature
-// extraction) are exposed through ExtractFeatures and SummarizeGraph for
+// extraction) are exposed through Pipeline.Extract and SummarizeGraph for
 // exploratory analysis.
 package mvg
 
@@ -157,43 +157,4 @@ func (c Config) extractor() (*core.Extractor, error) {
 		Scales: s, Graphs: g, Features: f, Tau: c.Tau, Extended: c.Extended,
 		NoDetrend: c.NoDetrend, NoZNormalize: c.NoZNormalize,
 	})
-}
-
-// ExtractFeatures converts time series into MVG feature matrices without
-// training a classifier. It returns one row per series and the matching
-// feature names (e.g. "T0.HVG.P(M44)", "T2.VG.Assortativity"); see
-// docs/features.md for the full feature-vector layout.
-//
-// Deprecated: build a Pipeline once with NewPipeline and call
-// Pipeline.Extract — it reuses the compiled extractor and warm worker
-// scratch across calls and supports cancellation. This wrapper rebuilds
-// both on every invocation (see docs/api.md).
-func ExtractFeatures(series [][]float64, cfg Config) ([][]float64, []string, error) {
-	return ExtractFeaturesBatch(series, cfg)
-}
-
-// ExtractFeaturesBatch is the per-call batch entry point: it fans
-// per-series feature extraction across cfg.Workers worker goroutines
-// (0 = GOMAXPROCS). Row i of the result always corresponds to series[i],
-// and the matrix is byte-identical for every worker count
-// (docs/concurrency.md). An empty batch returns a *ShapeError matching
-// ErrShapeMismatch.
-//
-// Deprecated: build a Pipeline once with NewPipeline and call
-// Pipeline.Extract — it reuses the compiled extractor and warm worker
-// scratch across calls and supports cancellation. This wrapper rebuilds
-// both on every invocation (see docs/api.md).
-func ExtractFeaturesBatch(series [][]float64, cfg Config) ([][]float64, []string, error) {
-	e, err := cfg.extractor()
-	if err != nil {
-		return nil, nil, err
-	}
-	if len(series) == 0 {
-		return nil, nil, &ShapeError{What: "series batch", Got: 0, Want: -1}
-	}
-	X, err := e.ExtractDatasetWorkers(series, cfg.Workers)
-	if err != nil {
-		return nil, nil, err
-	}
-	return X, e.FeatureNames(len(series[0])), nil
 }

@@ -21,7 +21,7 @@ func loadFamily(t *testing.T, name string) ([][]float64, []int, [][]float64, []i
 
 func TestTrainPredictDefault(t *testing.T) {
 	trX, trY, teX, teY, classes := loadFamily(t, "FreqSines")
-	model, err := Train(trX, trY, classes, Config{Seed: 1})
+	model, err := trainOnce(trX, trY, classes, Config{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +55,7 @@ func TestTrainAllClassifiers(t *testing.T) {
 	for _, clf := range []string{"xgb", "rf", "svm"} {
 		clf := clf
 		t.Run(clf, func(t *testing.T) {
-			model, err := Train(trX, trY, classes, Config{Classifier: clf, Seed: 1})
+			model, err := trainOnce(trX, trY, classes, Config{Classifier: clf, Seed: 1})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -75,7 +75,7 @@ func TestTrainStack(t *testing.T) {
 		t.Skip("stacking is slow")
 	}
 	trX, trY, teX, teY, classes := loadFamily(t, "WarpedShapes")
-	model, err := Train(trX, trY, classes, Config{Classifier: "stack", Seed: 1})
+	model, err := trainOnce(trX, trY, classes, Config{Classifier: "stack", Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,21 +97,21 @@ func TestConfigValidation(t *testing.T) {
 		{Classifier: "nope"},
 	}
 	for _, cfg := range bad {
-		if _, err := Train(trX[:10], trY[:10], classes, cfg); err == nil {
+		if _, err := trainOnce(trX[:10], trY[:10], classes, cfg); err == nil {
 			t.Errorf("config %+v should fail", cfg)
 		}
 	}
-	if _, err := Train(nil, nil, 2, Config{}); err == nil {
+	if _, err := trainOnce(nil, nil, 2, Config{}); err == nil {
 		t.Error("empty training set should fail")
 	}
-	if _, err := Train(trX, trY[:3], classes, Config{}); err == nil {
+	if _, err := trainOnce(trX, trY[:3], classes, Config{}); err == nil {
 		t.Error("label length mismatch should fail")
 	}
 }
 
 func TestExtractFeaturesFacade(t *testing.T) {
 	trX, _, _, _, _ := loadFamily(t, "FreqSines")
-	X, names, err := ExtractFeatures(trX[:10], Config{})
+	X, names, err := extractOnce(trX[:10], Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +123,7 @@ func TestExtractFeaturesFacade(t *testing.T) {
 		t.Errorf("first name = %q", names[0])
 	}
 	// Alternate configurations change widths.
-	Xu, _, err := ExtractFeatures(trX[:2], Config{Scale: "uvg", Graphs: "hvg", Features: "mpds"})
+	Xu, _, err := extractOnce(trX[:2], Config{Scale: "uvg", Graphs: "hvg", Features: "mpds"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +134,7 @@ func TestExtractFeaturesFacade(t *testing.T) {
 
 func TestFeatureImportance(t *testing.T) {
 	trX, trY, _, _, classes := loadFamily(t, "EngineNoise")
-	model, err := Train(trX, trY, classes, Config{Seed: 1})
+	model, err := trainOnce(trX, trY, classes, Config{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +151,7 @@ func TestFeatureImportance(t *testing.T) {
 		}
 	}
 	// RF model has no importance.
-	rf, err := Train(trX[:20], trY[:20], classes, Config{Classifier: "rf", Seed: 1})
+	rf, err := trainOnce(trX[:20], trY[:20], classes, Config{Classifier: "rf", Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

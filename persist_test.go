@@ -9,7 +9,7 @@ import (
 
 func TestSaveLoadRoundTrip(t *testing.T) {
 	trX, trY, teX, _, classes := loadFamily(t, "FreqSines")
-	model, err := Train(trX, trY, classes, Config{Seed: 1})
+	model, err := trainOnce(trX, trY, classes, Config{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +87,7 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 
 func TestSaveUnsupportedClassifier(t *testing.T) {
 	trX, trY, _, _, classes := loadFamily(t, "FreqSines")
-	model, err := Train(trX[:20], trY[:20], classes, Config{Classifier: "rf", Seed: 1})
+	model, err := trainOnce(trX[:20], trY[:20], classes, Config{Classifier: "rf", Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -46,7 +46,7 @@ func BenchmarkPipelineReuse(b *testing.B) {
 		b.Run(fmt.Sprintf("batch=%d/percall", size), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, _, err := ExtractFeaturesBatch(series, Config{Workers: 1}); err != nil {
+				if _, _, err := extractOnce(series, Config{Workers: 1}); err != nil {
 					b.Fatal(err)
 				}
 			}

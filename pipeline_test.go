@@ -14,7 +14,7 @@ import (
 // on the same (warm) pipeline.
 func TestPipelineMatchesFreeFunctions(t *testing.T) {
 	series := batchSeries(24, 192, 11)
-	ref, names, err := ExtractFeaturesBatch(series, Config{Workers: 1})
+	ref, names, err := extractOnce(series, Config{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +56,7 @@ func TestPipelineTrainMatchesFreeTrain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m2, err := Train(train, labels, 2, Config{Folds: 2, Seed: 1, Workers: 2})
+	m2, err := trainOnce(train, labels, 2, Config{Folds: 2, Seed: 1, Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,11 +80,11 @@ func TestPipelineTrainMatchesFreeTrain(t *testing.T) {
 func TestEmptyBatchTyped(t *testing.T) {
 	ctx := context.Background()
 
-	if _, _, err := ExtractFeaturesBatch(nil, Config{}); !errors.Is(err, ErrShapeMismatch) {
-		t.Errorf("ExtractFeaturesBatch(nil) = %v, want ErrShapeMismatch", err)
+	if _, _, err := extractOnce(nil, Config{}); !errors.Is(err, ErrShapeMismatch) {
+		t.Errorf("extractOnce(nil) = %v, want ErrShapeMismatch", err)
 	}
-	if _, _, err := ExtractFeatures([][]float64{}, Config{}); !errors.Is(err, ErrShapeMismatch) {
-		t.Errorf("ExtractFeatures(empty) = %v, want ErrShapeMismatch", err)
+	if _, _, err := extractOnce([][]float64{}, Config{}); !errors.Is(err, ErrShapeMismatch) {
+		t.Errorf("extractOnce(empty) = %v, want ErrShapeMismatch", err)
 	}
 
 	p, err := NewPipeline(Config{})
@@ -125,7 +125,7 @@ func TestTypedErrorsIsAs(t *testing.T) {
 		}
 	}
 	// The deprecated wrappers surface the same typed errors.
-	if _, _, err := ExtractFeaturesBatch(nil, Config{Scale: "nope"}); !errors.Is(err, ErrBadConfig) {
+	if _, _, err := extractOnce(nil, Config{Scale: "nope"}); !errors.Is(err, ErrBadConfig) {
 		t.Errorf("wrapper config error = %v, want ErrBadConfig", err)
 	}
 
@@ -175,8 +175,8 @@ func TestTypedErrorsIsAs(t *testing.T) {
 	}
 
 	// Multivariate surface.
-	if _, err := TrainMultivariate(nil, nil, 2, Config{}); !errors.Is(err, ErrShapeMismatch) {
-		t.Errorf("TrainMultivariate(nil) = %v, want ErrShapeMismatch", err)
+	if _, err := trainMultivariateOnce(nil, nil, 2, Config{}); !errors.Is(err, ErrShapeMismatch) {
+		t.Errorf("trainMultivariateOnce(nil) = %v, want ErrShapeMismatch", err)
 	}
 }
 

@@ -1,0 +1,45 @@
+package mvg
+
+import "context"
+
+// The deprecated one-shot free functions (Train, ExtractFeatures,
+// ExtractFeaturesBatch, TrainMultivariate) are gone from the public
+// surface — the Pipeline API is the supported path (docs/api.md). The
+// many historical test call sites keep their one-shot shape through
+// these package-local shims, which are also a standing check that the
+// Pipeline API fully covers what the free functions did.
+
+// trainOnce trains through a fresh pipeline. The pipeline is left open:
+// the returned model is bound to it and predictions run on its pool.
+func trainOnce(series [][]float64, labels []int, classes int, cfg Config) (*Model, error) {
+	p, err := NewPipeline(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return p.Train(context.Background(), series, labels, classes)
+}
+
+// extractOnce extracts a feature matrix and the matching names through
+// a throwaway pipeline.
+func extractOnce(series [][]float64, cfg Config) ([][]float64, []string, error) {
+	p, err := NewPipeline(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer p.Close()
+	X, err := p.Extract(context.Background(), series)
+	if err != nil {
+		return nil, nil, err
+	}
+	return X, p.FeatureNames(len(series[0])), nil
+}
+
+// trainMultivariateOnce trains a multichannel model through a fresh
+// pipeline (left open, like trainOnce).
+func trainMultivariateOnce(samples [][][]float64, labels []int, classes int, cfg Config) (*MultivariateModel, error) {
+	p, err := NewPipeline(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return p.TrainMultivariate(context.Background(), samples, labels, classes)
+}
